@@ -1,0 +1,213 @@
+// greem is the simulation driver: it generates cosmological initial
+// conditions (or loads a snapshot), runs the distributed TreePM integrator
+// on in-process ranks, and writes snapshots, projections and a per-phase
+// timing report in the shape of the paper's Table I.
+//
+//	go run ./cmd/greem -np 16 -ranks 8 -steps 16 -zstart 400 -zend 31 -out out
+//	go run ./cmd/greem -resume out/snap_0016.bin -steps 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"greem"
+	"greem/internal/analysis"
+	"greem/internal/cosmo"
+	"greem/internal/sim"
+)
+
+func main() {
+	np := flag.Int("np", 16, "particles per dimension (ICs)")
+	ranks := flag.Int("ranks", 8, "ranks")
+	steps := flag.Int("steps", 16, "full PM steps")
+	zstart := flag.Float64("zstart", 400, "starting redshift")
+	zend := flag.Float64("zend", 31, "final redshift")
+	seed := flag.Int64("seed", 12345, "IC random seed")
+	amp := flag.Float64("amp", 5e-5, "IC power-spectrum amplitude")
+	nmesh := flag.Int("nmesh", 0, "PM mesh per dimension (0 = 2·np rounded up)")
+	relay := flag.Bool("relay", false, "use the relay mesh method")
+	groups := flag.Int("groups", 2, "relay groups")
+	pencil := flag.Bool("pencil", false, "use the 2-D pencil FFT decomposition (§IV)")
+	py := flag.Int("py", 2, "pencil process grid, y")
+	pz := flag.Int("pz", 2, "pencil process grid, z")
+	workers := flag.Int("workers", 1, "tree traversal goroutines per rank (OpenMP-style)")
+	wmap7 := flag.Bool("wmap7", false, "use the WMAP7 ΛCDM background instead of EdS")
+	lpt2 := flag.Bool("2lpt", false, "second-order (2LPT) initial conditions")
+	nfft := flag.Int("nfft", 0, "FFT processes (0 = min(ranks, mesh))")
+	theta := flag.Float64("theta", 0.5, "tree opening angle")
+	ni := flag.Int("ni", 100, "Barnes group size cap")
+	outDir := flag.String("out", "out", "output directory")
+	resume := flag.String("resume", "", "resume from snapshot file")
+	snapEvery := flag.Int("snap", 8, "write snapshot every k steps")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	const l, g = 1.0, 1.0
+	totalM := 1.0
+	var model *cosmo.Model
+	if *wmap7 {
+		model = cosmo.WMAP7(greem.HubbleForBox(g, totalM, l, 0.272))
+	} else {
+		model = cosmo.EdS(greem.HubbleForBox(g, totalM, l, 1.0))
+	}
+
+	var parts []greem.Particle
+	aStart := greem.ScaleFactor(*zstart)
+	if *resume != "" {
+		var err error
+		var tl float64
+		tl, aStart, parts, err = loadSnap(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tl != l {
+			log.Fatalf("snapshot box %v does not match %v", tl, l)
+		}
+		fmt.Printf("resumed %d particles at a = %.5f (z = %.1f)\n", len(parts), aStart, greem.Redshift(aStart))
+	} else {
+		mesh := *nmesh
+		if mesh == 0 {
+			mesh = nextPow2(2 * *np)
+		}
+		ps := greem.NeutralinoCutoff{N: 0, Amp: *amp, KCut: 2 * math.Pi / l * float64(*np) / 4}
+		var err error
+		parts, err = greem.GenerateIC(greem.ICConfig{
+			NP: *np, NGrid: mesh, L: l, PS: ps, Seed: *seed,
+			Model: model, AInit: aStart, TotalMass: totalM, SecondOrder: *lpt2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d particles at z = %.0f\n", len(parts), *zstart)
+	}
+
+	mesh := *nmesh
+	if mesh == 0 {
+		mesh = nextPow2(2 * *np)
+	}
+	grid, err := factorGrid(*ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aEnd := greem.ScaleFactor(*zend)
+	cfg := greem.SimConfig{
+		L: l, G: g, NMesh: mesh, NFFT: *nfft, Relay: *relay, Groups: *groups,
+		Pencil: *pencil, PY: *py, PZ: *pz, Workers: *workers,
+		Theta: *theta, Ni: *ni, Eps2: 1e-8, FastKernel: true,
+		Grid: grid, DT: (aEnd - aStart) / float64(*steps), Stepper: model, Time: aStart,
+	}
+
+	err = greem.Run(*ranks, func(c *greem.Comm) {
+		var mine []greem.Particle
+		for i := range parts {
+			if i%*ranks == c.Rank() {
+				mine = append(mine, parts[i])
+			}
+		}
+		s, err := greem.NewSimulation(c, cfg, mine)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < *steps; i++ {
+			if err := s.Step(); err != nil {
+				panic(err)
+			}
+			if (i+1)%*snapEvery == 0 || i == *steps-1 {
+				all := s.GatherAll(0)
+				if c.Rank() == 0 {
+					writeOutputs(*outDir, s, all, l)
+				}
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("step %3d: a = %.5f (z = %.1f)\n", i+1, s.Time(), greem.Redshift(s.Time()))
+			}
+		}
+		inter := s.InteractionsPerStep()
+		ni, nj := s.MeanNiNj()
+		c.Barrier()
+		if c.Rank() == 0 {
+			printTimers(s, *steps, inter, ni, nj)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeOutputs(dir string, s *sim.Sim, all []greem.Particle, l float64) {
+	name := filepath.Join(dir, fmt.Sprintf("snap_%04d.bin", s.StepIndex()))
+	if err := greem.SaveSnapshot(name, l, s.Time(), 1, uint64(s.StepIndex()), all); err != nil {
+		log.Fatal(err)
+	}
+	x := make([]float64, len(all))
+	y := make([]float64, len(all))
+	m := make([]float64, len(all))
+	for i, p := range all {
+		x[i], y[i], m[i] = p.X, p.Y, p.M
+	}
+	img := analysis.ProjectXY(x, y, m, 256, l)
+	pname := filepath.Join(dir, fmt.Sprintf("density_%04d.pgm", s.StepIndex()))
+	f, err := os.Create(pname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := analysis.WritePGM(f, img); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printTimers(s *sim.Sim, steps int, inter, ni, nj float64) {
+	per := 1.0 / float64(steps)
+	t := s.Timers
+	fmt.Println("\nper-step phase breakdown (rank 0, Table I shape):")
+	fmt.Printf("  PM: density %.4fs, comm %.4fs, FFT %.4fs, mesh accel %.4fs, interp %.4fs\n",
+		t.PM.Density.Seconds()*per, t.PM.Comm.Seconds()*per, t.PM.FFT.Seconds()*per,
+		t.PM.MeshForce.Seconds()*per, t.PM.Interp.Seconds()*per)
+	fmt.Printf("  PP: local %.4fs, comm %.4fs, construction %.4fs, traversal %.4fs, force %.4fs\n",
+		t.PPLocalTree*per, t.PPComm*per, t.PPTreeConstr*per, t.PPTraverse*per, t.PPForce*per)
+	fmt.Printf("  DD: position %.4fs, sampling %.4fs, exchange %.4fs\n",
+		t.DDPosUpdate*per, t.DDSampling*per, t.DDExchange*per)
+	fmt.Printf("  interactions/step %.3g, ⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f\n", inter, ni, nj)
+}
+
+func loadSnap(path string) (l, a float64, parts []greem.Particle, err error) {
+	l, a, parts, err = greem.LoadSnapshot(path)
+	return
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func factorGrid(p int) ([3]int, error) {
+	best := [3]int{}
+	found := false
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b == 0 {
+				best = [3]int{q / b, b, a}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return best, fmt.Errorf("cannot factor %d ranks into a grid", p)
+	}
+	return best, nil
+}

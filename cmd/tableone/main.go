@@ -1,0 +1,147 @@
+// tableone regenerates the paper's Table I — the per-phase cost breakdown of
+// a 10240³-particle step on 24576 and 82944 nodes of K computer — from the
+// performance model, printed beside the published values. Optionally it also
+// runs a scaled-down distributed simulation and prints the measured phase
+// breakdown in the same shape (who dominates, what scales), which is what a
+// laptop can verify directly.
+//
+//	go run ./cmd/tableone [-run] [-np 24] [-ranks 8] [-steps 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"greem/internal/mpi"
+	"greem/internal/perfmodel"
+	"greem/internal/sim"
+)
+
+func main() {
+	doRun := flag.Bool("run", false, "also run a scaled-down measured simulation")
+	np := flag.Int("np", 24, "particles per dimension for the scaled run")
+	ranks := flag.Int("ranks", 8, "ranks for the scaled run")
+	steps := flag.Int("steps", 2, "steps for the scaled run")
+	flag.Parse()
+
+	m := perfmodel.KComputer()
+	r := perfmodel.KTableIRates()
+	n := 1.073741824e12
+
+	model24 := perfmodel.ModelTableI(m, r, 24576, n, 5.35e15, 4096, [3]int{32, 24, 32}, 4096, 6)
+	model82 := perfmodel.ModelTableI(m, r, 82944, n, 5.30e15, 4096, [3]int{32, 54, 48}, 4096, 18)
+	paper24, _ := perfmodel.PaperTableI(24576)
+	paper82, _ := perfmodel.PaperTableI(82944)
+
+	fmt.Println("TABLE I — calculation cost per step (seconds) and performance statistics")
+	fmt.Println("N = 10240³ particles; one step = 1 PM + 2 PP + 2 domain-decomposition cycles")
+	fmt.Println()
+	fmt.Printf("%-28s %10s %10s | %10s %10s\n", "p (#nodes)", "24576", "24576", "82944", "82944")
+	fmt.Printf("%-28s %10s %10s | %10s %10s\n", "", "paper", "model", "paper", "model")
+	row := func(name string, f func(perfmodel.TableIColumn) float64) {
+		fmt.Printf("%-28s %10.2f %10.2f | %10.2f %10.2f\n",
+			name, f(paper24), f(model24), f(paper82), f(model82))
+	}
+	row("PM (sec/step)", perfmodel.TableIColumn.PMTotal)
+	row("  density assignment", func(c perfmodel.TableIColumn) float64 { return c.PMDensity })
+	row("  communication", func(c perfmodel.TableIColumn) float64 { return c.PMComm })
+	row("  FFT", func(c perfmodel.TableIColumn) float64 { return c.PMFFT })
+	row("  acceleration on mesh", func(c perfmodel.TableIColumn) float64 { return c.PMMeshAccel })
+	row("  force interpolation", func(c perfmodel.TableIColumn) float64 { return c.PMInterp })
+	row("PP (sec/step)", perfmodel.TableIColumn.PPTotal)
+	row("  local tree", func(c perfmodel.TableIColumn) float64 { return c.PPLocalTree })
+	row("  communication", func(c perfmodel.TableIColumn) float64 { return c.PPComm })
+	row("  tree construction", func(c perfmodel.TableIColumn) float64 { return c.PPTreeConstr })
+	row("  tree traversal", func(c perfmodel.TableIColumn) float64 { return c.PPTraverse })
+	row("  force calculation", func(c perfmodel.TableIColumn) float64 { return c.PPForce })
+	row("Domain Decomposition", perfmodel.TableIColumn.DDTotal)
+	row("  position update", func(c perfmodel.TableIColumn) float64 { return c.DDPosUpdate })
+	row("  sampling method", func(c perfmodel.TableIColumn) float64 { return c.DDSampling })
+	row("  particle exchange", func(c perfmodel.TableIColumn) float64 { return c.DDExchange })
+	row("Total (sec/step)", perfmodel.TableIColumn.Total)
+	fmt.Println()
+	fmt.Printf("%-28s %10.2f %10.2f | %10.2f %10.2f\n", "measured performance (Pflops)",
+		1.53, model24.Pflops(), 4.45, model82.Pflops())
+	fmt.Printf("%-28s %9.1f%% %9.1f%% | %9.1f%% %9.1f%%\n", "efficiency",
+		48.7, 100*model24.Efficiency(m), 42.0, 100*model82.Efficiency(m))
+
+	if !*doRun {
+		fmt.Println("\n(use -run for a scaled-down measured breakdown on this machine)")
+		return
+	}
+	scaledRun(*np, *ranks, *steps)
+}
+
+// scaledRun executes the real distributed code at laptop scale and prints
+// the measured phase breakdown in Table I's shape.
+func scaledRun(np, ranks, steps int) {
+	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps\n", np, ranks, steps)
+	rng := rand.New(rand.NewSource(1))
+	n := np * np * np
+	parts := make([]sim.Particle, n)
+	for i := range parts {
+		parts[i] = sim.Particle{
+			X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64(),
+			M: 1.0 / float64(n), ID: int64(i),
+		}
+	}
+	grid := [3]int{2, 2, 2}
+	if ranks == 4 {
+		grid = [3]int{2, 2, 1}
+	} else if ranks == 2 {
+		grid = [3]int{2, 1, 1}
+	} else if ranks != 8 {
+		log.Fatalf("supported rank counts: 2, 4, 8 (got %d)", ranks)
+	}
+	cfg := sim.Config{
+		L: 1, G: 1, NMesh: 32, Theta: 0.5, Ni: 100, Eps2: 1e-8, FastKernel: true,
+		Grid: grid, DT: 0.01,
+	}
+	var timers sim.Timers
+	var inter float64
+	var ni, nj float64
+	err := mpi.Run(ranks, func(c *mpi.Comm) {
+		var mine []sim.Particle
+		for i := range parts {
+			if i%ranks == c.Rank() {
+				mine = append(mine, parts[i])
+			}
+		}
+		s, err := sim.New(c, cfg, mine)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < steps; i++ {
+			if err := s.Step(); err != nil {
+				panic(err)
+			}
+		}
+		inter = s.InteractionsPerStep()
+		ni, nj = s.MeanNiNj()
+		c.Barrier()
+		if c.Rank() == 0 {
+			timers = s.Timers
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	per := 1.0 / float64(steps)
+	fmt.Printf("%-28s %10s\n", "(rank 0, sec/step)", "measured")
+	fmt.Printf("%-28s %10.4f\n", "PM density assignment", timers.PM.Density.Seconds()*per)
+	fmt.Printf("%-28s %10.4f\n", "PM communication", timers.PM.Comm.Seconds()*per)
+	fmt.Printf("%-28s %10.4f\n", "PM FFT", timers.PM.FFT.Seconds()*per)
+	fmt.Printf("%-28s %10.4f\n", "PM acceleration on mesh", timers.PM.MeshForce.Seconds()*per)
+	fmt.Printf("%-28s %10.4f\n", "PM force interpolation", timers.PM.Interp.Seconds()*per)
+	fmt.Printf("%-28s %10.4f\n", "PP local tree", timers.PPLocalTree*per)
+	fmt.Printf("%-28s %10.4f\n", "PP communication", timers.PPComm*per)
+	fmt.Printf("%-28s %10.4f\n", "PP tree construction", timers.PPTreeConstr*per)
+	fmt.Printf("%-28s %10.4f\n", "PP tree traversal", timers.PPTraverse*per)
+	fmt.Printf("%-28s %10.4f\n", "PP force calculation", timers.PPForce*per)
+	fmt.Printf("%-28s %10.4f\n", "DD position update", timers.DDPosUpdate*per)
+	fmt.Printf("%-28s %10.4f\n", "DD sampling method", timers.DDSampling*per)
+	fmt.Printf("%-28s %10.4f\n", "DD particle exchange", timers.DDExchange*per)
+	fmt.Printf("\n⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f, interactions/step = %.3g\n", ni, nj, inter)
+}

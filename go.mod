@@ -1,0 +1,3 @@
+module greem
+
+go 1.22

@@ -1,0 +1,167 @@
+// Package greem is a pure-Go reproduction of GreeM, the massively parallel
+// TreePM cosmological N-body code of Ishiyama, Nitadori & Makino (SC12,
+// "4.45 Pflops Astrophysical N-Body Simulation on K computer — The
+// Gravitational Trillion-Body Problem").
+//
+// The package re-exports the library's public surface:
+//
+//   - the serial TreePM force solver (tree short-range with the S2 cutoff of
+//     eq. 3 + particle-mesh long-range) and its P3M baseline;
+//   - the distributed simulation driver, which runs MPI-style ranks as
+//     goroutines: sampling-based 3-D multisection domain decomposition, ghost
+//     exchange, parallel PM with the naive or the relay-mesh conversion, and
+//     the multiple-stepsize KDK integrator;
+//   - cosmological initial conditions (Gaussian fields with the neutralino
+//     free-streaming cutoff, Zel'dovich displacements) and background
+//     evolution;
+//   - analysis tools (power spectra, friends-of-friends halos, projections)
+//     and snapshot I/O;
+//   - the K computer performance model that regenerates the paper's Table I
+//     and §II-B communication timings from operation and message counts.
+//
+// See the examples directory for runnable entry points and DESIGN.md for the
+// system inventory.
+package greem
+
+import (
+	"greem/internal/analysis"
+	"greem/internal/cosmo"
+	"greem/internal/domain"
+	"greem/internal/ewald"
+	"greem/internal/ic"
+	"greem/internal/mpi"
+	"greem/internal/perfmodel"
+	"greem/internal/sim"
+	"greem/internal/snapshot"
+	"greem/internal/tree"
+	"greem/internal/treepm"
+)
+
+// --- Serial TreePM ---
+
+// TreePMConfig parameterizes the serial TreePM solver; see treepm.Config.
+type TreePMConfig = treepm.Config
+
+// TreePM is the serial TreePM force solver.
+type TreePM = treepm.Solver
+
+// NewTreePM creates a serial TreePM solver. Zero fields select the paper's
+// defaults (rcut = 3·L/NMesh, θ = 0.5, ⟨Ni⟩ = 100).
+func NewTreePM(cfg TreePMConfig) (*TreePM, error) { return treepm.New(cfg) }
+
+// TreeStats aggregates interaction statistics (⟨Ni⟩, ⟨Nj⟩, interaction
+// counts) from tree traversals.
+type TreeStats = tree.Stats
+
+// --- Distributed simulation ---
+
+// Comm is a communicator handle for one rank of an in-process world.
+type Comm = mpi.Comm
+
+// Run executes body on n ranks (goroutines) sharing one world, the
+// stand-in for launching n MPI processes.
+func Run(n int, body func(*Comm)) error { return mpi.Run(n, body) }
+
+// Particle is the migratable per-particle state of the simulation.
+type Particle = sim.Particle
+
+// SimConfig parameterizes a distributed simulation; see sim.Config.
+type SimConfig = sim.Config
+
+// Simulation is one rank's handle on a distributed TreePM N-body run.
+type Simulation = sim.Sim
+
+// NewSimulation creates the per-rank simulation state; collective over c.
+func NewSimulation(c *Comm, cfg SimConfig, parts []Particle) (*Simulation, error) {
+	return sim.New(c, cfg, parts)
+}
+
+// Geometry is a 3-D multisection domain decomposition.
+type Geometry = domain.Geometry
+
+// --- Cosmology and initial conditions ---
+
+// Cosmology is an FLRW background model (it implements sim.TimeStepper, so
+// it can be passed as SimConfig.Stepper for comoving integration).
+type Cosmology = cosmo.Model
+
+// NewCosmology creates a background model with the given density parameters
+// and Hubble rate (in simulation units; see HubbleForBox).
+func NewCosmology(omegaM, omegaL, h0 float64) (*Cosmology, error) {
+	return cosmo.New(omegaM, omegaL, h0)
+}
+
+// HubbleForBox returns the H0 consistent with a box of side l containing
+// total mass totalM at matter density parameter omegaM.
+func HubbleForBox(g, totalM, l, omegaM float64) float64 {
+	return cosmo.HubbleForBox(g, totalM, l, omegaM)
+}
+
+// ScaleFactor converts redshift to scale factor; Redshift inverts it.
+func ScaleFactor(z float64) float64 { return cosmo.ScaleFactor(z) }
+
+// Redshift converts a scale factor to redshift.
+func Redshift(a float64) float64 { return cosmo.Redshift(a) }
+
+// ICConfig parameterizes Zel'dovich initial conditions; see ic.Config.
+type ICConfig = ic.Config
+
+// PowerSpectrum is a linear matter power spectrum.
+type PowerSpectrum = ic.PowerSpectrum
+
+// NeutralinoCutoff is the paper's §III-A spectrum: a power law with the
+// Gaussian free-streaming cutoff of a 100 GeV neutralino.
+type NeutralinoCutoff = ic.NeutralinoCutoff
+
+// GenerateIC lays particles on a lattice and applies Zel'dovich
+// displacements drawn from the configured power spectrum.
+func GenerateIC(cfg ICConfig) ([]Particle, error) { return ic.Generate(cfg) }
+
+// --- Analysis and I/O ---
+
+// MeasurePowerSpectrum bins the matter power spectrum of a particle set.
+func MeasurePowerSpectrum(x, y, z, m []float64, nmesh int, l float64, nbins int) (ks, ps []float64, counts []int, err error) {
+	return analysis.PowerSpectrum(x, y, z, m, nmesh, l, nbins)
+}
+
+// FindHalos runs the periodic friends-of-friends group finder.
+func FindHalos(x, y, z []float64, l, linkingLength float64, minSize int) [][]int {
+	return analysis.FoF(x, y, z, l, linkingLength, minSize)
+}
+
+// Halo summarizes one bound structure (mass, periodic center, radii).
+type Halo = analysis.Halo
+
+// HaloCatalog converts FoF groups into halo summaries, most massive first.
+func HaloCatalog(x, y, z, m []float64, l float64, groups [][]int) []Halo {
+	return analysis.Catalog(x, y, z, m, l, groups)
+}
+
+// HaloMassFunction returns the cumulative mass function N(>M).
+func HaloMassFunction(halos []Halo, nbins int) (mass []float64, count []int) {
+	return analysis.MassFunction(halos, nbins)
+}
+
+// SaveSnapshot writes a binary snapshot file.
+func SaveSnapshot(path string, l, time, g float64, step uint64, parts []Particle) error {
+	return snapshot.Save(path, snapshot.Header{L: l, Time: time, G: g, StepIdx: step}, parts)
+}
+
+// LoadSnapshot reads a binary snapshot file, returning box side, time and
+// the particles.
+func LoadSnapshot(path string) (l, time float64, parts []Particle, err error) {
+	hdr, parts, err := snapshot.Load(path)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return hdr.L, hdr.Time, parts, nil
+}
+
+// --- Reference solvers and performance model ---
+
+// NewEwald creates the exact periodic force reference (O(N²)).
+func NewEwald(l, g float64) *ewald.Solver { return ewald.New(l, g) }
+
+// KComputer returns the calibrated K computer machine model used to
+// regenerate the paper's Table I and communication timings.
+func KComputer() perfmodel.Machine { return perfmodel.KComputer() }

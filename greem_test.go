@@ -1,0 +1,137 @@
+package greem
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole facade the way the README does:
+// generate initial conditions, run a short distributed cosmological
+// simulation, snapshot it, reload it, and analyze it.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const l, g = 1.0, 1.0
+	h0 := HubbleForBox(g, 1.0, l, 1.0)
+	model, err := NewCosmology(1, 0, h0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aStart := ScaleFactor(400)
+	parts, err := GenerateIC(ICConfig{
+		NP: 8, NGrid: 16, L: l,
+		PS:    NeutralinoCutoff{N: 0, Amp: 1e-5, KCut: 2 * math.Pi * 2},
+		Seed:  1,
+		Model: model, AInit: aStart, TotalMass: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 512 {
+		t.Fatalf("IC particles = %d", len(parts))
+	}
+
+	cfg := SimConfig{
+		L: l, G: g, NMesh: 16, Theta: 0.5, Ni: 32, Eps2: 1e-8,
+		Grid: [3]int{2, 1, 1}, DT: aStart / 2, Stepper: model, Time: aStart,
+	}
+	snapPath := filepath.Join(t.TempDir(), "snap.bin")
+	err = Run(2, func(c *Comm) {
+		var mine []Particle
+		for i, p := range parts {
+			if i%2 == c.Rank() {
+				mine = append(mine, p)
+			}
+		}
+		s, err := NewSimulation(c, cfg, mine)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 2; i++ {
+			if err := s.Step(); err != nil {
+				panic(err)
+			}
+		}
+		all := s.GatherAll(0)
+		if c.Rank() == 0 {
+			if err := SaveSnapshot(snapPath, l, s.Time(), g, uint64(s.StepIndex()), all); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bl, tm, loaded, err := LoadSnapshot(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl != l || len(loaded) != 512 || tm <= aStart {
+		t.Fatalf("snapshot: l=%v n=%d t=%v", bl, len(loaded), tm)
+	}
+
+	x := make([]float64, len(loaded))
+	y := make([]float64, len(loaded))
+	z := make([]float64, len(loaded))
+	m := make([]float64, len(loaded))
+	for i, p := range loaded {
+		x[i], y[i], z[i], m[i] = p.X, p.Y, p.Z, p.M
+	}
+	ks, ps, _, err := MeasurePowerSpectrum(x, y, z, m, 16, l, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) == 0 || len(ps) != len(ks) {
+		t.Fatal("power spectrum empty")
+	}
+	groups := FindHalos(x, y, z, l, 0.03, 4)
+	halos := HaloCatalog(x, y, z, m, l, groups)
+	mf, counts := HaloMassFunction(halos, 4)
+	if len(halos) > 0 && (len(mf) != 4 || counts[0] != len(halos)) {
+		t.Errorf("mass function inconsistent: %v %v for %d halos", mf, counts, len(halos))
+	}
+}
+
+// TestFacadeTreePMAgainstEwald is the README quickstart as a test.
+func TestFacadeTreePMAgainstEwald(t *testing.T) {
+	solver, err := NewTreePM(TreePMConfig{L: 1, G: 1, NMesh: 16, Theta: 0.3, Ni: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, 0.7, 0.4, 0.9}
+	y := []float64{0.1, 0.5, 0.8, 0.3}
+	z := []float64{0.6, 0.2, 0.9, 0.5}
+	m := []float64{1, 1, 1, 1}
+	n := len(x)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	if _, err := solver.Accel(x, y, z, m, ax, ay, az); err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]float64, n)
+	ry := make([]float64, n)
+	rz := make([]float64, n)
+	NewEwald(1, 1).Accel(x, y, z, m, rx, ry, rz)
+	var e2, r2 float64
+	for i := 0; i < n; i++ {
+		dx, dy, dz := ax[i]-rx[i], ay[i]-ry[i], az[i]-rz[i]
+		e2 += dx*dx + dy*dy + dz*dz
+		r2 += rx[i]*rx[i] + ry[i]*ry[i] + rz[i]*rz[i]
+	}
+	if rms := math.Sqrt(e2 / r2); rms > 0.1 {
+		t.Errorf("facade TreePM RMS vs Ewald: %v", rms)
+	}
+}
+
+// TestKComputerModelHeadline pins the headline machine figures through the
+// facade.
+func TestKComputerModelHeadline(t *testing.T) {
+	m := KComputer()
+	if f := m.KernelCoreFlops(); math.Abs(f-11.65e9) > 0.02e9 {
+		t.Errorf("kernel rate %v", f)
+	}
+	if p := 82944 * m.PeakNodeFlops(); math.Abs(p-10.6e15) > 0.2e15 {
+		t.Errorf("system peak %v", p)
+	}
+}

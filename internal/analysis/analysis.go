@@ -1,0 +1,242 @@
+// Package analysis provides the measurement tools used on simulation
+// output: the matter power spectrum (to validate initial conditions and
+// track growth), a friends-of-friends halo finder (the paper studies the
+// smallest dark-matter structures, resolved by ≥10⁵ particles each), and
+// projected-density images (Fig. 6).
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"greem/internal/fft"
+	"greem/internal/mesh"
+)
+
+// PowerSpectrum measures the binned matter power spectrum of the particle
+// distribution: TSC assignment onto an n³ mesh, FFT, TSC window
+// deconvolution, |δ̂|² binned in spherical k shells. Returned are the mean k
+// per bin, P(k) = V·⟨|δ̂|²⟩/N⁶, and the mode count per bin (empty bins are
+// dropped). Shot noise V/Np is not subtracted; subtract it if the particle
+// count is small.
+func PowerSpectrum(x, y, z, m []float64, n int, l float64, nbins int) (ks, ps []float64, counts []int, err error) {
+	pm, err := mesh.New(n, l, 1, 1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pm.Clear()
+	pm.AssignTSC(x, y, z, m)
+	var totM float64
+	for _, v := range m {
+		totM += v
+	}
+	v := l * l * l
+	rhoBar := totM / v
+	size := n * n * n
+	work := make([]complex128, size)
+	for i, r := range pm.Rho {
+		work[i] = complex(r/rhoBar-1, 0)
+	}
+	plan, err := fft.NewPlan3(n, n, n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan.Forward(work)
+
+	kNyq := math.Pi * float64(n) / l
+	kMin := 2 * math.Pi / l
+	binOf := func(k float64) int {
+		if k < kMin || k >= kNyq {
+			return -1
+		}
+		return int(float64(nbins) * (k - kMin) / (kNyq - kMin))
+	}
+	sumK := make([]float64, nbins)
+	sumP := make([]float64, nbins)
+	cnt := make([]int, nbins)
+	twoPiL := 2 * math.Pi / l
+	n3 := float64(size)
+	for jx := 0; jx < n; jx++ {
+		nx := foldMode(jx, n)
+		for jy := 0; jy < n; jy++ {
+			ny := foldMode(jy, n)
+			base := (jx*n + jy) * n
+			for jz := 0; jz < n; jz++ {
+				nz := foldMode(jz, n)
+				if nx == 0 && ny == 0 && nz == 0 {
+					continue
+				}
+				k := twoPiL * math.Sqrt(float64(nx*nx+ny*ny+nz*nz))
+				b := binOf(k)
+				if b < 0 || b >= nbins {
+					continue
+				}
+				// Deconvolve the TSC assignment window once.
+				w := tscW(nx, n) * tscW(ny, n) * tscW(nz, n)
+				d := work[base+jz]
+				p := (real(d)*real(d) + imag(d)*imag(d)) / (w * w)
+				sumK[b] += k
+				sumP[b] += p / (n3 * n3) * v
+				cnt[b]++
+			}
+		}
+	}
+	for b := 0; b < nbins; b++ {
+		if cnt[b] == 0 {
+			continue
+		}
+		ks = append(ks, sumK[b]/float64(cnt[b]))
+		ps = append(ps, sumP[b]/float64(cnt[b]))
+		counts = append(counts, cnt[b])
+	}
+	return ks, ps, counts, nil
+}
+
+func foldMode(j, n int) int {
+	if j > n/2 {
+		return j - n
+	}
+	if j == n/2 {
+		return -n / 2
+	}
+	return j
+}
+
+func tscW(m, n int) float64 {
+	if m == 0 {
+		return 1
+	}
+	x := math.Pi * float64(m) / float64(n)
+	s := math.Sin(x) / x
+	return s * s * s
+}
+
+// ProjectXY accumulates particle mass into an n×n surface-density image over
+// the (x, y) plane (NGP binning), as in the paper's Fig. 6 snapshots.
+func ProjectXY(x, y, m []float64, n int, l float64) [][]float64 {
+	img := make([][]float64, n)
+	for i := range img {
+		img[i] = make([]float64, n)
+	}
+	for p := range x {
+		i := int(x[p] / l * float64(n))
+		j := int(y[p] / l * float64(n))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= n {
+			j = n - 1
+		}
+		img[i][j] += m[p]
+	}
+	return img
+}
+
+// WritePGM renders an image (arbitrary non-negative values) as an 8-bit PGM
+// with logarithmic scaling, the standard way to display projected dark
+// matter density.
+func WritePGM(w io.Writer, img [][]float64) error {
+	n := len(img)
+	if n == 0 {
+		return fmt.Errorf("analysis: empty image")
+	}
+	maxV := 0.0
+	minPos := math.Inf(1)
+	for _, row := range img {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+			if v > 0 && v < minPos {
+				minPos = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV, minPos = 1, 0.1
+	}
+	lo := math.Log10(minPos)
+	hi := math.Log10(maxV)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", len(img[0]), n); err != nil {
+		return err
+	}
+	for _, row := range img {
+		for j, v := range row {
+			g := 0
+			if v > 0 {
+				g = int(255 * (math.Log10(v) - lo) / (hi - lo))
+				if g < 0 {
+					g = 0
+				}
+				if g > 255 {
+					g = 255
+				}
+			}
+			sep := " "
+			if j == len(row)-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(w, "%d%s", g, sep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CorrelationFunction measures the two-point correlation function ξ(r) by
+// pair counting against the analytic random expectation: in each radial bin,
+// ξ = DD/RR_expected − 1 with RR_expected = N(N−1)/2 · 4πr²Δr/V (periodic
+// minimum-image distances; r must stay below L/2). The complementary
+// statistic to PowerSpectrum — ξ(r) is its Fourier transform.
+func CorrelationFunction(x, y, z []float64, l float64, rmax float64, nbins int) (rs, xi []float64) {
+	n := len(x)
+	if n < 2 || nbins < 1 || rmax <= 0 {
+		return nil, nil
+	}
+	counts := make([]float64, nbins)
+	minImg := func(d float64) float64 {
+		d -= l * math.Round(d/l)
+		return d
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := minImg(x[i] - x[j])
+			dy := minImg(y[i] - y[j])
+			dz := minImg(z[i] - z[j])
+			r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if r >= rmax {
+				continue
+			}
+			b := int(float64(nbins) * r / rmax)
+			if b < nbins {
+				counts[b]++
+			}
+		}
+	}
+	v := l * l * l
+	npairs := float64(n) * float64(n-1) / 2
+	for b := 0; b < nbins; b++ {
+		r0 := rmax * float64(b) / float64(nbins)
+		r1 := rmax * float64(b+1) / float64(nbins)
+		shell := 4 * math.Pi / 3 * (r1*r1*r1 - r0*r0*r0)
+		expected := npairs * shell / v
+		rs = append(rs, (r0+r1)/2)
+		if expected > 0 {
+			xi = append(xi, counts[b]/expected-1)
+		} else {
+			xi = append(xi, 0)
+		}
+	}
+	return rs, xi
+}

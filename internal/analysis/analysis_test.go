@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPowerSpectrumSingleMode(t *testing.T) {
+	// Particles sampling δ(x) = ε·cos(k₁·x) must show power concentrated in
+	// the lowest-k bin.
+	n := 32
+	l := 1.0
+	np := 32
+	eps := 0.2
+	var x, y, z, m []float64
+	rng := rand.New(rand.NewSource(1))
+	// Rejection-sample the modulated density.
+	for len(x) < np*np*np {
+		px, py, pz := rng.Float64(), rng.Float64(), rng.Float64()
+		if rng.Float64() < (1+eps*math.Cos(2*math.Pi*px))/(1+eps) {
+			x = append(x, px)
+			y = append(y, py)
+			z = append(z, pz)
+			m = append(m, 1)
+		}
+	}
+	ks, ps, _, err := PowerSpectrum(x, y, z, m, n, l, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) < 3 {
+		t.Fatalf("too few bins")
+	}
+	if ps[0] <= ps[1] || ps[0] <= ps[len(ps)-1] {
+		t.Errorf("power not concentrated at low k: %v", ps[:3])
+	}
+}
+
+func TestPowerSpectrumShotNoiseLevel(t *testing.T) {
+	// A Poisson (unclustered) distribution has P(k) ≈ V/Np at all k.
+	n := 32
+	l := 1.0
+	np := 20000
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, np)
+	y := make([]float64, np)
+	z := make([]float64, np)
+	m := make([]float64, np)
+	for i := range x {
+		x[i], y[i], z[i], m[i] = rng.Float64(), rng.Float64(), rng.Float64(), 1
+	}
+	ks, ps, counts, err := PowerSpectrum(x, y, z, m, n, l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shot := 1.0 / float64(np) // V/Np with V = 1
+	for b := range ks {
+		if counts[b] < 50 {
+			continue
+		}
+		if ps[b] < shot/2 || ps[b] > shot*2 {
+			t.Errorf("bin k=%.1f: P=%.3e, shot noise %.3e", ks[b], ps[b], shot)
+		}
+	}
+}
+
+func TestFoFTwoClumps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x, y, z []float64
+	add := func(cx, cy, cz float64, n int, scale float64) {
+		for i := 0; i < n; i++ {
+			x = append(x, math.Mod(cx+scale*rng.NormFloat64()+1, 1))
+			y = append(y, math.Mod(cy+scale*rng.NormFloat64()+1, 1))
+			z = append(z, math.Mod(cz+scale*rng.NormFloat64()+1, 1))
+		}
+	}
+	add(0.2, 0.2, 0.2, 100, 0.004)
+	add(0.7, 0.7, 0.7, 60, 0.004)
+	// Sparse background unlikely to link.
+	for i := 0; i < 30; i++ {
+		x = append(x, rng.Float64())
+		y = append(y, rng.Float64())
+		z = append(z, rng.Float64())
+	}
+	groups := FoF(x, y, z, 1.0, 0.02, 10)
+	if len(groups) != 2 {
+		t.Fatalf("found %d groups, want 2", len(groups))
+	}
+	if len(groups[0]) < 90 || len(groups[1]) < 50 {
+		t.Errorf("group sizes %d, %d", len(groups[0]), len(groups[1]))
+	}
+	if len(groups[0]) < len(groups[1]) {
+		t.Error("groups not sorted by size")
+	}
+}
+
+func TestFoFPeriodicLinking(t *testing.T) {
+	// A clump straddling the box corner must come out as one group.
+	rng := rand.New(rand.NewSource(4))
+	var x, y, z []float64
+	for i := 0; i < 80; i++ {
+		x = append(x, math.Mod(0.003*rng.NormFloat64()+1, 1))
+		y = append(y, math.Mod(0.003*rng.NormFloat64()+1, 1))
+		z = append(z, math.Mod(0.003*rng.NormFloat64()+1, 1))
+	}
+	groups := FoF(x, y, z, 1.0, 0.02, 10)
+	if len(groups) != 1 {
+		t.Fatalf("corner clump split into %d groups", len(groups))
+	}
+	if len(groups[0]) != 80 {
+		t.Errorf("group has %d members, want 80", len(groups[0]))
+	}
+}
+
+func TestFoFChainLinking(t *testing.T) {
+	// FoF links transitively: a chain of particles spaced under the linking
+	// length is one group even though its ends are far apart.
+	var x, y, z []float64
+	for i := 0; i < 50; i++ {
+		x = append(x, 0.1+float64(i)*0.008)
+		y = append(y, 0.5)
+		z = append(z, 0.5)
+	}
+	groups := FoF(x, y, z, 1.0, 0.01, 2)
+	if len(groups) != 1 || len(groups[0]) != 50 {
+		t.Errorf("chain not linked: %d groups", len(groups))
+	}
+	// With a shorter linking length the chain disintegrates.
+	groups = FoF(x, y, z, 1.0, 0.005, 2)
+	if len(groups) != 0 {
+		t.Errorf("sub-linking-length chain linked: %d groups", len(groups))
+	}
+}
+
+func TestFoFEmptyAndMinSize(t *testing.T) {
+	if g := FoF(nil, nil, nil, 1, 0.1, 1); g != nil {
+		t.Error("empty input returned groups")
+	}
+	g := FoF([]float64{0.1, 0.11, 0.5}, []float64{0.5, 0.5, 0.5}, []float64{0.5, 0.5, 0.5}, 1, 0.02, 3)
+	if len(g) != 0 {
+		t.Error("minSize not enforced")
+	}
+}
+
+func TestProjectXY(t *testing.T) {
+	img := ProjectXY([]float64{0.1, 0.1, 0.9}, []float64{0.1, 0.1, 0.9}, []float64{1, 2, 5}, 10, 1.0)
+	if img[1][1] != 3 {
+		t.Errorf("cell (1,1) = %v, want 3", img[1][1])
+	}
+	if img[9][9] != 5 {
+		t.Errorf("cell (9,9) = %v, want 5", img[9][9])
+	}
+	var sum float64
+	for _, row := range img {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	if sum != 8 {
+		t.Errorf("mass not conserved: %v", sum)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	img := [][]float64{{0, 1}, {10, 100}}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P2\n2 2\n255\n") {
+		t.Errorf("bad header: %q", out[:20])
+	}
+	fields := strings.Fields(out)
+	if len(fields) != 4+4 {
+		t.Errorf("pixel count wrong: %v", fields)
+	}
+	// Monotone mapping: brighter for larger values, zero stays black.
+	if fields[4] != "0" {
+		t.Errorf("zero pixel = %s", fields[4])
+	}
+	if fields[7] != "255" {
+		t.Errorf("max pixel = %s", fields[7])
+	}
+}
+
+func TestCorrelationFunctionPoisson(t *testing.T) {
+	// An unclustered distribution has ξ(r) ≈ 0 everywhere.
+	rng := rand.New(rand.NewSource(10))
+	n := 3000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i], y[i], z[i] = rng.Float64(), rng.Float64(), rng.Float64()
+	}
+	rs, xi := CorrelationFunction(x, y, z, 1, 0.3, 6)
+	if len(rs) != 6 {
+		t.Fatalf("bins: %d", len(rs))
+	}
+	for b := range rs {
+		if math.Abs(xi[b]) > 0.15 {
+			t.Errorf("Poisson ξ(%.2f) = %v, want ≈ 0", rs[b], xi[b])
+		}
+	}
+}
+
+func TestCorrelationFunctionClustered(t *testing.T) {
+	// Tight pairs boost ξ at small r and leave large scales unchanged.
+	rng := rand.New(rand.NewSource(11))
+	var x, y, z []float64
+	for i := 0; i < 1000; i++ {
+		px, py, pz := rng.Float64(), rng.Float64(), rng.Float64()
+		x = append(x, px, math.Mod(px+0.005*rng.NormFloat64()+1, 1))
+		y = append(y, py, math.Mod(py+0.005*rng.NormFloat64()+1, 1))
+		z = append(z, pz, math.Mod(pz+0.005*rng.NormFloat64()+1, 1))
+	}
+	rs, xi := CorrelationFunction(x, y, z, 1, 0.2, 8)
+	if xi[0] < 5 {
+		t.Errorf("small-scale ξ(%.3f) = %v, expected strong clustering", rs[0], xi[0])
+	}
+	if math.Abs(xi[len(xi)-1]) > 0.3 {
+		t.Errorf("large-scale ξ = %v, want ≈ 0", xi[len(xi)-1])
+	}
+}
+
+func TestCorrelationFunctionDegenerate(t *testing.T) {
+	if rs, xi := CorrelationFunction(nil, nil, nil, 1, 0.2, 4); rs != nil || xi != nil {
+		t.Error("empty input should return nil")
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// FoF runs a periodic friends-of-friends group finder with linking length
+// ll: particles closer than ll (minimum image) belong to the same group.
+// Groups with at least minSize members are returned, largest first, each as
+// a list of particle indices. The standard cosmological linking length is
+// b·(mean interparticle separation) with b ≈ 0.2.
+func FoF(x, y, z []float64, l, ll float64, minSize int) [][]int {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	// Spatial hash with cells ≥ ll so only 27 neighbour cells matter.
+	nc := int(l / ll)
+	if nc < 1 {
+		nc = 1
+	}
+	if nc > 256 {
+		nc = 256
+	}
+	cs := l / float64(nc)
+	cellOf := func(i int) int {
+		cx := int(x[i] / cs)
+		cy := int(y[i] / cs)
+		cz := int(z[i] / cs)
+		if cx >= nc {
+			cx = nc - 1
+		}
+		if cy >= nc {
+			cy = nc - 1
+		}
+		if cz >= nc {
+			cz = nc - 1
+		}
+		return (cx*nc+cy)*nc + cz
+	}
+	cells := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		cells[c] = append(cells[c], i)
+	}
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	ll2 := ll * ll
+	minImg := func(d float64) float64 {
+		d -= l * math.Round(d/l)
+		return d
+	}
+	link := func(i, j int) {
+		dx := minImg(x[i] - x[j])
+		dy := minImg(y[i] - y[j])
+		dz := minImg(z[i] - z[j])
+		if dx*dx+dy*dy+dz*dz <= ll2 {
+			union(i, j)
+		}
+	}
+	for c, members := range cells {
+		cz := c % nc
+		cy := (c / nc) % nc
+		cx := c / (nc * nc)
+		// Within-cell pairs.
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				link(members[a], members[b])
+			}
+		}
+		// Half of the 26 neighbours (avoid double visits).
+		for _, d := range halfNeighbours {
+			nx := (cx + d[0] + nc) % nc
+			ny := (cy + d[1] + nc) % nc
+			nz := (cz + d[2] + nc) % nc
+			nb := (nx*nc+ny)*nc + nz
+			if nb == c {
+				continue // tiny grids alias onto themselves
+			}
+			other, ok := cells[nb]
+			if !ok {
+				continue
+			}
+			for _, i := range members {
+				for _, j := range other {
+					link(i, j)
+				}
+			}
+		}
+	}
+
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		if len(g) >= minSize {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) > len(out[b])
+		}
+		return out[a][0] < out[b][0]
+	})
+	return out
+}
+
+// halfNeighbours is one representative of each neighbour pair (13 of 26).
+var halfNeighbours = [][3]int{
+	{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+	{1, 1, 0}, {1, -1, 0}, {1, 0, 1}, {1, 0, -1},
+	{0, 1, 1}, {0, 1, -1},
+	{1, 1, 1}, {1, 1, -1}, {1, -1, 1}, {1, -1, -1},
+}

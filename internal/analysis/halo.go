@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"greem/internal/vec"
+)
+
+// Halo summarizes one friends-of-friends group: the science object of the
+// paper (the smallest dark-matter structures, whose central densities set
+// the annihilation signal).
+type Halo struct {
+	N      int     // member count
+	Mass   float64 // total mass
+	Center vec.V3  // periodic center of mass
+	R50    float64 // half-mass radius
+	R90    float64 // radius enclosing 90% of the mass
+}
+
+// Catalog converts FoF groups (from FoF) into halo summaries, largest first.
+func Catalog(x, y, z, m []float64, l float64, groups [][]int) []Halo {
+	out := make([]Halo, 0, len(groups))
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		h := Halo{N: len(g)}
+		// Periodic center of mass via the circular mean: map each coordinate
+		// to an angle, average the unit vectors, map back.
+		var sx, cx, sy, cy, sz, cz float64
+		for _, i := range g {
+			h.Mass += m[i]
+			tx := 2 * math.Pi * x[i] / l
+			ty := 2 * math.Pi * y[i] / l
+			tz := 2 * math.Pi * z[i] / l
+			sx += m[i] * math.Sin(tx)
+			cx += m[i] * math.Cos(tx)
+			sy += m[i] * math.Sin(ty)
+			cy += m[i] * math.Cos(ty)
+			sz += m[i] * math.Sin(tz)
+			cz += m[i] * math.Cos(tz)
+		}
+		h.Center = vec.Wrap(vec.V3{
+			X: math.Atan2(sx, cx) / (2 * math.Pi) * l,
+			Y: math.Atan2(sy, cy) / (2 * math.Pi) * l,
+			Z: math.Atan2(sz, cz) / (2 * math.Pi) * l,
+		}, l)
+		// Mass-weighted radial ordering for R50/R90.
+		type rm struct{ r, m float64 }
+		rs := make([]rm, 0, len(g))
+		for _, i := range g {
+			d := vec.MinImage(h.Center, vec.V3{X: x[i], Y: y[i], Z: z[i]}, l).Norm()
+			rs = append(rs, rm{d, m[i]})
+		}
+		sort.Slice(rs, func(a, b int) bool { return rs[a].r < rs[b].r })
+		var acc float64
+		for _, p := range rs {
+			acc += p.m
+			if h.R50 == 0 && acc >= 0.5*h.Mass {
+				h.R50 = p.r
+			}
+			if acc >= 0.9*h.Mass {
+				h.R90 = p.r
+				break
+			}
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Mass > out[b].Mass })
+	return out
+}
+
+// MassFunction returns the cumulative halo mass function N(>M) on
+// logarithmically spaced mass thresholds between the smallest and largest
+// halo mass.
+func MassFunction(halos []Halo, nbins int) (mass []float64, count []int) {
+	if len(halos) == 0 || nbins < 1 {
+		return nil, nil
+	}
+	lo, hi := halos[len(halos)-1].Mass, halos[0].Mass
+	if lo <= 0 || hi <= lo {
+		lo = hi / 10
+	}
+	for b := 0; b < nbins; b++ {
+		mth := lo * math.Pow(hi/lo, float64(b)/float64(nbins))
+		c := 0
+		for _, h := range halos {
+			if h.Mass >= mth {
+				c++
+			}
+		}
+		mass = append(mass, mth)
+		count = append(count, c)
+	}
+	return mass, count
+}
+
+// RadialProfile returns the spherically averaged density profile around a
+// center: nbins shells out to rmax, returning shell mid-radii and densities.
+func RadialProfile(x, y, z, m []float64, l float64, center vec.V3, rmax float64, nbins int) (r, rho []float64) {
+	massIn := make([]float64, nbins)
+	for i := range x {
+		d := vec.MinImage(center, vec.V3{X: x[i], Y: y[i], Z: z[i]}, l).Norm()
+		if d >= rmax {
+			continue
+		}
+		b := int(float64(nbins) * d / rmax)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		massIn[b] += m[i]
+	}
+	for b := 0; b < nbins; b++ {
+		r0 := rmax * float64(b) / float64(nbins)
+		r1 := rmax * float64(b+1) / float64(nbins)
+		vol := 4 * math.Pi / 3 * (r1*r1*r1 - r0*r0*r0)
+		r = append(r, (r0+r1)/2)
+		rho = append(rho, massIn[b]/vol)
+	}
+	return r, rho
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greem/internal/vec"
+)
+
+// makeClump places n particles in a Gaussian ball at c (possibly straddling
+// the periodic boundary).
+func makeClump(rng *rand.Rand, c vec.V3, n int, scale float64) (x, y, z, m []float64) {
+	x = make([]float64, n)
+	y = make([]float64, n)
+	z = make([]float64, n)
+	m = make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := vec.Wrap(vec.V3{
+			X: c.X + scale*rng.NormFloat64(),
+			Y: c.Y + scale*rng.NormFloat64(),
+			Z: c.Z + scale*rng.NormFloat64(),
+		}, 1)
+		x[i], y[i], z[i], m[i] = p.X, p.Y, p.Z, 1
+	}
+	return
+}
+
+func TestCatalogCenterAndRadii(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := vec.V3{X: 0.3, Y: 0.6, Z: 0.4}
+	x, y, z, m := makeClump(rng, c, 500, 0.01)
+	groups := [][]int{indices(500)}
+	halos := Catalog(x, y, z, m, 1, groups)
+	if len(halos) != 1 {
+		t.Fatalf("%d halos", len(halos))
+	}
+	h := halos[0]
+	if h.N != 500 || h.Mass != 500 {
+		t.Errorf("N=%d Mass=%v", h.N, h.Mass)
+	}
+	if vec.MinImage(h.Center, c, 1).Norm() > 0.005 {
+		t.Errorf("center %v, want ~%v", h.Center, c)
+	}
+	// For an isotropic Gaussian ball, R50 ≈ 1.54σ and R50 < R90.
+	if h.R50 < 0.012 || h.R50 > 0.020 {
+		t.Errorf("R50 = %v, want ≈ 1.54σ = 0.0154", h.R50)
+	}
+	if h.R90 <= h.R50 {
+		t.Errorf("R90 (%v) ≤ R50 (%v)", h.R90, h.R50)
+	}
+}
+
+func TestCatalogPeriodicCenter(t *testing.T) {
+	// A clump at the corner: its naive mean would land near the box center;
+	// the circular mean must land at the corner.
+	rng := rand.New(rand.NewSource(2))
+	x, y, z, m := makeClump(rng, vec.V3{}, 300, 0.005)
+	halos := Catalog(x, y, z, m, 1, [][]int{indices(300)})
+	d := vec.MinImage(halos[0].Center, vec.V3{}, 1).Norm()
+	if d > 0.005 {
+		t.Errorf("corner clump center off by %v", d)
+	}
+}
+
+func TestCatalogSortsByMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x1, y1, z1, m1 := makeClump(rng, vec.V3{X: 0.2, Y: 0.2, Z: 0.2}, 100, 0.01)
+	x2, y2, z2, m2 := makeClump(rng, vec.V3{X: 0.8, Y: 0.8, Z: 0.8}, 300, 0.01)
+	x := append(x1, x2...)
+	y := append(y1, y2...)
+	z := append(z1, z2...)
+	m := append(m1, m2...)
+	g1 := indices(100)
+	g2 := make([]int, 300)
+	for i := range g2 {
+		g2[i] = 100 + i
+	}
+	halos := Catalog(x, y, z, m, 1, [][]int{g1, g2})
+	if len(halos) != 2 || halos[0].N != 300 || halos[1].N != 100 {
+		t.Errorf("ordering wrong: %+v", halos)
+	}
+}
+
+func TestMassFunctionMonotone(t *testing.T) {
+	halos := []Halo{{Mass: 100}, {Mass: 50}, {Mass: 20}, {Mass: 10}, {Mass: 10}}
+	mass, count := MassFunction(halos, 8)
+	if len(mass) != 8 {
+		t.Fatalf("bins: %d", len(mass))
+	}
+	if count[0] != 5 {
+		t.Errorf("N(>Mmin) = %d, want 5", count[0])
+	}
+	for b := 1; b < len(count); b++ {
+		if count[b] > count[b-1] {
+			t.Errorf("mass function not monotone at %d", b)
+		}
+		if mass[b] <= mass[b-1] {
+			t.Errorf("thresholds not increasing at %d", b)
+		}
+	}
+	if m, c := MassFunction(nil, 4); m != nil || c != nil {
+		t.Error("empty catalog should return nil")
+	}
+}
+
+func TestRadialProfileUniformBall(t *testing.T) {
+	// Particles uniform inside radius R: the density profile is flat inside
+	// and zero outside.
+	rng := rand.New(rand.NewSource(4))
+	const R = 0.1
+	n := 40000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	m := make([]float64, n)
+	c := vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
+	for i := 0; i < n; i++ {
+		for {
+			dx := (2*rng.Float64() - 1) * R
+			dy := (2*rng.Float64() - 1) * R
+			dz := (2*rng.Float64() - 1) * R
+			if dx*dx+dy*dy+dz*dz <= R*R {
+				x[i], y[i], z[i], m[i] = c.X+dx, c.Y+dy, c.Z+dz, 1
+				break
+			}
+		}
+	}
+	r, rho := RadialProfile(x, y, z, m, 1, c, 2*R, 10)
+	meanRho := float64(n) / (4 * math.Pi / 3 * R * R * R)
+	for b := range r {
+		switch {
+		case r[b] < 0.8*R:
+			if math.Abs(rho[b]-meanRho)/meanRho > 0.1 {
+				t.Errorf("inner shell %d: ρ = %v, want ≈ %v", b, rho[b], meanRho)
+			}
+		case r[b] > 1.2*R:
+			if rho[b] != 0 {
+				t.Errorf("outer shell %d: ρ = %v, want 0", b, rho[b])
+			}
+		}
+	}
+}
+
+func indices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

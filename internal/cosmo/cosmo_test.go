@@ -1,0 +1,127 @@
+package cosmo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEdSAnalytic(t *testing.T) {
+	m := EdS(2.0)
+	// H(a) = H0·a^(−3/2).
+	for _, a := range []float64{0.01, 0.1, 0.5, 1, 2} {
+		want := 2.0 * math.Pow(a, -1.5)
+		if got := m.H(a); math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("H(%v) = %v, want %v", a, got, want)
+		}
+	}
+	// D(a) = a in EdS.
+	for _, a := range []float64{0.01, 0.1, 0.5, 1} {
+		if got := m.GrowthFactor(a); math.Abs(got-a)/a > 1e-3 {
+			t.Errorf("D(%v) = %v, want %v", a, got, a)
+		}
+	}
+	// f = dlnD/dlna = 1 in EdS.
+	for _, a := range []float64{0.1, 0.5, 1} {
+		if got := m.GrowthRate(a); math.Abs(got-1) > 1e-3 {
+			t.Errorf("f(%v) = %v, want 1", a, got)
+		}
+	}
+}
+
+func TestEdSKickDriftAnalytic(t *testing.T) {
+	// EdS: K = ∫ a^(−1/2)/H0 da = 2(√a₁ − √a₀)/H0;
+	//      D = ∫ a^(−3/2)/H0 da = 2(1/√a₀ − 1/√a₁)/H0.
+	h0 := 1.7
+	m := EdS(h0)
+	a0, a1 := 0.2, 0.35
+	wantK := 2 * (math.Sqrt(a1) - math.Sqrt(a0)) / h0
+	wantD := 2 * (1/math.Sqrt(a0) - 1/math.Sqrt(a1)) / h0
+	if got := m.KickFactor(a0, a1-a0); math.Abs(got-wantK)/wantK > 1e-9 {
+		t.Errorf("Kick = %v, want %v", got, wantK)
+	}
+	if got := m.DriftFactor(a0, a1-a0); math.Abs(got-wantD)/wantD > 1e-9 {
+		t.Errorf("Drift = %v, want %v", got, wantD)
+	}
+}
+
+func TestLCDMLimits(t *testing.T) {
+	m := WMAP7(1.0)
+	if m.OmegaM != 0.272 || m.OmegaL != 0.728 {
+		t.Fatalf("WMAP7 params: %+v", m)
+	}
+	if math.Abs(m.OmegaK) > 1e-12 {
+		t.Errorf("WMAP7 should be flat, Ωk = %v", m.OmegaK)
+	}
+	// At high redshift ΛCDM is matter dominated: H ≈ H0·√Ωm·a^(−3/2) and
+	// D(a) ∝ a.
+	a := 1e-3
+	want := math.Sqrt(0.272) * math.Pow(a, -1.5)
+	if got := m.H(a); math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("high-z H = %v, want %v", got, want)
+	}
+	r1 := m.GrowthFactor(2e-3) / m.GrowthFactor(1e-3)
+	if math.Abs(r1-2) > 0.01 {
+		t.Errorf("high-z growth ratio %v, want 2", r1)
+	}
+	// Growth is suppressed relative to EdS by Λ at late times: D(0.5) > 0.5.
+	if d := m.GrowthFactor(0.5); d < 0.5 || d > 0.65 {
+		t.Errorf("D(0.5) = %v, expected in (0.5, 0.65)", d)
+	}
+	// f < 1 today for ΛCDM (≈ Ωm(a)^0.55 ≈ 0.49 at a=1).
+	f := m.GrowthRate(1)
+	if f < 0.4 || f > 0.6 {
+		t.Errorf("f(1) = %v, want ≈ 0.49", f)
+	}
+}
+
+func TestGrowthFactorNormalization(t *testing.T) {
+	m := WMAP7(1)
+	if d := m.GrowthFactor(1); math.Abs(d-1) > 1e-12 {
+		t.Errorf("D(1) = %v", d)
+	}
+}
+
+func TestHubbleForBox(t *testing.T) {
+	// Ωm·ρ_crit must equal the box density.
+	g, totalM, l, om := 1.0, 1.0, 1.0, 0.25
+	h0 := HubbleForBox(g, totalM, l, om)
+	rhoCrit := 3 * h0 * h0 / (8 * math.Pi * g)
+	if math.Abs(om*rhoCrit-1.0) > 1e-12 {
+		t.Errorf("Ωm·ρ_crit = %v, want 1", om*rhoCrit)
+	}
+}
+
+func TestRedshiftConversions(t *testing.T) {
+	if z := Redshift(1); z != 0 {
+		t.Errorf("z(a=1) = %v", z)
+	}
+	if a := ScaleFactor(399); math.Abs(a-1.0/400) > 1e-15 {
+		t.Errorf("a(z=399) = %v", a)
+	}
+	// Paper: integrates from z = 400 to z ≈ 31.
+	if a := ScaleFactor(400); math.Abs(Redshift(a)-400) > 1e-9 {
+		t.Errorf("round trip broken")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0.7, 1); err == nil {
+		t.Error("OmegaM=0 accepted")
+	}
+	if _, err := New(0.3, 0.7, 0); err == nil {
+		t.Error("H0=0 accepted")
+	}
+}
+
+func TestKickDriftPositiveAndOrdered(t *testing.T) {
+	m := WMAP7(1)
+	k := m.KickFactor(0.1, 0.01)
+	d := m.DriftFactor(0.1, 0.01)
+	if k <= 0 || d <= 0 {
+		t.Errorf("factors not positive: %v %v", k, d)
+	}
+	// At a < 1, 1/a³ > 1/a², so drift factor exceeds kick factor.
+	if d <= k {
+		t.Errorf("drift %v should exceed kick %v at a<1", d, k)
+	}
+}

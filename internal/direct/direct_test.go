@@ -1,0 +1,177 @@
+package direct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAccelPlainTwoBody(t *testing.T) {
+	x := []float64{0, 1}
+	y := []float64{0, 0}
+	z := []float64{0, 0}
+	m := []float64{2, 3}
+	ax := make([]float64, 2)
+	ay := make([]float64, 2)
+	az := make([]float64, 2)
+	n := AccelPlain(x, y, z, m, 1, 0, ax, ay, az)
+	if n != 4 {
+		t.Errorf("interactions = %d, want 4", n)
+	}
+	if math.Abs(ax[0]-3) > 1e-13 || math.Abs(ax[1]+2) > 1e-13 {
+		t.Errorf("accels %v, %v; want 3, -2", ax[0], ax[1])
+	}
+	// Momentum: m0·a0 + m1·a1 = 0.
+	if math.Abs(m[0]*ax[0]+m[1]*ax[1]) > 1e-12 {
+		t.Errorf("momentum violated")
+	}
+}
+
+func TestEnergyPlainVirialUnits(t *testing.T) {
+	// Two unit masses at rest, separation 2: E = −G·1·1/2 = −0.5.
+	x := []float64{0, 2}
+	zero := []float64{0, 0}
+	m := []float64{1, 1}
+	kin, pot := EnergyPlain(x, zero, zero, zero, zero, zero, m, 1, 0)
+	if kin != 0 {
+		t.Errorf("kin = %v", kin)
+	}
+	if math.Abs(pot+0.5) > 1e-13 {
+		t.Errorf("pot = %v, want -0.5", pot)
+	}
+}
+
+func TestAccelCutoffPeriodicWrap(t *testing.T) {
+	// Particles at 0.05 and 0.95 in a unit box are 0.1 apart through the
+	// boundary; with rcut = 0.3 they interact across it.
+	l, rcut := 1.0, 0.3
+	x := []float64{0.05, 0.95}
+	y := []float64{0.5, 0.5}
+	z := []float64{0.5, 0.5}
+	m := []float64{1, 1}
+	ax := make([]float64, 2)
+	ay := make([]float64, 2)
+	az := make([]float64, 2)
+	AccelCutoff(x, y, z, m, 1, l, rcut, 0, ax, ay, az)
+	if ax[0] >= 0 {
+		t.Errorf("particle at 0.05 should be pulled in −x (through boundary): ax=%v", ax[0])
+	}
+	if math.Abs(ax[0]+ax[1]) > 1e-12*math.Abs(ax[0]) {
+		t.Errorf("pair antisymmetry violated: %v vs %v", ax[0], ax[1])
+	}
+}
+
+func TestAccelCutoffBeyondRcutZero(t *testing.T) {
+	x := []float64{0.1, 0.6}
+	y := []float64{0.5, 0.5}
+	z := []float64{0.5, 0.5}
+	m := []float64{1, 1}
+	ax := make([]float64, 2)
+	ay := make([]float64, 2)
+	az := make([]float64, 2)
+	AccelCutoff(x, y, z, m, 1, 1.0, 0.2, 0, ax, ay, az) // separation 0.5 > 2·rcut? rcut=0.2 ⇒ zero force
+	for i, v := range ax {
+		if v != 0 || ay[i] != 0 || az[i] != 0 {
+			t.Errorf("force beyond cutoff: particle %d gets (%v,%v,%v)", i, v, ay[i], az[i])
+		}
+	}
+}
+
+func TestAccelCutoffMomentumConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	m := make([]float64, n)
+	for i := range x {
+		x[i], y[i], z[i], m[i] = rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()+0.5
+	}
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	AccelCutoff(x, y, z, m, 1, 1, 0.25, 1e-8, ax, ay, az)
+	var px, py, pz, scale float64
+	for i := range x {
+		px += m[i] * ax[i]
+		py += m[i] * ay[i]
+		pz += m[i] * az[i]
+		scale += m[i] * (math.Abs(ax[i]) + math.Abs(ay[i]) + math.Abs(az[i]))
+	}
+	if scale == 0 {
+		t.Fatal("no interactions")
+	}
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-11*scale {
+		t.Errorf("net momentum (%v,%v,%v) scale %v", px, py, pz, scale)
+	}
+}
+
+func TestAccelCutoffCellsMatchesAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	m := make([]float64, n)
+	for i := range x {
+		x[i], y[i], z[i], m[i] = rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()+0.5
+	}
+	l, rcut, eps2 := 1.0, 0.15, 1e-9
+	a1 := make([]float64, n)
+	b1 := make([]float64, n)
+	c1 := make([]float64, n)
+	a2 := make([]float64, n)
+	b2 := make([]float64, n)
+	c2 := make([]float64, n)
+	AccelCutoff(x, y, z, m, 1, l, rcut, eps2, a1, b1, c1)
+	pairs := AccelCutoffCells(x, y, z, m, 1, l, rcut, eps2, a2, b2, c2)
+	if pairs == 0 || pairs >= uint64(n)*uint64(n) {
+		t.Errorf("cell pair count implausible: %d", pairs)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(a1[i]-a2[i])+math.Abs(b1[i]-b2[i])+math.Abs(c1[i]-c2[i]) > 1e-10*(1+math.Abs(a1[i])) {
+			t.Fatalf("cell-based P3M differs at %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestAccelCutoffCellsClusteringBlowup(t *testing.T) {
+	// The paper's motivation for TreePM: P3M's short-range pair count
+	// explodes when particles cluster.
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	mkUniform := func() ([]float64, []float64, []float64) {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		for i := range x {
+			x[i], y[i], z[i] = rng.Float64(), rng.Float64(), rng.Float64()
+		}
+		return x, y, z
+	}
+	mkClustered := func() ([]float64, []float64, []float64) {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		for i := range x {
+			x[i] = math.Mod(0.5+0.01*rng.NormFloat64()+1, 1)
+			y[i] = math.Mod(0.5+0.01*rng.NormFloat64()+1, 1)
+			z[i] = math.Mod(0.5+0.01*rng.NormFloat64()+1, 1)
+		}
+		return x, y, z
+	}
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = 1
+	}
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	ux, uy, uz := mkUniform()
+	cx, cy, cz := mkClustered()
+	pu := AccelCutoffCells(ux, uy, uz, m, 1, 1, 0.1, 1e-9, ax, ay, az)
+	pc := AccelCutoffCells(cx, cy, cz, m, 1, 1, 0.1, 1e-9, ax, ay, az)
+	if pc < pu*10 {
+		t.Errorf("clustered pair count %d should dwarf uniform %d", pc, pu)
+	}
+}

@@ -1,0 +1,286 @@
+// Package domain implements the 3-D multi-section domain decomposition
+// (Makino 2004) with the sampling method (Blackston & Suel 1997) and the
+// cost-proportional load balancing of the paper (§II, Fig. 3):
+//
+//   - the box is cut into nx slabs in x, each slab independently into ny
+//     bars in y, each bar independently into nz boxes in z, so every domain
+//     is rectangular but boundaries adapt to the mass distribution;
+//   - boundaries are placed so every domain holds the same number of
+//     *sampled* particles, and each process's sampling rate is proportional
+//     to its measured force-calculation time, which equalizes cost rather
+//     than particle count;
+//   - boundaries are smoothed with a linear weighted moving average over the
+//     last five steps to suppress sampling-noise jumps.
+package domain
+
+import (
+	"fmt"
+	"sort"
+
+	"greem/internal/vec"
+)
+
+// Geometry is a 3-D multisection decomposition of the periodic cube [0,L)³
+// into Nx×Ny×Nz rectangular domains. BX has Nx+1 planes; BY[i] are the Ny+1
+// y-planes inside x-slab i; BZ[i][j] are the Nz+1 z-planes inside bar (i,j).
+type Geometry struct {
+	Nx, Ny, Nz int
+	L          float64
+	BX         []float64
+	BY         [][]float64
+	BZ         [][][]float64
+}
+
+// NumDomains returns Nx·Ny·Nz.
+func (g *Geometry) NumDomains() int { return g.Nx * g.Ny * g.Nz }
+
+// RankOf maps a cell index triple to a rank.
+func (g *Geometry) RankOf(i, j, k int) int { return (i*g.Ny+j)*g.Nz + k }
+
+// Cell maps a rank to its cell index triple.
+func (g *Geometry) Cell(rank int) (i, j, k int) {
+	k = rank % g.Nz
+	j = (rank / g.Nz) % g.Ny
+	i = rank / (g.Ny * g.Nz)
+	return
+}
+
+// Bounds returns the rectangular extent of a domain.
+func (g *Geometry) Bounds(rank int) (lo, hi vec.V3) {
+	i, j, k := g.Cell(rank)
+	lo = vec.V3{X: g.BX[i], Y: g.BY[i][j], Z: g.BZ[i][j][k]}
+	hi = vec.V3{X: g.BX[i+1], Y: g.BY[i][j+1], Z: g.BZ[i][j][k+1]}
+	return
+}
+
+// Find returns the rank of the domain containing point p (components must be
+// in [0, L)).
+func (g *Geometry) Find(p vec.V3) int {
+	i := locate(g.BX, p.X)
+	j := locate(g.BY[i], p.Y)
+	k := locate(g.BZ[i][j], p.Z)
+	return g.RankOf(i, j, k)
+}
+
+// locate returns the interval index of x within ascending boundaries b
+// (len ≥ 2), clamped to [0, len(b)-2].
+func locate(b []float64, x float64) int {
+	// sort.SearchFloat64s returns the first i with b[i] >= x.
+	i := sort.SearchFloat64s(b, x)
+	if i > 0 && (i >= len(b) || b[i] != x) {
+		i--
+	}
+	if i > len(b)-2 {
+		i = len(b) - 2
+	}
+	return i
+}
+
+// Uniform returns the static equal-volume decomposition (the baseline whose
+// load imbalance motivates the sampling method).
+func Uniform(nx, ny, nz int, l float64) *Geometry {
+	g := &Geometry{Nx: nx, Ny: ny, Nz: nz, L: l}
+	g.BX = linspace(0, l, nx+1)
+	g.BY = make([][]float64, nx)
+	g.BZ = make([][][]float64, nx)
+	for i := 0; i < nx; i++ {
+		g.BY[i] = linspace(0, l, ny+1)
+		g.BZ[i] = make([][]float64, ny)
+		for j := 0; j < ny; j++ {
+			g.BZ[i][j] = linspace(0, l, nz+1)
+		}
+	}
+	return g
+}
+
+func linspace(a, b float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a + (b-a)*float64(i)/float64(n-1)
+	}
+	out[n-1] = b
+	return out
+}
+
+// FromSamples builds a decomposition in which every domain contains (as
+// nearly as possible) the same number of sample points. Sample points whose
+// sampling rate was proportional to cost make this a cost-equalizing
+// decomposition. Samples are consumed (reordered).
+func FromSamples(nx, ny, nz int, l float64, pts []vec.V3) (*Geometry, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("domain: bad division %d×%d×%d", nx, ny, nz)
+	}
+	if len(pts) < nx*ny*nz {
+		return nil, fmt.Errorf("domain: %d samples for %d domains", len(pts), nx*ny*nz)
+	}
+	g := &Geometry{Nx: nx, Ny: ny, Nz: nz, L: l}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+	xParts, bx := equalCountSplit(pts, nx, 0, l, func(p vec.V3) float64 { return p.X })
+	g.BX = bx
+	g.BY = make([][]float64, nx)
+	g.BZ = make([][][]float64, nx)
+	for i, slab := range xParts {
+		sort.Slice(slab, func(a, b int) bool { return slab[a].Y < slab[b].Y })
+		yParts, by := equalCountSplit(slab, ny, 0, l, func(p vec.V3) float64 { return p.Y })
+		g.BY[i] = by
+		g.BZ[i] = make([][]float64, ny)
+		for j, bar := range yParts {
+			sort.Slice(bar, func(a, b int) bool { return bar[a].Z < bar[b].Z })
+			_, bz := equalCountSplit(bar, nz, 0, l, func(p vec.V3) float64 { return p.Z })
+			g.BZ[i][j] = bz
+		}
+	}
+	return g, nil
+}
+
+// equalCountSplit cuts sorted points into n consecutive groups of (almost)
+// equal size, returning the groups and the n+1 boundary coordinates spanning
+// [lo, hi]. Cuts fall midway between adjacent sample coordinates.
+func equalCountSplit(pts []vec.V3, n int, lo, hi float64, coord func(vec.V3) float64) ([][]vec.V3, []float64) {
+	parts := make([][]vec.V3, n)
+	bounds := make([]float64, n+1)
+	bounds[0] = lo
+	bounds[n] = hi
+	m := len(pts)
+	prev := 0
+	for k := 1; k < n; k++ {
+		cut := (m*k + n/2) / n
+		if cut <= prev {
+			cut = prev + 1
+		}
+		if cut > m-(n-k) {
+			cut = m - (n - k)
+		}
+		parts[k-1] = pts[prev:cut]
+		if cut <= 0 || cut >= m {
+			bounds[k] = lo + (hi-lo)*float64(k)/float64(n)
+		} else {
+			bounds[k] = 0.5 * (coord(pts[cut-1]) + coord(pts[cut]))
+		}
+		// Guard against non-monotonic boundaries from duplicate coordinates.
+		if bounds[k] <= bounds[k-1] {
+			bounds[k] = bounds[k-1] + 1e-12*(hi-lo)
+		}
+		prev = cut
+	}
+	parts[n-1] = pts[prev:]
+	return parts, bounds
+}
+
+// MovingAverage returns a geometry whose boundary planes are the linear
+// weighted moving average of the given history (most recent last, weights
+// 1, 2, …, n as in the paper's five-step smoothing). All geometries must
+// share the same division counts.
+func MovingAverage(history []*Geometry) (*Geometry, error) {
+	if len(history) == 0 {
+		return nil, fmt.Errorf("domain: empty history")
+	}
+	ref := history[len(history)-1]
+	for _, h := range history {
+		if h.Nx != ref.Nx || h.Ny != ref.Ny || h.Nz != ref.Nz {
+			return nil, fmt.Errorf("domain: mismatched divisions in history")
+		}
+	}
+	g := &Geometry{Nx: ref.Nx, Ny: ref.Ny, Nz: ref.Nz, L: ref.L}
+	var wsum float64
+	for w := 1; w <= len(history); w++ {
+		wsum += float64(w)
+	}
+	avg := func(get func(*Geometry) float64) float64 {
+		var s float64
+		for idx, h := range history {
+			s += float64(idx+1) * get(h)
+		}
+		return s / wsum
+	}
+	g.BX = make([]float64, ref.Nx+1)
+	for i := range g.BX {
+		i := i
+		g.BX[i] = avg(func(h *Geometry) float64 { return h.BX[i] })
+	}
+	g.BY = make([][]float64, ref.Nx)
+	g.BZ = make([][][]float64, ref.Nx)
+	for i := 0; i < ref.Nx; i++ {
+		g.BY[i] = make([]float64, ref.Ny+1)
+		for j := range g.BY[i] {
+			i, j := i, j
+			g.BY[i][j] = avg(func(h *Geometry) float64 { return h.BY[i][j] })
+		}
+		g.BZ[i] = make([][]float64, ref.Ny)
+		for j := 0; j < ref.Ny; j++ {
+			g.BZ[i][j] = make([]float64, ref.Nz+1)
+			for k := range g.BZ[i][j] {
+				i, j, k := i, j, k
+				g.BZ[i][j][k] = avg(func(h *Geometry) float64 { return h.BZ[i][j][k] })
+			}
+		}
+	}
+	// Pin the outer faces exactly.
+	g.BX[0], g.BX[ref.Nx] = 0, ref.L
+	for i := 0; i < ref.Nx; i++ {
+		g.BY[i][0], g.BY[i][ref.Ny] = 0, ref.L
+		for j := 0; j < ref.Ny; j++ {
+			g.BZ[i][j][0], g.BZ[i][j][ref.Nz] = 0, ref.L
+		}
+	}
+	return g, nil
+}
+
+// Imbalance returns max(load)/mean(load) for per-domain loads; 1 is perfect.
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var max, sum float64
+	for _, v := range loads {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(loads)))
+}
+
+// CountLoads tallies how many of the given points fall in each domain.
+func CountLoads(g *Geometry, pts []vec.V3) []float64 {
+	loads := make([]float64, g.NumDomains())
+	for _, p := range pts {
+		loads[g.Find(p)]++
+	}
+	return loads
+}
+
+// SampleCounts allocates a total sample budget across ranks proportionally
+// to their measured costs (the paper's cost-proportional sampling rate),
+// guaranteeing at least one sample per non-empty rank and never more than
+// the rank's particle count.
+func SampleCounts(total int, costs []float64, nParticles []int) []int {
+	n := len(costs)
+	out := make([]int, n)
+	var csum float64
+	for i, c := range costs {
+		if nParticles[i] > 0 && c > 0 {
+			csum += c
+		}
+	}
+	for i := range out {
+		if nParticles[i] == 0 {
+			continue
+		}
+		if csum == 0 {
+			out[i] = total / n
+		} else {
+			out[i] = int(float64(total) * costs[i] / csum)
+		}
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		if out[i] > nParticles[i] {
+			out[i] = nParticles[i]
+		}
+	}
+	return out
+}

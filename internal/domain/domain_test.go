@@ -1,0 +1,266 @@
+package domain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"greem/internal/vec"
+)
+
+func TestUniformGeometry(t *testing.T) {
+	g := Uniform(4, 3, 2, 1.0)
+	if g.NumDomains() != 24 {
+		t.Fatalf("NumDomains = %d", g.NumDomains())
+	}
+	lo, hi := g.Bounds(g.RankOf(1, 2, 0))
+	if math.Abs(lo.X-0.25) > 1e-15 || math.Abs(hi.X-0.5) > 1e-15 {
+		t.Errorf("x bounds %v %v", lo.X, hi.X)
+	}
+	if math.Abs(lo.Y-2.0/3) > 1e-15 {
+		t.Errorf("y lo %v", lo.Y)
+	}
+	if lo.Z != 0 || math.Abs(hi.Z-0.5) > 1e-15 {
+		t.Errorf("z bounds %v %v", lo.Z, hi.Z)
+	}
+}
+
+func TestRankCellRoundTrip(t *testing.T) {
+	g := Uniform(3, 4, 5, 1)
+	for r := 0; r < g.NumDomains(); r++ {
+		i, j, k := g.Cell(r)
+		if g.RankOf(i, j, k) != r {
+			t.Fatalf("round trip broken at %d", r)
+		}
+	}
+}
+
+func TestFindConsistentWithBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]vec.V3, 2000)
+	for i := range pts {
+		// Clustered: half uniform, half in a tight clump.
+		if i%2 == 0 {
+			pts[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		} else {
+			pts[i] = vec.Wrap(vec.V3{X: 0.7 + 0.05*rng.NormFloat64(), Y: 0.3 + 0.05*rng.NormFloat64(), Z: 0.5 + 0.05*rng.NormFloat64()}, 1)
+		}
+	}
+	g, err := FromSamples(4, 4, 2, 1, append([]vec.V3(nil), pts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		r := g.Find(p)
+		lo, hi := g.Bounds(r)
+		if p.X < lo.X || p.X > hi.X || p.Y < lo.Y || p.Y > hi.Y || p.Z < lo.Z || p.Z > hi.Z {
+			t.Fatalf("point %v assigned to %d with bounds %v..%v", p, r, lo, hi)
+		}
+	}
+}
+
+func TestFromSamplesEqualizesCounts(t *testing.T) {
+	// The decomposition must put nearly equal numbers of the *sampled*
+	// points into every domain even for a strongly clustered distribution —
+	// that is Fig. 3's point.
+	rng := rand.New(rand.NewSource(2))
+	n := 64000
+	pts := make([]vec.V3, n)
+	for i := range pts {
+		switch i % 4 {
+		case 0, 1:
+			pts[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		default: // two dense clumps, one hundred times denser than background
+			c := vec.V3{X: 0.2, Y: 0.8, Z: 0.4}
+			if i%4 == 3 {
+				c = vec.V3{X: 0.75, Y: 0.25, Z: 0.6}
+			}
+			pts[i] = vec.Wrap(c.Add(vec.V3{X: 0.02 * rng.NormFloat64(), Y: 0.02 * rng.NormFloat64(), Z: 0.02 * rng.NormFloat64()}), 1)
+		}
+	}
+	g, err := FromSamples(4, 4, 4, 1, append([]vec.V3(nil), pts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := CountLoads(g, pts)
+	imb := Imbalance(loads)
+	if imb > 1.15 {
+		t.Errorf("sampled decomposition imbalance %v, want ≤ 1.15", imb)
+	}
+	// Compare to the static uniform decomposition, which must be much worse.
+	static := Imbalance(CountLoads(Uniform(4, 4, 4, 1), pts))
+	if static < 3 {
+		t.Errorf("clustered distribution should overload static domains (imb %v)", static)
+	}
+	t.Logf("imbalance: adaptive %.3f vs static %.1f", imb, static)
+}
+
+func TestEqualCountSplitDegenerate(t *testing.T) {
+	// All points at the same coordinate must still give monotone boundaries.
+	pts := make([]vec.V3, 100)
+	for i := range pts {
+		pts[i] = vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
+	}
+	g, err := FromSamples(4, 2, 2, 1, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(g.BX); i++ {
+		if g.BX[i] <= g.BX[i-1] {
+			t.Fatalf("non-monotone BX: %v", g.BX)
+		}
+	}
+}
+
+func TestFromSamplesValidation(t *testing.T) {
+	if _, err := FromSamples(0, 1, 1, 1, make([]vec.V3, 10)); err == nil {
+		t.Error("accepted zero divisions")
+	}
+	if _, err := FromSamples(4, 4, 4, 1, make([]vec.V3, 10)); err == nil {
+		t.Error("accepted too few samples")
+	}
+}
+
+func TestMovingAverageConverges(t *testing.T) {
+	// Averaging identical geometries returns the same geometry; averaging a
+	// jump sequence lands between the extremes, weighted toward the recent.
+	a := Uniform(2, 2, 2, 1)
+	b := Uniform(2, 2, 2, 1)
+	b.BX[1] = 0.7 // jumped boundary (a has 0.5)
+	avg, err := MovingAverage([]*Geometry{a, a, a, a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights 1..5: (0.5·(1+2+3+4) + 0.7·5)/15 = (5 + 3.5)/15 ≈ 0.5667
+	want := (0.5*10 + 0.7*5) / 15
+	if math.Abs(avg.BX[1]-want) > 1e-12 {
+		t.Errorf("BX[1] = %v, want %v", avg.BX[1], want)
+	}
+	// Outer faces stay pinned.
+	if avg.BX[0] != 0 || avg.BX[2] != 1 {
+		t.Errorf("outer faces moved: %v", avg.BX)
+	}
+	// The averaged jump is smaller than the raw jump (the smoothing claim).
+	if math.Abs(avg.BX[1]-0.5) >= math.Abs(b.BX[1]-0.5) {
+		t.Error("moving average did not damp the jump")
+	}
+}
+
+func TestMovingAverageValidation(t *testing.T) {
+	if _, err := MovingAverage(nil); err == nil {
+		t.Error("accepted empty history")
+	}
+	if _, err := MovingAverage([]*Geometry{Uniform(2, 2, 2, 1), Uniform(2, 2, 4, 1)}); err == nil {
+		t.Error("accepted mismatched divisions")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if v := Imbalance([]float64{1, 1, 1, 1}); v != 1 {
+		t.Errorf("uniform imbalance = %v", v)
+	}
+	if v := Imbalance([]float64{4, 0, 0, 0}); v != 4 {
+		t.Errorf("concentrated imbalance = %v", v)
+	}
+	if v := Imbalance(nil); v != 1 {
+		t.Errorf("empty imbalance = %v", v)
+	}
+	if v := Imbalance([]float64{0, 0}); v != 1 {
+		t.Errorf("zero imbalance = %v", v)
+	}
+}
+
+func TestSampleCounts(t *testing.T) {
+	// Ranks with twice the cost get twice the samples.
+	counts := SampleCounts(1000, []float64{1, 2, 1}, []int{10000, 10000, 10000})
+	if counts[1] != 2*counts[0] {
+		t.Errorf("cost-proportionality broken: %v", counts)
+	}
+	// Bounded by particle count and floor of 1.
+	counts = SampleCounts(1000, []float64{1, 1000}, []int{5, 10000})
+	if counts[0] < 1 || counts[0] > 5 {
+		t.Errorf("bounds broken: %v", counts)
+	}
+	// Empty ranks get zero.
+	counts = SampleCounts(100, []float64{1, 1}, []int{0, 50})
+	if counts[0] != 0 {
+		t.Errorf("empty rank sampled: %v", counts)
+	}
+	// All-zero costs fall back to uniform.
+	counts = SampleCounts(100, []float64{0, 0}, []int{50, 50})
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("zero-cost fallback broken: %v", counts)
+	}
+}
+
+func TestLocateEdgeCases(t *testing.T) {
+	b := []float64{0, 0.25, 0.5, 1}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {0.1, 0}, {0.25, 1}, {0.3, 1}, {0.5, 2}, {0.99, 2}, {1.0, 2},
+	}
+	for _, c := range cases {
+		if got := locate(b, c.x); got != c.want {
+			t.Errorf("locate(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFromSamplesBoundariesMonotoneProperty(t *testing.T) {
+	// testing/quick: for arbitrary point clouds, all boundary arrays are
+	// strictly increasing and every point maps into a consistent domain.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(400)
+		pts := make([]vec.V3, n)
+		for i := range pts {
+			// Mix of uniform and tightly clumped points, some duplicated.
+			switch i % 3 {
+			case 0:
+				pts[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+			case 1:
+				pts[i] = vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
+			default:
+				pts[i] = vec.Wrap(vec.V3{X: 0.2 + 0.01*rng.NormFloat64(), Y: 0.8 + 0.01*rng.NormFloat64(), Z: 0.5}, 1)
+			}
+		}
+		g, err := FromSamples(3, 3, 2, 1, append([]vec.V3(nil), pts...))
+		if err != nil {
+			return false
+		}
+		mono := func(b []float64) bool {
+			for i := 1; i < len(b); i++ {
+				if b[i] <= b[i-1] {
+					return false
+				}
+			}
+			return true
+		}
+		if !mono(g.BX) {
+			return false
+		}
+		for i := 0; i < g.Nx; i++ {
+			if !mono(g.BY[i]) {
+				return false
+			}
+			for j := 0; j < g.Ny; j++ {
+				if !mono(g.BZ[i][j]) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			r := g.Find(p)
+			if r < 0 || r >= g.NumDomains() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package domain
+
+import "fmt"
+
+// EncodeFlat serializes a geometry into a flat float64 slice (header of
+// division counts and box size, then all boundary planes), so it can travel
+// through an mpi broadcast.
+func (g *Geometry) EncodeFlat() []float64 {
+	out := []float64{float64(g.Nx), float64(g.Ny), float64(g.Nz), g.L}
+	out = append(out, g.BX...)
+	for i := 0; i < g.Nx; i++ {
+		out = append(out, g.BY[i]...)
+	}
+	for i := 0; i < g.Nx; i++ {
+		for j := 0; j < g.Ny; j++ {
+			out = append(out, g.BZ[i][j]...)
+		}
+	}
+	return out
+}
+
+// DecodeFlat reverses EncodeFlat.
+func DecodeFlat(data []float64) (*Geometry, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("domain: truncated geometry")
+	}
+	g := &Geometry{Nx: int(data[0]), Ny: int(data[1]), Nz: int(data[2]), L: data[3]}
+	if g.Nx < 1 || g.Ny < 1 || g.Nz < 1 {
+		return nil, fmt.Errorf("domain: bad divisions %d×%d×%d", g.Nx, g.Ny, g.Nz)
+	}
+	want := 4 + (g.Nx + 1) + g.Nx*(g.Ny+1) + g.Nx*g.Ny*(g.Nz+1)
+	if len(data) != want {
+		return nil, fmt.Errorf("domain: geometry payload %d, want %d", len(data), want)
+	}
+	pos := 4
+	take := func(n int) []float64 {
+		s := append([]float64(nil), data[pos:pos+n]...)
+		pos += n
+		return s
+	}
+	g.BX = take(g.Nx + 1)
+	g.BY = make([][]float64, g.Nx)
+	for i := 0; i < g.Nx; i++ {
+		g.BY[i] = take(g.Ny + 1)
+	}
+	g.BZ = make([][][]float64, g.Nx)
+	for i := 0; i < g.Nx; i++ {
+		g.BZ[i] = make([][]float64, g.Ny)
+		for j := 0; j < g.Ny; j++ {
+			g.BZ[i][j] = take(g.Nz + 1)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,203 @@
+package ewald
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greem/internal/vec"
+)
+
+func TestPairAccelAlphaIndependence(t *testing.T) {
+	// The Ewald sum must not depend on the splitting parameter α.
+	l := 1.0
+	s1 := NewTuned(l, 1, 2.0/l, 3, 6)
+	s2 := NewTuned(l, 1, 3.0/l, 4, 7)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		d := vec.V3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5}
+		if d.Norm() < 0.05 {
+			continue
+		}
+		a1 := s1.PairAccel(d)
+		a2 := s2.PairAccel(d)
+		if a1.Sub(a2).Norm() > 1e-9*math.Max(1, a1.Norm()) {
+			t.Errorf("alpha-dependence at d=%v: %v vs %v", d, a1, a2)
+		}
+	}
+}
+
+func TestPairPotAlphaIndependence(t *testing.T) {
+	l := 1.0
+	s1 := NewTuned(l, 1, 2.0/l, 3, 6)
+	s2 := NewTuned(l, 1, 3.0/l, 4, 7)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		d := vec.V3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5}
+		if d.Norm() < 0.05 {
+			continue
+		}
+		p1 := s1.PairPot(d)
+		p2 := s2.PairPot(d)
+		if math.Abs(p1-p2) > 1e-9*math.Max(1, math.Abs(p1)) {
+			t.Errorf("alpha-dependence at d=%v: %v vs %v", d, p1, p2)
+		}
+	}
+}
+
+func TestPairAccelShortRangeNewtonian(t *testing.T) {
+	// At separations much less than L the periodic correction is small.
+	s := New(1, 1)
+	r := 0.01
+	a := s.PairAccel(vec.V3{X: r})
+	want := 1 / (r * r)
+	if math.Abs(a.X-want)/want > 1e-4 {
+		t.Errorf("short-range accel %v, want ~%v", a.X, want)
+	}
+	if math.Abs(a.Y) > 1e-8 || math.Abs(a.Z) > 1e-8 {
+		t.Errorf("off-axis components (%v, %v) should vanish by symmetry", a.Y, a.Z)
+	}
+}
+
+func TestPairAccelSymmetryPoints(t *testing.T) {
+	// At the half-box displacement the net force vanishes by symmetry:
+	// the particle sits exactly between two images.
+	s := New(1, 1)
+	for _, d := range []vec.V3{
+		{X: 0.5}, {Y: 0.5}, {Z: 0.5}, {X: 0.5, Y: 0.5}, {X: 0.5, Y: 0.5, Z: 0.5},
+	} {
+		a := s.PairAccel(d)
+		if a.Norm() > 1e-10 {
+			t.Errorf("force at symmetric point %v = %v, want 0", d, a)
+		}
+	}
+}
+
+func TestPairAccelAntisymmetry(t *testing.T) {
+	s := New(1, 1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		d := vec.V3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5}
+		if d.Norm() < 0.05 {
+			continue
+		}
+		a := s.PairAccel(d)
+		b := s.PairAccel(d.Neg())
+		if a.Add(b).Norm() > 1e-10*math.Max(1, a.Norm()) {
+			t.Errorf("antisymmetry violated at %v: %v vs %v", d, a, b)
+		}
+	}
+}
+
+func TestPairAccelMatchesPotentialGradient(t *testing.T) {
+	s := New(1, 1)
+	d := vec.V3{X: 0.21, Y: -0.13, Z: 0.32}
+	h := 1e-6
+	grad := vec.V3{
+		X: (s.PairPot(d.Add(vec.V3{X: h})) - s.PairPot(d.Sub(vec.V3{X: h}))) / (2 * h),
+		Y: (s.PairPot(d.Add(vec.V3{Y: h})) - s.PairPot(d.Sub(vec.V3{Y: h}))) / (2 * h),
+		Z: (s.PairPot(d.Add(vec.V3{Z: h})) - s.PairPot(d.Sub(vec.V3{Z: h}))) / (2 * h),
+	}
+	// With d = r_j - r_i, the force on particle i is F_i = -grad_{r_i} U =
+	// +grad_d U, so PairAccel must equal the numerical gradient of PairPot.
+	a := s.PairAccel(d)
+	if a.Sub(grad).Norm() > 1e-4*a.Norm() {
+		t.Fatalf("accel %v does not match grad U %v", a, grad)
+	}
+}
+
+func TestAccelUniformLatticeVanishes(t *testing.T) {
+	// A particle in a uniform cubic lattice of equal masses feels zero force.
+	l := 1.0
+	s := New(l, 1)
+	var x, y, z, m []float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				x = append(x, (float64(i)+0.5)*l/4)
+				y = append(y, (float64(j)+0.5)*l/4)
+				z = append(z, (float64(k)+0.5)*l/4)
+				m = append(m, 1)
+			}
+		}
+	}
+	n := len(x)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	s.Accel(x, y, z, m, ax, ay, az)
+	for i := 0; i < n; i++ {
+		f := vec.V3{X: ax[i], Y: ay[i], Z: az[i]}
+		if f.Norm() > 1e-8 {
+			t.Fatalf("lattice particle %d feels force %v", i, f)
+		}
+	}
+}
+
+func TestAccelMomentumConservation(t *testing.T) {
+	s := New(1, 1)
+	rng := rand.New(rand.NewSource(4))
+	n := 16
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	m := make([]float64, n)
+	for i := range x {
+		x[i], y[i], z[i], m[i] = rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()+0.5
+	}
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	s.Accel(x, y, z, m, ax, ay, az)
+	var px, py, pz, scale float64
+	for i := range x {
+		px += m[i] * ax[i]
+		py += m[i] * ay[i]
+		pz += m[i] * az[i]
+		scale += m[i] * (math.Abs(ax[i]) + math.Abs(ay[i]) + math.Abs(az[i]))
+	}
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-10*scale {
+		t.Errorf("net momentum (%v,%v,%v), scale %v", px, py, pz, scale)
+	}
+}
+
+func TestEnergyAlphaIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 8
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	m := make([]float64, n)
+	for i := range x {
+		x[i], y[i], z[i], m[i] = rng.Float64(), rng.Float64(), rng.Float64(), 1.0
+	}
+	e1 := NewTuned(1, 1, 2.0, 3, 6).Energy(x, y, z, m)
+	e2 := NewTuned(1, 1, 3.0, 4, 7).Energy(x, y, z, m)
+	if math.Abs(e1-e2) > 1e-8*math.Abs(e1) {
+		t.Errorf("energy alpha-dependence: %v vs %v", e1, e2)
+	}
+}
+
+func TestPairCorrectionConsistency(t *testing.T) {
+	s := New(1, 1)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 15; i++ {
+		d := vec.V3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5}
+		r := d.Norm()
+		if r < 0.05 {
+			continue
+		}
+		// PairAccel = Newton(primary) + PairCorrection.
+		newton := d.Scale(1 / (r * r * r))
+		want := s.PairAccel(d)
+		got := newton.Add(s.PairCorrection(d))
+		if got.Sub(want).Norm() > 1e-10*math.Max(1, want.Norm()) {
+			t.Errorf("correction inconsistent at %v: %v vs %v", d, got, want)
+		}
+	}
+	// The correction is finite and tiny near the origin.
+	c := s.PairCorrection(vec.V3{X: 1e-4, Y: 1e-4, Z: 1e-4})
+	if math.IsNaN(c.X) || c.Norm() > 10 {
+		t.Errorf("correction near origin misbehaves: %v", c)
+	}
+}

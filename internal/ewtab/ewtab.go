@@ -1,0 +1,124 @@
+// Package ewtab provides a precomputed, trilinearly interpolated table of
+// the periodic-image force correction (the Ewald sum minus the primary
+// minimum-image Newtonian term). With it, a plain tree code becomes a *pure
+// periodic tree code* — the method the paper contrasts TreePM against: every
+// interaction is evaluated as min-image Newton plus a table lookup, so the
+// tree must resolve the force at all scales and its interaction lists grow
+// accordingly (§I: "for the same level of accuracy, the TreePM algorithm
+// requires significantly less operations"; §III-B: ⟨Nj⟩ comparison). This is
+// the GADGET-style tabulation.
+package ewtab
+
+import (
+	"fmt"
+
+	"greem/internal/ewald"
+	"greem/internal/vec"
+)
+
+// Table holds the correction field c(d) on an (n+1)³ grid over the octant
+// d ∈ [0, L/2]³; the full cube follows from the odd/even symmetries of each
+// component (c_x is odd in d_x and even in d_y, d_z, etc.).
+// Values are stored per unit G and per unit source mass; kernels multiply
+// by G·m.
+type Table struct {
+	L float64
+	n int
+	h float64 // grid spacing L/(2n)
+
+	cx, cy, cz []float64 // (n+1)³ node values, index (i·(n+1)+j)·(n+1)+k
+}
+
+// New builds a correction table with n intervals per octant axis (n+1 nodes;
+// 32 is plenty — the correction is smooth on the box scale). Cost is
+// (n+1)³ Ewald evaluations, done once. A nil solver selects the default
+// tuning; a provided solver must use G = 1 (values are stored per unit G).
+func New(l float64, n int, solver *ewald.Solver) (*Table, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("ewtab: need at least 2 intervals, got %d", n)
+	}
+	if solver == nil {
+		solver = ewald.New(l, 1)
+	}
+	if solver.G != 1 {
+		return nil, fmt.Errorf("ewtab: solver must have G = 1, got %v", solver.G)
+	}
+	t := &Table{L: l, n: n, h: l / 2 / float64(n)}
+	nn := n + 1
+	t.cx = make([]float64, nn*nn*nn)
+	t.cy = make([]float64, nn*nn*nn)
+	t.cz = make([]float64, nn*nn*nn)
+	for i := 0; i < nn; i++ {
+		for j := 0; j < nn; j++ {
+			for k := 0; k < nn; k++ {
+				d := vec.V3{X: float64(i) * t.h, Y: float64(j) * t.h, Z: float64(k) * t.h}
+				idx := (i*nn+j)*nn + k
+				if i == 0 && j == 0 && k == 0 {
+					continue // c(0) = 0 by symmetry
+				}
+				c := solver.PairCorrectionAt(d)
+				t.cx[idx] = c.X
+				t.cy[idx] = c.Y
+				t.cz[idx] = c.Z
+			}
+		}
+	}
+	return t, nil
+}
+
+// Correction returns the interpolated periodic correction at displacement d
+// (any representative; it is minimum-imaged internally).
+func (t *Table) Correction(d vec.V3) vec.V3 {
+	d = vec.MinImage(vec.V3{}, d, t.L)
+	sx, ax := signAbs(d.X)
+	sy, ay := signAbs(d.Y)
+	sz, az := signAbs(d.Z)
+	cx := t.interp(t.cx, ax, ay, az)
+	cy := t.interp(t.cy, ax, ay, az)
+	cz := t.interp(t.cz, ax, ay, az)
+	return vec.V3{X: sx * cx, Y: sy * cy, Z: sz * cz}
+}
+
+// CorrectionXYZ is Correction without the vec round trip, for hot loops.
+func (t *Table) CorrectionXYZ(dx, dy, dz float64) (float64, float64, float64) {
+	c := t.Correction(vec.V3{X: dx, Y: dy, Z: dz})
+	return c.X, c.Y, c.Z
+}
+
+func signAbs(x float64) (sign, abs float64) {
+	if x < 0 {
+		return -1, -x
+	}
+	return 1, x
+}
+
+// interp trilinearly interpolates one component over the octant grid.
+func (t *Table) interp(c []float64, x, y, z float64) float64 {
+	nn := t.n + 1
+	fx := x / t.h
+	fy := y / t.h
+	fz := z / t.h
+	i := int(fx)
+	j := int(fy)
+	k := int(fz)
+	if i >= t.n {
+		i = t.n - 1
+	}
+	if j >= t.n {
+		j = t.n - 1
+	}
+	if k >= t.n {
+		k = t.n - 1
+	}
+	ux := fx - float64(i)
+	uy := fy - float64(j)
+	uz := fz - float64(k)
+	at := func(a, b, cc int) float64 { return c[(a*nn+b)*nn+cc] }
+	c00 := at(i, j, k)*(1-ux) + at(i+1, j, k)*ux
+	c01 := at(i, j, k+1)*(1-ux) + at(i+1, j, k+1)*ux
+	c10 := at(i, j+1, k)*(1-ux) + at(i+1, j+1, k)*ux
+	c11 := at(i, j+1, k+1)*(1-ux) + at(i+1, j+1, k+1)*ux
+	c0 := c00*(1-uy) + c10*uy
+	c1 := c01*(1-uy) + c11*uy
+	return c0*(1-uz) + c1*uz
+}

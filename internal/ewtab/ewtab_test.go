@@ -1,0 +1,93 @@
+package ewtab
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greem/internal/ewald"
+	"greem/internal/ppkern"
+	"greem/internal/vec"
+)
+
+func TestTableMatchesDirectCorrection(t *testing.T) {
+	l := 1.0
+	solver := ewald.New(l, 1)
+	tab, err := New(l, 32, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// The correction field scales like 1/L²; trilinear interpolation on a
+	// 32-interval octant resolves it to a small absolute error.
+	worst := 0.0
+	for i := 0; i < 200; i++ {
+		d := vec.V3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5}
+		got := tab.Correction(d)
+		want := solver.PairCorrection(d)
+		if e := got.Sub(want).Norm(); e > worst {
+			worst = e
+		}
+	}
+	t.Logf("worst interpolation error %.3e (field scale ~π/L² ≈ 3)", worst)
+	if worst > 0.05 {
+		t.Errorf("interpolation error %v too large", worst)
+	}
+}
+
+func TestTableSymmetries(t *testing.T) {
+	tab, err := New(1, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := vec.V3{X: 0.21, Y: 0.13, Z: 0.34}
+	c := tab.Correction(d)
+	// c_x odd under x-reflection, even under y/z-reflections.
+	cr := tab.Correction(vec.V3{X: -d.X, Y: d.Y, Z: d.Z})
+	if math.Abs(cr.X+c.X) > 1e-14 || math.Abs(cr.Y-c.Y) > 1e-14 || math.Abs(cr.Z-c.Z) > 1e-14 {
+		t.Errorf("x-reflection symmetry broken: %v vs %v", c, cr)
+	}
+	// Full inversion flips every component.
+	ci := tab.Correction(d.Neg())
+	if ci.Add(c).Norm() > 1e-14 {
+		t.Errorf("inversion symmetry broken: %v vs %v", c, ci)
+	}
+	// Zero at the origin.
+	if z := tab.Correction(vec.V3{}); z.Norm() != 0 {
+		t.Errorf("c(0) = %v", z)
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := New(1, 1, nil); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := New(1, 8, ewald.New(1, 2)); err == nil {
+		t.Error("G≠1 solver accepted")
+	}
+}
+
+func TestAccelKernelMatchesEwaldPairs(t *testing.T) {
+	// Kernel over explicit sources = Σ G·m·(Newton + correction) must match
+	// ewald.PairAccel for well-separated pairs.
+	l := 1.0
+	solver := ewald.New(l, 1)
+	tab, _ := New(l, 32, solver)
+	src := &ppkern.Source{}
+	// Source pre-min-imaged relative to the target at the origin region.
+	src.Append(0.31, -0.12, 0.22, 2.0)
+	ax := make([]float64, 1)
+	ay := make([]float64, 1)
+	az := make([]float64, 1)
+	g := 1.5
+	Accel([]float64{0}, []float64{0}, []float64{0}, src, tab, g, 0, ax, ay, az)
+	want := solver.PairAccel(vec.V3{X: 0.31, Y: -0.12, Z: 0.22}).Scale(2.0 * g)
+	got := vec.V3{X: ax[0], Y: ay[0], Z: az[0]}
+	if got.Sub(want).Norm() > 0.1*want.Norm() {
+		t.Errorf("kernel %v vs ewald %v", got, want)
+	}
+	// Tighter absolute bound: the difference is only interpolation error.
+	if got.Sub(want).Norm() > 2.0*0.05*g {
+		t.Errorf("kernel error %v beyond interpolation budget", got.Sub(want).Norm())
+	}
+}

@@ -1,0 +1,49 @@
+package ewtab
+
+import (
+	"math"
+
+	"greem/internal/ppkern"
+)
+
+// Accel accumulates fully periodic pairwise accelerations: the minimum-image
+// Newtonian term plus the tabulated Ewald correction, for every (target,
+// source) pair. Displacements are minimum-imaged per pair (positions may be
+// any representative within one box length), keeping the Newtonian term and
+// the table lookup on the same image. Returns the pair count.
+func Accel(xi, yi, zi []float64, src *ppkern.Source, tab *Table, g, eps2 float64, ax, ay, az []float64) uint64 {
+	l := tab.L
+	half := l / 2
+	wrap := func(d float64) float64 {
+		if d >= half {
+			return d - l
+		}
+		if d < -half {
+			return d + l
+		}
+		return d
+	}
+	for i := range xi {
+		var fx, fy, fz float64
+		for j := range src.X {
+			dx := wrap(src.X[j] - xi[i])
+			dy := wrap(src.Y[j] - yi[i])
+			dz := wrap(src.Z[j] - zi[i])
+			r2 := dx*dx + dy*dy + dz*dz + eps2
+			if r2 == 0 {
+				continue
+			}
+			gm := g * src.M[j]
+			rinv := 1 / math.Sqrt(r2)
+			w := gm * rinv * rinv * rinv
+			cx, cy, cz := tab.CorrectionXYZ(dx, dy, dz)
+			fx += w*dx + gm*cx
+			fy += w*dy + gm*cy
+			fz += w*dz + gm*cz
+		}
+		ax[i] += fx
+		ay[i] += fy
+		az[i] += fz
+	}
+	return uint64(len(xi)) * uint64(src.Len())
+}

@@ -1,0 +1,239 @@
+// Package fft implements the fast Fourier transforms the PM (particle-mesh)
+// part of the TreePM method needs: power-of-two complex transforms in one and
+// three dimensions. It is the stdlib-only substitute for the FFTW 3.3 library
+// the paper uses; the slab-parallel transform built on top of it lives in
+// package pfft.
+//
+// Conventions: Forward computes X[k] = Σ_n x[n]·exp(−2πi·kn/N) (no scaling);
+// Inverse computes the conjugate transform scaled by 1/N, so
+// Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan holds the precomputed twiddle factors and bit-reversal permutation for
+// a one-dimensional transform of fixed power-of-two length.
+type Plan struct {
+	n       int
+	logn    int
+	rev     []int32
+	twiddle []complex128 // twiddle[j] = exp(−2πi·j/n), j < n/2
+}
+
+// NewPlan creates a plan for length-n transforms. n must be a power of two
+// and at least 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a positive power of two", n)
+	}
+	p := &Plan{n: n, logn: bits.TrailingZeros(uint(n))}
+	p.rev = make([]int32, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int32(bits.Reverse32(uint32(i)) >> (32 - p.logn))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for j := range p.twiddle {
+		theta := -2 * math.Pi * float64(j) / float64(n)
+		p.twiddle[j] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error; for use with lengths known to be
+// valid at compile/configuration time.
+func MustPlan(n int) *Plan {
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the in-place forward DFT of a. len(a) must equal N().
+func (p *Plan) Forward(a []complex128) {
+	p.transform(a, false)
+}
+
+// Inverse computes the in-place inverse DFT of a, scaled by 1/N.
+func (p *Plan) Inverse(a []complex128) {
+	p.transform(a, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range a {
+		a[i] *= inv
+	}
+}
+
+func (p *Plan) transform(a []complex128, inverse bool) {
+	if len(a) != p.n {
+		panic(fmt.Sprintf("fft: slice length %d does not match plan length %d", len(a), p.n))
+	}
+	n := p.n
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(p.rev[i])
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	// Iterative Cooley-Tukey, decimation in time.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				t := w * a[k+half]
+				a[k+half] = a[k] - t
+				a[k] = a[k] + t
+				tw += step
+			}
+		}
+	}
+}
+
+// Plan3 is a three-dimensional transform on a flattened row-major array with
+// dimensions (nx, ny, nz): element (ix, iy, iz) lives at (ix·ny+iy)·nz+iz.
+type Plan3 struct {
+	nx, ny, nz int
+	px, py, pz *Plan
+}
+
+// NewPlan3 creates a 3-D plan. All dimensions must be powers of two.
+func NewPlan3(nx, ny, nz int) (*Plan3, error) {
+	px, err := NewPlan(nx)
+	if err != nil {
+		return nil, err
+	}
+	py, err := NewPlan(ny)
+	if err != nil {
+		return nil, err
+	}
+	pz, err := NewPlan(nz)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan3{nx: nx, ny: ny, nz: nz, px: px, py: py, pz: pz}, nil
+}
+
+// MustPlan3 is NewPlan3 that panics on error.
+func MustPlan3(nx, ny, nz int) *Plan3 {
+	p, err := NewPlan3(nx, ny, nz)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Dims returns (nx, ny, nz).
+func (p *Plan3) Dims() (int, int, int) { return p.nx, p.ny, p.nz }
+
+// Len returns nx·ny·nz.
+func (p *Plan3) Len() int { return p.nx * p.ny * p.nz }
+
+// Forward computes the in-place 3-D forward DFT.
+func (p *Plan3) Forward(a []complex128) { p.apply(a, false) }
+
+// Inverse computes the in-place 3-D inverse DFT (scaled by 1/(nx·ny·nz)).
+func (p *Plan3) Inverse(a []complex128) { p.apply(a, true) }
+
+func (p *Plan3) apply(a []complex128, inverse bool) {
+	if len(a) != p.Len() {
+		panic(fmt.Sprintf("fft: slice length %d does not match plan size %d", len(a), p.Len()))
+	}
+	do1 := func(pl *Plan, line []complex128) {
+		if inverse {
+			pl.Inverse(line)
+		} else {
+			pl.Forward(line)
+		}
+	}
+	// z lines are contiguous.
+	for ix := 0; ix < p.nx; ix++ {
+		for iy := 0; iy < p.ny; iy++ {
+			off := (ix*p.ny + iy) * p.nz
+			do1(p.pz, a[off:off+p.nz])
+		}
+	}
+	// y lines have stride nz.
+	buf := make([]complex128, p.ny)
+	for ix := 0; ix < p.nx; ix++ {
+		for iz := 0; iz < p.nz; iz++ {
+			base := ix*p.ny*p.nz + iz
+			for iy := 0; iy < p.ny; iy++ {
+				buf[iy] = a[base+iy*p.nz]
+			}
+			do1(p.py, buf)
+			for iy := 0; iy < p.ny; iy++ {
+				a[base+iy*p.nz] = buf[iy]
+			}
+		}
+	}
+	// x lines have stride ny·nz.
+	bufx := make([]complex128, p.nx)
+	stride := p.ny * p.nz
+	for iy := 0; iy < p.ny; iy++ {
+		for iz := 0; iz < p.nz; iz++ {
+			base := iy*p.nz + iz
+			for ix := 0; ix < p.nx; ix++ {
+				bufx[ix] = a[base+ix*stride]
+			}
+			do1(p.px, bufx)
+			for ix := 0; ix < p.nx; ix++ {
+				a[base+ix*stride] = bufx[ix]
+			}
+		}
+	}
+}
+
+// TransformY applies the 1-D transform along the y axis only, for every
+// (x, z) line of the array; TransformZ likewise along z. These are building
+// blocks for the slab-parallel 3-D FFT, where the x transform happens after
+// an inter-process transpose.
+func (p *Plan3) TransformY(a []complex128, inverse bool) {
+	buf := make([]complex128, p.ny)
+	for ix := 0; ix < p.nx; ix++ {
+		for iz := 0; iz < p.nz; iz++ {
+			base := ix*p.ny*p.nz + iz
+			for iy := 0; iy < p.ny; iy++ {
+				buf[iy] = a[base+iy*p.nz]
+			}
+			if inverse {
+				p.py.Inverse(buf)
+			} else {
+				p.py.Forward(buf)
+			}
+			for iy := 0; iy < p.ny; iy++ {
+				a[base+iy*p.nz] = buf[iy]
+			}
+		}
+	}
+}
+
+// TransformZ applies the 1-D transform along the z axis for every (x, y)
+// line. See TransformY.
+func (p *Plan3) TransformZ(a []complex128, inverse bool) {
+	for ix := 0; ix < p.nx; ix++ {
+		for iy := 0; iy < p.ny; iy++ {
+			off := (ix*p.ny + iy) * p.nz
+			if inverse {
+				p.pz.Inverse(a[off : off+p.nz])
+			} else {
+				p.pz.Forward(a[off : off+p.nz])
+			}
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			theta := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, theta))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return a
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNewPlanRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 6, 12, 1000} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) accepted a non-power-of-two", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 1024} {
+		if _, err := NewPlan(n); err != nil {
+			t.Errorf("NewPlan(%d): %v", n, err)
+		}
+	}
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randComplex(rng, n)
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		MustPlan(n).Forward(got)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff %v", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 32, 512, 4096} {
+		p := MustPlan(n)
+		x := randComplex(rng, n)
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		if d := maxDiff(x, y); d > 1e-10*float64(n) {
+			t.Errorf("n=%d: round-trip max diff %v", n, d)
+		}
+	}
+}
+
+func TestDeltaAndConstant(t *testing.T) {
+	n := 64
+	p := MustPlan(n)
+	delta := make([]complex128, n)
+	delta[0] = 1
+	p.Forward(delta)
+	for k := range delta {
+		if cmplx.Abs(delta[k]-1) > 1e-12 {
+			t.Fatalf("FFT(δ)[%d] = %v, want 1", k, delta[k])
+		}
+	}
+	con := make([]complex128, n)
+	for i := range con {
+		con[i] = 2
+	}
+	p.Forward(con)
+	if cmplx.Abs(con[0]-complex(2*float64(n), 0)) > 1e-12 {
+		t.Errorf("FFT(const)[0] = %v", con[0])
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(con[k]) > 1e-10 {
+			t.Errorf("FFT(const)[%d] = %v, want 0", k, con[k])
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1024
+	x := randComplex(rng, n)
+	var eTime float64
+	for _, v := range x {
+		eTime += real(v)*real(v) + imag(v)*imag(v)
+	}
+	MustPlan(n).Forward(x)
+	var eFreq float64
+	for _, v := range x {
+		eFreq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	eFreq /= float64(n)
+	if math.Abs(eTime-eFreq)/eTime > 1e-12 {
+		t.Errorf("Parseval violated: %v vs %v", eTime, eFreq)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 128
+	p := MustPlan(n)
+	x := randComplex(rng, n)
+	y := randComplex(rng, n)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 3*x[i] - 2i*y[i]
+	}
+	p.Forward(x)
+	p.Forward(y)
+	p.Forward(sum)
+	for i := range sum {
+		want := 3*x[i] - 2i*y[i]
+		if cmplx.Abs(sum[i]-want) > 1e-9 {
+			t.Fatalf("linearity at %d: %v vs %v", i, sum[i], want)
+		}
+	}
+}
+
+func TestSingleModeFrequency(t *testing.T) {
+	// x[n] = exp(2πi·k0·n/N) transforms to N·δ(k−k0).
+	n, k0 := 64, 5
+	x := make([]complex128, n)
+	for j := range x {
+		theta := 2 * math.Pi * float64(k0) * float64(j) / float64(n)
+		x[j] = cmplx.Exp(complex(0, theta))
+	}
+	MustPlan(n).Forward(x)
+	for k := range x {
+		want := complex128(0)
+		if k == k0 {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(x[k]-want) > 1e-9 {
+			t.Errorf("k=%d: %v, want %v", k, x[k], want)
+		}
+	}
+}
+
+func naiveDFT3(x []complex128, nx, ny, nz int) []complex128 {
+	out := make([]complex128, len(x))
+	for kx := 0; kx < nx; kx++ {
+		for ky := 0; ky < ny; ky++ {
+			for kz := 0; kz < nz; kz++ {
+				var s complex128
+				for jx := 0; jx < nx; jx++ {
+					for jy := 0; jy < ny; jy++ {
+						for jz := 0; jz < nz; jz++ {
+							ph := float64(kx*jx)/float64(nx) + float64(ky*jy)/float64(ny) + float64(kz*jz)/float64(nz)
+							s += x[(jx*ny+jy)*nz+jz] * cmplx.Exp(complex(0, -2*math.Pi*ph))
+						}
+					}
+				}
+				out[(kx*ny+ky)*nz+kz] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestPlan3MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nx, ny, nz := 4, 2, 8
+	x := randComplex(rng, nx*ny*nz)
+	want := naiveDFT3(x, nx, ny, nz)
+	got := append([]complex128(nil), x...)
+	MustPlan3(nx, ny, nz).Forward(got)
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Errorf("3-D FFT max diff %v", d)
+	}
+}
+
+func TestPlan3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := MustPlan3(8, 16, 4)
+	x := randComplex(rng, p.Len())
+	y := append([]complex128(nil), x...)
+	p.Forward(y)
+	p.Inverse(y)
+	if d := maxDiff(x, y); d > 1e-10 {
+		t.Errorf("3-D round-trip max diff %v", d)
+	}
+}
+
+func TestTransformYZThenXEqualsFull(t *testing.T) {
+	// TransformZ + TransformY + per-line x transforms = full 3-D transform.
+	// This is exactly the decomposition the slab-parallel FFT uses.
+	rng := rand.New(rand.NewSource(7))
+	nx, ny, nz := 8, 4, 16
+	p := MustPlan3(nx, ny, nz)
+	x := randComplex(rng, p.Len())
+	want := append([]complex128(nil), x...)
+	p.Forward(want)
+
+	got := append([]complex128(nil), x...)
+	p.TransformZ(got, false)
+	p.TransformY(got, false)
+	px := MustPlan(nx)
+	buf := make([]complex128, nx)
+	stride := ny * nz
+	for iy := 0; iy < ny; iy++ {
+		for iz := 0; iz < nz; iz++ {
+			base := iy*nz + iz
+			for ix := 0; ix < nx; ix++ {
+				buf[ix] = got[base+ix*stride]
+			}
+			px.Forward(buf)
+			for ix := 0; ix < nx; ix++ {
+				got[base+ix*stride] = buf[ix]
+			}
+		}
+	}
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Errorf("decomposed transform differs from full: %v", d)
+	}
+}
+
+func TestForwardPanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong slice length")
+		}
+	}()
+	MustPlan(8).Forward(make([]complex128, 4))
+}
+
+func BenchmarkFFT1D(b *testing.B) {
+	p := MustPlan(4096)
+	x := randComplex(rand.New(rand.NewSource(8)), 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkFFT3D64(b *testing.B) {
+	p := MustPlan3(64, 64, 64)
+	x := randComplex(rand.New(rand.NewSource(9)), p.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// testing/quick over random inputs: Inverse∘Forward = identity.
+	p := MustPlan(64)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randComplex(rng, 64)
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		return maxDiff(x, y) < 1e-11
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftTheoremProperty(t *testing.T) {
+	// Circular shift in time multiplies the spectrum by a phase:
+	// FFT(x shifted by s)[k] = FFT(x)[k]·exp(−2πi·k·s/N).
+	n := 32
+	p := MustPlan(n)
+	f := func(seed int64, rawShift uint8) bool {
+		s := int(rawShift) % n
+		rng := rand.New(rand.NewSource(seed))
+		x := randComplex(rng, n)
+		shifted := make([]complex128, n)
+		for i := range shifted {
+			shifted[i] = x[(i-s+n)%n]
+		}
+		fx := append([]complex128(nil), x...)
+		fs := append([]complex128(nil), shifted...)
+		p.Forward(fx)
+		p.Forward(fs)
+		for k := 0; k < n; k++ {
+			ph := cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(s)/float64(n)))
+			if cmplx.Abs(fs[k]-fx[k]*ph) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

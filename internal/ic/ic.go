@@ -1,0 +1,376 @@
+// Package ic generates cosmological initial conditions: a Gaussian random
+// density field with a prescribed power spectrum — including the sharp
+// small-scale cutoff produced by the free streaming of a 100 GeV neutralino
+// (Green, Hofmann & Schwarz 2004), which the paper's trillion-particle run
+// uses — converted to particle positions and velocities on a uniform lattice
+// with the Zel'dovich approximation (the paper's choice) or, optionally,
+// second-order Lagrangian perturbation theory (2LPT).
+package ic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"greem/internal/cosmo"
+	"greem/internal/fft"
+	"greem/internal/sim"
+)
+
+// PowerSpectrum is the linear matter power spectrum at the initial epoch,
+// P(k) with k in simulation units (2π/L per fundamental mode).
+type PowerSpectrum interface {
+	P(k float64) float64
+}
+
+// PowerLaw is P(k) = Amp·kⁿ.
+type PowerLaw struct {
+	N   float64
+	Amp float64
+}
+
+// P implements PowerSpectrum.
+func (p PowerLaw) P(k float64) float64 { return p.Amp * math.Pow(k, p.N) }
+
+// NeutralinoCutoff is a power law damped by Gaussian free streaming,
+// P(k) = Amp·kⁿ·exp(−(k/KCut)²) — the spectrum shape of the paper's §III-A
+// initial condition, in which structure formation starts only at the cutoff
+// scale (the smallest dark-matter structures).
+type NeutralinoCutoff struct {
+	N    float64
+	Amp  float64
+	KCut float64
+}
+
+// P implements PowerSpectrum.
+func (p NeutralinoCutoff) P(k float64) float64 {
+	x := k / p.KCut
+	return p.Amp * math.Pow(k, p.N) * math.Exp(-x*x)
+}
+
+// Field is a realization of the linear density and displacement fields on an
+// n³ grid.
+type Field struct {
+	N int
+	L float64
+	// Delta is the linear density contrast δ.
+	Delta []float64
+	// PsiX/Y/Z is the Zel'dovich displacement field, δ = −∇·Ψ.
+	PsiX, PsiY, PsiZ []float64
+	// Psi2X/Y/Z is ∇φ⁽²⁾, the raw second-order displacement kernel (nil
+	// unless Add2LPT has run); the physical 2LPT term is D₂·∇φ⁽²⁾.
+	Psi2X, Psi2Y, Psi2Z []float64
+}
+
+// GenerateField draws a Gaussian realization of ps on an n³ periodic grid
+// (n a power of two) with the given seed. The white-noise field is filtered
+// in k-space by √P, so the result is exactly Gaussian with Hermitian
+// symmetry by construction; Nyquist planes are zeroed for the odd ik filter.
+func GenerateField(n int, l float64, ps PowerSpectrum, seed int64) (*Field, error) {
+	plan, err := fft.NewPlan3(n, n, n)
+	if err != nil {
+		return nil, err
+	}
+	if l <= 0 {
+		return nil, fmt.Errorf("ic: box size must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	size := n * n * n
+	white := make([]complex128, size)
+	for i := range white {
+		white[i] = complex(rng.NormFloat64(), 0)
+	}
+	plan.Forward(white)
+
+	v := l * l * l
+	dHat := make([]complex128, size)
+	pxHat := make([]complex128, size)
+	pyHat := make([]complex128, size)
+	pzHat := make([]complex128, size)
+	twoPiL := 2 * math.Pi / l
+	for jx := 0; jx < n; jx++ {
+		nx := fold(jx, n)
+		for jy := 0; jy < n; jy++ {
+			ny := fold(jy, n)
+			base := (jx*n + jy) * n
+			for jz := 0; jz < n; jz++ {
+				nz := fold(jz, n)
+				idx := base + jz
+				if (nx == 0 && ny == 0 && nz == 0) || nx == -n/2 || ny == -n/2 || nz == -n/2 {
+					continue
+				}
+				kx := twoPiL * float64(nx)
+				ky := twoPiL * float64(ny)
+				kz := twoPiL * float64(nz)
+				k2 := kx*kx + ky*ky + kz*kz
+				k := math.Sqrt(k2)
+				pk := ps.P(k)
+				if pk < 0 {
+					return nil, fmt.Errorf("ic: negative power at k=%v", k)
+				}
+				amp := math.Sqrt(pk * float64(size) / v)
+				d := white[idx] * complex(amp, 0)
+				dHat[idx] = d
+				// Ψ̂ = i k δ̂ / k²  (so that δ = −∇·Ψ).
+				pxHat[idx] = complex(0, kx/k2) * d
+				pyHat[idx] = complex(0, ky/k2) * d
+				pzHat[idx] = complex(0, kz/k2) * d
+			}
+		}
+	}
+	plan.Inverse(dHat)
+	plan.Inverse(pxHat)
+	plan.Inverse(pyHat)
+	plan.Inverse(pzHat)
+	f := &Field{N: n, L: l,
+		Delta: make([]float64, size),
+		PsiX:  make([]float64, size),
+		PsiY:  make([]float64, size),
+		PsiZ:  make([]float64, size),
+	}
+	for i := 0; i < size; i++ {
+		f.Delta[i] = real(dHat[i])
+		f.PsiX[i] = real(pxHat[i])
+		f.PsiY[i] = real(pyHat[i])
+		f.PsiZ[i] = real(pzHat[i])
+	}
+	return f, nil
+}
+
+func fold(j, n int) int {
+	if j > n/2 {
+		return j - n
+	}
+	if j == n/2 {
+		return -n / 2
+	}
+	return j
+}
+
+// Config parameterizes a Zel'dovich initial condition.
+type Config struct {
+	NP    int     // particles per dimension (lattice); must divide NGrid
+	NGrid int     // displacement-field grid per dimension (power of two)
+	L     float64 // box side
+	PS    PowerSpectrum
+	Seed  int64
+	Model *cosmo.Model
+	AInit float64 // starting scale factor; PS is the spectrum at AInit
+	// TotalMass is the comoving mass in the box (sets particle masses).
+	TotalMass float64
+	// SecondOrder enables 2LPT displacements and velocities (D₂ = −3/7·D₁²,
+	// f₂ = 2·f₁, exact for Ωm = 1 and standard to ~1% otherwise).
+	SecondOrder bool
+}
+
+// Generate lays particles on an NP³ lattice, displaces them with the
+// Zel'dovich approximation x = q + Ψ(q), and assigns growing-mode velocities
+// u = a²·H(a)·f(a)·Ψ(q), with u the canonical momentum variable of package
+// cosmo. The returned particles are in box coordinates with IDs in lattice
+// order.
+func Generate(cfg Config) ([]sim.Particle, error) {
+	if cfg.NP < 1 || cfg.NGrid%cfg.NP != 0 {
+		return nil, fmt.Errorf("ic: NP=%d must divide NGrid=%d", cfg.NP, cfg.NGrid)
+	}
+	if cfg.Model == nil || cfg.AInit <= 0 || cfg.TotalMass <= 0 {
+		return nil, fmt.Errorf("ic: Model, AInit and TotalMass are required")
+	}
+	field, err := GenerateField(cfg.NGrid, cfg.L, cfg.PS, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SecondOrder {
+		if err := field.Add2LPT(); err != nil {
+			return nil, err
+		}
+	}
+	return Displace(field, cfg)
+}
+
+// Displace applies the Zel'dovich map of cfg to an existing field
+// realization (exposed so tests can inject analytic fields).
+func Displace(field *Field, cfg Config) ([]sim.Particle, error) {
+	np, n := cfg.NP, cfg.NGrid
+	stride := n / np
+	a := cfg.AInit
+	f1 := cfg.Model.GrowthRate(a)
+	vfac := a * a * cfg.Model.H(a) * f1
+	// 2LPT scalings relative to the first order (PS given at AInit ⇒ D₁=1).
+	use2 := cfg.SecondOrder && field.Psi2X != nil
+	const d2 = -3.0 / 7.0
+	vfac2 := a * a * cfg.Model.H(a) * 2 * f1 * d2
+	mass := cfg.TotalMass / float64(np*np*np)
+	h := cfg.L / float64(n)
+	out := make([]sim.Particle, 0, np*np*np)
+	id := int64(0)
+	for i := 0; i < np; i++ {
+		for j := 0; j < np; j++ {
+			for k := 0; k < np; k++ {
+				gi, gj, gk := i*stride, j*stride, k*stride
+				idx := (gi*n+gj)*n + gk
+				qx := float64(gi) * h
+				qy := float64(gj) * h
+				qz := float64(gk) * h
+				px := field.PsiX[idx]
+				py := field.PsiY[idx]
+				pz := field.PsiZ[idx]
+				vx := vfac * px
+				vy := vfac * py
+				vz := vfac * pz
+				if use2 {
+					px += d2 * field.Psi2X[idx]
+					py += d2 * field.Psi2Y[idx]
+					pz += d2 * field.Psi2Z[idx]
+					vx += vfac2 * field.Psi2X[idx]
+					vy += vfac2 * field.Psi2Y[idx]
+					vz += vfac2 * field.Psi2Z[idx]
+				}
+				out = append(out, sim.Particle{
+					X:  wrap(qx+px, cfg.L),
+					Y:  wrap(qy+py, cfg.L),
+					Z:  wrap(qz+pz, cfg.L),
+					VX: vx, VY: vy, VZ: vz,
+					M: mass, ID: id,
+				})
+				id++
+			}
+		}
+	}
+	return out, nil
+}
+
+func wrap(x, l float64) float64 {
+	x = math.Mod(x, l)
+	if x < 0 {
+		x += l
+	}
+	if x >= l {
+		x -= l
+	}
+	return x
+}
+
+// SingleMode builds the analytic single-plane-wave displacement field
+// Ψx(q) = amp·sin(2π·mode·qx/L) on an n³ grid: the textbook Zel'dovich test
+// (a sinusoidal perturbation grows linearly as D(a) until shell crossing).
+func SingleMode(n int, l, amp float64, mode int) *Field {
+	size := n * n * n
+	f := &Field{N: n, L: l,
+		Delta: make([]float64, size),
+		PsiX:  make([]float64, size),
+		PsiY:  make([]float64, size),
+		PsiZ:  make([]float64, size),
+	}
+	k := 2 * math.Pi * float64(mode) / l
+	h := l / float64(n)
+	for i := 0; i < n; i++ {
+		qx := float64(i) * h
+		psi := amp * math.Sin(k*qx)
+		delta := -amp * k * math.Cos(k*qx) // δ = −∂Ψx/∂x
+		for j := 0; j < n; j++ {
+			for kk := 0; kk < n; kk++ {
+				idx := (i*n+j)*n + kk
+				f.PsiX[idx] = psi
+				f.Delta[idx] = delta
+			}
+		}
+	}
+	return f
+}
+
+// Add2LPT computes the second-order Lagrangian perturbation theory
+// displacement field from the realized first-order density: solving
+// ∇²φ⁽²⁾ = Σ_{i<j} [φ⁽¹⁾,ii·φ⁽¹⁾,jj − (φ⁽¹⁾,ij)²] spectrally and storing
+// ∇φ⁽²⁾ in Psi2X/Y/Z. The 2LPT displacement contribution is D₂·∇φ⁽²⁾ with
+// D₂ ≈ −(3/7)·D₁² — the standard transient-reducing upgrade over the
+// Zel'dovich approximation the paper starts from.
+func (f *Field) Add2LPT() error {
+	n := f.N
+	plan, err := fft.NewPlan3(n, n, n)
+	if err != nil {
+		return err
+	}
+	size := n * n * n
+	dHat := make([]complex128, size)
+	for i, v := range f.Delta {
+		dHat[i] = complex(v, 0)
+	}
+	plan.Forward(dHat)
+
+	twoPiL := 2 * math.Pi / f.L
+	kOf := func(j int) float64 { return twoPiL * float64(fold(j, n)) }
+	// Tidal tensor components T_ij = φ⁽¹⁾,ij, with T̂ = k_i·k_j·δ̂/k².
+	component := func(pick func(kx, ky, kz, k2 float64) float64) []float64 {
+		w := make([]complex128, size)
+		for jx := 0; jx < n; jx++ {
+			kx := kOf(jx)
+			for jy := 0; jy < n; jy++ {
+				ky := kOf(jy)
+				base := (jx*n + jy) * n
+				for jz := 0; jz < n; jz++ {
+					kz := kOf(jz)
+					k2 := kx*kx + ky*ky + kz*kz
+					if k2 == 0 {
+						continue
+					}
+					w[base+jz] = dHat[base+jz] * complex(pick(kx, ky, kz, k2), 0)
+				}
+			}
+		}
+		plan.Inverse(w)
+		out := make([]float64, size)
+		for i := range out {
+			out[i] = real(w[i])
+		}
+		return out
+	}
+	txx := component(func(kx, ky, kz, k2 float64) float64 { return kx * kx / k2 })
+	tyy := component(func(kx, ky, kz, k2 float64) float64 { return ky * ky / k2 })
+	tzz := component(func(kx, ky, kz, k2 float64) float64 { return kz * kz / k2 })
+	txy := component(func(kx, ky, kz, k2 float64) float64 { return kx * ky / k2 })
+	txz := component(func(kx, ky, kz, k2 float64) float64 { return kx * kz / k2 })
+	tyz := component(func(kx, ky, kz, k2 float64) float64 { return ky * kz / k2 })
+
+	src := make([]complex128, size)
+	for i := 0; i < size; i++ {
+		s := txx[i]*tyy[i] + txx[i]*tzz[i] + tyy[i]*tzz[i] -
+			txy[i]*txy[i] - txz[i]*txz[i] - tyz[i]*tyz[i]
+		src[i] = complex(s, 0)
+	}
+	plan.Forward(src)
+
+	p2x := make([]complex128, size)
+	p2y := make([]complex128, size)
+	p2z := make([]complex128, size)
+	for jx := 0; jx < n; jx++ {
+		kx := kOf(jx)
+		for jy := 0; jy < n; jy++ {
+			ky := kOf(jy)
+			base := (jx*n + jy) * n
+			for jz := 0; jz < n; jz++ {
+				kz := kOf(jz)
+				k2 := kx*kx + ky*ky + kz*kz
+				if k2 == 0 || fold(jx, n) == -n/2 || fold(jy, n) == -n/2 || fold(jz, n) == -n/2 {
+					continue
+				}
+				// (∇φ⁽²⁾)̂ = −ik·Ŝ/k² (from ∇²φ⁽²⁾ = S).
+				g := src[base+jz] * complex(0, -1/k2)
+				p2x[base+jz] = g * complex(kx, 0)
+				p2y[base+jz] = g * complex(ky, 0)
+				p2z[base+jz] = g * complex(kz, 0)
+			}
+		}
+	}
+	plan.Inverse(p2x)
+	plan.Inverse(p2y)
+	plan.Inverse(p2z)
+	f.Psi2X = make([]float64, size)
+	f.Psi2Y = make([]float64, size)
+	f.Psi2Z = make([]float64, size)
+	for i := 0; i < size; i++ {
+		f.Psi2X[i] = real(p2x[i])
+		f.Psi2Y[i] = real(p2y[i])
+		f.Psi2Z[i] = real(p2z[i])
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+// Package mesh implements the serial particle-mesh (PM) long-range gravity
+// solver of the TreePM split: TSC (triangular-shaped cloud) mass assignment,
+// an FFT Poisson solve with the S2-shape long-range Green's function,
+// four-point finite-difference accelerations on the mesh, and TSC force
+// interpolation back to particle positions — the five PM steps of §II-B of
+// the paper, without the parallel mesh conversions (those live in pmpar).
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"greem/internal/fft"
+)
+
+// S2Hat is the Fourier transform of the unit-mass S2 density shape of paper
+// eq. 1: S̃2(u) = 12(2 − 2cos u − u sin u)/u⁴ with u = k·rcut/2. It tends to
+// 1 as u → 0 (point mass) and falls off as u⁻³, which is what confines the
+// PM force to long wavelengths.
+func S2Hat(u float64) float64 {
+	if u < 0.5 {
+		// The closed form suffers catastrophic cancellation as u → 0
+		// (2 − 2cos u − u·sin u ≈ u⁴/12 computed from O(1) terms), so use
+		// the series 1 − u²/15 + u⁴/560 − u⁶/37800 + O(u⁸/4·10⁶).
+		u2 := u * u
+		return 1 + u2*(-1.0/15+u2*(1.0/560-u2/37800))
+	}
+	return 12 * (2 - 2*math.Cos(u) - u*math.Sin(u)) / (u * u * u * u)
+}
+
+// KGreen returns the k-space Green's function multiplier for FFT mode
+// (jx, jy, jz) of an n³ mesh on a periodic box of side l:
+//
+//	G̃(k) = −4πG/k² · S̃2(k·rcut/2)²  [ · 1/W(k)² if deconvolve ]
+//
+// where W is the TSC assignment window, deconvolved twice (once for mass
+// assignment, once for force interpolation). The k = 0 mode returns 0, which
+// subtracts the mean density (the periodic "Jeans swindle"). The S̃2² factor
+// is the pair of S2 clouds whose mutual force defines the eq. 3 cutoff, so
+// PP + PM sums to the exact 1/r² pair force.
+func KGreen(jx, jy, jz, n int, l, g, rcut float64, deconvolve bool) float64 {
+	return KGreenW(jx, jy, jz, n, l, g, rcut, deconvolve, 3)
+}
+
+// foldMode maps an FFT index j ∈ [0, n) to the signed mode number in
+// [−n/2, n/2).
+func foldMode(j, n int) int {
+	if j > n/2 {
+		return j - n
+	}
+	if j == n/2 {
+		return -n / 2
+	}
+	return j
+}
+
+// tscWindow is the one-dimensional TSC assignment window in k-space,
+// sinc³(π·m/n) for mode m.
+func tscWindow(m, n int) float64 { return assignWindow(m, n, 3) }
+
+// assignWindow is sincᵖ(π·m/n): p = 2 for CIC, p = 3 for TSC.
+func assignWindow(m, n, p int) float64 {
+	if m == 0 {
+		return 1
+	}
+	x := math.Pi * float64(m) / float64(n)
+	s := math.Sin(x) / x
+	out := s
+	for i := 1; i < p; i++ {
+		out *= s
+	}
+	return out
+}
+
+// KGreenW is KGreen with an explicit assignment-window order for the
+// deconvolution (2 = CIC, 3 = TSC).
+func KGreenW(jx, jy, jz, n int, l, g, rcut float64, deconvolve bool, order int) float64 {
+	if jx == 0 && jy == 0 && jz == 0 {
+		return 0
+	}
+	nx := foldMode(jx, n)
+	ny := foldMode(jy, n)
+	nz := foldMode(jz, n)
+	kx := 2 * math.Pi * float64(nx) / l
+	ky := 2 * math.Pi * float64(ny) / l
+	kz := 2 * math.Pi * float64(nz) / l
+	k2 := kx*kx + ky*ky + kz*kz
+	s := S2Hat(math.Sqrt(k2) * rcut / 2)
+	out := -4 * math.Pi * g / k2 * s * s
+	if deconvolve {
+		w := assignWindow(nx, n, order) * assignWindow(ny, n, order) * assignWindow(nz, n, order)
+		out /= w * w
+	}
+	return out
+}
+
+// PM is a serial particle-mesh solver on an n³ periodic mesh.
+type PM struct {
+	n          int
+	l          float64
+	g          float64
+	rcut       float64
+	deconvolve bool
+	spectral   bool
+	// order is the assignment-window order: 3 = TSC (default, the paper's
+	// scheme, 27-point), 2 = CIC (8-point, the cheaper/noisier ablation).
+	order int
+
+	h    float64 // cell size l/n
+	plan *fft.Plan3
+
+	Rho        []float64 // density mesh, ρ (mass / volume)
+	Phi        []float64 // potential mesh
+	Fx, Fy, Fz []float64 // acceleration meshes
+	work       []complex128
+}
+
+// Option configures a PM solver.
+type Option func(*PM)
+
+// WithoutDeconvolution disables the TSC window deconvolution (an ablation;
+// the production configuration deconvolves).
+func WithoutDeconvolution() Option { return func(p *PM) { p.deconvolve = false } }
+
+// WithCIC switches mass assignment and force interpolation from TSC (the
+// paper's 27-point scheme) to cloud-in-cell (8-point) — the classic cheaper
+// assignment whose extra mesh-scale noise the TSC choice avoids.
+func WithCIC() Option { return func(p *PM) { p.order = 2 } }
+
+// WithSpectralDifferentiation replaces the four-point real-space finite
+// difference with exact k-space differentiation (multiplying by ik). This is
+// the ablation the paper's scheme trades away: it needs three inverse FFTs
+// instead of one, but removes the differencing error at mesh-scale
+// wavelengths.
+func WithSpectralDifferentiation() Option { return func(p *PM) { p.spectral = true } }
+
+// New creates a PM solver for an n³ mesh (n a power of two) on a periodic
+// box of side l with gravitational constant g and force-split radius rcut.
+func New(n int, l, g, rcut float64, opts ...Option) (*PM, error) {
+	if l <= 0 || g <= 0 || rcut <= 0 {
+		return nil, fmt.Errorf("mesh: l, g, rcut must be positive (got %v, %v, %v)", l, g, rcut)
+	}
+	plan, err := fft.NewPlan3(n, n, n)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: %w", err)
+	}
+	size := n * n * n
+	pm := &PM{
+		n: n, l: l, g: g, rcut: rcut, deconvolve: true, order: 3,
+		h:    l / float64(n),
+		plan: plan,
+		Rho:  make([]float64, size),
+		Phi:  make([]float64, size),
+		Fx:   make([]float64, size),
+		Fy:   make([]float64, size),
+		Fz:   make([]float64, size),
+		work: make([]complex128, size),
+	}
+	for _, o := range opts {
+		o(pm)
+	}
+	return pm, nil
+}
+
+// N returns the mesh size per dimension.
+func (pm *PM) N() int { return pm.n }
+
+// CellSize returns l/n.
+func (pm *PM) CellSize() float64 { return pm.h }
+
+// Clear zeroes the density mesh ahead of a new assignment pass.
+func (pm *PM) Clear() {
+	for i := range pm.Rho {
+		pm.Rho[i] = 0
+	}
+}
+
+func (pm *PM) idx(ix, iy, iz int) int { return (ix*pm.n+iy)*pm.n + iz }
+
+// tsc computes the assignment base index and weights for coordinate x (in
+// [0, l)): three TSC weights at (i0, i0+1, i0+2) mod n, or — in CIC mode —
+// two linear weights with w[2] = 0.
+func (pm *PM) tsc(x float64) (i0 int, w [3]float64) {
+	u := x / pm.h
+	if pm.order == 2 {
+		f := math.Floor(u)
+		d := u - f
+		w[0] = 1 - d
+		w[1] = d
+		return int(f), w
+	}
+	ng := math.Round(u)
+	d := u - ng
+	w[0] = 0.5 * (0.5 - d) * (0.5 - d)
+	w[1] = 0.75 - d*d
+	w[2] = 0.5 * (0.5 + d) * (0.5 + d)
+	i0 = int(ng) - 1
+	return i0, w
+}
+
+// support returns the per-axis stencil width (2 for CIC, 3 for TSC).
+func (pm *PM) support() int {
+	if pm.order == 2 {
+		return 2
+	}
+	return 3
+}
+
+func (pm *PM) wrapIdx(i int) int {
+	i %= pm.n
+	if i < 0 {
+		i += pm.n
+	}
+	return i
+}
+
+// AssignTSC deposits the masses m at positions (x, y, z) onto the density
+// mesh with the TSC scheme, in which each particle interacts with 27 grid
+// points (paper §II-B step 1). Positions must lie in [0, l).
+func (pm *PM) AssignTSC(x, y, z, m []float64) {
+	vinv := 1 / (pm.h * pm.h * pm.h)
+	sup := pm.support()
+	for p := range x {
+		ix, wx := pm.tsc(x[p])
+		iy, wy := pm.tsc(y[p])
+		iz, wz := pm.tsc(z[p])
+		mv := m[p] * vinv
+		for a := 0; a < sup; a++ {
+			ia := pm.wrapIdx(ix + a)
+			wxa := wx[a] * mv
+			for b := 0; b < sup; b++ {
+				ib := pm.wrapIdx(iy + b)
+				wab := wxa * wy[b]
+				rowBase := (ia*pm.n + ib) * pm.n
+				for c := 0; c < sup; c++ {
+					ic := pm.wrapIdx(iz + c)
+					pm.Rho[rowBase+ic] += wab * wz[c]
+				}
+			}
+		}
+	}
+}
+
+// Solve computes the long-range potential from the density mesh: forward
+// FFT, Green's-function convolution, inverse FFT (paper §II-B step 3).
+func (pm *PM) Solve() {
+	n := pm.n
+	for i, r := range pm.Rho {
+		pm.work[i] = complex(r, 0)
+	}
+	pm.plan.Forward(pm.work)
+	for jx := 0; jx < n; jx++ {
+		for jy := 0; jy < n; jy++ {
+			base := (jx*n + jy) * n
+			for jz := 0; jz < n; jz++ {
+				gk := KGreenW(jx, jy, jz, n, pm.l, pm.g, pm.rcut, pm.deconvolve, pm.order)
+				pm.work[base+jz] *= complex(gk, 0)
+			}
+		}
+	}
+	pm.plan.Inverse(pm.work)
+	for i := range pm.Phi {
+		pm.Phi[i] = real(pm.work[i])
+	}
+}
+
+// DiffForce computes accelerations on the mesh from the potential with the
+// four-point finite difference
+//
+//	f = −dφ/dx ≈ −[8(φ(i+1) − φ(i−1)) − (φ(i+2) − φ(i−2))] / (12h)
+//
+// (paper §II-B step 5, first half).
+func (pm *PM) DiffForce() {
+	n := pm.n
+	c := 1 / (12 * pm.h)
+	for ix := 0; ix < n; ix++ {
+		xp1, xm1 := pm.wrapIdx(ix+1), pm.wrapIdx(ix-1)
+		xp2, xm2 := pm.wrapIdx(ix+2), pm.wrapIdx(ix-2)
+		for iy := 0; iy < n; iy++ {
+			yp1, ym1 := pm.wrapIdx(iy+1), pm.wrapIdx(iy-1)
+			yp2, ym2 := pm.wrapIdx(iy+2), pm.wrapIdx(iy-2)
+			for iz := 0; iz < n; iz++ {
+				zp1, zm1 := pm.wrapIdx(iz+1), pm.wrapIdx(iz-1)
+				zp2, zm2 := pm.wrapIdx(iz+2), pm.wrapIdx(iz-2)
+				i := pm.idx(ix, iy, iz)
+				pm.Fx[i] = -c * (8*(pm.Phi[pm.idx(xp1, iy, iz)]-pm.Phi[pm.idx(xm1, iy, iz)]) -
+					(pm.Phi[pm.idx(xp2, iy, iz)] - pm.Phi[pm.idx(xm2, iy, iz)]))
+				pm.Fy[i] = -c * (8*(pm.Phi[pm.idx(ix, yp1, iz)]-pm.Phi[pm.idx(ix, ym1, iz)]) -
+					(pm.Phi[pm.idx(ix, yp2, iz)] - pm.Phi[pm.idx(ix, ym2, iz)]))
+				pm.Fz[i] = -c * (8*(pm.Phi[pm.idx(ix, iy, zp1)]-pm.Phi[pm.idx(ix, iy, zm1)]) -
+					(pm.Phi[pm.idx(ix, iy, zp2)] - pm.Phi[pm.idx(ix, iy, zm2)]))
+			}
+		}
+	}
+}
+
+// InterpolateTSC adds the mesh accelerations, TSC-interpolated at each
+// particle position, into (ax, ay, az) (paper §II-B step 5, second half).
+func (pm *PM) InterpolateTSC(x, y, z []float64, ax, ay, az []float64) {
+	for p := range x {
+		ix, wx := pm.tsc(x[p])
+		iy, wy := pm.tsc(y[p])
+		iz, wz := pm.tsc(z[p])
+		var fx, fy, fz float64
+		sup := pm.support()
+		for a := 0; a < sup; a++ {
+			ia := pm.wrapIdx(ix + a)
+			for b := 0; b < sup; b++ {
+				ib := pm.wrapIdx(iy + b)
+				wab := wx[a] * wy[b]
+				rowBase := (ia*pm.n + ib) * pm.n
+				for c := 0; c < sup; c++ {
+					ic := pm.wrapIdx(iz + c)
+					w := wab * wz[c]
+					fx += w * pm.Fx[rowBase+ic]
+					fy += w * pm.Fy[rowBase+ic]
+					fz += w * pm.Fz[rowBase+ic]
+				}
+			}
+		}
+		ax[p] += fx
+		ay[p] += fy
+		az[p] += fz
+	}
+}
+
+// InterpolatePot returns the TSC-interpolated long-range potential at the
+// given positions (a diagnostic for energy bookkeeping).
+func (pm *PM) InterpolatePot(x, y, z []float64, pot []float64) {
+	for p := range x {
+		ix, wx := pm.tsc(x[p])
+		iy, wy := pm.tsc(y[p])
+		iz, wz := pm.tsc(z[p])
+		var s float64
+		sup := pm.support()
+		for a := 0; a < sup; a++ {
+			ia := pm.wrapIdx(ix + a)
+			for b := 0; b < sup; b++ {
+				ib := pm.wrapIdx(iy + b)
+				wab := wx[a] * wy[b]
+				rowBase := (ia*pm.n + ib) * pm.n
+				for c := 0; c < sup; c++ {
+					ic := pm.wrapIdx(iz + c)
+					s += wab * wz[c] * pm.Phi[rowBase+ic]
+				}
+			}
+		}
+		pot[p] += s
+	}
+}
+
+// SolveSpectral computes the potential and the three acceleration meshes by
+// k-space differentiation (see WithSpectralDifferentiation).
+func (pm *PM) SolveSpectral() {
+	n := pm.n
+	for i, r := range pm.Rho {
+		pm.work[i] = complex(r, 0)
+	}
+	pm.plan.Forward(pm.work)
+	phiHat := make([]complex128, len(pm.work))
+	fxHat := make([]complex128, len(pm.work))
+	fyHat := make([]complex128, len(pm.work))
+	fzHat := make([]complex128, len(pm.work))
+	twoPiL := 2 * math.Pi / pm.l
+	for jx := 0; jx < n; jx++ {
+		kx := twoPiL * float64(foldMode(jx, n))
+		for jy := 0; jy < n; jy++ {
+			ky := twoPiL * float64(foldMode(jy, n))
+			base := (jx*n + jy) * n
+			for jz := 0; jz < n; jz++ {
+				kz := twoPiL * float64(foldMode(jz, n))
+				gk := KGreenW(jx, jy, jz, n, pm.l, pm.g, pm.rcut, pm.deconvolve, pm.order)
+				ph := pm.work[base+jz] * complex(gk, 0)
+				phiHat[base+jz] = ph
+				// f = −∇φ ⇒ f̂ = −ik·φ̂.
+				fxHat[base+jz] = complex(0, -kx) * ph
+				fyHat[base+jz] = complex(0, -ky) * ph
+				fzHat[base+jz] = complex(0, -kz) * ph
+			}
+		}
+	}
+	pm.plan.Inverse(phiHat)
+	pm.plan.Inverse(fxHat)
+	pm.plan.Inverse(fyHat)
+	pm.plan.Inverse(fzHat)
+	for i := range pm.Phi {
+		pm.Phi[i] = real(phiHat[i])
+		pm.Fx[i] = real(fxHat[i])
+		pm.Fy[i] = real(fyHat[i])
+		pm.Fz[i] = real(fzHat[i])
+	}
+}
+
+// Accel runs the full PM pipeline — clear, assign, solve, difference,
+// interpolate — adding long-range accelerations into (ax, ay, az).
+func (pm *PM) Accel(x, y, z, m []float64, ax, ay, az []float64) {
+	pm.Clear()
+	pm.AssignTSC(x, y, z, m)
+	if pm.spectral {
+		pm.SolveSpectral()
+	} else {
+		pm.Solve()
+		pm.DiffForce()
+	}
+	pm.InterpolateTSC(x, y, z, ax, ay, az)
+}

@@ -1,0 +1,529 @@
+// Package mpi is an in-process message-passing runtime that stands in for
+// MPI on K computer: ranks are goroutines, communicators support the
+// collectives GreeM uses (Barrier, Bcast, Reduce, Allreduce, Gather,
+// Allgather, Alltoall/Alltoallv, Comm_split), and every operation is
+// recorded in a traffic ledger so the perfmodel package can replay the
+// communication pattern against a modeled interconnect.
+//
+// Semantics mirror MPI: all ranks of a communicator must call collectives in
+// the same order; Split must be called by every rank of the parent. Data
+// returned from collectives is always a private copy.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"unsafe"
+)
+
+// Run executes body on n ranks (goroutines) sharing one world. It returns
+// the first panic converted to an error, after all ranks have finished or
+// the panicking rank has unwound. A panicking rank closes the world so
+// blocked peers fail fast rather than deadlock.
+func Run(n int, body func(c *Comm)) error {
+	if n < 1 {
+		return fmt.Errorf("mpi: need at least one rank, got %d", n)
+	}
+	w := &world{
+		size:    n,
+		boards:  make(map[boardKey]*board),
+		mail:    make(map[mailKey]*mailbox),
+		Traffic: &Traffic{},
+	}
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					}
+					errMu.Unlock()
+					w.abort()
+				}
+			}()
+			members := make([]int, n)
+			for i := range members {
+				members[i] = i
+			}
+			body(&Comm{world: w, id: commID{}, rank: rank, size: n, members: members})
+		}(r)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RunCollect is Run plus a per-rank result slice: body's return value for
+// rank r lands in out[r].
+func RunCollect[T any](n int, body func(c *Comm) T) ([]T, error) {
+	out := make([]T, n)
+	err := Run(n, func(c *Comm) {
+		out[c.Rank()] = body(c)
+	})
+	return out, err
+}
+
+type commID struct {
+	parent uint64 // hash-chained id; world = 0
+	seq    int    // split sequence number within parent
+	color  int
+}
+
+type boardKey struct {
+	id  commID
+	seq int // collective sequence number within the comm
+}
+
+type mailKey struct {
+	id       commID
+	src, dst int
+	tag      int
+}
+
+type world struct {
+	size    int
+	mu      sync.Mutex
+	boards  map[boardKey]*board
+	mail    map[mailKey]*mailbox
+	aborted bool
+	abortCh chan struct{}
+	Traffic *Traffic
+}
+
+func (w *world) abort() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.aborted {
+		w.aborted = true
+		if w.abortCh != nil {
+			close(w.abortCh)
+		}
+	}
+	for _, b := range w.boards {
+		b.abort()
+	}
+	for _, m := range w.mail {
+		m.abort()
+	}
+}
+
+func (w *world) getBoard(k boardKey, size int) *board {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, ok := w.boards[k]
+	if !ok {
+		b = newBoard(size, w.aborted)
+		w.boards[k] = b
+	}
+	return b
+}
+
+func (w *world) dropBoard(k boardKey) {
+	w.mu.Lock()
+	delete(w.boards, k)
+	w.mu.Unlock()
+}
+
+func (w *world) getMailbox(k mailKey) *mailbox {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m, ok := w.mail[k]
+	if !ok {
+		m = newMailbox(w.aborted)
+		w.mail[k] = m
+	}
+	return m
+}
+
+// Comm is a communicator handle held by one rank.
+type Comm struct {
+	world   *world
+	id      commID
+	rank    int
+	size    int
+	members []int // world ranks of the members, indexed by comm rank
+	seq     int   // next collective sequence number
+	nsplit  int
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// WorldRank returns this process's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.members[c.rank] }
+
+// Members returns the world ranks of the communicator's members (comm rank
+// order). The returned slice must not be modified.
+func (c *Comm) Members() []int { return c.members }
+
+// Traffic returns the world-wide traffic ledger.
+func (c *Comm) Traffic() *Traffic { return c.world.Traffic }
+
+// nextBoard returns this comm's board for the next collective. Every member
+// calls it in lock-step (collective ordering contract).
+func (c *Comm) nextBoard() (*board, boardKey) {
+	k := boardKey{id: c.id, seq: c.seq}
+	c.seq++
+	return c.world.getBoard(k, c.size), k
+}
+
+func elemSize[T any]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() {
+	b, k := c.nextBoard()
+	b.await()
+	b.await()
+	if c.rank == 0 {
+		c.world.dropBoard(k)
+	}
+}
+
+// Bcast distributes root's data to every rank; each rank receives a copy.
+// Non-root ranks pass their (ignored) local value, typically nil.
+func Bcast[T any](c *Comm, root int, data []T) []T {
+	b, k := c.nextBoard()
+	if c.rank == root {
+		b.slots[c.rank] = data
+	}
+	b.await()
+	src := b.slots[root].([]T)
+	out := append([]T(nil), src...)
+	if c.rank == root {
+		// Model a binomial broadcast tree: log₂(p) rounds.
+		c.world.Traffic.recordTree(c, root, len(src)*elemSize[T](), "Bcast", false)
+	}
+	b.await()
+	if c.rank == 0 {
+		c.world.dropBoard(k)
+	}
+	return out
+}
+
+// Gather collects each rank's data at root; returns per-rank slices at root
+// and nil elsewhere.
+func Gather[T any](c *Comm, root int, data []T) [][]T {
+	b, k := c.nextBoard()
+	b.slots[c.rank] = data
+	b.await()
+	var out [][]T
+	if c.rank == root {
+		out = make([][]T, c.size)
+		var msgs []Message
+		for i := 0; i < c.size; i++ {
+			s := b.slots[i].([]T)
+			out[i] = append([]T(nil), s...)
+			if i != root {
+				msgs = append(msgs, Message{Src: c.members[i], Dst: c.members[root], Bytes: len(s) * elemSize[T]()})
+			}
+		}
+		c.world.Traffic.record(Op{Name: "Gather", Comm: c.id, CommSize: c.size, Msgs: msgs})
+	}
+	b.await()
+	if c.rank == 0 {
+		c.world.dropBoard(k)
+	}
+	return out
+}
+
+// Allgather collects every rank's data everywhere.
+func Allgather[T any](c *Comm, data []T) [][]T {
+	b, k := c.nextBoard()
+	b.slots[c.rank] = data
+	b.await()
+	out := make([][]T, c.size)
+	var msgs []Message
+	for i := 0; i < c.size; i++ {
+		s := b.slots[i].([]T)
+		out[i] = append([]T(nil), s...)
+		if c.rank == 0 {
+			for j := 0; j < c.size; j++ {
+				if i != j {
+					msgs = append(msgs, Message{Src: c.members[i], Dst: c.members[j], Bytes: len(s) * elemSize[T]()})
+				}
+			}
+		}
+	}
+	if c.rank == 0 {
+		c.world.Traffic.record(Op{Name: "Allgather", Comm: c.id, CommSize: c.size, Msgs: msgs})
+	}
+	b.await()
+	if c.rank == 0 {
+		c.world.dropBoard(k)
+	}
+	return out
+}
+
+// Alltoall delivers send[j] from each rank to rank j; the result's element i
+// is what rank i sent to this rank. Slices may have arbitrary per-pair
+// lengths, so this doubles as MPI_Alltoallv.
+func Alltoall[T any](c *Comm, send [][]T) [][]T {
+	if len(send) != c.size {
+		panic(fmt.Sprintf("mpi: Alltoall send has %d entries for %d ranks", len(send), c.size))
+	}
+	b, k := c.nextBoard()
+	b.slots[c.rank] = send
+	b.await()
+	out := make([][]T, c.size)
+	for i := 0; i < c.size; i++ {
+		s := b.slots[i].([][]T)[c.rank]
+		out[i] = append([]T(nil), s...)
+	}
+	if c.rank == 0 {
+		var msgs []Message
+		for i := 0; i < c.size; i++ {
+			si := b.slots[i].([][]T)
+			for j := 0; j < c.size; j++ {
+				if i == j || len(si[j]) == 0 {
+					continue
+				}
+				msgs = append(msgs, Message{Src: c.members[i], Dst: c.members[j], Bytes: len(si[j]) * elemSize[T]()})
+			}
+		}
+		c.world.Traffic.record(Op{Name: "Alltoallv", Comm: c.id, CommSize: c.size, Msgs: msgs})
+	}
+	b.await()
+	if c.rank == 0 {
+		c.world.dropBoard(k)
+	}
+	return out
+}
+
+// Reduce combines equal-length slices element-wise with op, leaving the
+// result at root (nil elsewhere). The combine order is fixed (rank 0..p−1)
+// for determinism.
+func Reduce[T any](c *Comm, root int, data []T, op func(a, b T) T) []T {
+	b, k := c.nextBoard()
+	b.slots[c.rank] = data
+	b.await()
+	var out []T
+	if c.rank == root {
+		out = append([]T(nil), b.slots[0].([]T)...)
+		for i := 1; i < c.size; i++ {
+			s := b.slots[i].([]T)
+			if len(s) != len(out) {
+				panic("mpi: Reduce length mismatch")
+			}
+			for j := range out {
+				out[j] = op(out[j], s[j])
+			}
+		}
+		c.world.Traffic.recordTree(c, root, len(out)*elemSize[T](), "Reduce", true)
+	}
+	b.await()
+	if c.rank == 0 {
+		c.world.dropBoard(k)
+	}
+	return out
+}
+
+// Allreduce is Reduce delivered to every rank.
+func Allreduce[T any](c *Comm, data []T, op func(a, b T) T) []T {
+	b, k := c.nextBoard()
+	b.slots[c.rank] = data
+	b.await()
+	out := append([]T(nil), b.slots[0].([]T)...)
+	for i := 1; i < c.size; i++ {
+		s := b.slots[i].([]T)
+		if len(s) != len(out) {
+			panic("mpi: Allreduce length mismatch")
+		}
+		for j := range out {
+			out[j] = op(out[j], s[j])
+		}
+	}
+	if c.rank == 0 {
+		c.world.Traffic.recordTree(c, 0, len(out)*elemSize[T](), "Allreduce", true)
+	}
+	b.await()
+	if c.rank == 0 {
+		c.world.dropBoard(k)
+	}
+	return out
+}
+
+// Sum is the addition reducer for Reduce/Allreduce.
+func Sum[T int | int64 | float64](a, b T) T { return a + b }
+
+// Max is the maximum reducer.
+func Max[T int | int64 | float64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min is the minimum reducer.
+func Min[T int | int64 | float64](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Split partitions the communicator by color, ordering ranks within each
+// child by (key, parent rank), exactly like MPI_Comm_split. Every rank of
+// the parent must call Split; each receives its own child communicator.
+func (c *Comm) Split(color, key int) *Comm {
+	type ck struct{ Color, Key, Rank int }
+	all := Allgather(c, []ck{{color, key, c.rank}})
+	var mine []ck
+	for _, s := range all {
+		if s[0].Color == color {
+			mine = append(mine, s[0])
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].Key != mine[j].Key {
+			return mine[i].Key < mine[j].Key
+		}
+		return mine[i].Rank < mine[j].Rank
+	})
+	newRank := -1
+	members := make([]int, len(mine))
+	for i, s := range mine {
+		members[i] = c.members[s.Rank]
+		if s.Rank == c.rank {
+			newRank = i
+		}
+	}
+	child := &Comm{
+		world:   c.world,
+		id:      commID{parent: hashID(c.id), seq: c.nsplit, color: color},
+		rank:    newRank,
+		size:    len(mine),
+		members: members,
+	}
+	c.nsplit++
+	return child
+}
+
+func hashID(id commID) uint64 {
+	h := id.parent*1000003 + uint64(id.seq)*8191 + uint64(int64(id.color))*131
+	return h*2654435761 + 1
+}
+
+// Send delivers data to dst (comm rank) with a tag; it does not block on the
+// receiver (buffered, like MPI_Isend + eventual completion).
+func Send[T any](c *Comm, dst, tag int, data []T) {
+	k := mailKey{id: c.id, src: c.rank, dst: dst, tag: tag}
+	m := c.world.getMailbox(k)
+	m.put(append([]T(nil), data...))
+	c.world.Traffic.record(Op{Name: "Send", Comm: c.id, CommSize: c.size, Msgs: []Message{
+		{Src: c.members[c.rank], Dst: c.members[dst], Bytes: len(data) * elemSize[T]()},
+	}})
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns it.
+func Recv[T any](c *Comm, src, tag int) []T {
+	k := mailKey{id: c.id, src: src, dst: c.rank, tag: tag}
+	m := c.world.getMailbox(k)
+	v := m.take()
+	if v == nil {
+		panic("mpi: Recv on aborted world")
+	}
+	return v.([]T)
+}
+
+// --- synchronization primitives ---
+
+// board is a slot array plus a reusable barrier for one collective.
+type board struct {
+	slots []any
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+	gen   int
+	size  int
+	dead  bool
+}
+
+func newBoard(size int, dead bool) *board {
+	b := &board{slots: make([]any, size), size: size, dead: dead}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *board) abort() {
+	b.mu.Lock()
+	b.dead = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *board) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		panic("mpi: collective on aborted world")
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.dead {
+		b.cond.Wait()
+	}
+	if b.dead {
+		panic("mpi: collective on aborted world")
+	}
+}
+
+// mailbox is an unbounded FIFO queue for one (comm, src, dst, tag) edge.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []any
+	dead bool
+}
+
+func newMailbox(dead bool) *mailbox {
+	m := &mailbox{dead: dead}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.dead = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) put(v any) {
+	m.mu.Lock()
+	m.q = append(m.q, v)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) take() any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.dead {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return nil
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v
+}

@@ -1,0 +1,490 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunBasics(t *testing.T) {
+	var count int64
+	err := Run(8, func(c *Comm) {
+		if c.Size() != 8 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		atomic.AddInt64(&count, int64(c.Rank()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 28 {
+		t.Errorf("rank sum = %d, want 28", count)
+	}
+}
+
+func TestRunRejectsZeroRanks(t *testing.T) {
+	if err := Run(0, func(*Comm) {}); err == nil {
+		t.Error("accepted 0 ranks")
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		// Other ranks block in a collective; abort must unblock them.
+		defer func() { recover() }()
+		c.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const p = 16
+	var before, after int64
+	err := Run(p, func(c *Comm) {
+		atomic.AddInt64(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&before) != p {
+			t.Errorf("rank %d passed barrier before all arrived", c.Rank())
+		}
+		atomic.AddInt64(&after, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != p {
+		t.Errorf("after = %d", after)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	res, err := RunCollect(7, func(c *Comm) []float64 {
+		var data []float64
+		if c.Rank() == 3 {
+			data = []float64{1, 2, 3}
+		}
+		return Bcast(c, 3, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range res {
+		if len(v) != 3 || v[0] != 1 || v[2] != 3 {
+			t.Errorf("rank %d got %v", r, v)
+		}
+	}
+}
+
+func TestBcastReturnsPrivateCopies(t *testing.T) {
+	res, err := RunCollect(4, func(c *Comm) []int {
+		var data []int
+		if c.Rank() == 0 {
+			data = []int{42}
+		}
+		out := Bcast(c, 0, data)
+		out[0] += c.Rank() // must not affect other ranks
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range res {
+		if v[0] != 42+r {
+			t.Errorf("rank %d sees shared mutation: %v", r, v)
+		}
+	}
+}
+
+func TestGatherAllgather(t *testing.T) {
+	err := Run(5, func(c *Comm) {
+		mine := []int{c.Rank() * 10, c.Rank()}
+		g := Gather(c, 2, mine)
+		if c.Rank() == 2 {
+			for i := 0; i < 5; i++ {
+				if g[i][0] != i*10 || g[i][1] != i {
+					t.Errorf("Gather[%d] = %v", i, g[i])
+				}
+			}
+		} else if g != nil {
+			t.Errorf("non-root got %v", g)
+		}
+		ag := Allgather(c, mine)
+		for i := 0; i < 5; i++ {
+			if ag[i][0] != i*10 {
+				t.Errorf("Allgather[%d] = %v", i, ag[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallVaryingLengths(t *testing.T) {
+	// Rank i sends i copies of value i·100+j to rank j.
+	const p = 6
+	err := Run(p, func(c *Comm) {
+		send := make([][]int, p)
+		for j := 0; j < p; j++ {
+			for k := 0; k < c.Rank(); k++ {
+				send[j] = append(send[j], c.Rank()*100+j)
+			}
+		}
+		got := Alltoall(c, send)
+		for i := 0; i < p; i++ {
+			if len(got[i]) != i {
+				t.Errorf("rank %d: from %d got %d items, want %d", c.Rank(), i, len(got[i]), i)
+			}
+			for _, v := range got[i] {
+				if v != i*100+c.Rank() {
+					t.Errorf("rank %d: bad value %d from %d", c.Rank(), v, i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAllreduce(t *testing.T) {
+	err := Run(9, func(c *Comm) {
+		data := []float64{float64(c.Rank()), 1}
+		r := Reduce(c, 0, data, Sum[float64])
+		if c.Rank() == 0 {
+			if r[0] != 36 || r[1] != 9 {
+				t.Errorf("Reduce = %v", r)
+			}
+		} else if r != nil {
+			t.Errorf("non-root Reduce = %v", r)
+		}
+		ar := Allreduce(c, []int{c.Rank()}, Max[int])
+		if ar[0] != 8 {
+			t.Errorf("Allreduce max = %v", ar)
+		}
+		mn := Allreduce(c, []int{c.Rank() + 5}, Min[int])
+		if mn[0] != 5 {
+			t.Errorf("Allreduce min = %v", mn)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		// Ring: each rank sends to (rank+1)%4.
+		next := (c.Rank() + 1) % 4
+		prev := (c.Rank() + 3) % 4
+		Send(c, next, 7, []float64{float64(c.Rank())})
+		got := Recv[float64](c, prev, 7)
+		if got[0] != float64(prev) {
+			t.Errorf("rank %d got %v from %d", c.Rank(), got, prev)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvTagMatching(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, 1, []int{111})
+			Send(c, 1, 2, []int{222})
+		} else {
+			// Receive in reverse tag order; tags must match.
+			b := Recv[int](c, 0, 2)
+			a := Recv[int](c, 0, 1)
+			if a[0] != 111 || b[0] != 222 {
+				t.Errorf("tag matching broken: %v %v", a, b)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSemantics(t *testing.T) {
+	// 12 ranks, 3 colors by rank%3; key = −rank to reverse ordering.
+	err := Run(12, func(c *Comm) {
+		sub := c.Split(c.Rank()%3, -c.Rank())
+		if sub.Size() != 4 {
+			t.Errorf("subcomm size %d", sub.Size())
+		}
+		// With key = −rank, the highest parent rank gets child rank 0.
+		wantRank := 3 - c.Rank()/3
+		if sub.Rank() != wantRank {
+			t.Errorf("parent %d: child rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Collectives on the child work and are isolated per color.
+		sum := Allreduce(sub, []int{c.Rank()}, Sum[int])
+		want := 0
+		for i := 0; i < 12; i++ {
+			if i%3 == c.Rank()%3 {
+				want += i
+			}
+		}
+		if sum[0] != want {
+			t.Errorf("color %d sum = %d, want %d", c.Rank()%3, sum[0], want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitThenWorldCollectivesInterleave(t *testing.T) {
+	err := Run(8, func(c *Comm) {
+		sub := c.Split(c.Rank()/4, c.Rank())
+		for it := 0; it < 5; it++ {
+			s1 := Allreduce(sub, []int{1}, Sum[int])
+			if s1[0] != 4 {
+				t.Errorf("sub sum = %d", s1[0])
+			}
+			s2 := Allreduce(c, []int{1}, Sum[int])
+			if s2[0] != 8 {
+				t.Errorf("world sum = %d", s2[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSplit(t *testing.T) {
+	err := Run(8, func(c *Comm) {
+		half := c.Split(c.Rank()/4, c.Rank())
+		pair := half.Split(half.Rank()/2, half.Rank())
+		if pair.Size() != 2 {
+			t.Errorf("pair size %d", pair.Size())
+		}
+		sum := Allreduce(pair, []int{c.WorldRank()}, Sum[int])
+		// Pairs are (0,1),(2,3),(4,5),(6,7) in world ranks.
+		base := (c.WorldRank() / 2) * 2
+		if sum[0] != base+base+1 {
+			t.Errorf("pair sum = %d for world rank %d", sum[0], c.WorldRank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankMapping(t *testing.T) {
+	err := Run(6, func(c *Comm) {
+		sub := c.Split(0, 100-c.Rank()) // reversed order, single color
+		if sub.Members()[sub.Rank()] != c.Rank() {
+			t.Errorf("member mapping broken: %v at %d, world %d", sub.Members(), sub.Rank(), c.Rank())
+		}
+		if sub.WorldRank() != c.Rank() {
+			t.Errorf("WorldRank %d != %d", sub.WorldRank(), c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficLedgerAlltoall(t *testing.T) {
+	var total int64
+	var nmsg int64
+	err := Run(4, func(c *Comm) {
+		send := make([][]float64, 4)
+		for j := range send {
+			if j != c.Rank() {
+				send[j] = make([]float64, 10)
+			}
+		}
+		Alltoall(c, send)
+		c.Barrier()
+		if c.Rank() == 0 {
+			total = c.Traffic().TotalBytes()
+			nmsg = c.Traffic().TotalMessages()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks × 3 peers × 10 float64 = 960 bytes, 12 messages.
+	if total != 960 {
+		t.Errorf("TotalBytes = %d, want 960", total)
+	}
+	if nmsg != 12 {
+		t.Errorf("TotalMessages = %d, want 12", nmsg)
+	}
+}
+
+func TestTrafficTreeShape(t *testing.T) {
+	var ops []Op
+	err := Run(8, func(c *Comm) {
+		Reduce(c, 3, []float64{1}, Sum[float64])
+		c.Barrier()
+		if c.Rank() == 0 {
+			ops = c.Traffic().Ops()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reduceOp *Op
+	for i := range ops {
+		if ops[i].Name == "Reduce" {
+			reduceOp = &ops[i]
+		}
+	}
+	if reduceOp == nil {
+		t.Fatal("no Reduce op recorded")
+	}
+	// Binomial tree on 8 ranks = 7 messages, all eventually reaching root 3.
+	if len(reduceOp.Msgs) != 7 {
+		t.Errorf("tree messages = %d, want 7", len(reduceOp.Msgs))
+	}
+	dsts := map[int]int{}
+	for _, m := range reduceOp.Msgs {
+		dsts[m.Dst]++
+		if m.Src == m.Dst {
+			t.Errorf("self message %+v", m)
+		}
+	}
+	if dsts[3] != 3 { // root of an 8-leaf binomial tree has log2(8)=3 children
+		t.Errorf("root received %d messages, want 3", dsts[3])
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress")
+	}
+	const p = 128
+	err := Run(p, func(c *Comm) {
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		for it := 0; it < 20; it++ {
+			n := rng.Intn(50)
+			data := make([]float64, n)
+			Allgather(c, data)
+			s := Allreduce(c, []int{1}, Sum[int])
+			if s[0] != p {
+				t.Errorf("sum = %d", s[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallPanicsOnBadLength(t *testing.T) {
+	err := Run(3, func(c *Comm) {
+		if c.Rank() == 0 {
+			Alltoall(c, make([][]int, 2)) // wrong entry count: panics
+			return
+		}
+		// Peers block in a collective; the abort must unblock them (they
+		// panic too, which Run converts to the returned error).
+		c.Barrier()
+	})
+	if err == nil {
+		t.Error("expected error from panicking ranks")
+	}
+}
+
+func TestDeterministicReduceOrder(t *testing.T) {
+	// Floating-point reduce combines in rank order, so results are
+	// bit-reproducible across runs.
+	vals := make([]float64, 16)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1e10
+	}
+	run := func() float64 {
+		res, err := RunCollect(16, func(c *Comm) float64 {
+			return Allreduce(c, []float64{vals[c.Rank()]}, Sum[float64])[0]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res[1:] {
+			if v != res[0] {
+				t.Fatalf("ranks disagree: %v", res)
+			}
+		}
+		return res[0]
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic reduce: %v vs %v", a, b)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	// Split ties on key must order by parent rank (MPI semantics).
+	res, err := RunCollect(6, func(c *Comm) string {
+		sub := c.Split(0, 0) // all same color, same key
+		return fmt.Sprintf("%d→%d", c.Rank(), sub.Rank())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(res)
+	want := []string{"0→0", "1→1", "2→2", "3→3", "4→4", "5→5"}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Errorf("tie-break order: got %v", res)
+			break
+		}
+	}
+}
+
+func TestSendRecvFIFOOrdering(t *testing.T) {
+	// Messages on the same (src, dst, tag) edge arrive in send order.
+	err := Run(2, func(c *Comm) {
+		const k = 100
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				Send(c, 1, 5, []int{i})
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				got := Recv[int](c, 0, 5)
+				if got[0] != i {
+					t.Errorf("message %d arrived as %d", i, got[0])
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedTypeCollectivesInterleave(t *testing.T) {
+	// Different element types through the same comm in lock-step.
+	err := Run(3, func(c *Comm) {
+		type pair struct{ A, B int32 }
+		for it := 0; it < 5; it++ {
+			fs := Allgather(c, []float64{float64(c.Rank())})
+			ps := Allgather(c, []pair{{int32(c.Rank()), int32(it)}})
+			for r := 0; r < 3; r++ {
+				if fs[r][0] != float64(r) || ps[r][0].A != int32(r) || ps[r][0].B != int32(it) {
+					t.Errorf("mixed-type allgather corrupted at iter %d", it)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package mpi
+
+import "sync"
+
+// Message is one logical point-to-point transfer recorded in the ledger,
+// identified by world ranks.
+type Message struct {
+	Src, Dst int
+	Bytes    int
+}
+
+// Op is one communication operation (a collective or a Send) with its
+// constituent messages. For tree-shaped collectives (Reduce, Bcast) the
+// messages follow a binomial tree, which is how real MPI implementations
+// route them on a torus.
+type Op struct {
+	Name     string
+	Comm     commID
+	CommSize int
+	Msgs     []Message
+	// Label tags the op with the caller's phase (set via Traffic.SetLabel).
+	Label string
+}
+
+// Traffic is the world-wide ledger of communication operations. The
+// perfmodel package replays it against a modeled interconnect to produce
+// the paper's communication-time comparisons (naive vs relay mesh).
+type Traffic struct {
+	mu    sync.Mutex
+	ops   []Op
+	label string
+}
+
+func (t *Traffic) record(op Op) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	op.Label = t.label
+	t.ops = append(t.ops, op)
+	t.mu.Unlock()
+}
+
+// recordTree records a binomial-tree collective rooted at root (comm rank).
+// toRoot selects the reduce direction (leaves → root); otherwise broadcast.
+func (t *Traffic) recordTree(c *Comm, root, bytes int, name string, toRoot bool) {
+	if t == nil {
+		return
+	}
+	p := c.size
+	var msgs []Message
+	for k := 1; k < p; k <<= 1 {
+		for v := k; v < p; v += 2 * k {
+			// Virtual ranks v and v−k pair up in this round.
+			a := c.members[(v+root)%p]
+			b := c.members[(v-k+root)%p]
+			if toRoot {
+				msgs = append(msgs, Message{Src: a, Dst: b, Bytes: bytes})
+			} else {
+				msgs = append(msgs, Message{Src: b, Dst: a, Bytes: bytes})
+			}
+		}
+	}
+	t.record(Op{Name: name, Comm: c.id, CommSize: p, Msgs: msgs})
+}
+
+// SetLabel tags subsequently recorded ops with a phase label (e.g.
+// "mesh→slab"). Call from a single rank around a communication phase.
+func (t *Traffic) SetLabel(label string) {
+	t.mu.Lock()
+	t.label = label
+	t.mu.Unlock()
+}
+
+// Reset clears the ledger.
+func (t *Traffic) Reset() {
+	t.mu.Lock()
+	t.ops = nil
+	t.label = ""
+	t.mu.Unlock()
+}
+
+// Ops returns a copy of the recorded operations.
+func (t *Traffic) Ops() []Op {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Op(nil), t.ops...)
+}
+
+// TotalBytes sums the payload bytes over all recorded messages.
+func (t *Traffic) TotalBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, op := range t.ops {
+		for _, m := range op.Msgs {
+			n += int64(m.Bytes)
+		}
+	}
+	return n
+}
+
+// TotalMessages counts all recorded messages.
+func (t *Traffic) TotalMessages() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, op := range t.ops {
+		n += int64(len(op.Msgs))
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package perfmodel
+
+import "math"
+
+// ConvSpec describes a parallel PM mesh-conversion problem at any scale, for
+// the analytic communication model (the same structural quantities the mpi
+// traffic ledger records for executed runs, computed in closed form so paper-
+// scale configurations can be evaluated).
+type ConvSpec struct {
+	P      int    // processes
+	Grid   [3]int // domain divisions per axis (product = P)
+	N      int    // PM mesh per dimension
+	NFFT   int    // FFT (slab) processes
+	Groups int    // relay groups; 1 ⇒ naive global conversion
+	// Interleaved selects round-robin group membership (each group samples
+	// the whole volume, spreading the incast); false means contiguous rank
+	// blocks.
+	Interleaved bool
+}
+
+// ghost is the potential ghost width of the local window (pmpar.ghostPot).
+const ghost = 4
+
+// window returns the local-window extent in cells along each axis.
+func (s ConvSpec) window() (wx, wy, wz float64) {
+	wx = float64(s.N)/float64(s.Grid[0]) + 2*ghost
+	wy = float64(s.N)/float64(s.Grid[1]) + 2*ghost
+	wz = float64(s.N)/float64(s.Grid[2]) + 2*ghost
+	return
+}
+
+// ConvTimes is the modeled wall-clock of the two mesh conversions.
+type ConvTimes struct {
+	DensityToSlab  float64 // local density → 1-D slabs (incl. relay Reduce)
+	SlabToLocal    float64 // 1-D potential slabs → local windows (incl. Bcast)
+	SendersPerSlab float64 // distinct senders into one (partial-)slab holder
+}
+
+// Total returns the summed conversion time.
+func (c ConvTimes) Total() float64 { return c.DensityToSlab + c.SlabToLocal }
+
+// MeshConversion models both conversion directions for the given spec.
+func (m Machine) MeshConversion(s ConvSpec) ConvTimes {
+	wx, wy, wz := s.window()
+	slabPlanes := float64(s.N) / float64(s.NFFT)
+	ranksPerXSlab := float64(s.P) / float64(s.Grid[0])
+	// Expected number of domain x-slabs intersecting one holder's planes.
+	overlapSlabs := (slabPlanes + wx) / (float64(s.N) / float64(s.Grid[0]))
+	sendersNaive := math.Min(overlapSlabs*ranksPerXSlab, float64(s.P))
+
+	g := float64(s.Groups)
+	commSize := float64(s.P) / g
+	senders := sendersNaive
+	if s.Groups > 1 {
+		if s.Interleaved {
+			senders = math.Max(1, sendersNaive/g)
+		} else {
+			// Contiguous groups concentrate the overlapping x-slabs into few
+			// groups; the busiest partial holder still sees almost the naive
+			// sender count, capped by the group size.
+			senders = math.Min(sendersNaive, commSize)
+		}
+	}
+
+	// Bytes received per (partial-)slab holder: every rank in the conversion
+	// communicator ships its whole window, split over NFFT holders.
+	windowBytes := wx * wy * wz * 8
+	bytesPerHolder := commSize * windowBytes / float64(s.NFFT)
+	slabBytes := float64(s.N) * float64(s.N) * float64(s.N) * 8 / float64(s.NFFT)
+
+	incast := func(n float64) float64 {
+		if n > float64(m.IncastThreshold) {
+			return n * m.IncastLatency
+		}
+		return n * m.MsgLatency
+	}
+	a2a := commSize * commSize * m.A2APairCost
+
+	var out ConvTimes
+	out.SendersPerSlab = senders
+	// Density direction: incast-dominated Alltoallv (+ cross-group Reduce).
+	out.DensityToSlab = a2a + incast(senders) + bytesPerHolder/m.LinkBandwidth
+	if s.Groups > 1 {
+		rounds := math.Ceil(math.Log2(g))
+		out.DensityToSlab += rounds * (m.MsgLatency + slabBytes/m.LinkBandwidth)
+	}
+	// Potential direction: the same Alltoallv pattern reversed; each rank
+	// receives only ~wx/slabPlanes messages, so no receive incast — the cost
+	// is the algorithmic term plus holder send streams (+ cross-group Bcast).
+	out.SlabToLocal = a2a + senders*m.MsgLatency + bytesPerHolder/m.LinkBandwidth
+	if s.Groups > 1 {
+		rounds := math.Ceil(math.Log2(g))
+		out.SlabToLocal += rounds * (m.MsgLatency + slabBytes/m.LinkBandwidth)
+	}
+	return out
+}

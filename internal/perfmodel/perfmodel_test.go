@@ -1,0 +1,212 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"greem/internal/mpi"
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Abs(want) {
+		t.Errorf("%s = %v, want %v ± %.0f%%", name, got, want, relTol*100)
+	}
+}
+
+func TestMachineHeadlineNumbers(t *testing.T) {
+	m := KComputer()
+	within(t, "peak core", m.PeakCoreFlops(), 16e9, 1e-12)
+	within(t, "peak node", m.PeakNodeFlops(), 128e9, 1e-12)
+	// Full system peak: 82944 × 128 Gflops = 10.6 Pflops.
+	within(t, "system peak", 82944*m.PeakNodeFlops(), 10.6e15, 0.02)
+	// Kernel: 12 Gflops ceiling reached to 97% ⇒ 11.65 Gflops/core.
+	within(t, "kernel ceiling", m.PeakCoreFlops()*m.KernelCeiling, 12e9, 1e-12)
+	within(t, "kernel rate", m.KernelCoreFlops(), 11.65e9, 0.001)
+}
+
+func TestForceTimeMatchesPaper(t *testing.T) {
+	m := KComputer()
+	// Paper: 5.35e15 interactions/step, force calculation 122.18 s on 24576
+	// nodes and 35.72 s on 82944 (5.30e15). The kernel-rate model lands
+	// within 3% of both.
+	within(t, "force 24576", m.ForceTime(5.35e15, 24576), 122.18, 0.04)
+	within(t, "force 82944", m.ForceTime(5.30e15, 82944), 35.72, 0.04)
+}
+
+func TestFFTTimeMatchesPaper(t *testing.T) {
+	m := KComputer()
+	// In-text: 4096³ FFT on 4096 processes took ~4 s; Table I: 4.06/4.17 s.
+	within(t, "FFT 4096³", m.FFTTime(4096, 4096), 4.1, 0.1)
+	// FFT time is independent of the total node count — only NFFT matters.
+	if m.FFTTime(4096, 4096) != m.FFTTime(4096, 4096) {
+		t.Error("FFT time not deterministic")
+	}
+}
+
+func TestPflopsNumbers(t *testing.T) {
+	// Table I bottom: 5.35e15 interactions / 173.84 s = 1.53 Pflops (48.7%);
+	// 5.30e15 / 60.20 s = 4.45 Pflops (42.0%).
+	m := KComputer()
+	within(t, "Pflops 24576", Pflops(5.35e15, 173.84), 1.57, 0.03)
+	within(t, "Pflops 82944", Pflops(5.30e15, 60.20), 4.49, 0.03)
+	within(t, "efficiency 24576", m.Efficiency(5.35e15, 173.84, 24576), 0.499, 0.03)
+	within(t, "efficiency 82944", m.Efficiency(5.30e15, 60.20, 82944), 0.423, 0.03)
+}
+
+func TestMeshConversionReproducesRelayTimings(t *testing.T) {
+	// §II-B in-text experiment: 4096³ mesh, 12288 nodes, 4096 FFT processes.
+	// Naive: ~10 s (density→slab) and ~3 s (slab→local).
+	// Relay, 3 groups: ~3 s and ~0.3 s. Speedup "more than a factor of 4".
+	m := KComputer()
+	spec := ConvSpec{P: 12288, Grid: [3]int{16, 32, 24}, N: 4096, NFFT: 4096, Groups: 1}
+	naive := m.MeshConversion(spec)
+	spec.Groups = 3
+	spec.Interleaved = true
+	relay := m.MeshConversion(spec)
+
+	t.Logf("naive: %.2f s + %.2f s (senders %.0f)", naive.DensityToSlab, naive.SlabToLocal, naive.SendersPerSlab)
+	t.Logf("relay: %.2f s + %.2f s (senders %.0f)", relay.DensityToSlab, relay.SlabToLocal, relay.SendersPerSlab)
+
+	within(t, "naive density", naive.DensityToSlab, 10, 0.35)
+	within(t, "naive potential", naive.SlabToLocal, 3, 0.35)
+	within(t, "relay density", relay.DensityToSlab, 3, 0.5)
+	within(t, "relay potential", relay.SlabToLocal, 0.3, 0.6)
+	speedup := naive.Total() / relay.Total()
+	if speedup < 4 {
+		t.Errorf("relay speedup %.2f, paper reports more than 4", speedup)
+	}
+	// The sender count per FFT process at the paper's full-system scale is
+	// "~4000" (§II-B); check the same formula at 82944 nodes.
+	full := m.MeshConversion(ConvSpec{P: 82944, Grid: [3]int{32, 54, 48}, N: 4096, NFFT: 4096, Groups: 1})
+	if full.SendersPerSlab < 2500 || full.SendersPerSlab > 6000 {
+		t.Errorf("senders per FFT process at 82944 nodes = %.0f, paper says ~4000", full.SendersPerSlab)
+	}
+}
+
+func TestContiguousGroupingWorseThanInterleaved(t *testing.T) {
+	m := KComputer()
+	spec := ConvSpec{P: 12288, Grid: [3]int{16, 32, 24}, N: 4096, NFFT: 4096, Groups: 3, Interleaved: true}
+	inter := m.MeshConversion(spec)
+	spec.Interleaved = false
+	cont := m.MeshConversion(spec)
+	if cont.DensityToSlab < inter.DensityToSlab {
+		t.Errorf("contiguous grouping (%.2f) should not beat interleaved (%.2f)",
+			cont.DensityToSlab, inter.DensityToSlab)
+	}
+}
+
+func TestModelTableIMatchesPaper(t *testing.T) {
+	m := KComputer()
+	r := KTableIRates()
+	n := 1.073741824e12
+	cases := []struct {
+		nodes  int
+		inter  float64
+		grid   [3]int
+		groups int
+	}{
+		{24576, 5.35e15, [3]int{32, 24, 32}, 6},
+		{82944, 5.30e15, [3]int{32, 54, 48}, 18},
+	}
+	for _, c := range cases {
+		model := ModelTableI(m, r, c.nodes, n, c.inter, 4096, c.grid, 4096, c.groups)
+		paper, ok := PaperTableI(c.nodes)
+		if !ok {
+			t.Fatal("missing paper column")
+		}
+		within(t, "force", model.PPForce, paper.PPForce, 0.04)
+		within(t, "FFT", model.PMFFT, paper.PMFFT, 0.10)
+		within(t, "density", model.PMDensity, paper.PMDensity, 0.10)
+		within(t, "interp", model.PMInterp, paper.PMInterp, 0.10)
+		within(t, "local tree", model.PPLocalTree, paper.PPLocalTree, 0.10)
+		within(t, "traverse", model.PPTraverse, paper.PPTraverse, 0.12)
+		within(t, "tree construction", model.PPTreeConstr, paper.PPTreeConstr, 0.05)
+		within(t, "pp comm", model.PPComm, paper.PPComm, 0.05)
+		within(t, "sampling", model.DDSampling, paper.DDSampling, 0.05)
+		within(t, "exchange", model.DDExchange, paper.DDExchange, 0.05)
+		within(t, "pos update", model.DDPosUpdate, paper.DDPosUpdate, 0.12)
+		// PM communication: modeled from the interconnect, not calibrated
+		// per column — allow a factor-band.
+		if model.PMComm < paper.PMComm/3 || model.PMComm > paper.PMComm*3 {
+			t.Errorf("nodes=%d: PM comm model %.2f vs paper %.2f", c.nodes, model.PMComm, paper.PMComm)
+		}
+		// Step totals and the headline Pflops figures.
+		within(t, "total", model.Total(), paper.Total(), 0.08)
+		t.Logf("nodes=%d: model total %.1f s (paper %.2f), %.2f Pflops (paper %.2f), eff %.1f%%",
+			c.nodes, model.Total(), paper.Total(), model.Pflops(), paper.Pflops(), 100*model.Efficiency(m))
+	}
+	// The headline claim: 1.53 Pflops at 24576 nodes and 4.45 at 82944.
+	m24 := ModelTableI(m, r, 24576, n, 5.35e15, 4096, [3]int{32, 24, 32}, 4096, 6)
+	m82 := ModelTableI(m, r, 82944, n, 5.30e15, 4096, [3]int{32, 54, 48}, 4096, 18)
+	within(t, "headline Pflops 24576", m24.Pflops(), 1.53, 0.10)
+	within(t, "headline Pflops 82944", m82.Pflops(), 4.45, 0.10)
+	within(t, "headline efficiency 24576", m24.Efficiency(m), 0.487, 0.10)
+	within(t, "headline efficiency 82944", m82.Efficiency(m), 0.42, 0.10)
+}
+
+func TestPaperTableIInternallyConsistent(t *testing.T) {
+	// The published rows must sum to the published totals and Pflops.
+	p24, _ := PaperTableI(24576)
+	within(t, "total 24576", p24.Total(), 173.84, 0.005)
+	within(t, "Pflops 24576", p24.Pflops(), 1.53, 0.03)
+	p82, _ := PaperTableI(82944)
+	within(t, "total 82944", p82.Total(), 60.20, 0.005)
+	within(t, "Pflops 82944", p82.Pflops(), 4.45, 0.03)
+	if _, ok := PaperTableI(1234); ok {
+		t.Error("unknown node count accepted")
+	}
+}
+
+func TestReplayOpsIncastSensitivity(t *testing.T) {
+	m := KComputer()
+	// 100 senders → 1 receiver trips the incast penalty; 4 senders don't.
+	big := mpi.Op{Name: "Alltoallv", CommSize: 128}
+	for s := 1; s <= 100; s++ {
+		big.Msgs = append(big.Msgs, mpi.Message{Src: s, Dst: 0, Bytes: 1000})
+	}
+	small := mpi.Op{Name: "Alltoallv", CommSize: 128}
+	for s := 1; s <= 4; s++ {
+		small.Msgs = append(small.Msgs, mpi.Message{Src: s, Dst: 0, Bytes: 1000})
+	}
+	tb, _ := m.ReplayOps([]mpi.Op{big})
+	ts, _ := m.ReplayOps([]mpi.Op{small})
+	if tb < 100*m.IncastLatency {
+		t.Errorf("incast not penalized: %v", tb)
+	}
+	if ts > float64(128*128)*m.A2APairCost+4*m.MsgLatency+1e-5+4000/m.LinkBandwidth {
+		t.Errorf("small op overcharged: %v", ts)
+	}
+	// Replay returns per-op details.
+	_, per := m.ReplayOps([]mpi.Op{big, small})
+	if len(per) != 2 || per[0].Seconds <= per[1].Seconds {
+		t.Errorf("per-op times wrong: %+v", per)
+	}
+}
+
+func TestPencilUpgradeProjection(t *testing.T) {
+	// §IV: "We believe the combination of our novel relay mesh method and a
+	// 3-D parallel FFT library will significantly improve the performance…
+	// We aim to achieve peak performance higher than 5 Pflops." With the FFT
+	// spread over all 82944 nodes instead of 4096, the 4.2 s FFT floor
+	// drops to ~0.2 s and the projected rate approaches the 5 Pflops goal.
+	m := KComputer()
+	r := KTableIRates()
+	base := ModelTableI(m, r, 82944, 1.073741824e12, 5.30e15, 4096, [3]int{32, 54, 48}, 4096, 18)
+	up := ProjectPencilUpgrade(m, base, 4096)
+	if up.PMFFT >= base.PMFFT/10 {
+		t.Errorf("pencil FFT %v should be ≫10× faster than slab %v", up.PMFFT, base.PMFFT)
+	}
+	if up.Total() >= base.Total() {
+		t.Errorf("projected step %v not faster than base %v", up.Total(), base.Total())
+	}
+	t.Logf("82944 nodes: slab FFT %.2f s → pencil %.2f s; %.2f → %.2f Pflops (goal: >5)",
+		base.PMFFT, up.PMFFT, base.Pflops(), up.Pflops())
+	if up.Pflops() < 4.6 {
+		t.Errorf("projection %.2f Pflops below expected band", up.Pflops())
+	}
+	// The cap: no more than n² processes can hold pencils.
+	if m.FFTTimePencil(4, 1000000) != m.FFTTime(4, 16) {
+		t.Error("pencil process cap not applied")
+	}
+}

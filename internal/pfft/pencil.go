@@ -1,0 +1,308 @@
+package pfft
+
+import (
+	"fmt"
+
+	"greem/internal/fft"
+	"greem/internal/mpi"
+)
+
+// PencilPlan is a 2-D ("pencil") decomposed parallel 3-D FFT — the paper's
+// stated future work: the 1-D slab decomposition caps the FFT at N_PM
+// processes (4096 for a 4096³ mesh), whereas pencils allow up to N_PM²,
+// removing the fixed ~4 s FFT floor of Table I ("we believe the combination
+// of our novel relay mesh method and a 3-D parallel FFT library will
+// significantly improve the performance and the scalability", §IV).
+//
+// The process grid is py×pz (rank r ↔ (a, b) = (r/pz, r%pz)). Data moves
+// through three pencil orientations:
+//
+//	A (input):  full x, y-slice a (over py), z-slice b (over pz)
+//	B:          x-slice a, full y, z-slice b      (transpose within a row)
+//	C (output): x-slice a, y-slice b (over pz), full z   (within a column)
+//
+// Forward runs FFT(x) in A, transposes to B, FFT(y), transposes to C,
+// FFT(z); the k-space result lives in C. Inverse reverses the path.
+type PencilPlan struct {
+	comm    *mpi.Comm
+	n       int
+	py, pz  int
+	a, b    int
+	rowComm *mpi.Comm // peers with the same b, ordered by a
+	colComm *mpi.Comm // peers with the same a, ordered by b
+
+	layY Layout // y over py (layout A), also x over py (layouts B, C)
+	layZ Layout // z over pz (layouts A, B), also y over pz (layout C)
+	yc   int    // A: local y extent
+	zc   int    // A and B: local z extent
+	xc   int    // B and C: local x extent
+	yc2  int    // C: local y extent
+	line *fft.Plan
+}
+
+// NewPencilPlan creates a pencil FFT plan on a communicator of exactly
+// py·pz ranks for an n³ mesh (n a power of two).
+func NewPencilPlan(c *mpi.Comm, n, py, pz int) (*PencilPlan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("pfft: mesh size %d is not a power of two", n)
+	}
+	if py < 1 || pz < 1 || py*pz != c.Size() {
+		return nil, fmt.Errorf("pfft: pencil grid %d×%d does not match %d ranks", py, pz, c.Size())
+	}
+	p := &PencilPlan{
+		comm: c, n: n, py: py, pz: pz,
+		a: c.Rank() / pz, b: c.Rank() % pz,
+		layY: Layout{N: n, P: py}, layZ: Layout{N: n, P: pz},
+	}
+	p.rowComm = c.Split(p.b, p.a)
+	p.colComm = c.Split(p.a, p.b)
+	p.yc = p.layY.Count(p.a)
+	p.zc = p.layZ.Count(p.b)
+	p.xc = p.layY.Count(p.a)
+	p.yc2 = p.layZ.Count(p.b)
+	pl, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	p.line = pl
+	return p, nil
+}
+
+// InDims returns the input (A) pencil extents: full x, y ∈ [yoff, yoff+yc),
+// z ∈ [zoff, zoff+zc); element (ix, iy, iz) at (ix·yc+iy)·zc+iz.
+func (p *PencilPlan) InDims() (yc, yoff, zc, zoff int) {
+	return p.yc, p.layY.Offset(p.a), p.zc, p.layZ.Offset(p.b)
+}
+
+// OutDims returns the output (C) pencil extents: x ∈ [xoff, xoff+xc),
+// y ∈ [yoff, yoff+yc), full z; element (ix, iy, iz) at (ix·yc+iy)·n+iz.
+func (p *PencilPlan) OutDims() (xc, xoff, yc, yoff int) {
+	return p.xc, p.layY.Offset(p.a), p.yc2, p.layZ.Offset(p.b)
+}
+
+// InSize returns the input array length n·yc·zc.
+func (p *PencilPlan) InSize() int { return p.n * p.yc * p.zc }
+
+// OutSize returns the output array length xc·yc2·n.
+func (p *PencilPlan) OutSize() int { return p.xc * p.yc2 * p.n }
+
+// fftStride transforms count lines of length n with the given stride,
+// starting at base indices base(i).
+func (p *PencilPlan) fftLines(a []complex128, nlines int, base func(int) int, stride int, inverse bool) {
+	buf := make([]complex128, p.n)
+	for li := 0; li < nlines; li++ {
+		b0 := base(li)
+		for k := 0; k < p.n; k++ {
+			buf[k] = a[b0+k*stride]
+		}
+		if inverse {
+			p.line.Inverse(buf)
+		} else {
+			p.line.Forward(buf)
+		}
+		for k := 0; k < p.n; k++ {
+			a[b0+k*stride] = buf[k]
+		}
+	}
+}
+
+// Forward transforms the A-layout input into the C-layout k-space output.
+func (p *PencilPlan) Forward(in []complex128) []complex128 {
+	if len(in) != p.InSize() {
+		panic(fmt.Sprintf("pfft: pencil input %d, want %d", len(in), p.InSize()))
+	}
+	work := append([]complex128(nil), in...)
+	// FFT along x: lines indexed by (iy, iz), stride yc·zc.
+	p.fftLines(work, p.yc*p.zc, func(li int) int { return li }, p.yc*p.zc, false)
+	bArr := p.transposeAB(work)
+	// FFT along y in B: (iy·xc + ix)·zc + iz; lines by (ix, iz), stride xc·zc.
+	p.fftLines(bArr, p.xc*p.zc, func(li int) int {
+		ix := li / p.zc
+		iz := li % p.zc
+		return ix*p.zc + iz
+	}, p.xc*p.zc, false)
+	cArr := p.transposeBC(bArr)
+	// FFT along z in C: contiguous lines.
+	for li := 0; li < p.xc*p.yc2; li++ {
+		p.line.Forward(cArr[li*p.n : (li+1)*p.n])
+	}
+	return cArr
+}
+
+// Inverse transforms a C-layout k-space array back to the A layout.
+func (p *PencilPlan) Inverse(c []complex128) []complex128 {
+	if len(c) != p.OutSize() {
+		panic(fmt.Sprintf("pfft: pencil input %d, want %d", len(c), p.OutSize()))
+	}
+	cArr := append([]complex128(nil), c...)
+	for li := 0; li < p.xc*p.yc2; li++ {
+		p.line.Inverse(cArr[li*p.n : (li+1)*p.n])
+	}
+	bArr := p.transposeCB(cArr)
+	p.fftLines(bArr, p.xc*p.zc, func(li int) int {
+		ix := li / p.zc
+		iz := li % p.zc
+		return ix*p.zc + iz
+	}, p.xc*p.zc, true)
+	aArr := p.transposeBA(bArr)
+	p.fftLines(aArr, p.yc*p.zc, func(li int) int { return li }, p.yc*p.zc, true)
+	return aArr
+}
+
+// transposeAB exchanges the full-x dimension for full-y within the row:
+// A (full x, yc, zc) → B (full y, xc, zc) with B indexed (iy·xc+ix)·zc+iz.
+func (p *PencilPlan) transposeAB(a []complex128) []complex128 {
+	send := make([][]complex128, p.py)
+	for ap := 0; ap < p.py; ap++ {
+		xc, xo := p.layY.Count(ap), p.layY.Offset(ap)
+		if xc == 0 || p.yc == 0 || p.zc == 0 {
+			continue
+		}
+		blk := make([]complex128, xc*p.yc*p.zc)
+		t := 0
+		for ix := xo; ix < xo+xc; ix++ {
+			for iy := 0; iy < p.yc; iy++ {
+				base := (ix*p.yc + iy) * p.zc
+				copy(blk[t:t+p.zc], a[base:base+p.zc])
+				t += p.zc
+			}
+		}
+		send[ap] = blk
+	}
+	recv := mpi.Alltoall(p.rowComm, send)
+	out := make([]complex128, p.n*p.xc*p.zc)
+	for ap := 0; ap < p.py; ap++ {
+		ycp, yop := p.layY.Count(ap), p.layY.Offset(ap)
+		blk := recv[ap]
+		if len(blk) == 0 {
+			continue
+		}
+		t := 0
+		for ix := 0; ix < p.xc; ix++ {
+			for iy := yop; iy < yop+ycp; iy++ {
+				base := (iy*p.xc + ix) * p.zc
+				copy(out[base:base+p.zc], blk[t:t+p.zc])
+				t += p.zc
+			}
+		}
+	}
+	return out
+}
+
+// transposeBA is the inverse of transposeAB.
+func (p *PencilPlan) transposeBA(bArr []complex128) []complex128 {
+	send := make([][]complex128, p.py)
+	for ap := 0; ap < p.py; ap++ {
+		ycp, yop := p.layY.Count(ap), p.layY.Offset(ap)
+		if ycp == 0 || p.xc == 0 || p.zc == 0 {
+			continue
+		}
+		blk := make([]complex128, p.xc*ycp*p.zc)
+		t := 0
+		for ix := 0; ix < p.xc; ix++ {
+			for iy := yop; iy < yop+ycp; iy++ {
+				base := (iy*p.xc + ix) * p.zc
+				copy(blk[t:t+p.zc], bArr[base:base+p.zc])
+				t += p.zc
+			}
+		}
+		send[ap] = blk
+	}
+	recv := mpi.Alltoall(p.rowComm, send)
+	out := make([]complex128, p.n*p.yc*p.zc)
+	for ap := 0; ap < p.py; ap++ {
+		xc, xo := p.layY.Count(ap), p.layY.Offset(ap)
+		blk := recv[ap]
+		if len(blk) == 0 {
+			continue
+		}
+		t := 0
+		for ix := xo; ix < xo+xc; ix++ {
+			for iy := 0; iy < p.yc; iy++ {
+				base := (ix*p.yc + iy) * p.zc
+				copy(out[base:base+p.zc], blk[t:t+p.zc])
+				t += p.zc
+			}
+		}
+	}
+	return out
+}
+
+// transposeBC exchanges the full-y dimension for full-z within the column:
+// B (full y, xc, zc) → C (xc, yc2, full z) with C indexed (ix·yc2+iy)·n+iz.
+func (p *PencilPlan) transposeBC(bArr []complex128) []complex128 {
+	send := make([][]complex128, p.pz)
+	for bp := 0; bp < p.pz; bp++ {
+		ycp, yop := p.layZ.Count(bp), p.layZ.Offset(bp)
+		if ycp == 0 || p.xc == 0 || p.zc == 0 {
+			continue
+		}
+		blk := make([]complex128, ycp*p.xc*p.zc)
+		t := 0
+		for iy := yop; iy < yop+ycp; iy++ {
+			for ix := 0; ix < p.xc; ix++ {
+				base := (iy*p.xc + ix) * p.zc
+				copy(blk[t:t+p.zc], bArr[base:base+p.zc])
+				t += p.zc
+			}
+		}
+		send[bp] = blk
+	}
+	recv := mpi.Alltoall(p.colComm, send)
+	out := make([]complex128, p.xc*p.yc2*p.n)
+	for bp := 0; bp < p.pz; bp++ {
+		zcp, zop := p.layZ.Count(bp), p.layZ.Offset(bp)
+		blk := recv[bp]
+		if len(blk) == 0 {
+			continue
+		}
+		t := 0
+		for iy := 0; iy < p.yc2; iy++ {
+			for ix := 0; ix < p.xc; ix++ {
+				base := (ix*p.yc2+iy)*p.n + zop
+				copy(out[base:base+zcp], blk[t:t+zcp])
+				t += zcp
+			}
+		}
+	}
+	return out
+}
+
+// transposeCB is the inverse of transposeBC.
+func (p *PencilPlan) transposeCB(cArr []complex128) []complex128 {
+	send := make([][]complex128, p.pz)
+	for bp := 0; bp < p.pz; bp++ {
+		zcp, zop := p.layZ.Count(bp), p.layZ.Offset(bp)
+		if zcp == 0 || p.xc == 0 || p.yc2 == 0 {
+			continue
+		}
+		blk := make([]complex128, p.yc2*p.xc*zcp)
+		t := 0
+		for iy := 0; iy < p.yc2; iy++ {
+			for ix := 0; ix < p.xc; ix++ {
+				base := (ix*p.yc2+iy)*p.n + zop
+				copy(blk[t:t+zcp], cArr[base:base+zcp])
+				t += zcp
+			}
+		}
+		send[bp] = blk
+	}
+	recv := mpi.Alltoall(p.colComm, send)
+	out := make([]complex128, p.n*p.xc*p.zc)
+	for bp := 0; bp < p.pz; bp++ {
+		ycp, yop := p.layZ.Count(bp), p.layZ.Offset(bp)
+		blk := recv[bp]
+		if len(blk) == 0 {
+			continue
+		}
+		t := 0
+		for iy := yop; iy < yop+ycp; iy++ {
+			for ix := 0; ix < p.xc; ix++ {
+				base := (iy*p.xc + ix) * p.zc
+				copy(out[base:base+p.zc], blk[t:t+p.zc])
+				t += p.zc
+			}
+		}
+	}
+	return out
+}

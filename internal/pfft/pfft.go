@@ -1,0 +1,250 @@
+// Package pfft implements the 1-D slab-decomposed parallel 3-D FFT used for
+// the PM part, the stand-in for FFTW 3.3's MPI transform (paper §II-B). The
+// mesh is distributed in x-slabs over the ranks of a communicator (the
+// paper's COMM_FFT); the transform does local y/z FFTs, an all-to-all block
+// transpose, x FFTs, and a transpose back, so both the real-space and
+// k-space arrays live in the same x-slab layout.
+//
+// The slab decomposition is what limits the number of FFT processes to at
+// most N_PM planes — the constraint that motivates both the relay mesh
+// method and the COMM_FFT process selection.
+package pfft
+
+import (
+	"fmt"
+
+	"greem/internal/fft"
+	"greem/internal/mpi"
+)
+
+// Layout describes balanced x-slab ownership of an n³ mesh over p ranks:
+// plane counts differ by at most one, with the first n mod p ranks holding
+// one extra plane. Ranks beyond n hold zero planes.
+type Layout struct {
+	N, P int
+}
+
+// Count returns the number of x-planes owned by rank r.
+func (l Layout) Count(r int) int {
+	base := l.N / l.P
+	if r < l.N%l.P {
+		return base + 1
+	}
+	return base
+}
+
+// Offset returns the first x-plane owned by rank r.
+func (l Layout) Offset(r int) int {
+	base := l.N / l.P
+	rem := l.N % l.P
+	if r < rem {
+		return r * (base + 1)
+	}
+	return rem*(base+1) + (r-rem)*base
+}
+
+// OwnerOf returns the rank owning x-plane ix.
+func (l Layout) OwnerOf(ix int) int {
+	base := l.N / l.P
+	rem := l.N % l.P
+	if base == 0 {
+		return ix // one plane per rank for the first N ranks
+	}
+	if ix < rem*(base+1) {
+		return ix / (base + 1)
+	}
+	return rem + (ix-rem*(base+1))/base
+}
+
+// Plan is a parallel FFT plan bound to one communicator. All ranks of the
+// communicator must call Forward/Inverse collectively.
+type Plan struct {
+	comm *mpi.Comm
+	n    int
+	lay  Layout
+
+	cnt, off int // this rank's slab
+
+	line *fft.Plan // length-n 1-D plan for all three passes
+	ycnt int
+	yoff int
+}
+
+// NewPlan creates a slab FFT plan for an n³ mesh (n a power of two) on the
+// given communicator.
+func NewPlan(c *mpi.Comm, n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("pfft: mesh size %d is not a power of two", n)
+	}
+	lay := Layout{N: n, P: c.Size()}
+	p := &Plan{comm: c, n: n, lay: lay}
+	p.cnt = lay.Count(c.Rank())
+	p.off = lay.Offset(c.Rank())
+	p.ycnt = lay.Count(c.Rank())
+	p.yoff = lay.Offset(c.Rank())
+	pl, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	p.line = pl
+	return p, nil
+}
+
+// transformZ applies the 1-D transform along z for every line of an
+// (nslab, n, n) slab.
+func (p *Plan) transformZ(a []complex128, nslab int, inverse bool) {
+	n := p.n
+	for i := 0; i < nslab*n; i++ {
+		line := a[i*n : (i+1)*n]
+		if inverse {
+			p.line.Inverse(line)
+		} else {
+			p.line.Forward(line)
+		}
+	}
+}
+
+// transformMid applies the 1-D transform along the middle axis of an
+// (nslab, n, n) slab.
+func (p *Plan) transformMid(a []complex128, nslab int, inverse bool) {
+	n := p.n
+	buf := make([]complex128, n)
+	for s := 0; s < nslab; s++ {
+		for iz := 0; iz < n; iz++ {
+			base := s*n*n + iz
+			for im := 0; im < n; im++ {
+				buf[im] = a[base+im*n]
+			}
+			if inverse {
+				p.line.Inverse(buf)
+			} else {
+				p.line.Forward(buf)
+			}
+			for im := 0; im < n; im++ {
+				a[base+im*n] = buf[im]
+			}
+		}
+	}
+}
+
+// Layout returns the slab layout.
+func (p *Plan) Layout() Layout { return p.lay }
+
+// LocalCount returns this rank's number of x-planes.
+func (p *Plan) LocalCount() int { return p.cnt }
+
+// LocalOffset returns this rank's first x-plane.
+func (p *Plan) LocalOffset() int { return p.off }
+
+// LocalSize returns the length of this rank's slab array (cnt·n·n).
+func (p *Plan) LocalSize() int { return p.cnt * p.n * p.n }
+
+// Forward transforms the distributed mesh in place. local is this rank's
+// x-slab, indexed (ixLocal·n + iy)·n + iz; on return it holds the k-space
+// slab in the same layout (kx-slabs).
+func (p *Plan) Forward(local []complex128) {
+	p.check(local)
+	p.transformZ(local, p.cnt, false)
+	p.transformMid(local, p.cnt, false)
+	tr := p.transposeXY(local)
+	// In transposed layout the array is (yLocal, x, z); x is the middle
+	// axis, so transformMid performs the x-direction FFT.
+	p.transformMid(tr, p.ycnt, false)
+	p.transposeYX(tr, local)
+}
+
+// Inverse applies the inverse transform (scaled by 1/n³), mirroring Forward.
+func (p *Plan) Inverse(local []complex128) {
+	p.check(local)
+	tr := p.transposeXY(local)
+	p.transformMid(tr, p.ycnt, true)
+	p.transposeYX(tr, local)
+	p.transformZ(local, p.cnt, true)
+	p.transformMid(local, p.cnt, true)
+}
+
+func (p *Plan) check(local []complex128) {
+	if len(local) != p.LocalSize() {
+		panic(fmt.Sprintf("pfft: local slab has %d elements, want %d", len(local), p.LocalSize()))
+	}
+}
+
+// transposeXY redistributes the x-slab array into y-slabs: the result is
+// indexed (iyLocal·n + ix)·n + iz.
+func (p *Plan) transposeXY(local []complex128) []complex128 {
+	n := p.n
+	send := make([][]complex128, p.comm.Size())
+	for s := 0; s < p.comm.Size(); s++ {
+		yc, yo := p.lay.Count(s), p.lay.Offset(s)
+		if yc == 0 || p.cnt == 0 {
+			continue
+		}
+		blk := make([]complex128, p.cnt*yc*n)
+		t := 0
+		for ix := 0; ix < p.cnt; ix++ {
+			for iy := yo; iy < yo+yc; iy++ {
+				base := (ix*n + iy) * n
+				copy(blk[t:t+n], local[base:base+n])
+				t += n
+			}
+		}
+		send[s] = blk
+	}
+	recv := mpi.Alltoall(p.comm, send)
+	out := make([]complex128, p.ycnt*n*n)
+	for r := 0; r < p.comm.Size(); r++ {
+		xc, xo := p.lay.Count(r), p.lay.Offset(r)
+		blk := recv[r]
+		if len(blk) == 0 {
+			continue
+		}
+		t := 0
+		for ix := xo; ix < xo+xc; ix++ {
+			for iy := 0; iy < p.ycnt; iy++ {
+				base := (iy*n + ix) * n
+				copy(out[base:base+n], blk[t:t+n])
+				t += n
+			}
+		}
+	}
+	return out
+}
+
+// transposeYX is the inverse redistribution, filling local from the y-slab
+// array tr.
+func (p *Plan) transposeYX(tr []complex128, local []complex128) {
+	n := p.n
+	send := make([][]complex128, p.comm.Size())
+	for s := 0; s < p.comm.Size(); s++ {
+		xc, xo := p.lay.Count(s), p.lay.Offset(s)
+		if xc == 0 || p.ycnt == 0 {
+			continue
+		}
+		blk := make([]complex128, p.ycnt*xc*n)
+		t := 0
+		for ix := xo; ix < xo+xc; ix++ {
+			for iy := 0; iy < p.ycnt; iy++ {
+				base := (iy*n + ix) * n
+				copy(blk[t:t+n], tr[base:base+n])
+				t += n
+			}
+		}
+		send[s] = blk
+	}
+	recv := mpi.Alltoall(p.comm, send)
+	for r := 0; r < p.comm.Size(); r++ {
+		yc, yo := p.lay.Count(r), p.lay.Offset(r)
+		blk := recv[r]
+		if len(blk) == 0 {
+			continue
+		}
+		t := 0
+		for ix := 0; ix < p.cnt; ix++ {
+			for iy := yo; iy < yo+yc; iy++ {
+				base := (ix*n + iy) * n
+				copy(local[base:base+n], blk[t:t+n])
+				t += n
+			}
+		}
+	}
+}

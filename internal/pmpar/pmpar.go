@@ -1,0 +1,478 @@
+package pmpar
+
+import (
+	"fmt"
+	"time"
+
+	"greem/internal/mesh"
+	"greem/internal/mpi"
+	"greem/internal/pfft"
+	"greem/internal/vec"
+)
+
+// Config parameterizes the parallel PM solver.
+type Config struct {
+	N          int     // global PM mesh size per dimension (power of two)
+	L, G, Rcut float64 // box side, gravitational constant, split radius
+	// NFFT is the number of FFT (slab-holding) processes; it must satisfy
+	// 1 ≤ NFFT ≤ min(N, p) — the 1-D slab decomposition limit of §II-B.
+	NFFT int
+	// Relay selects the relay mesh method with the given number of Groups
+	// (each group must have at least NFFT members); otherwise the naive
+	// global-Alltoallv conversion is used.
+	Relay  bool
+	Groups int
+	// Interleaved assigns ranks to groups round-robin instead of in
+	// contiguous blocks; each group then samples the whole volume, which
+	// spreads the per-holder incast across groups (see perfmodel.ConvSpec).
+	Interleaved bool
+	// NoDeconvolve disables TSC window deconvolution (ablation).
+	NoDeconvolve bool
+	// Pencil replaces the 1-D slab FFT with the 2-D pencil decomposition of
+	// §IV (future work): the FFT runs on PY×PZ processes (NFFT = PY·PZ),
+	// lifting the NFFT ≤ N_PM slab limit to N_PM². The relay mesh method
+	// composes with it unchanged ("this novel technique should be also
+	// applicable", §II-B).
+	Pencil bool
+	PY, PZ int
+	// Workers threads the local-mesh differencing and interpolation loops
+	// (the OpenMP half of the hybrid); 0/1 = serial.
+	Workers int
+}
+
+// Timings accumulates per-phase wall-clock, matching the PM rows of Table I:
+// density assignment, communication (both mesh conversions), FFT,
+// acceleration on mesh, and force interpolation.
+type Timings struct {
+	Density   time.Duration
+	Comm      time.Duration
+	FFT       time.Duration
+	MeshForce time.Duration
+	Interp    time.Duration
+}
+
+// Add accumulates o into t.
+func (t *Timings) Add(o Timings) {
+	t.Density += o.Density
+	t.Comm += o.Comm
+	t.FFT += o.FFT
+	t.MeshForce += o.MeshForce
+	t.Interp += o.Interp
+}
+
+// Total returns the summed phase time.
+func (t Timings) Total() time.Duration {
+	return t.Density + t.Comm + t.FFT + t.MeshForce + t.Interp
+}
+
+type boxDesc [6]int32 // X0, NX, Y0, NY, Z0, NZ
+
+// Solver is one rank's handle on the distributed PM computation.
+type Solver struct {
+	comm *mpi.Comm
+	cfg  Config
+	lm   *LocalMesh
+	lay  pfft.Layout
+
+	myBox boxDesc
+	// convComm is the communicator on which mesh conversions run (world for
+	// naive, COMM_SMALLA2A for relay); convBoxes are its members' windows.
+	convComm  *mpi.Comm
+	convBoxes []boxDesc
+
+	// relay only
+	commReduce *mpi.Comm
+	group      int
+
+	isHolder bool // holds (partial) slab q = convComm rank
+	slab     []float64
+
+	isFFT   bool
+	commFFT *mpi.Comm
+	plan    *pfft.Plan
+	pencil  *pfft.PencilPlan
+
+	// Times accumulates phase timings across Accel calls.
+	Times Timings
+}
+
+// groupOf returns the group of world rank w among g groups over p ranks:
+// contiguous balanced blocks, or round-robin when interleaved.
+func groupOf(w, p, g int, interleaved bool) int {
+	if interleaved {
+		return w % g
+	}
+	return w * g / p
+}
+
+// New creates the per-rank solver. lo/hi is this rank's domain. Collective
+// over c.
+func New(c *mpi.Comm, cfg Config, lo, hi vec.V3) (*Solver, error) {
+	p := c.Size()
+	if cfg.Pencil {
+		if cfg.PY < 1 || cfg.PZ < 1 || cfg.PY > cfg.N || cfg.PZ > cfg.N {
+			return nil, fmt.Errorf("pmpar: pencil grid %d×%d invalid for N=%d", cfg.PY, cfg.PZ, cfg.N)
+		}
+		cfg.NFFT = cfg.PY * cfg.PZ
+	}
+	if cfg.NFFT < 1 || cfg.NFFT > p || (!cfg.Pencil && cfg.NFFT > cfg.N) {
+		return nil, fmt.Errorf("pmpar: NFFT=%d invalid for p=%d, N=%d", cfg.NFFT, p, cfg.N)
+	}
+	if cfg.Relay {
+		if cfg.Groups < 1 || cfg.Groups > p {
+			return nil, fmt.Errorf("pmpar: bad group count %d", cfg.Groups)
+		}
+		// Balanced contiguous partition: smallest group size is ⌊p/G⌋.
+		if p/cfg.Groups < cfg.NFFT {
+			return nil, fmt.Errorf("pmpar: groups of ~%d ranks cannot hold %d slabs", p/cfg.Groups, cfg.NFFT)
+		}
+	}
+	lm, err := NewLocalMesh(cfg.N, cfg.L, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{comm: c, cfg: cfg, lm: lm, lay: pfft.Layout{N: cfg.N, P: cfg.NFFT}}
+	s.myBox = boxDesc{int32(lm.X0), int32(lm.NX), int32(lm.Y0), int32(lm.NY), int32(lm.Z0), int32(lm.NZ)}
+
+	if cfg.Relay {
+		s.group = groupOf(c.Rank(), p, cfg.Groups, cfg.Interleaved)
+		small := c.Split(s.group, c.Rank())
+		s.convComm = small
+		s.commReduce = c.Split(small.Rank(), s.group)
+		s.isHolder = small.Rank() < cfg.NFFT
+		s.isFFT = s.group == 0 && s.isHolder
+	} else {
+		s.convComm = c
+		s.isHolder = c.Rank() < cfg.NFFT
+		s.isFFT = s.isHolder
+	}
+	// COMM_FFT: the paper creates it with MPI_Comm_split so that only the
+	// FFT processes participate in the transform.
+	fftColor := 1
+	if s.isFFT {
+		fftColor = 0
+	}
+	fc := c.Split(fftColor, c.Rank())
+	if s.isFFT {
+		s.commFFT = fc
+		if cfg.Pencil {
+			plan, err := pfft.NewPencilPlan(fc, cfg.N, cfg.PY, cfg.PZ)
+			if err != nil {
+				return nil, err
+			}
+			s.pencil = plan
+		} else {
+			plan, err := pfft.NewPlan(fc, cfg.N)
+			if err != nil {
+				return nil, err
+			}
+			s.plan = plan
+		}
+	}
+	if s.isHolder {
+		r := s.holderRegion(s.convComm.Rank())
+		s.slab = make([]float64, r.size())
+	}
+	// Exchange local-window descriptors once (they change only when the
+	// domain decomposition changes, i.e. when New is called again).
+	gathered := mpi.Allgather(s.convComm, s.myBox[:])
+	s.convBoxes = make([]boxDesc, len(gathered))
+	for i, g := range gathered {
+		copy(s.convBoxes[i][:], g)
+	}
+	return s, nil
+}
+
+// LocalMesh exposes the rank's mesh window (diagnostics and tests).
+func (s *Solver) LocalMesh() *LocalMesh { return s.lm }
+
+// IsFFTProcess reports whether this rank performs the FFT.
+func (s *Solver) IsFFTProcess() bool { return s.isFFT }
+
+// region is the rectangular set of global cells owned by one (partial-)mesh
+// holder: x∈[x0,x1), y∈[y0,y1), z∈[z0,z1), stored row-major in that order.
+// For 1-D slabs it is a full (y,z) cross-section of some x-planes; for 2-D
+// pencils it is a (y,z) rectangle through every x-plane.
+type region struct {
+	x0, x1, y0, y1, z0, z1 int
+}
+
+func (r region) size() int { return (r.x1 - r.x0) * (r.y1 - r.y0) * (r.z1 - r.z0) }
+
+// holderRegion returns the cells held by convComm rank q.
+func (s *Solver) holderRegion(q int) region {
+	n := s.cfg.N
+	if s.cfg.Pencil {
+		a, b := q/s.cfg.PZ, q%s.cfg.PZ
+		layY := pfft.Layout{N: n, P: s.cfg.PY}
+		layZ := pfft.Layout{N: n, P: s.cfg.PZ}
+		return region{
+			x0: 0, x1: n,
+			y0: layY.Offset(a), y1: layY.Offset(a) + layY.Count(a),
+			z0: layZ.Offset(b), z1: layZ.Offset(b) + layZ.Count(b),
+		}
+	}
+	return region{
+		x0: s.lay.Offset(q), x1: s.lay.Offset(q) + s.lay.Count(q),
+		y0: 0, y1: n, z0: 0, z1: n,
+	}
+}
+
+// blk is one rectangular exchange block between a local window and a
+// holder's region: local x-plane lx (global plane gx) restricted to wrapped
+// y/z segments clipped to the region.
+type blk struct {
+	lx, gx int
+	ys, zs seg
+}
+
+// clipSeg intersects a wrapped segment with the global range [lo, hi),
+// returning ok = false when empty.
+func clipSeg(sg seg, lo, hi int) (seg, bool) {
+	g0 := sg.g0
+	g1 := sg.g0 + sg.n
+	if g0 < lo {
+		g0 = lo
+	}
+	if g1 > hi {
+		g1 = hi
+	}
+	if g1 <= g0 {
+		return seg{}, false
+	}
+	return seg{g0: g0, l0: sg.l0 + (g0 - sg.g0), n: g1 - g0}, true
+}
+
+// blocksFor enumerates, in deterministic order, the blocks of window b that
+// land on the holder region r. Both the sender and the receiver compute this
+// list, so the data stream needs no headers.
+func blocksFor(b boxDesc, r region, n int) []blk {
+	var out []blk
+	ysegs := axisSegs(int(b[2]), int(b[3]), n)
+	zsegs := axisSegs(int(b[4]), int(b[5]), n)
+	for lx := 0; lx < int(b[1]); lx++ {
+		gx := ((int(b[0])+lx)%n + n) % n
+		if gx < r.x0 || gx >= r.x1 {
+			continue
+		}
+		for _, ys0 := range ysegs {
+			ys, ok := clipSeg(ys0, r.y0, r.y1)
+			if !ok {
+				continue
+			}
+			for _, zs0 := range zsegs {
+				zs, ok := clipSeg(zs0, r.z0, r.z1)
+				if !ok {
+					continue
+				}
+				out = append(out, blk{lx: lx, gx: gx, ys: ys, zs: zs})
+			}
+		}
+	}
+	return out
+}
+
+func blocksLen(bs []blk) int {
+	n := 0
+	for _, b := range bs {
+		n += b.ys.n * b.zs.n
+	}
+	return n
+}
+
+// densityToSlabs converts the 3-D distributed local density meshes into the
+// holders' regions — 1-D slabs or 2-D pencils — on convComm (steps 1–2 of
+// the straightforward method; step 1 of the relay method).
+func (s *Solver) densityToSlabs() {
+	c := s.convComm
+	send := make([][]float64, c.Size())
+	for q := 0; q < s.cfg.NFFT; q++ {
+		bs := blocksFor(s.myBox, s.holderRegion(q), s.cfg.N)
+		if len(bs) == 0 {
+			continue
+		}
+		buf := make([]float64, 0, blocksLen(bs))
+		for _, b := range bs {
+			for iy := 0; iy < b.ys.n; iy++ {
+				ly := b.ys.l0 + iy
+				base := (b.lx*s.lm.NY + ly) * s.lm.NZ
+				buf = append(buf, s.lm.Rho[base+b.zs.l0:base+b.zs.l0+b.zs.n]...)
+			}
+		}
+		send[q] = buf
+	}
+	recv := mpi.Alltoall(c, send)
+	if !s.isHolder {
+		return
+	}
+	for i := range s.slab {
+		s.slab[i] = 0
+	}
+	r := s.holderRegion(c.Rank())
+	ny := r.y1 - r.y0
+	nz := r.z1 - r.z0
+	for src := 0; src < c.Size(); src++ {
+		data := recv[src]
+		if len(data) == 0 {
+			continue
+		}
+		bs := blocksFor(s.convBoxes[src], r, s.cfg.N)
+		t := 0
+		for _, b := range bs {
+			for iy := 0; iy < b.ys.n; iy++ {
+				gy := b.ys.g0 + iy
+				base := ((b.gx-r.x0)*ny+(gy-r.y0))*nz + (b.zs.g0 - r.z0)
+				for iz := 0; iz < b.zs.n; iz++ {
+					s.slab[base+iz] += data[t]
+					t++
+				}
+			}
+		}
+	}
+}
+
+// potentialToLocal converts the holders' potential regions back to each
+// rank's local window (steps 4–5 of the straightforward method; step 5 of
+// relay).
+func (s *Solver) potentialToLocal() {
+	c := s.convComm
+	send := make([][]float64, c.Size())
+	if s.isHolder {
+		r := s.holderRegion(c.Rank())
+		ny := r.y1 - r.y0
+		nz := r.z1 - r.z0
+		for dst := 0; dst < c.Size(); dst++ {
+			bs := blocksFor(s.convBoxes[dst], r, s.cfg.N)
+			if len(bs) == 0 {
+				continue
+			}
+			buf := make([]float64, 0, blocksLen(bs))
+			for _, b := range bs {
+				for iy := 0; iy < b.ys.n; iy++ {
+					gy := b.ys.g0 + iy
+					base := ((b.gx-r.x0)*ny+(gy-r.y0))*nz + (b.zs.g0 - r.z0)
+					buf = append(buf, s.slab[base:base+b.zs.n]...)
+				}
+			}
+			send[dst] = buf
+		}
+	}
+	recv := mpi.Alltoall(c, send)
+	for q := 0; q < s.cfg.NFFT; q++ {
+		data := recv[q]
+		if len(data) == 0 {
+			continue
+		}
+		bs := blocksFor(s.myBox, s.holderRegion(q), s.cfg.N)
+		t := 0
+		for _, b := range bs {
+			for iy := 0; iy < b.ys.n; iy++ {
+				ly := b.ys.l0 + iy
+				base := (b.lx*s.lm.NY + ly) * s.lm.NZ
+				copy(s.lm.Phi[base+b.zs.l0:base+b.zs.l0+b.zs.n], data[t:t+b.zs.n])
+				t += b.zs.n
+			}
+		}
+	}
+}
+
+// fftAndGreen runs the parallel FFT and the Green's-function convolution on
+// the FFT processes, turning the density region into the potential region.
+func (s *Solver) fftAndGreen() {
+	if s.cfg.Pencil {
+		s.fftAndGreenPencil()
+		return
+	}
+	n := s.cfg.N
+	work := make([]complex128, len(s.slab))
+	for i, v := range s.slab {
+		work[i] = complex(v, 0)
+	}
+	s.plan.Forward(work)
+	cnt := s.plan.LocalCount()
+	off := s.plan.LocalOffset()
+	for lx := 0; lx < cnt; lx++ {
+		jx := off + lx
+		for jy := 0; jy < n; jy++ {
+			base := (lx*n + jy) * n
+			for jz := 0; jz < n; jz++ {
+				gk := mesh.KGreen(jx, jy, jz, n, s.cfg.L, s.cfg.G, s.cfg.Rcut, !s.cfg.NoDeconvolve)
+				work[base+jz] *= complex(gk, 0)
+			}
+		}
+	}
+	s.plan.Inverse(work)
+	for i := range s.slab {
+		s.slab[i] = real(work[i])
+	}
+}
+
+// fftAndGreenPencil is fftAndGreen with the 2-D pencil plan: forward to the
+// C layout, convolve there (where z is complete), and come back to A.
+func (s *Solver) fftAndGreenPencil() {
+	n := s.cfg.N
+	in := make([]complex128, len(s.slab))
+	for i, v := range s.slab {
+		in[i] = complex(v, 0)
+	}
+	out := s.pencil.Forward(in)
+	xc, xo, yc2, yo2 := s.pencil.OutDims()
+	for ix := 0; ix < xc; ix++ {
+		for iy := 0; iy < yc2; iy++ {
+			base := (ix*yc2 + iy) * n
+			for jz := 0; jz < n; jz++ {
+				gk := mesh.KGreen(xo+ix, yo2+iy, jz, n, s.cfg.L, s.cfg.G, s.cfg.Rcut, !s.cfg.NoDeconvolve)
+				out[base+jz] *= complex(gk, 0)
+			}
+		}
+	}
+	back := s.pencil.Inverse(out)
+	for i := range s.slab {
+		s.slab[i] = real(back[i])
+	}
+}
+
+// Accel runs one full parallel PM cycle for this rank's particles (which
+// must lie inside its domain), accumulating long-range accelerations into
+// ax/ay/az (indexed like x/y/z). Collective over the world communicator.
+func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
+	t0 := time.Now()
+	s.lm.Clear()
+	s.lm.AssignTSC(x, y, z, m)
+	s.Times.Density += time.Since(t0)
+
+	// Conversion to slabs.
+	t1 := time.Now()
+	s.densityToSlabs()
+	if s.cfg.Relay && s.isHolder {
+		// Sum partial slabs across groups onto the root group.
+		sum := mpi.Reduce(s.commReduce, 0, s.slab, mpi.Sum[float64])
+		if s.commReduce.Rank() == 0 {
+			copy(s.slab, sum)
+		}
+	}
+	s.Times.Comm += time.Since(t1)
+
+	// FFT + Green's function on the FFT processes; others wait (paper step 3).
+	t2 := time.Now()
+	if s.isFFT {
+		s.fftAndGreen()
+	}
+	s.Times.FFT += time.Since(t2)
+
+	t3 := time.Now()
+	if s.cfg.Relay && s.isHolder {
+		// Broadcast complete potential slabs back to every group.
+		s.slab = mpi.Bcast(s.commReduce, 0, s.slab)
+	}
+	s.potentialToLocal()
+	s.Times.Comm += time.Since(t3)
+
+	t4 := time.Now()
+	s.lm.DiffForce()
+	s.Times.MeshForce += time.Since(t4)
+
+	t5 := time.Now()
+	s.lm.InterpolateTSC(x, y, z, ax, ay, az)
+	s.Times.Interp += time.Since(t5)
+}

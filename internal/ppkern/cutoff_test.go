@@ -1,0 +1,149 @@
+package ppkern
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGP3MEndpoints(t *testing.T) {
+	if g := GP3M(0); g != 1 {
+		t.Errorf("g(0) = %v, want 1", g)
+	}
+	if g := GP3M(2); math.Abs(g) > 1e-14 {
+		t.Errorf("g(2) = %v, want 0", g)
+	}
+	if g := GP3M(2.5); g != 0 {
+		t.Errorf("g(2.5) = %v, want 0", g)
+	}
+	if g := GP3M(1e9); g != 0 {
+		t.Errorf("g(1e9) = %v, want 0", g)
+	}
+}
+
+func TestGP3MKnownValue(t *testing.T) {
+	// Hand-evaluated from eq. 3: g(1) = 1 − 1/2 − 27/140 = 43/140.
+	want := 43.0 / 140.0
+	if g := GP3M(1); math.Abs(g-want) > 1e-15 {
+		t.Errorf("g(1) = %v, want %v", g, want)
+	}
+}
+
+func TestGP3MMonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for i := 0; i <= 2000; i++ {
+		xi := 2 * float64(i) / 2000
+		g := GP3M(xi)
+		if g > prev+1e-12 {
+			t.Fatalf("g not monotone at ξ=%v: %v > %v", xi, g, prev)
+		}
+		if g < -1e-12 || g > 1+1e-12 {
+			t.Fatalf("g out of [0,1] at ξ=%v: %v", xi, g)
+		}
+		prev = g
+	}
+}
+
+func TestGP3MContinuityAtBranch(t *testing.T) {
+	// The ζ = max(0, ξ−1) branch must be C² at ξ = 1 because ζ enters as ζ⁶.
+	h := 1e-7
+	left := GP3M(1 - h)
+	right := GP3M(1 + h)
+	if math.Abs(left-right) > 1e-6 {
+		t.Errorf("discontinuity at ξ=1: %v vs %v", left, right)
+	}
+	// First derivative continuity (finite differences).
+	dl := (GP3M(1) - GP3M(1-h)) / h
+	dr := (GP3M(1+h) - GP3M(1)) / h
+	if math.Abs(dl-dr) > 1e-5 {
+		t.Errorf("derivative jump at ξ=1: %v vs %v", dl, dr)
+	}
+}
+
+func TestGP3MSmoothAtCutoff(t *testing.T) {
+	// g → 0 with zero slope at ξ = 2 (the S2 force joins smoothly).
+	h := 1e-5
+	d := (GP3M(2) - GP3M(2-h)) / h
+	if math.Abs(d) > 1e-3 {
+		t.Errorf("slope at cutoff = %v, want ~0", d)
+	}
+}
+
+func TestHLong(t *testing.T) {
+	if h := HLong(0); h != 0 {
+		t.Errorf("h(0) = %v", h)
+	}
+	if h := HLong(2); math.Abs(h-1) > 1e-14 {
+		t.Errorf("h(2) = %v", h)
+	}
+	f := func(x float64) bool {
+		xi := math.Abs(math.Mod(x, 2))
+		return math.Abs(GP3M(xi)+HLong(xi)-1) < 1e-14
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// s2Hat is the Fourier transform of the unit-mass S2 density shape,
+// S̃2(u) = 12(2 − 2cos u − u sin u)/u⁴ with u = k·rcut/2, with a Taylor
+// expansion near u = 0 (S̃2 = 1 − u²/15 + u⁴/560 − …).
+func s2Hat(u float64) float64 {
+	if u < 1e-2 {
+		u2 := u * u
+		return 1 - u2/15 + u2*u2/560
+	}
+	return 12 * (2 - 2*math.Cos(u) - u*math.Sin(u)) / (u * u * u * u)
+}
+
+// TestGP3MMatchesS2PairForce validates eq. 3 against its definition: the
+// long-range fraction 1−g(ξ) must equal the pair force between two S2-smeared
+// unit masses divided by the point-mass force 1/r². With r = ξ·rcut/2 and
+// u = k·rcut/2, the k-space radial integral gives
+//
+//	1 − g(ξ) = (2ξ/π) ∫₀^∞ S̃2(u)² [sinc(uξ) − cos(uξ)] du.
+//
+// This is an independent derivation (the paper obtained eq. 3 by 6-D spatial
+// integration), so agreement pins down both the polynomial and the k-space
+// Green's function the PM side uses.
+func TestGP3MMatchesS2PairForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadrature is slow")
+	}
+	longFrac := func(xi float64) float64 {
+		const umax = 400.0
+		const du = 0.002
+		n := int(umax / du)
+		if n%2 == 1 {
+			n++
+		}
+		sum := 0.0
+		for i := 0; i <= n; i++ {
+			u := float64(i) * du
+			var f float64
+			if u == 0 {
+				f = 0 // sinc(0) − cos(0) = 0
+			} else {
+				s := s2Hat(u)
+				t := u * xi
+				f = s * s * (math.Sin(t)/t - math.Cos(t))
+			}
+			w := 2.0
+			if i%2 == 1 {
+				w = 4.0
+			}
+			if i == 0 || i == n {
+				w = 1.0
+			}
+			sum += w * f
+		}
+		return (2 * xi / math.Pi) * sum * du / 3
+	}
+	for _, xi := range []float64{0.2, 0.5, 0.8, 1.0, 1.3, 1.7, 1.95} {
+		want := HLong(xi)
+		got := longFrac(xi)
+		if math.Abs(got-want) > 2e-4 {
+			t.Errorf("ξ=%v: k-space long fraction %v vs 1−g = %v", xi, got, want)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package ppkern
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRsqrtSeedAccuracy(t *testing.T) {
+	// frsqrta emulation: 8-bit-class accuracy means relative error < 2⁻⁸.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		// Wide dynamic range, including odd/even exponents.
+		x := math.Ldexp(1+rng.Float64(), rng.Intn(120)-60)
+		got := RsqrtSeed(x)
+		want := 1 / math.Sqrt(x)
+		rel := math.Abs(got-want) / want
+		if rel > 1.0/256 {
+			t.Fatalf("RsqrtSeed(%v): rel err %v > 2^-8", x, rel)
+		}
+	}
+}
+
+func TestRsqrtRefinedAccuracy(t *testing.T) {
+	// One third-order step must reach ≈24-bit accuracy (paper §II-A).
+	rng := rand.New(rand.NewSource(2))
+	worst := 0.0
+	for i := 0; i < 200000; i++ {
+		x := math.Ldexp(1+rng.Float64(), rng.Intn(200)-100)
+		got := Rsqrt(x)
+		want := 1 / math.Sqrt(x)
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > math.Ldexp(1, -24) {
+		t.Errorf("worst relative error %v exceeds 2^-24", worst)
+	}
+}
+
+func TestRsqrtExactPowersOfFour(t *testing.T) {
+	for _, x := range []float64{0.25, 1, 4, 16, 1024 * 1024} {
+		got := Rsqrt(x)
+		want := 1 / math.Sqrt(x)
+		if math.Abs(got-want)/want > 1e-7 {
+			t.Errorf("Rsqrt(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand, n int, span float64) *Source {
+	s := &Source{}
+	for i := 0; i < n; i++ {
+		s.Append(span*rng.Float64(), span*rng.Float64(), span*rng.Float64(), rng.Float64()+0.5)
+	}
+	return s
+}
+
+func TestAccelCutoffFastMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := randomSet(rng, 137, 1.0)
+	tgt := randomSet(rng, 29, 1.0)
+	rcut, eps2, g := 0.3, 1e-8, 1.0
+
+	n := tgt.Len()
+	ax1 := make([]float64, n)
+	ay1 := make([]float64, n)
+	az1 := make([]float64, n)
+	ax2 := make([]float64, n)
+	ay2 := make([]float64, n)
+	az2 := make([]float64, n)
+
+	n1 := AccelCutoff(tgt.X, tgt.Y, tgt.Z, src, g, rcut, eps2, ax1, ay1, az1)
+	n2 := AccelCutoffFast(tgt.X, tgt.Y, tgt.Z, src, g, rcut, eps2, ax2, ay2, az2)
+	if n1 != n2 {
+		t.Fatalf("interaction counts differ: %d vs %d", n1, n2)
+	}
+	if n1 != uint64(137*29) {
+		t.Fatalf("interaction count = %d, want %d", n1, 137*29)
+	}
+	for i := 0; i < n; i++ {
+		for _, p := range [][2]float64{{ax1[i], ax2[i]}, {ay1[i], ay2[i]}, {az1[i], az2[i]}} {
+			scale := math.Max(1, math.Abs(p[0]))
+			if math.Abs(p[0]-p[1])/scale > 1e-6 {
+				t.Fatalf("i=%d: scalar %v vs fast %v", i, p[0], p[1])
+			}
+		}
+	}
+}
+
+func TestAccelCutoffZeroBeyondRcut(t *testing.T) {
+	src := &Source{}
+	src.Append(0, 0, 0, 1)
+	rcut := 0.1
+	ax := make([]float64, 1)
+	ay := make([]float64, 1)
+	az := make([]float64, 1)
+	// Target just beyond the cutoff radius.
+	AccelCutoff([]float64{rcut * 1.001}, []float64{0}, []float64{0}, src, 1, rcut, 0, ax, ay, az)
+	if ax[0] != 0 || ay[0] != 0 || az[0] != 0 {
+		t.Errorf("force beyond rcut = (%v,%v,%v), want 0", ax[0], ay[0], az[0])
+	}
+	// And the fast kernel agrees (pad to 4 targets).
+	x := []float64{rcut * 1.001, rcut * 2, rcut * 5, rcut * 1.0001}
+	z4 := make([]float64, 4)
+	ax4 := make([]float64, 4)
+	ay4 := make([]float64, 4)
+	az4 := make([]float64, 4)
+	AccelCutoffFast(x, z4, z4, src, 1, rcut, 1e-20, ax4, ay4, az4)
+	for i := range ax4 {
+		if ax4[i] != 0 || ay4[i] != 0 || az4[i] != 0 {
+			t.Errorf("fast kernel force beyond rcut at i=%d: (%v,%v,%v)", i, ax4[i], ay4[i], az4[i])
+		}
+	}
+}
+
+func TestAccelCutoffNewtonianLimit(t *testing.T) {
+	// Deep inside the cutoff (ξ → 0) the force must approach G m/r².
+	src := &Source{}
+	src.Append(0, 0, 0, 2.5)
+	rcut := 10.0
+	r := 1e-3 // ξ = 2e-4
+	ax := make([]float64, 1)
+	AccelCutoff([]float64{r}, []float64{0}, []float64{0}, src, 1, rcut, 0, ax, make([]float64, 1), make([]float64, 1))
+	want := -2.5 / (r * r) // force points from target at +x toward origin
+	if math.Abs(ax[0]-want)/math.Abs(want) > 1e-6 {
+		t.Errorf("Newtonian limit: got %v, want %v", ax[0], want)
+	}
+}
+
+func TestAccelCutoffSelfInteraction(t *testing.T) {
+	// A particle in its own source list must receive zero force, both with
+	// zero softening (scalar guard) and positive softening (zero numerator).
+	src := &Source{}
+	src.Append(0.5, 0.5, 0.5, 1)
+	ax := make([]float64, 1)
+	ay := make([]float64, 1)
+	az := make([]float64, 1)
+	AccelCutoff([]float64{0.5}, []float64{0.5}, []float64{0.5}, src, 1, 0.2, 0, ax, ay, az)
+	if ax[0] != 0 || ay[0] != 0 || az[0] != 0 {
+		t.Errorf("self force (eps=0) = (%v,%v,%v)", ax[0], ay[0], az[0])
+	}
+	AccelCutoff([]float64{0.5}, []float64{0.5}, []float64{0.5}, src, 1, 0.2, 1e-8, ax, ay, az)
+	if ax[0] != 0 || ay[0] != 0 || az[0] != 0 {
+		t.Errorf("self force (eps>0) = (%v,%v,%v)", ax[0], ay[0], az[0])
+	}
+}
+
+func TestAccelCutoffMomentumConservation(t *testing.T) {
+	// Pairwise antisymmetry: with all particles as both sources and targets,
+	// Σ m_i a_i = 0.
+	rng := rand.New(rand.NewSource(4))
+	all := randomSet(rng, 64, 0.5)
+	n := all.Len()
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	AccelCutoff(all.X, all.Y, all.Z, all, 1, 0.4, 1e-8, ax, ay, az)
+	var px, py, pz, scale float64
+	for i := 0; i < n; i++ {
+		px += all.M[i] * ax[i]
+		py += all.M[i] * ay[i]
+		pz += all.M[i] * az[i]
+		scale += all.M[i] * (math.Abs(ax[i]) + math.Abs(ay[i]) + math.Abs(az[i]))
+	}
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-12*scale {
+		t.Errorf("net momentum change (%v,%v,%v) not ~0 (scale %v)", px, py, pz, scale)
+	}
+}
+
+func TestAccelPlainTwoBody(t *testing.T) {
+	src := &Source{}
+	src.Append(1, 0, 0, 3)
+	ax := make([]float64, 1)
+	AccelPlain([]float64{0}, []float64{0}, []float64{0}, src, 2, 0, ax, make([]float64, 1), make([]float64, 1))
+	if math.Abs(ax[0]-6) > 1e-12 { // G m / r² = 2·3/1
+		t.Errorf("two-body accel = %v, want 6", ax[0])
+	}
+}
+
+func TestPotPlainTwoBody(t *testing.T) {
+	src := &Source{}
+	src.Append(2, 0, 0, 4)
+	pot := make([]float64, 1)
+	PotPlain([]float64{0}, []float64{0}, []float64{0}, src, 1, 0, pot)
+	if math.Abs(pot[0]+2) > 1e-12 { // −G m/r = −4/2
+		t.Errorf("pot = %v, want -2", pot[0])
+	}
+}
+
+func TestPotCutoffDerivativeIsForce(t *testing.T) {
+	// dφ_short/dr must equal g(2r/rcut)/r² (as dφ/dr = 1/r² for φ = −1/r).
+	rcut := 1.0
+	for _, r := range []float64{0.05, 0.1, 0.2, 0.3, 0.45} {
+		h := 1e-6
+		dphi := (PotCutoffAt(r+h, rcut) - PotCutoffAt(r-h, rcut)) / (2 * h)
+		want := GP3M(2*r/rcut) / (r * r)
+		if math.Abs(dphi-want)/want > 1e-4 {
+			t.Errorf("r=%v: dφ/dr = %v, want %v", r, dphi, want)
+		}
+	}
+}
+
+func TestPotCutoffVanishesBeyondRcut(t *testing.T) {
+	if p := PotCutoffAt(1.0, 1.0); p != 0 {
+		t.Errorf("φ_short at rcut = %v, want 0", p)
+	}
+	if p := PotCutoffAt(2.0, 1.0); p != 0 {
+		t.Errorf("φ_short beyond rcut = %v, want 0", p)
+	}
+}
+
+func TestSourceResetAppend(t *testing.T) {
+	s := &Source{}
+	s.Append(1, 2, 3, 4)
+	s.Append(5, 6, 7, 8)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	s.Append(9, 9, 9, 9)
+	if s.Len() != 1 || s.X[0] != 9 {
+		t.Fatalf("Append after Reset broken: %+v", s)
+	}
+}
+
+func TestCutoffWProperty(t *testing.T) {
+	// cutoffW(r², 2/rcut) must equal g(2r/rcut)/r³ for r in (0, rcut).
+	f := func(raw float64) bool {
+		r := 0.01 + math.Abs(math.Mod(raw, 0.99))
+		rcut := 1.0
+		got := cutoffW(r*r, 2/rcut, true)
+		want := GP3M(2*r/rcut) / (r * r * r)
+		return math.Abs(got-want) <= 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccelCutoffPhantomMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randomSet(rng, 101, 1.0)
+	tgt := randomSet(rng, 24, 1.0)
+	rcut, eps2 := 0.3, 1e-8
+	n := tgt.Len()
+	a1 := make([]float64, n)
+	b1 := make([]float64, n)
+	c1 := make([]float64, n)
+	a2 := make([]float64, n)
+	b2 := make([]float64, n)
+	c2 := make([]float64, n)
+	AccelCutoff(tgt.X, tgt.Y, tgt.Z, src, 1, rcut, eps2, a1, b1, c1)
+	AccelCutoffPhantom(tgt.X, tgt.Y, tgt.Z, src, 1, rcut, eps2, a2, b2, c2)
+	for i := 0; i < n; i++ {
+		// The ≈24-bit rsqrt bounds the relative error near 1e-6.
+		if math.Abs(a1[i]-a2[i]) > 1e-5*(1+math.Abs(a1[i])) {
+			t.Fatalf("phantom kernel differs at %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestPotTableMatchesQuadrature(t *testing.T) {
+	tab := NewPotTable(512)
+	rcut := 0.8
+	for _, r := range []float64{0.01, 0.1, 0.25, 0.39, 0.6, 0.79} {
+		want := PotCutoffAt(r, rcut)
+		got := -tab.P(2*r/rcut) / r
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("r=%v: table %v, want 0", r, got)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-4*math.Abs(want)+1e-10 {
+			t.Errorf("r=%v: table %v, quadrature %v", r, got, want)
+		}
+	}
+	if p := tab.P(0); p != 1 {
+		t.Errorf("p(0) = %v", p)
+	}
+	if p := tab.P(2.5); p != 0 {
+		t.Errorf("p(2.5) = %v", p)
+	}
+}
+
+func TestPotCutoffKernel(t *testing.T) {
+	tab := NewPotTable(512)
+	src := &Source{}
+	src.Append(0.1, 0, 0, 2)
+	pot := make([]float64, 1)
+	rcut := 0.5
+	PotCutoff([]float64{0}, []float64{0}, []float64{0}, src, tab, 1.5, rcut, 0, pot)
+	want := 1.5 * 2 * PotCutoffAt(0.1, rcut)
+	if math.Abs(pot[0]-want)/math.Abs(want) > 1e-4 {
+		t.Errorf("kernel pot %v, want %v", pot[0], want)
+	}
+	// Self-interaction guarded.
+	pot[0] = 0
+	PotCutoff([]float64{0.1}, []float64{0}, []float64{0}, src, tab, 1, rcut, 0, pot)
+	if pot[0] != 0 {
+		t.Errorf("self potential = %v", pot[0])
+	}
+}

@@ -1,0 +1,90 @@
+package ppkern
+
+import "math"
+
+// QuadSource is a set of multipole sources carrying monopole and traceless
+// quadrupole moments, Q_ij = Σ_k m_k (3 x̃_i x̃_j − δ_ij |x̃|²) with x̃
+// relative to the center of mass. The tree's quadrupole extension (an
+// accuracy/cost ablation over the paper's monopole-only configuration)
+// evaluates accepted nodes through this kernel.
+type QuadSource struct {
+	X, Y, Z, M             []float64
+	XX, YY, ZZ, XY, XZ, YZ []float64
+}
+
+// Len returns the number of sources.
+func (s *QuadSource) Len() int { return len(s.X) }
+
+// Append adds one source.
+func (s *QuadSource) Append(x, y, z, m, xx, yy, zz, xy, xz, yz float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.Z = append(s.Z, z)
+	s.M = append(s.M, m)
+	s.XX = append(s.XX, xx)
+	s.YY = append(s.YY, yy)
+	s.ZZ = append(s.ZZ, zz)
+	s.XY = append(s.XY, xy)
+	s.XZ = append(s.XZ, xz)
+	s.YZ = append(s.YZ, yz)
+}
+
+// Reset empties the set, retaining capacity.
+func (s *QuadSource) Reset() {
+	s.X = s.X[:0]
+	s.Y = s.Y[:0]
+	s.Z = s.Z[:0]
+	s.M = s.M[:0]
+	s.XX = s.XX[:0]
+	s.YY = s.YY[:0]
+	s.ZZ = s.ZZ[:0]
+	s.XY = s.XY[:0]
+	s.XZ = s.XZ[:0]
+	s.YZ = s.YZ[:0]
+}
+
+// AccelQuad accumulates monopole + quadrupole accelerations from the
+// sources onto the targets:
+//
+//	a = G·M·d/r³ + G·[ −Q·d/r⁵ + (5/2)·(d·Q·d)·d/r⁷ ]
+//
+// with d pointing from the target to the source's center of mass (so the
+// monopole term is attractive), matching the expansion
+// φ = −GM/r − G(d·Q·d)/(2r⁵). Softening applies to the monopole only (the
+// quadrupole is used for well-separated cells where ε is negligible).
+func AccelQuad(xi, yi, zi []float64, src *QuadSource, g, eps2 float64, ax, ay, az []float64) uint64 {
+	for i := range xi {
+		var fx, fy, fz float64
+		for j := range src.X {
+			dx := src.X[j] - xi[i]
+			dy := src.Y[j] - yi[i]
+			dz := src.Z[j] - zi[i]
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue
+			}
+			rinv := 1 / math.Sqrt(r2+eps2)
+			rinv2 := rinv * rinv
+			rinv3 := rinv2 * rinv
+			rinv5 := rinv3 * rinv2
+			rinv7 := rinv5 * rinv2
+			gm := g * src.M[j]
+			// Monopole.
+			fx += gm * rinv3 * dx
+			fy += gm * rinv3 * dy
+			fz += gm * rinv3 * dz
+			// Quadrupole.
+			qdx := src.XX[j]*dx + src.XY[j]*dy + src.XZ[j]*dz
+			qdy := src.XY[j]*dx + src.YY[j]*dy + src.YZ[j]*dz
+			qdz := src.XZ[j]*dx + src.YZ[j]*dy + src.ZZ[j]*dz
+			dqd := dx*qdx + dy*qdy + dz*qdz
+			fx += g * (-qdx*rinv5 + 2.5*dqd*dx*rinv7)
+			fy += g * (-qdy*rinv5 + 2.5*dqd*dy*rinv7)
+			fz += g * (-qdz*rinv5 + 2.5*dqd*dz*rinv7)
+		}
+		ax[i] += fx
+		ay[i] += fy
+		az[i] += fz
+	}
+	return uint64(len(xi)) * uint64(src.Len())
+}

@@ -1,0 +1,54 @@
+package ppkern
+
+import "math"
+
+// The HPC-ACE architecture of K computer provides frsqrta, an approximate
+// inverse-square-root instruction with 8-bit accuracy. The paper refines it
+// to 24-bit accuracy with one third-order (Householder) step
+//
+//	y0 ≈ 1/√x,  h0 = 1 − x·y0²,  y1 = y0·(1 + h0/2 + 3h0²/8)
+//
+// and deliberately stops there: full convergence to double precision would
+// increase both CPU time and the flops count without improving the accuracy
+// of scientific results. We emulate frsqrta with a 512-entry table indexed by
+// the exponent parity and the top 8 mantissa bits, which yields a relative
+// seed error below 2⁻⁹ and a refined error below 10⁻⁸ (≈ 26 bits).
+
+// rsqrtTab[p*256+i] holds 1/√v at the midpoint of the i-th mantissa interval
+// for normalized significand v ∈ [1,2) (p=0) or v ∈ [2,4) (p=1).
+var rsqrtTab [512]float64
+
+func init() {
+	for p := 0; p < 2; p++ {
+		base := 1.0
+		if p == 1 {
+			base = 2.0
+		}
+		for i := 0; i < 256; i++ {
+			v := base * (1 + (float64(i)+0.5)/256)
+			rsqrtTab[p*256+i] = 1 / math.Sqrt(v)
+		}
+	}
+}
+
+// RsqrtSeed returns an approximation to 1/√x accurate to about 9 bits, the
+// software stand-in for the frsqrta instruction. x must be positive, finite
+// and normal.
+func RsqrtSeed(x float64) float64 {
+	b := math.Float64bits(x)
+	exp := int(b>>52) & 0x7FF
+	k := exp - 1023
+	parity := k & 1 // 0 or 1 even for negative k (two's complement)
+	idx := parity<<8 | int(b>>44)&0xFF
+	// x = v · 2^k2 with k2 even and v ∈ [1,4).
+	k2 := k - parity
+	return math.Ldexp(rsqrtTab[idx], -k2/2)
+}
+
+// Rsqrt returns 1/√x to ≈24-bit accuracy using the seeded approximation plus
+// one third-order refinement, exactly as the K computer kernel does.
+func Rsqrt(x float64) float64 {
+	y := RsqrtSeed(x)
+	h := 1 - x*y*y
+	return y * (1 + h*(0.5+h*0.375))
+}

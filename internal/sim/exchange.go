@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"greem/internal/domain"
+	"greem/internal/mpi"
+	"greem/internal/vec"
+)
+
+// exchangeParticles sends every local particle to the rank owning its
+// position under the current geometry.
+func (s *Sim) exchangeParticles() error {
+	p := s.comm.Size()
+	send := make([][]Particle, p)
+	for i := range s.x {
+		pos := vec.Wrap(vec.V3{X: s.x[i], Y: s.y[i], Z: s.z[i]}, s.cfg.L)
+		dst := s.geo.Find(pos)
+		send[dst] = append(send[dst], Particle{
+			X: pos.X, Y: pos.Y, Z: pos.Z,
+			VX: s.vx[i], VY: s.vy[i], VZ: s.vz[i],
+			M: s.m[i], ID: s.id[i],
+		})
+	}
+	recv := mpi.Alltoall(s.comm, send)
+	var mine []Particle
+	for _, r := range recv {
+		mine = append(mine, r...)
+	}
+	s.setParticles(mine)
+	return nil
+}
+
+// ghost is a source-only particle shipped to a neighbour, with its position
+// already shifted to the receiver's periodic frame.
+type ghost struct {
+	X, Y, Z, M float64
+}
+
+// bestShift returns the periodic shift k·L (k ∈ {−1,0,1}) that brings
+// coordinate c closest to the interval [lo, hi], and the resulting distance.
+func bestShift(c, lo, hi, l float64) (shift, dist float64) {
+	best := -1.0
+	bestShift := 0.0
+	for k := -1; k <= 1; k++ {
+		cc := c + float64(k)*l
+		var d float64
+		switch {
+		case cc < lo:
+			d = lo - cc
+		case cc > hi:
+			d = cc - hi
+		}
+		if best < 0 || d < best {
+			best = d
+			bestShift = float64(k) * l
+		}
+	}
+	return bestShift, best
+}
+
+// exchangeGhosts ships to every rank (including images to self) the local
+// particles lying within rcut of that rank's domain, shifted into its frame.
+// Returns the ghosts received.
+func (s *Sim) exchangeGhosts() []ghost {
+	p := s.comm.Size()
+	rcut := s.cfg.Rcut
+	l := s.cfg.L
+	send := make([][]ghost, p)
+	for r := 0; r < p; r++ {
+		lo, hi := s.geo.Bounds(r)
+		// Quick reject: if even the closest point of my domain is beyond
+		// rcut of r's domain (periodically), skip the particle loop.
+		mlo, mhi := s.bounds()
+		if boxDistPeriodic(mlo, mhi, lo, hi, l) > rcut {
+			continue
+		}
+		for i := range s.x {
+			sx, dx := bestShift(s.x[i], lo.X, hi.X, l)
+			sy, dy := bestShift(s.y[i], lo.Y, hi.Y, l)
+			sz, dz := bestShift(s.z[i], lo.Z, hi.Z, l)
+			if dx*dx+dy*dy+dz*dz > rcut*rcut {
+				continue
+			}
+			if r == s.comm.Rank() && sx == 0 && sy == 0 && sz == 0 {
+				continue // local particles are already targets, not ghosts
+			}
+			send[r] = append(send[r], ghost{X: s.x[i] + sx, Y: s.y[i] + sy, Z: s.z[i] + sz, M: s.m[i]})
+		}
+	}
+	recv := mpi.Alltoall(s.comm, send)
+	var out []ghost
+	for _, r := range recv {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// boxDistPeriodic returns the minimum periodic distance between two boxes.
+func boxDistPeriodic(alo, ahi, blo, bhi vec.V3, l float64) float64 {
+	d2 := 0.0
+	for _, ax := range [3][4]float64{
+		{alo.X, ahi.X, blo.X, bhi.X},
+		{alo.Y, ahi.Y, blo.Y, bhi.Y},
+		{alo.Z, ahi.Z, blo.Z, bhi.Z},
+	} {
+		best := -1.0
+		for k := -1; k <= 1; k++ {
+			lo := ax[0] + float64(k)*l
+			hi := ax[1] + float64(k)*l
+			var d float64
+			switch {
+			case hi < ax[2]:
+				d = ax[2] - hi
+			case lo > ax[3]:
+				d = lo - ax[3]
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		d2 += best * best
+	}
+	return math.Sqrt(d2)
+}
+
+// domainDecomposition runs the sampling method: measure cost, sample
+// particles proportionally, rebuild the geometry at the root, smooth it with
+// the moving average, broadcast it, and migrate particles.
+func (s *Sim) domainDecomposition() error {
+	t0 := time.Now()
+	p := s.comm.Size()
+
+	cost := s.lastCost
+	if cost <= 0 {
+		cost = float64(len(s.x) + 1)
+	}
+	costs := flatten(mpi.Allgather(s.comm, []float64{cost}))
+	counts := make([]int, p)
+	for i, c := range mpi.Allgather(s.comm, []int{len(s.x)}) {
+		counts[i] = c[0]
+	}
+	nsamp := domain.SampleCounts(s.cfg.SampleTotal, costs, counts)[s.comm.Rank()]
+
+	samples := make([]float64, 0, 3*nsamp)
+	if len(s.x) > 0 {
+		for k := 0; k < nsamp; k++ {
+			i := s.rng.Intn(len(s.x))
+			samples = append(samples, s.x[i], s.y[i], s.z[i])
+		}
+	}
+	gathered := mpi.Gather(s.comm, 0, samples)
+
+	var flatGeo []float64
+	if s.comm.Rank() == 0 {
+		var pts []vec.V3
+		for _, g := range gathered {
+			for i := 0; i+2 < len(g); i += 3 {
+				pts = append(pts, vec.V3{X: g[i], Y: g[i+1], Z: g[i+2]})
+			}
+		}
+		geo, err := domain.FromSamples(s.cfg.Grid[0], s.cfg.Grid[1], s.cfg.Grid[2], s.cfg.L, pts)
+		if err != nil {
+			// Not enough samples (e.g. nearly empty ranks): keep the old
+			// geometry rather than fail the run.
+			geo = s.geo
+		}
+		s.history = append(s.history, geo)
+		if len(s.history) > s.cfg.SmoothSteps {
+			s.history = s.history[len(s.history)-s.cfg.SmoothSteps:]
+		}
+		smoothed, err := domain.MovingAverage(s.history)
+		if err != nil {
+			smoothed = geo
+		}
+		flatGeo = smoothed.EncodeFlat()
+	}
+	flatGeo = mpi.Bcast(s.comm, 0, flatGeo)
+	geo, err := domain.DecodeFlat(flatGeo)
+	if err != nil {
+		return err
+	}
+	s.geo = geo
+	s.Timers.DDSampling += time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	if err := s.exchangeParticles(); err != nil {
+		return err
+	}
+	if err := s.rebuildPM(); err != nil {
+		return err
+	}
+	s.Timers.DDExchange += time.Since(t1).Seconds()
+	return nil
+}
+
+func flatten(in [][]float64) []float64 {
+	var out []float64
+	for _, v := range in {
+		out = append(out, v...)
+	}
+	return out
+}

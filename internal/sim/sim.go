@@ -1,0 +1,295 @@
+// Package sim is the distributed simulation driver: it composes the domain
+// decomposition (package domain), ghost exchange and tree short-range forces
+// (package tree), the parallel PM long-range force (package pmpar), and the
+// multiple-stepsize KDK integrator into the step cycle of §III — one step is
+// one PM cycle plus two PP cycles and two domain-decomposition cycles — with
+// the per-phase timers and interaction counters that populate Table I.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"greem/internal/domain"
+	"greem/internal/mpi"
+	"greem/internal/pmpar"
+	"greem/internal/tree"
+	"greem/internal/vec"
+)
+
+// Particle is the migratable per-particle state.
+type Particle struct {
+	X, Y, Z    float64
+	VX, VY, VZ float64
+	M          float64
+	ID         int64
+}
+
+// TimeStepper supplies kick and drift coefficients for the integrator. For
+// static (non-expanding) boxes both are just dt; the cosmo package provides
+// comoving coefficients.
+type TimeStepper interface {
+	// KickFactor returns the multiplier applied to accelerations over [t, t+dt].
+	KickFactor(t, dt float64) float64
+	// DriftFactor returns the multiplier applied to velocities over [t, t+dt].
+	DriftFactor(t, dt float64) float64
+}
+
+// StaticStepper integrates in a non-expanding box: factors are plain dt.
+type StaticStepper struct{}
+
+// KickFactor returns dt.
+func (StaticStepper) KickFactor(t, dt float64) float64 { return dt }
+
+// DriftFactor returns dt.
+func (StaticStepper) DriftFactor(t, dt float64) float64 { return dt }
+
+// Config parameterizes a distributed simulation.
+type Config struct {
+	L, G float64 // box side, gravitational constant
+
+	// PM configuration.
+	NMesh  int
+	NFFT   int
+	Relay  bool
+	Groups int
+	// Pencil selects the 2-D pencil FFT decomposition over a PY×PZ process
+	// grid (the paper's §IV future work); NFFT is then PY·PZ.
+	Pencil bool
+	PY, PZ int
+	Rcut   float64 // 0 ⇒ 3·L/NMesh
+
+	// Tree configuration.
+	Theta      float64 // 0 ⇒ 0.5
+	Ni         int     // group size cap; 0 ⇒ 100
+	Eps2       float64
+	LeafCap    int // 0 ⇒ 16
+	FastKernel bool
+	// Workers threads the per-rank tree traversal (OpenMP-style hybrid);
+	// 0/1 = serial.
+	Workers int
+
+	// Domain decomposition.
+	Grid        [3]int // divisions per axis; product must equal comm size
+	SampleTotal int    // total sampled particles for the decomposition; 0 ⇒ 64·p
+	SmoothSteps int    // moving-average window; 0 ⇒ 5 (the paper's choice)
+
+	// Integration.
+	DT      float64     // full (PM) step
+	Stepper TimeStepper // nil ⇒ StaticStepper
+	Time    float64     // initial time (scale factor in cosmological runs)
+
+	// Substeps is the number of PP cycles per PM cycle; 0 ⇒ 2 (the paper).
+	Substeps int
+}
+
+func (c *Config) setDefaults(p int) error {
+	if c.L <= 0 || c.G <= 0 {
+		return fmt.Errorf("sim: L and G must be positive")
+	}
+	if c.Grid[0]*c.Grid[1]*c.Grid[2] != p {
+		return fmt.Errorf("sim: grid %v does not match %d ranks", c.Grid, p)
+	}
+	if c.NMesh < 2 {
+		return fmt.Errorf("sim: NMesh %d too small", c.NMesh)
+	}
+	if c.NFFT == 0 && !c.Pencil {
+		c.NFFT = min(p, c.NMesh)
+	}
+	if c.Rcut == 0 {
+		c.Rcut = 3 * c.L / float64(c.NMesh)
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.5
+	}
+	if c.Ni == 0 {
+		c.Ni = 100
+	}
+	if c.LeafCap == 0 {
+		c.LeafCap = 16
+	}
+	if c.SampleTotal == 0 {
+		c.SampleTotal = 64 * p
+	}
+	if c.SmoothSteps == 0 {
+		c.SmoothSteps = 5
+	}
+	if c.Stepper == nil {
+		c.Stepper = StaticStepper{}
+	}
+	if c.Substeps == 0 {
+		c.Substeps = 2
+	}
+	if c.DT <= 0 {
+		return fmt.Errorf("sim: DT must be positive")
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Sim is one rank's handle on the distributed simulation.
+type Sim struct {
+	comm *mpi.Comm
+	cfg  Config
+
+	geo     *domain.Geometry
+	history []*domain.Geometry
+	pm      *pmpar.Solver
+
+	// Local particles (SoA).
+	x, y, z    []float64
+	vx, vy, vz []float64
+	m          []float64
+	id         []int64
+
+	// Long- and short-range accelerations for the local particles.
+	apx, apy, apz []float64 // PM
+	asx, asy, asz []float64 // PP
+
+	pmFresh, ppFresh bool
+	time             float64
+	step             int
+
+	// lastCost is this rank's measured force time (seconds) used for the
+	// cost-proportional sampling rate.
+	lastCost float64
+
+	rng *rand.Rand
+
+	Timers   Timers
+	Counters Counters
+}
+
+// Timers aggregates the per-phase wall-clock of this rank, with the same
+// rows as Table I.
+type Timers struct {
+	PM pmpar.Timings
+
+	PPLocalTree  float64 // assembling the local+ghost source set
+	PPComm       float64 // ghost exchange
+	PPTreeConstr float64
+	PPTraverse   float64 // traversal+force are fused in tree.Accel; split by model below
+	PPForce      float64
+
+	DDPosUpdate float64
+	DDSampling  float64
+	DDExchange  float64
+}
+
+// Counters aggregates interaction statistics (⟨Ni⟩, ⟨Nj⟩, #interactions).
+type Counters struct {
+	Tree tree.Stats
+}
+
+// New creates the simulation from an initial particle set. parts holds this
+// rank's particles under the *uniform* initial decomposition (they are
+// redistributed immediately). Collective over c.
+func New(c *mpi.Comm, cfg Config, parts []Particle) (*Sim, error) {
+	if err := cfg.setDefaults(c.Size()); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		comm: c, cfg: cfg,
+		geo:  domain.Uniform(cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], cfg.L),
+		time: cfg.Time,
+		rng:  rand.New(rand.NewSource(int64(42 + c.Rank()))),
+	}
+	s.setParticles(parts)
+	// Initial exchange onto the uniform geometry, then build the PM solver.
+	if err := s.exchangeParticles(); err != nil {
+		return nil, err
+	}
+	if err := s.rebuildPM(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Sim) setParticles(parts []Particle) {
+	n := len(parts)
+	s.x = make([]float64, n)
+	s.y = make([]float64, n)
+	s.z = make([]float64, n)
+	s.vx = make([]float64, n)
+	s.vy = make([]float64, n)
+	s.vz = make([]float64, n)
+	s.m = make([]float64, n)
+	s.id = make([]int64, n)
+	for i, p := range parts {
+		s.x[i], s.y[i], s.z[i] = p.X, p.Y, p.Z
+		s.vx[i], s.vy[i], s.vz[i] = p.VX, p.VY, p.VZ
+		s.m[i], s.id[i] = p.M, p.ID
+	}
+	s.resizeAccels()
+}
+
+func (s *Sim) resizeAccels() {
+	n := len(s.x)
+	s.apx = make([]float64, n)
+	s.apy = make([]float64, n)
+	s.apz = make([]float64, n)
+	s.asx = make([]float64, n)
+	s.asy = make([]float64, n)
+	s.asz = make([]float64, n)
+}
+
+func (s *Sim) rebuildPM() error {
+	lo, hi := s.geo.Bounds(s.comm.Rank())
+	pm, err := pmpar.New(s.comm, pmpar.Config{
+		N: s.cfg.NMesh, L: s.cfg.L, G: s.cfg.G, Rcut: s.cfg.Rcut,
+		NFFT: s.cfg.NFFT, Relay: s.cfg.Relay, Groups: s.cfg.Groups,
+		Pencil: s.cfg.Pencil, PY: s.cfg.PY, PZ: s.cfg.PZ, Workers: s.cfg.Workers,
+	}, lo, hi)
+	if err != nil {
+		return err
+	}
+	s.pm = pm
+	return nil
+}
+
+// NumLocal returns this rank's particle count.
+func (s *Sim) NumLocal() int { return len(s.x) }
+
+// Time returns the current simulation time (or scale factor).
+func (s *Sim) Time() float64 { return s.time }
+
+// StepIndex returns the number of completed full steps.
+func (s *Sim) StepIndex() int { return s.step }
+
+// Geometry returns the current domain decomposition.
+func (s *Sim) Geometry() *domain.Geometry { return s.geo }
+
+// Particles returns a snapshot of the local particles.
+func (s *Sim) Particles() []Particle {
+	out := make([]Particle, len(s.x))
+	for i := range s.x {
+		out[i] = Particle{
+			X: s.x[i], Y: s.y[i], Z: s.z[i],
+			VX: s.vx[i], VY: s.vy[i], VZ: s.vz[i],
+			M: s.m[i], ID: s.id[i],
+		}
+	}
+	return out
+}
+
+// GatherAll collects every rank's particles at root (nil elsewhere).
+func (s *Sim) GatherAll(root int) []Particle {
+	gathered := mpi.Gather(s.comm, root, s.Particles())
+	if gathered == nil {
+		return nil
+	}
+	var all []Particle
+	for _, g := range gathered {
+		all = append(all, g...)
+	}
+	return all
+}
+
+// bounds returns this rank's domain.
+func (s *Sim) bounds() (vec.V3, vec.V3) { return s.geo.Bounds(s.comm.Rank()) }

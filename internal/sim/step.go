@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"time"
+
+	"greem/internal/mpi"
+	"greem/internal/pmpar"
+	"greem/internal/ppkern"
+	"greem/internal/tree"
+	"greem/internal/vec"
+)
+
+// computePM evaluates the long-range force for the local particles.
+func (s *Sim) computePM() {
+	for i := range s.apx {
+		s.apx[i], s.apy[i], s.apz[i] = 0, 0, 0
+	}
+	before := s.pm.Times
+	s.pm.Accel(s.x, s.y, s.z, s.m, s.apx, s.apy, s.apz)
+	s.Timers.PM.Add(subTimings(s.pm.Times, before))
+	s.pmFresh = true
+}
+
+// subTimings returns a − b fieldwise.
+func subTimings(a, b pmpar.Timings) pmpar.Timings {
+	return pmpar.Timings{
+		Density:   a.Density - b.Density,
+		Comm:      a.Comm - b.Comm,
+		FFT:       a.FFT - b.FFT,
+		MeshForce: a.MeshForce - b.MeshForce,
+		Interp:    a.Interp - b.Interp,
+	}
+}
+
+// computePP evaluates the short-range (tree) force for the local particles:
+// ghost exchange, source/target tree construction, grouped traversal and the
+// cutoff kernel. It also updates lastCost for the sampling method.
+func (s *Sim) computePP() {
+	tAll := time.Now()
+
+	t0 := time.Now()
+	ghosts := s.exchangeGhosts()
+	s.Timers.PPComm += time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	// Assemble the source set: local particles plus ghosts.
+	n := len(s.x)
+	sx := make([]float64, n+len(ghosts))
+	sy := make([]float64, n+len(ghosts))
+	sz := make([]float64, n+len(ghosts))
+	sm := make([]float64, n+len(ghosts))
+	copy(sx, s.x)
+	copy(sy, s.y)
+	copy(sz, s.z)
+	copy(sm, s.m)
+	for i, g := range ghosts {
+		sx[n+i], sy[n+i], sz[n+i], sm[n+i] = g.X, g.Y, g.Z, g.M
+	}
+	s.Timers.PPLocalTree += time.Since(t1).Seconds()
+
+	t2 := time.Now()
+	opts := tree.Options{LeafCap: s.cfg.LeafCap}
+	srcTree, err := tree.Build(sx, sy, sz, sm, opts)
+	if err != nil {
+		panic(err)
+	}
+	tgtTree := srcTree
+	if len(ghosts) > 0 {
+		tgtTree, err = tree.Build(s.x, s.y, s.z, s.m, opts)
+		if err != nil {
+			panic(err)
+		}
+	}
+	s.Timers.PPTreeConstr += time.Since(t2).Seconds()
+
+	for i := range s.asx {
+		s.asx[i], s.asy[i], s.asz[i] = 0, 0, 0
+	}
+	t3 := time.Now()
+	var st tree.Stats
+	if len(ghosts) > 0 {
+		st = tree.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(false), s.asx, s.asy, s.asz)
+	} else {
+		// Single-rank (or isolated) case: the tree must handle periodicity
+		// itself since no ghosts encode the wrap.
+		st = tree.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(true), s.asx, s.asy, s.asz)
+	}
+	fused := time.Since(t3).Seconds()
+	s.Timers.PPForce += st.KernelSeconds
+	s.Timers.PPTraverse += fused - st.KernelSeconds
+	s.Counters.Tree.Add(st)
+
+	s.lastCost = time.Since(tAll).Seconds() + s.pm.Times.Total().Seconds()/float64(s.cfg.Substeps)
+	s.ppFresh = true
+}
+
+func (s *Sim) forceOpts(periodic bool) tree.ForceOpts {
+	return tree.ForceOpts{
+		G: s.cfg.G, Theta: s.cfg.Theta, Eps2: s.cfg.Eps2,
+		Cutoff: true, Rcut: s.cfg.Rcut,
+		Periodic: periodic, L: s.cfg.L,
+		FastKernel: s.cfg.FastKernel, Workers: s.cfg.Workers,
+	}
+}
+
+// kickPM applies the long-range kick over [t, t+dt].
+func (s *Sim) kickPM(t, dt float64) {
+	k := s.cfg.Stepper.KickFactor(t, dt)
+	for i := range s.vx {
+		s.vx[i] += k * s.apx[i]
+		s.vy[i] += k * s.apy[i]
+		s.vz[i] += k * s.apz[i]
+	}
+}
+
+// kickPP applies the short-range kick over [t, t+dt].
+func (s *Sim) kickPP(t, dt float64) {
+	k := s.cfg.Stepper.KickFactor(t, dt)
+	for i := range s.vx {
+		s.vx[i] += k * s.asx[i]
+		s.vy[i] += k * s.asy[i]
+		s.vz[i] += k * s.asz[i]
+	}
+}
+
+// drift advances positions over [t, t+dt] and wraps them into the box.
+func (s *Sim) drift(t, dt float64) {
+	t0 := time.Now()
+	d := s.cfg.Stepper.DriftFactor(t, dt)
+	l := s.cfg.L
+	for i := range s.x {
+		p := vec.Wrap(vec.V3{X: s.x[i] + d*s.vx[i], Y: s.y[i] + d*s.vy[i], Z: s.z[i] + d*s.vz[i]}, l)
+		s.x[i], s.y[i], s.z[i] = p.X, p.Y, p.Z
+	}
+	s.time += dt
+	s.Timers.DDPosUpdate += time.Since(t0).Seconds()
+	s.pmFresh = false
+	s.ppFresh = false
+}
+
+// Step advances the system by one full step Δ: a half long-range kick, then
+// Substeps short-range KDK cycles (each with a fresh domain decomposition and
+// short-range force), then the long-range force and the closing half kick —
+// the multiple-stepsize symplectic scheme of Duncan, Levison & Lee (1998)
+// that the paper adopts ("one step = a cycle of PM and two cycles of PP and
+// domain decomposition"). Collective over the world communicator.
+func (s *Sim) Step() error {
+	dt := s.cfg.DT
+	sub := s.cfg.Substeps
+	delta := dt / float64(sub)
+	t0 := s.time
+
+	if !s.pmFresh {
+		s.computePM()
+	}
+	if !s.ppFresh {
+		s.computePP()
+	}
+	s.kickPM(t0, dt/2)
+
+	tk := t0
+	for k := 0; k < sub; k++ {
+		s.kickPP(tk, delta/2)
+		s.drift(tk, delta)
+		if err := s.domainDecomposition(); err != nil {
+			return err
+		}
+		s.computePP()
+		s.kickPP(tk+delta/2, delta/2)
+		tk += delta
+	}
+
+	s.computePM()
+	s.kickPM(t0+dt/2, dt/2)
+	s.step++
+	return nil
+}
+
+// Kinetic returns the global kinetic energy (collective).
+func (s *Sim) Kinetic() float64 {
+	var k float64
+	for i := range s.vx {
+		k += 0.5 * s.m[i] * (s.vx[i]*s.vx[i] + s.vy[i]*s.vy[i] + s.vz[i]*s.vz[i])
+	}
+	return globalSum(s, k)
+}
+
+// InteractionsPerStep estimates pairwise interactions per full step from the
+// accumulated counters (collective).
+func (s *Sim) InteractionsPerStep() float64 {
+	tot := globalSum(s, float64(s.Counters.Tree.Interactions))
+	if s.step == 0 {
+		return tot
+	}
+	return tot / float64(s.step)
+}
+
+func globalSum(s *Sim, v float64) float64 {
+	return mpi.Allreduce(s.comm, []float64{v}, mpi.Sum[float64])[0]
+}
+
+func sumAll(s *Sim, v float64) float64 { return globalSum(s, v) }
+
+// MeanNiNj returns the global ⟨Ni⟩ and ⟨Nj⟩ (collective).
+func (s *Sim) MeanNiNj() (ni, nj float64) {
+	groups := sumAll(s, float64(s.Counters.Tree.Groups))
+	sumNi := sumAll(s, float64(s.Counters.Tree.SumNi))
+	list := sumAll(s, float64(s.Counters.Tree.ListParticles+s.Counters.Tree.ListNodes))
+	if groups == 0 {
+		return 0, 0
+	}
+	return sumNi / groups, list / groups
+}
+
+// AccelFor returns a copy of the current total acceleration of local
+// particle i (PM + PP), for tests.
+func (s *Sim) AccelFor(i int) (ax, ay, az float64) {
+	return s.apx[i] + s.asx[i], s.apy[i] + s.asy[i], s.apz[i] + s.asz[i]
+}
+
+// ComputeForces evaluates both force components without advancing time (for
+// force-accuracy tests). Collective.
+func (s *Sim) ComputeForces() {
+	if !s.pmFresh {
+		s.computePM()
+	}
+	if !s.ppFresh {
+		s.computePP()
+	}
+}
+
+// ID returns local particle i's identifier.
+func (s *Sim) ID(i int) int64 { return s.id[i] }
+
+// potTable is the shared short-range potential shape (rcut-independent).
+var potTable = ppkern.NewPotTable(2048)
+
+// PotentialEnergy returns the global potential energy ½·Σ mᵢ·Φᵢ from the
+// most recent force evaluation's PM potential mesh plus a short-range tree
+// potential pass. Collective; call after ComputeForces or a Step. Like all
+// mesh-based energies it carries a small constant self-energy offset, so use
+// it for *drift* tracking (its physical use in production runs, where an
+// O(N²) Ewald energy is impossible).
+func (s *Sim) PotentialEnergy() float64 {
+	n := len(s.x)
+	pot := make([]float64, n)
+	// Long-range part from the PM potential mesh (current decomposition).
+	s.pm.LocalMesh().InterpolatePot(s.x, s.y, s.z, pot)
+
+	// Short-range part: same ghost + tree machinery as the force.
+	ghosts := s.exchangeGhosts()
+	sx := make([]float64, n+len(ghosts))
+	sy := make([]float64, n+len(ghosts))
+	sz := make([]float64, n+len(ghosts))
+	sm := make([]float64, n+len(ghosts))
+	copy(sx, s.x)
+	copy(sy, s.y)
+	copy(sz, s.z)
+	copy(sm, s.m)
+	for i, g := range ghosts {
+		sx[n+i], sy[n+i], sz[n+i], sm[n+i] = g.X, g.Y, g.Z, g.M
+	}
+	opts := tree.Options{LeafCap: s.cfg.LeafCap}
+	srcTree, err := tree.Build(sx, sy, sz, sm, opts)
+	if err != nil {
+		panic(err)
+	}
+	tgtTree := srcTree
+	if len(ghosts) > 0 {
+		if tgtTree, err = tree.Build(s.x, s.y, s.z, s.m, opts); err != nil {
+			panic(err)
+		}
+	}
+	fo := s.forceOpts(len(ghosts) == 0)
+	tree.PotentialCutoff(srcTree, tgtTree, s.cfg.Ni, fo, potTable, pot)
+
+	var e float64
+	for i := 0; i < n; i++ {
+		e += 0.5 * s.m[i] * pot[i]
+	}
+	return globalSum(s, e)
+}

@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"greem/internal/sim"
+)
+
+func randomParts(n int) []sim.Particle {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]sim.Particle, n)
+	for i := range out {
+		out[i] = sim.Particle{
+			X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64(),
+			VX: rng.NormFloat64(), VY: rng.NormFloat64(), VZ: rng.NormFloat64(),
+			M: rng.Float64(), ID: int64(i),
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	parts := randomParts(137)
+	hdr := Header{L: 2.5, Time: 0.031, G: 1, StepIdx: 42}
+	var buf bytes.Buffer
+	if err := Write(&buf, hdr, parts); err != nil {
+		t.Fatal(err)
+	}
+	got, gp, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 137 || got.L != 2.5 || got.Time != 0.031 || got.StepIdx != 42 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if got.Magic != Magic || got.Version != Version {
+		t.Errorf("magic/version not set: %+v", got)
+	}
+	for i := range parts {
+		if gp[i] != parts[i] {
+			t.Fatalf("particle %d mismatch", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	parts := randomParts(10)
+	if err := Save(path, Header{L: 1, Time: 0.5, G: 1}, parts); err != nil {
+		t.Fatal(err)
+	}
+	hdr, gp, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.N != 10 || len(gp) != 10 {
+		t.Errorf("loaded %d particles", len(gp))
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("not a snapshot at all, just text padding to header size....")
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated particle section.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, Header{L: 1}, randomParts(5)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf2.Bytes()[:buf2.Len()-8])
+	if _, _, err := Read(trunc); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{L: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	hdr, parts, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.N != 0 || len(parts) != 0 {
+		t.Errorf("empty snapshot round trip: %d", len(parts))
+	}
+}

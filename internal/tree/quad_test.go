@@ -1,0 +1,136 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greem/internal/direct"
+	"greem/internal/ppkern"
+)
+
+func TestQuadKernelTwoParticleAnalytic(t *testing.T) {
+	// Two unit masses at z = ±s about the origin: Q = diag(−2s², −2s², 4s²).
+	// On-axis field at distance r: a_z = −2G/r² − 6G·s²/r⁴ + O(s⁴)
+	// (derived from φ = −Gm/(r−s) − Gm/(r+s)).
+	s := 0.01
+	q := &ppkern.QuadSource{}
+	q.Append(0, 0, 0, 2, -2*s*s, -2*s*s, 4*s*s, 0, 0, 0)
+	r := 1.0
+	az := make([]float64, 1)
+	ppkern.AccelQuad([]float64{0}, []float64{0}, []float64{r}, q, 1, 0, make([]float64, 1), make([]float64, 1), az)
+	want := -2/(r*r) - 6*s*s/(r*r*r*r)
+	if math.Abs(az[0]-want) > 1e-7*math.Abs(want) {
+		t.Errorf("on-axis accel %v, want %v", az[0], want)
+	}
+	// Off-axis (equatorial plane): exact a_x = −2G·r/(r²+s²)^(3/2);
+	// multipole: −2G/r² + 3G·(−2s²)·... evaluate via the kernel and compare
+	// against the exact two-body sum.
+	ax := make([]float64, 1)
+	ppkern.AccelQuad([]float64{r}, []float64{0}, []float64{0}, q, 1, 0, ax, make([]float64, 1), make([]float64, 1))
+	exact := -2 * r / math.Pow(r*r+s*s, 1.5)
+	if math.Abs(ax[0]-exact) > 1e-6*math.Abs(exact) {
+		t.Errorf("equatorial accel %v, want %v", ax[0], exact)
+	}
+}
+
+func TestRootQuadrupoleIndependentOfTreeShape(t *testing.T) {
+	// The root's moments are a property of the particles; LeafCap (and hence
+	// the parallel-axis recursion depth) must not change them.
+	rng := rand.New(rand.NewSource(1))
+	x, y, z, m := randParticles(rng, 500)
+	q1, err := Build(x, y, z, m, Options{LeafCap: 1, Quadrupole: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Build(x, y, z, m, Options{LeafCap: 64, Quadrupole: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := q1.RootQuadrupole(), q2.RootQuadrupole()
+	scale := 0.0
+	for k := 0; k < 6; k++ {
+		scale = math.Max(scale, math.Abs(a[k]))
+	}
+	for k := 0; k < 6; k++ {
+		if math.Abs(a[k]-b[k]) > 1e-10*scale {
+			t.Errorf("moment %d differs with tree shape: %v vs %v", k, a[k], b[k])
+		}
+	}
+	// Tracelessness: xx + yy + zz = 0.
+	if math.Abs(a[0]+a[1]+a[2]) > 1e-10*scale {
+		t.Errorf("trace = %v", a[0]+a[1]+a[2])
+	}
+}
+
+func TestQuadrupoleImprovesAccuracy(t *testing.T) {
+	// The ablation claim: at fixed θ, monopole+quadrupole beats monopole.
+	rng := rand.New(rand.NewSource(2))
+	x, y, z, m := plummer(rng, 2000, 0.05)
+	n := len(x)
+	dirX := make([]float64, n)
+	dirY := make([]float64, n)
+	dirZ := make([]float64, n)
+	direct.AccelPlain(x, y, z, m, 1, 1e-10, dirX, dirY, dirZ)
+
+	rms := func(quad bool) float64 {
+		tr, err := Build(x, y, z, m, Options{LeafCap: 16, Quadrupole: quad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax := make([]float64, n)
+		ay := make([]float64, n)
+		az := make([]float64, n)
+		Accel(tr, tr, 32, ForceOpts{G: 1, Theta: 0.7, Eps2: 1e-10, Quadrupole: quad}, ax, ay, az)
+		var e2, r2 float64
+		for i := 0; i < n; i++ {
+			dx := ax[i] - dirX[i]
+			dy := ay[i] - dirY[i]
+			dz := az[i] - dirZ[i]
+			e2 += dx*dx + dy*dy + dz*dz
+			r2 += dirX[i]*dirX[i] + dirY[i]*dirY[i] + dirZ[i]*dirZ[i]
+		}
+		return math.Sqrt(e2 / r2)
+	}
+	mono := rms(false)
+	quad := rms(true)
+	t.Logf("θ=0.7 RMS error: monopole %.3e, quadrupole %.3e (ratio %.1f)", mono, quad, mono/quad)
+	if quad >= mono/2 {
+		t.Errorf("quadrupole (%v) should clearly beat monopole (%v)", quad, mono)
+	}
+}
+
+func TestQuadrupolePanicsInCutoffMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y, z, m := randParticles(rng, 50)
+	tr, _ := Build(x, y, z, m, Options{LeafCap: 8, Quadrupole: true})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for quadrupole + cutoff")
+		}
+	}()
+	ax := make([]float64, 50)
+	Accel(tr, tr, 8, ForceOpts{G: 1, Theta: 0.5, Cutoff: true, Rcut: 0.1, Quadrupole: true}, ax, ax, ax)
+}
+
+func TestQuadWithoutMomentsFallsBackToMonopole(t *testing.T) {
+	// A tree built without quadrupoles traversed with Quadrupole on must
+	// still produce the monopole answer (useQuad is false).
+	rng := rand.New(rand.NewSource(4))
+	x, y, z, m := randParticles(rng, 300)
+	tr, _ := Build(x, y, z, m, DefaultOptions())
+	n := len(x)
+	a1 := make([]float64, n)
+	b1 := make([]float64, n)
+	c1 := make([]float64, n)
+	Accel(tr, tr, 32, ForceOpts{G: 1, Theta: 0.6, Eps2: 1e-9}, a1, b1, c1)
+	a2 := make([]float64, n)
+	b2 := make([]float64, n)
+	c2 := make([]float64, n)
+	Accel(tr, tr, 32, ForceOpts{G: 1, Theta: 0.6, Eps2: 1e-9, Quadrupole: true}, a2, b2, c2)
+	for i := 0; i < n; i++ {
+		if a1[i] != a2[i] {
+			t.Fatalf("fallback differs at %d", i)
+		}
+	}
+}

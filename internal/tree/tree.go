@@ -1,0 +1,806 @@
+// Package tree implements the hierarchical oct-tree force calculation
+// (Barnes & Hut 1986) with Barnes' modified algorithm (Barnes 1990), in which
+// the tree traversal is performed once per *group* of particles rather than
+// once per particle: a shared interaction list of tree nodes and particles is
+// built for each group and then evaluated directly with the ppkern kernels.
+//
+// Grouping reduces the traversal cost by a factor of ⟨Ni⟩ (the mean group
+// size) while lengthening the interaction list ⟨Nj⟩, since group members
+// interact with each other directly; the optimum ⟨Ni⟩ is machine dependent
+// (≈100 on K computer, ≈500 on GPU clusters — paper §II). The package exposes
+// both the grouped and the classic per-particle traversal so the trade-off
+// can be measured.
+//
+// For the TreePM short-range force the traversal prunes every node farther
+// than rcut from the group (the PM part carries the remainder), which keeps
+// ⟨Nj⟩ about six times shorter than in a pure tree code (paper §III-B).
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"greem/internal/ppkern"
+)
+
+// Options controls tree construction.
+type Options struct {
+	// LeafCap is the maximum number of particles in a leaf node.
+	LeafCap int
+	// MaxDepth bounds recursion for pathological (coincident) inputs.
+	MaxDepth int
+	// Quadrupole computes traceless quadrupole moments for every node so
+	// traversals can use them (ForceOpts.Quadrupole). The paper's production
+	// configuration is monopole-only; this is the accuracy/cost ablation.
+	Quadrupole bool
+	// Workers parallelizes construction: the top of the tree is split
+	// serially, then the resulting subtrees are built concurrently into
+	// private arenas and merged (subtrees own disjoint particle ranges, so
+	// the reordering is race-free and the resulting structure is identical
+	// to a serial build up to node numbering). 0/1 = serial.
+	Workers int
+}
+
+// DefaultOptions are reasonable construction parameters.
+func DefaultOptions() Options { return Options{LeafCap: 16, MaxDepth: 40} }
+
+type node struct {
+	cx, cy, cz       float64 // geometric center of the cell
+	half             float64 // half side length
+	mass             float64
+	comx, comy, comz float64
+	start, count     int32 // contiguous particle range in tree order
+	firstChild       int32 // index of first child; children are contiguous; -1 for leaf
+	nChild           int8
+}
+
+// Tree is an oct-tree over a particle set. Particles are copied into tree
+// order internally; Perm maps tree order back to the caller's indices.
+type Tree struct {
+	X, Y, Z, M []float64 // particle data in tree order
+	Perm       []int32   // Perm[i] = original index of tree-order particle i
+
+	nodes []node
+	// quads[i] holds node i's traceless quadrupole (xx, yy, zz, xy, xz, yz)
+	// when Options.Quadrupole is set; nil otherwise.
+	quads [][6]float64
+	opt   Options
+
+	// Bounding cube.
+	minX, minY, minZ, size float64
+}
+
+// Build constructs an oct-tree over the given particles. The bounding cube is
+// computed from the data. Build does not modify its inputs.
+func Build(x, y, z, m []float64, opt Options) (*Tree, error) {
+	n := len(x)
+	if len(y) != n || len(z) != n || len(m) != n {
+		return nil, fmt.Errorf("tree: mismatched slice lengths")
+	}
+	if opt.LeafCap < 1 {
+		opt.LeafCap = DefaultOptions().LeafCap
+	}
+	if opt.MaxDepth < 1 {
+		opt.MaxDepth = DefaultOptions().MaxDepth
+	}
+	t := &Tree{
+		X: append([]float64(nil), x...),
+		Y: append([]float64(nil), y...),
+		Z: append([]float64(nil), z...),
+		M: append([]float64(nil), m...),
+		Perm: func() []int32 {
+			p := make([]int32, n)
+			for i := range p {
+				p[i] = int32(i)
+			}
+			return p
+		}(),
+		opt: opt,
+	}
+	if n == 0 {
+		return t, nil
+	}
+	minX, maxX := minMax(x)
+	minY, maxY := minMax(y)
+	minZ, maxZ := minMax(z)
+	size := math.Max(maxX-minX, math.Max(maxY-minY, maxZ-minZ))
+	if size == 0 {
+		size = 1e-12
+	}
+	// Grow slightly so boundary particles are strictly inside.
+	size *= 1 + 1e-12
+	t.minX, t.minY, t.minZ, t.size = minX, minY, minZ, size
+
+	root := node{
+		cx: minX + size/2, cy: minY + size/2, cz: minZ + size/2,
+		half: size / 2, start: 0, count: int32(n), firstChild: -1,
+	}
+	t.nodes = append(t.nodes, root)
+	if opt.Workers > 1 && n > 4096 {
+		t.splitParallel(opt.Workers)
+	} else {
+		t.split(0, 0)
+	}
+	t.computeMoments(0)
+	if opt.Quadrupole {
+		t.quads = make([][6]float64, len(t.nodes))
+		t.computeQuadrupoles(0)
+	}
+	return t, nil
+}
+
+// computeQuadrupoles fills the traceless quadrupole moments bottom-up:
+// leaves directly from their particles, internal nodes from their children
+// via the parallel-axis shift Q += m·(3 δᵢδⱼ − δᵢⱼ|δ|²) with δ the child
+// center-of-mass offset. Must run after computeMoments.
+func (t *Tree) computeQuadrupoles(i int) {
+	nd := &t.nodes[i]
+	var q [6]float64
+	add := func(m, dx, dy, dz float64) {
+		d2 := dx*dx + dy*dy + dz*dz
+		q[0] += m * (3*dx*dx - d2)
+		q[1] += m * (3*dy*dy - d2)
+		q[2] += m * (3*dz*dz - d2)
+		q[3] += m * 3 * dx * dy
+		q[4] += m * 3 * dx * dz
+		q[5] += m * 3 * dy * dz
+	}
+	if nd.firstChild < 0 {
+		for p := nd.start; p < nd.start+nd.count; p++ {
+			add(t.M[p], t.X[p]-nd.comx, t.Y[p]-nd.comy, t.Z[p]-nd.comz)
+		}
+	} else {
+		for c := nd.firstChild; c < nd.firstChild+int32(nd.nChild); c++ {
+			t.computeQuadrupoles(int(c))
+			ch := &t.nodes[c]
+			cq := t.quads[c]
+			for k := 0; k < 6; k++ {
+				q[k] += cq[k]
+			}
+			add(ch.mass, ch.comx-nd.comx, ch.comy-nd.comy, ch.comz-nd.comz)
+		}
+	}
+	t.quads[i] = q
+}
+
+// RootQuadrupole returns the root node's traceless quadrupole moments
+// (xx, yy, zz, xy, xz, yz); zero value if quadrupoles were not built.
+func (t *Tree) RootQuadrupole() [6]float64 {
+	if t.quads == nil || len(t.nodes) == 0 {
+		return [6]float64{}
+	}
+	return t.quads[0]
+}
+
+func minMax(a []float64) (lo, hi float64) {
+	lo, hi = a[0], a[0]
+	for _, v := range a[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// splitParallel builds the tree with concurrent subtree construction: a
+// serial top phase subdivides until at least ~4·workers oversized nodes
+// exist, then each is completed in its own goroutine and arena.
+func (t *Tree) splitParallel(workers int) {
+	// Top phase: breadth-first serial splitting of oversized nodes.
+	pending := []int{0}
+	depth := map[int]int{0: 0}
+	for len(pending) < 4*workers {
+		// Pick the largest pending oversized node to split next.
+		best := -1
+		for idx, ni := range pending {
+			if int(t.nodes[ni].count) > t.opt.LeafCap &&
+				(best < 0 || t.nodes[ni].count > t.nodes[pending[best]].count) {
+				best = idx
+			}
+		}
+		if best < 0 {
+			break // everything fits in leaves already
+		}
+		ni := pending[best]
+		d := depth[ni]
+		pending = append(pending[:best], pending[best+1:]...)
+		if d < t.opt.MaxDepth {
+			t.splitLevel(ni)
+		}
+		nd := &t.nodes[ni]
+		if nd.firstChild < 0 {
+			continue // MaxDepth or degenerate: stays a leaf
+		}
+		for c := nd.firstChild; c < nd.firstChild+int32(nd.nChild); c++ {
+			pending = append(pending, int(c))
+			depth[int(c)] = d + 1
+		}
+	}
+	// Bottom phase: finish each pending subtree in a private arena.
+	type arena struct {
+		root  int
+		nodes []node
+	}
+	arenas := make([]arena, len(pending))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for k, ni := range pending {
+		wg.Add(1)
+		go func(k, ni int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := &Tree{X: t.X, Y: t.Y, Z: t.Z, M: t.M, Perm: t.Perm, opt: t.opt}
+			sub.nodes = append(sub.nodes, t.nodes[ni])
+			sub.split(0, depth[ni])
+			arenas[k] = arena{root: ni, nodes: sub.nodes}
+		}(k, ni)
+	}
+	wg.Wait()
+	// Merge arenas: arena-local index 0 replaces the pending node; locals
+	// j ≥ 1 land at offset + j − 1.
+	for _, a := range arenas {
+		if len(a.nodes) == 1 {
+			t.nodes[a.root] = a.nodes[0]
+			continue
+		}
+		offset := int32(len(t.nodes))
+		remap := func(nd node) node {
+			if nd.firstChild >= 1 {
+				nd.firstChild += offset - 1
+			}
+			return nd
+		}
+		t.nodes[a.root] = remap(a.nodes[0])
+		for _, nd := range a.nodes[1:] {
+			t.nodes = append(t.nodes, remap(nd))
+		}
+	}
+}
+
+// split recursively subdivides node i until leaves hold at most LeafCap
+// particles, reordering the particle arrays so each node owns a contiguous
+// range.
+func (t *Tree) split(i int, depth int) {
+	nd := &t.nodes[i]
+	if int(nd.count) <= t.opt.LeafCap || depth >= t.opt.MaxDepth {
+		return
+	}
+	t.splitLevel(i)
+	n := &t.nodes[i]
+	for c := n.firstChild; c >= 0 && c < n.firstChild+int32(n.nChild); c++ {
+		t.split(int(c), depth+1)
+	}
+}
+
+// splitLevel performs the one-level octant partition of node i: bucket the
+// particles, reorder them in place, and create the child nodes (no
+// recursion).
+func (t *Tree) splitLevel(i int) {
+	nd := &t.nodes[i]
+	start, count := int(nd.start), int(nd.count)
+	cx, cy, cz := nd.cx, nd.cy, nd.cz
+
+	// Bucket particles by octant with a counting pass + cycle of copies.
+	var cnt [8]int
+	oct := make([]int8, count)
+	for k := 0; k < count; k++ {
+		p := start + k
+		o := int8(0)
+		if t.X[p] >= cx {
+			o |= 1
+		}
+		if t.Y[p] >= cy {
+			o |= 2
+		}
+		if t.Z[p] >= cz {
+			o |= 4
+		}
+		oct[k] = o
+		cnt[o]++
+	}
+	var off [8]int
+	sum := 0
+	for o := 0; o < 8; o++ {
+		off[o] = sum
+		sum += cnt[o]
+	}
+	// Stable scatter into temporaries, then copy back.
+	tx := make([]float64, count)
+	ty := make([]float64, count)
+	tz := make([]float64, count)
+	tm := make([]float64, count)
+	tp := make([]int32, count)
+	pos := off
+	for k := 0; k < count; k++ {
+		d := pos[oct[k]]
+		pos[oct[k]]++
+		p := start + k
+		tx[d], ty[d], tz[d], tm[d], tp[d] = t.X[p], t.Y[p], t.Z[p], t.M[p], t.Perm[p]
+	}
+	copy(t.X[start:start+count], tx)
+	copy(t.Y[start:start+count], ty)
+	copy(t.Z[start:start+count], tz)
+	copy(t.M[start:start+count], tm)
+	copy(t.Perm[start:start+count], tp)
+
+	// Create child nodes for non-empty octants.
+	h := nd.half / 2
+	firstChild := int32(len(t.nodes))
+	nChild := int8(0)
+	for o := 0; o < 8; o++ {
+		if cnt[o] == 0 {
+			continue
+		}
+		dx, dy, dz := -h, -h, -h
+		if o&1 != 0 {
+			dx = h
+		}
+		if o&2 != 0 {
+			dy = h
+		}
+		if o&4 != 0 {
+			dz = h
+		}
+		t.nodes = append(t.nodes, node{
+			cx: cx + dx, cy: cy + dy, cz: cz + dz, half: h,
+			start: int32(start + off[o]), count: int32(cnt[o]), firstChild: -1,
+		})
+		nChild++
+	}
+	// nd may be stale after append; reload.
+	t.nodes[i].firstChild = firstChild
+	t.nodes[i].nChild = nChild
+}
+
+// computeMoments fills mass and center-of-mass bottom-up.
+func (t *Tree) computeMoments(i int) {
+	nd := &t.nodes[i]
+	if nd.firstChild < 0 {
+		var m, mx, my, mz float64
+		for p := nd.start; p < nd.start+nd.count; p++ {
+			m += t.M[p]
+			mx += t.M[p] * t.X[p]
+			my += t.M[p] * t.Y[p]
+			mz += t.M[p] * t.Z[p]
+		}
+		nd.mass = m
+		if m > 0 {
+			nd.comx, nd.comy, nd.comz = mx/m, my/m, mz/m
+		} else {
+			nd.comx, nd.comy, nd.comz = nd.cx, nd.cy, nd.cz
+		}
+		return
+	}
+	var m, mx, my, mz float64
+	for c := nd.firstChild; c < nd.firstChild+int32(nd.nChild); c++ {
+		t.computeMoments(int(c))
+		ch := &t.nodes[c]
+		m += ch.mass
+		mx += ch.mass * ch.comx
+		my += ch.mass * ch.comy
+		mz += ch.mass * ch.comz
+	}
+	nd.mass = m
+	if m > 0 {
+		nd.comx, nd.comy, nd.comz = mx/m, my/m, mz/m
+	} else {
+		nd.comx, nd.comy, nd.comz = nd.cx, nd.cy, nd.cz
+	}
+}
+
+// NumNodes returns the number of tree nodes (for diagnostics).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumParticles returns the number of particles in the tree.
+func (t *Tree) NumParticles() int { return len(t.X) }
+
+// TotalMass returns the root node's mass.
+func (t *Tree) TotalMass() float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return t.nodes[0].mass
+}
+
+// Group is a set of particles (a contiguous tree-order range of a target
+// tree) that shares one interaction list, per Barnes' modified algorithm.
+type Group struct {
+	Start, Count int32
+	// Tight axis-aligned bounding box of the member particles.
+	MinX, MinY, MinZ float64
+	MaxX, MaxY, MaxZ float64
+}
+
+// Groups partitions the tree's particles into groups of at most cap
+// particles by walking down from the root; subtrees with ≤ cap particles
+// become groups. cap = 1 reproduces the original per-particle Barnes-Hut
+// traversal (each particle its own group).
+func (t *Tree) Groups(cap int) []Group {
+	if cap < 1 {
+		cap = 1
+	}
+	var out []Group
+	if len(t.nodes) == 0 {
+		return out
+	}
+	var walk func(i int)
+	walk = func(i int) {
+		nd := &t.nodes[i]
+		if int(nd.count) <= cap {
+			out = append(out, t.makeGroup(nd.start, nd.count))
+			return
+		}
+		if nd.firstChild < 0 {
+			// Leaf larger than cap (cap < LeafCap): split evenly.
+			for s := nd.start; s < nd.start+nd.count; s += int32(cap) {
+				c := int32(cap)
+				if s+c > nd.start+nd.count {
+					c = nd.start + nd.count - s
+				}
+				out = append(out, t.makeGroup(s, c))
+			}
+			return
+		}
+		for c := nd.firstChild; c < nd.firstChild+int32(nd.nChild); c++ {
+			walk(int(c))
+		}
+	}
+	walk(0)
+	return out
+}
+
+func (t *Tree) makeGroup(start, count int32) Group {
+	g := Group{Start: start, Count: count,
+		MinX: math.Inf(1), MinY: math.Inf(1), MinZ: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1), MaxZ: math.Inf(-1)}
+	for p := start; p < start+count; p++ {
+		g.MinX = math.Min(g.MinX, t.X[p])
+		g.MaxX = math.Max(g.MaxX, t.X[p])
+		g.MinY = math.Min(g.MinY, t.Y[p])
+		g.MaxY = math.Max(g.MaxY, t.Y[p])
+		g.MinZ = math.Min(g.MinZ, t.Z[p])
+		g.MaxZ = math.Max(g.MaxZ, t.Z[p])
+	}
+	return g
+}
+
+// Stats aggregates traversal and interaction-count statistics; the paper's
+// Table I reports ⟨Ni⟩ (mean group size), ⟨Nj⟩ (mean interaction-list
+// length) and the total interaction count.
+type Stats struct {
+	Groups        int
+	SumNi         uint64 // Σ group sizes
+	ListParticles uint64 // Σ particle entries over all lists
+	ListNodes     uint64 // Σ multipole entries over all lists
+	Interactions  uint64 // Σ Ni·Nj
+	NodesVisited  uint64 // traversal work
+	// KernelSeconds is the wall-clock spent inside the force kernel, so the
+	// caller can split fused traversal+force time into Table I's separate
+	// "tree traversal" and "force calculation" rows.
+	KernelSeconds float64
+}
+
+// MeanNi returns ⟨Ni⟩.
+func (s Stats) MeanNi() float64 {
+	if s.Groups == 0 {
+		return 0
+	}
+	return float64(s.SumNi) / float64(s.Groups)
+}
+
+// MeanNj returns ⟨Nj⟩.
+func (s Stats) MeanNj() float64 {
+	if s.Groups == 0 {
+		return 0
+	}
+	return float64(s.ListParticles+s.ListNodes) / float64(s.Groups)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Groups += o.Groups
+	s.SumNi += o.SumNi
+	s.ListParticles += o.ListParticles
+	s.ListNodes += o.ListNodes
+	s.Interactions += o.Interactions
+	s.NodesVisited += o.NodesVisited
+	s.KernelSeconds += o.KernelSeconds
+}
+
+// ForceOpts parameterizes a force evaluation pass.
+type ForceOpts struct {
+	G     float64 // gravitational constant
+	Theta float64 // opening angle; a node of side s at distance d is accepted if s < θ·d
+	Eps2  float64 // Plummer softening squared
+	// Cutoff enables the TreePM short-range mode with radius Rcut; nodes and
+	// particles beyond Rcut of a group are pruned (their force is the PM's).
+	Cutoff bool
+	Rcut   float64
+	// Periodic enables minimum-image traversal over a cube of side L
+	// (serial whole-box mode; parallel mode passes pre-shifted ghosts).
+	Periodic bool
+	L        float64
+	// FastKernel selects the unrolled Phantom-GRAPE style kernel (requires
+	// Eps2 > 0 when groups appear in their own lists, which they do).
+	FastKernel bool
+	// Quadrupole evaluates accepted nodes with monopole+quadrupole moments
+	// instead of monopole only. Requires a source tree built with
+	// Options.Quadrupole, and is only supported in the open (non-cutoff)
+	// mode: the eq. 3 cutoff shapes the pair force, and shaping higher
+	// multipoles is not implemented (the paper's code is monopole-only).
+	Quadrupole bool
+	// Workers runs the traversal+kernel over groups on this many goroutines
+	// — the stand-in for the paper's OpenMP threads inside each MPI process
+	// (GreeM is an MPI/OpenMP hybrid; K computer has 8 cores per node).
+	// 0 or 1 means serial.
+	Workers int
+}
+
+// Accel computes tree accelerations on the particles of tgt using src as the
+// source tree (src and tgt may be the same tree): the TreePM short-range
+// force when opt.Cutoff is set, the plain Barnes-Hut force otherwise. The
+// result is accumulated into ax/ay/az, which are indexed by the *original*
+// particle order of tgt. Group size cap ni controls Barnes' modified
+// algorithm (ni=1 for the original per-particle traversal).
+func Accel(src, tgt *Tree, ni int, opt ForceOpts, ax, ay, az []float64) Stats {
+	groups := tgt.Groups(ni)
+	return AccelGroups(src, tgt, groups, opt, ax, ay, az)
+}
+
+// AccelGroups is Accel with a caller-supplied group decomposition. With
+// opt.Workers > 1 the groups are processed concurrently; groups own disjoint
+// particle ranges (and hence disjoint output indices through Perm), so no
+// synchronization of the accumulators is needed. Stats.KernelSeconds then
+// aggregates CPU seconds across workers, not wall-clock.
+func AccelGroups(src, tgt *Tree, groups []Group, opt ForceOpts, ax, ay, az []float64) Stats {
+	if opt.Workers > 1 && len(groups) > 1 {
+		nw := opt.Workers
+		if nw > len(groups) {
+			nw = len(groups)
+		}
+		stats := make([]Stats, nw)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			lo := w * len(groups) / nw
+			hi := (w + 1) * len(groups) / nw
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				sub := opt
+				sub.Workers = 1
+				stats[w] = AccelGroups(src, tgt, groups[lo:hi], sub, ax, ay, az)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		var st Stats
+		for _, s := range stats {
+			st.Add(s)
+		}
+		return st
+	}
+	if opt.Quadrupole && opt.Cutoff {
+		panic("tree: quadrupole moments are only supported in open (non-cutoff) mode")
+	}
+	var st Stats
+	var list ppkern.Source
+	var quadList ppkern.QuadSource
+	var quads *ppkern.QuadSource
+	if opt.Quadrupole {
+		quads = &quadList
+	}
+	gax := make([]float64, 0, 256)
+	gay := make([]float64, 0, 256)
+	gaz := make([]float64, 0, 256)
+	shifts := src.shifts(opt)
+	for _, g := range groups {
+		list.Reset()
+		quadList.Reset()
+		var nodesVisited, nPart, nNode uint64
+		for _, sh := range shifts {
+			v, p, nn := src.collect(&list, quads, g, sh, opt)
+			nodesVisited += v
+			nPart += p
+			nNode += nn
+		}
+		ni := int(g.Count)
+		st.Groups++
+		st.SumNi += uint64(ni)
+		st.ListParticles += nPart
+		st.ListNodes += nNode
+		st.Interactions += uint64(ni) * uint64(list.Len()+quadList.Len())
+		st.NodesVisited += nodesVisited
+
+		gax = resize(gax, ni)
+		gay = resize(gay, ni)
+		gaz = resize(gaz, ni)
+		xi := tgt.X[g.Start : g.Start+g.Count]
+		yi := tgt.Y[g.Start : g.Start+g.Count]
+		zi := tgt.Z[g.Start : g.Start+g.Count]
+		tKernel := time.Now()
+		if opt.Cutoff {
+			if opt.FastKernel {
+				ppkern.AccelCutoffFast(xi, yi, zi, &list, opt.G, opt.Rcut, opt.Eps2, gax, gay, gaz)
+			} else {
+				ppkern.AccelCutoff(xi, yi, zi, &list, opt.G, opt.Rcut, opt.Eps2, gax, gay, gaz)
+			}
+		} else {
+			ppkern.AccelPlain(xi, yi, zi, &list, opt.G, opt.Eps2, gax, gay, gaz)
+		}
+		if opt.Quadrupole && quadList.Len() > 0 {
+			ppkern.AccelQuad(xi, yi, zi, &quadList, opt.G, opt.Eps2, gax, gay, gaz)
+		}
+		st.KernelSeconds += time.Since(tKernel).Seconds()
+		for k := 0; k < ni; k++ {
+			orig := tgt.Perm[int(g.Start)+k]
+			ax[orig] += gax[k]
+			ay[orig] += gay[k]
+			az[orig] += gaz[k]
+		}
+	}
+	return st
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// shifts returns the periodic image offsets that could matter. In cutoff
+// mode only images within rcut of the primary box; in open mode just {0}.
+func (t *Tree) shifts(opt ForceOpts) [][3]float64 {
+	if !opt.Periodic {
+		return [][3]float64{{0, 0, 0}}
+	}
+	var out [][3]float64
+	for ix := -1; ix <= 1; ix++ {
+		for iy := -1; iy <= 1; iy++ {
+			for iz := -1; iz <= 1; iz++ {
+				out = append(out, [3]float64{float64(ix) * opt.L, float64(iy) * opt.L, float64(iz) * opt.L})
+			}
+		}
+	}
+	// Put the primary image first for cache-friendliness.
+	sort.Slice(out, func(i, j int) bool {
+		ni := out[i][0]*out[i][0] + out[i][1]*out[i][1] + out[i][2]*out[i][2]
+		nj := out[j][0]*out[j][0] + out[j][1]*out[j][1] + out[j][2]*out[j][2]
+		return ni < nj
+	})
+	return out
+}
+
+// collect walks the tree and appends interaction-list entries for group g
+// whose coordinates are shifted by sh (i.e. sources are taken at position −sh
+// relative to the group frame). Returns the number of nodes visited and the
+// number of particle and multipole entries appended.
+func (t *Tree) collect(list *ppkern.Source, quads *ppkern.QuadSource, g Group, sh [3]float64, opt ForceOpts) (visited, nPart, nNode uint64) {
+	if len(t.nodes) == 0 {
+		return 0, 0, 0
+	}
+	useQuad := quads != nil && t.quads != nil
+	// Shift the group box into the source frame.
+	gminx, gmaxx := g.MinX+sh[0], g.MaxX+sh[0]
+	gminy, gmaxy := g.MinY+sh[1], g.MaxY+sh[1]
+	gminz, gmaxz := g.MinZ+sh[2], g.MaxZ+sh[2]
+
+	stack := make([]int32, 0, 64)
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[i]
+		visited++
+
+		// Minimum distance from group box to the node cell.
+		dx := axisDist(gminx, gmaxx, nd.cx-nd.half, nd.cx+nd.half)
+		dy := axisDist(gminy, gmaxy, nd.cy-nd.half, nd.cy+nd.half)
+		dz := axisDist(gminz, gmaxz, nd.cz-nd.half, nd.cz+nd.half)
+		dmin2 := dx*dx + dy*dy + dz*dz
+		if opt.Cutoff && dmin2 > opt.Rcut*opt.Rcut {
+			continue
+		}
+
+		// Opening criterion against the node's center of mass: distance from
+		// the group box to the COM.
+		cdx := axisDistPoint(gminx, gmaxx, nd.comx)
+		cdy := axisDistPoint(gminy, gmaxy, nd.comy)
+		cdz := axisDistPoint(gminz, gmaxz, nd.comz)
+		d2 := cdx*cdx + cdy*cdy + cdz*cdz
+		s := 2 * nd.half
+		if d2 > 0 && s*s < opt.Theta*opt.Theta*d2 {
+			if useQuad {
+				q := t.quads[i]
+				quads.Append(nd.comx-sh[0], nd.comy-sh[1], nd.comz-sh[2], nd.mass,
+					q[0], q[1], q[2], q[3], q[4], q[5])
+			} else {
+				list.Append(nd.comx-sh[0], nd.comy-sh[1], nd.comz-sh[2], nd.mass)
+			}
+			nNode++
+			continue
+		}
+		if nd.firstChild < 0 {
+			for p := nd.start; p < nd.start+nd.count; p++ {
+				list.Append(t.X[p]-sh[0], t.Y[p]-sh[1], t.Z[p]-sh[2], t.M[p])
+				nPart++
+			}
+			continue
+		}
+		for c := nd.firstChild; c < nd.firstChild+int32(nd.nChild); c++ {
+			stack = append(stack, c)
+		}
+	}
+	return visited, nPart, nNode
+}
+
+// axisDist returns the 1-D distance between intervals [alo, ahi] and
+// [blo, bhi] (0 if they overlap).
+func axisDist(alo, ahi, blo, bhi float64) float64 {
+	if ahi < blo {
+		return blo - ahi
+	}
+	if bhi < alo {
+		return alo - bhi
+	}
+	return 0
+}
+
+// axisDistPoint returns the 1-D distance from interval [lo, hi] to point p.
+func axisDistPoint(lo, hi, p float64) float64 {
+	if p < lo {
+		return lo - p
+	}
+	if p > hi {
+		return p - hi
+	}
+	return 0
+}
+
+// PotentialCutoff accumulates the short-range (cutoff) potential of tgt's
+// particles into pot (indexed by original order), using the same grouped
+// traversal as Accel. The energy diagnostic counterpart of the force pass:
+// total short-range potential energy is ½·Σ m_i·Φ_i.
+func PotentialCutoff(src, tgt *Tree, ni int, opt ForceOpts, tab *ppkern.PotTable, pot []float64) Stats {
+	groups := tgt.Groups(ni)
+	var st Stats
+	var list ppkern.Source
+	buf := make([]float64, 0, 256)
+	shifts := src.shifts(opt)
+	for _, g := range groups {
+		list.Reset()
+		var visited, nPart, nNode uint64
+		for _, sh := range shifts {
+			v, p, nn := src.collect(&list, nil, g, sh, opt)
+			visited += v
+			nPart += p
+			nNode += nn
+		}
+		n := int(g.Count)
+		st.Groups++
+		st.SumNi += uint64(n)
+		st.ListParticles += nPart
+		st.ListNodes += nNode
+		st.Interactions += uint64(n) * uint64(list.Len())
+		st.NodesVisited += visited
+		buf = resize(buf, n)
+		xi := tgt.X[g.Start : g.Start+g.Count]
+		yi := tgt.Y[g.Start : g.Start+g.Count]
+		zi := tgt.Z[g.Start : g.Start+g.Count]
+		ppkern.PotCutoff(xi, yi, zi, &list, tab, opt.G, opt.Rcut, opt.Eps2, buf)
+		for k := 0; k < n; k++ {
+			pot[tgt.Perm[int(g.Start)+k]] += buf[k]
+		}
+	}
+	return st
+}

@@ -1,0 +1,92 @@
+// Package vec provides the 3-vector type and small geometric helpers used
+// throughout the simulation code. Positions live in a periodic cube of side
+// L, so the package also provides minimum-image displacement and wrapping.
+package vec
+
+import "math"
+
+// V3 is a Cartesian 3-vector.
+type V3 struct {
+	X, Y, Z float64
+}
+
+// Add returns a + b.
+func (a V3) Add(b V3) V3 { return V3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a V3) Sub(b V3) V3 { return V3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s*a.
+func (a V3) Scale(s float64) V3 { return V3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the inner product a·b.
+func (a V3) Dot(b V3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the vector product a×b.
+func (a V3) Cross(b V3) V3 {
+	return V3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm2 returns |a|².
+func (a V3) Norm2() float64 { return a.Dot(a) }
+
+// Norm returns |a|.
+func (a V3) Norm() float64 { return math.Sqrt(a.Norm2()) }
+
+// Neg returns -a.
+func (a V3) Neg() V3 { return V3{-a.X, -a.Y, -a.Z} }
+
+// MaxAbs returns the largest absolute component.
+func (a V3) MaxAbs() float64 {
+	m := math.Abs(a.X)
+	if v := math.Abs(a.Y); v > m {
+		m = v
+	}
+	if v := math.Abs(a.Z); v > m {
+		m = v
+	}
+	return m
+}
+
+// Wrap maps each component of p into [0, L).
+func Wrap(p V3, l float64) V3 {
+	return V3{wrap1(p.X, l), wrap1(p.Y, l), wrap1(p.Z, l)}
+}
+
+func wrap1(x, l float64) float64 {
+	x = math.Mod(x, l)
+	if x < 0 {
+		x += l
+	}
+	// Mod can return exactly l for tiny negative x due to rounding.
+	if x >= l {
+		x -= l
+	}
+	return x
+}
+
+// MinImage returns the minimum-image displacement d such that a+d ≡ b in the
+// periodic cube of side L, with each component in [-L/2, L/2).
+func MinImage(a, b V3, l float64) V3 {
+	return V3{minImage1(b.X-a.X, l), minImage1(b.Y-a.Y, l), minImage1(b.Z-a.Z, l)}
+}
+
+func minImage1(d, l float64) float64 {
+	d -= l * math.Round(d/l)
+	if d < -l/2 {
+		d += l
+	}
+	if d >= l/2 {
+		d -= l
+	}
+	return d
+}
+
+// Dist2Periodic returns the squared minimum-image distance between a and b.
+func Dist2Periodic(a, b V3, l float64) float64 {
+	return MinImage(a, b, l).Norm2()
+}

@@ -1,0 +1,137 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAddSubScale(t *testing.T) {
+	a := V3{1, 2, 3}
+	b := V3{-4, 5, 0.5}
+	if got := a.Add(b); got != (V3{-3, 7, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (V3{5, -3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (V3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != (V3{-1, -2, -3}) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestDotCrossNorm(t *testing.T) {
+	a := V3{1, 0, 0}
+	b := V3{0, 1, 0}
+	if a.Dot(b) != 0 {
+		t.Errorf("Dot orthogonal = %v", a.Dot(b))
+	}
+	if got := a.Cross(b); got != (V3{0, 0, 1}) {
+		t.Errorf("Cross = %v", got)
+	}
+	c := V3{3, 4, 0}
+	if c.Norm() != 5 {
+		t.Errorf("Norm = %v", c.Norm())
+	}
+	if c.Norm2() != 25 {
+		t.Errorf("Norm2 = %v", c.Norm2())
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := (V3{-3, 2, 1}).MaxAbs(); got != 3 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	if got := (V3{0.1, -0.5, 0.2}).MaxAbs(); got != 0.5 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	if got := (V3{0, 0, -7}).MaxAbs(); got != 7 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+}
+
+func TestWrapRange(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.5}, {1.5, 0.5}, {-0.25, 0.75}, {2.0, 0.0}, {-1.0, 0.0},
+	}
+	for _, c := range cases {
+		got := Wrap(V3{c.in, c.in, c.in}, 1.0)
+		if !almost(got.X, c.want, 1e-15) {
+			t.Errorf("Wrap(%v) = %v, want %v", c.in, got.X, c.want)
+		}
+	}
+}
+
+func TestWrapAlwaysInRange(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true
+		}
+		if math.IsNaN(y) || math.IsInf(y, 0) || math.Abs(y) > 1e12 {
+			return true
+		}
+		if math.IsNaN(z) || math.IsInf(z, 0) || math.Abs(z) > 1e12 {
+			return true
+		}
+		w := Wrap(V3{x, y, z}, 1.0)
+		return w.X >= 0 && w.X < 1 && w.Y >= 0 && w.Y < 1 && w.Z >= 0 && w.Z < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	l := 1.0
+	a := V3{0.9, 0.9, 0.9}
+	b := V3{0.1, 0.1, 0.1}
+	d := MinImage(a, b, l)
+	want := V3{0.2, 0.2, 0.2}
+	if !almost(d.X, want.X, 1e-14) || !almost(d.Y, want.Y, 1e-14) || !almost(d.Z, want.Z, 1e-14) {
+		t.Errorf("MinImage = %v, want %v", d, want)
+	}
+}
+
+func TestMinImageAntisymmetric(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Wrap(V3{clean(ax), clean(ay), clean(az)}, 1)
+		b := Wrap(V3{clean(bx), clean(by), clean(bz)}, 1)
+		d1 := MinImage(a, b, 1)
+		d2 := MinImage(b, a, 1)
+		// d1 = -d2 up to the half-box ambiguity at exactly L/2.
+		return almost(d1.Norm(), d2.Norm(), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinImageComponentsHalfBox(t *testing.T) {
+	f := func(ax, bx float64) bool {
+		d := MinImage(V3{clean(ax), 0, 0}, V3{clean(bx), 0, 0}, 1)
+		return d.X >= -0.5 && d.X < 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist2Periodic(t *testing.T) {
+	got := Dist2Periodic(V3{0.95, 0, 0}, V3{0.05, 0, 0}, 1)
+	if !almost(got, 0.01, 1e-14) {
+		t.Errorf("Dist2Periodic = %v, want 0.01", got)
+	}
+}
+
+// clean maps an arbitrary quick-generated float into something finite & modest.
+func clean(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 100)
+}
