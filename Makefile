@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+# verify is the tier-1 gate: full build, vet, tests, plus a short race pass
+# over the packages where ranks-as-goroutines concurrency lives.
+verify:
+	./scripts/verify.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .

@@ -30,6 +30,7 @@ import (
 	"greem/internal/pmpar"
 	"greem/internal/ppkern"
 	"greem/internal/sim"
+	"greem/internal/telemetry"
 	"greem/internal/tree"
 	"greem/internal/treepm"
 	"greem/internal/vec"
@@ -355,6 +356,23 @@ func BenchmarkKernelGflops(b *testing.B) {
 		{"unrolled", func() uint64 { return ppkern.AccelCutoffFast(xi, yi, zi, src, 1, 0.4, 1e-10, ax, ay, az) }},
 		{"phantom-rsqrt", func() uint64 { return ppkern.AccelCutoffPhantom(xi, yi, zi, src, 1, 0.4, 1e-10, ax, ay, az) }},
 	}
+	// The instrumented variant bounds the telemetry cost on the hot path:
+	// one span (two clock reads) plus one flop-counter add per kernel call,
+	// exactly what the simulation records around the tree walk. Acceptance:
+	// within 2% of the bare unrolled variant.
+	rec := telemetry.NewRecorder(0, nil)
+	flops := rec.Registry().FlopCounter("bench_flops_total")
+	id := rec.PhaseID(telemetry.PhasePPForce)
+	variants = append(variants, struct {
+		name string
+		f    func() uint64
+	}{"unrolled+telemetry", func() uint64 {
+		sp := rec.StartID(id)
+		n := ppkern.AccelCutoffFast(xi, yi, zi, src, 1, 0.4, 1e-10, ax, ay, az)
+		sp.End()
+		flops.AddUint(n * uint64(ppkern.FlopsPerInteraction))
+		return n
+	}})
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			var inter uint64

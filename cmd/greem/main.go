@@ -3,8 +3,15 @@
 // on in-process ranks, and writes snapshots, projections and a per-phase
 // timing report in the shape of the paper's Table I.
 //
+// With -metrics the per-rank telemetry registries (phase seconds, span
+// histograms, interaction/flop counters, MPI traffic) are written in
+// Prometheus text format; with -trace every rank's span timeline is written
+// as Chrome trace-event JSON, one track per rank, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
 //	go run ./cmd/greem -np 16 -ranks 8 -steps 16 -zstart 400 -zend 31 -out out
 //	go run ./cmd/greem -resume out/snap_0016.bin -steps 8
+//	go run ./cmd/greem -np 8 -ranks 4 -steps 2 -trace trace.json -metrics metrics.prom
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"greem"
 	"greem/internal/analysis"
 	"greem/internal/cosmo"
+	"greem/internal/mpi"
 	"greem/internal/sim"
+	"greem/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +53,8 @@ func main() {
 	outDir := flag.String("out", "out", "output directory")
 	resume := flag.String("resume", "", "resume from snapshot file")
 	snapEvery := flag.Int("snap", 8, "write snapshot every k steps")
+	metricsOut := flag.String("metrics", "", "write per-rank metrics (Prometheus text format) to this file")
+	traceOut := flag.String("trace", "", "write per-rank span timelines (Chrome trace-event JSON) to this file")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -104,14 +115,24 @@ func main() {
 		Grid: grid, DT: (aEnd - aStart) / float64(*steps), Stepper: model, Time: aStart,
 	}
 
+	recs := make([]*telemetry.Recorder, *ranks)
+	var traffic *mpi.Traffic
 	err = greem.Run(*ranks, func(c *greem.Comm) {
+		rec := telemetry.NewRecorder(c.Rank(), nil)
+		rec.EnableTrace(*traceOut != "")
+		recs[c.Rank()] = rec
+		if c.Rank() == 0 {
+			traffic = c.Traffic()
+		}
+		rcfg := cfg
+		rcfg.Recorder = rec
 		var mine []greem.Particle
 		for i := range parts {
 			if i%*ranks == c.Rank() {
 				mine = append(mine, parts[i])
 			}
 		}
-		s, err := greem.NewSimulation(c, cfg, mine)
+		s, err := greem.NewSimulation(c, rcfg, mine)
 		if err != nil {
 			panic(err)
 		}
@@ -139,6 +160,46 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, recs, traffic); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(f, recs...); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+}
+
+// writeMetrics exports every rank's registry plus the world-wide MPI traffic
+// ledger in Prometheus text format.
+func writeMetrics(path string, recs []*telemetry.Recorder, traffic *mpi.Traffic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePrometheusRanks(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	world := telemetry.NewRegistry()
+	telemetry.CaptureTraffic(world, traffic)
+	if err := telemetry.WritePrometheus(f, world); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeOutputs(dir string, s *sim.Sim, all []greem.Particle, l float64) {
@@ -166,7 +227,7 @@ func writeOutputs(dir string, s *sim.Sim, all []greem.Particle, l float64) {
 
 func printTimers(s *sim.Sim, steps int, inter, ni, nj float64) {
 	per := 1.0 / float64(steps)
-	t := s.Timers
+	t := s.Timers()
 	fmt.Println("\nper-step phase breakdown (rank 0, Table I shape):")
 	fmt.Printf("  PM: density %.4fs, comm %.4fs, FFT %.4fs, mesh accel %.4fs, interp %.4fs\n",
 		t.PM.Density.Seconds()*per, t.PM.Comm.Seconds()*per, t.PM.FFT.Seconds()*per,

@@ -17,6 +17,7 @@ import (
 	"greem/internal/mpi"
 	"greem/internal/perfmodel"
 	"greem/internal/sim"
+	"greem/internal/telemetry"
 )
 
 func main() {
@@ -74,8 +75,31 @@ func main() {
 	scaledRun(*np, *ranks, *steps)
 }
 
+// tableRows maps Table I's row labels onto the telemetry phase names; the
+// scaled measured breakdown is rendered from the aggregated cross-rank
+// profile under exactly this correspondence.
+var tableRows = []struct {
+	label string
+	phase string
+}{
+	{"PM density assignment", telemetry.PhasePMDensity},
+	{"PM communication", telemetry.PhasePMComm},
+	{"PM FFT", telemetry.PhasePMFFT},
+	{"PM acceleration on mesh", telemetry.PhasePMMeshForce},
+	{"PM force interpolation", telemetry.PhasePMInterp},
+	{"PP local tree", telemetry.PhasePPLocalTree},
+	{"PP communication", telemetry.PhasePPComm},
+	{"PP tree construction", telemetry.PhasePPTreeConstr},
+	{"PP tree traversal", telemetry.PhasePPTraverse},
+	{"PP force calculation", telemetry.PhasePPForce},
+	{"DD position update", telemetry.PhaseDDPosUpdate},
+	{"DD sampling method", telemetry.PhaseDDSampling},
+	{"DD particle exchange", telemetry.PhaseDDExchange},
+}
+
 // scaledRun executes the real distributed code at laptop scale and prints
-// the measured phase breakdown in Table I's shape.
+// the measured phase breakdown in Table I's shape, aggregated across ranks
+// (min/mean/max and max/mean imbalance) from the telemetry profile.
 func scaledRun(np, ranks, steps int) {
 	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps\n", np, ranks, steps)
 	rng := rand.New(rand.NewSource(1))
@@ -99,17 +123,19 @@ func scaledRun(np, ranks, steps int) {
 		L: 1, G: 1, NMesh: 32, Theta: 0.5, Ni: 100, Eps2: 1e-8, FastKernel: true,
 		Grid: grid, DT: 0.01,
 	}
-	var timers sim.Timers
+	var prof *telemetry.Profile
 	var inter float64
 	var ni, nj float64
 	err := mpi.Run(ranks, func(c *mpi.Comm) {
+		rcfg := cfg
+		rcfg.Recorder = telemetry.NewRecorder(c.Rank(), nil)
 		var mine []sim.Particle
 		for i := range parts {
 			if i%ranks == c.Rank() {
 				mine = append(mine, parts[i])
 			}
 		}
-		s, err := sim.New(c, cfg, mine)
+		s, err := sim.New(c, rcfg, mine)
 		if err != nil {
 			panic(err)
 		}
@@ -120,28 +146,22 @@ func scaledRun(np, ranks, steps int) {
 		}
 		inter = s.InteractionsPerStep()
 		ni, nj = s.MeanNiNj()
-		c.Barrier()
-		if c.Rank() == 0 {
-			timers = s.Timers
+		if p := telemetry.Aggregate(c, s.Recorder()); c.Rank() == 0 {
+			prof = p
 		}
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	per := 1.0 / float64(steps)
-	fmt.Printf("%-28s %10s\n", "(rank 0, sec/step)", "measured")
-	fmt.Printf("%-28s %10.4f\n", "PM density assignment", timers.PM.Density.Seconds()*per)
-	fmt.Printf("%-28s %10.4f\n", "PM communication", timers.PM.Comm.Seconds()*per)
-	fmt.Printf("%-28s %10.4f\n", "PM FFT", timers.PM.FFT.Seconds()*per)
-	fmt.Printf("%-28s %10.4f\n", "PM acceleration on mesh", timers.PM.MeshForce.Seconds()*per)
-	fmt.Printf("%-28s %10.4f\n", "PM force interpolation", timers.PM.Interp.Seconds()*per)
-	fmt.Printf("%-28s %10.4f\n", "PP local tree", timers.PPLocalTree*per)
-	fmt.Printf("%-28s %10.4f\n", "PP communication", timers.PPComm*per)
-	fmt.Printf("%-28s %10.4f\n", "PP tree construction", timers.PPTreeConstr*per)
-	fmt.Printf("%-28s %10.4f\n", "PP tree traversal", timers.PPTraverse*per)
-	fmt.Printf("%-28s %10.4f\n", "PP force calculation", timers.PPForce*per)
-	fmt.Printf("%-28s %10.4f\n", "DD position update", timers.DDPosUpdate*per)
-	fmt.Printf("%-28s %10.4f\n", "DD sampling method", timers.DDSampling*per)
-	fmt.Printf("%-28s %10.4f\n", "DD particle exchange", timers.DDExchange*per)
+	fmt.Printf("%-28s %10s %10s %10s %10s\n", "(all ranks, sec/step)", "min", "mean", "max", "max/mean")
+	for _, row := range tableRows {
+		ph := prof.Phase(row.phase)
+		fmt.Printf("%-28s %10.4f %10.4f %10.4f %10.2f\n",
+			row.label, ph.Min*per, ph.Mean*per, ph.Max*per, ph.Imbalance)
+	}
 	fmt.Printf("\n⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f, interactions/step = %.3g\n", ni, nj, inter)
+	flops := prof.Counter(`greem_pp_kernel_flops_total`)
+	fmt.Printf("PP kernel flops/step (51-op ledger): %.3g total, %.3g max-rank\n",
+		flops.Sum*per, flops.Max*per)
 }

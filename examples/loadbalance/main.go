@@ -143,10 +143,3 @@ func writePPM(path string, pts []vec.V3, g *domain.Geometry, size int) error {
 	}
 	return nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

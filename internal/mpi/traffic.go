@@ -110,3 +110,45 @@ func (t *Traffic) TotalMessages() int64 {
 	}
 	return n
 }
+
+// OpTotals summarizes a group of recorded operations.
+type OpTotals struct {
+	Ops   int64 // operations in the group
+	Msgs  int64 // constituent point-to-point messages
+	Bytes int64 // payload bytes
+}
+
+// TotalsByOp groups the ledger by operation name (Alltoallv, Reduce, …).
+func (t *Traffic) TotalsByOp() map[string]OpTotals {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]OpTotals)
+	for _, op := range t.ops {
+		tot := out[op.Name]
+		tot.Ops++
+		tot.Msgs += int64(len(op.Msgs))
+		for _, m := range op.Msgs {
+			tot.Bytes += int64(m.Bytes)
+		}
+		out[op.Name] = tot
+	}
+	return out
+}
+
+// TotalsByLabel groups the ledger by the phase label active when each op was
+// recorded (SetLabel); ops recorded with no label land under "".
+func (t *Traffic) TotalsByLabel() map[string]OpTotals {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]OpTotals)
+	for _, op := range t.ops {
+		tot := out[op.Label]
+		tot.Ops++
+		tot.Msgs += int64(len(op.Msgs))
+		for _, m := range op.Msgs {
+			tot.Bytes += int64(m.Bytes)
+		}
+		out[op.Label] = tot
+	}
+	return out
+}

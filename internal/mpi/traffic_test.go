@@ -1,0 +1,141 @@
+package mpi
+
+import (
+	"testing"
+)
+
+// TestTrafficSendAccounting drives a single labeled Send and checks every
+// view of the ledger agrees on what was recorded.
+func TestTrafficSendAccounting(t *testing.T) {
+	var tr *Traffic
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			tr = c.Traffic()
+			tr.SetLabel("ghost-exchange")
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			Send(c, 1, 0, []float64{1, 2, 3})
+		} else {
+			Recv[float64](c, 0, 0)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := tr.Ops()
+	var sends []Op
+	for _, op := range ops {
+		if op.Name == "Send" {
+			sends = append(sends, op)
+		}
+	}
+	if len(sends) != 1 {
+		t.Fatalf("want 1 Send op, got %d (ops: %+v)", len(sends), ops)
+	}
+	s := sends[0]
+	if s.Label != "ghost-exchange" {
+		t.Errorf("Send label = %q, want ghost-exchange", s.Label)
+	}
+	if len(s.Msgs) != 1 || s.Msgs[0].Bytes != 3*8 {
+		t.Errorf("Send messages = %+v, want one 24-byte message", s.Msgs)
+	}
+	if s.Msgs[0].Src != 0 || s.Msgs[0].Dst != 1 {
+		t.Errorf("Send route = %d→%d, want 0→1", s.Msgs[0].Src, s.Msgs[0].Dst)
+	}
+}
+
+// TestTrafficTotalsGrouping checks TotalsByOp/TotalsByLabel and the global
+// totals over a mixed sequence of collectives, then Reset.
+func TestTrafficTotalsGrouping(t *testing.T) {
+	var tr *Traffic
+	err := Run(4, func(c *Comm) {
+		if c.Rank() == 0 {
+			tr = c.Traffic()
+			tr.SetLabel("pm")
+		}
+		c.Barrier()
+		Reduce(c, 0, []float64{float64(c.Rank())}, Sum[float64])
+		if c.Rank() == 0 {
+			tr.SetLabel("pp")
+		}
+		c.Barrier()
+		Allgather(c, []int64{int64(c.Rank())})
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byOp := tr.TotalsByOp()
+	if byOp["Reduce"].Ops != 1 {
+		t.Errorf("Reduce ops = %d, want 1", byOp["Reduce"].Ops)
+	}
+	// Binomial reduce over 4 ranks routes 3 messages of one float64 each.
+	if byOp["Reduce"].Msgs != 3 || byOp["Reduce"].Bytes != 3*8 {
+		t.Errorf("Reduce totals = %+v, want 3 msgs / 24 bytes", byOp["Reduce"])
+	}
+
+	byLabel := tr.TotalsByLabel()
+	if byLabel["pm"].Ops == 0 {
+		t.Error("no ops recorded under label pm")
+	}
+	if byLabel["pp"].Ops == 0 {
+		t.Error("no ops recorded under label pp")
+	}
+
+	// Cross-check the grouped views against the global totals.
+	var opMsgs, opBytes, lblMsgs, lblBytes int64
+	for _, v := range byOp {
+		opMsgs += v.Msgs
+		opBytes += v.Bytes
+	}
+	for _, v := range byLabel {
+		lblMsgs += v.Msgs
+		lblBytes += v.Bytes
+	}
+	if opMsgs != tr.TotalMessages() || lblMsgs != tr.TotalMessages() {
+		t.Errorf("message totals disagree: byOp=%d byLabel=%d global=%d",
+			opMsgs, lblMsgs, tr.TotalMessages())
+	}
+	if opBytes != tr.TotalBytes() || lblBytes != tr.TotalBytes() {
+		t.Errorf("byte totals disagree: byOp=%d byLabel=%d global=%d",
+			opBytes, lblBytes, tr.TotalBytes())
+	}
+
+	tr.Reset()
+	if tr.TotalMessages() != 0 || tr.TotalBytes() != 0 || len(tr.Ops()) != 0 {
+		t.Error("Reset left ops in the ledger")
+	}
+	if got := tr.TotalsByLabel(); len(got) != 0 {
+		t.Errorf("Reset left label groups: %v", got)
+	}
+}
+
+// TestTrafficUnlabeledOps checks ops recorded before any SetLabel land under
+// the empty label.
+func TestTrafficUnlabeledOps(t *testing.T) {
+	var tr *Traffic
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			tr = c.Traffic()
+		}
+		Bcast(c, 0, []int64{7})
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := tr.TotalsByLabel()
+	if byLabel[""].Ops == 0 {
+		t.Errorf("unlabeled ops not grouped under \"\": %v", byLabel)
+	}
+}
+
+// TestTrafficNilSafe checks a nil ledger ignores records (ranks without a
+// world traffic pointer must not panic).
+func TestTrafficNilSafe(t *testing.T) {
+	var tr *Traffic
+	tr.record(Op{Name: "Send"})
+}

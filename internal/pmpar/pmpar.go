@@ -7,6 +7,7 @@ import (
 	"greem/internal/mesh"
 	"greem/internal/mpi"
 	"greem/internal/pfft"
+	"greem/internal/telemetry"
 	"greem/internal/vec"
 )
 
@@ -38,6 +39,11 @@ type Config struct {
 	// Workers threads the local-mesh differencing and interpolation loops
 	// (the OpenMP half of the hybrid); 0/1 = serial.
 	Workers int
+	// Recorder receives the per-phase spans (pm/density, pm/comm, pm/fft,
+	// pm/mesh_force, pm/interp). nil creates a private recorder, so Times
+	// stays populated either way; the sim driver injects its own so PM
+	// phases land on the same per-rank timeline as PP and DD.
+	Recorder *telemetry.Recorder
 }
 
 // Timings accumulates per-phase wall-clock, matching the PM rows of Table I:
@@ -92,6 +98,9 @@ type Solver struct {
 	plan    *pfft.Plan
 	pencil  *pfft.PencilPlan
 
+	// rec receives the per-phase spans; never nil after New.
+	rec *telemetry.Recorder
+
 	// Times accumulates phase timings across Accel calls.
 	Times Timings
 }
@@ -131,7 +140,10 @@ func New(c *mpi.Comm, cfg Config, lo, hi vec.V3) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Solver{comm: c, cfg: cfg, lm: lm, lay: pfft.Layout{N: cfg.N, P: cfg.NFFT}}
+	s := &Solver{comm: c, cfg: cfg, lm: lm, lay: pfft.Layout{N: cfg.N, P: cfg.NFFT}, rec: cfg.Recorder}
+	if s.rec == nil {
+		s.rec = telemetry.NewRecorder(c.Rank(), nil)
+	}
 	s.myBox = boxDesc{int32(lm.X0), int32(lm.NX), int32(lm.Y0), int32(lm.NY), int32(lm.Z0), int32(lm.NZ)}
 
 	if cfg.Relay {
@@ -436,13 +448,13 @@ func (s *Solver) fftAndGreenPencil() {
 // must lie inside its domain), accumulating long-range accelerations into
 // ax/ay/az (indexed like x/y/z). Collective over the world communicator.
 func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
-	t0 := time.Now()
+	sp := s.rec.Start(telemetry.PhasePMDensity)
 	s.lm.Clear()
 	s.lm.AssignTSC(x, y, z, m)
-	s.Times.Density += time.Since(t0)
+	s.Times.Density += sp.End()
 
 	// Conversion to slabs.
-	t1 := time.Now()
+	sp = s.rec.Start(telemetry.PhasePMComm)
 	s.densityToSlabs()
 	if s.cfg.Relay && s.isHolder {
 		// Sum partial slabs across groups onto the root group.
@@ -451,28 +463,28 @@ func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
 			copy(s.slab, sum)
 		}
 	}
-	s.Times.Comm += time.Since(t1)
+	s.Times.Comm += sp.End()
 
 	// FFT + Green's function on the FFT processes; others wait (paper step 3).
-	t2 := time.Now()
+	sp = s.rec.Start(telemetry.PhasePMFFT)
 	if s.isFFT {
 		s.fftAndGreen()
 	}
-	s.Times.FFT += time.Since(t2)
+	s.Times.FFT += sp.End()
 
-	t3 := time.Now()
+	sp = s.rec.Start(telemetry.PhasePMComm)
 	if s.cfg.Relay && s.isHolder {
 		// Broadcast complete potential slabs back to every group.
 		s.slab = mpi.Bcast(s.commReduce, 0, s.slab)
 	}
 	s.potentialToLocal()
-	s.Times.Comm += time.Since(t3)
+	s.Times.Comm += sp.End()
 
-	t4 := time.Now()
+	sp = s.rec.Start(telemetry.PhasePMMeshForce)
 	s.lm.DiffForce()
-	s.Times.MeshForce += time.Since(t4)
+	s.Times.MeshForce += sp.End()
 
-	t5 := time.Now()
+	sp = s.rec.Start(telemetry.PhasePMInterp)
 	s.lm.InterpolateTSC(x, y, z, ax, ay, az)
-	s.Times.Interp += time.Since(t5)
+	s.Times.Interp += sp.End()
 }

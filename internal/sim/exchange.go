@@ -2,10 +2,10 @@ package sim
 
 import (
 	"math"
-	"time"
 
 	"greem/internal/domain"
 	"greem/internal/mpi"
+	"greem/internal/telemetry"
 	"greem/internal/vec"
 )
 
@@ -129,7 +129,9 @@ func boxDistPeriodic(alo, ahi, blo, bhi vec.V3, l float64) float64 {
 // particles proportionally, rebuild the geometry at the root, smooth it with
 // the moving average, broadcast it, and migrate particles.
 func (s *Sim) domainDecomposition() error {
-	t0 := time.Now()
+	spAll := s.rec.Start(telemetry.SpanDD)
+	defer spAll.End()
+	sp := s.rec.Start(telemetry.PhaseDDSampling)
 	p := s.comm.Size()
 
 	cost := s.lastCost
@@ -182,16 +184,18 @@ func (s *Sim) domainDecomposition() error {
 		return err
 	}
 	s.geo = geo
-	s.Timers.DDSampling += time.Since(t0).Seconds()
+	sp.End()
 
-	t1 := time.Now()
+	sp = s.rec.Start(telemetry.PhaseDDExchange)
 	if err := s.exchangeParticles(); err != nil {
+		sp.End()
 		return err
 	}
 	if err := s.rebuildPM(); err != nil {
+		sp.End()
 		return err
 	}
-	s.Timers.DDExchange += time.Since(t1).Seconds()
+	sp.End()
 	return nil
 }
 

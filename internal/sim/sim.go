@@ -9,10 +9,12 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"greem/internal/domain"
 	"greem/internal/mpi"
 	"greem/internal/pmpar"
+	"greem/internal/telemetry"
 	"greem/internal/tree"
 	"greem/internal/vec"
 )
@@ -81,6 +83,12 @@ type Config struct {
 
 	// Substeps is the number of PP cycles per PM cycle; 0 ⇒ 2 (the paper).
 	Substeps int
+
+	// Recorder is this rank's telemetry recorder; every phase timer,
+	// interaction counter, and (when tracing is enabled) timeline span runs
+	// through it. nil ⇒ a private recorder. Recorders are rank-local, so
+	// each rank must pass its own.
+	Recorder *telemetry.Recorder
 }
 
 func (c *Config) setDefaults(p int) error {
@@ -126,13 +134,6 @@ func (c *Config) setDefaults(p int) error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Sim is one rank's handle on the distributed simulation.
 type Sim struct {
 	comm *mpi.Comm
@@ -157,24 +158,31 @@ type Sim struct {
 	step             int
 
 	// lastCost is this rank's measured force time (seconds) used for the
-	// cost-proportional sampling rate.
-	lastCost float64
+	// cost-proportional sampling rate; lastPMCost is the most recent PM
+	// cycle's cost, amortized over the substeps.
+	lastCost   float64
+	lastPMCost float64
 
 	rng *rand.Rand
 
-	Timers   Timers
-	Counters Counters
+	// rec is the rank's telemetry recorder (never nil); the tree-statistics
+	// counters below are interned handles into its registry.
+	rec                                                         *telemetry.Recorder
+	ctrGroups, ctrSumNi, ctrListP, ctrListN, ctrInter, ctrNodes *telemetry.Counter
+	ctrFlops                                                    *telemetry.Counter
 }
 
-// Timers aggregates the per-phase wall-clock of this rank, with the same
-// rows as Table I.
+// Timers is the per-rank per-phase wall-clock view, with the same rows as
+// Table I. It is derived from the rank's telemetry recorder — the single
+// source of truth — so it survives PM-solver rebuilds and stays consistent
+// with the exported metrics and traces.
 type Timers struct {
 	PM pmpar.Timings
 
 	PPLocalTree  float64 // assembling the local+ghost source set
 	PPComm       float64 // ghost exchange
 	PPTreeConstr float64
-	PPTraverse   float64 // traversal+force are fused in tree.Accel; split by model below
+	PPTraverse   float64 // traversal+force are fused in tree.Accel; split by kernel clock
 	PPForce      float64
 
 	DDPosUpdate float64
@@ -182,10 +190,51 @@ type Timers struct {
 	DDExchange  float64
 }
 
-// Counters aggregates interaction statistics (⟨Ni⟩, ⟨Nj⟩, #interactions).
+// Timers materializes the Table I phase view from the telemetry registry.
+func (s *Sim) Timers() Timers {
+	sec := s.rec.PhaseSeconds
+	d := func(name string) time.Duration { return time.Duration(sec(name) * float64(time.Second)) }
+	return Timers{
+		PM: pmpar.Timings{
+			Density:   d(telemetry.PhasePMDensity),
+			Comm:      d(telemetry.PhasePMComm),
+			FFT:       d(telemetry.PhasePMFFT),
+			MeshForce: d(telemetry.PhasePMMeshForce),
+			Interp:    d(telemetry.PhasePMInterp),
+		},
+		PPLocalTree:  sec(telemetry.PhasePPLocalTree),
+		PPComm:       sec(telemetry.PhasePPComm),
+		PPTreeConstr: sec(telemetry.PhasePPTreeConstr),
+		PPTraverse:   sec(telemetry.PhasePPTraverse),
+		PPForce:      sec(telemetry.PhasePPForce),
+		DDPosUpdate:  sec(telemetry.PhaseDDPosUpdate),
+		DDSampling:   sec(telemetry.PhaseDDSampling),
+		DDExchange:   sec(telemetry.PhaseDDExchange),
+	}
+}
+
+// Counters is the interaction-statistics view (⟨Ni⟩, ⟨Nj⟩, #interactions),
+// likewise derived from the telemetry registry counters.
 type Counters struct {
 	Tree tree.Stats
 }
+
+// Counters materializes the interaction statistics from the registry.
+func (s *Sim) Counters() Counters {
+	return Counters{Tree: tree.Stats{
+		Groups:        int(s.ctrGroups.Value()),
+		SumNi:         uint64(s.ctrSumNi.Value()),
+		ListParticles: uint64(s.ctrListP.Value()),
+		ListNodes:     uint64(s.ctrListN.Value()),
+		Interactions:  uint64(s.ctrInter.Value()),
+		NodesVisited:  uint64(s.ctrNodes.Value()),
+		KernelSeconds: s.rec.PhaseSeconds(telemetry.PhasePPForce),
+	}}
+}
+
+// Recorder returns the rank's telemetry recorder (for trace export and
+// cross-rank aggregation).
+func (s *Sim) Recorder() *telemetry.Recorder { return s.rec }
 
 // New creates the simulation from an initial particle set. parts holds this
 // rank's particles under the *uniform* initial decomposition (they are
@@ -194,12 +243,25 @@ func New(c *mpi.Comm, cfg Config, parts []Particle) (*Sim, error) {
 	if err := cfg.setDefaults(c.Size()); err != nil {
 		return nil, err
 	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = telemetry.NewRecorder(c.Rank(), nil)
+	}
 	s := &Sim{
 		comm: c, cfg: cfg,
 		geo:  domain.Uniform(cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], cfg.L),
 		time: cfg.Time,
 		rng:  rand.New(rand.NewSource(int64(42 + c.Rank()))),
+		rec:  rec,
 	}
+	reg := rec.Registry()
+	s.ctrGroups = reg.Counter("greem_tree_groups_total")
+	s.ctrSumNi = reg.Counter("greem_tree_sum_ni_total")
+	s.ctrListP = reg.Counter("greem_tree_list_particles_total")
+	s.ctrListN = reg.Counter("greem_tree_list_nodes_total")
+	s.ctrInter = reg.Counter("greem_tree_interactions_total")
+	s.ctrNodes = reg.Counter("greem_tree_nodes_visited_total")
+	s.ctrFlops = reg.FlopCounter("greem_pp_kernel_flops_total")
 	s.setParticles(parts)
 	// Initial exchange onto the uniform geometry, then build the PM solver.
 	if err := s.exchangeParticles(); err != nil {
@@ -245,6 +307,7 @@ func (s *Sim) rebuildPM() error {
 		N: s.cfg.NMesh, L: s.cfg.L, G: s.cfg.G, Rcut: s.cfg.Rcut,
 		NFFT: s.cfg.NFFT, Relay: s.cfg.Relay, Groups: s.cfg.Groups,
 		Pencil: s.cfg.Pencil, PY: s.cfg.PY, PZ: s.cfg.PZ, Workers: s.cfg.Workers,
+		Recorder: s.rec,
 	}, lo, hi)
 	if err != nil {
 		return err

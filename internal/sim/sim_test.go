@@ -312,13 +312,14 @@ func TestTimersAndCountersPopulated(t *testing.T) {
 		if err := s.Step(); err != nil {
 			panic(err)
 		}
-		if s.Timers.PM.Total() <= 0 {
+		tm := s.Timers()
+		if tm.PM.Total() <= 0 {
 			t.Errorf("rank %d: PM timers empty", c.Rank())
 		}
-		if s.Timers.PPForce <= 0 || s.Timers.PPTreeConstr <= 0 {
-			t.Errorf("rank %d: PP timers empty: %+v", c.Rank(), s.Timers)
+		if tm.PPForce <= 0 || tm.PPTreeConstr <= 0 {
+			t.Errorf("rank %d: PP timers empty: %+v", c.Rank(), tm)
 		}
-		if s.Timers.DDSampling <= 0 || s.Timers.DDExchange <= 0 {
+		if tm.DDSampling <= 0 || tm.DDExchange <= 0 {
 			t.Errorf("rank %d: DD timers empty", c.Rank())
 		}
 		ni, nj := s.MeanNiNj()
@@ -508,7 +509,7 @@ func TestSubstepsAblation(t *testing.T) {
 			if err := s.Step(); err != nil {
 				panic(err)
 			}
-			groups := mpi.Allreduce(c, []int{s.Counters.Tree.Groups}, mpi.Sum[int])[0]
+			groups := mpi.Allreduce(c, []int{s.Counters().Tree.Groups}, mpi.Sum[int])[0]
 			if groups == 0 {
 				t.Errorf("substeps=%d: no PP work recorded", sub)
 			}
@@ -639,7 +640,7 @@ func TestTableIShapeAtLaptopScale(t *testing.T) {
 				panic(err)
 			}
 		}
-		tm := s.Timers
+		tm := s.Timers()
 		ppWork := tm.PPForce + tm.PPTraverse
 		if ppWork <= tm.PPTreeConstr {
 			t.Errorf("rank %d: PP force+traversal (%v) should dominate construction (%v)",

@@ -4,45 +4,37 @@ import (
 	"time"
 
 	"greem/internal/mpi"
-	"greem/internal/pmpar"
 	"greem/internal/ppkern"
+	"greem/internal/telemetry"
 	"greem/internal/tree"
 	"greem/internal/vec"
 )
 
-// computePM evaluates the long-range force for the local particles.
+// computePM evaluates the long-range force for the local particles. The PM
+// phase breakdown (pm/density … pm/interp) is recorded by the solver itself,
+// on the same recorder; the top-level PM span carries the step-cycle
+// structure into the trace.
 func (s *Sim) computePM() {
+	sp := s.rec.Start(telemetry.SpanPM)
 	for i := range s.apx {
 		s.apx[i], s.apy[i], s.apz[i] = 0, 0, 0
 	}
-	before := s.pm.Times
 	s.pm.Accel(s.x, s.y, s.z, s.m, s.apx, s.apy, s.apz)
-	s.Timers.PM.Add(subTimings(s.pm.Times, before))
+	s.lastPMCost = sp.End().Seconds()
 	s.pmFresh = true
-}
-
-// subTimings returns a − b fieldwise.
-func subTimings(a, b pmpar.Timings) pmpar.Timings {
-	return pmpar.Timings{
-		Density:   a.Density - b.Density,
-		Comm:      a.Comm - b.Comm,
-		FFT:       a.FFT - b.FFT,
-		MeshForce: a.MeshForce - b.MeshForce,
-		Interp:    a.Interp - b.Interp,
-	}
 }
 
 // computePP evaluates the short-range (tree) force for the local particles:
 // ghost exchange, source/target tree construction, grouped traversal and the
 // cutoff kernel. It also updates lastCost for the sampling method.
 func (s *Sim) computePP() {
-	tAll := time.Now()
+	spAll := s.rec.Start(telemetry.SpanPP)
 
-	t0 := time.Now()
+	sp := s.rec.Start(telemetry.PhasePPComm)
 	ghosts := s.exchangeGhosts()
-	s.Timers.PPComm += time.Since(t0).Seconds()
+	sp.End()
 
-	t1 := time.Now()
+	sp = s.rec.Start(telemetry.PhasePPLocalTree)
 	// Assemble the source set: local particles plus ghosts.
 	n := len(s.x)
 	sx := make([]float64, n+len(ghosts))
@@ -56,9 +48,9 @@ func (s *Sim) computePP() {
 	for i, g := range ghosts {
 		sx[n+i], sy[n+i], sz[n+i], sm[n+i] = g.X, g.Y, g.Z, g.M
 	}
-	s.Timers.PPLocalTree += time.Since(t1).Seconds()
+	sp.End()
 
-	t2 := time.Now()
+	sp = s.rec.Start(telemetry.PhasePPTreeConstr)
 	opts := tree.Options{LeafCap: s.cfg.LeafCap}
 	srcTree, err := tree.Build(sx, sy, sz, sm, opts)
 	if err != nil {
@@ -71,12 +63,12 @@ func (s *Sim) computePP() {
 			panic(err)
 		}
 	}
-	s.Timers.PPTreeConstr += time.Since(t2).Seconds()
+	sp.End()
 
 	for i := range s.asx {
 		s.asx[i], s.asy[i], s.asz[i] = 0, 0, 0
 	}
-	t3 := time.Now()
+	sp = s.rec.Start(telemetry.PhasePPTreeWalk)
 	var st tree.Stats
 	if len(ghosts) > 0 {
 		st = tree.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(false), s.asx, s.asy, s.asz)
@@ -85,12 +77,24 @@ func (s *Sim) computePP() {
 		// itself since no ghosts encode the wrap.
 		st = tree.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(true), s.asx, s.asy, s.asz)
 	}
-	fused := time.Since(t3).Seconds()
-	s.Timers.PPForce += st.KernelSeconds
-	s.Timers.PPTraverse += fused - st.KernelSeconds
-	s.Counters.Tree.Add(st)
+	fused := sp.End().Seconds()
+	// The walk fuses traversal and force; split it for Table I using the
+	// kernel's own clock, and feed the interaction ledger.
+	kernel := st.KernelSeconds
+	if kernel > fused {
+		kernel = fused
+	}
+	s.rec.AddPhase(telemetry.PhasePPForce, time.Duration(kernel*float64(time.Second)))
+	s.rec.AddPhase(telemetry.PhasePPTraverse, time.Duration((fused-kernel)*float64(time.Second)))
+	s.ctrGroups.AddUint(uint64(st.Groups))
+	s.ctrSumNi.AddUint(st.SumNi)
+	s.ctrListP.AddUint(st.ListParticles)
+	s.ctrListN.AddUint(st.ListNodes)
+	s.ctrInter.AddUint(st.Interactions)
+	s.ctrNodes.AddUint(st.NodesVisited)
+	s.ctrFlops.AddUint(st.Flops())
 
-	s.lastCost = time.Since(tAll).Seconds() + s.pm.Times.Total().Seconds()/float64(s.cfg.Substeps)
+	s.lastCost = spAll.End().Seconds() + s.lastPMCost/float64(s.cfg.Substeps)
 	s.ppFresh = true
 }
 
@@ -125,7 +129,7 @@ func (s *Sim) kickPP(t, dt float64) {
 
 // drift advances positions over [t, t+dt] and wraps them into the box.
 func (s *Sim) drift(t, dt float64) {
-	t0 := time.Now()
+	sp := s.rec.Start(telemetry.PhaseDDPosUpdate)
 	d := s.cfg.Stepper.DriftFactor(t, dt)
 	l := s.cfg.L
 	for i := range s.x {
@@ -133,7 +137,7 @@ func (s *Sim) drift(t, dt float64) {
 		s.x[i], s.y[i], s.z[i] = p.X, p.Y, p.Z
 	}
 	s.time += dt
-	s.Timers.DDPosUpdate += time.Since(t0).Seconds()
+	sp.End()
 	s.pmFresh = false
 	s.ppFresh = false
 }
@@ -188,7 +192,7 @@ func (s *Sim) Kinetic() float64 {
 // InteractionsPerStep estimates pairwise interactions per full step from the
 // accumulated counters (collective).
 func (s *Sim) InteractionsPerStep() float64 {
-	tot := globalSum(s, float64(s.Counters.Tree.Interactions))
+	tot := globalSum(s, s.ctrInter.Value())
 	if s.step == 0 {
 		return tot
 	}
@@ -203,9 +207,9 @@ func sumAll(s *Sim, v float64) float64 { return globalSum(s, v) }
 
 // MeanNiNj returns the global ⟨Ni⟩ and ⟨Nj⟩ (collective).
 func (s *Sim) MeanNiNj() (ni, nj float64) {
-	groups := sumAll(s, float64(s.Counters.Tree.Groups))
-	sumNi := sumAll(s, float64(s.Counters.Tree.SumNi))
-	list := sumAll(s, float64(s.Counters.Tree.ListParticles+s.Counters.Tree.ListNodes))
+	groups := sumAll(s, s.ctrGroups.Value())
+	sumNi := sumAll(s, s.ctrSumNi.Value())
+	list := sumAll(s, s.ctrListP.Value()+s.ctrListN.Value())
 	if groups == 0 {
 		return 0, 0
 	}

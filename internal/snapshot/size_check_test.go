@@ -1,0 +1,17 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"greem/internal/sim"
+)
+
+func TestOnDiskSizes(t *testing.T) {
+	if got := binary.Size(Header{}); got != headerBytes {
+		t.Errorf("headerBytes = %d, binary.Size(Header{}) = %d", headerBytes, got)
+	}
+	if got := binary.Size(sim.Particle{}); got != particleBytes {
+		t.Errorf("particleBytes = %d, binary.Size(Particle{}) = %d", particleBytes, got)
+	}
+}

@@ -31,6 +31,13 @@ type Header struct {
 	Reserved [4]uint64 // room for forward-compatible extensions
 }
 
+// headerBytes and particleBytes are the on-disk sizes of the fixed-layout
+// little-endian records; used to validate hdr.N against the input size.
+const (
+	headerBytes   = 80 // 2×uint32 + uint64 + 3×float64 + uint64 + 4×uint64
+	particleBytes = 64 // 7×float64 + int64
+)
+
 // Write stores a header and particle set.
 func Write(w io.Writer, hdr Header, parts []sim.Particle) error {
 	hdr.Magic = Magic
@@ -48,8 +55,22 @@ func Write(w io.Writer, hdr Header, parts []sim.Particle) error {
 	return bw.Flush()
 }
 
-// Read loads a snapshot.
+// Read loads a snapshot. The particle slice grows in bounded chunks as records
+// are decoded, so a corrupt or hostile header cannot force an allocation
+// proportional to hdr.N before any payload has been seen; use ReadSized when
+// the total input size is known (Load does) for an up-front check.
 func Read(r io.Reader) (Header, []sim.Particle, error) {
+	return readLimited(r, -1)
+}
+
+// ReadSized is Read with a known total input size in bytes: hdr.N is validated
+// against the payload that can actually be present before anything is
+// allocated, so truncated files fail fast instead of mid-decode.
+func ReadSized(r io.Reader, size int64) (Header, []sim.Particle, error) {
+	return readLimited(r, size)
+}
+
+func readLimited(r io.Reader, size int64) (Header, []sim.Particle, error) {
 	br := bufio.NewReader(r)
 	var hdr Header
 	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
@@ -64,11 +85,25 @@ func Read(r io.Reader) (Header, []sim.Particle, error) {
 	if hdr.N > 1<<40 {
 		return hdr, nil, fmt.Errorf("snapshot: implausible particle count %d", hdr.N)
 	}
-	parts := make([]sim.Particle, hdr.N)
-	for i := range parts {
-		if err := binary.Read(br, binary.LittleEndian, &parts[i]); err != nil {
+	if size >= 0 {
+		avail := uint64(0)
+		if size > headerBytes {
+			avail = uint64(size-headerBytes) / particleBytes
+		}
+		if hdr.N > avail {
+			return hdr, nil, fmt.Errorf("snapshot: header claims %d particles but input holds at most %d (%d bytes)", hdr.N, avail, size)
+		}
+	}
+	// Grow in chunks rather than trusting hdr.N wholesale: the largest
+	// allocation ahead of decoded data stays bounded even on unsized readers.
+	const chunk = 1 << 16
+	parts := make([]sim.Particle, 0, min(hdr.N, chunk))
+	for i := uint64(0); i < hdr.N; i++ {
+		var p sim.Particle
+		if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
 			return hdr, nil, fmt.Errorf("snapshot: particle %d: %w", i, err)
 		}
+		parts = append(parts, p)
 	}
 	return hdr, parts, nil
 }
@@ -86,12 +121,17 @@ func Save(path string, hdr Header, parts []sim.Particle) error {
 	return f.Close()
 }
 
-// Load reads a snapshot from a file.
+// Load reads a snapshot from a file, validating the header's particle count
+// against the file's actual size before allocating.
 func Load(path string) (Header, []sim.Particle, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Header{}, nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	st, err := f.Stat()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return ReadSized(f, st.Size())
 }

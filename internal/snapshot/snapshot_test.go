@@ -2,8 +2,11 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"greem/internal/sim"
@@ -75,6 +78,60 @@ func TestRejectsGarbage(t *testing.T) {
 	trunc := bytes.NewReader(buf2.Bytes()[:buf2.Len()-8])
 	if _, _, err := Read(trunc); err == nil {
 		t.Error("truncated file accepted")
+	}
+}
+
+// corruptN rewrites the little-endian N field (offset 8) of a serialized
+// snapshot to claim a bogus particle count.
+func corruptN(b []byte, n uint64) {
+	binary.LittleEndian.PutUint64(b[8:], n)
+}
+
+func TestSizedRejectsOverclaimedCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{L: 1}, randomParts(5)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Header claims a billion particles but the payload holds five: ReadSized
+	// must fail on the header check, before decoding (or allocating) anything.
+	corruptN(b, 1_000_000_000)
+	_, _, err := ReadSized(bytes.NewReader(b), int64(len(b)))
+	if err == nil {
+		t.Fatal("over-claimed count accepted")
+	}
+	if !strings.Contains(err.Error(), "holds at most 5") {
+		t.Errorf("want size-validation error, got: %v", err)
+	}
+}
+
+func TestLoadRejectsTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{L: 1}, randomParts(50)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trunc.bin")
+	if err := os.WriteFile(path, buf.Bytes()[:headerBytes+7*particleBytes], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Error("truncated file accepted by Load")
+	}
+}
+
+func TestSizedAcceptsTrailingSlack(t *testing.T) {
+	// A size larger than needed (e.g. preallocated file) must not reject.
+	var buf bytes.Buffer
+	parts := randomParts(3)
+	if err := Write(&buf, Header{L: 1}, parts); err != nil {
+		t.Fatal(err)
+	}
+	hdr, gp, err := ReadSized(bytes.NewReader(buf.Bytes()), int64(buf.Len())+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.N != 3 || len(gp) != 3 {
+		t.Errorf("round trip with slack: %d", len(gp))
 	}
 }
 

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+
+	"greem/internal/mpi"
+)
+
+// PhaseStat is one phase row of a cross-rank profile — exactly the shape of
+// the paper's Table I rows: the per-rank wall-clock reduced to min/mean/max,
+// plus the load imbalance max/mean (1 is perfect).
+type PhaseStat struct {
+	Name      string  `json:"name"`
+	Min       float64 `json:"min"`
+	Mean      float64 `json:"mean"`
+	Max       float64 `json:"max"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// CounterStat is one counter reduced across ranks.
+type CounterStat struct {
+	Key  string  `json:"key"` // canonical name{labels}
+	Sum  float64 `json:"sum"`
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// Profile is the aggregated cross-rank view produced by Aggregate.
+type Profile struct {
+	Ranks    int           `json:"ranks"`
+	Phases   []PhaseStat   `json:"phases"`
+	Counters []CounterStat `json:"counters"`
+}
+
+// Phase returns the named phase row (zero value if absent).
+func (p *Profile) Phase(name string) PhaseStat {
+	for _, ph := range p.Phases {
+		if ph.Name == name {
+			return ph
+		}
+	}
+	return PhaseStat{}
+}
+
+// Counter returns the aggregated counter with the given canonical key
+// (zero value if absent).
+func (p *Profile) Counter(key string) CounterStat {
+	for _, c := range p.Counters {
+		if c.Key == key {
+			return c
+		}
+	}
+	return CounterStat{}
+}
+
+// key prefixes distinguishing phases from plain counters in the reduction
+// vector.
+const (
+	aggPhasePrefix   = "p:"
+	aggCounterPrefix = "c:"
+)
+
+// Aggregate reduces every rank's phase accumulators and counters over the
+// communicator — min/mean/max/imbalance per phase via mpi.Reduce, the
+// Table I shape. Collective: every rank of c must call it with its own
+// recorder. The profile is returned at comm rank 0 and nil elsewhere.
+//
+// Ranks need not have recorded identical phase sets (a rank that never ran a
+// phase contributes 0); the key union is established with an Allgather.
+func Aggregate(c *mpi.Comm, rec *Recorder) *Profile {
+	local := make(map[string]float64)
+	for _, ph := range rec.phases {
+		local[aggPhasePrefix+ph.name] = ph.seconds.Value()
+	}
+	for _, s := range rec.reg.Snapshot() {
+		if s.Kind == KindCounter && s.Name != phaseSecondsMetric {
+			local[aggCounterPrefix+s.Key()] = s.Value
+		}
+	}
+
+	mine := make([]string, 0, len(local))
+	for k := range local {
+		mine = append(mine, k)
+	}
+	sort.Strings(mine)
+	seen := make(map[string]bool)
+	var keys []string
+	for _, ranks := range mpi.Allgather(c, mine) {
+		for _, k := range ranks {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+
+	vals := make([]float64, len(keys))
+	for i, k := range keys {
+		vals[i] = local[k]
+	}
+	mins := mpi.Reduce(c, 0, vals, mpi.Min[float64])
+	maxs := mpi.Reduce(c, 0, vals, mpi.Max[float64])
+	sums := mpi.Reduce(c, 0, vals, mpi.Sum[float64])
+	if c.Rank() != 0 {
+		return nil
+	}
+
+	p := &Profile{Ranks: c.Size()}
+	for i, k := range keys {
+		mean := sums[i] / float64(c.Size())
+		if name, ok := strings.CutPrefix(k, aggPhasePrefix); ok {
+			imb := 0.0
+			if mean > 0 {
+				imb = maxs[i] / mean
+			}
+			p.Phases = append(p.Phases, PhaseStat{
+				Name: name, Min: mins[i], Mean: mean, Max: maxs[i], Imbalance: imb,
+			})
+		} else {
+			p.Counters = append(p.Counters, CounterStat{
+				Key: strings.TrimPrefix(k, aggCounterPrefix), Sum: sums[i], Min: mins[i], Mean: mean, Max: maxs[i],
+			})
+		}
+	}
+	return p
+}
+
+// CaptureTraffic folds the world-wide mpi traffic ledger into byte/message
+// counters: totals, per collective-op, and per phase label. Call it once,
+// from one place (the ledger is global, not per-rank), with whichever
+// registry the export will read.
+func CaptureTraffic(reg *Registry, t *mpi.Traffic) {
+	if t == nil {
+		return
+	}
+	reg.Counter("greem_mpi_messages_total").Add(float64(t.TotalMessages()))
+	reg.ByteCounter("greem_mpi_bytes_total").Add(float64(t.TotalBytes()))
+	for op, tot := range t.TotalsByOp() {
+		reg.ByteCounter("greem_mpi_op_bytes_total", L("op", op)).Add(float64(tot.Bytes))
+		reg.Counter("greem_mpi_op_messages_total", L("op", op)).Add(float64(tot.Msgs))
+	}
+	for label, tot := range t.TotalsByLabel() {
+		if label == "" {
+			label = "unlabeled"
+		}
+		reg.ByteCounter("greem_mpi_label_bytes_total", L("label", label)).Add(float64(tot.Bytes))
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"greem/internal/mpi"
+)
+
+// TestAggregateFourRanks reduces known per-rank phase times and counters over
+// a 4-rank comm and checks min/mean/max/imbalance exactly.
+func TestAggregateFourRanks(t *testing.T) {
+	var prof *Profile
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		rec := NewRecorder(c.Rank(), stepClock(time.Millisecond))
+		// Rank r records (r+1)·10ms of pp/force: 10,20,30,40 → mean 25, max 40.
+		rec.AddPhase(PhasePPForce, time.Duration(c.Rank()+1)*10*time.Millisecond)
+		// Only ranks 0 and 1 ever run pm/fft (non-identical phase sets).
+		if c.Rank() < 2 {
+			rec.AddPhase(PhasePMFFT, 5*time.Millisecond)
+		}
+		rec.Registry().FlopCounter("flops_total").AddUint(uint64(100 * (c.Rank() + 1)))
+		if p := Aggregate(c, rec); c.Rank() == 0 {
+			prof = p
+		} else if p != nil {
+			t.Errorf("rank %d received a non-nil profile", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil {
+		t.Fatal("no profile at rank 0")
+	}
+	if prof.Ranks != 4 {
+		t.Errorf("ranks = %d, want 4", prof.Ranks)
+	}
+
+	close := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+	f := prof.Phase(PhasePPForce)
+	if !close(f.Min, 0.01) || !close(f.Mean, 0.025) || !close(f.Max, 0.04) {
+		t.Errorf("pp/force stats = %+v, want min 0.01 mean 0.025 max 0.04", f)
+	}
+	if !close(f.Imbalance, 0.04/0.025) {
+		t.Errorf("pp/force imbalance = %v, want 1.6", f.Imbalance)
+	}
+
+	// Absent ranks contribute 0 to the union phase.
+	fft := prof.Phase(PhasePMFFT)
+	if !close(fft.Min, 0) || !close(fft.Max, 0.005) || !close(fft.Mean, 0.0025) {
+		t.Errorf("pm/fft stats = %+v, want min 0 mean 0.0025 max 0.005", fft)
+	}
+
+	fl := prof.Counter("flops_total")
+	if !close(fl.Sum, 1000) || !close(fl.Min, 100) || !close(fl.Max, 400) || !close(fl.Mean, 250) {
+		t.Errorf("flops stats = %+v, want sum 1000 min 100 mean 250 max 400", fl)
+	}
+
+	// A phase never recorded anywhere returns the zero row.
+	if z := prof.Phase("no/such"); z != (PhaseStat{}) {
+		t.Errorf("absent phase = %+v", z)
+	}
+}
+
+func TestCaptureTraffic(t *testing.T) {
+	var tr *mpi.Traffic
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			tr = c.Traffic()
+			tr.SetLabel("ghosts")
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			mpi.Send(c, 1, 0, []float64{1, 2})
+		} else {
+			mpi.Recv[float64](c, 0, 0)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	CaptureTraffic(reg, tr)
+	if got := reg.Counter("greem_mpi_messages_total").Value(); got != float64(tr.TotalMessages()) {
+		t.Errorf("messages counter = %v, want %v", got, tr.TotalMessages())
+	}
+	if got := reg.ByteCounter("greem_mpi_bytes_total").Value(); got != float64(tr.TotalBytes()) {
+		t.Errorf("bytes counter = %v, want %v", got, tr.TotalBytes())
+	}
+	if got := reg.ByteCounter("greem_mpi_op_bytes_total", L("op", "Send")).Value(); got != 16 {
+		t.Errorf("Send op bytes = %v, want 16", got)
+	}
+	if got := reg.ByteCounter("greem_mpi_label_bytes_total", L("label", "ghosts")).Value(); got < 16 {
+		t.Errorf("ghosts label bytes = %v, want ≥ 16", got)
+	}
+	// Nil ledger must be a no-op, not a panic.
+	CaptureTraffic(NewRegistry(), nil)
+}

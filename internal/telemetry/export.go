@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// --- Prometheus text format ---
+
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + "=" + strconv.Quote(l.Value)
+	}
+	return s + "}"
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writePromSnapshots renders snapshots already carrying any rank labels.
+// TYPE/HELP headers are emitted once per metric name (snapshots are sorted
+// by name).
+func writePromSnapshots(w *bufio.Writer, snaps []MetricSnapshot) {
+	lastName := ""
+	for _, s := range snaps {
+		if s.Name != lastName {
+			if s.Unit != "" {
+				fmt.Fprintf(w, "# HELP %s (unit: %s)\n", s.Name, s.Unit)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind)
+			lastName = s.Name
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for _, b := range s.Bucket {
+				ls := append(append([]Label(nil), s.Labels...), L("le", promFloat(b.UpperBound)))
+				fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(ls), b.Count)
+			}
+			inf := append(append([]Label(nil), s.Labels...), L("le", "+Inf"))
+			fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(inf), s.Count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels), s.Count)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Value))
+		}
+	}
+}
+
+// WritePrometheus renders one registry in the Prometheus text exposition
+// format, deterministically ordered.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	writePromSnapshots(bw, reg.Snapshot())
+	return bw.Flush()
+}
+
+// WritePrometheusRanks renders every rank's registry with a rank="<r>" label
+// appended, so one scrape shows the whole world.
+func WritePrometheusRanks(w io.Writer, recs []*Recorder) error {
+	bw := bufio.NewWriter(w)
+	var all []MetricSnapshot
+	for _, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		for _, s := range rec.Registry().Snapshot() {
+			s.Labels = append(append([]Label(nil), s.Labels...), L("rank", strconv.Itoa(rec.Rank())))
+			all = append(all, s)
+		}
+	}
+	// Snapshots arrive sorted per rank; re-sort globally so names group.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Name != all[j].Name {
+			return all[i].Name < all[j].Name
+		}
+		return all[i].Key() < all[j].Key()
+	})
+	writePromSnapshots(bw, all)
+	return bw.Flush()
+}
+
+// --- JSON ---
+
+// WriteJSON renders an aggregated profile as indented JSON.
+func WriteJSON(w io.Writer, p *Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteRegistryJSON renders one registry's snapshot as indented JSON.
+func WriteRegistryJSON(w io.Writer, reg *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reg.Snapshot())
+}
+
+// --- Chrome trace-event JSON (Perfetto / chrome://tracing) ---
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders each rank's span timeline as Chrome trace-event
+// JSON: one thread (tid = rank) per rank, complete ("X") events with
+// microsecond timestamps relative to each recorder's epoch. Load the file in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	for _, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: rec.Rank(),
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rec.Rank())},
+		})
+		for _, ev := range rec.Events() {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name:  ev.Name,
+				Phase: "X",
+				TS:    float64(ev.Start.Nanoseconds()) / 1e3,
+				Dur:   float64(ev.Dur.Nanoseconds()) / 1e3,
+				PID:   0,
+				TID:   rec.Rank(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tf)
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorders builds two ranks' worth of deterministic telemetry: the
+// fake clock makes every span duration and timestamp exact, so the exporter
+// output is byte-stable.
+func goldenRecorders() []*Recorder {
+	recs := make([]*Recorder, 2)
+	for rank := range recs {
+		rec := NewRecorder(rank, stepClock(time.Millisecond))
+		rec.EnableTrace(true)
+		pp := rec.Start(SpanPP)
+		comm := rec.Start(PhasePPComm)
+		comm.End()
+		walk := rec.Start(PhasePPTreeWalk)
+		walk.End()
+		pp.End()
+		rec.AddPhase(PhasePPForce, time.Duration(rank+1)*2*time.Millisecond)
+		rec.Registry().FlopCounter("greem_pp_kernel_flops_total").AddUint(uint64(5100 * (rank + 1)))
+		rec.Registry().Gauge("greem_local_particles").Set(float64(1000 + rank))
+		recs[rank] = rec
+	}
+	return recs
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file (run with -update to regenerate)\ngot:\n%s", name, got)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheusRanks(&buf, goldenRecorders()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.prom", buf.Bytes())
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenRecorders()...); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.golden.json", buf.Bytes())
+}
+
+// TestChromeTraceShape validates the trace against the format contract rather
+// than bytes: valid JSON, one thread-name metadata record per rank, events
+// carrying that rank's tid.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	recs := goldenRecorders()
+	if err := WriteChromeTrace(&buf, recs...); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	meta := map[int]bool{}
+	events := map[int]int{}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Errorf("unexpected metadata record %q", ev.Name)
+			}
+			meta[ev.TID] = true
+		case "X":
+			events[ev.TID]++
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Errorf("negative timestamp in %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Phase)
+		}
+	}
+	for _, rec := range recs {
+		if !meta[rec.Rank()] {
+			t.Errorf("rank %d missing thread_name metadata", rec.Rank())
+		}
+		if events[rec.Rank()] != len(rec.Events()) {
+			t.Errorf("rank %d: %d trace events, recorder holds %d",
+				rec.Rank(), events[rec.Rank()], len(rec.Events()))
+		}
+	}
+}
+
+// TestPrometheusShape validates label rendering and histogram series without
+// relying on exact bytes.
+func TestPrometheusShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRecorders()[0].Registry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE greem_phase_seconds_total counter",
+		"# HELP greem_phase_seconds_total (unit: seconds)",
+		"# TYPE greem_span_seconds histogram",
+		"# TYPE greem_pp_kernel_flops_total counter",
+		"# TYPE greem_local_particles gauge",
+		`greem_phase_seconds_total{phase="pp/comm"}`,
+		`greem_span_seconds_bucket{phase="PP",le="+Inf"}`,
+		`greem_span_seconds_count{phase="PP"} 1`,
+		"greem_pp_kernel_flops_total 5100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONProfile(t *testing.T) {
+	p := &Profile{
+		Ranks:    2,
+		Phases:   []PhaseStat{{Name: PhasePPForce, Min: 1, Mean: 1.5, Max: 2, Imbalance: 2.0 / 1.5}},
+		Counters: []CounterStat{{Key: "flops_total", Sum: 3, Min: 1, Mean: 1.5, Max: 2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Ranks != 2 || len(back.Phases) != 1 || back.Phases[0].Name != PhasePPForce {
+		t.Errorf("JSON round trip: %+v", back)
+	}
+}

@@ -1,0 +1,235 @@
+package telemetry
+
+import "time"
+
+// Clock supplies the current time. Injectable so span tests and golden-file
+// exporter tests are deterministic; nil selects time.Now.
+type Clock func() time.Time
+
+// Canonical span and phase names. Top-level spans ("PM", "PP", "DD") carry
+// the paper's step-cycle structure (one step = 1 PM + 2 PP + 2 DD) into the
+// per-rank trace; the slash-separated phases are the Table I rows.
+const (
+	SpanPM = "PM"
+	SpanPP = "PP"
+	SpanDD = "DD"
+
+	PhasePMDensity   = "pm/density"
+	PhasePMComm      = "pm/comm"
+	PhasePMFFT       = "pm/fft"
+	PhasePMMeshForce = "pm/mesh_force"
+	PhasePMInterp    = "pm/interp"
+
+	PhasePPLocalTree  = "pp/local_tree"
+	PhasePPComm       = "pp/comm"
+	PhasePPTreeConstr = "pp/tree_construction"
+	// PhasePPTreeWalk is the fused traversal+force span as it happens on the
+	// timeline; the accumulator splits it into PhasePPTraverse and
+	// PhasePPForce using the kernel's own clock (tree.Stats.KernelSeconds).
+	PhasePPTreeWalk = "pp/tree_walk"
+	PhasePPTraverse = "pp/traversal"
+	PhasePPForce    = "pp/force"
+
+	PhaseDDPosUpdate = "dd/pos_update"
+	PhaseDDSampling  = "dd/sampling"
+	PhaseDDExchange  = "dd/exchange"
+)
+
+// phaseSecondsMetric is the registry metric name under which per-phase
+// wall-clock accumulates (label phase=<name>).
+const phaseSecondsMetric = "greem_phase_seconds_total"
+
+// spanSecondsMetric is the per-phase span-duration histogram.
+const spanSecondsMetric = "greem_span_seconds"
+
+// maxTraceEvents bounds the per-rank trace buffer so a long tracing run
+// cannot exhaust memory; overflow is counted in DroppedEvents.
+const maxTraceEvents = 1 << 20
+
+// SpanEvent is one completed span on a rank's timeline.
+type SpanEvent struct {
+	Name  string
+	Start time.Duration // since the recorder's epoch
+	Dur   time.Duration
+	Depth int32 // nesting depth at the time the span was open (0 = top level)
+}
+
+// phase is one named wall-clock accumulator with its duration histogram.
+type phase struct {
+	name    string
+	seconds *Counter
+	hist    *Histogram
+}
+
+// Recorder collects spans and metrics for one rank. It is rank-local: all
+// methods must be called from the owning goroutine (exporters and Aggregate
+// read it only collectively or after the world has finished). The zero
+// overhead budget on hot paths is met by doing, per span, two clock reads,
+// one slice append (amortized, preallocated) and one float add — no locks,
+// no allocation after warm-up.
+type Recorder struct {
+	rank  int
+	clock Clock
+	epoch time.Time
+	reg   *Registry
+
+	phaseIdx map[string]int
+	phases   []phase
+
+	depth int32
+
+	trace  bool
+	events []SpanEvent
+
+	// DroppedEvents counts trace events discarded after the buffer filled.
+	DroppedEvents int64
+}
+
+// NewRecorder creates a recorder for the given rank. A nil clock selects
+// time.Now. The epoch (span timestamp zero) is the creation instant.
+func NewRecorder(rank int, clock Clock) *Recorder {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Recorder{
+		rank:     rank,
+		clock:    clock,
+		epoch:    clock(),
+		reg:      NewRegistry(),
+		phaseIdx: make(map[string]int),
+	}
+}
+
+// Rank returns the rank this recorder belongs to.
+func (r *Recorder) Rank() int { return r.rank }
+
+// Registry returns the rank's metrics registry.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// EnableTrace turns timeline-event recording on or off. Off (the default)
+// keeps only the phase accumulators and histograms.
+func (r *Recorder) EnableTrace(on bool) {
+	if r == nil {
+		return
+	}
+	r.trace = on
+}
+
+// TraceEnabled reports whether timeline events are being recorded.
+func (r *Recorder) TraceEnabled() bool { return r != nil && r.trace }
+
+// now returns the clock reading relative to the epoch.
+func (r *Recorder) now() time.Duration { return r.clock().Sub(r.epoch) }
+
+// PhaseID interns a phase name and returns its id for StartID/AddPhaseID,
+// letting hot paths skip the map lookup.
+func (r *Recorder) PhaseID(name string) int {
+	if id, ok := r.phaseIdx[name]; ok {
+		return id
+	}
+	id := len(r.phases)
+	r.phaseIdx[name] = id
+	r.phases = append(r.phases, phase{
+		name:    name,
+		seconds: r.reg.SecondsCounter(phaseSecondsMetric, L("phase", name)),
+		hist:    r.reg.Histogram(spanSecondsMetric, L("phase", name)),
+	})
+	return id
+}
+
+// Span is an open interval on a rank's timeline. It is a value type; ending
+// it does not allocate. Spans must nest (LIFO) on each recorder.
+type Span struct {
+	r     *Recorder
+	pi    int32
+	start time.Duration
+	depth int32
+}
+
+// Start opens a span for the named phase. Safe on a nil recorder (returns an
+// inert span).
+func (r *Recorder) Start(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return r.StartID(r.PhaseID(name))
+}
+
+// StartID opens a span for an interned phase id.
+func (r *Recorder) StartID(id int) Span {
+	if r == nil {
+		return Span{}
+	}
+	s := Span{r: r, pi: int32(id), start: r.now(), depth: r.depth}
+	r.depth++
+	return s
+}
+
+// End closes the span, accumulates its duration into the phase counter and
+// histogram, appends a trace event when tracing, and returns the duration.
+func (s Span) End() time.Duration {
+	r := s.r
+	if r == nil {
+		return 0
+	}
+	dur := r.now() - s.start
+	if dur < 0 {
+		dur = 0
+	}
+	ph := &r.phases[s.pi]
+	sec := dur.Seconds()
+	ph.seconds.Add(sec)
+	ph.hist.Observe(sec)
+	r.depth = s.depth
+	if r.trace {
+		if len(r.events) < maxTraceEvents {
+			r.events = append(r.events, SpanEvent{Name: ph.name, Start: s.start, Dur: dur, Depth: s.depth})
+		} else {
+			r.DroppedEvents++
+		}
+	}
+	return dur
+}
+
+// AddPhase accumulates d into the named phase without emitting a trace
+// event — used when an already-measured duration must be attributed to a
+// phase (e.g. splitting the fused tree walk into traversal and force).
+func (r *Recorder) AddPhase(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	ph := &r.phases[r.PhaseID(name)]
+	sec := d.Seconds()
+	ph.seconds.Add(sec)
+	ph.hist.Observe(sec)
+}
+
+// PhaseSeconds returns the accumulated wall-clock of a phase in seconds
+// (0 for a phase never recorded).
+func (r *Recorder) PhaseSeconds(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	if id, ok := r.phaseIdx[name]; ok {
+		return r.phases[id].seconds.Value()
+	}
+	return 0
+}
+
+// PhaseNames returns the recorded phase names in registration order.
+func (r *Recorder) PhaseNames() []string {
+	out := make([]string, len(r.phases))
+	for i, p := range r.phases {
+		out[i] = p.name
+	}
+	return out
+}
+
+// Events returns the recorded timeline (shared backing array; treat as
+// read-only).
+func (r *Recorder) Events() []SpanEvent {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// stepClock returns a Clock that advances by step on every reading, starting
+// at the Unix epoch. NewRecorder consumes reading 0 for its epoch, so the
+// first span start lands at exactly one step.
+func stepClock(step time.Duration) Clock {
+	var n int64
+	base := time.Unix(0, 0)
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * step)
+		n++
+		return t
+	}
+}
+
+func TestSpanNestingDeterministic(t *testing.T) {
+	rec := NewRecorder(3, stepClock(time.Millisecond))
+	rec.EnableTrace(true)
+
+	// Clock readings (ms): epoch=0, outer.start=1, inner.start=2, inner.end=3,
+	// inner2.start=4, inner2.end=5, outer.end=6.
+	outer := rec.Start(SpanPP)
+	inner := rec.Start(PhasePPComm)
+	if d := inner.End(); d != time.Millisecond {
+		t.Errorf("inner span = %v, want 1ms", d)
+	}
+	inner2 := rec.Start(PhasePPTreeConstr)
+	if d := inner2.End(); d != time.Millisecond {
+		t.Errorf("inner2 span = %v, want 1ms", d)
+	}
+	if d := outer.End(); d != 5*time.Millisecond {
+		t.Errorf("outer span = %v, want 5ms", d)
+	}
+
+	if got := rec.PhaseSeconds(SpanPP); got != 0.005 {
+		t.Errorf("PP seconds = %v, want 0.005", got)
+	}
+	if got := rec.PhaseSeconds(PhasePPComm); got != 0.001 {
+		t.Errorf("pp/comm seconds = %v, want 0.001", got)
+	}
+	if got := rec.PhaseSeconds("never/ran"); got != 0 {
+		t.Errorf("unrecorded phase = %v, want 0", got)
+	}
+
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	// Events appear in completion order; depth captures nesting.
+	want := []struct {
+		name  string
+		start time.Duration
+		dur   time.Duration
+		depth int32
+	}{
+		{PhasePPComm, 2 * time.Millisecond, time.Millisecond, 1},
+		{PhasePPTreeConstr, 4 * time.Millisecond, time.Millisecond, 1},
+		{SpanPP, 1 * time.Millisecond, 5 * time.Millisecond, 0},
+	}
+	for i, w := range want {
+		e := evs[i]
+		if e.Name != w.name || e.Start != w.start || e.Dur != w.dur || e.Depth != w.depth {
+			t.Errorf("event %d = %+v, want %+v", i, e, w)
+		}
+	}
+}
+
+func TestAddPhaseAccumulates(t *testing.T) {
+	rec := NewRecorder(0, stepClock(time.Millisecond))
+	rec.AddPhase(PhasePPForce, 30*time.Millisecond)
+	rec.AddPhase(PhasePPForce, 20*time.Millisecond)
+	if got := rec.PhaseSeconds(PhasePPForce); got != 0.05 {
+		t.Errorf("pp/force = %v, want 0.05", got)
+	}
+	// AddPhase must not emit trace events even when tracing.
+	rec2 := NewRecorder(0, stepClock(time.Millisecond))
+	rec2.EnableTrace(true)
+	rec2.AddPhase(PhasePPForce, time.Millisecond)
+	if len(rec2.Events()) != 0 {
+		t.Errorf("AddPhase emitted %d trace events", len(rec2.Events()))
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	rec := NewRecorder(0, stepClock(time.Millisecond))
+	sp := rec.Start(SpanPM)
+	sp.End()
+	if len(rec.Events()) != 0 {
+		t.Error("events recorded with tracing off")
+	}
+	if rec.PhaseSeconds(SpanPM) == 0 {
+		t.Error("phase accumulator must work with tracing off")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *Recorder
+	sp := rec.Start(SpanPM)
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil recorder span = %v", d)
+	}
+	rec.AddPhase(SpanPM, time.Second)
+	rec.EnableTrace(true)
+	if rec.TraceEnabled() {
+		t.Error("nil recorder reports tracing enabled")
+	}
+	if rec.PhaseSeconds(SpanPM) != 0 || rec.Events() != nil {
+		t.Error("nil recorder returned data")
+	}
+}
+
+func TestPhaseIDInterning(t *testing.T) {
+	rec := NewRecorder(0, stepClock(time.Millisecond))
+	id := rec.PhaseID(PhasePMFFT)
+	if rec.PhaseID(PhasePMFFT) != id {
+		t.Error("PhaseID not stable")
+	}
+	sp := rec.StartID(id)
+	sp.End()
+	if rec.PhaseSeconds(PhasePMFFT) != 0.001 {
+		t.Errorf("StartID did not accumulate: %v", rec.PhaseSeconds(PhasePMFFT))
+	}
+	names := rec.PhaseNames()
+	if len(names) != 1 || names[0] != PhasePMFFT {
+		t.Errorf("PhaseNames = %v", names)
+	}
+}
+
+// TestSpanHistogram checks each span duration lands one observation in the
+// per-phase histogram.
+func TestSpanHistogram(t *testing.T) {
+	rec := NewRecorder(0, stepClock(time.Millisecond))
+	for i := 0; i < 4; i++ {
+		sp := rec.Start(PhasePMFFT)
+		sp.End()
+	}
+	for _, s := range rec.Registry().Snapshot() {
+		if s.Name == spanSecondsMetric {
+			if s.Count != 4 {
+				t.Errorf("histogram count = %d, want 4", s.Count)
+			}
+			return
+		}
+	}
+	t.Error("span histogram not registered")
+}

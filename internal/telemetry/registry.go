@@ -1,0 +1,265 @@
+// Package telemetry is the observability layer of the reproduction: a
+// per-rank metrics registry (counters, gauges, log-bucketed histograms, and
+// dedicated flop/byte counters), lightweight nestable spans for per-phase
+// wall-clock, collective cross-rank profile aggregation over an mpi.Comm
+// (min/mean/max/imbalance per phase — the shape of the paper's Table I), and
+// exporters to Prometheus text format, JSON, and Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing).
+//
+// The paper derives its headline evidence from the Fujitsu sampling profiler;
+// our substitute is this package. Ranks are goroutines, so every Recorder is
+// rank-local by design: no locks or atomics are taken on the recording path,
+// and cross-rank views are produced only by the collective Aggregate or by
+// the exporters after the world has finished.
+//
+// The clock is injectable so span tests are deterministic.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates metric types.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one key="value" dimension of a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value. Not safe for concurrent use:
+// counters belong to one rank (one goroutine).
+type Counter struct{ v float64 }
+
+// Add increments the counter by d (d must be ≥ 0).
+func (c *Counter) Add(d float64) { c.v += d }
+
+// AddUint increments the counter by n.
+func (c *Counter) AddUint(n uint64) { c.v += float64(n) }
+
+// Value returns the current value.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// histMinExp is the exponent of the smallest histogram bucket: bucket i
+// covers [2^(histMinExp+i), 2^(histMinExp+i+1)). With 64 buckets the range
+// spans ~1 ns to ~2×10^10 when observing seconds.
+const histMinExp = -30
+
+// histBuckets is the number of log2 buckets.
+const histBuckets = 64
+
+// Histogram accumulates observations into power-of-two buckets — the
+// log-bucketed shape a sampling profiler produces, cheap enough for the
+// recording path (one Ilogb + one increment).
+type Histogram struct {
+	counts [histBuckets]uint64
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := 0
+	if v > 0 {
+		idx = math.Ilogb(v) - histMinExp
+		if idx < 0 {
+			idx = 0
+		} else if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) float64 { return math.Ldexp(1, histMinExp+i+1) }
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	labels []Label
+	kind   Kind
+	unit   string // free-form unit hint ("seconds", "flops", "bytes")
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry owns a rank's metrics. Like Recorder it is rank-local: method
+// calls must come from the owning goroutine (or after the world finished).
+type Registry struct {
+	byKey map[string]*metric
+	order []*metric // registration order; Snapshot sorts a copy
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// metricKey canonicalizes a (name, labels) pair.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) lookup(name string, labels []Label, kind Kind, unit string) *metric {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	key := metricKey(name, sorted)
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %v (was %v)", key, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: sorted, kind: kind, unit: unit}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{}
+	case KindGauge:
+		m.g = &Gauge{}
+	case KindHistogram:
+		m.h = &Histogram{}
+	}
+	r.byKey[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, KindCounter, "").c
+}
+
+// FlopCounter returns a counter whose unit is floating-point operations.
+func (r *Registry) FlopCounter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, KindCounter, "flops").c
+}
+
+// ByteCounter returns a counter whose unit is bytes.
+func (r *Registry) ByteCounter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, KindCounter, "bytes").c
+}
+
+// SecondsCounter returns a counter whose unit is seconds.
+func (r *Registry) SecondsCounter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, KindCounter, "seconds").c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, labels, KindGauge, "").g
+}
+
+// Histogram returns (registering on first use) the named histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.lookup(name, labels, KindHistogram, "").h
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"` // cumulative
+}
+
+// MetricSnapshot is the exportable state of one metric.
+type MetricSnapshot struct {
+	Name   string        `json:"name"`
+	Labels []Label       `json:"labels,omitempty"`
+	Kind   Kind          `json:"-"`
+	Unit   string        `json:"unit,omitempty"`
+	Value  float64       `json:"value"`            // counter/gauge
+	Sum    float64       `json:"sum,omitempty"`    // histogram
+	Count  uint64        `json:"n,omitempty"`      // histogram
+	Bucket []BucketCount `json:"bucket,omitempty"` // histogram, cumulative
+}
+
+// Key returns the canonical name{labels} identity of the snapshot.
+func (s MetricSnapshot) Key() string { return metricKey(s.Name, s.Labels) }
+
+// Snapshot returns the registry state sorted by (name, labels) for
+// deterministic export.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	out := make([]MetricSnapshot, 0, len(r.order))
+	for _, m := range r.order {
+		s := MetricSnapshot{Name: m.name, Labels: m.labels, Kind: m.kind, Unit: m.unit}
+		switch m.kind {
+		case KindCounter:
+			s.Value = m.c.Value()
+		case KindGauge:
+			s.Value = m.g.Value()
+		case KindHistogram:
+			s.Sum = m.h.sum
+			s.Count = m.h.n
+			var cum uint64
+			for i, c := range m.h.counts {
+				if c == 0 {
+					continue
+				}
+				cum += c
+				s.Bucket = append(s.Bucket, BucketCount{UpperBound: BucketBound(i), Count: cum})
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("work_total")
+	c.Add(2.5)
+	c.AddUint(3)
+	if c.Value() != 5.5 {
+		t.Errorf("counter = %v, want 5.5", c.Value())
+	}
+	// Same (name, labels) returns the same instrument.
+	if r.Counter("work_total") != c {
+		t.Error("re-lookup returned a different counter")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %v, want 5", g.Value())
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("b", "2"), L("a", "1"))
+	b := r.Counter("m", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Error("label order created distinct metrics")
+	}
+	if r.Counter("m", L("a", "other"), L("b", "2")) == a {
+		t.Error("different label values shared a metric")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)     // lands in bucket 0
+	h.Observe(1e-12) // below the smallest bound → bucket 0
+	h.Observe(0.75)  // Ilogb = -1
+	h.Observe(1.5)   // Ilogb = 0
+	h.Observe(1e300) // beyond the last bucket → clamped
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := 0.75 + 1.5 + 1e-12 + 1e300; h.sum != want {
+		t.Errorf("sum = %v, want %v", h.sum, want)
+	}
+	// Every observation must be ≤ its bucket's upper bound.
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if BucketBound(i) <= 0 {
+			t.Errorf("bucket %d has non-positive bound %v", i, BucketBound(i))
+		}
+	}
+	// 0.75 ∈ (0.5, 1]: Ilogb(0.75) = -1, so its bound is 2^0 = 1.
+	idx := math.Ilogb(0.75) - histMinExp
+	if h.counts[idx] != 1 || BucketBound(idx) != 1 {
+		t.Errorf("0.75 in bucket %d (bound %v, count %d), want bound 1",
+			idx, BucketBound(idx), h.counts[idx])
+	}
+}
+
+func TestSnapshotSortedAndCumulative(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total").Add(1)
+	r.Counter("a_total").Add(2)
+	h := r.Histogram("lat")
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(4)
+
+	snaps := r.Snapshot()
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Key() > snaps[i].Key() {
+			t.Errorf("snapshot not sorted: %q > %q", snaps[i-1].Key(), snaps[i].Key())
+		}
+	}
+	var hs *MetricSnapshot
+	for i := range snaps {
+		if snaps[i].Name == "lat" {
+			hs = &snaps[i]
+		}
+	}
+	if hs == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 3 || hs.Sum != 4.5 {
+		t.Errorf("histogram snapshot count=%d sum=%v", hs.Count, hs.Sum)
+	}
+	// Buckets must be cumulative and end at the total count.
+	var last uint64
+	for _, b := range hs.Bucket {
+		if b.Count < last {
+			t.Errorf("bucket counts not cumulative: %v", hs.Bucket)
+		}
+		last = b.Count
+	}
+	if last != hs.Count {
+		t.Errorf("last cumulative bucket %d != count %d", last, hs.Count)
+	}
+}

@@ -487,6 +487,13 @@ type Stats struct {
 	KernelSeconds float64
 }
 
+// Flops returns the floating-point operations implied by the interaction
+// count under the kernel's 51-op ledger (§II-A) — the number the telemetry
+// flop counter accumulates to report modeled Gflops.
+func (s Stats) Flops() uint64 {
+	return s.Interactions * uint64(ppkern.FlopsPerInteraction)
+}
+
 // MeanNi returns ⟨Ni⟩.
 func (s Stats) MeanNi() float64 {
 	if s.Groups == 0 {

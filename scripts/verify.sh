@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md): build, vet and test everything,
+# then a short -race pass over the concurrency-bearing packages (ranks are
+# goroutines: mpi collectives, sim step loop, telemetry recorders).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/
