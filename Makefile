@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench
+.PHONY: verify build vet test race bench bench-fft
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -17,7 +17,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/fft/ ./internal/pfft/
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
+
+# bench-fft: the r2c before/after evidence — 1-D/3-D kernel rates, the
+# distributed transpose byte ledgers, and the PM solve Gflops.
+bench-fft:
+	$(GO) test -run NONE -bench 'RealFFT' -benchmem ./internal/fft/
+	$(GO) test -run NONE -bench 'Solve(64|128)' -benchmem ./internal/mesh/
+	$(GO) test -run NONE -bench 'PencilVsSlabFFT|Fig5RelayVsNaive' -benchmem .

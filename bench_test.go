@@ -219,7 +219,7 @@ func BenchmarkFig3LoadBalance(b *testing.B) {
 
 // --- Fig. 5 / §II-B relay mesh ---
 
-func benchPMCycle(b *testing.B, relay bool, groups int) {
+func benchPMCycle(b *testing.B, relay bool, groups int, complexFFT bool) {
 	x, y, z, m := uniformSet(5, 4096)
 	geo := domain.Uniform(4, 2, 2, 1)
 	owner := make([][]int, 16)
@@ -227,8 +227,9 @@ func benchPMCycle(b *testing.B, relay bool, groups int) {
 		r := geo.Find(vec.V3{X: x[i], Y: y[i], Z: z[i]})
 		owner[r] = append(owner[r], i)
 	}
-	cfg := pmpar.Config{N: 32, L: 1, G: 1, Rcut: 3.0 / 32, NFFT: 8, Relay: relay, Groups: groups}
+	cfg := pmpar.Config{N: 32, L: 1, G: 1, Rcut: 3.0 / 32, NFFT: 8, Relay: relay, Groups: groups, ComplexFFT: complexFFT}
 	var modeled float64
+	var a2aBytes int64
 	machine := perfmodel.KComputer()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -255,6 +256,7 @@ func benchPMCycle(b *testing.B, relay bool, groups int) {
 			c.Barrier()
 			if c.Rank() == 0 {
 				ops = c.Traffic().Ops()
+				a2aBytes = c.Traffic().TotalsByOp()["Alltoallv"].Bytes
 			}
 		})
 		if err != nil {
@@ -263,11 +265,16 @@ func benchPMCycle(b *testing.B, relay bool, groups int) {
 		modeled, _ = machine.ReplayOps(ops)
 	}
 	b.ReportMetric(modeled, "modeled-comm-s")
+	b.ReportMetric(float64(a2aBytes), "alltoall-B")
 }
 
 func BenchmarkFig5RelayVsNaive(b *testing.B) {
-	b.Run("naive", func(b *testing.B) { benchPMCycle(b, false, 1) })
-	b.Run("relay2", func(b *testing.B) { benchPMCycle(b, true, 2) })
+	b.Run("naive", func(b *testing.B) { benchPMCycle(b, false, 1, false) })
+	b.Run("relay2", func(b *testing.B) { benchPMCycle(b, true, 2, false) })
+	// Complex-FFT reference paths: the before side of the r2c before/after
+	// (identical conversions, full-spectrum transposes).
+	b.Run("naive-complexfft", func(b *testing.B) { benchPMCycle(b, false, 1, true) })
+	b.Run("relay2-complexfft", func(b *testing.B) { benchPMCycle(b, true, 2, true) })
 }
 
 // BenchmarkRelayPaperScaleModel evaluates the analytic §II-B model at the
@@ -500,9 +507,20 @@ func BenchmarkPureTreeVsTreePM(b *testing.B) {
 
 func BenchmarkPencilVsSlabFFT(b *testing.B) {
 	const n = 32
+	// Each subrun reports the all-to-all bytes of one forward+inverse
+	// transform pair so the r2c halving of transpose traffic is visible
+	// next to the wall-clock numbers.
+	var a2aBytes int64
 	run := func(b *testing.B, f func()) {
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			f()
+		}
+		b.ReportMetric(float64(a2aBytes), "alltoall-B")
+	}
+	grab := func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			a2aBytes = c.Traffic().TotalsByOp()["Alltoallv"].Bytes
 		}
 	}
 	b.Run("slab-4ranks", func(b *testing.B) {
@@ -515,6 +533,25 @@ func BenchmarkPencilVsSlabFFT(b *testing.B) {
 				local := make([]complex128, plan.LocalSize())
 				plan.Forward(local)
 				plan.Inverse(local)
+				grab(c)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("slab-real-4ranks", func(b *testing.B) {
+		run(b, func() {
+			err := mpi.Run(4, func(c *mpi.Comm) {
+				plan, err := pfft.NewPlan(c, n)
+				if err != nil {
+					panic(err)
+				}
+				local := make([]float64, plan.LocalSize())
+				spec := make([]complex128, plan.LocalSpecSize())
+				plan.ForwardReal(local, spec)
+				plan.InverseReal(spec, local)
+				grab(c)
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -531,6 +568,24 @@ func BenchmarkPencilVsSlabFFT(b *testing.B) {
 				in := make([]complex128, plan.InSize())
 				out := plan.Forward(in)
 				plan.Inverse(out)
+				grab(c)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("pencil-real-4x4ranks", func(b *testing.B) {
+		run(b, func() {
+			err := mpi.Run(16, func(c *mpi.Comm) {
+				plan, err := pfft.NewPencilPlan(c, n, 4, 4)
+				if err != nil {
+					panic(err)
+				}
+				in := make([]float64, plan.InSize())
+				out := plan.ForwardReal(in)
+				plan.InverseReal(out)
+				grab(c)
 			})
 			if err != nil {
 				b.Fatal(err)

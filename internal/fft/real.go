@@ -1,0 +1,238 @@
+// Real-input transforms. The PM density mesh is purely real, so its spectrum
+// is Hermitian: X[n−k] = conj(X[k]). Storing only the non-negative-frequency
+// half (n/2+1 entries) halves the arithmetic, the buffer memory, and — in the
+// slab/pencil parallel transforms built on top — the bytes moved through the
+// all-to-all transposes. This is the stdlib substitute for FFTW's r2c/c2r
+// interface (the paper's PM phase runs FFTW 3.3 real transforms, §II-B).
+//
+// Conventions match Plan: Forward computes the unscaled DFT
+// X[k] = Σ_j x[j]·exp(−2πi·kj/N) for k ∈ [0, N/2], and Inverse is its exact
+// inverse (the 1/N scaling folded in), so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// RealPlan computes length-n transforms of real input via one half-length
+// complex FFT: the n reals are packed as n/2 complex numbers, transformed,
+// and untangled into the n/2+1 Hermitian half-spectrum. A RealPlan carries
+// scratch state and must not be used from multiple goroutines concurrently.
+type RealPlan struct {
+	n, m int   // m = n/2
+	half *Plan // length-m complex plan
+	// w[k] = exp(−2πi·k/n) for k ≤ m: the untangling twiddles.
+	w    []complex128
+	pack []complex128 // scratch: packed half-length signal
+}
+
+// NewRealPlan creates a plan for length-n real transforms. n must be a power
+// of two and at least 2 (the packing needs an even length).
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: real transform length %d is not a power of two ≥ 2", n)
+	}
+	m := n / 2
+	half, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	p := &RealPlan{n: n, m: m, half: half}
+	p.w = make([]complex128, m+1)
+	for k := range p.w {
+		theta := -2 * math.Pi * float64(k) / float64(n)
+		p.w[k] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	p.pack = make([]complex128, m)
+	return p, nil
+}
+
+// MustRealPlan is NewRealPlan that panics on error.
+func MustRealPlan(n int) *RealPlan {
+	p, err := NewRealPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the real signal length.
+func (p *RealPlan) N() int { return p.n }
+
+// NSpec returns the stored half-spectrum length n/2+1.
+func (p *RealPlan) NSpec() int { return p.m + 1 }
+
+// Forward computes the half-spectrum of the real signal x into out.
+// len(x) must be N() and len(out) must be NSpec(). out[0] and out[N/2] are
+// real; the remaining modes k ∈ (N/2, N) are implied by conjugate symmetry.
+func (p *RealPlan) Forward(x []float64, out []complex128) {
+	if len(x) != p.n || len(out) != p.m+1 {
+		panic(fmt.Sprintf("fft: real forward lengths (%d, %d) do not match plan (%d, %d)",
+			len(x), len(out), p.n, p.m+1))
+	}
+	m := p.m
+	z := p.pack
+	for j := 0; j < m; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.half.Forward(z)
+	// Untangle: Z holds FFT(even) + i·FFT(odd) superposed. With
+	// E[k] = (Z[k]+conj(Z[m−k]))/2 and O[k] = −i·(Z[k]−conj(Z[m−k]))/2
+	// (indices mod m, both Hermitian halves of real subsequences),
+	// X[k] = E[k] + w^k·O[k] for k ∈ [0, m].
+	for k := 0; k <= m; k++ {
+		zk := z[k%m]
+		zc := z[(m-k)%m]
+		zmk := complex(real(zc), -imag(zc))
+		e := (zk + zmk) * 0.5
+		o := (zk - zmk) * complex(0, -0.5)
+		out[k] = e + p.w[k]*o
+	}
+}
+
+// Inverse reconstructs the real signal from its half-spectrum: out is the
+// exact inverse of Forward (1/N scaling included). in is not modified.
+// len(in) must be NSpec() and len(out) must be N().
+func (p *RealPlan) Inverse(in []complex128, out []float64) {
+	if len(in) != p.m+1 || len(out) != p.n {
+		panic(fmt.Sprintf("fft: real inverse lengths (%d, %d) do not match plan (%d, %d)",
+			len(in), len(out), p.m+1, p.n))
+	}
+	m := p.m
+	z := p.pack
+	// Re-entangle: E[k] = (X[k]+conj(X[m−k]))/2, O[k] = w^{−k}·(X[k]−conj(X[m−k]))/2,
+	// Z[k] = E[k] + i·O[k]; then the half-length inverse unpacks the pairs.
+	for k := 0; k < m; k++ {
+		xk := in[k]
+		xc := in[m-k]
+		xmk := complex(real(xc), -imag(xc))
+		e := (xk + xmk) * 0.5
+		wk := p.w[k]
+		o := (xk - xmk) * 0.5 * complex(real(wk), -imag(wk))
+		z[k] = e + complex(0, 1)*o
+	}
+	p.half.Inverse(z)
+	for j := 0; j < m; j++ {
+		out[2*j] = real(z[j])
+		out[2*j+1] = imag(z[j])
+	}
+}
+
+// RealPlan3 is the three-dimensional real transform on a flattened row-major
+// (nx, ny, nz) array: r2c along the contiguous z axis compresses it to
+// nz/2+1 complex entries per pencil, then ordinary complex transforms run
+// along y and x over the half-spectrum. Spectral element (jx, jy, jz),
+// jz ∈ [0, nz/2], lives at (jx·ny+jy)·(nz/2+1)+jz. Not safe for concurrent
+// use (plans carry scratch).
+type RealPlan3 struct {
+	nx, ny, nz, nzh int
+	pz              *RealPlan
+	py, px          *Plan
+	buf             []complex128 // strided-line scratch, len max(nx, ny)
+}
+
+// NewRealPlan3 creates a 3-D real plan. All dimensions must be powers of
+// two, and nz ≥ 2.
+func NewRealPlan3(nx, ny, nz int) (*RealPlan3, error) {
+	pz, err := NewRealPlan(nz)
+	if err != nil {
+		return nil, err
+	}
+	py, err := NewPlan(ny)
+	if err != nil {
+		return nil, err
+	}
+	px, err := NewPlan(nx)
+	if err != nil {
+		return nil, err
+	}
+	p := &RealPlan3{nx: nx, ny: ny, nz: nz, nzh: nz/2 + 1, pz: pz, py: py, px: px}
+	p.buf = make([]complex128, max(nx, ny))
+	return p, nil
+}
+
+// MustRealPlan3 is NewRealPlan3 that panics on error.
+func MustRealPlan3(nx, ny, nz int) *RealPlan3 {
+	p, err := NewRealPlan3(nx, ny, nz)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Dims returns (nx, ny, nz).
+func (p *RealPlan3) Dims() (int, int, int) { return p.nx, p.ny, p.nz }
+
+// NZSpec returns the compressed z extent nz/2+1.
+func (p *RealPlan3) NZSpec() int { return p.nzh }
+
+// SpecLen returns the half-spectrum array length nx·ny·(nz/2+1).
+func (p *RealPlan3) SpecLen() int { return p.nx * p.ny * p.nzh }
+
+// Forward transforms the real array src (length nx·ny·nz) into the
+// half-spectrum dst (length SpecLen()). src is not modified.
+func (p *RealPlan3) Forward(src []float64, dst []complex128) {
+	if len(src) != p.nx*p.ny*p.nz || len(dst) != p.SpecLen() {
+		panic(fmt.Sprintf("fft: real 3-D forward lengths (%d, %d) do not match plan (%d, %d)",
+			len(src), len(dst), p.nx*p.ny*p.nz, p.SpecLen()))
+	}
+	// r2c along contiguous z lines.
+	for i := 0; i < p.nx*p.ny; i++ {
+		p.pz.Forward(src[i*p.nz:(i+1)*p.nz], dst[i*p.nzh:(i+1)*p.nzh])
+	}
+	p.transformYX(dst, false)
+}
+
+// Inverse transforms the half-spectrum src back to the real array dst.
+// src is used as workspace and clobbered.
+func (p *RealPlan3) Inverse(src []complex128, dst []float64) {
+	if len(src) != p.SpecLen() || len(dst) != p.nx*p.ny*p.nz {
+		panic(fmt.Sprintf("fft: real 3-D inverse lengths (%d, %d) do not match plan (%d, %d)",
+			len(src), len(dst), p.SpecLen(), p.nx*p.ny*p.nz))
+	}
+	p.transformYX(src, true)
+	for i := 0; i < p.nx*p.ny; i++ {
+		p.pz.Inverse(src[i*p.nzh:(i+1)*p.nzh], dst[i*p.nz:(i+1)*p.nz])
+	}
+}
+
+// transformYX applies the complex y and x transforms over the compressed
+// (nx, ny, nzh) array.
+func (p *RealPlan3) transformYX(a []complex128, inverse bool) {
+	buf := p.buf[:p.ny]
+	for ix := 0; ix < p.nx; ix++ {
+		for iz := 0; iz < p.nzh; iz++ {
+			base := ix*p.ny*p.nzh + iz
+			for iy := 0; iy < p.ny; iy++ {
+				buf[iy] = a[base+iy*p.nzh]
+			}
+			if inverse {
+				p.py.Inverse(buf)
+			} else {
+				p.py.Forward(buf)
+			}
+			for iy := 0; iy < p.ny; iy++ {
+				a[base+iy*p.nzh] = buf[iy]
+			}
+		}
+	}
+	bufx := p.buf[:p.nx]
+	stride := p.ny * p.nzh
+	for iy := 0; iy < p.ny; iy++ {
+		for iz := 0; iz < p.nzh; iz++ {
+			base := iy*p.nzh + iz
+			for ix := 0; ix < p.nx; ix++ {
+				bufx[ix] = a[base+ix*stride]
+			}
+			if inverse {
+				p.px.Inverse(bufx)
+			} else {
+				p.px.Forward(bufx)
+			}
+			for ix := 0; ix < p.nx; ix++ {
+				a[base+ix*stride] = bufx[ix]
+			}
+		}
+	}
+}

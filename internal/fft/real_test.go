@@ -1,0 +1,223 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randReal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestNewRealPlanRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, -1, 1, 3, 6, 12, 1000} {
+		if _, err := NewRealPlan(n); err == nil {
+			t.Errorf("NewRealPlan(%d) accepted an invalid length", n)
+		}
+	}
+	for _, n := range []int{2, 4, 8, 1024} {
+		if _, err := NewRealPlan(n); err != nil {
+			t.Errorf("NewRealPlan(%d): %v", n, err)
+		}
+	}
+}
+
+// TestRealForwardMatchesComplexHalf: the r2c half-spectrum must equal the
+// non-negative-frequency half of the full complex transform of the same
+// (real) input.
+func TestRealForwardMatchesComplexHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := randReal(rng, n)
+		full := make([]complex128, n)
+		for i, v := range x {
+			full[i] = complex(v, 0)
+		}
+		MustPlan(n).Forward(full)
+		out := make([]complex128, n/2+1)
+		MustRealPlan(n).Forward(x, out)
+		for k := 0; k <= n/2; k++ {
+			if d := cmplx.Abs(out[k] - full[k]); d > 1e-10*float64(n) {
+				t.Errorf("n=%d k=%d: r2c %v vs complex %v", n, k, out[k], full[k])
+			}
+		}
+	}
+}
+
+// TestRealHermitianEdges: the k = 0 and k = n/2 modes of a real signal are
+// real (their conjugate partners are themselves).
+func TestRealHermitianEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	x := randReal(rng, n)
+	out := make([]complex128, n/2+1)
+	MustRealPlan(n).Forward(x, out)
+	if math.Abs(imag(out[0])) > 1e-12 || math.Abs(imag(out[n/2])) > 1e-12 {
+		t.Errorf("edge modes not real: X[0]=%v X[n/2]=%v", out[0], out[n/2])
+	}
+}
+
+// TestRealRoundTripProperty: c2r∘r2c is the identity on random real inputs.
+func TestRealRoundTripProperty(t *testing.T) {
+	p := MustRealPlan(64)
+	spec := make([]complex128, p.NSpec())
+	back := make([]float64, 64)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randReal(rng, 64)
+		p.Forward(x, spec)
+		p.Inverse(spec, back)
+		for i := range x {
+			if math.Abs(x[i]-back[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealRoundTripAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 32, 512, 4096} {
+		p := MustRealPlan(n)
+		x := randReal(rng, n)
+		spec := make([]complex128, p.NSpec())
+		back := make([]float64, n)
+		p.Forward(x, spec)
+		p.Inverse(spec, back)
+		for i := range x {
+			if math.Abs(x[i]-back[i]) > 1e-11*float64(n) {
+				t.Fatalf("n=%d: round trip differs at %d: %v vs %v", n, i, x[i], back[i])
+			}
+		}
+	}
+}
+
+// TestRealInverseDoesNotClobberInput: the 1-D c2r leaves its spectrum
+// argument intact (the 3-D variant documents clobbering instead).
+func TestRealInverseDoesNotClobberInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 32
+	p := MustRealPlan(n)
+	x := randReal(rng, n)
+	spec := make([]complex128, p.NSpec())
+	p.Forward(x, spec)
+	saved := append([]complex128(nil), spec...)
+	back := make([]float64, n)
+	p.Inverse(spec, back)
+	for k := range spec {
+		if spec[k] != saved[k] {
+			t.Fatalf("Inverse modified its input at %d", k)
+		}
+	}
+}
+
+func TestRealPlan3MatchesComplexHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nx, ny, nz := 4, 8, 16
+	nzh := nz/2 + 1
+	x := randReal(rng, nx*ny*nz)
+	full := make([]complex128, len(x))
+	for i, v := range x {
+		full[i] = complex(v, 0)
+	}
+	MustPlan3(nx, ny, nz).Forward(full)
+	spec := make([]complex128, nx*ny*nzh)
+	MustRealPlan3(nx, ny, nz).Forward(x, spec)
+	for jx := 0; jx < nx; jx++ {
+		for jy := 0; jy < ny; jy++ {
+			for jz := 0; jz < nzh; jz++ {
+				got := spec[(jx*ny+jy)*nzh+jz]
+				want := full[(jx*ny+jy)*nz+jz]
+				if cmplx.Abs(got-want) > 1e-9 {
+					t.Fatalf("(%d,%d,%d): r2c %v vs complex %v", jx, jy, jz, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRealPlan3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := MustRealPlan3(8, 4, 16)
+	x := randReal(rng, 8*4*16)
+	spec := make([]complex128, p.SpecLen())
+	back := make([]float64, len(x))
+	p.Forward(x, spec)
+	p.Inverse(spec, back)
+	for i := range x {
+		if math.Abs(x[i]-back[i]) > 1e-11 {
+			t.Fatalf("3-D real round trip differs at %d: %v vs %v", i, x[i], back[i])
+		}
+	}
+}
+
+// TestRealPlan3RoundTripProperty: identity over random inputs, exercising the
+// cubic shape the PM solver uses.
+func TestRealPlan3RoundTripProperty(t *testing.T) {
+	p := MustRealPlan3(8, 8, 8)
+	spec := make([]complex128, p.SpecLen())
+	back := make([]float64, 8*8*8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randReal(rng, 8*8*8)
+		p.Forward(x, spec)
+		p.Inverse(spec, back)
+		for i := range x {
+			if math.Abs(x[i]-back[i]) > 1e-11 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRealForwardSteadyStateAllocs: the 1-D real transform must not allocate
+// once the plan exists (plan-owned packing scratch).
+func TestRealForwardSteadyStateAllocs(t *testing.T) {
+	p := MustRealPlan(256)
+	x := randReal(rand.New(rand.NewSource(7)), 256)
+	spec := make([]complex128, p.NSpec())
+	back := make([]float64, 256)
+	p.Forward(x, spec) // warm up
+	if a := testing.AllocsPerRun(50, func() { p.Forward(x, spec) }); a != 0 {
+		t.Errorf("Forward allocates %v times per run", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { p.Inverse(spec, back) }); a != 0 {
+		t.Errorf("Inverse allocates %v times per run", a)
+	}
+}
+
+func BenchmarkRealFFT1D(b *testing.B) {
+	n := 4096
+	p := MustRealPlan(n)
+	x := randReal(rand.New(rand.NewSource(8)), n)
+	spec := make([]complex128, p.NSpec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x, spec)
+	}
+}
+
+func BenchmarkRealFFT3D64(b *testing.B) {
+	p := MustRealPlan3(64, 64, 64)
+	x := randReal(rand.New(rand.NewSource(9)), 64*64*64)
+	spec := make([]complex128, p.SpecLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x, spec)
+	}
+}

@@ -105,14 +105,20 @@ type PM struct {
 	// order is the assignment-window order: 3 = TSC (default, the paper's
 	// scheme, 27-point), 2 = CIC (8-point, the cheaper/noisier ablation).
 	order int
+	// complexFFT forces the full complex transform path (the pre-r2c
+	// reference implementation, kept for parity tests and benchmarks).
+	complexFFT bool
 
-	h    float64 // cell size l/n
-	plan *fft.Plan3
+	h     float64 // cell size l/n
+	plan  *fft.Plan3
+	rplan *fft.RealPlan3 // r2c path; nil when n < 2
+	green *GreenTab      // cached multiplier table; nil → direct KGreenW
 
 	Rho        []float64 // density mesh, ρ (mass / volume)
 	Phi        []float64 // potential mesh
 	Fx, Fy, Fz []float64 // acceleration meshes
-	work       []complex128
+	spec       []complex128 // persistent half-spectrum, n·n·(n/2+1)
+	work       []complex128 // full complex mesh, lazily allocated
 }
 
 // Option configures a PM solver.
@@ -134,6 +140,12 @@ func WithCIC() Option { return func(p *PM) { p.order = 2 } }
 // wavelengths.
 func WithSpectralDifferentiation() Option { return func(p *PM) { p.spectral = true } }
 
+// WithComplexFFT keeps the Poisson solve on the full complex-to-complex
+// transform instead of the real-to-complex half-spectrum path. This is the
+// reference/ablation configuration: twice the FFT arithmetic and spectral
+// memory for identical (to rounding) potentials.
+func WithComplexFFT() Option { return func(p *PM) { p.complexFFT = true } }
+
 // New creates a PM solver for an n³ mesh (n a power of two) on a periodic
 // box of side l with gravitational constant g and force-split radius rcut.
 func New(n int, l, g, rcut float64, opts ...Option) (*PM, error) {
@@ -154,12 +166,40 @@ func New(n int, l, g, rcut float64, opts ...Option) (*PM, error) {
 		Fx:   make([]float64, size),
 		Fy:   make([]float64, size),
 		Fz:   make([]float64, size),
-		work: make([]complex128, size),
 	}
 	for _, o := range opts {
 		o(pm)
 	}
+	// The multiplier table and transform plans depend on the options, so
+	// they come last. n == 1 has no real plan and falls back to the complex
+	// path; odd sizes have no table and fall back to direct evaluation.
+	pm.green = GreenTable(n, l, g, rcut, pm.deconvolve, pm.order)
+	if n >= 2 && !pm.complexFFT {
+		rplan, err := fft.NewRealPlan3(n, n, n)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: %w", err)
+		}
+		pm.rplan = rplan
+		pm.spec = make([]complex128, rplan.SpecLen())
+	}
 	return pm, nil
+}
+
+// ensureWork lazily allocates the full complex mesh used only by the
+// complex-FFT and spectral-differentiation paths.
+func (pm *PM) ensureWork() {
+	if pm.work == nil {
+		pm.work = make([]complex128, pm.n*pm.n*pm.n)
+	}
+}
+
+// greenAt returns the Green's multiplier for a full-range mode, from the
+// table when one exists and by direct evaluation otherwise.
+func (pm *PM) greenAt(jx, jy, jz int) float64 {
+	if pm.green != nil {
+		return pm.green.AtFull(jx, jy, jz)
+	}
+	return KGreenW(jx, jy, jz, pm.n, pm.l, pm.g, pm.rcut, pm.deconvolve, pm.order)
 }
 
 // N returns the mesh size per dimension.
@@ -243,8 +283,37 @@ func (pm *PM) AssignTSC(x, y, z, m []float64) {
 
 // Solve computes the long-range potential from the density mesh: forward
 // FFT, Green's-function convolution, inverse FFT (paper §II-B step 3).
+//
+// The density is real, so by default the solve runs r2c → half-spectrum
+// convolution → c2r on the persistent spec buffer: half the transform
+// arithmetic and spectral memory of the complex path. The multiplier is
+// real and even, so the convolution preserves Hermitian symmetry — the
+// jz = 0 and jz = n/2 planes need no special casing beyond the compressed
+// indexing.
 func (pm *PM) Solve() {
+	if pm.complexFFT || pm.rplan == nil {
+		pm.solveComplex()
+		return
+	}
+	n, nh := pm.n, pm.n/2+1
+	pm.rplan.Forward(pm.Rho, pm.spec)
+	for jx := 0; jx < n; jx++ {
+		for jy := 0; jy < n; jy++ {
+			base := (jx*n + jy) * nh
+			row := pm.green.Row(jx, jy)
+			for jz := 0; jz < nh; jz++ {
+				pm.spec[base+jz] *= complex(row[jz], 0)
+			}
+		}
+	}
+	pm.rplan.Inverse(pm.spec, pm.Phi)
+}
+
+// solveComplex is the full complex-to-complex reference path (WithComplexFFT,
+// and the n == 1 degenerate mesh).
+func (pm *PM) solveComplex() {
 	n := pm.n
+	pm.ensureWork()
 	for i, r := range pm.Rho {
 		pm.work[i] = complex(r, 0)
 	}
@@ -253,8 +322,7 @@ func (pm *PM) Solve() {
 		for jy := 0; jy < n; jy++ {
 			base := (jx*n + jy) * n
 			for jz := 0; jz < n; jz++ {
-				gk := KGreenW(jx, jy, jz, n, pm.l, pm.g, pm.rcut, pm.deconvolve, pm.order)
-				pm.work[base+jz] *= complex(gk, 0)
+				pm.work[base+jz] *= complex(pm.greenAt(jx, jy, jz), 0)
 			}
 		}
 	}
@@ -353,6 +421,7 @@ func (pm *PM) InterpolatePot(x, y, z []float64, pot []float64) {
 // k-space differentiation (see WithSpectralDifferentiation).
 func (pm *PM) SolveSpectral() {
 	n := pm.n
+	pm.ensureWork()
 	for i, r := range pm.Rho {
 		pm.work[i] = complex(r, 0)
 	}
@@ -369,8 +438,7 @@ func (pm *PM) SolveSpectral() {
 			base := (jx*n + jy) * n
 			for jz := 0; jz < n; jz++ {
 				kz := twoPiL * float64(foldMode(jz, n))
-				gk := KGreenW(jx, jy, jz, n, pm.l, pm.g, pm.rcut, pm.deconvolve, pm.order)
-				ph := pm.work[base+jz] * complex(gk, 0)
+				ph := pm.work[base+jz] * complex(pm.greenAt(jx, jy, jz), 0)
 				phiHat[base+jz] = ph
 				// f = −∇φ ⇒ f̂ = −ik·φ̂.
 				fxHat[base+jz] = complex(0, -kx) * ph

@@ -23,6 +23,10 @@ import (
 //
 // Forward runs FFT(x) in A, transposes to B, FFT(y), transposes to C,
 // FFT(z); the k-space result lives in C. Inverse reverses the path.
+//
+// ForwardReal/InverseReal compress the x axis — the one transformed before
+// any communication — to n/2+1 Hermitian modes, so both transposes ship
+// roughly half the complex values.
 type PencilPlan struct {
 	comm    *mpi.Comm
 	n       int
@@ -38,6 +42,18 @@ type PencilPlan struct {
 	xc   int    // B and C: local x extent
 	yc2  int    // C: local y extent
 	line *fft.Plan
+
+	// Real (half-spectrum) path: x compressed to nxh = n/2+1 modes.
+	nxh   int
+	layXh Layout        // compressed x over py (layouts B, C)
+	xch   int           // B and C: local compressed-x extent
+	rline *fft.RealPlan // nil when n < 2
+
+	lineBuf []complex128   // fftLines gather scratch, len n
+	realBuf []float64      // strided r2c/c2r line scratch, len n
+	specBuf []complex128   // strided r2c/c2r line scratch, len nxh
+	sendRow [][]complex128 // reused row-transpose send blocks
+	sendCol [][]complex128 // reused column-transpose send blocks
 }
 
 // NewPencilPlan creates a pencil FFT plan on a communicator of exactly
@@ -65,6 +81,21 @@ func NewPencilPlan(c *mpi.Comm, n, py, pz int) (*PencilPlan, error) {
 		return nil, err
 	}
 	p.line = pl
+	p.nxh = n/2 + 1
+	p.layXh = Layout{N: p.nxh, P: py}
+	p.xch = p.layXh.Count(p.a)
+	if n >= 2 {
+		rl, err := fft.NewRealPlan(n)
+		if err != nil {
+			return nil, err
+		}
+		p.rline = rl
+	}
+	p.lineBuf = make([]complex128, n)
+	p.realBuf = make([]float64, n)
+	p.specBuf = make([]complex128, p.nxh)
+	p.sendRow = make([][]complex128, py)
+	p.sendCol = make([][]complex128, pz)
 	return p, nil
 }
 
@@ -80,16 +111,26 @@ func (p *PencilPlan) OutDims() (xc, xoff, yc, yoff int) {
 	return p.xc, p.layY.Offset(p.a), p.yc2, p.layZ.Offset(p.b)
 }
 
+// SpecDims returns the real-path output (C) pencil extents: compressed
+// kx ∈ [xoff, xoff+xc) with global kx ≤ n/2, ky ∈ [yoff, yoff+yc), full kz;
+// element (ix, iy, iz) at (ix·yc+iy)·n+iz.
+func (p *PencilPlan) SpecDims() (xc, xoff, yc, yoff int) {
+	return p.xch, p.layXh.Offset(p.a), p.yc2, p.layZ.Offset(p.b)
+}
+
 // InSize returns the input array length n·yc·zc.
 func (p *PencilPlan) InSize() int { return p.n * p.yc * p.zc }
 
 // OutSize returns the output array length xc·yc2·n.
 func (p *PencilPlan) OutSize() int { return p.xc * p.yc2 * p.n }
 
-// fftStride transforms count lines of length n with the given stride,
+// SpecSize returns the real-path output array length xch·yc2·n.
+func (p *PencilPlan) SpecSize() int { return p.xch * p.yc2 * p.n }
+
+// fftLines transforms count lines of length n with the given stride,
 // starting at base indices base(i).
 func (p *PencilPlan) fftLines(a []complex128, nlines int, base func(int) int, stride int, inverse bool) {
-	buf := make([]complex128, p.n)
+	buf := p.lineBuf
 	for li := 0; li < nlines; li++ {
 		b0 := base(li)
 		for k := 0; k < p.n; k++ {
@@ -114,14 +155,14 @@ func (p *PencilPlan) Forward(in []complex128) []complex128 {
 	work := append([]complex128(nil), in...)
 	// FFT along x: lines indexed by (iy, iz), stride yc·zc.
 	p.fftLines(work, p.yc*p.zc, func(li int) int { return li }, p.yc*p.zc, false)
-	bArr := p.transposeAB(work)
+	bArr := p.transposeAB(work, p.layY, p.xc)
 	// FFT along y in B: (iy·xc + ix)·zc + iz; lines by (ix, iz), stride xc·zc.
 	p.fftLines(bArr, p.xc*p.zc, func(li int) int {
 		ix := li / p.zc
 		iz := li % p.zc
 		return ix*p.zc + iz
 	}, p.xc*p.zc, false)
-	cArr := p.transposeBC(bArr)
+	cArr := p.transposeBC(bArr, p.xc)
 	// FFT along z in C: contiguous lines.
 	for li := 0; li < p.xc*p.yc2; li++ {
 		p.line.Forward(cArr[li*p.n : (li+1)*p.n])
@@ -138,27 +179,107 @@ func (p *PencilPlan) Inverse(c []complex128) []complex128 {
 	for li := 0; li < p.xc*p.yc2; li++ {
 		p.line.Inverse(cArr[li*p.n : (li+1)*p.n])
 	}
-	bArr := p.transposeCB(cArr)
+	bArr := p.transposeCB(cArr, p.xc)
 	p.fftLines(bArr, p.xc*p.zc, func(li int) int {
 		ix := li / p.zc
 		iz := li % p.zc
 		return ix*p.zc + iz
 	}, p.xc*p.zc, true)
-	aArr := p.transposeBA(bArr)
+	aArr := p.transposeBA(bArr, p.layY, p.xc)
 	p.fftLines(aArr, p.yc*p.zc, func(li int) int { return li }, p.yc*p.zc, true)
 	return aArr
 }
 
+// ForwardReal transforms a real A-layout input (same indexing as Forward)
+// into its C-layout Hermitian half-spectrum: x is compressed to kx ∈
+// [0, n/2] before either transpose, halving the all-to-all volume.
+func (p *PencilPlan) ForwardReal(in []float64) []complex128 {
+	if len(in) != p.InSize() {
+		panic(fmt.Sprintf("pfft: pencil real input %d, want %d", len(in), p.InSize()))
+	}
+	if p.rline == nil { // n == 1: the transform is the identity
+		out := make([]complex128, p.SpecSize())
+		for i := range out {
+			out[i] = complex(in[i], 0)
+		}
+		return out
+	}
+	// r2c along x: strided lines indexed by (iy, iz), stride yc·zc.
+	yczc := p.yc * p.zc
+	ha := make([]complex128, p.nxh*yczc)
+	for li := 0; li < yczc; li++ {
+		for k := 0; k < p.n; k++ {
+			p.realBuf[k] = in[li+k*yczc]
+		}
+		p.rline.Forward(p.realBuf, p.specBuf)
+		for k := 0; k < p.nxh; k++ {
+			ha[li+k*yczc] = p.specBuf[k]
+		}
+	}
+	bArr := p.transposeAB(ha, p.layXh, p.xch)
+	// FFT along y over the compressed-x extent.
+	p.fftLines(bArr, p.xch*p.zc, func(li int) int {
+		ix := li / p.zc
+		iz := li % p.zc
+		return ix*p.zc + iz
+	}, p.xch*p.zc, false)
+	cArr := p.transposeBC(bArr, p.xch)
+	for li := 0; li < p.xch*p.yc2; li++ {
+		p.line.Forward(cArr[li*p.n : (li+1)*p.n])
+	}
+	return cArr
+}
+
+// InverseReal is the exact inverse of ForwardReal (1/n³ scaling included),
+// reconstructing the real A-layout array from the half-spectrum.
+func (p *PencilPlan) InverseReal(spec []complex128) []float64 {
+	if len(spec) != p.SpecSize() {
+		panic(fmt.Sprintf("pfft: pencil real input %d, want %d", len(spec), p.SpecSize()))
+	}
+	out := make([]float64, p.InSize())
+	if p.rline == nil {
+		for i := range out {
+			out[i] = real(spec[i])
+		}
+		return out
+	}
+	cArr := append([]complex128(nil), spec...)
+	for li := 0; li < p.xch*p.yc2; li++ {
+		p.line.Inverse(cArr[li*p.n : (li+1)*p.n])
+	}
+	bArr := p.transposeCB(cArr, p.xch)
+	p.fftLines(bArr, p.xch*p.zc, func(li int) int {
+		ix := li / p.zc
+		iz := li % p.zc
+		return ix*p.zc + iz
+	}, p.xch*p.zc, true)
+	ha := p.transposeBA(bArr, p.layXh, p.xch)
+	yczc := p.yc * p.zc
+	for li := 0; li < yczc; li++ {
+		for k := 0; k < p.nxh; k++ {
+			p.specBuf[k] = ha[li+k*yczc]
+		}
+		p.rline.Inverse(p.specBuf, p.realBuf)
+		for k := 0; k < p.n; k++ {
+			out[li+k*yczc] = p.realBuf[k]
+		}
+	}
+	return out
+}
+
 // transposeAB exchanges the full-x dimension for full-y within the row:
-// A (full x, yc, zc) → B (full y, xc, zc) with B indexed (iy·xc+ix)·zc+iz.
-func (p *PencilPlan) transposeAB(a []complex128) []complex128 {
-	send := make([][]complex128, p.py)
+// A (full x = layX.N, yc, zc) → B (full y, xcl, zc) with B indexed
+// (iy·xcl+ix)·zc+iz. layX describes how the x axis splits over the row
+// (layY for the complex path, layXh for the compressed real path) and xcl
+// is this rank's share of it. Send blocks are plan-owned and reused.
+func (p *PencilPlan) transposeAB(a []complex128, layX Layout, xcl int) []complex128 {
 	for ap := 0; ap < p.py; ap++ {
-		xc, xo := p.layY.Count(ap), p.layY.Offset(ap)
+		xc, xo := layX.Count(ap), layX.Offset(ap)
 		if xc == 0 || p.yc == 0 || p.zc == 0 {
+			p.sendRow[ap] = nil
 			continue
 		}
-		blk := make([]complex128, xc*p.yc*p.zc)
+		blk := growC(p.sendRow[ap], xc*p.yc*p.zc)
 		t := 0
 		for ix := xo; ix < xo+xc; ix++ {
 			for iy := 0; iy < p.yc; iy++ {
@@ -167,10 +288,10 @@ func (p *PencilPlan) transposeAB(a []complex128) []complex128 {
 				t += p.zc
 			}
 		}
-		send[ap] = blk
+		p.sendRow[ap] = blk
 	}
-	recv := mpi.Alltoall(p.rowComm, send)
-	out := make([]complex128, p.n*p.xc*p.zc)
+	recv := mpi.Alltoall(p.rowComm, p.sendRow)
+	out := make([]complex128, p.n*xcl*p.zc)
 	for ap := 0; ap < p.py; ap++ {
 		ycp, yop := p.layY.Count(ap), p.layY.Offset(ap)
 		blk := recv[ap]
@@ -178,9 +299,9 @@ func (p *PencilPlan) transposeAB(a []complex128) []complex128 {
 			continue
 		}
 		t := 0
-		for ix := 0; ix < p.xc; ix++ {
+		for ix := 0; ix < xcl; ix++ {
 			for iy := yop; iy < yop+ycp; iy++ {
-				base := (iy*p.xc + ix) * p.zc
+				base := (iy*xcl + ix) * p.zc
 				copy(out[base:base+p.zc], blk[t:t+p.zc])
 				t += p.zc
 			}
@@ -190,28 +311,28 @@ func (p *PencilPlan) transposeAB(a []complex128) []complex128 {
 }
 
 // transposeBA is the inverse of transposeAB.
-func (p *PencilPlan) transposeBA(bArr []complex128) []complex128 {
-	send := make([][]complex128, p.py)
+func (p *PencilPlan) transposeBA(bArr []complex128, layX Layout, xcl int) []complex128 {
 	for ap := 0; ap < p.py; ap++ {
 		ycp, yop := p.layY.Count(ap), p.layY.Offset(ap)
-		if ycp == 0 || p.xc == 0 || p.zc == 0 {
+		if ycp == 0 || xcl == 0 || p.zc == 0 {
+			p.sendRow[ap] = nil
 			continue
 		}
-		blk := make([]complex128, p.xc*ycp*p.zc)
+		blk := growC(p.sendRow[ap], xcl*ycp*p.zc)
 		t := 0
-		for ix := 0; ix < p.xc; ix++ {
+		for ix := 0; ix < xcl; ix++ {
 			for iy := yop; iy < yop+ycp; iy++ {
-				base := (iy*p.xc + ix) * p.zc
+				base := (iy*xcl + ix) * p.zc
 				copy(blk[t:t+p.zc], bArr[base:base+p.zc])
 				t += p.zc
 			}
 		}
-		send[ap] = blk
+		p.sendRow[ap] = blk
 	}
-	recv := mpi.Alltoall(p.rowComm, send)
-	out := make([]complex128, p.n*p.yc*p.zc)
+	recv := mpi.Alltoall(p.rowComm, p.sendRow)
+	out := make([]complex128, layX.N*p.yc*p.zc)
 	for ap := 0; ap < p.py; ap++ {
-		xc, xo := p.layY.Count(ap), p.layY.Offset(ap)
+		xc, xo := layX.Count(ap), layX.Offset(ap)
 		blk := recv[ap]
 		if len(blk) == 0 {
 			continue
@@ -229,27 +350,28 @@ func (p *PencilPlan) transposeBA(bArr []complex128) []complex128 {
 }
 
 // transposeBC exchanges the full-y dimension for full-z within the column:
-// B (full y, xc, zc) → C (xc, yc2, full z) with C indexed (ix·yc2+iy)·n+iz.
-func (p *PencilPlan) transposeBC(bArr []complex128) []complex128 {
-	send := make([][]complex128, p.pz)
+// B (full y, xcl, zc) → C (xcl, yc2, full z) with C indexed (ix·yc2+iy)·n+iz.
+// The x extent xcl rides along unchanged (xc or xch).
+func (p *PencilPlan) transposeBC(bArr []complex128, xcl int) []complex128 {
 	for bp := 0; bp < p.pz; bp++ {
 		ycp, yop := p.layZ.Count(bp), p.layZ.Offset(bp)
-		if ycp == 0 || p.xc == 0 || p.zc == 0 {
+		if ycp == 0 || xcl == 0 || p.zc == 0 {
+			p.sendCol[bp] = nil
 			continue
 		}
-		blk := make([]complex128, ycp*p.xc*p.zc)
+		blk := growC(p.sendCol[bp], ycp*xcl*p.zc)
 		t := 0
 		for iy := yop; iy < yop+ycp; iy++ {
-			for ix := 0; ix < p.xc; ix++ {
-				base := (iy*p.xc + ix) * p.zc
+			for ix := 0; ix < xcl; ix++ {
+				base := (iy*xcl + ix) * p.zc
 				copy(blk[t:t+p.zc], bArr[base:base+p.zc])
 				t += p.zc
 			}
 		}
-		send[bp] = blk
+		p.sendCol[bp] = blk
 	}
-	recv := mpi.Alltoall(p.colComm, send)
-	out := make([]complex128, p.xc*p.yc2*p.n)
+	recv := mpi.Alltoall(p.colComm, p.sendCol)
+	out := make([]complex128, xcl*p.yc2*p.n)
 	for bp := 0; bp < p.pz; bp++ {
 		zcp, zop := p.layZ.Count(bp), p.layZ.Offset(bp)
 		blk := recv[bp]
@@ -258,7 +380,7 @@ func (p *PencilPlan) transposeBC(bArr []complex128) []complex128 {
 		}
 		t := 0
 		for iy := 0; iy < p.yc2; iy++ {
-			for ix := 0; ix < p.xc; ix++ {
+			for ix := 0; ix < xcl; ix++ {
 				base := (ix*p.yc2+iy)*p.n + zop
 				copy(out[base:base+zcp], blk[t:t+zcp])
 				t += zcp
@@ -269,26 +391,26 @@ func (p *PencilPlan) transposeBC(bArr []complex128) []complex128 {
 }
 
 // transposeCB is the inverse of transposeBC.
-func (p *PencilPlan) transposeCB(cArr []complex128) []complex128 {
-	send := make([][]complex128, p.pz)
+func (p *PencilPlan) transposeCB(cArr []complex128, xcl int) []complex128 {
 	for bp := 0; bp < p.pz; bp++ {
 		zcp, zop := p.layZ.Count(bp), p.layZ.Offset(bp)
-		if zcp == 0 || p.xc == 0 || p.yc2 == 0 {
+		if zcp == 0 || xcl == 0 || p.yc2 == 0 {
+			p.sendCol[bp] = nil
 			continue
 		}
-		blk := make([]complex128, p.yc2*p.xc*zcp)
+		blk := growC(p.sendCol[bp], p.yc2*xcl*zcp)
 		t := 0
 		for iy := 0; iy < p.yc2; iy++ {
-			for ix := 0; ix < p.xc; ix++ {
+			for ix := 0; ix < xcl; ix++ {
 				base := (ix*p.yc2+iy)*p.n + zop
 				copy(blk[t:t+zcp], cArr[base:base+zcp])
 				t += zcp
 			}
 		}
-		send[bp] = blk
+		p.sendCol[bp] = blk
 	}
-	recv := mpi.Alltoall(p.colComm, send)
-	out := make([]complex128, p.n*p.xc*p.zc)
+	recv := mpi.Alltoall(p.colComm, p.sendCol)
+	out := make([]complex128, p.n*xcl*p.zc)
 	for bp := 0; bp < p.pz; bp++ {
 		ycp, yop := p.layZ.Count(bp), p.layZ.Offset(bp)
 		blk := recv[bp]
@@ -297,8 +419,8 @@ func (p *PencilPlan) transposeCB(cArr []complex128) []complex128 {
 		}
 		t := 0
 		for iy := yop; iy < yop+ycp; iy++ {
-			for ix := 0; ix < p.xc; ix++ {
-				base := (iy*p.xc + ix) * p.zc
+			for ix := 0; ix < xcl; ix++ {
+				base := (iy*xcl + ix) * p.zc
 				copy(out[base:base+p.zc], blk[t:t+p.zc])
 				t += p.zc
 			}

@@ -8,6 +8,10 @@
 // The slab decomposition is what limits the number of FFT processes to at
 // most N_PM planes — the constraint that motivates both the relay mesh
 // method and the COMM_FFT process selection.
+//
+// Real meshes should use ForwardReal/InverseReal: the z axis is compressed
+// to n/2+1 Hermitian modes before any communication, so the all-to-all
+// transposes ship roughly half the complex values of the full transform.
 package pfft
 
 import (
@@ -57,17 +61,25 @@ func (l Layout) OwnerOf(ix int) int {
 }
 
 // Plan is a parallel FFT plan bound to one communicator. All ranks of the
-// communicator must call Forward/Inverse collectively.
+// communicator must call Forward/Inverse collectively. A Plan owns reusable
+// scratch buffers, so it must not be shared between goroutines (each rank
+// builds its own).
 type Plan struct {
 	comm *mpi.Comm
 	n    int
+	nh   int // n/2+1: compressed z extent of the real path
 	lay  Layout
 
 	cnt, off int // this rank's slab
 
-	line *fft.Plan // length-n 1-D plan for all three passes
-	ycnt int
-	yoff int
+	line  *fft.Plan     // length-n 1-D plan for the complex passes
+	rline *fft.RealPlan // z-axis r2c/c2r plan; nil when n < 2
+	ycnt  int
+	yoff  int
+
+	midBuf []complex128   // transformMid line gather scratch, len n
+	send   [][]complex128 // per-destination transpose blocks, reused
+	trBuf  []complex128   // y-slab transpose target, reused
 }
 
 // NewPlan creates a slab FFT plan for an n³ mesh (n a power of two) on the
@@ -77,7 +89,7 @@ func NewPlan(c *mpi.Comm, n int) (*Plan, error) {
 		return nil, fmt.Errorf("pfft: mesh size %d is not a power of two", n)
 	}
 	lay := Layout{N: n, P: c.Size()}
-	p := &Plan{comm: c, n: n, lay: lay}
+	p := &Plan{comm: c, n: n, nh: n/2 + 1, lay: lay}
 	p.cnt = lay.Count(c.Rank())
 	p.off = lay.Offset(c.Rank())
 	p.ycnt = lay.Count(c.Rank())
@@ -87,7 +99,24 @@ func NewPlan(c *mpi.Comm, n int) (*Plan, error) {
 		return nil, err
 	}
 	p.line = pl
+	if n >= 2 {
+		rl, err := fft.NewRealPlan(n)
+		if err != nil {
+			return nil, err
+		}
+		p.rline = rl
+	}
+	p.midBuf = make([]complex128, n)
+	p.send = make([][]complex128, c.Size())
 	return p, nil
+}
+
+// growC resizes buf to n elements, reusing its backing array when possible.
+func growC(buf []complex128, n int) []complex128 {
+	if cap(buf) < n {
+		return make([]complex128, n)
+	}
+	return buf[:n]
 }
 
 // transformZ applies the 1-D transform along z for every line of an
@@ -105,15 +134,16 @@ func (p *Plan) transformZ(a []complex128, nslab int, inverse bool) {
 }
 
 // transformMid applies the 1-D transform along the middle axis of an
-// (nslab, n, n) slab.
-func (p *Plan) transformMid(a []complex128, nslab int, inverse bool) {
+// (nslab, n, rowLen) slab; rowLen is n on the complex path and n/2+1 on the
+// compressed real path.
+func (p *Plan) transformMid(a []complex128, nslab, rowLen int, inverse bool) {
 	n := p.n
-	buf := make([]complex128, n)
+	buf := p.midBuf
 	for s := 0; s < nslab; s++ {
-		for iz := 0; iz < n; iz++ {
-			base := s*n*n + iz
+		for iz := 0; iz < rowLen; iz++ {
+			base := s*n*rowLen + iz
 			for im := 0; im < n; im++ {
-				buf[im] = a[base+im*n]
+				buf[im] = a[base+im*rowLen]
 			}
 			if inverse {
 				p.line.Inverse(buf)
@@ -121,7 +151,7 @@ func (p *Plan) transformMid(a []complex128, nslab int, inverse bool) {
 				p.line.Forward(buf)
 			}
 			for im := 0; im < n; im++ {
-				a[base+im*n] = buf[im]
+				a[base+im*rowLen] = buf[im]
 			}
 		}
 	}
@@ -139,29 +169,88 @@ func (p *Plan) LocalOffset() int { return p.off }
 // LocalSize returns the length of this rank's slab array (cnt·n·n).
 func (p *Plan) LocalSize() int { return p.cnt * p.n * p.n }
 
+// LocalSpecSize returns the length of this rank's half-spectrum slab for the
+// real path: cnt·n·(n/2+1).
+func (p *Plan) LocalSpecSize() int { return p.cnt * p.n * p.nh }
+
+// NZSpec returns the compressed z extent n/2+1.
+func (p *Plan) NZSpec() int { return p.nh }
+
 // Forward transforms the distributed mesh in place. local is this rank's
 // x-slab, indexed (ixLocal·n + iy)·n + iz; on return it holds the k-space
 // slab in the same layout (kx-slabs).
 func (p *Plan) Forward(local []complex128) {
 	p.check(local)
 	p.transformZ(local, p.cnt, false)
-	p.transformMid(local, p.cnt, false)
-	tr := p.transposeXY(local)
+	p.transformMid(local, p.cnt, p.n, false)
+	tr := p.transposeXY(local, p.n)
 	// In transposed layout the array is (yLocal, x, z); x is the middle
 	// axis, so transformMid performs the x-direction FFT.
-	p.transformMid(tr, p.ycnt, false)
-	p.transposeYX(tr, local)
+	p.transformMid(tr, p.ycnt, p.n, false)
+	p.transposeYX(tr, local, p.n)
 }
 
 // Inverse applies the inverse transform (scaled by 1/n³), mirroring Forward.
 func (p *Plan) Inverse(local []complex128) {
 	p.check(local)
-	tr := p.transposeXY(local)
-	p.transformMid(tr, p.ycnt, true)
-	p.transposeYX(tr, local)
+	tr := p.transposeXY(local, p.n)
+	p.transformMid(tr, p.ycnt, p.n, true)
+	p.transposeYX(tr, local, p.n)
 	p.transformZ(local, p.cnt, true)
-	p.transformMid(local, p.cnt, true)
+	p.transformMid(local, p.cnt, p.n, true)
 }
+
+// ForwardReal transforms this rank's real x-slab (cnt·n·n, same indexing as
+// Forward) into its Hermitian half-spectrum slab spec, indexed
+// (ixLocal·n + iy)·(n/2+1) + iz with iz ∈ [0, n/2]. The z axis is compressed
+// before the transposes, so the all-to-alls carry (n/2+1)/n of the complex
+// path's bytes.
+func (p *Plan) ForwardReal(real []float64, spec []complex128) {
+	if len(real) != p.LocalSize() || len(spec) != p.LocalSpecSize() {
+		panic(fmt.Sprintf("pfft: real forward lengths (%d, %d) do not match plan (%d, %d)",
+			len(real), len(spec), p.LocalSize(), p.LocalSpecSize()))
+	}
+	n, nh := p.n, p.nh
+	if p.rline == nil { // n == 1: every pass is the identity
+		for i := range spec {
+			spec[i] = complex(real[i], 0)
+		}
+		return
+	}
+	for i := 0; i < p.cnt*n; i++ {
+		p.rline.Forward(real[i*n:(i+1)*n], spec[i*nh:(i+1)*nh])
+	}
+	p.transformMid(spec, p.cnt, nh, false) // y FFT over the compressed rows
+	tr := p.transposeXY(spec, nh)
+	p.transformMid(tr, p.ycnt, nh, false) // x FFT
+	p.transposeYX(tr, spec, nh)
+}
+
+// InverseReal is the exact inverse of ForwardReal (1/n³ scaling included):
+// it reconstructs the real x-slab from the half-spectrum. spec is used as
+// workspace and clobbered.
+func (p *Plan) InverseReal(spec []complex128, real []float64) {
+	if len(real) != p.LocalSize() || len(spec) != p.LocalSpecSize() {
+		panic(fmt.Sprintf("pfft: real inverse lengths (%d, %d) do not match plan (%d, %d)",
+			len(spec), len(real), p.LocalSpecSize(), p.LocalSize()))
+	}
+	n, nh := p.n, p.nh
+	if p.rline == nil {
+		for i := range real {
+			real[i] = realPart(spec[i])
+		}
+		return
+	}
+	tr := p.transposeXY(spec, nh)
+	p.transformMid(tr, p.ycnt, nh, true)
+	p.transposeYX(tr, spec, nh)
+	p.transformMid(spec, p.cnt, nh, true)
+	for i := 0; i < p.cnt*n; i++ {
+		p.rline.Inverse(spec[i*nh:(i+1)*nh], real[i*n:(i+1)*n])
+	}
+}
+
+func realPart(z complex128) float64 { return real(z) }
 
 func (p *Plan) check(local []complex128) {
 	if len(local) != p.LocalSize() {
@@ -170,28 +259,32 @@ func (p *Plan) check(local []complex128) {
 }
 
 // transposeXY redistributes the x-slab array into y-slabs: the result is
-// indexed (iyLocal·n + ix)·n + iz.
-func (p *Plan) transposeXY(local []complex128) []complex128 {
+// indexed (iyLocal·n + ix)·rowLen + iz. The returned slice is plan-owned
+// scratch, valid until the next transpose. The mpi.Alltoall double-barrier
+// copies every received block before returning, so reusing the send blocks
+// on the next call is safe.
+func (p *Plan) transposeXY(local []complex128, rowLen int) []complex128 {
 	n := p.n
-	send := make([][]complex128, p.comm.Size())
 	for s := 0; s < p.comm.Size(); s++ {
 		yc, yo := p.lay.Count(s), p.lay.Offset(s)
 		if yc == 0 || p.cnt == 0 {
+			p.send[s] = nil
 			continue
 		}
-		blk := make([]complex128, p.cnt*yc*n)
+		blk := growC(p.send[s], p.cnt*yc*rowLen)
 		t := 0
 		for ix := 0; ix < p.cnt; ix++ {
 			for iy := yo; iy < yo+yc; iy++ {
-				base := (ix*n + iy) * n
-				copy(blk[t:t+n], local[base:base+n])
-				t += n
+				base := (ix*n + iy) * rowLen
+				copy(blk[t:t+rowLen], local[base:base+rowLen])
+				t += rowLen
 			}
 		}
-		send[s] = blk
+		p.send[s] = blk
 	}
-	recv := mpi.Alltoall(p.comm, send)
-	out := make([]complex128, p.ycnt*n*n)
+	recv := mpi.Alltoall(p.comm, p.send)
+	p.trBuf = growC(p.trBuf, p.ycnt*n*rowLen)
+	out := p.trBuf
 	for r := 0; r < p.comm.Size(); r++ {
 		xc, xo := p.lay.Count(r), p.lay.Offset(r)
 		blk := recv[r]
@@ -201,9 +294,9 @@ func (p *Plan) transposeXY(local []complex128) []complex128 {
 		t := 0
 		for ix := xo; ix < xo+xc; ix++ {
 			for iy := 0; iy < p.ycnt; iy++ {
-				base := (iy*n + ix) * n
-				copy(out[base:base+n], blk[t:t+n])
-				t += n
+				base := (iy*n + ix) * rowLen
+				copy(out[base:base+rowLen], blk[t:t+rowLen])
+				t += rowLen
 			}
 		}
 	}
@@ -212,26 +305,26 @@ func (p *Plan) transposeXY(local []complex128) []complex128 {
 
 // transposeYX is the inverse redistribution, filling local from the y-slab
 // array tr.
-func (p *Plan) transposeYX(tr []complex128, local []complex128) {
+func (p *Plan) transposeYX(tr []complex128, local []complex128, rowLen int) {
 	n := p.n
-	send := make([][]complex128, p.comm.Size())
 	for s := 0; s < p.comm.Size(); s++ {
 		xc, xo := p.lay.Count(s), p.lay.Offset(s)
 		if xc == 0 || p.ycnt == 0 {
+			p.send[s] = nil
 			continue
 		}
-		blk := make([]complex128, p.ycnt*xc*n)
+		blk := growC(p.send[s], p.ycnt*xc*rowLen)
 		t := 0
 		for ix := xo; ix < xo+xc; ix++ {
 			for iy := 0; iy < p.ycnt; iy++ {
-				base := (iy*n + ix) * n
-				copy(blk[t:t+n], tr[base:base+n])
-				t += n
+				base := (iy*n + ix) * rowLen
+				copy(blk[t:t+rowLen], tr[base:base+rowLen])
+				t += rowLen
 			}
 		}
-		send[s] = blk
+		p.send[s] = blk
 	}
-	recv := mpi.Alltoall(p.comm, send)
+	recv := mpi.Alltoall(p.comm, p.send)
 	for r := 0; r < p.comm.Size(); r++ {
 		yc, yo := p.lay.Count(r), p.lay.Offset(r)
 		blk := recv[r]
@@ -241,9 +334,9 @@ func (p *Plan) transposeYX(tr []complex128, local []complex128) {
 		t := 0
 		for ix := 0; ix < p.cnt; ix++ {
 			for iy := yo; iy < yo+yc; iy++ {
-				base := (ix*n + iy) * n
-				copy(local[base:base+n], blk[t:t+n])
-				t += n
+				base := (ix*n + iy) * rowLen
+				copy(local[base:base+rowLen], blk[t:t+rowLen])
+				t += rowLen
 			}
 		}
 	}

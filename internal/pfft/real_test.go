@@ -1,0 +1,296 @@
+package pfft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"greem/internal/fft"
+	"greem/internal/mpi"
+)
+
+// refSpectrum returns the full complex 3-D transform of a real mesh.
+func refSpectrum(x []float64, n int) []complex128 {
+	full := make([]complex128, len(x))
+	for i, v := range x {
+		full[i] = complex(v, 0)
+	}
+	fft.MustPlan3(n, n, n).Forward(full)
+	return full
+}
+
+// runSlabForwardReal runs the distributed r2c slab transform on p ranks and
+// checks it against the non-negative-kz half of the serial complex spectrum.
+func runSlabForwardReal(t *testing.T, n, p int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n*1000 + p)))
+	x := make([]float64, n*n*n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := refSpectrum(x, n)
+	nh := n/2 + 1
+	got := make([]complex128, n*n*nh)
+	back := make([]float64, n*n*n)
+	err := mpi.Run(p, func(c *mpi.Comm) {
+		plan, err := NewPlan(c, n)
+		if err != nil {
+			panic(err)
+		}
+		local := make([]float64, plan.LocalSize())
+		off := plan.LocalOffset() * n * n
+		copy(local, x[off:off+len(local)])
+		spec := make([]complex128, plan.LocalSpecSize())
+		plan.ForwardReal(local, spec)
+		copy(got[plan.LocalOffset()*n*nh:], spec)
+		plan.InverseReal(spec, local)
+		copy(back[off:off+len(local)], local)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for jx := 0; jx < n; jx++ {
+		for jy := 0; jy < n; jy++ {
+			for jz := 0; jz < nh; jz++ {
+				g := got[(jx*n+jy)*nh+jz]
+				w := want[(jx*n+jy)*n+jz]
+				if cmplx.Abs(g-w) > 1e-9 {
+					t.Fatalf("n=%d p=%d (%d,%d,%d): r2c %v vs complex %v", n, p, jx, jy, jz, g, w)
+				}
+			}
+		}
+	}
+	for i := range back {
+		if math.Abs(back[i]-x[i]) > 1e-10 {
+			t.Fatalf("n=%d p=%d: real round trip mismatch at %d: %v vs %v", n, p, i, back[i], x[i])
+		}
+	}
+}
+
+func TestSlabForwardRealMatchesSerialHalf(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		runSlabForwardReal(t, 8, p)
+	}
+	runSlabForwardReal(t, 16, 5)
+}
+
+func TestSlabRealZeroPlaneRanks(t *testing.T) {
+	// p > n leaves some ranks with zero planes; they must still take part in
+	// every collective of the real path.
+	runSlabForwardReal(t, 4, 7)
+}
+
+// TestRealTransposeBytesHalved verifies the headline claim: the r2c path's
+// all-to-all transposes ship exactly (n/2+1)/n of the complex path's bytes.
+func TestRealTransposeBytesHalved(t *testing.T) {
+	n, p := 8, 4
+	a2aBytes := func(realPath bool) int64 {
+		var bytes int64
+		err := mpi.Run(p, func(c *mpi.Comm) {
+			plan, err := NewPlan(c, n)
+			if err != nil {
+				panic(err)
+			}
+			if realPath {
+				local := make([]float64, plan.LocalSize())
+				spec := make([]complex128, plan.LocalSpecSize())
+				plan.ForwardReal(local, spec)
+				plan.InverseReal(spec, local)
+			} else {
+				local := make([]complex128, plan.LocalSize())
+				plan.Forward(local)
+				plan.Inverse(local)
+			}
+			if c.Rank() == 0 {
+				bytes = c.Traffic().TotalsByOp()["Alltoallv"].Bytes
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes
+	}
+	full := a2aBytes(false)
+	half := a2aBytes(true)
+	if full == 0 || half == 0 {
+		t.Fatalf("no all-to-all traffic recorded (full=%d half=%d)", full, half)
+	}
+	// Every transpose row shrinks from n to n/2+1 complex values, so the
+	// byte ratio is exactly (n/2+1)/n.
+	nh := n/2 + 1
+	if half*int64(n) != full*int64(nh) {
+		t.Errorf("transpose bytes: real %d vs complex %d, want exact ratio %d/%d", half, full, nh, n)
+	}
+}
+
+// TestSlabSteadyStateAllocs is the regression test for the per-call buffer
+// allocations that used to live in transformMid and the transpose pack
+// stage: after a warm-up call, the locally controlled parts of the plan
+// must not allocate.
+func TestSlabSteadyStateAllocs(t *testing.T) {
+	n := 16
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		plan, err := NewPlan(c, n)
+		if err != nil {
+			panic(err)
+		}
+		a := make([]complex128, plan.LocalSize())
+		plan.transformMid(a, plan.LocalCount(), n, false)
+		if allocs := testing.AllocsPerRun(20, func() {
+			plan.transformMid(a, plan.LocalCount(), n, false)
+		}); allocs != 0 {
+			t.Errorf("transformMid allocates %v times per run", allocs)
+		}
+		spec := make([]complex128, plan.LocalSpecSize())
+		x := make([]float64, plan.LocalSize())
+		plan.ForwardReal(x, spec)
+		if allocs := testing.AllocsPerRun(20, func() {
+			for i := 0; i < plan.LocalCount()*n; i++ {
+				plan.rline.Forward(x[i*n:(i+1)*n], spec[i*plan.nh:(i+1)*plan.nh])
+			}
+			plan.transformMid(spec, plan.LocalCount(), plan.nh, false)
+		}); allocs != 0 {
+			t.Errorf("real local stages allocate %v times per run", allocs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPencilFFTLinesZeroAllocs: the pencil plan's line-gather scratch is
+// plan-owned, so fftLines must not allocate in steady state.
+func TestPencilFFTLinesZeroAllocs(t *testing.T) {
+	n := 16
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		plan, err := NewPencilPlan(c, n, 1, 1)
+		if err != nil {
+			panic(err)
+		}
+		a := make([]complex128, plan.InSize())
+		nlines := plan.yc * plan.zc
+		stride := nlines
+		plan.fftLines(a, nlines, func(li int) int { return li }, stride, false)
+		if allocs := testing.AllocsPerRun(20, func() {
+			plan.fftLines(a, nlines, func(li int) int { return li }, stride, false)
+		}); allocs != 0 {
+			t.Errorf("fftLines allocates %v times per run", allocs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runPencilForwardReal checks the distributed pencil r2c transform against
+// the non-negative-kx half of the serial complex spectrum, plus round trip.
+func runPencilForwardReal(t *testing.T, n, py, pz int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n*100 + py*10 + pz)))
+	x := make([]float64, n*n*n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := refSpectrum(x, n)
+	nxh := n/2 + 1
+	got := make([]complex128, nxh*n*n) // (jx·n + jy)·n + jz, jx ≤ n/2
+	back := make([]float64, n*n*n)
+	err := mpi.Run(py*pz, func(c *mpi.Comm) {
+		plan, err := NewPencilPlan(c, n, py, pz)
+		if err != nil {
+			panic(err)
+		}
+		yc, yo, zc, zo := plan.InDims()
+		in := make([]float64, plan.InSize())
+		for ix := 0; ix < n; ix++ {
+			for iy := 0; iy < yc; iy++ {
+				for iz := 0; iz < zc; iz++ {
+					in[(ix*yc+iy)*zc+iz] = x[(ix*n+(yo+iy))*n+(zo+iz)]
+				}
+			}
+		}
+		spec := plan.ForwardReal(in)
+		xc, xo, yc2, yo2 := plan.SpecDims()
+		for ix := 0; ix < xc; ix++ {
+			for iy := 0; iy < yc2; iy++ {
+				for iz := 0; iz < n; iz++ {
+					got[((xo+ix)*n+(yo2+iy))*n+iz] = spec[(ix*yc2+iy)*n+iz]
+				}
+			}
+		}
+		out := plan.InverseReal(spec)
+		for ix := 0; ix < n; ix++ {
+			for iy := 0; iy < yc; iy++ {
+				for iz := 0; iz < zc; iz++ {
+					back[(ix*n+(yo+iy))*n+(zo+iz)] = out[(ix*yc+iy)*zc+iz]
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for jx := 0; jx < nxh; jx++ {
+		for jy := 0; jy < n; jy++ {
+			for jz := 0; jz < n; jz++ {
+				g := got[(jx*n+jy)*n+jz]
+				w := want[(jx*n+jy)*n+jz]
+				if cmplx.Abs(g-w) > 1e-9 {
+					t.Fatalf("n=%d %d×%d (%d,%d,%d): pencil r2c %v vs complex %v", n, py, pz, jx, jy, jz, g, w)
+				}
+			}
+		}
+	}
+	for i := range back {
+		if math.Abs(back[i]-x[i]) > 1e-10 {
+			t.Fatalf("n=%d %d×%d: pencil real round trip mismatch at %d", n, py, pz, i)
+		}
+	}
+}
+
+func TestPencilForwardRealMatchesSerialHalf(t *testing.T) {
+	runPencilForwardReal(t, 8, 1, 1)
+	runPencilForwardReal(t, 8, 2, 2)
+	runPencilForwardReal(t, 8, 4, 2)
+	runPencilForwardReal(t, 8, 3, 3) // uneven split of both y/z and compressed x
+	runPencilForwardReal(t, 4, 4, 4) // more row ranks than compressed x modes
+}
+
+// TestPencilRealTransposeBytesReduced: the pencil real path compresses x
+// before either transpose, cutting the all-to-all volume by ~(n/2+1)/n.
+func TestPencilRealTransposeBytesReduced(t *testing.T) {
+	n, py, pz := 8, 2, 2
+	a2aBytes := func(realPath bool) int64 {
+		var bytes int64
+		err := mpi.Run(py*pz, func(c *mpi.Comm) {
+			plan, err := NewPencilPlan(c, n, py, pz)
+			if err != nil {
+				panic(err)
+			}
+			if realPath {
+				in := make([]float64, plan.InSize())
+				plan.InverseReal(plan.ForwardReal(in))
+			} else {
+				in := make([]complex128, plan.InSize())
+				plan.Inverse(plan.Forward(in))
+			}
+			if c.Rank() == 0 {
+				bytes = c.Traffic().TotalsByOp()["Alltoallv"].Bytes
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes
+	}
+	full := a2aBytes(false)
+	half := a2aBytes(true)
+	if full == 0 || half == 0 {
+		t.Fatalf("no all-to-all traffic recorded (full=%d half=%d)", full, half)
+	}
+	if float64(half) > 0.7*float64(full) {
+		t.Errorf("pencil real transposes moved %d bytes vs complex %d — expected ~%d/%d ratio",
+			half, full, n/2+1, n)
+	}
+}

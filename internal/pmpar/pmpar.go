@@ -29,6 +29,11 @@ type Config struct {
 	Interleaved bool
 	// NoDeconvolve disables TSC window deconvolution (ablation).
 	NoDeconvolve bool
+	// ComplexFFT keeps the Poisson solve on the full complex-to-complex
+	// transform instead of the default real-to-complex half-spectrum path —
+	// the reference/ablation configuration with twice the FFT arithmetic and
+	// all-to-all transpose volume.
+	ComplexFFT bool
 	// Pencil replaces the 1-D slab FFT with the 2-D pencil decomposition of
 	// §IV (future work): the FFT runs on PY×PZ processes (NFFT = PY·PZ),
 	// lifting the NFFT ≤ N_PM slab limit to N_PM². The relay mesh method
@@ -97,6 +102,22 @@ type Solver struct {
 	commFFT *mpi.Comm
 	plan    *pfft.Plan
 	pencil  *pfft.PencilPlan
+
+	// green is the cached Green's multiplier table (nil → direct KGreenW,
+	// e.g. N == 1); spec is the persistent half-spectrum slab of the r2c
+	// path, cwork the lazily allocated full complex slab of the reference
+	// path.
+	green *mesh.GreenTab
+	spec  []complex128
+	cwork []complex128
+
+	// Cached exchange geometry and buffers: the block lists depend only on
+	// the domain decomposition, so both sides precompute them in New, and
+	// the pack buffers are reused every step (no steady-state allocation in
+	// the conversions).
+	sendBlocks [][]blk     // per destination holder q < NFFT
+	recvBlocks [][]blk     // holder only: per source rank of convComm
+	sendF      [][]float64 // per-destination pack buffers, reused
 
 	// rec receives the per-phase spans; never nil after New.
 	rec *telemetry.Recorder
@@ -192,7 +213,42 @@ func New(c *mpi.Comm, cfg Config, lo, hi vec.V3) (*Solver, error) {
 	for i, g := range gathered {
 		copy(s.convBoxes[i][:], g)
 	}
+	// Precompute the exchange block lists (deterministic on both sides) and
+	// the pack buffers they fill.
+	s.sendBlocks = make([][]blk, cfg.NFFT)
+	for q := 0; q < cfg.NFFT; q++ {
+		s.sendBlocks[q] = blocksFor(s.myBox, s.holderRegion(q), cfg.N)
+	}
+	if s.isHolder {
+		r := s.holderRegion(s.convComm.Rank())
+		s.recvBlocks = make([][]blk, s.convComm.Size())
+		for src := 0; src < s.convComm.Size(); src++ {
+			s.recvBlocks[src] = blocksFor(s.convBoxes[src], r, cfg.N)
+		}
+	}
+	s.sendF = make([][]float64, s.convComm.Size())
+	s.green = mesh.GreenTable(cfg.N, cfg.L, cfg.G, cfg.Rcut, !cfg.NoDeconvolve, 3)
+	if s.isFFT && !cfg.Pencil && !cfg.ComplexFFT {
+		s.spec = make([]complex128, s.plan.LocalSpecSize())
+	}
 	return s, nil
+}
+
+// greenAt returns the Green's multiplier for a full-range mode, from the
+// cached table when one exists.
+func (s *Solver) greenAt(jx, jy, jz int) float64 {
+	if s.green != nil {
+		return s.green.AtFull(jx, jy, jz)
+	}
+	return mesh.KGreenW(jx, jy, jz, s.cfg.N, s.cfg.L, s.cfg.G, s.cfg.Rcut, !s.cfg.NoDeconvolve, 3)
+}
+
+// growF resizes buf to n elements, reusing its backing array when possible.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // LocalMesh exposes the rank's mesh window (diagnostics and tests).
@@ -292,18 +348,17 @@ func blocksLen(bs []blk) int {
 	return n
 }
 
-// densityToSlabs converts the 3-D distributed local density meshes into the
-// holders' regions — 1-D slabs or 2-D pencils — on convComm (steps 1–2 of
-// the straightforward method; step 1 of the relay method).
-func (s *Solver) densityToSlabs() {
-	c := s.convComm
-	send := make([][]float64, c.Size())
-	for q := 0; q < s.cfg.NFFT; q++ {
-		bs := blocksFor(s.myBox, s.holderRegion(q), s.cfg.N)
-		if len(bs) == 0 {
+// packDensity fills the reused per-destination send buffers from the local
+// density window using the precomputed block lists. Allocation-free in
+// steady state (buffers keep their high-water capacity).
+func (s *Solver) packDensity() {
+	for q := range s.sendF {
+		if q >= s.cfg.NFFT || len(s.sendBlocks[q]) == 0 {
+			s.sendF[q] = nil
 			continue
 		}
-		buf := make([]float64, 0, blocksLen(bs))
+		bs := s.sendBlocks[q]
+		buf := growF(s.sendF[q], blocksLen(bs))[:0]
 		for _, b := range bs {
 			for iy := 0; iy < b.ys.n; iy++ {
 				ly := b.ys.l0 + iy
@@ -311,26 +366,25 @@ func (s *Solver) densityToSlabs() {
 				buf = append(buf, s.lm.Rho[base+b.zs.l0:base+b.zs.l0+b.zs.n]...)
 			}
 		}
-		send[q] = buf
+		s.sendF[q] = buf
 	}
-	recv := mpi.Alltoall(c, send)
-	if !s.isHolder {
-		return
-	}
+}
+
+// unpackDensity accumulates received window pieces into this holder's slab.
+func (s *Solver) unpackDensity(recv [][]float64) {
 	for i := range s.slab {
 		s.slab[i] = 0
 	}
-	r := s.holderRegion(c.Rank())
+	r := s.holderRegion(s.convComm.Rank())
 	ny := r.y1 - r.y0
 	nz := r.z1 - r.z0
-	for src := 0; src < c.Size(); src++ {
+	for src := range recv {
 		data := recv[src]
 		if len(data) == 0 {
 			continue
 		}
-		bs := blocksFor(s.convBoxes[src], r, s.cfg.N)
 		t := 0
-		for _, b := range bs {
+		for _, b := range s.recvBlocks[src] {
 			for iy := 0; iy < b.ys.n; iy++ {
 				gy := b.ys.g0 + iy
 				base := ((b.gx-r.x0)*ny+(gy-r.y0))*nz + (b.zs.g0 - r.z0)
@@ -343,41 +397,65 @@ func (s *Solver) densityToSlabs() {
 	}
 }
 
+// densityToSlabs converts the 3-D distributed local density meshes into the
+// holders' regions — 1-D slabs or 2-D pencils — on convComm (steps 1–2 of
+// the straightforward method; step 1 of the relay method).
+func (s *Solver) densityToSlabs() {
+	s.packDensity()
+	recv := mpi.Alltoall(s.convComm, s.sendF)
+	if s.isHolder {
+		s.unpackDensity(recv)
+	}
+}
+
 // potentialToLocal converts the holders' potential regions back to each
 // rank's local window (steps 4–5 of the straightforward method; step 5 of
 // relay).
 func (s *Solver) potentialToLocal() {
-	c := s.convComm
-	send := make([][]float64, c.Size())
-	if s.isHolder {
-		r := s.holderRegion(c.Rank())
-		ny := r.y1 - r.y0
-		nz := r.z1 - r.z0
-		for dst := 0; dst < c.Size(); dst++ {
-			bs := blocksFor(s.convBoxes[dst], r, s.cfg.N)
-			if len(bs) == 0 {
-				continue
-			}
-			buf := make([]float64, 0, blocksLen(bs))
-			for _, b := range bs {
-				for iy := 0; iy < b.ys.n; iy++ {
-					gy := b.ys.g0 + iy
-					base := ((b.gx-r.x0)*ny+(gy-r.y0))*nz + (b.zs.g0 - r.z0)
-					buf = append(buf, s.slab[base:base+b.zs.n]...)
-				}
-			}
-			send[dst] = buf
+	s.packPotential()
+	recv := mpi.Alltoall(s.convComm, s.sendF)
+	s.unpackPotential(recv)
+}
+
+// packPotential fills the reused send buffers with each destination's piece
+// of this holder's potential slab (no-op buffers on non-holders).
+func (s *Solver) packPotential() {
+	if !s.isHolder {
+		for i := range s.sendF {
+			s.sendF[i] = nil
 		}
+		return
 	}
-	recv := mpi.Alltoall(c, send)
+	r := s.holderRegion(s.convComm.Rank())
+	ny := r.y1 - r.y0
+	nz := r.z1 - r.z0
+	for dst := range s.sendF {
+		bs := s.recvBlocks[dst]
+		if len(bs) == 0 {
+			s.sendF[dst] = nil
+			continue
+		}
+		buf := growF(s.sendF[dst], blocksLen(bs))[:0]
+		for _, b := range bs {
+			for iy := 0; iy < b.ys.n; iy++ {
+				gy := b.ys.g0 + iy
+				base := ((b.gx-r.x0)*ny+(gy-r.y0))*nz + (b.zs.g0 - r.z0)
+				buf = append(buf, s.slab[base:base+b.zs.n]...)
+			}
+		}
+		s.sendF[dst] = buf
+	}
+}
+
+// unpackPotential copies received potential pieces into the local window.
+func (s *Solver) unpackPotential(recv [][]float64) {
 	for q := 0; q < s.cfg.NFFT; q++ {
 		data := recv[q]
 		if len(data) == 0 {
 			continue
 		}
-		bs := blocksFor(s.myBox, s.holderRegion(q), s.cfg.N)
 		t := 0
-		for _, b := range bs {
+		for _, b := range s.sendBlocks[q] {
 			for iy := 0; iy < b.ys.n; iy++ {
 				ly := b.ys.l0 + iy
 				base := (b.lx*s.lm.NY + ly) * s.lm.NZ
@@ -390,13 +468,54 @@ func (s *Solver) potentialToLocal() {
 
 // fftAndGreen runs the parallel FFT and the Green's-function convolution on
 // the FFT processes, turning the density region into the potential region.
+//
+// The default path is real-to-complex: the slab density transforms into its
+// Hermitian half-spectrum (n/2+1 z modes), the real, even Green's multiplier
+// scales it in place on the persistent spec buffer — conjugate symmetry at
+// the jz = 0 and jz = n/2 planes survives because the multiplier is real —
+// and c2r brings the potential back. Both transposes inside the plan carry
+// roughly half the complex path's bytes.
 func (s *Solver) fftAndGreen() {
 	if s.cfg.Pencil {
 		s.fftAndGreenPencil()
 		return
 	}
+	if s.cfg.ComplexFFT {
+		s.fftAndGreenComplex()
+		return
+	}
 	n := s.cfg.N
-	work := make([]complex128, len(s.slab))
+	nh := s.plan.NZSpec()
+	s.plan.ForwardReal(s.slab, s.spec)
+	cnt := s.plan.LocalCount()
+	off := s.plan.LocalOffset()
+	for lx := 0; lx < cnt; lx++ {
+		jx := off + lx
+		for jy := 0; jy < n; jy++ {
+			base := (lx*n + jy) * nh
+			if s.green != nil {
+				row := s.green.Row(jx, jy)
+				for jz := 0; jz < nh; jz++ {
+					s.spec[base+jz] *= complex(row[jz], 0)
+				}
+			} else {
+				for jz := 0; jz < nh; jz++ {
+					s.spec[base+jz] *= complex(s.greenAt(jx, jy, jz), 0)
+				}
+			}
+		}
+	}
+	s.plan.InverseReal(s.spec, s.slab)
+}
+
+// fftAndGreenComplex is the full complex-to-complex reference path
+// (Config.ComplexFFT), kept for parity tests and before/after benchmarks.
+func (s *Solver) fftAndGreenComplex() {
+	n := s.cfg.N
+	if s.cwork == nil {
+		s.cwork = make([]complex128, len(s.slab))
+	}
+	work := s.cwork
 	for i, v := range s.slab {
 		work[i] = complex(v, 0)
 	}
@@ -408,8 +527,7 @@ func (s *Solver) fftAndGreen() {
 		for jy := 0; jy < n; jy++ {
 			base := (lx*n + jy) * n
 			for jz := 0; jz < n; jz++ {
-				gk := mesh.KGreen(jx, jy, jz, n, s.cfg.L, s.cfg.G, s.cfg.Rcut, !s.cfg.NoDeconvolve)
-				work[base+jz] *= complex(gk, 0)
+				work[base+jz] *= complex(s.greenAt(jx, jy, jz), 0)
 			}
 		}
 	}
@@ -420,28 +538,45 @@ func (s *Solver) fftAndGreen() {
 }
 
 // fftAndGreenPencil is fftAndGreen with the 2-D pencil plan: forward to the
-// C layout, convolve there (where z is complete), and come back to A.
+// C layout, convolve there (where z is complete), and come back to A. On the
+// default real path the compressed axis is x (the one transformed before any
+// communication), so the convolution runs over kx ∈ [0, n/2] and full ky/kz.
 func (s *Solver) fftAndGreenPencil() {
 	n := s.cfg.N
-	in := make([]complex128, len(s.slab))
-	for i, v := range s.slab {
-		in[i] = complex(v, 0)
+	if s.cfg.ComplexFFT {
+		in := make([]complex128, len(s.slab))
+		for i, v := range s.slab {
+			in[i] = complex(v, 0)
+		}
+		out := s.pencil.Forward(in)
+		xc, xo, yc2, yo2 := s.pencil.OutDims()
+		for ix := 0; ix < xc; ix++ {
+			for iy := 0; iy < yc2; iy++ {
+				base := (ix*yc2 + iy) * n
+				for jz := 0; jz < n; jz++ {
+					out[base+jz] *= complex(s.greenAt(xo+ix, yo2+iy, jz), 0)
+				}
+			}
+		}
+		back := s.pencil.Inverse(out)
+		for i := range s.slab {
+			s.slab[i] = real(back[i])
+		}
+		return
 	}
-	out := s.pencil.Forward(in)
-	xc, xo, yc2, yo2 := s.pencil.OutDims()
+	spec := s.pencil.ForwardReal(s.slab)
+	xc, xo, yc2, yo2 := s.pencil.SpecDims()
 	for ix := 0; ix < xc; ix++ {
 		for iy := 0; iy < yc2; iy++ {
 			base := (ix*yc2 + iy) * n
 			for jz := 0; jz < n; jz++ {
-				gk := mesh.KGreen(xo+ix, yo2+iy, jz, n, s.cfg.L, s.cfg.G, s.cfg.Rcut, !s.cfg.NoDeconvolve)
-				out[base+jz] *= complex(gk, 0)
+				// xo+ix ≤ n/2, a valid full-range index; greenAt folds jz.
+				spec[base+jz] *= complex(s.greenAt(xo+ix, yo2+iy, jz), 0)
 			}
 		}
 	}
-	back := s.pencil.Inverse(out)
-	for i := range s.slab {
-		s.slab[i] = real(back[i])
-	}
+	back := s.pencil.InverseReal(spec)
+	copy(s.slab, back)
 }
 
 // Accel runs one full parallel PM cycle for this rank's particles (which
@@ -474,8 +609,9 @@ func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
 
 	sp = s.rec.Start(telemetry.PhasePMComm)
 	if s.cfg.Relay && s.isHolder {
-		// Broadcast complete potential slabs back to every group.
-		s.slab = mpi.Bcast(s.commReduce, 0, s.slab)
+		// Broadcast complete potential slabs back to every group (into the
+		// persistent slab, not a fresh allocation).
+		copy(s.slab, mpi.Bcast(s.commReduce, 0, s.slab))
 	}
 	s.potentialToLocal()
 	s.Times.Comm += sp.End()
