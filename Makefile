@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-fft
+.PHONY: verify build vet test race bench bench-fft bench-scaling
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/fft/ ./internal/pfft/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
@@ -28,3 +28,9 @@ bench-fft:
 	$(GO) test -run NONE -bench 'RealFFT' -benchmem ./internal/fft/
 	$(GO) test -run NONE -bench 'Solve(64|128)' -benchmem ./internal/mesh/
 	$(GO) test -run NONE -bench 'PencilVsSlabFFT|Fig5RelayVsNaive' -benchmem .
+
+# bench-scaling: intra-rank worker-pool strong scaling of the 128³ PM solve
+# (assignment + r2c FFT + convolution + differencing) at 1/2/4/8 workers.
+# Meaningful only on a multi-core host (GOMAXPROCS caps real parallelism).
+bench-scaling:
+	$(GO) test -run NONE -bench 'Solve128Workers' -benchmem ./internal/mesh/

@@ -44,7 +44,7 @@ func main() {
 	pencil := flag.Bool("pencil", false, "use the 2-D pencil FFT decomposition (§IV)")
 	py := flag.Int("py", 2, "pencil process grid, y")
 	pz := flag.Int("pz", 2, "pencil process grid, z")
-	workers := flag.Int("workers", 1, "tree traversal goroutines per rank (OpenMP-style)")
+	workers := flag.Int("workers", 1, "intra-rank workers: tree traversal, PM pipeline and integrator loops (0/1 = serial, -1 = auto)")
 	wmap7 := flag.Bool("wmap7", false, "use the WMAP7 ΛCDM background instead of EdS")
 	lpt2 := flag.Bool("2lpt", false, "second-order (2LPT) initial conditions")
 	nfft := flag.Int("nfft", 0, "FFT processes (0 = min(ranks, mesh))")

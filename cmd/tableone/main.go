@@ -25,6 +25,7 @@ func main() {
 	np := flag.Int("np", 24, "particles per dimension for the scaled run")
 	ranks := flag.Int("ranks", 8, "ranks for the scaled run")
 	steps := flag.Int("steps", 2, "steps for the scaled run")
+	workers := flag.Int("workers", 0, "intra-rank workers for the scaled run (0 = serial, -1 = auto)")
 	flag.Parse()
 
 	m := perfmodel.KComputer()
@@ -72,7 +73,7 @@ func main() {
 		fmt.Println("\n(use -run for a scaled-down measured breakdown on this machine)")
 		return
 	}
-	scaledRun(*np, *ranks, *steps)
+	scaledRun(*np, *ranks, *steps, *workers)
 }
 
 // tableRows maps Table I's row labels onto the telemetry phase names; the
@@ -99,8 +100,12 @@ var tableRows = []struct {
 
 // scaledRun executes the real distributed code at laptop scale and prints
 // the measured phase breakdown in Table I's shape, aggregated across ranks
-// (min/mean/max and max/mean imbalance) from the telemetry profile.
-func scaledRun(np, ranks, steps int) {
+// (min/mean/max and max/mean imbalance) from the telemetry profile. With
+// workers ≠ 0 the intra-rank pool runs, and an imb(intra) column — the
+// within-rank max/mean worker imbalance (busy+idle)/busy from the pool
+// telemetry — is appended to the phase rows that batch over it; the serial
+// default prints exactly the historical table.
+func scaledRun(np, ranks, steps, workers int) {
 	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps\n", np, ranks, steps)
 	rng := rand.New(rand.NewSource(1))
 	n := np * np * np
@@ -121,7 +126,7 @@ func scaledRun(np, ranks, steps int) {
 	}
 	cfg := sim.Config{
 		L: 1, G: 1, NMesh: 32, Theta: 0.5, Ni: 100, Eps2: 1e-8, FastKernel: true,
-		Grid: grid, DT: 0.01,
+		Grid: grid, DT: 0.01, Workers: workers,
 	}
 	var prof *telemetry.Profile
 	var inter float64
@@ -139,6 +144,7 @@ func scaledRun(np, ranks, steps int) {
 		if err != nil {
 			panic(err)
 		}
+		defer s.Close()
 		for i := 0; i < steps; i++ {
 			if err := s.Step(); err != nil {
 				panic(err)
@@ -154,11 +160,42 @@ func scaledRun(np, ranks, steps int) {
 		log.Fatal(err)
 	}
 	per := 1.0 / float64(steps)
-	fmt.Printf("%-28s %10s %10s %10s %10s\n", "(all ranks, sec/step)", "min", "mean", "max", "max/mean")
+	// The imb(intra) column exists only when the intra-rank pool actually
+	// ran (any nonzero pool busy time), so the serial default output is
+	// unchanged. (busy+idle)/busy is the max/mean worker imbalance of the
+	// pooled loops attributed to each phase.
+	intraFor := func(phase string) (string, bool) {
+		busy := prof.Counter(telemetry.MetricKey(telemetry.MetricPoolBusySeconds, telemetry.L("phase", phase)))
+		idle := prof.Counter(telemetry.MetricKey(telemetry.MetricPoolIdleSeconds, telemetry.L("phase", phase)))
+		if busy.Sum <= 0 {
+			return "", false
+		}
+		return fmt.Sprintf("%10.2f", (busy.Sum+idle.Sum)/busy.Sum), true
+	}
+	intraActive := false
 	for _, row := range tableRows {
-		ph := prof.Phase(row.phase)
-		fmt.Printf("%-28s %10.4f %10.4f %10.4f %10.2f\n",
-			row.label, ph.Min*per, ph.Mean*per, ph.Max*per, ph.Imbalance)
+		if _, ok := intraFor(row.phase); ok {
+			intraActive = true
+			break
+		}
+	}
+	fmt.Printf("%-28s %10s %10s %10s %10s", "(all ranks, sec/step)", "min", "mean", "max", "max/mean")
+	if intraActive {
+		fmt.Printf(" %10s", "imb(intra)")
+	}
+	fmt.Println()
+	for _, row := range tableRows {
+		fmt.Printf("%-28s %10.4f %10.4f %10.4f %10.2f",
+			row.label, prof.Phase(row.phase).Min*per, prof.Phase(row.phase).Mean*per,
+			prof.Phase(row.phase).Max*per, prof.Phase(row.phase).Imbalance)
+		if intraActive {
+			if col, ok := intraFor(row.phase); ok {
+				fmt.Print(" " + col)
+			} else {
+				fmt.Printf(" %10s", "-")
+			}
+		}
+		fmt.Println()
 	}
 	fmt.Printf("\n⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f, interactions/step = %.3g\n", ni, nj, inter)
 	flops := prof.Counter(`greem_pp_kernel_flops_total`)

@@ -13,10 +13,14 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"greem/internal/par"
 )
 
 // Plan holds the precomputed twiddle factors and bit-reversal permutation for
-// a one-dimensional transform of fixed power-of-two length.
+// a one-dimensional transform of fixed power-of-two length. A Plan carries no
+// scratch state — only immutable tables — so one Plan may transform different
+// lines from multiple goroutines concurrently.
 type Plan struct {
 	n       int
 	logn    int
@@ -107,9 +111,21 @@ func (p *Plan) transform(a []complex128, inverse bool) {
 
 // Plan3 is a three-dimensional transform on a flattened row-major array with
 // dimensions (nx, ny, nz): element (ix, iy, iz) lives at (ix·ny+iy)·nz+iz.
+// Independent 1-D lines batch across the workers of an attached par.Pool
+// (SetPool); each line is transformed by exactly one worker, so the result is
+// bit-identical to the serial transform for any worker count.
 type Plan3 struct {
 	nx, ny, nz int
 	px, py, pz *Plan
+
+	pool *par.Pool
+	wbuf [][]complex128 // per-worker strided-line gather scratch
+
+	// Current batch state, set by apply and read by the bound range tasks
+	// (hoisted so a transform allocates nothing in steady state).
+	ta                  []complex128
+	tinv                bool
+	taskZ, taskY, taskX func(w, lo, hi int)
 }
 
 // NewPlan3 creates a 3-D plan. All dimensions must be powers of two.
@@ -126,7 +142,88 @@ func NewPlan3(nx, ny, nz int) (*Plan3, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan3{nx: nx, ny: ny, nz: nz, px: px, py: py, pz: pz}, nil
+	p := &Plan3{nx: nx, ny: ny, nz: nz, px: px, py: py, pz: pz}
+	p.bindTasks()
+	p.sizeScratch(1)
+	return p, nil
+}
+
+// SetPool attaches a worker pool; subsequent transforms batch their 1-D lines
+// across its workers. A nil pool restores serial operation. The pool is
+// shared, not owned: the caller closes it.
+func (p *Plan3) SetPool(pool *par.Pool) {
+	p.pool = pool
+	p.sizeScratch(pool.Workers())
+}
+
+func (p *Plan3) sizeScratch(workers int) {
+	n := p.ny
+	if p.nx > n {
+		n = p.nx
+	}
+	p.wbuf = make([][]complex128, workers)
+	for w := range p.wbuf {
+		p.wbuf[w] = make([]complex128, n)
+	}
+}
+
+// bindTasks creates the pooled range tasks once, so apply does not allocate.
+func (p *Plan3) bindTasks() {
+	p.taskZ = p.zLines
+	p.taskY = p.yLines
+	p.taskX = p.xLines
+}
+
+// zLines transforms contiguous z lines with indices [lo, hi) of nx·ny.
+func (p *Plan3) zLines(w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		line := p.ta[i*p.nz : (i+1)*p.nz]
+		if p.tinv {
+			p.pz.Inverse(line)
+		} else {
+			p.pz.Forward(line)
+		}
+	}
+}
+
+// yLines transforms strided y lines; line i of nx·nz is (ix, iz) with
+// ix = i/nz, iz = i%nz.
+func (p *Plan3) yLines(w, lo, hi int) {
+	buf := p.wbuf[w][:p.ny]
+	for i := lo; i < hi; i++ {
+		base := (i/p.nz)*p.ny*p.nz + i%p.nz
+		for iy := 0; iy < p.ny; iy++ {
+			buf[iy] = p.ta[base+iy*p.nz]
+		}
+		if p.tinv {
+			p.py.Inverse(buf)
+		} else {
+			p.py.Forward(buf)
+		}
+		for iy := 0; iy < p.ny; iy++ {
+			p.ta[base+iy*p.nz] = buf[iy]
+		}
+	}
+}
+
+// xLines transforms strided x lines; line i of ny·nz starts at base i
+// directly (i = iy·nz + iz) with stride ny·nz.
+func (p *Plan3) xLines(w, lo, hi int) {
+	buf := p.wbuf[w][:p.nx]
+	stride := p.ny * p.nz
+	for i := lo; i < hi; i++ {
+		for ix := 0; ix < p.nx; ix++ {
+			buf[ix] = p.ta[i+ix*stride]
+		}
+		if p.tinv {
+			p.px.Inverse(buf)
+		} else {
+			p.px.Forward(buf)
+		}
+		for ix := 0; ix < p.nx; ix++ {
+			p.ta[i+ix*stride] = buf[ix]
+		}
+	}
 }
 
 // MustPlan3 is NewPlan3 that panics on error.
@@ -154,49 +251,11 @@ func (p *Plan3) apply(a []complex128, inverse bool) {
 	if len(a) != p.Len() {
 		panic(fmt.Sprintf("fft: slice length %d does not match plan size %d", len(a), p.Len()))
 	}
-	do1 := func(pl *Plan, line []complex128) {
-		if inverse {
-			pl.Inverse(line)
-		} else {
-			pl.Forward(line)
-		}
-	}
-	// z lines are contiguous.
-	for ix := 0; ix < p.nx; ix++ {
-		for iy := 0; iy < p.ny; iy++ {
-			off := (ix*p.ny + iy) * p.nz
-			do1(p.pz, a[off:off+p.nz])
-		}
-	}
-	// y lines have stride nz.
-	buf := make([]complex128, p.ny)
-	for ix := 0; ix < p.nx; ix++ {
-		for iz := 0; iz < p.nz; iz++ {
-			base := ix*p.ny*p.nz + iz
-			for iy := 0; iy < p.ny; iy++ {
-				buf[iy] = a[base+iy*p.nz]
-			}
-			do1(p.py, buf)
-			for iy := 0; iy < p.ny; iy++ {
-				a[base+iy*p.nz] = buf[iy]
-			}
-		}
-	}
-	// x lines have stride ny·nz.
-	bufx := make([]complex128, p.nx)
-	stride := p.ny * p.nz
-	for iy := 0; iy < p.ny; iy++ {
-		for iz := 0; iz < p.nz; iz++ {
-			base := iy*p.nz + iz
-			for ix := 0; ix < p.nx; ix++ {
-				bufx[ix] = a[base+ix*stride]
-			}
-			do1(p.px, bufx)
-			for ix := 0; ix < p.nx; ix++ {
-				a[base+ix*stride] = bufx[ix]
-			}
-		}
-	}
+	p.ta, p.tinv = a, inverse
+	p.pool.Run(p.nx*p.ny, p.taskZ)
+	p.pool.Run(p.nx*p.nz, p.taskY)
+	p.pool.Run(p.ny*p.nz, p.taskX)
+	p.ta = nil
 }
 
 // TransformY applies the 1-D transform along the y axis only, for every
@@ -204,36 +263,15 @@ func (p *Plan3) apply(a []complex128, inverse bool) {
 // blocks for the slab-parallel 3-D FFT, where the x transform happens after
 // an inter-process transpose.
 func (p *Plan3) TransformY(a []complex128, inverse bool) {
-	buf := make([]complex128, p.ny)
-	for ix := 0; ix < p.nx; ix++ {
-		for iz := 0; iz < p.nz; iz++ {
-			base := ix*p.ny*p.nz + iz
-			for iy := 0; iy < p.ny; iy++ {
-				buf[iy] = a[base+iy*p.nz]
-			}
-			if inverse {
-				p.py.Inverse(buf)
-			} else {
-				p.py.Forward(buf)
-			}
-			for iy := 0; iy < p.ny; iy++ {
-				a[base+iy*p.nz] = buf[iy]
-			}
-		}
-	}
+	p.ta, p.tinv = a, inverse
+	p.pool.Run(p.nx*p.nz, p.taskY)
+	p.ta = nil
 }
 
 // TransformZ applies the 1-D transform along the z axis for every (x, y)
 // line. See TransformY.
 func (p *Plan3) TransformZ(a []complex128, inverse bool) {
-	for ix := 0; ix < p.nx; ix++ {
-		for iy := 0; iy < p.ny; iy++ {
-			off := (ix*p.ny + iy) * p.nz
-			if inverse {
-				p.pz.Inverse(a[off : off+p.nz])
-			} else {
-				p.pz.Forward(a[off : off+p.nz])
-			}
-		}
-	}
+	p.ta, p.tinv = a, inverse
+	p.pool.Run(p.nx*p.ny, p.taskZ)
+	p.ta = nil
 }

@@ -13,6 +13,8 @@ package fft
 import (
 	"fmt"
 	"math"
+
+	"greem/internal/par"
 )
 
 // RealPlan computes length-n transforms of real input via one half-length
@@ -55,6 +57,15 @@ func MustRealPlan(n int) *RealPlan {
 		panic(err)
 	}
 	return p
+}
+
+// Clone returns a plan sharing p's immutable twiddle tables but owning
+// private scratch, so clones transform different lines concurrently — the
+// per-worker handle used by the pooled 3-D and slab transforms.
+func (p *RealPlan) Clone() *RealPlan {
+	q := *p
+	q.pack = make([]complex128, p.m)
+	return &q
 }
 
 // N returns the real signal length.
@@ -124,12 +135,24 @@ func (p *RealPlan) Inverse(in []complex128, out []float64) {
 // nz/2+1 complex entries per pencil, then ordinary complex transforms run
 // along y and x over the half-spectrum. Spectral element (jx, jy, jz),
 // jz ∈ [0, nz/2], lives at (jx·ny+jy)·(nz/2+1)+jz. Not safe for concurrent
-// use (plans carry scratch).
+// use (plans carry scratch), but an attached par.Pool (SetPool) batches the
+// independent 1-D lines across workers — each line transformed by exactly
+// one worker with private scratch, so parallel output is bit-identical to
+// serial.
 type RealPlan3 struct {
 	nx, ny, nz, nzh int
-	pz              *RealPlan
+	pz              []*RealPlan // per-worker clones; pz[0] is the primary
 	py, px          *Plan
-	buf             []complex128 // strided-line scratch, len max(nx, ny)
+
+	pool *par.Pool
+	wbuf [][]complex128 // per-worker strided-line scratch, len max(nx, ny)
+
+	// Current batch state for the bound range tasks (hoisted: zero
+	// steady-state allocation).
+	tsrc                         []float64
+	tspec                        []complex128
+	tinv                         bool
+	taskFZ, taskIZ, taskY, taskX func(w, lo, hi int)
 }
 
 // NewRealPlan3 creates a 3-D real plan. All dimensions must be powers of
@@ -147,9 +170,84 @@ func NewRealPlan3(nx, ny, nz int) (*RealPlan3, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &RealPlan3{nx: nx, ny: ny, nz: nz, nzh: nz/2 + 1, pz: pz, py: py, px: px}
-	p.buf = make([]complex128, max(nx, ny))
+	p := &RealPlan3{nx: nx, ny: ny, nz: nz, nzh: nz/2 + 1, pz: []*RealPlan{pz}, py: py, px: px}
+	p.taskFZ = p.forwardZLines
+	p.taskIZ = p.inverseZLines
+	p.taskY = p.yLines
+	p.taskX = p.xLines
+	p.sizeScratch(1)
 	return p, nil
+}
+
+// SetPool attaches a worker pool for line batching (nil restores serial).
+// The pool is shared, not owned: the caller closes it.
+func (p *RealPlan3) SetPool(pool *par.Pool) {
+	p.pool = pool
+	p.sizeScratch(pool.Workers())
+}
+
+func (p *RealPlan3) sizeScratch(workers int) {
+	for len(p.pz) < workers {
+		p.pz = append(p.pz, p.pz[0].Clone())
+	}
+	p.wbuf = make([][]complex128, workers)
+	for w := range p.wbuf {
+		p.wbuf[w] = make([]complex128, max(p.nx, p.ny))
+	}
+}
+
+// forwardZLines r2c-transforms contiguous z lines [lo, hi) of nx·ny.
+func (p *RealPlan3) forwardZLines(w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		p.pz[w].Forward(p.tsrc[i*p.nz:(i+1)*p.nz], p.tspec[i*p.nzh:(i+1)*p.nzh])
+	}
+}
+
+// inverseZLines c2r-transforms contiguous z lines [lo, hi) of nx·ny.
+func (p *RealPlan3) inverseZLines(w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		p.pz[w].Inverse(p.tspec[i*p.nzh:(i+1)*p.nzh], p.tsrc[i*p.nz:(i+1)*p.nz])
+	}
+}
+
+// yLines transforms strided y lines of the compressed array; line i of
+// nx·nzh is (ix, iz) with ix = i/nzh, iz = i%nzh.
+func (p *RealPlan3) yLines(w, lo, hi int) {
+	buf := p.wbuf[w][:p.ny]
+	for i := lo; i < hi; i++ {
+		base := (i/p.nzh)*p.ny*p.nzh + i%p.nzh
+		for iy := 0; iy < p.ny; iy++ {
+			buf[iy] = p.tspec[base+iy*p.nzh]
+		}
+		if p.tinv {
+			p.py.Inverse(buf)
+		} else {
+			p.py.Forward(buf)
+		}
+		for iy := 0; iy < p.ny; iy++ {
+			p.tspec[base+iy*p.nzh] = buf[iy]
+		}
+	}
+}
+
+// xLines transforms strided x lines; line i of ny·nzh starts at base i
+// (i = iy·nzh + iz) with stride ny·nzh.
+func (p *RealPlan3) xLines(w, lo, hi int) {
+	buf := p.wbuf[w][:p.nx]
+	stride := p.ny * p.nzh
+	for i := lo; i < hi; i++ {
+		for ix := 0; ix < p.nx; ix++ {
+			buf[ix] = p.tspec[i+ix*stride]
+		}
+		if p.tinv {
+			p.px.Inverse(buf)
+		} else {
+			p.px.Forward(buf)
+		}
+		for ix := 0; ix < p.nx; ix++ {
+			p.tspec[i+ix*stride] = buf[ix]
+		}
+	}
 }
 
 // MustRealPlan3 is NewRealPlan3 that panics on error.
@@ -178,10 +276,10 @@ func (p *RealPlan3) Forward(src []float64, dst []complex128) {
 			len(src), len(dst), p.nx*p.ny*p.nz, p.SpecLen()))
 	}
 	// r2c along contiguous z lines.
-	for i := 0; i < p.nx*p.ny; i++ {
-		p.pz.Forward(src[i*p.nz:(i+1)*p.nz], dst[i*p.nzh:(i+1)*p.nzh])
-	}
+	p.tsrc, p.tspec = src, dst
+	p.pool.Run(p.nx*p.ny, p.taskFZ)
 	p.transformYX(dst, false)
+	p.tsrc, p.tspec = nil, nil
 }
 
 // Inverse transforms the half-spectrum src back to the real array dst.
@@ -192,47 +290,15 @@ func (p *RealPlan3) Inverse(src []complex128, dst []float64) {
 			len(src), len(dst), p.SpecLen(), p.nx*p.ny*p.nz))
 	}
 	p.transformYX(src, true)
-	for i := 0; i < p.nx*p.ny; i++ {
-		p.pz.Inverse(src[i*p.nzh:(i+1)*p.nzh], dst[i*p.nz:(i+1)*p.nz])
-	}
+	p.tsrc, p.tspec = dst, src
+	p.pool.Run(p.nx*p.ny, p.taskIZ)
+	p.tsrc, p.tspec = nil, nil
 }
 
 // transformYX applies the complex y and x transforms over the compressed
-// (nx, ny, nzh) array.
+// (nx, ny, nzh) array, batching the independent lines across the pool.
 func (p *RealPlan3) transformYX(a []complex128, inverse bool) {
-	buf := p.buf[:p.ny]
-	for ix := 0; ix < p.nx; ix++ {
-		for iz := 0; iz < p.nzh; iz++ {
-			base := ix*p.ny*p.nzh + iz
-			for iy := 0; iy < p.ny; iy++ {
-				buf[iy] = a[base+iy*p.nzh]
-			}
-			if inverse {
-				p.py.Inverse(buf)
-			} else {
-				p.py.Forward(buf)
-			}
-			for iy := 0; iy < p.ny; iy++ {
-				a[base+iy*p.nzh] = buf[iy]
-			}
-		}
-	}
-	bufx := p.buf[:p.nx]
-	stride := p.ny * p.nzh
-	for iy := 0; iy < p.ny; iy++ {
-		for iz := 0; iz < p.nzh; iz++ {
-			base := iy*p.nzh + iz
-			for ix := 0; ix < p.nx; ix++ {
-				bufx[ix] = a[base+ix*stride]
-			}
-			if inverse {
-				p.px.Inverse(bufx)
-			} else {
-				p.px.Forward(bufx)
-			}
-			for ix := 0; ix < p.nx; ix++ {
-				a[base+ix*stride] = bufx[ix]
-			}
-		}
-	}
+	p.tspec, p.tinv = a, inverse
+	p.pool.Run(p.nx*p.nzh, p.taskY)
+	p.pool.Run(p.ny*p.nzh, p.taskX)
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"greem/internal/fft"
+	"greem/internal/par"
 )
 
 // S2Hat is the Fourier transform of the unit-mass S2 density shape of paper
@@ -114,11 +115,36 @@ type PM struct {
 	rplan *fft.RealPlan3 // r2c path; nil when n < 2
 	green *GreenTab      // cached multiplier table; nil → direct KGreenW
 
-	Rho        []float64 // density mesh, ρ (mass / volume)
-	Phi        []float64 // potential mesh
-	Fx, Fy, Fz []float64 // acceleration meshes
+	// workers is the Workers knob (see par.Resolve); the solver owns its
+	// pool and Close releases it.
+	workers int
+	pool    *par.Pool
+
+	Rho        []float64    // density mesh, ρ (mass / volume)
+	Phi        []float64    // potential mesh
+	Fx, Fy, Fz []float64    // acceleration meshes
 	spec       []complex128 // persistent half-spectrum, n·n·(n/2+1)
 	work       []complex128 // full complex mesh, lazily allocated
+
+	// Hoisted per-call scratch for the two-pass parallel assignment: pass A
+	// precomputes wrapped per-axis stencil indices and weights per particle;
+	// pass B deposits by x-plane ownership. Grown amortized, never shrunk.
+	wix, wiy, wiz [][3]int32
+	wwx, wwy, wwz [][3]float64
+
+	// Spectral-differentiation ablation meshes, lazily allocated once.
+	phiHat, fxHat, fyHat, fzHat []complex128
+
+	// Current batch state for the bound range tasks (hoisted so the hot
+	// loops allocate nothing in steady state).
+	tx, ty, tz, tm []float64
+	tax, tay, taz  []float64
+	tpot           []float64
+	np             int
+	tvinv          float64
+
+	taskPrep, taskDeposit, taskConv, taskConvC func(w, lo, hi int)
+	taskDiff, taskInterp, taskPot              func(w, lo, hi int)
 }
 
 // Option configures a PM solver.
@@ -145,6 +171,13 @@ func WithSpectralDifferentiation() Option { return func(p *PM) { p.spectral = tr
 // reference/ablation configuration: twice the FFT arithmetic and spectral
 // memory for identical (to rounding) potentials.
 func WithComplexFFT() Option { return func(p *PM) { p.complexFFT = true } }
+
+// WithWorkers sets the intra-rank worker count for every PM hot loop
+// (assignment, FFT lines, convolution, differencing, interpolation); the
+// knob resolves through par.Resolve (0 ⇒ serial, par.Auto ⇒ GOMAXPROCS).
+// Results are bit-identical to serial for any worker count; call Close when
+// done to release the pool.
+func WithWorkers(w int) Option { return func(p *PM) { p.workers = w } }
 
 // New creates a PM solver for an n³ mesh (n a power of two) on a periodic
 // box of side l with gravitational constant g and force-split radius rcut.
@@ -182,7 +215,27 @@ func New(n int, l, g, rcut float64, opts ...Option) (*PM, error) {
 		pm.rplan = rplan
 		pm.spec = make([]complex128, rplan.SpecLen())
 	}
+	pm.pool = par.New(par.Resolve(pm.workers, 1))
+	if pm.pool != nil {
+		pm.plan.SetPool(pm.pool)
+		if pm.rplan != nil {
+			pm.rplan.SetPool(pm.pool)
+		}
+	}
+	pm.taskPrep = pm.assignPrep
+	pm.taskDeposit = pm.assignDeposit
+	pm.taskConv = pm.convRows
+	pm.taskConvC = pm.convRowsComplex
+	pm.taskDiff = pm.diffRows
+	pm.taskInterp = pm.interpRange
+	pm.taskPot = pm.potRange
 	return pm, nil
+}
+
+// Close releases the solver's worker pool (no-op for a serial solver).
+func (pm *PM) Close() {
+	pm.pool.Close()
+	pm.pool = nil
 }
 
 // ensureWork lazily allocates the full complex mesh used only by the
@@ -254,31 +307,87 @@ func (pm *PM) wrapIdx(i int) int {
 	return i
 }
 
-// AssignTSC deposits the masses m at positions (x, y, z) onto the density
-// mesh with the TSC scheme, in which each particle interacts with 27 grid
-// points (paper §II-B step 1). Positions must lie in [0, l).
-func (pm *PM) AssignTSC(x, y, z, m []float64) {
-	vinv := 1 / (pm.h * pm.h * pm.h)
+// growScratch sizes the per-particle assignment scratch (amortized; the
+// backing arrays persist on the struct so a steady-state step allocates
+// nothing).
+func (pm *PM) growScratch(np int) {
+	if cap(pm.wix) < np {
+		pm.wix = make([][3]int32, np)
+		pm.wiy = make([][3]int32, np)
+		pm.wiz = make([][3]int32, np)
+		pm.wwx = make([][3]float64, np)
+		pm.wwy = make([][3]float64, np)
+		pm.wwz = make([][3]float64, np)
+	}
+	pm.wix = pm.wix[:np]
+	pm.wiy = pm.wiy[:np]
+	pm.wiz = pm.wiz[:np]
+	pm.wwx = pm.wwx[:np]
+	pm.wwy = pm.wwy[:np]
+	pm.wwz = pm.wwz[:np]
+}
+
+// assignPrep (pass A) computes each particle's wrapped stencil indices and
+// weights; particles are independent, so the range split is race-free. The
+// particle mass (over cell volume) folds into the x weights exactly as the
+// serial loop did (wx[a]·mv), preserving the multiplication order.
+func (pm *PM) assignPrep(w, lo, hi int) {
 	sup := pm.support()
-	for p := range x {
-		ix, wx := pm.tsc(x[p])
-		iy, wy := pm.tsc(y[p])
-		iz, wz := pm.tsc(z[p])
-		mv := m[p] * vinv
+	for p := lo; p < hi; p++ {
+		ix, wx := pm.tsc(pm.tx[p])
+		iy, wy := pm.tsc(pm.ty[p])
+		iz, wz := pm.tsc(pm.tz[p])
+		mv := pm.tm[p] * pm.tvinv
 		for a := 0; a < sup; a++ {
-			ia := pm.wrapIdx(ix + a)
-			wxa := wx[a] * mv
+			pm.wix[p][a] = int32(pm.wrapIdx(ix + a))
+			pm.wiy[p][a] = int32(pm.wrapIdx(iy + a))
+			pm.wiz[p][a] = int32(pm.wrapIdx(iz + a))
+			pm.wwx[p][a] = wx[a] * mv
+			pm.wwy[p][a] = wy[a]
+			pm.wwz[p][a] = wz[a]
+		}
+	}
+}
+
+// assignDeposit (pass B) deposits by x-plane ownership: the pool hands
+// worker w the contiguous plane range [lo, hi) and the worker scans every
+// particle, depositing only stencil planes it owns. Each cell therefore
+// receives its contributions in exactly the serial particle-and-stencil
+// order, so the parallel density is bit-identical to the serial one for any
+// worker count — the owner-computes analogue of the deterministic reduction
+// the cross-rank assignment uses.
+func (pm *PM) assignDeposit(w, lo, hi int) {
+	n := pm.n
+	sup := pm.support()
+	for p := 0; p < pm.np; p++ {
+		for a := 0; a < sup; a++ {
+			ia := int(pm.wix[p][a])
+			if ia < lo || ia >= hi {
+				continue
+			}
+			wxa := pm.wwx[p][a]
 			for b := 0; b < sup; b++ {
-				ib := pm.wrapIdx(iy + b)
-				wab := wxa * wy[b]
-				rowBase := (ia*pm.n + ib) * pm.n
+				wab := wxa * pm.wwy[p][b]
+				rowBase := (ia*n + int(pm.wiy[p][b])) * n
 				for c := 0; c < sup; c++ {
-					ic := pm.wrapIdx(iz + c)
-					pm.Rho[rowBase+ic] += wab * wz[c]
+					pm.Rho[rowBase+int(pm.wiz[p][c])] += wab * pm.wwz[p][c]
 				}
 			}
 		}
 	}
+}
+
+// AssignTSC deposits the masses m at positions (x, y, z) onto the density
+// mesh with the TSC scheme, in which each particle interacts with 27 grid
+// points (paper §II-B step 1). Positions must lie in [0, l).
+func (pm *PM) AssignTSC(x, y, z, m []float64) {
+	pm.growScratch(len(x))
+	pm.tx, pm.ty, pm.tz, pm.tm = x, y, z, m
+	pm.np = len(x)
+	pm.tvinv = 1 / (pm.h * pm.h * pm.h)
+	pm.pool.Run(len(x), pm.taskPrep)
+	pm.pool.Run(pm.n, pm.taskDeposit)
+	pm.tx, pm.ty, pm.tz, pm.tm = nil, nil, nil, nil
 }
 
 // Solve computes the long-range potential from the density mesh: forward
@@ -295,9 +404,16 @@ func (pm *PM) Solve() {
 		pm.solveComplex()
 		return
 	}
-	n, nh := pm.n, pm.n/2+1
 	pm.rplan.Forward(pm.Rho, pm.spec)
-	for jx := 0; jx < n; jx++ {
+	pm.pool.Run(pm.n, pm.taskConv)
+	pm.rplan.Inverse(pm.spec, pm.Phi)
+}
+
+// convRows multiplies half-spectrum rows jx ∈ [lo, hi) by the Green table;
+// rows are disjoint, so the parallel convolution is bit-identical to serial.
+func (pm *PM) convRows(w, lo, hi int) {
+	n, nh := pm.n, pm.n/2+1
+	for jx := lo; jx < hi; jx++ {
 		for jy := 0; jy < n; jy++ {
 			base := (jx*n + jy) * nh
 			row := pm.green.Row(jx, jy)
@@ -306,19 +422,12 @@ func (pm *PM) Solve() {
 			}
 		}
 	}
-	pm.rplan.Inverse(pm.spec, pm.Phi)
 }
 
-// solveComplex is the full complex-to-complex reference path (WithComplexFFT,
-// and the n == 1 degenerate mesh).
-func (pm *PM) solveComplex() {
+// convRowsComplex is the full-spectrum counterpart for the complex path.
+func (pm *PM) convRowsComplex(w, lo, hi int) {
 	n := pm.n
-	pm.ensureWork()
-	for i, r := range pm.Rho {
-		pm.work[i] = complex(r, 0)
-	}
-	pm.plan.Forward(pm.work)
-	for jx := 0; jx < n; jx++ {
+	for jx := lo; jx < hi; jx++ {
 		for jy := 0; jy < n; jy++ {
 			base := (jx*n + jy) * n
 			for jz := 0; jz < n; jz++ {
@@ -326,6 +435,17 @@ func (pm *PM) solveComplex() {
 			}
 		}
 	}
+}
+
+// solveComplex is the full complex-to-complex reference path (WithComplexFFT,
+// and the n == 1 degenerate mesh).
+func (pm *PM) solveComplex() {
+	pm.ensureWork()
+	for i, r := range pm.Rho {
+		pm.work[i] = complex(r, 0)
+	}
+	pm.plan.Forward(pm.work)
+	pm.pool.Run(pm.n, pm.taskConvC)
 	pm.plan.Inverse(pm.work)
 	for i := range pm.Phi {
 		pm.Phi[i] = real(pm.work[i])
@@ -339,9 +459,15 @@ func (pm *PM) solveComplex() {
 //
 // (paper §II-B step 5, first half).
 func (pm *PM) DiffForce() {
+	pm.pool.Run(pm.n, pm.taskDiff)
+}
+
+// diffRows computes the finite-difference accelerations for x-planes
+// ix ∈ [lo, hi); every cell is written by exactly one worker.
+func (pm *PM) diffRows(w, lo, hi int) {
 	n := pm.n
 	c := 1 / (12 * pm.h)
-	for ix := 0; ix < n; ix++ {
+	for ix := lo; ix < hi; ix++ {
 		xp1, xm1 := pm.wrapIdx(ix+1), pm.wrapIdx(ix-1)
 		xp2, xm2 := pm.wrapIdx(ix+2), pm.wrapIdx(ix-2)
 		for iy := 0; iy < n; iy++ {
@@ -365,12 +491,22 @@ func (pm *PM) DiffForce() {
 // InterpolateTSC adds the mesh accelerations, TSC-interpolated at each
 // particle position, into (ax, ay, az) (paper §II-B step 5, second half).
 func (pm *PM) InterpolateTSC(x, y, z []float64, ax, ay, az []float64) {
-	for p := range x {
-		ix, wx := pm.tsc(x[p])
-		iy, wy := pm.tsc(y[p])
-		iz, wz := pm.tsc(z[p])
+	pm.tx, pm.ty, pm.tz = x, y, z
+	pm.tax, pm.tay, pm.taz = ax, ay, az
+	pm.pool.Run(len(x), pm.taskInterp)
+	pm.tx, pm.ty, pm.tz = nil, nil, nil
+	pm.tax, pm.tay, pm.taz = nil, nil, nil
+}
+
+// interpRange interpolates forces for particles [lo, hi); each particle's
+// accumulators are written by exactly one worker.
+func (pm *PM) interpRange(w, lo, hi int) {
+	sup := pm.support()
+	for p := lo; p < hi; p++ {
+		ix, wx := pm.tsc(pm.tx[p])
+		iy, wy := pm.tsc(pm.ty[p])
+		iz, wz := pm.tsc(pm.tz[p])
 		var fx, fy, fz float64
-		sup := pm.support()
 		for a := 0; a < sup; a++ {
 			ia := pm.wrapIdx(ix + a)
 			for b := 0; b < sup; b++ {
@@ -379,28 +515,35 @@ func (pm *PM) InterpolateTSC(x, y, z []float64, ax, ay, az []float64) {
 				rowBase := (ia*pm.n + ib) * pm.n
 				for c := 0; c < sup; c++ {
 					ic := pm.wrapIdx(iz + c)
-					w := wab * wz[c]
-					fx += w * pm.Fx[rowBase+ic]
-					fy += w * pm.Fy[rowBase+ic]
-					fz += w * pm.Fz[rowBase+ic]
+					wc := wab * wz[c]
+					fx += wc * pm.Fx[rowBase+ic]
+					fy += wc * pm.Fy[rowBase+ic]
+					fz += wc * pm.Fz[rowBase+ic]
 				}
 			}
 		}
-		ax[p] += fx
-		ay[p] += fy
-		az[p] += fz
+		pm.tax[p] += fx
+		pm.tay[p] += fy
+		pm.taz[p] += fz
 	}
 }
 
 // InterpolatePot returns the TSC-interpolated long-range potential at the
 // given positions (a diagnostic for energy bookkeeping).
 func (pm *PM) InterpolatePot(x, y, z []float64, pot []float64) {
-	for p := range x {
-		ix, wx := pm.tsc(x[p])
-		iy, wy := pm.tsc(y[p])
-		iz, wz := pm.tsc(z[p])
+	pm.tx, pm.ty, pm.tz, pm.tpot = x, y, z, pot
+	pm.pool.Run(len(x), pm.taskPot)
+	pm.tx, pm.ty, pm.tz, pm.tpot = nil, nil, nil, nil
+}
+
+// potRange interpolates the potential for particles [lo, hi).
+func (pm *PM) potRange(w, lo, hi int) {
+	sup := pm.support()
+	for p := lo; p < hi; p++ {
+		ix, wx := pm.tsc(pm.tx[p])
+		iy, wy := pm.tsc(pm.ty[p])
+		iz, wz := pm.tsc(pm.tz[p])
 		var s float64
-		sup := pm.support()
 		for a := 0; a < sup; a++ {
 			ia := pm.wrapIdx(ix + a)
 			for b := 0; b < sup; b++ {
@@ -413,7 +556,7 @@ func (pm *PM) InterpolatePot(x, y, z []float64, pot []float64) {
 				}
 			}
 		}
-		pot[p] += s
+		pm.tpot[p] += s
 	}
 }
 
@@ -426,10 +569,14 @@ func (pm *PM) SolveSpectral() {
 		pm.work[i] = complex(r, 0)
 	}
 	pm.plan.Forward(pm.work)
-	phiHat := make([]complex128, len(pm.work))
-	fxHat := make([]complex128, len(pm.work))
-	fyHat := make([]complex128, len(pm.work))
-	fzHat := make([]complex128, len(pm.work))
+	if pm.phiHat == nil {
+		size := len(pm.work)
+		pm.phiHat = make([]complex128, size)
+		pm.fxHat = make([]complex128, size)
+		pm.fyHat = make([]complex128, size)
+		pm.fzHat = make([]complex128, size)
+	}
+	phiHat, fxHat, fyHat, fzHat := pm.phiHat, pm.fxHat, pm.fyHat, pm.fzHat
 	twoPiL := 2 * math.Pi / pm.l
 	for jx := 0; jx < n; jx++ {
 		kx := twoPiL * float64(foldMode(jx, n))

@@ -1,0 +1,206 @@
+// Package par provides the intra-rank worker pool that threads the PM
+// pipeline and the integrator loops — the stand-in for the OpenMP threads
+// inside each MPI process of the paper's hybrid parallelization (GreeM on K
+// computer runs one process per node with 8 threads). Ranks are goroutines in
+// this reproduction, so each rank owns one Pool and drives every O(N)/O(M³)
+// hot loop through it.
+//
+// # Workers semantics (the one place this is documented)
+//
+// Every Workers knob in the tree — sim.Config.Workers, treepm.Config.Workers,
+// pmpar.Config.Workers, tree.ForceOpts.Workers — resolves through Resolve:
+//
+//	w > 0  ⇒ exactly w workers
+//	w == 0 ⇒ 1 worker (serial; the default, so existing configurations keep
+//	         their single-threaded behaviour)
+//	w < 0  ⇒ Auto: GOMAXPROCS capped per rank (GOMAXPROCS / ranks, min 1),
+//	         so a many-core host is saturated without oversubscribing when
+//	         several ranks-as-goroutines share it
+//
+// # Determinism
+//
+// The pool is a scheduler, not an algorithm: every loop driven through it is
+// decomposed so the floating-point result is bit-identical to the serial
+// loop for any worker count (disjoint index ranges for pure per-element work;
+// owner-computes plane decomposition for the TSC scatter — see
+// mesh.PM.AssignTSC). Run itself only splits [0, total) into one contiguous
+// range per worker, deterministically.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Auto is the Workers knob value selecting GOMAXPROCS-capped-per-rank
+// resolution (see the package comment).
+const Auto = -1
+
+// Resolve maps a Workers knob to a concrete worker count for a rank that
+// shares the host with `ranks` peer ranks (pass 1 for a standalone solver).
+func Resolve(w, ranks int) int {
+	if w > 0 {
+		return w
+	}
+	if w == 0 {
+		return 1
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	n := runtime.GOMAXPROCS(0) / ranks
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Pool is a fixed set of worker goroutines executing index-range tasks for
+// one rank. The zero steady-state-allocation discipline of the PM hot loops
+// extends through Run: dispatch is channel signals and a WaitGroup, and the
+// task function is expected to be a hoisted (struct-bound) func value, so a
+// Run costs no heap allocation.
+//
+// A Pool is owned by a single goroutine (its rank): Run, TakeBusy and Close
+// must not be called concurrently. Worker goroutines start lazily on the
+// first parallel Run and park on a channel receive between tasks; Close
+// releases them. A nil *Pool is valid and runs everything serially inline.
+type Pool struct {
+	nw int
+
+	// Task state for the current Run; written before the start signals,
+	// read by workers, and not touched again until wg.Wait returns.
+	fn    func(w, lo, hi int)
+	total int
+
+	started bool
+	closed  bool
+	work    []chan struct{}
+	wg      sync.WaitGroup
+
+	// dur[w] is worker w's execution time in the current Run (written only
+	// by worker w, read after wg.Wait). busy/idle accumulate across Runs
+	// until TakeBusy: idle is Σ_w (span − dur[w]) per Run with span the
+	// slowest worker, so busy/(busy+idle) is the pool utilization and
+	// (busy+idle)/busy the max/mean intra-rank imbalance.
+	dur  []time.Duration
+	busy time.Duration
+	idle time.Duration
+}
+
+// New creates a pool of exactly workers workers (callers resolve knobs with
+// Resolve first). workers ≤ 1 returns nil: the nil pool runs serially.
+func New(workers int) *Pool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &Pool{nw: workers}
+	p.work = make([]chan struct{}, workers)
+	p.dur = make([]time.Duration, workers)
+	return p
+}
+
+// Workers returns the worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.nw
+}
+
+// start launches the parked worker goroutines (workers 1..nw-1; worker 0 is
+// the calling goroutine).
+func (p *Pool) start() {
+	p.started = true
+	for w := 1; w < p.nw; w++ {
+		ch := make(chan struct{}, 1)
+		p.work[w] = ch
+		go p.worker(w, ch)
+	}
+}
+
+func (p *Pool) worker(w int, ch chan struct{}) {
+	for range ch {
+		t0 := time.Now()
+		lo := w * p.total / p.nw
+		hi := (w + 1) * p.total / p.nw
+		if hi > lo {
+			p.fn(w, lo, hi)
+		}
+		p.dur[w] = time.Since(t0)
+		p.wg.Done()
+	}
+}
+
+// Run executes fn over the index range [0, total), split into one contiguous
+// sub-range per worker: fn(w, lo, hi) covers [lo, hi). Workers run
+// concurrently; Run returns when all are done. On a nil pool (or total ≤ 0,
+// degenerate) fn runs inline as fn(0, 0, total).
+func (p *Pool) Run(total int, fn func(w, lo, hi int)) {
+	if p == nil || p.nw <= 1 || total <= 1 {
+		if total > 0 {
+			t0 := time.Now()
+			fn(0, 0, total)
+			if p != nil {
+				p.busy += time.Since(t0)
+			}
+		}
+		return
+	}
+	if !p.started {
+		p.start()
+	}
+	p.fn, p.total = fn, total
+	p.wg.Add(p.nw - 1)
+	for w := 1; w < p.nw; w++ {
+		p.work[w] <- struct{}{}
+	}
+	t0 := time.Now()
+	if hi := total / p.nw; hi > 0 {
+		fn(0, 0, hi)
+	}
+	p.dur[0] = time.Since(t0)
+	p.wg.Wait()
+	p.fn = nil
+
+	span := time.Duration(0)
+	for _, d := range p.dur[:p.nw] {
+		if d > span {
+			span = d
+		}
+	}
+	for _, d := range p.dur[:p.nw] {
+		p.busy += d
+		p.idle += span - d
+	}
+}
+
+// TakeBusy returns the busy and idle time accumulated by Runs since the last
+// TakeBusy, and resets both. Busy is the summed per-worker execution time;
+// idle is the summed time workers waited on the slowest worker of each Run.
+// (busy+idle)/busy is therefore the max/mean intra-rank imbalance, the
+// within-rank analogue of telemetry's cross-rank phase imbalance.
+func (p *Pool) TakeBusy() (busy, idle time.Duration) {
+	if p == nil {
+		return 0, 0
+	}
+	busy, idle = p.busy, p.idle
+	p.busy, p.idle = 0, 0
+	return busy, idle
+}
+
+// Close releases the worker goroutines. The pool must not be used after
+// Close. Safe to call on a nil or never-started pool, and idempotent.
+func (p *Pool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	if !p.started {
+		return
+	}
+	for w := 1; w < p.nw; w++ {
+		close(p.work[w])
+	}
+}

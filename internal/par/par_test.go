@@ -1,0 +1,151 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(7, 1); got != 7 {
+		t.Errorf("Resolve(7, 1) = %d, want 7", got)
+	}
+	if got := Resolve(0, 1); got != 1 {
+		t.Errorf("Resolve(0, 1) = %d, want 1 (serial default)", got)
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	if got := Resolve(Auto, 1); got != gmp {
+		t.Errorf("Resolve(Auto, 1) = %d, want GOMAXPROCS = %d", got, gmp)
+	}
+	if got := Resolve(Auto, 2*gmp); got != 1 {
+		t.Errorf("Resolve(Auto, %d) = %d, want 1 (capped per rank)", 2*gmp, got)
+	}
+}
+
+func TestNilPoolRunsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", p.Workers())
+	}
+	sum := 0
+	p.Run(10, func(w, lo, hi int) {
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Errorf("nil pool ran fn(%d, %d, %d), want (0, 0, 10)", w, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if sum != 45 {
+		t.Errorf("sum = %d, want 45", sum)
+	}
+	p.Close() // must not panic
+}
+
+func TestNewSerialIsNil(t *testing.T) {
+	for _, w := range []int{-3, 0, 1} {
+		if New(w) != nil {
+			t.Errorf("New(%d) should be nil (serial)", w)
+		}
+	}
+}
+
+func TestRunCoversRangeOnce(t *testing.T) {
+	for _, nw := range []int{2, 3, 7} {
+		p := New(nw)
+		defer p.Close()
+		const total = 1001
+		hits := make([]int32, total)
+		p.Run(total, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("nw=%d: index %d covered %d times", nw, i, h)
+			}
+		}
+	}
+}
+
+func TestRunRangesAreContiguousAndOrdered(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const total = 37
+	var lows, highs [4]int64
+	p.Run(total, func(w, lo, hi int) {
+		atomic.StoreInt64(&lows[w], int64(lo))
+		atomic.StoreInt64(&highs[w], int64(hi))
+	})
+	if lows[0] != 0 || highs[3] != total {
+		t.Fatalf("range does not span [0, %d): %v %v", total, lows, highs)
+	}
+	for w := 1; w < 4; w++ {
+		if lows[w] != highs[w-1] {
+			t.Fatalf("worker %d starts at %d, previous ended at %d", w, lows[w], highs[w-1])
+		}
+	}
+}
+
+func TestRunReusableAcrossTasks(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	a := make([]float64, 100)
+	p.Run(len(a), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = float64(i)
+		}
+	})
+	p.Run(len(a), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] *= 2
+		}
+	})
+	for i := range a {
+		if a[i] != 2*float64(i) {
+			t.Fatalf("a[%d] = %v, want %v", i, a[i], 2*float64(i))
+		}
+	}
+}
+
+func TestTakeBusyAccumulatesAndResets(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var sink [2]float64
+	p.Run(1000, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink[w] += float64(i) * float64(i)
+		}
+	})
+	busy, idle := p.TakeBusy()
+	if busy <= 0 {
+		t.Errorf("busy = %v, want > 0", busy)
+	}
+	if idle < 0 {
+		t.Errorf("idle = %v, want ≥ 0", idle)
+	}
+	b2, i2 := p.TakeBusy()
+	if b2 != 0 || i2 != 0 {
+		t.Errorf("TakeBusy did not reset: %v, %v", b2, i2)
+	}
+	_ = sink
+}
+
+func TestRunZeroAllocs(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	a := make([]float64, 4096)
+	fn := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i]++
+		}
+	}
+	p.Run(len(a), fn) // warm up: start the workers
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Run(len(a), fn)
+	})
+	if allocs != 0 {
+		t.Errorf("Run allocates %v objects per call, want 0", allocs)
+	}
+}

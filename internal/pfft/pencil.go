@@ -5,6 +5,7 @@ import (
 
 	"greem/internal/fft"
 	"greem/internal/mpi"
+	"greem/internal/par"
 )
 
 // PencilPlan is a 2-D ("pencil") decomposed parallel 3-D FFT — the paper's
@@ -45,15 +46,25 @@ type PencilPlan struct {
 
 	// Real (half-spectrum) path: x compressed to nxh = n/2+1 modes.
 	nxh   int
-	layXh Layout        // compressed x over py (layouts B, C)
-	xch   int           // B and C: local compressed-x extent
-	rline *fft.RealPlan // nil when n < 2
+	layXh Layout          // compressed x over py (layouts B, C)
+	xch   int             // B and C: local compressed-x extent
+	rline []*fft.RealPlan // per-worker r2c/c2r plans; nil when n < 2
 
-	lineBuf []complex128   // fftLines gather scratch, len n
-	realBuf []float64      // strided r2c/c2r line scratch, len n
-	specBuf []complex128   // strided r2c/c2r line scratch, len nxh
+	pool  *par.Pool
+	wline [][]complex128 // per-worker fftLines gather scratch, len n
+	wreal [][]float64    // per-worker strided r2c/c2r line scratch, len n
+	wspec [][]complex128 // per-worker strided r2c/c2r line scratch, len nxh
+
 	sendRow [][]complex128 // reused row-transpose send blocks
 	sendCol [][]complex128 // reused column-transpose send blocks
+
+	// Current fftLines batch state for the bound range task (hoisted so the
+	// per-line loop allocates nothing in steady state).
+	tfa       []complex128
+	tfbase    func(int) int
+	tfstride  int
+	tfinv     bool
+	taskLines func(w, lo, hi int)
 }
 
 // NewPencilPlan creates a pencil FFT plan on a communicator of exactly
@@ -89,14 +100,33 @@ func NewPencilPlan(c *mpi.Comm, n, py, pz int) (*PencilPlan, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.rline = rl
+		p.rline = []*fft.RealPlan{rl}
 	}
-	p.lineBuf = make([]complex128, n)
-	p.realBuf = make([]float64, n)
-	p.specBuf = make([]complex128, p.nxh)
+	p.taskLines = p.lineRange
+	p.sizeScratch(1)
 	p.sendRow = make([][]complex128, py)
 	p.sendCol = make([][]complex128, pz)
 	return p, nil
+}
+
+// SetPool attaches a worker pool for batching the local line work (nil
+// restores serial). The pool is shared, not owned: the caller closes it.
+func (p *PencilPlan) SetPool(pool *par.Pool) {
+	p.pool = pool
+	p.sizeScratch(pool.Workers())
+}
+
+func (p *PencilPlan) sizeScratch(workers int) {
+	for len(p.wline) < workers {
+		p.wline = append(p.wline, make([]complex128, p.n))
+		p.wreal = append(p.wreal, make([]float64, p.n))
+		p.wspec = append(p.wspec, make([]complex128, p.nxh))
+	}
+	if p.rline != nil {
+		for len(p.rline) < workers {
+			p.rline = append(p.rline, p.rline[0].Clone())
+		}
+	}
 }
 
 // InDims returns the input (A) pencil extents: full x, y ∈ [yoff, yoff+yc),
@@ -128,15 +158,25 @@ func (p *PencilPlan) OutSize() int { return p.xc * p.yc2 * p.n }
 func (p *PencilPlan) SpecSize() int { return p.xch * p.yc2 * p.n }
 
 // fftLines transforms count lines of length n with the given stride,
-// starting at base indices base(i).
+// starting at base indices base(i). Lines batch across the pool workers,
+// each line handled by exactly one worker with private scratch, so the
+// parallel result is bit-identical to serial.
 func (p *PencilPlan) fftLines(a []complex128, nlines int, base func(int) int, stride int, inverse bool) {
-	buf := p.lineBuf
-	for li := 0; li < nlines; li++ {
+	p.tfa, p.tfbase, p.tfstride, p.tfinv = a, base, stride, inverse
+	p.pool.Run(nlines, p.taskLines)
+	p.tfa, p.tfbase = nil, nil
+}
+
+// lineRange is the bound fftLines range task.
+func (p *PencilPlan) lineRange(w, lo, hi int) {
+	a, base, stride := p.tfa, p.tfbase, p.tfstride
+	buf := p.wline[w]
+	for li := lo; li < hi; li++ {
 		b0 := base(li)
 		for k := 0; k < p.n; k++ {
 			buf[k] = a[b0+k*stride]
 		}
-		if inverse {
+		if p.tfinv {
 			p.line.Inverse(buf)
 		} else {
 			p.line.Forward(buf)
@@ -145,6 +185,20 @@ func (p *PencilPlan) fftLines(a []complex128, nlines int, base func(int) int, st
 			a[b0+k*stride] = buf[k]
 		}
 	}
+}
+
+// zLines runs the contiguous C-layout z transforms over the pool.
+func (p *PencilPlan) zLines(a []complex128, nlines int, inverse bool) {
+	p.pool.Run(nlines, func(w, lo, hi int) {
+		for li := lo; li < hi; li++ {
+			line := a[li*p.n : (li+1)*p.n]
+			if inverse {
+				p.line.Inverse(line)
+			} else {
+				p.line.Forward(line)
+			}
+		}
+	})
 }
 
 // Forward transforms the A-layout input into the C-layout k-space output.
@@ -164,9 +218,7 @@ func (p *PencilPlan) Forward(in []complex128) []complex128 {
 	}, p.xc*p.zc, false)
 	cArr := p.transposeBC(bArr, p.xc)
 	// FFT along z in C: contiguous lines.
-	for li := 0; li < p.xc*p.yc2; li++ {
-		p.line.Forward(cArr[li*p.n : (li+1)*p.n])
-	}
+	p.zLines(cArr, p.xc*p.yc2, false)
 	return cArr
 }
 
@@ -176,9 +228,7 @@ func (p *PencilPlan) Inverse(c []complex128) []complex128 {
 		panic(fmt.Sprintf("pfft: pencil input %d, want %d", len(c), p.OutSize()))
 	}
 	cArr := append([]complex128(nil), c...)
-	for li := 0; li < p.xc*p.yc2; li++ {
-		p.line.Inverse(cArr[li*p.n : (li+1)*p.n])
-	}
+	p.zLines(cArr, p.xc*p.yc2, true)
 	bArr := p.transposeCB(cArr, p.xc)
 	p.fftLines(bArr, p.xc*p.zc, func(li int) int {
 		ix := li / p.zc
@@ -207,15 +257,18 @@ func (p *PencilPlan) ForwardReal(in []float64) []complex128 {
 	// r2c along x: strided lines indexed by (iy, iz), stride yc·zc.
 	yczc := p.yc * p.zc
 	ha := make([]complex128, p.nxh*yczc)
-	for li := 0; li < yczc; li++ {
-		for k := 0; k < p.n; k++ {
-			p.realBuf[k] = in[li+k*yczc]
+	p.pool.Run(yczc, func(w, lo, hi int) {
+		realBuf, specBuf := p.wreal[w], p.wspec[w]
+		for li := lo; li < hi; li++ {
+			for k := 0; k < p.n; k++ {
+				realBuf[k] = in[li+k*yczc]
+			}
+			p.rline[w].Forward(realBuf, specBuf)
+			for k := 0; k < p.nxh; k++ {
+				ha[li+k*yczc] = specBuf[k]
+			}
 		}
-		p.rline.Forward(p.realBuf, p.specBuf)
-		for k := 0; k < p.nxh; k++ {
-			ha[li+k*yczc] = p.specBuf[k]
-		}
-	}
+	})
 	bArr := p.transposeAB(ha, p.layXh, p.xch)
 	// FFT along y over the compressed-x extent.
 	p.fftLines(bArr, p.xch*p.zc, func(li int) int {
@@ -224,9 +277,7 @@ func (p *PencilPlan) ForwardReal(in []float64) []complex128 {
 		return ix*p.zc + iz
 	}, p.xch*p.zc, false)
 	cArr := p.transposeBC(bArr, p.xch)
-	for li := 0; li < p.xch*p.yc2; li++ {
-		p.line.Forward(cArr[li*p.n : (li+1)*p.n])
-	}
+	p.zLines(cArr, p.xch*p.yc2, false)
 	return cArr
 }
 
@@ -244,9 +295,7 @@ func (p *PencilPlan) InverseReal(spec []complex128) []float64 {
 		return out
 	}
 	cArr := append([]complex128(nil), spec...)
-	for li := 0; li < p.xch*p.yc2; li++ {
-		p.line.Inverse(cArr[li*p.n : (li+1)*p.n])
-	}
+	p.zLines(cArr, p.xch*p.yc2, true)
 	bArr := p.transposeCB(cArr, p.xch)
 	p.fftLines(bArr, p.xch*p.zc, func(li int) int {
 		ix := li / p.zc
@@ -255,15 +304,18 @@ func (p *PencilPlan) InverseReal(spec []complex128) []float64 {
 	}, p.xch*p.zc, true)
 	ha := p.transposeBA(bArr, p.layXh, p.xch)
 	yczc := p.yc * p.zc
-	for li := 0; li < yczc; li++ {
-		for k := 0; k < p.nxh; k++ {
-			p.specBuf[k] = ha[li+k*yczc]
+	p.pool.Run(yczc, func(w, lo, hi int) {
+		realBuf, specBuf := p.wreal[w], p.wspec[w]
+		for li := lo; li < hi; li++ {
+			for k := 0; k < p.nxh; k++ {
+				specBuf[k] = ha[li+k*yczc]
+			}
+			p.rline[w].Inverse(specBuf, realBuf)
+			for k := 0; k < p.n; k++ {
+				out[li+k*yczc] = realBuf[k]
+			}
 		}
-		p.rline.Inverse(p.specBuf, p.realBuf)
-		for k := 0; k < p.n; k++ {
-			out[li+k*yczc] = p.realBuf[k]
-		}
-	}
+	})
 	return out
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"greem/internal/fft"
 	"greem/internal/mpi"
+	"greem/internal/par"
 )
 
 // Layout describes balanced x-slab ownership of an n³ mesh over p ranks:
@@ -63,7 +64,10 @@ func (l Layout) OwnerOf(ix int) int {
 // Plan is a parallel FFT plan bound to one communicator. All ranks of the
 // communicator must call Forward/Inverse collectively. A Plan owns reusable
 // scratch buffers, so it must not be shared between goroutines (each rank
-// builds its own).
+// builds its own); an attached par.Pool (SetPool) batches the local
+// per-line work and the transpose pack/unpack across the rank's workers,
+// with each line (or peer-rank block) handled by exactly one worker so the
+// parallel transform is bit-identical to the serial one.
 type Plan struct {
 	comm *mpi.Comm
 	n    int
@@ -72,14 +76,30 @@ type Plan struct {
 
 	cnt, off int // this rank's slab
 
-	line  *fft.Plan     // length-n 1-D plan for the complex passes
-	rline *fft.RealPlan // z-axis r2c/c2r plan; nil when n < 2
+	line  *fft.Plan       // length-n 1-D plan for the complex passes (scratch-free, shared)
+	rline []*fft.RealPlan // per-worker z-axis r2c/c2r plans; nil when n < 2
 	ycnt  int
 	yoff  int
 
-	midBuf []complex128   // transformMid line gather scratch, len n
-	send   [][]complex128 // per-destination transpose blocks, reused
-	trBuf  []complex128   // y-slab transpose target, reused
+	pool *par.Pool
+	wmid [][]complex128 // per-worker mid-axis line gather scratch, len n each
+
+	send  [][]complex128 // per-destination transpose blocks, reused
+	trBuf []complex128   // y-slab transpose target, reused
+
+	// Current batch state for the bound range tasks (hoisted so the hot
+	// path allocates nothing in steady state).
+	ta     []complex128
+	tinv   bool
+	trow   int
+	treal  []float64
+	tspec  []complex128
+	tlocal []complex128
+	ttr    []complex128
+	trecv  [][]complex128
+
+	taskZ, taskMid, taskFZ, taskIZ                     func(w, lo, hi int)
+	taskPackXY, taskUnpackXY, taskPackYX, taskUnpackYX func(w, lo, hi int)
 }
 
 // NewPlan creates a slab FFT plan for an n³ mesh (n a power of two) on the
@@ -104,11 +124,37 @@ func NewPlan(c *mpi.Comm, n int) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.rline = rl
+		p.rline = []*fft.RealPlan{rl}
 	}
-	p.midBuf = make([]complex128, n)
 	p.send = make([][]complex128, c.Size())
+	p.taskZ = p.zLines
+	p.taskMid = p.midLines
+	p.taskFZ = p.fzLines
+	p.taskIZ = p.izLines
+	p.taskPackXY = p.packXY
+	p.taskUnpackXY = p.unpackXY
+	p.taskPackYX = p.packYX
+	p.taskUnpackYX = p.unpackYX
+	p.sizeScratch(1)
 	return p, nil
+}
+
+// SetPool attaches a worker pool for batching local line work (nil restores
+// serial). The pool is shared, not owned: the caller closes it.
+func (p *Plan) SetPool(pool *par.Pool) {
+	p.pool = pool
+	p.sizeScratch(pool.Workers())
+}
+
+func (p *Plan) sizeScratch(workers int) {
+	for len(p.wmid) < workers {
+		p.wmid = append(p.wmid, make([]complex128, p.n))
+	}
+	if p.rline != nil {
+		for len(p.rline) < workers {
+			p.rline = append(p.rline, p.rline[0].Clone())
+		}
+	}
 }
 
 // growC resizes buf to n elements, reusing its backing array when possible.
@@ -119,13 +165,12 @@ func growC(buf []complex128, n int) []complex128 {
 	return buf[:n]
 }
 
-// transformZ applies the 1-D transform along z for every line of an
-// (nslab, n, n) slab.
-func (p *Plan) transformZ(a []complex128, nslab int, inverse bool) {
+// zLines transforms contiguous z lines [lo, hi) of the current batch.
+func (p *Plan) zLines(w, lo, hi int) {
 	n := p.n
-	for i := 0; i < nslab*n; i++ {
-		line := a[i*n : (i+1)*n]
-		if inverse {
+	for i := lo; i < hi; i++ {
+		line := p.ta[i*n : (i+1)*n]
+		if p.tinv {
 			p.line.Inverse(line)
 		} else {
 			p.line.Forward(line)
@@ -133,28 +178,58 @@ func (p *Plan) transformZ(a []complex128, nslab int, inverse bool) {
 	}
 }
 
+// midLines transforms strided middle-axis lines; line li of nslab·rowLen is
+// (s, iz) with s = li/rowLen, iz = li%rowLen.
+func (p *Plan) midLines(w, lo, hi int) {
+	n, rowLen := p.n, p.trow
+	buf := p.wmid[w][:n]
+	for li := lo; li < hi; li++ {
+		base := (li/rowLen)*n*rowLen + li%rowLen
+		for im := 0; im < n; im++ {
+			buf[im] = p.ta[base+im*rowLen]
+		}
+		if p.tinv {
+			p.line.Inverse(buf)
+		} else {
+			p.line.Forward(buf)
+		}
+		for im := 0; im < n; im++ {
+			p.ta[base+im*rowLen] = buf[im]
+		}
+	}
+}
+
+// fzLines r2c-transforms contiguous z lines with worker-private real plans.
+func (p *Plan) fzLines(w, lo, hi int) {
+	n, nh := p.n, p.nh
+	for i := lo; i < hi; i++ {
+		p.rline[w].Forward(p.treal[i*n:(i+1)*n], p.tspec[i*nh:(i+1)*nh])
+	}
+}
+
+// izLines c2r-transforms contiguous z lines with worker-private real plans.
+func (p *Plan) izLines(w, lo, hi int) {
+	n, nh := p.n, p.nh
+	for i := lo; i < hi; i++ {
+		p.rline[w].Inverse(p.tspec[i*nh:(i+1)*nh], p.treal[i*n:(i+1)*n])
+	}
+}
+
+// transformZ applies the 1-D transform along z for every line of an
+// (nslab, n, n) slab.
+func (p *Plan) transformZ(a []complex128, nslab int, inverse bool) {
+	p.ta, p.tinv = a, inverse
+	p.pool.Run(nslab*p.n, p.taskZ)
+	p.ta = nil
+}
+
 // transformMid applies the 1-D transform along the middle axis of an
 // (nslab, n, rowLen) slab; rowLen is n on the complex path and n/2+1 on the
 // compressed real path.
 func (p *Plan) transformMid(a []complex128, nslab, rowLen int, inverse bool) {
-	n := p.n
-	buf := p.midBuf
-	for s := 0; s < nslab; s++ {
-		for iz := 0; iz < rowLen; iz++ {
-			base := s*n*rowLen + iz
-			for im := 0; im < n; im++ {
-				buf[im] = a[base+im*rowLen]
-			}
-			if inverse {
-				p.line.Inverse(buf)
-			} else {
-				p.line.Forward(buf)
-			}
-			for im := 0; im < n; im++ {
-				a[base+im*rowLen] = buf[im]
-			}
-		}
-	}
+	p.ta, p.trow, p.tinv = a, rowLen, inverse
+	p.pool.Run(nslab*rowLen, p.taskMid)
+	p.ta = nil
 }
 
 // Layout returns the slab layout.
@@ -210,16 +285,16 @@ func (p *Plan) ForwardReal(real []float64, spec []complex128) {
 		panic(fmt.Sprintf("pfft: real forward lengths (%d, %d) do not match plan (%d, %d)",
 			len(real), len(spec), p.LocalSize(), p.LocalSpecSize()))
 	}
-	n, nh := p.n, p.nh
+	nh := p.nh
 	if p.rline == nil { // n == 1: every pass is the identity
 		for i := range spec {
 			spec[i] = complex(real[i], 0)
 		}
 		return
 	}
-	for i := 0; i < p.cnt*n; i++ {
-		p.rline.Forward(real[i*n:(i+1)*n], spec[i*nh:(i+1)*nh])
-	}
+	p.treal, p.tspec = real, spec
+	p.pool.Run(p.cnt*p.n, p.taskFZ)
+	p.treal, p.tspec = nil, nil
 	p.transformMid(spec, p.cnt, nh, false) // y FFT over the compressed rows
 	tr := p.transposeXY(spec, nh)
 	p.transformMid(tr, p.ycnt, nh, false) // x FFT
@@ -234,7 +309,7 @@ func (p *Plan) InverseReal(spec []complex128, real []float64) {
 		panic(fmt.Sprintf("pfft: real inverse lengths (%d, %d) do not match plan (%d, %d)",
 			len(spec), len(real), p.LocalSpecSize(), p.LocalSize()))
 	}
-	n, nh := p.n, p.nh
+	nh := p.nh
 	if p.rline == nil {
 		for i := range real {
 			real[i] = realPart(spec[i])
@@ -245,9 +320,9 @@ func (p *Plan) InverseReal(spec []complex128, real []float64) {
 	p.transformMid(tr, p.ycnt, nh, true)
 	p.transposeYX(tr, spec, nh)
 	p.transformMid(spec, p.cnt, nh, true)
-	for i := 0; i < p.cnt*n; i++ {
-		p.rline.Inverse(spec[i*nh:(i+1)*nh], real[i*n:(i+1)*n])
-	}
+	p.treal, p.tspec = real, spec
+	p.pool.Run(p.cnt*p.n, p.taskIZ)
+	p.treal, p.tspec = nil, nil
 }
 
 func realPart(z complex128) float64 { return real(z) }
@@ -258,14 +333,11 @@ func (p *Plan) check(local []complex128) {
 	}
 }
 
-// transposeXY redistributes the x-slab array into y-slabs: the result is
-// indexed (iyLocal·n + ix)·rowLen + iz. The returned slice is plan-owned
-// scratch, valid until the next transpose. The mpi.Alltoall double-barrier
-// copies every received block before returning, so reusing the send blocks
-// on the next call is safe.
-func (p *Plan) transposeXY(local []complex128, rowLen int) []complex128 {
-	n := p.n
-	for s := 0; s < p.comm.Size(); s++ {
+// packXY fills the per-destination send blocks for ranks [lo, hi); each
+// destination's block is private to one worker, so writes are disjoint.
+func (p *Plan) packXY(w, lo, hi int) {
+	n, rowLen := p.n, p.trow
+	for s := lo; s < hi; s++ {
 		yc, yo := p.lay.Count(s), p.lay.Offset(s)
 		if yc == 0 || p.cnt == 0 {
 			p.send[s] = nil
@@ -276,18 +348,22 @@ func (p *Plan) transposeXY(local []complex128, rowLen int) []complex128 {
 		for ix := 0; ix < p.cnt; ix++ {
 			for iy := yo; iy < yo+yc; iy++ {
 				base := (ix*n + iy) * rowLen
-				copy(blk[t:t+rowLen], local[base:base+rowLen])
+				copy(blk[t:t+rowLen], p.tlocal[base:base+rowLen])
 				t += rowLen
 			}
 		}
 		p.send[s] = blk
 	}
-	recv := mpi.Alltoall(p.comm, p.send)
-	p.trBuf = growC(p.trBuf, p.ycnt*n*rowLen)
-	out := p.trBuf
-	for r := 0; r < p.comm.Size(); r++ {
+}
+
+// unpackXY scatters received blocks from source ranks [lo, hi) into the
+// y-slab target; sources own disjoint ix ranges, so writes are disjoint.
+func (p *Plan) unpackXY(w, lo, hi int) {
+	n, rowLen := p.n, p.trow
+	out := p.ttr
+	for r := lo; r < hi; r++ {
 		xc, xo := p.lay.Count(r), p.lay.Offset(r)
-		blk := recv[r]
+		blk := p.trecv[r]
 		if len(blk) == 0 {
 			continue
 		}
@@ -300,14 +376,12 @@ func (p *Plan) transposeXY(local []complex128, rowLen int) []complex128 {
 			}
 		}
 	}
-	return out
 }
 
-// transposeYX is the inverse redistribution, filling local from the y-slab
-// array tr.
-func (p *Plan) transposeYX(tr []complex128, local []complex128, rowLen int) {
-	n := p.n
-	for s := 0; s < p.comm.Size(); s++ {
+// packYX fills the per-destination send blocks for the inverse transpose.
+func (p *Plan) packYX(w, lo, hi int) {
+	n, rowLen := p.n, p.trow
+	for s := lo; s < hi; s++ {
 		xc, xo := p.lay.Count(s), p.lay.Offset(s)
 		if xc == 0 || p.ycnt == 0 {
 			p.send[s] = nil
@@ -318,16 +392,21 @@ func (p *Plan) transposeYX(tr []complex128, local []complex128, rowLen int) {
 		for ix := xo; ix < xo+xc; ix++ {
 			for iy := 0; iy < p.ycnt; iy++ {
 				base := (iy*n + ix) * rowLen
-				copy(blk[t:t+rowLen], tr[base:base+rowLen])
+				copy(blk[t:t+rowLen], p.ttr[base:base+rowLen])
 				t += rowLen
 			}
 		}
 		p.send[s] = blk
 	}
-	recv := mpi.Alltoall(p.comm, p.send)
-	for r := 0; r < p.comm.Size(); r++ {
+}
+
+// unpackYX scatters received blocks back into the x-slab array; sources own
+// disjoint iy ranges, so writes are disjoint.
+func (p *Plan) unpackYX(w, lo, hi int) {
+	n, rowLen := p.n, p.trow
+	for r := lo; r < hi; r++ {
 		yc, yo := p.lay.Count(r), p.lay.Offset(r)
-		blk := recv[r]
+		blk := p.trecv[r]
 		if len(blk) == 0 {
 			continue
 		}
@@ -335,9 +414,36 @@ func (p *Plan) transposeYX(tr []complex128, local []complex128, rowLen int) {
 		for ix := 0; ix < p.cnt; ix++ {
 			for iy := yo; iy < yo+yc; iy++ {
 				base := (ix*n + iy) * rowLen
-				copy(local[base:base+rowLen], blk[t:t+rowLen])
+				copy(p.tlocal[base:base+rowLen], blk[t:t+rowLen])
 				t += rowLen
 			}
 		}
 	}
+}
+
+// transposeXY redistributes the x-slab array into y-slabs: the result is
+// indexed (iyLocal·n + ix)·rowLen + iz. The returned slice is plan-owned
+// scratch, valid until the next transpose. The mpi.Alltoall double-barrier
+// copies every received block before returning, so reusing the send blocks
+// on the next call is safe.
+func (p *Plan) transposeXY(local []complex128, rowLen int) []complex128 {
+	p.tlocal, p.trow = local, rowLen
+	p.pool.Run(p.comm.Size(), p.taskPackXY)
+	recv := mpi.Alltoall(p.comm, p.send)
+	p.trBuf = growC(p.trBuf, p.ycnt*p.n*rowLen)
+	p.ttr, p.trecv = p.trBuf, recv
+	p.pool.Run(p.comm.Size(), p.taskUnpackXY)
+	p.tlocal, p.ttr, p.trecv = nil, nil, nil
+	return p.trBuf
+}
+
+// transposeYX is the inverse redistribution, filling local from the y-slab
+// array tr.
+func (p *Plan) transposeYX(tr []complex128, local []complex128, rowLen int) {
+	p.ttr, p.trow = tr, rowLen
+	p.pool.Run(p.comm.Size(), p.taskPackYX)
+	recv := mpi.Alltoall(p.comm, p.send)
+	p.tlocal, p.trecv = local, recv
+	p.pool.Run(p.comm.Size(), p.taskUnpackYX)
+	p.tlocal, p.ttr, p.trecv = nil, nil, nil
 }

@@ -147,7 +147,7 @@ func TestSlabSteadyStateAllocs(t *testing.T) {
 		plan.ForwardReal(x, spec)
 		if allocs := testing.AllocsPerRun(20, func() {
 			for i := 0; i < plan.LocalCount()*n; i++ {
-				plan.rline.Forward(x[i*n:(i+1)*n], spec[i*plan.nh:(i+1)*plan.nh])
+				plan.rline[0].Forward(x[i*n:(i+1)*n], spec[i*plan.nh:(i+1)*plan.nh])
 			}
 			plan.transformMid(spec, plan.LocalCount(), plan.nh, false)
 		}); allocs != 0 {
@@ -275,6 +275,10 @@ func TestPencilRealTransposeBytesReduced(t *testing.T) {
 				in := make([]complex128, plan.InSize())
 				plan.Inverse(plan.Forward(in))
 			}
+			// The pencil transposes run inside row/column subcommunicators,
+			// each recorded by that subcomm's rank 0 — sync before rank 0
+			// reads the world ledger or a late subcomm's bytes are missed.
+			c.Barrier()
 			if c.Rank() == 0 {
 				bytes = c.Traffic().TotalsByOp()["Alltoallv"].Bytes
 			}

@@ -23,8 +23,8 @@ package pmpar
 import (
 	"fmt"
 	"math"
-	"sync"
 
+	"greem/internal/par"
 	"greem/internal/vec"
 )
 
@@ -52,6 +52,28 @@ type LocalMesh struct {
 	Rho        []float64
 	Phi        []float64
 	Fx, Fy, Fz []float64
+
+	// pool batches the assignment, differencing, and interpolation loops
+	// across intra-rank workers (SetPool; nil = serial). Decompositions are
+	// deterministic — plane ownership for the scatter, disjoint ranges for
+	// the rest — so results are bit-identical to serial at any worker count.
+	pool *par.Pool
+
+	// Hoisted per-call scratch for the two-pass parallel assignment (pass A
+	// precomputes local stencil indices and weights per particle; pass B
+	// deposits by local-x-plane ownership). Grown amortized, never shrunk.
+	wix, wiy, wiz [][3]int32
+	wwx, wwy, wwz [][3]float64
+
+	// Current batch state for the bound range tasks.
+	tx, ty, tz, tm []float64
+	tax, tay, taz  []float64
+	tpot           []float64
+	np             int
+	tvinv          float64
+	tx0            int
+
+	taskPrep, taskDeposit, taskDiff, taskInterp, taskPot func(w, lo, hi int)
 }
 
 // NewLocalMesh creates the local window for the domain [lo, hi) of a box of
@@ -71,8 +93,17 @@ func NewLocalMesh(n int, l float64, lo, hi vec.V3) (*LocalMesh, error) {
 	m.Fx = make([]float64, sz)
 	m.Fy = make([]float64, sz)
 	m.Fz = make([]float64, sz)
+	m.taskPrep = m.assignPrep
+	m.taskDeposit = m.assignDeposit
+	m.taskDiff = m.diffTask
+	m.taskInterp = m.interpRange
+	m.taskPot = m.potRange
 	return m, nil
 }
+
+// SetPool attaches a worker pool to the mesh loops (nil restores serial).
+// The pool is shared, not owned: the caller closes it.
+func (m *LocalMesh) SetPool(pool *par.Pool) { m.pool = pool }
 
 func axisRange(lo, hi, h float64, n int) (origin, extent int) {
 	c0 := int(math.Floor(lo/h)) - ghostPot
@@ -120,30 +151,80 @@ func (m *LocalMesh) tsc(x float64) (g0 int, w [3]float64) {
 	return int(ng) - 1, w
 }
 
-// AssignTSC deposits particle masses onto the local density mesh. Particles
-// must lie inside this process's domain so all 27 touched cells fall within
-// the ghost window.
-func (m *LocalMesh) AssignTSC(x, y, z, mass []float64) {
-	vinv := 1 / (m.H * m.H * m.H)
-	for p := range x {
-		gx, wx := m.tsc(x[p])
-		gy, wy := m.tsc(y[p])
-		gz, wz := m.tsc(z[p])
-		mv := mass[p] * vinv
+// growScratch sizes the per-particle assignment scratch (amortized).
+func (m *LocalMesh) growScratch(np int) {
+	if cap(m.wix) < np {
+		m.wix = make([][3]int32, np)
+		m.wiy = make([][3]int32, np)
+		m.wiz = make([][3]int32, np)
+		m.wwx = make([][3]float64, np)
+		m.wwy = make([][3]float64, np)
+		m.wwz = make([][3]float64, np)
+	}
+	m.wix = m.wix[:np]
+	m.wiy = m.wiy[:np]
+	m.wiz = m.wiz[:np]
+	m.wwx = m.wwx[:np]
+	m.wwy = m.wwy[:np]
+	m.wwz = m.wwz[:np]
+}
+
+// assignPrep (pass A) precomputes each particle's local stencil indices and
+// weights, with the mass folded into the x weights exactly as the serial
+// loop multiplied (wx[a]·mv). Particles are independent; the split is
+// race-free.
+func (m *LocalMesh) assignPrep(w, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		gx, wx := m.tsc(m.tx[p])
+		gy, wy := m.tsc(m.ty[p])
+		gz, wz := m.tsc(m.tz[p])
+		mv := m.tm[p] * m.tvinv
 		for a := 0; a < 3; a++ {
-			lx := wrapAxis(gx+a, m.X0, m.NX, m.N)
-			wxa := wx[a] * mv
+			m.wix[p][a] = int32(wrapAxis(gx+a, m.X0, m.NX, m.N))
+			m.wiy[p][a] = int32(wrapAxis(gy+a, m.Y0, m.NY, m.N))
+			m.wiz[p][a] = int32(wrapAxis(gz+a, m.Z0, m.NZ, m.N))
+			m.wwx[p][a] = wx[a] * mv
+			m.wwy[p][a] = wy[a]
+			m.wwz[p][a] = wz[a]
+		}
+	}
+}
+
+// assignDeposit (pass B) deposits by local-x-plane ownership: worker w owns
+// the contiguous plane range [lo, hi) and scans every particle, depositing
+// only stencil planes it owns. Each cell receives its contributions in the
+// serial particle-and-stencil order, so the parallel density is bit-identical
+// to the serial one for any worker count.
+func (m *LocalMesh) assignDeposit(w, lo, hi int) {
+	for p := 0; p < m.np; p++ {
+		for a := 0; a < 3; a++ {
+			lx := int(m.wix[p][a])
+			if lx < lo || lx >= hi {
+				continue
+			}
+			wxa := m.wwx[p][a]
 			for b := 0; b < 3; b++ {
-				ly := wrapAxis(gy+b, m.Y0, m.NY, m.N)
-				wab := wxa * wy[b]
-				base := (lx*m.NY + ly) * m.NZ
+				wab := wxa * m.wwy[p][b]
+				base := (lx*m.NY + int(m.wiy[p][b])) * m.NZ
 				for c := 0; c < 3; c++ {
-					lz := wrapAxis(gz+c, m.Z0, m.NZ, m.N)
-					m.Rho[base+lz] += wab * wz[c]
+					m.Rho[base+int(m.wiz[p][c])] += wab * m.wwz[p][c]
 				}
 			}
 		}
 	}
+}
+
+// AssignTSC deposits particle masses onto the local density mesh. Particles
+// must lie inside this process's domain so all 27 touched cells fall within
+// the ghost window.
+func (m *LocalMesh) AssignTSC(x, y, z, mass []float64) {
+	m.growScratch(len(x))
+	m.tx, m.ty, m.tz, m.tm = x, y, z, mass
+	m.np = len(x)
+	m.tvinv = 1 / (m.H * m.H * m.H)
+	m.pool.Run(len(x), m.taskPrep)
+	m.pool.Run(m.NX, m.taskDeposit)
+	m.tx, m.ty, m.tz, m.tm = nil, nil, nil, nil
 }
 
 // DiffForce computes the acceleration meshes from the potential with the
@@ -154,7 +235,14 @@ func (m *LocalMesh) DiffForce() {
 	if m.NX == m.N {
 		x0, x1 = 0, m.NX
 	}
-	m.diffForceRange(x0, x1)
+	m.tx0 = x0
+	m.pool.Run(x1-x0, m.taskDiff)
+}
+
+// diffTask maps the pool's [lo, hi) onto the clipped x-plane range; planes
+// are written by exactly one worker each.
+func (m *LocalMesh) diffTask(w, lo, hi int) {
+	m.diffForceRange(m.tx0+lo, m.tx0+hi)
 }
 
 // diffForceRange computes the force meshes for local x indices [lx0, lx1).
@@ -195,10 +283,20 @@ func (m *LocalMesh) diffForceRange(lx0, lx1 int) {
 // InterpolateTSC adds the TSC-interpolated mesh accelerations at the particle
 // positions into ax/ay/az. Particles must lie inside the domain.
 func (m *LocalMesh) InterpolateTSC(x, y, z []float64, ax, ay, az []float64) {
-	for p := range x {
-		gx, wx := m.tsc(x[p])
-		gy, wy := m.tsc(y[p])
-		gz, wz := m.tsc(z[p])
+	m.tx, m.ty, m.tz = x, y, z
+	m.tax, m.tay, m.taz = ax, ay, az
+	m.pool.Run(len(x), m.taskInterp)
+	m.tx, m.ty, m.tz = nil, nil, nil
+	m.tax, m.tay, m.taz = nil, nil, nil
+}
+
+// interpRange interpolates forces for particles [lo, hi); each particle's
+// accumulators are written by exactly one worker.
+func (m *LocalMesh) interpRange(w, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		gx, wx := m.tsc(m.tx[p])
+		gy, wy := m.tsc(m.ty[p])
+		gz, wz := m.tsc(m.tz[p])
 		var fx, fy, fz float64
 		for a := 0; a < 3; a++ {
 			lx := wrapAxis(gx+a, m.X0, m.NX, m.N)
@@ -208,16 +306,16 @@ func (m *LocalMesh) InterpolateTSC(x, y, z []float64, ax, ay, az []float64) {
 				base := (lx*m.NY + ly) * m.NZ
 				for c := 0; c < 3; c++ {
 					lz := wrapAxis(gz+c, m.Z0, m.NZ, m.N)
-					w := wab * wz[c]
-					fx += w * m.Fx[base+lz]
-					fy += w * m.Fy[base+lz]
-					fz += w * m.Fz[base+lz]
+					wc := wab * wz[c]
+					fx += wc * m.Fx[base+lz]
+					fy += wc * m.Fy[base+lz]
+					fz += wc * m.Fz[base+lz]
 				}
 			}
 		}
-		ax[p] += fx
-		ay[p] += fy
-		az[p] += fz
+		m.tax[p] += fx
+		m.tay[p] += fy
+		m.taz[p] += fz
 	}
 }
 
@@ -245,10 +343,17 @@ func axisSegs(origin, extent, n int) []seg {
 // InterpolatePot adds the TSC-interpolated long-range potential at the
 // particle positions into pot (energy diagnostics).
 func (m *LocalMesh) InterpolatePot(x, y, z []float64, pot []float64) {
-	for p := range x {
-		gx, wx := m.tsc(x[p])
-		gy, wy := m.tsc(y[p])
-		gz, wz := m.tsc(z[p])
+	m.tx, m.ty, m.tz, m.tpot = x, y, z, pot
+	m.pool.Run(len(x), m.taskPot)
+	m.tx, m.ty, m.tz, m.tpot = nil, nil, nil, nil
+}
+
+// potRange interpolates the potential for particles [lo, hi).
+func (m *LocalMesh) potRange(w, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		gx, wx := m.tsc(m.tx[p])
+		gy, wy := m.tsc(m.ty[p])
+		gz, wz := m.tsc(m.tz[p])
 		var s float64
 		for a := 0; a < 3; a++ {
 			lx := wrapAxis(gx+a, m.X0, m.NX, m.N)
@@ -262,52 +367,6 @@ func (m *LocalMesh) InterpolatePot(x, y, z []float64, pot []float64) {
 				}
 			}
 		}
-		pot[p] += s
+		m.tpot[p] += s
 	}
-}
-
-// DiffForceWorkers is DiffForce with the x-slab loop split over workers
-// goroutines (outputs are disjoint per slab); workers ≤ 1 runs serially.
-func (m *LocalMesh) DiffForceWorkers(workers int) {
-	if workers <= 1 || m.NX < 2*workers {
-		m.DiffForce()
-		return
-	}
-	x0, x1 := 2, m.NX-2
-	if m.NX == m.N {
-		x0, x1 = 0, m.NX
-	}
-	var wg sync.WaitGroup
-	span := x1 - x0
-	for w := 0; w < workers; w++ {
-		lo := x0 + w*span/workers
-		hi := x0 + (w+1)*span/workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.diffForceRange(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// InterpolateTSCWorkers is InterpolateTSC with the particle loop split over
-// workers goroutines (each particle writes only its own accumulator).
-func (m *LocalMesh) InterpolateTSCWorkers(x, y, z []float64, ax, ay, az []float64, workers int) {
-	n := len(x)
-	if workers <= 1 || n < 4*workers {
-		m.InterpolateTSC(x, y, z, ax, ay, az)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.InterpolateTSC(x[lo:hi], y[lo:hi], z[lo:hi], ax[lo:hi], ay[lo:hi], az[lo:hi])
-		}(lo, hi)
-	}
-	wg.Wait()
 }

@@ -6,6 +6,7 @@ import (
 
 	"greem/internal/mesh"
 	"greem/internal/mpi"
+	"greem/internal/par"
 	"greem/internal/pfft"
 	"greem/internal/telemetry"
 	"greem/internal/vec"
@@ -41,9 +42,18 @@ type Config struct {
 	// applicable", §II-B).
 	Pencil bool
 	PY, PZ int
-	// Workers threads the local-mesh differencing and interpolation loops
-	// (the OpenMP half of the hybrid); 0/1 = serial.
+	// Workers threads every PM hot loop — assignment, FFT lines, transpose
+	// pack/unpack, convolution, differencing, interpolation — through an
+	// intra-rank worker pool (the OpenMP half of the hybrid). The knob
+	// resolves through par.Resolve (0 ⇒ serial, par.Auto ⇒ GOMAXPROCS per
+	// rank); ignored when Pool is set. Results are bit-identical to serial
+	// for any worker count.
 	Workers int
+	// Pool is an injected shared worker pool (the sim driver owns one per
+	// rank and passes it here so PM, tree, and integrator loops share the
+	// same workers). nil ⇒ the solver creates its own from Workers and
+	// Close releases it.
+	Pool *par.Pool
 	// Recorder receives the per-phase spans (pm/density, pm/comm, pm/fft,
 	// pm/mesh_force, pm/interp). nil creates a private recorder, so Times
 	// stays populated either way; the sim driver injects its own so PM
@@ -122,9 +132,30 @@ type Solver struct {
 	// rec receives the per-phase spans; never nil after New.
 	rec *telemetry.Recorder
 
+	// pool drives the intra-rank hot loops; ownPool marks a pool created
+	// (and therefore closed) by this solver rather than injected.
+	pool    *par.Pool
+	ownPool bool
+
+	// Per-phase busy/idle counters for the pool (interned once; recording is
+	// allocation-free). Indexed by the poolPhase* constants.
+	poolBusy [nPoolPhases]*telemetry.Counter
+	poolIdle [nPoolPhases]*telemetry.Counter
+
+	taskConv, taskConvC func(w, lo, hi int)
+
 	// Times accumulates phase timings across Accel calls.
 	Times Timings
 }
+
+// Pool-phase indices for the busy/idle counter pairs.
+const (
+	poolPhaseDensity = iota
+	poolPhaseFFT
+	poolPhaseMeshForce
+	poolPhaseInterp
+	nPoolPhases
+)
 
 // groupOf returns the group of world rank w among g groups over p ranks:
 // contiguous balanced blocks, or round-robin when interleaved.
@@ -231,7 +262,54 @@ func New(c *mpi.Comm, cfg Config, lo, hi vec.V3) (*Solver, error) {
 	if s.isFFT && !cfg.Pencil && !cfg.ComplexFFT {
 		s.spec = make([]complex128, s.plan.LocalSpecSize())
 	}
+	// Intra-rank worker pool: injected (shared with tree and integrator
+	// loops) or owned. Every hot loop below — local mesh, slab/pencil FFT,
+	// convolution — batches over it with deterministic decompositions.
+	s.pool = cfg.Pool
+	if s.pool == nil {
+		s.pool = par.New(par.Resolve(cfg.Workers, 1))
+		s.ownPool = s.pool != nil
+	}
+	s.lm.SetPool(s.pool)
+	if s.pool != nil {
+		if s.plan != nil {
+			s.plan.SetPool(s.pool)
+		}
+		if s.pencil != nil {
+			s.pencil.SetPool(s.pool)
+		}
+	}
+	s.taskConv = s.convRows
+	s.taskConvC = s.convRowsComplex
+	for i, name := range [nPoolPhases]string{
+		telemetry.PhasePMDensity, telemetry.PhasePMFFT,
+		telemetry.PhasePMMeshForce, telemetry.PhasePMInterp,
+	} {
+		s.poolBusy[i] = s.rec.Registry().SecondsCounter(telemetry.MetricPoolBusySeconds, telemetry.L("phase", name))
+		s.poolIdle[i] = s.rec.Registry().SecondsCounter(telemetry.MetricPoolIdleSeconds, telemetry.L("phase", name))
+	}
 	return s, nil
+}
+
+// Close releases the solver's worker pool when it owns one (injected pools
+// belong to the caller).
+func (s *Solver) Close() {
+	if s.ownPool {
+		s.pool.Close()
+		s.pool = nil
+		s.ownPool = false
+	}
+}
+
+// notePool attributes the pool time accumulated since the last call to the
+// given pool phase's busy/idle counters.
+func (s *Solver) notePool(phase int) {
+	busy, idle := s.pool.TakeBusy()
+	if busy == 0 && idle == 0 {
+		return
+	}
+	s.poolBusy[phase].Add(busy.Seconds())
+	s.poolIdle[phase].Add(idle.Seconds())
 }
 
 // greenAt returns the Green's multiplier for a full-range mode, from the
@@ -484,12 +562,19 @@ func (s *Solver) fftAndGreen() {
 		s.fftAndGreenComplex()
 		return
 	}
+	s.plan.ForwardReal(s.slab, s.spec)
+	s.pool.Run(s.plan.LocalCount(), s.taskConv)
+	s.plan.InverseReal(s.spec, s.slab)
+}
+
+// convRows multiplies half-spectrum planes lx ∈ [lo, hi) of this rank's slab
+// by the Green's multiplier; planes are disjoint, so the parallel
+// convolution is bit-identical to serial.
+func (s *Solver) convRows(w, lo, hi int) {
 	n := s.cfg.N
 	nh := s.plan.NZSpec()
-	s.plan.ForwardReal(s.slab, s.spec)
-	cnt := s.plan.LocalCount()
 	off := s.plan.LocalOffset()
-	for lx := 0; lx < cnt; lx++ {
+	for lx := lo; lx < hi; lx++ {
 		jx := off + lx
 		for jy := 0; jy < n; jy++ {
 			base := (lx*n + jy) * nh
@@ -505,13 +590,26 @@ func (s *Solver) fftAndGreen() {
 			}
 		}
 	}
-	s.plan.InverseReal(s.spec, s.slab)
+}
+
+// convRowsComplex is the full-spectrum counterpart for the complex path.
+func (s *Solver) convRowsComplex(w, lo, hi int) {
+	n := s.cfg.N
+	off := s.plan.LocalOffset()
+	for lx := lo; lx < hi; lx++ {
+		jx := off + lx
+		for jy := 0; jy < n; jy++ {
+			base := (lx*n + jy) * n
+			for jz := 0; jz < n; jz++ {
+				s.cwork[base+jz] *= complex(s.greenAt(jx, jy, jz), 0)
+			}
+		}
+	}
 }
 
 // fftAndGreenComplex is the full complex-to-complex reference path
 // (Config.ComplexFFT), kept for parity tests and before/after benchmarks.
 func (s *Solver) fftAndGreenComplex() {
-	n := s.cfg.N
 	if s.cwork == nil {
 		s.cwork = make([]complex128, len(s.slab))
 	}
@@ -520,17 +618,7 @@ func (s *Solver) fftAndGreenComplex() {
 		work[i] = complex(v, 0)
 	}
 	s.plan.Forward(work)
-	cnt := s.plan.LocalCount()
-	off := s.plan.LocalOffset()
-	for lx := 0; lx < cnt; lx++ {
-		jx := off + lx
-		for jy := 0; jy < n; jy++ {
-			base := (lx*n + jy) * n
-			for jz := 0; jz < n; jz++ {
-				work[base+jz] *= complex(s.greenAt(jx, jy, jz), 0)
-			}
-		}
-	}
+	s.pool.Run(s.plan.LocalCount(), s.taskConvC)
 	s.plan.Inverse(work)
 	for i := range s.slab {
 		s.slab[i] = real(work[i])
@@ -550,14 +638,16 @@ func (s *Solver) fftAndGreenPencil() {
 		}
 		out := s.pencil.Forward(in)
 		xc, xo, yc2, yo2 := s.pencil.OutDims()
-		for ix := 0; ix < xc; ix++ {
-			for iy := 0; iy < yc2; iy++ {
-				base := (ix*yc2 + iy) * n
-				for jz := 0; jz < n; jz++ {
-					out[base+jz] *= complex(s.greenAt(xo+ix, yo2+iy, jz), 0)
+		s.pool.Run(xc, func(w, lo, hi int) {
+			for ix := lo; ix < hi; ix++ {
+				for iy := 0; iy < yc2; iy++ {
+					base := (ix*yc2 + iy) * n
+					for jz := 0; jz < n; jz++ {
+						out[base+jz] *= complex(s.greenAt(xo+ix, yo2+iy, jz), 0)
+					}
 				}
 			}
-		}
+		})
 		back := s.pencil.Inverse(out)
 		for i := range s.slab {
 			s.slab[i] = real(back[i])
@@ -566,15 +656,17 @@ func (s *Solver) fftAndGreenPencil() {
 	}
 	spec := s.pencil.ForwardReal(s.slab)
 	xc, xo, yc2, yo2 := s.pencil.SpecDims()
-	for ix := 0; ix < xc; ix++ {
-		for iy := 0; iy < yc2; iy++ {
-			base := (ix*yc2 + iy) * n
-			for jz := 0; jz < n; jz++ {
-				// xo+ix ≤ n/2, a valid full-range index; greenAt folds jz.
-				spec[base+jz] *= complex(s.greenAt(xo+ix, yo2+iy, jz), 0)
+	s.pool.Run(xc, func(w, lo, hi int) {
+		for ix := lo; ix < hi; ix++ {
+			for iy := 0; iy < yc2; iy++ {
+				base := (ix*yc2 + iy) * n
+				for jz := 0; jz < n; jz++ {
+					// xo+ix ≤ n/2, a valid full-range index; greenAt folds jz.
+					spec[base+jz] *= complex(s.greenAt(xo+ix, yo2+iy, jz), 0)
+				}
 			}
 		}
-	}
+	})
 	back := s.pencil.InverseReal(spec)
 	copy(s.slab, back)
 }
@@ -587,6 +679,7 @@ func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
 	s.lm.Clear()
 	s.lm.AssignTSC(x, y, z, m)
 	s.Times.Density += sp.End()
+	s.notePool(poolPhaseDensity)
 
 	// Conversion to slabs.
 	sp = s.rec.Start(telemetry.PhasePMComm)
@@ -606,6 +699,7 @@ func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
 		s.fftAndGreen()
 	}
 	s.Times.FFT += sp.End()
+	s.notePool(poolPhaseFFT)
 
 	sp = s.rec.Start(telemetry.PhasePMComm)
 	if s.cfg.Relay && s.isHolder {
@@ -619,8 +713,10 @@ func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
 	sp = s.rec.Start(telemetry.PhasePMMeshForce)
 	s.lm.DiffForce()
 	s.Times.MeshForce += sp.End()
+	s.notePool(poolPhaseMeshForce)
 
 	sp = s.rec.Start(telemetry.PhasePMInterp)
 	s.lm.InterpolateTSC(x, y, z, ax, ay, az)
 	s.Times.Interp += sp.End()
+	s.notePool(poolPhaseInterp)
 }

@@ -13,6 +13,7 @@ import (
 
 	"greem/internal/domain"
 	"greem/internal/mpi"
+	"greem/internal/par"
 	"greem/internal/pmpar"
 	"greem/internal/telemetry"
 	"greem/internal/tree"
@@ -67,8 +68,13 @@ type Config struct {
 	Eps2       float64
 	LeafCap    int // 0 ⇒ 16
 	FastKernel bool
-	// Workers threads the per-rank tree traversal (OpenMP-style hybrid);
-	// 0/1 = serial.
+	// Workers sizes the rank's intra-node worker pool (the OpenMP-style
+	// hybrid of the paper): the per-rank tree traversal, every PM hot loop
+	// (TSC assignment, FFT batches, convolution, differencing,
+	// interpolation), and the integrator kick/drift loops all run on it.
+	// Resolved by par.Resolve — see the par package doc for the knob
+	// semantics (0 ⇒ serial, par.Auto ⇒ GOMAXPROCS capped per rank).
+	// Results are bit-identical to serial for any worker count.
 	Workers int
 
 	// Domain decomposition.
@@ -170,7 +176,30 @@ type Sim struct {
 	rec                                                         *telemetry.Recorder
 	ctrGroups, ctrSumNi, ctrListP, ctrListN, ctrInter, ctrNodes *telemetry.Counter
 	ctrFlops                                                    *telemetry.Counter
+
+	// pool is the rank's intra-node worker pool (nil ⇒ serial), shared by
+	// the PM solver (injected through pmpar.Config.Pool on every rebuild)
+	// and the integrator loops below. Owned — and closed — by the Sim.
+	pool *par.Pool
+
+	// Hoisted integrator pool tasks and their per-call state, so kick and
+	// drift dispatch with zero steady-state allocation. tk* alias the PM or
+	// PP acceleration arrays for the current kick; tkf/tdf are the kick and
+	// drift factors.
+	taskKick, taskDrift func(w, lo, hi int)
+	tkx, tky, tkz       []float64
+	tkf, tdf            float64
+
+	// Pool busy/idle counters for the integrator phases (the PM phases are
+	// recorded inside pmpar).
+	poolBusyKick, poolIdleKick   *telemetry.Counter
+	poolBusyDrift, poolIdleDrift *telemetry.Counter
 }
+
+// PhaseIntegKick labels the integrator kick loops' pool busy/idle counters
+// (the kicks have no wall-clock phase of their own in Table I; the label
+// exists only under the pool metrics).
+const PhaseIntegKick = "integ/kick"
 
 // Timers is the per-rank per-phase wall-clock view, with the same rows as
 // Table I. It is derived from the rank's telemetry recorder — the single
@@ -254,7 +283,19 @@ func New(c *mpi.Comm, cfg Config, parts []Particle) (*Sim, error) {
 		rng:  rand.New(rand.NewSource(int64(42 + c.Rank()))),
 		rec:  rec,
 	}
+	// One pool per rank, shared by the PM solver (injected on every
+	// rebuild) and the integrator loops. par.New returns nil for ≤ 1
+	// worker, and a nil pool runs inline, so the serial default costs
+	// nothing. Resolve caps Auto by the rank count since the
+	// ranks-as-goroutines emulation shares one process.
+	s.pool = par.New(par.Resolve(cfg.Workers, c.Size()))
+	s.taskKick = s.kickRange
+	s.taskDrift = s.driftRange
 	reg := rec.Registry()
+	s.poolBusyKick = reg.SecondsCounter(telemetry.MetricPoolBusySeconds, telemetry.L("phase", PhaseIntegKick))
+	s.poolIdleKick = reg.SecondsCounter(telemetry.MetricPoolIdleSeconds, telemetry.L("phase", PhaseIntegKick))
+	s.poolBusyDrift = reg.SecondsCounter(telemetry.MetricPoolBusySeconds, telemetry.L("phase", telemetry.PhaseDDPosUpdate))
+	s.poolIdleDrift = reg.SecondsCounter(telemetry.MetricPoolIdleSeconds, telemetry.L("phase", telemetry.PhaseDDPosUpdate))
 	s.ctrGroups = reg.Counter("greem_tree_groups_total")
 	s.ctrSumNi = reg.Counter("greem_tree_sum_ni_total")
 	s.ctrListP = reg.Counter("greem_tree_list_particles_total")
@@ -306,14 +347,25 @@ func (s *Sim) rebuildPM() error {
 	pm, err := pmpar.New(s.comm, pmpar.Config{
 		N: s.cfg.NMesh, L: s.cfg.L, G: s.cfg.G, Rcut: s.cfg.Rcut,
 		NFFT: s.cfg.NFFT, Relay: s.cfg.Relay, Groups: s.cfg.Groups,
-		Pencil: s.cfg.Pencil, PY: s.cfg.PY, PZ: s.cfg.PZ, Workers: s.cfg.Workers,
-		Recorder: s.rec,
+		Pencil: s.cfg.Pencil, PY: s.cfg.PY, PZ: s.cfg.PZ,
+		// Workers is deliberately left zero: the Sim already resolved the
+		// knob into its per-rank pool, and injecting that (possibly nil ⇒
+		// serial) pool keeps rebuilds — one per DD substep — from spawning
+		// fresh worker goroutines.
+		Pool: s.pool, Recorder: s.rec,
 	}, lo, hi)
 	if err != nil {
 		return err
 	}
 	s.pm = pm
 	return nil
+}
+
+// Close releases the rank's worker pool. The Sim must not be stepped after
+// Close; safe when the pool is nil (serial) and idempotent.
+func (s *Sim) Close() {
+	s.pool.Close()
+	s.pool = nil
 }
 
 // NumLocal returns this rank's particle count.

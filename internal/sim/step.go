@@ -107,39 +107,66 @@ func (s *Sim) forceOpts(periodic bool) tree.ForceOpts {
 	}
 }
 
-// kickPM applies the long-range kick over [t, t+dt].
-func (s *Sim) kickPM(t, dt float64) {
-	k := s.cfg.Stepper.KickFactor(t, dt)
-	for i := range s.vx {
-		s.vx[i] += k * s.apx[i]
-		s.vy[i] += k * s.apy[i]
-		s.vz[i] += k * s.apz[i]
+// kickRange is the pooled kick task: a pure per-particle update over a
+// disjoint index range, so the parallel kick is trivially bit-identical to
+// the serial loop. tkx/tky/tkz alias the acceleration component arrays.
+func (s *Sim) kickRange(w, lo, hi int) {
+	k := s.tkf
+	ax, ay, az := s.tkx, s.tky, s.tkz
+	for i := lo; i < hi; i++ {
+		s.vx[i] += k * ax[i]
+		s.vy[i] += k * ay[i]
+		s.vz[i] += k * az[i]
 	}
 }
 
+// kick applies one kick with the given acceleration arrays over [t, t+dt],
+// batched over the rank's worker pool.
+func (s *Sim) kick(t, dt float64, ax, ay, az []float64) {
+	s.tkf = s.cfg.Stepper.KickFactor(t, dt)
+	s.tkx, s.tky, s.tkz = ax, ay, az
+	s.pool.Run(len(s.vx), s.taskKick)
+	s.tkx, s.tky, s.tkz = nil, nil, nil
+	s.notePool(s.poolBusyKick, s.poolIdleKick)
+}
+
+// kickPM applies the long-range kick over [t, t+dt].
+func (s *Sim) kickPM(t, dt float64) { s.kick(t, dt, s.apx, s.apy, s.apz) }
+
 // kickPP applies the short-range kick over [t, t+dt].
-func (s *Sim) kickPP(t, dt float64) {
-	k := s.cfg.Stepper.KickFactor(t, dt)
-	for i := range s.vx {
-		s.vx[i] += k * s.asx[i]
-		s.vy[i] += k * s.asy[i]
-		s.vz[i] += k * s.asz[i]
+func (s *Sim) kickPP(t, dt float64) { s.kick(t, dt, s.asx, s.asy, s.asz) }
+
+// driftRange is the pooled drift task (pure per-particle, disjoint ranges).
+func (s *Sim) driftRange(w, lo, hi int) {
+	d := s.tdf
+	l := s.cfg.L
+	for i := lo; i < hi; i++ {
+		p := vec.Wrap(vec.V3{X: s.x[i] + d*s.vx[i], Y: s.y[i] + d*s.vy[i], Z: s.z[i] + d*s.vz[i]}, l)
+		s.x[i], s.y[i], s.z[i] = p.X, p.Y, p.Z
 	}
 }
 
 // drift advances positions over [t, t+dt] and wraps them into the box.
 func (s *Sim) drift(t, dt float64) {
 	sp := s.rec.Start(telemetry.PhaseDDPosUpdate)
-	d := s.cfg.Stepper.DriftFactor(t, dt)
-	l := s.cfg.L
-	for i := range s.x {
-		p := vec.Wrap(vec.V3{X: s.x[i] + d*s.vx[i], Y: s.y[i] + d*s.vy[i], Z: s.z[i] + d*s.vz[i]}, l)
-		s.x[i], s.y[i], s.z[i] = p.X, p.Y, p.Z
-	}
+	s.tdf = s.cfg.Stepper.DriftFactor(t, dt)
+	s.pool.Run(len(s.x), s.taskDrift)
 	s.time += dt
 	sp.End()
+	s.notePool(s.poolBusyDrift, s.poolIdleDrift)
 	s.pmFresh = false
 	s.ppFresh = false
+}
+
+// notePool attributes pool time accumulated since the last call to the given
+// busy/idle counter pair (no-op for the nil serial pool).
+func (s *Sim) notePool(busy, idle *telemetry.Counter) {
+	b, id := s.pool.TakeBusy()
+	if b == 0 && id == 0 {
+		return
+	}
+	busy.Add(b.Seconds())
+	idle.Add(id.Seconds())
 }
 
 // Step advances the system by one full step Δ: a half long-range kick, then

@@ -39,6 +39,18 @@ const (
 // wall-clock accumulates (label phase=<name>).
 const phaseSecondsMetric = "greem_phase_seconds_total"
 
+// MetricPoolBusySeconds and MetricPoolIdleSeconds accumulate the intra-rank
+// worker-pool busy and idle time attributed to each phase (label
+// phase=<name>): busy is summed per-worker execution time, idle the time
+// workers waited on the slowest worker of each pool task. Both sum cleanly
+// across ranks, so the aggregated (busy+idle)/busy is the fleet-wide
+// intra-rank max/mean imbalance — the within-rank analogue of the cross-rank
+// phase imbalance column.
+const (
+	MetricPoolBusySeconds = "greem_pool_busy_seconds_total"
+	MetricPoolIdleSeconds = "greem_pool_idle_seconds_total"
+)
+
 // spanSecondsMetric is the per-phase span-duration histogram.
 const spanSecondsMetric = "greem_span_seconds"
 

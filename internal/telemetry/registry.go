@@ -142,6 +142,17 @@ func NewRegistry() *Registry {
 	return &Registry{byKey: make(map[string]*metric)}
 }
 
+// MetricKey returns the canonical name{labels} identity under which a metric
+// appears in snapshots and aggregated profiles (labels are sorted by key), so
+// consumers like cmd/tableone can look up labelled counters — e.g.
+// Profile.Counter(MetricKey(MetricPoolBusySeconds, L("phase", name))) —
+// without hand-formatting the key.
+func MetricKey(name string, labels ...Label) string {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	return metricKey(name, sorted)
+}
+
 // metricKey canonicalizes a (name, labels) pair.
 func metricKey(name string, labels []Label) string {
 	if len(labels) == 0 {

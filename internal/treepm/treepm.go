@@ -36,8 +36,12 @@ type Config struct {
 	SpectralPM bool
 	// NoDeconvolution disables TSC window deconvolution (ablation).
 	NoDeconvolution bool
-	// Workers threads the tree traversal+kernel (0/1 = serial), the
-	// OpenMP-within-a-process half of the paper's hybrid parallelism.
+	// Workers threads the tree traversal+kernel AND every PM hot loop
+	// (assignment, FFT lines, convolution, differencing, interpolation) —
+	// the OpenMP-within-a-process half of the paper's hybrid parallelism.
+	// The knob resolves through par.Resolve (0 ⇒ serial, par.Auto ⇒
+	// GOMAXPROCS); PM results are bit-identical to serial at any worker
+	// count. Call Solver.Close to release the pool.
 	Workers int
 }
 
@@ -89,12 +93,18 @@ func New(cfg Config) (*Solver, error) {
 	if cfg.NoDeconvolution {
 		opts = append(opts, mesh.WithoutDeconvolution())
 	}
+	if cfg.Workers != 0 {
+		opts = append(opts, mesh.WithWorkers(cfg.Workers))
+	}
 	pm, err := mesh.New(cfg.NMesh, cfg.L, cfg.G, cfg.Rcut, opts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Solver{cfg: cfg, pm: pm}, nil
 }
+
+// Close releases the PM solver's worker pool (no-op when serial).
+func (s *Solver) Close() { s.pm.Close() }
 
 // Config returns the solver's resolved configuration.
 func (s *Solver) Config() Config { return s.cfg }
