@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-fft bench-scaling
+.PHONY: verify build vet test race bench bench-fft bench-scaling smoke-restart
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -17,7 +17,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/
+
+# smoke-restart: end-to-end crash-restart drill — hard-kill the driver after
+# a checkpoint, rerun the same command, require a byte-identical final
+# snapshot versus an uninterrupted run.
+smoke-restart:
+	./scripts/smoke_restart.sh
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .

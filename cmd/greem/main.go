@@ -9,21 +9,33 @@
 // as Chrome trace-event JSON, one track per rank, loadable in Perfetto
 // (ui.perfetto.dev) or chrome://tracing.
 //
+// With -checkpoint-every the run is crash-safe: every k steps each rank
+// writes a CRC-verified shard and rank 0 commits an atomic, hash-chained
+// manifest. Rerunning the same command resumes from the newest valid
+// checkpoint (corrupt or partial ones are skipped with a logged reason), and
+// an in-process rank failure triggers up to -max-restarts automatic
+// restarts from the last checkpoint. With -deterministic the resumed
+// trajectory is bit-identical to an uninterrupted run.
+//
 //	go run ./cmd/greem -np 16 -ranks 8 -steps 16 -zstart 400 -zend 31 -out out
 //	go run ./cmd/greem -resume out/snap_0016.bin -steps 8
 //	go run ./cmd/greem -np 8 -ranks 4 -steps 2 -trace trace.json -metrics metrics.prom
+//	go run ./cmd/greem -np 16 -ranks 4 -steps 8 -deterministic -checkpoint-every 2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"greem"
 	"greem/internal/analysis"
+	"greem/internal/checkpoint"
 	"greem/internal/cosmo"
 	"greem/internal/mpi"
 	"greem/internal/sim"
@@ -51,10 +63,17 @@ func main() {
 	theta := flag.Float64("theta", 0.5, "tree opening angle")
 	ni := flag.Int("ni", 100, "Barnes group size cap")
 	outDir := flag.String("out", "out", "output directory")
-	resume := flag.String("resume", "", "resume from snapshot file")
+	resume := flag.String("resume", "", "resume from a snapshot file or a checkpoint directory")
 	snapEvery := flag.Int("snap", 8, "write snapshot every k steps")
 	metricsOut := flag.String("metrics", "", "write per-rank metrics (Prometheus text format) to this file")
 	traceOut := flag.String("trace", "", "write per-rank span timelines (Chrome trace-event JSON) to this file")
+	deterministic := flag.Bool("deterministic", false, "deterministic cost sampling: reruns and checkpoint restarts are bit-identical")
+	ckptEvery := flag.Int("checkpoint-every", 0, "write a crash-safe checkpoint every k steps (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory (default <out>/checkpoints)")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoints to retain; oldest pruned first (0 = all)")
+	maxRestarts := flag.Int("max-restarts", 2, "automatic in-process restarts from the last checkpoint after a rank failure")
+	killAtStep := flag.Int("kill-at-step", 0, "testing: hard-exit the process right after the checkpoint at this step")
+	failRankAtStep := flag.Int("fail-rank-at-step", 0, "testing: kill the last rank at the start of this step (once) to exercise graceful degradation")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -69,12 +88,30 @@ func main() {
 		model = cosmo.EdS(greem.HubbleForBox(g, totalM, l, 1.0))
 	}
 
-	var parts []greem.Particle
-	aStart := greem.ScaleFactor(*zstart)
+	// Resolve the checkpoint plane: -resume pointing at a directory selects
+	// it as the checkpoint root; otherwise checkpoints live under -out.
+	ckDir := *ckptDir
+	resumeFile := ""
+	resumeDir := false
 	if *resume != "" {
+		if st, err := os.Stat(*resume); err == nil && st.IsDir() {
+			ckDir = *resume
+			resumeDir = true
+		} else {
+			resumeFile = *resume
+		}
+	}
+	if ckDir == "" {
+		ckDir = filepath.Join(*outDir, "checkpoints")
+	}
+	checkpointing := *ckptEvery > 0 || resumeDir
+
+	aStart := greem.ScaleFactor(*zstart)
+	var parts []greem.Particle
+	if resumeFile != "" {
 		var err error
 		var tl float64
-		tl, aStart, parts, err = loadSnap(*resume)
+		tl, aStart, parts, err = loadSnap(resumeFile)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,21 +119,6 @@ func main() {
 			log.Fatalf("snapshot box %v does not match %v", tl, l)
 		}
 		fmt.Printf("resumed %d particles at a = %.5f (z = %.1f)\n", len(parts), aStart, greem.Redshift(aStart))
-	} else {
-		mesh := *nmesh
-		if mesh == 0 {
-			mesh = nextPow2(2 * *np)
-		}
-		ps := greem.NeutralinoCutoff{N: 0, Amp: *amp, KCut: 2 * math.Pi / l * float64(*np) / 4}
-		var err error
-		parts, err = greem.GenerateIC(greem.ICConfig{
-			NP: *np, NGrid: mesh, L: l, PS: ps, Seed: *seed,
-			Model: model, AInit: aStart, TotalMass: totalM, SecondOrder: *lpt2,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("generated %d particles at z = %.0f\n", len(parts), *zstart)
 	}
 
 	mesh := *nmesh
@@ -113,51 +135,145 @@ func main() {
 		Pencil: *pencil, PY: *py, PZ: *pz, Workers: *workers,
 		Theta: *theta, Ni: *ni, Eps2: 1e-8, FastKernel: true,
 		Grid: grid, DT: (aEnd - aStart) / float64(*steps), Stepper: model, Time: aStart,
+		DeterministicCost: *deterministic,
+	}
+
+	// Skip IC generation when a valid checkpoint will be restored anyway —
+	// at production scale the ICs are the second most expensive thing the
+	// driver does.
+	canResume := false
+	if checkpointing {
+		if step, ok := checkpoint.LatestStep(checkpoint.Config{Dir: ckDir, Sim: cfg, Logf: log.Printf}, *ranks); ok {
+			canResume = true
+			fmt.Printf("valid checkpoint at step %d in %s\n", step, ckDir)
+		}
+	}
+	if parts == nil && !canResume {
+		ps := greem.NeutralinoCutoff{N: 0, Amp: *amp, KCut: 2 * math.Pi / l * float64(*np) / 4}
+		parts, err = greem.GenerateIC(greem.ICConfig{
+			NP: *np, NGrid: mesh, L: l, PS: ps, Seed: *seed,
+			Model: model, AInit: aStart, TotalMass: totalM, SecondOrder: *lpt2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d particles at z = %.0f\n", len(parts), *zstart)
+	}
+
+	// The fault-injection hook behind -fail-rank-at-step: kills the last
+	// rank at the start of its n-th step, exactly once across restarts.
+	var hook greem.KillHook
+	if *failRankAtStep > 0 {
+		var mu sync.Mutex
+		count, fired := 0, false
+		target := *ranks - 1
+		hook = func(rank int, point string) bool {
+			if rank != target || point != "sim/step" {
+				return false
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if fired {
+				return false
+			}
+			count++
+			if count == *failRankAtStep {
+				fired = true
+				return true
+			}
+			return false
+		}
 	}
 
 	recs := make([]*telemetry.Recorder, *ranks)
 	var traffic *mpi.Traffic
-	err = greem.Run(*ranks, func(c *greem.Comm) {
-		rec := telemetry.NewRecorder(c.Rank(), nil)
-		rec.EnableTrace(*traceOut != "")
-		recs[c.Rank()] = rec
-		if c.Rank() == 0 {
-			traffic = c.Traffic()
-		}
-		rcfg := cfg
-		rcfg.Recorder = rec
-		var mine []greem.Particle
-		for i := range parts {
-			if i%*ranks == c.Rank() {
-				mine = append(mine, parts[i])
+	runOnce := func() error {
+		return greem.RunWithKillHook(*ranks, hook, func(c *greem.Comm) {
+			rec := telemetry.NewRecorder(c.Rank(), nil)
+			rec.EnableTrace(*traceOut != "")
+			recs[c.Rank()] = rec
+			if c.Rank() == 0 {
+				traffic = c.Traffic()
 			}
-		}
-		s, err := greem.NewSimulation(c, rcfg, mine)
-		if err != nil {
-			panic(err)
-		}
-		for i := 0; i < *steps; i++ {
-			if err := s.Step(); err != nil {
-				panic(err)
+			rcfg := cfg
+			rcfg.Recorder = rec
+			ckCfg := checkpoint.Config{Dir: ckDir, Sim: rcfg, Keep: *ckptKeep, Recorder: rec}
+			if c.Rank() == 0 {
+				ckCfg.Logf = log.Printf
 			}
-			if (i+1)%*snapEvery == 0 || i == *steps-1 {
-				all := s.GatherAll(0)
-				if c.Rank() == 0 {
-					writeOutputs(*outDir, s, all, l)
+			var s *sim.Sim
+			if checkpointing {
+				var rerr error
+				s, rerr = checkpoint.Restore(c, ckCfg)
+				if rerr != nil && !errors.Is(rerr, checkpoint.ErrNoCheckpoint) {
+					panic(rerr)
+				}
+				if s != nil && c.Rank() == 0 {
+					fmt.Printf("resumed from checkpoint at step %d (a = %.5f)\n", s.StepIndex(), s.Time())
 				}
 			}
-			if c.Rank() == 0 {
-				fmt.Printf("step %3d: a = %.5f (z = %.1f)\n", i+1, s.Time(), greem.Redshift(s.Time()))
+			if s == nil {
+				var mine []greem.Particle
+				for i := range parts {
+					if i%*ranks == c.Rank() {
+						mine = append(mine, parts[i])
+					}
+				}
+				var err error
+				s, err = greem.NewSimulation(c, rcfg, mine)
+				if err != nil {
+					panic(err)
+				}
 			}
+			for s.StepIndex() < *steps {
+				if err := s.Step(); err != nil {
+					panic(err)
+				}
+				idx := s.StepIndex()
+				if *ckptEvery > 0 && idx%*ckptEvery == 0 {
+					if _, err := checkpoint.Write(c, ckCfg, s); err != nil {
+						panic(err)
+					}
+					if *killAtStep > 0 && idx == *killAtStep {
+						// Simulated hard crash (power loss, OOM kill): no
+						// cleanup, no manifest beyond what is committed.
+						if c.Rank() == 0 {
+							fmt.Printf("kill-at-step: exiting hard after checkpoint at step %d\n", idx)
+						}
+						os.Exit(3)
+					}
+				}
+				if idx%*snapEvery == 0 || idx == *steps {
+					all := s.GatherAll(0)
+					if c.Rank() == 0 {
+						writeOutputs(*outDir, s, all, l)
+					}
+				}
+				if c.Rank() == 0 {
+					fmt.Printf("step %3d: a = %.5f (z = %.1f)\n", idx, s.Time(), greem.Redshift(s.Time()))
+				}
+			}
+			inter := s.InteractionsPerStep()
+			ni, nj := s.MeanNiNj()
+			c.Barrier()
+			if c.Rank() == 0 {
+				printTimers(s, *steps, inter, ni, nj)
+			}
+		})
+	}
+
+	// Degradation loop: a lost rank aborts the world; with checkpointing on,
+	// restart from the last valid checkpoint instead of dying, a bounded
+	// number of times.
+	for attempt := 0; ; attempt++ {
+		err := runOnce()
+		if err == nil {
+			break
 		}
-		inter := s.InteractionsPerStep()
-		ni, nj := s.MeanNiNj()
-		c.Barrier()
-		if c.Rank() == 0 {
-			printTimers(s, *steps, inter, ni, nj)
+		if checkpointing && greem.IsAborted(err) && attempt < *maxRestarts {
+			log.Printf("world aborted (%v); restarting from last checkpoint (attempt %d/%d)", err, attempt+1, *maxRestarts)
+			continue
 		}
-	})
-	if err != nil {
 		log.Fatal(err)
 	}
 	if *metricsOut != "" {

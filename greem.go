@@ -62,6 +62,22 @@ type Comm = mpi.Comm
 // stand-in for launching n MPI processes.
 func Run(n int, body func(*Comm)) error { return mpi.Run(n, body) }
 
+// KillHook is a fault-injection hook consulted at every Comm.FaultPoint; see
+// mpi.KillHook.
+type KillHook = mpi.KillHook
+
+// RunWithKillHook is Run with a fault-injection hook that can kill ranks at
+// fault points, for crash-restart testing and chaos drills.
+func RunWithKillHook(n int, hook KillHook, body func(*Comm)) error {
+	return mpi.RunWithKillHook(n, hook, body)
+}
+
+// IsAborted reports whether a panic value or error (e.g. the error returned
+// by Run) stems from a killed rank or an aborted world, so drivers can
+// degrade gracefully — restart from a checkpoint — instead of treating the
+// loss of a rank like a code bug.
+func IsAborted(v any) bool { return mpi.IsAborted(v) }
+
 // Particle is the migratable per-particle state of the simulation.
 type Particle = sim.Particle
 

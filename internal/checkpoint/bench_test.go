@@ -1,0 +1,46 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+
+	"greem/internal/mpi"
+	"greem/internal/sim"
+)
+
+// BenchmarkCheckpointWrite measures one full collective checkpoint commit
+// (shard serialization + CRC + atomic write + manifest) for a 2-rank world,
+// per particle count. The per-step overhead budget in EXPERIMENTS.md comes
+// from relating this to the measured step time.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := testSimConfig()
+			dir := b.TempDir()
+			parts := makeParticles(5, n, 0.05)
+			err := mpi.Run(2, func(c *mpi.Comm) {
+				s, err := sim.New(c, cfg, sliceFor(parts, c.Rank(), 2))
+				if err != nil {
+					panic(err)
+				}
+				if err := s.Step(); err != nil {
+					panic(err)
+				}
+				ckCfg := Config{Dir: dir, Sim: cfg, Keep: 2}
+				c.Barrier()
+				if c.Rank() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := Write(c, ckCfg, s); err != nil {
+						panic(err)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n * 64))
+		})
+	}
+}

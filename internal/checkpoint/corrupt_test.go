@@ -1,0 +1,181 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greem/internal/mpi"
+	"greem/internal/sim"
+)
+
+// buildTemplateCheckpoint runs a tiny single-rank sim to one committed
+// checkpoint and returns the raw shard and manifest bytes.
+func buildTemplateCheckpoint(t *testing.T, cfg sim.Config) (shard, manifest []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	parts := makeParticles(9, 24, 0.05)
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		s, err := sim.New(c, cfg, parts)
+		if err != nil {
+			panic(err)
+		}
+		if err := s.Step(); err != nil {
+			panic(err)
+		}
+		if _, err := Write(c, Config{Dir: dir, Sim: cfg}, s); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckdir := filepath.Join(dir, dirName(1))
+	shard, err = os.ReadFile(filepath.Join(ckdir, shardName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest, err = os.ReadFile(filepath.Join(ckdir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shard, manifest
+}
+
+// corruptionHarness rebuilds one on-disk checkpoint from the given bytes and
+// reports what Latest makes of it. The same directory is reused across
+// thousands of corruption variants.
+type corruptionHarness struct {
+	t     *testing.T
+	root  string
+	cfg   sim.Config
+	logs  *strings.Builder
+	ckdir string
+}
+
+func newCorruptionHarness(t *testing.T, cfg sim.Config) *corruptionHarness {
+	root := t.TempDir()
+	ckdir := filepath.Join(root, dirName(1))
+	if err := os.MkdirAll(ckdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return &corruptionHarness{t: t, root: root, cfg: cfg, logs: &strings.Builder{}, ckdir: ckdir}
+}
+
+// latest installs the given shard/manifest bytes and runs Latest over them.
+// It must never panic, whatever the bytes are; the harness returns the error
+// and the logged skip reason.
+func (h *corruptionHarness) latest(shard, manifest []byte) (error, string) {
+	h.t.Helper()
+	if err := os.WriteFile(filepath.Join(h.ckdir, shardName(0)), shard, 0o644); err != nil {
+		h.t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(h.ckdir, manifestName), manifest, 0o644); err != nil {
+		h.t.Fatal(err)
+	}
+	h.logs.Reset()
+	logf := func(format string, args ...any) {
+		h.logs.WriteString(strings.TrimSpace(format) + "\n")
+	}
+	_, _, err := Latest(Config{Dir: h.root, Sim: h.cfg, Logf: logf}, 1)
+	return err, h.logs.String()
+}
+
+// expectSkipped asserts the corrupted checkpoint was refused with a logged
+// reason — the never-panic, never-OOM, always-descriptive contract.
+func (h *corruptionHarness) expectSkipped(what string, i int, err error, logs string) {
+	h.t.Helper()
+	if !errors.Is(err, ErrNoCheckpoint) {
+		h.t.Fatalf("%s at %d: err = %v, want ErrNoCheckpoint", what, i, err)
+	}
+	if !strings.Contains(logs, "skipping") {
+		h.t.Fatalf("%s at %d: no skip reason logged", what, i)
+	}
+}
+
+func TestCorruptionSweepShard(t *testing.T) {
+	cfg := testSimConfig()
+	cfg.Grid = [3]int{1, 1, 1}
+	shard, manifest := buildTemplateCheckpoint(t, cfg)
+	h := newCorruptionHarness(t, cfg)
+
+	// Sanity: the pristine bytes validate.
+	if err, logs := h.latest(shard, manifest); err != nil {
+		t.Fatalf("pristine checkpoint invalid: %v (%s)", err, logs)
+	}
+
+	// Truncation at every byte boundary, including the empty file.
+	for n := 0; n < len(shard); n++ {
+		err, logs := h.latest(shard[:n], manifest)
+		h.expectSkipped("shard truncated", n, err, logs)
+	}
+
+	// A single bit flipped in every byte: the manifest's whole-file CRC32C
+	// must catch each one.
+	for i := 0; i < len(shard); i++ {
+		mut := append([]byte(nil), shard...)
+		mut[i] ^= 0x40
+		err, logs := h.latest(mut, manifest)
+		h.expectSkipped("shard bit-flipped", i, err, logs)
+	}
+
+	// Zero-filled file of the recorded size: right length, dead payload.
+	err, logs := h.latest(make([]byte, len(shard)), manifest)
+	h.expectSkipped("shard zero-filled", 0, err, logs)
+
+	// Shard removed entirely.
+	if err := os.Remove(filepath.Join(h.ckdir, shardName(0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(h.ckdir, manifestName), manifest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h.logs.Reset()
+	logf := func(format string, args ...any) { h.logs.WriteString(format + "\n") }
+	if _, _, err := Latest(Config{Dir: h.root, Sim: cfg, Logf: logf}, 1); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing shard: %v", err)
+	}
+}
+
+func TestCorruptionSweepManifest(t *testing.T) {
+	cfg := testSimConfig()
+	cfg.Grid = [3]int{1, 1, 1}
+	shard, manifest := buildTemplateCheckpoint(t, cfg)
+	h := newCorruptionHarness(t, cfg)
+
+	// Truncation at every byte boundary (0 = empty MANIFEST file).
+	for n := 0; n < len(manifest); n++ {
+		err, logs := h.latest(shard, manifest[:n])
+		h.expectSkipped("manifest truncated", n, err, logs)
+	}
+
+	// A flipped bit in every byte. Flips in the length field may claim
+	// gigabytes of payload: the frame cap must refuse the allocation.
+	for i := 0; i < len(manifest); i++ {
+		mut := append([]byte(nil), manifest...)
+		mut[i] ^= 0x40
+		err, logs := h.latest(shard, mut)
+		h.expectSkipped("manifest bit-flipped", i, err, logs)
+	}
+
+	// Zero-filled manifest.
+	err, logs := h.latest(shard, make([]byte, len(manifest)))
+	h.expectSkipped("manifest zero-filled", 0, err, logs)
+}
+
+func TestManifestLengthFieldCannotForceOOM(t *testing.T) {
+	// Hand-craft a frame whose length field demands far more than the cap:
+	// decode must refuse by arithmetic, not by attempting the allocation.
+	frame := append([]byte(nil), manifestMagic[:]...)
+	frame = append(frame, 0xFF, 0xFF, 0xFF, 0xFF) // ~4 GiB claimed
+	frame = append(frame, make([]byte, 64)...)
+	_, _, err := decodeManifest(frame)
+	if err == nil {
+		t.Fatal("absurd length field accepted")
+	}
+	if !strings.Contains(err.Error(), "cap") {
+		t.Errorf("want cap error, got: %v", err)
+	}
+}

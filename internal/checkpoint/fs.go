@@ -1,0 +1,161 @@
+package checkpoint
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// File is the writable handle the checkpoint writer needs: stream, fsync,
+// close. Kept minimal so fault-injecting implementations stay small.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations checkpointing uses, so tests can
+// inject torn writes, failed renames and transient errors without touching
+// a real disk's failure modes. The production implementation is OS.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	Create(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	ReadDir(path string) ([]fs.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	Stat(path string) (fs.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Create(path string) (File, error)             { return os.Create(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error)   { return os.ReadDir(path) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Stat(path string) (fs.FileInfo, error)        { return os.Stat(path) }
+
+// FaultFS wraps a base FS with injectable failures. Each On* hook, when
+// non-nil, is consulted before the corresponding operation; returning an
+// error makes the operation fail without touching the base FS (except
+// OnWrite, which can model a *torn* write — see its contract). Hooks are
+// called under an internal mutex, so stateful hooks ("fail the first two
+// renames") need no locking of their own.
+type FaultFS struct {
+	Base FS
+
+	mu       sync.Mutex
+	OnCreate func(path string) error
+	// OnWrite is consulted per Write call with the path, the bytes already
+	// written to that file, and the chunk about to be written. It returns
+	// how many bytes of the chunk to actually write and an error to report
+	// afterwards: (len(p), nil) passes through, (k, err) with k < len(p)
+	// models a torn write — k bytes land on disk, then the writer sees err.
+	OnWrite  func(path string, written int64, p []byte) (int, error)
+	OnSync   func(path string) error
+	OnRename func(oldpath, newpath string) error
+}
+
+// NewFaultFS wraps base (nil ⇒ OS) with no failures installed; set the
+// hooks before handing it to checkpoint code.
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OS
+	}
+	return &FaultFS{Base: base}
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error { return f.Base.MkdirAll(path, perm) }
+
+func (f *FaultFS) Create(path string) (File, error) {
+	f.mu.Lock()
+	var herr error
+	if f.OnCreate != nil {
+		herr = f.OnCreate(path)
+	}
+	f.mu.Unlock()
+	if herr != nil {
+		return nil, herr
+	}
+	base, err := f.Base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, f: base}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	var herr error
+	if f.OnRename != nil {
+		herr = f.OnRename(oldpath, newpath)
+	}
+	f.mu.Unlock()
+	if herr != nil {
+		return herr
+	}
+	return f.Base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error                   { return f.Base.Remove(path) }
+func (f *FaultFS) RemoveAll(path string) error                { return f.Base.RemoveAll(path) }
+func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) { return f.Base.ReadDir(path) }
+func (f *FaultFS) ReadFile(path string) ([]byte, error)       { return f.Base.ReadFile(path) }
+func (f *FaultFS) Stat(path string) (fs.FileInfo, error)      { return f.Base.Stat(path) }
+
+type faultFile struct {
+	fs      *FaultFS
+	path    string
+	f       File
+	written int64
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	allow, ferr := len(p), error(nil)
+	w.fs.mu.Lock()
+	if w.fs.OnWrite != nil {
+		allow, ferr = w.fs.OnWrite(w.path, w.written, p)
+		if allow > len(p) {
+			allow = len(p)
+		}
+		if allow < 0 {
+			allow = 0
+		}
+	}
+	w.fs.mu.Unlock()
+	n, err := w.f.Write(p[:allow])
+	w.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	if n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	var herr error
+	if w.fs.OnSync != nil {
+		herr = w.fs.OnSync(w.path)
+	}
+	w.fs.mu.Unlock()
+	if herr != nil {
+		return herr
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

@@ -1,0 +1,68 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAborted is the panic value raised by collectives and Recv when the world
+// has been aborted (because some rank panicked or was killed at a fault
+// point). It replaces the bare string panics the package used to raise, so
+// drivers can distinguish "a peer died under me" from a genuine bug:
+//
+//	defer func() {
+//		if p := recover(); p != nil && !mpi.IsAborted(p) {
+//			panic(p) // real bug, re-raise
+//		}
+//	}()
+//
+// Run converts rank panics into its returned error with %w wrapping, so
+// IsAborted also recognizes the error Run returns after an abort or kill.
+var ErrAborted = errors.New("mpi: operation on aborted world")
+
+// RankKilledError is the panic value raised by Comm.FaultPoint when the
+// installed KillHook elects to kill the calling rank. It models a node
+// failure at a named point in the step cycle for crash-restart tests.
+type RankKilledError struct {
+	Rank  int    // world rank that was killed
+	Point string // fault-point name at which it died
+}
+
+func (e *RankKilledError) Error() string {
+	return fmt.Sprintf("mpi: rank %d killed at fault point %q", e.Rank, e.Point)
+}
+
+// IsAborted reports whether v — a recovered panic value or an error returned
+// by Run — stems from an aborted world or an injected rank kill, i.e. a
+// failure a driver can degrade on (resume from a checkpoint) rather than a
+// programming error it must surface.
+func IsAborted(v any) bool {
+	err, ok := v.(error)
+	if !ok || err == nil {
+		return false
+	}
+	if errors.Is(err, ErrAborted) {
+		return true
+	}
+	var rk *RankKilledError
+	return errors.As(err, &rk)
+}
+
+// KillHook decides, at every named fault point a rank passes, whether that
+// rank should die there. It is called concurrently from all rank goroutines
+// and must be safe for concurrent use; returning true makes the calling rank
+// panic with *RankKilledError, which aborts the world (peers observe
+// ErrAborted) and surfaces through Run's returned error.
+type KillHook func(rank int, point string) bool
+
+// FaultPoint is a named crash-injection site: if a KillHook was installed via
+// RunWithKillHook and elects to kill this rank here, the rank panics with
+// *RankKilledError. With no hook installed it is a no-op costing one nil
+// check, so production paths can carry fault points permanently. The sim
+// package exposes "sim/step" and "sim/kick"; the checkpoint package exposes
+// "ckpt/shard-write" and "ckpt/manifest-write".
+func (c *Comm) FaultPoint(point string) {
+	if h := c.world.kill; h != nil && h(c.WorldRank(), point) {
+		panic(&RankKilledError{Rank: c.WorldRank(), Point: point})
+	}
+}

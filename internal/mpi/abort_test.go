@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIsAborted(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		want bool
+	}{
+		{"ErrAborted itself", ErrAborted, true},
+		{"wrapped ErrAborted", fmt.Errorf("rank 3: %w", ErrAborted), true},
+		{"RankKilledError", &RankKilledError{Rank: 1, Point: "sim/kick"}, true},
+		{"wrapped RankKilledError", fmt.Errorf("boom: %w", &RankKilledError{Rank: 2, Point: "p"}), true},
+		{"unrelated error", errors.New("disk full"), false},
+		{"non-error panic value", "some panic string", false},
+		{"nil", nil, false},
+	}
+	for _, tc := range cases {
+		if got := IsAborted(tc.v); got != tc.want {
+			t.Errorf("%s: IsAborted = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRankKilledErrorMessage(t *testing.T) {
+	e := &RankKilledError{Rank: 5, Point: "ckpt/shard-write"}
+	msg := e.Error()
+	for _, want := range []string{"5", "ckpt/shard-write"} {
+		if !contains(msg, want) {
+			t.Errorf("error %q should mention %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKillHookAbortsWorld is the degradation contract end to end: a kill hook
+// takes one rank down at a fault point, the surviving ranks' collectives
+// unblock by panicking on the aborted world, and Run's returned error
+// satisfies IsAborted so drivers can distinguish a crashed rank from a bug.
+func TestKillHookAbortsWorld(t *testing.T) {
+	hook := func(rank int, point string) bool {
+		return rank == 1 && point == "mid/step"
+	}
+	err := RunWithKillHook(4, hook, func(c *Comm) {
+		c.FaultPoint("before/step") // no rank dies here
+		if c.Rank() == 1 {
+			c.FaultPoint("mid/step") // rank 1 dies here
+		}
+		// Everyone else enters a collective that can never complete.
+		Allgather(c, []int{c.Rank()})
+	})
+	if err == nil {
+		t.Fatal("killed world returned nil error")
+	}
+	if !IsAborted(err) {
+		t.Fatalf("IsAborted(%v) = false, want true", err)
+	}
+}
+
+// TestNilHookIsPlainRun: FaultPoint is free when no hook is installed.
+func TestNilHookIsPlainRun(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		for i := 0; i < 100; i++ {
+			c.FaultPoint("anywhere")
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillHookSelectiveByPoint: the hook sees every fault point and can
+// choose a precise instant; earlier points on the same rank pass through.
+func TestKillHookSelectiveByPoint(t *testing.T) {
+	var seen []string
+	hook := func(rank int, point string) bool {
+		if rank == 0 {
+			seen = append(seen, point)
+		}
+		return rank == 0 && point == "c"
+	}
+	err := RunWithKillHook(1, hook, func(c *Comm) {
+		c.FaultPoint("a")
+		c.FaultPoint("b")
+		c.FaultPoint("c")
+		t.Error("rank survived past its kill point")
+	})
+	if !IsAborted(err) {
+		t.Fatalf("want aborted error, got %v", err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(seen) != len(want) {
+		t.Fatalf("hook saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", seen, want)
+		}
+	}
+}

@@ -8,6 +8,18 @@
 // Semantics mirror MPI: all ranks of a communicator must call collectives in
 // the same order; Split must be called by every rank of the parent. Data
 // returned from collectives is always a private copy.
+//
+// # Abort contract
+//
+// When any rank panics (including an injected kill at a Comm.FaultPoint), the
+// world aborts: every collective or Recv that is blocked, or is subsequently
+// entered, panics with the typed value ErrAborted instead of deadlocking.
+// Run recovers each rank's panic and returns the first one as an error with
+// %w wrapping, so callers can test the outcome with IsAborted — true for a
+// peer-failure cascade (degradable: resume from a checkpoint), false for a
+// genuine programming error that must be surfaced. A rank that wants to
+// clean up on a peer's death can recover() and check IsAborted itself; the
+// world stays aborted, so it must not attempt further communication.
 package mpi
 
 import (
@@ -21,7 +33,13 @@ import (
 // the first panic converted to an error, after all ranks have finished or
 // the panicking rank has unwound. A panicking rank closes the world so
 // blocked peers fail fast rather than deadlock.
-func Run(n int, body func(c *Comm)) error {
+func Run(n int, body func(c *Comm)) error { return RunWithKillHook(n, nil, body) }
+
+// RunWithKillHook is Run with a fault-injection hook: hook is consulted at
+// every Comm.FaultPoint a rank passes and may elect to kill it there (see
+// KillHook). A nil hook is exactly Run. Used by crash-restart tests to die
+// mid-step or mid-checkpoint-write.
+func RunWithKillHook(n int, hook KillHook, body func(c *Comm)) error {
 	if n < 1 {
 		return fmt.Errorf("mpi: need at least one rank, got %d", n)
 	}
@@ -30,6 +48,7 @@ func Run(n int, body func(c *Comm)) error {
 		boards:  make(map[boardKey]*board),
 		mail:    make(map[mailKey]*mailbox),
 		Traffic: &Traffic{},
+		kill:    hook,
 	}
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
@@ -40,9 +59,15 @@ func Run(n int, body func(c *Comm)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					err, ok := p.(error)
+					if ok {
+						err = fmt.Errorf("mpi: rank %d panicked: %w", rank, err)
+					} else {
+						err = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					}
 					errMu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+						firstErr = err
 					}
 					errMu.Unlock()
 					w.abort()
@@ -94,6 +119,7 @@ type world struct {
 	aborted bool
 	abortCh chan struct{}
 	Traffic *Traffic
+	kill    KillHook // fault-injection hook; nil in production runs
 }
 
 func (w *world) abort() {
@@ -433,7 +459,7 @@ func Recv[T any](c *Comm, src, tag int) []T {
 	m := c.world.getMailbox(k)
 	v := m.take()
 	if v == nil {
-		panic("mpi: Recv on aborted world")
+		panic(ErrAborted)
 	}
 	return v.([]T)
 }
@@ -468,7 +494,7 @@ func (b *board) await() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.dead {
-		panic("mpi: collective on aborted world")
+		panic(ErrAborted)
 	}
 	gen := b.gen
 	b.count++
@@ -482,7 +508,7 @@ func (b *board) await() {
 		b.cond.Wait()
 	}
 	if b.dead {
-		panic("mpi: collective on aborted world")
+		panic(ErrAborted)
 	}
 }
 

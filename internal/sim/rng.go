@@ -1,0 +1,24 @@
+package sim
+
+// sampleRNG is the per-rank sampling PRNG behind the domain-decomposition
+// sampling method. It is a splitmix64 generator: one word of state, so a
+// checkpoint can capture and replay the stream exactly (math/rand hides its
+// state, which would force a resumed run onto a different sample sequence
+// and hence a different decomposition — breaking bit-identical restart).
+type sampleRNG struct {
+	state uint64
+}
+
+func newSampleRNG(seed int64) sampleRNG { return sampleRNG{state: uint64(seed)} }
+
+func (r *sampleRNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a sample index in [0, n). The modulo bias (≤ n/2⁶⁴) is far
+// below anything the sampling method could notice.
+func (r *sampleRNG) Intn(n int) int { return int(r.next() % uint64(n)) }

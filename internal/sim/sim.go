@@ -8,7 +8,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"greem/internal/domain"
@@ -90,6 +89,15 @@ type Config struct {
 	// Substeps is the number of PP cycles per PM cycle; 0 ⇒ 2 (the paper).
 	Substeps int
 
+	// DeterministicCost replaces the measured wall-clock phase costs that
+	// drive the cost-proportional sampling rate (the paper's method) with
+	// deterministic proxies — tree interaction counts for PP, local particle
+	// counts for PM. Only the sampling *rates* change semantics; the knob
+	// makes multi-rank trajectories reproducible run-to-run, which is what
+	// the bit-identical checkpoint/restart guarantee (and its tests) needs.
+	// Production runs keep the default (measured costs, per the paper).
+	DeterministicCost bool
+
 	// Recorder is this rank's telemetry recorder; every phase timer,
 	// interaction counter, and (when tracing is enabled) timeline span runs
 	// through it. nil ⇒ a private recorder. Recorders are rank-local, so
@@ -169,7 +177,7 @@ type Sim struct {
 	lastCost   float64
 	lastPMCost float64
 
-	rng *rand.Rand
+	rng sampleRNG
 
 	// rec is the rank's telemetry recorder (never nil); the tree-statistics
 	// counters below are interned handles into its registry.
@@ -272,6 +280,22 @@ func New(c *mpi.Comm, cfg Config, parts []Particle) (*Sim, error) {
 	if err := cfg.setDefaults(c.Size()); err != nil {
 		return nil, err
 	}
+	s := newSim(c, cfg)
+	s.setParticles(parts)
+	// Initial exchange onto the uniform geometry, then build the PM solver.
+	if err := s.exchangeParticles(); err != nil {
+		return nil, err
+	}
+	if err := s.rebuildPM(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// newSim builds the rank-local scaffolding shared by New and Resume: the
+// uniform starting geometry, worker pool, telemetry handles and sampling
+// RNG. cfg must already have defaults applied.
+func newSim(c *mpi.Comm, cfg Config) *Sim {
 	rec := cfg.Recorder
 	if rec == nil {
 		rec = telemetry.NewRecorder(c.Rank(), nil)
@@ -280,7 +304,7 @@ func New(c *mpi.Comm, cfg Config, parts []Particle) (*Sim, error) {
 		comm: c, cfg: cfg,
 		geo:  domain.Uniform(cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], cfg.L),
 		time: cfg.Time,
-		rng:  rand.New(rand.NewSource(int64(42 + c.Rank()))),
+		rng:  newSampleRNG(int64(42 + c.Rank())),
 		rec:  rec,
 	}
 	// One pool per rank, shared by the PM solver (injected on every
@@ -303,15 +327,7 @@ func New(c *mpi.Comm, cfg Config, parts []Particle) (*Sim, error) {
 	s.ctrInter = reg.Counter("greem_tree_interactions_total")
 	s.ctrNodes = reg.Counter("greem_tree_nodes_visited_total")
 	s.ctrFlops = reg.FlopCounter("greem_pp_kernel_flops_total")
-	s.setParticles(parts)
-	// Initial exchange onto the uniform geometry, then build the PM solver.
-	if err := s.exchangeParticles(); err != nil {
-		return nil, err
-	}
-	if err := s.rebuildPM(); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return s
 }
 
 func (s *Sim) setParticles(parts []Particle) {

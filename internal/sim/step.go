@@ -21,6 +21,9 @@ func (s *Sim) computePM() {
 	}
 	s.pm.Accel(s.x, s.y, s.z, s.m, s.apx, s.apy, s.apz)
 	s.lastPMCost = sp.End().Seconds()
+	if s.cfg.DeterministicCost {
+		s.lastPMCost = float64(len(s.x) + 1)
+	}
 	s.pmFresh = true
 }
 
@@ -95,6 +98,9 @@ func (s *Sim) computePP() {
 	s.ctrFlops.AddUint(st.Flops())
 
 	s.lastCost = spAll.End().Seconds() + s.lastPMCost/float64(s.cfg.Substeps)
+	if s.cfg.DeterministicCost {
+		s.lastCost = float64(st.Interactions+1) + s.lastPMCost/float64(s.cfg.Substeps)
+	}
 	s.ppFresh = true
 }
 
@@ -121,8 +127,11 @@ func (s *Sim) kickRange(w, lo, hi int) {
 }
 
 // kick applies one kick with the given acceleration arrays over [t, t+dt],
-// batched over the rank's worker pool.
+// batched over the rank's worker pool. The "sim/kick" fault point lets
+// crash-restart tests kill a rank mid-step, between force evaluation and
+// the velocity update.
 func (s *Sim) kick(t, dt float64, ax, ay, az []float64) {
+	s.comm.FaultPoint("sim/kick")
 	s.tkf = s.cfg.Stepper.KickFactor(t, dt)
 	s.tkx, s.tky, s.tkz = ax, ay, az
 	s.pool.Run(len(s.vx), s.taskKick)
@@ -176,6 +185,7 @@ func (s *Sim) notePool(busy, idle *telemetry.Counter) {
 // that the paper adopts ("one step = a cycle of PM and two cycles of PP and
 // domain decomposition"). Collective over the world communicator.
 func (s *Sim) Step() error {
+	s.comm.FaultPoint("sim/step")
 	dt := s.cfg.DT
 	sub := s.cfg.Substeps
 	delta := dt / float64(sub)

@@ -1,12 +1,21 @@
 // Package snapshot provides versioned binary I/O for simulation states, the
 // bookkeeping layer a 200 TB production run needs (the paper's run writes
 // snapshots at selected redshifts; Fig. 6 is rendered from them).
+//
+// Since format version 2 every snapshot carries a CRC32C (Castagnoli)
+// footer over the header and particle payload, so torn writes and bit rot
+// are detected at load time instead of silently corrupting a restart.
+// Version-1 files (no footer) still load, flagged Legacy ("legacy,
+// unverified") by the *Verified readers. Save is atomic: it writes to a
+// temp file in the destination directory and renames it into place, so a
+// crash mid-write can never leave a half-written file under the final name.
 package snapshot
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -16,8 +25,9 @@ import (
 // Magic identifies greem snapshot files.
 const Magic = 0x4752454D // "GREM"
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version: 2 appends the CRC32C footer.
+// Version-1 files are still accepted (Legacy).
+const Version = 2
 
 // Header describes the stored system.
 type Header struct {
@@ -33,17 +43,70 @@ type Header struct {
 
 // headerBytes and particleBytes are the on-disk sizes of the fixed-layout
 // little-endian records; used to validate hdr.N against the input size.
+// footerBytes is the version-2 trailer: a 4-byte magic plus the CRC32C of
+// every preceding byte.
 const (
 	headerBytes   = 80 // 2×uint32 + uint64 + 3×float64 + uint64 + 4×uint64
 	particleBytes = 64 // 7×float64 + int64
+	footerBytes   = 8  // footer magic + CRC32C
 )
 
-// Write stores a header and particle set.
+// footerMagic marks the CRC32C footer ("CRC1").
+const footerMagic = 0x43524331
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on the
+// platforms that matter; the same checksum the checkpoint manifests use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Verification reports how much integrity checking a load performed.
+type Verification int
+
+const (
+	// Verified: the CRC32C footer was present and matched the payload.
+	Verified Verification = iota
+	// Legacy: a version-1 file with no footer — loaded, but unverified.
+	Legacy
+)
+
+func (v Verification) String() string {
+	if v == Verified {
+		return "verified"
+	}
+	return "legacy, unverified"
+}
+
+// crcWriter tees a CRC32C over everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// crcReader tees a CRC32C over exactly the bytes consumed through it (the
+// underlying bufio.Reader may buffer ahead; only decoded bytes are hashed).
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// Write stores a header, particle set and CRC32C footer.
 func Write(w io.Writer, hdr Header, parts []sim.Particle) error {
 	hdr.Magic = Magic
 	hdr.Version = Version
 	hdr.N = uint64(len(parts))
-	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
 		return fmt.Errorf("snapshot: header: %w", err)
 	}
@@ -52,7 +115,17 @@ func Write(w io.Writer, hdr Header, parts []sim.Particle) error {
 			return fmt.Errorf("snapshot: particle %d: %w", i, err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The footer is written past the CRC tee: it covers, not includes, itself.
+	var foot [footerBytes]byte
+	binary.LittleEndian.PutUint32(foot[0:], footerMagic)
+	binary.LittleEndian.PutUint32(foot[4:], cw.crc)
+	if _, err := w.Write(foot[:]); err != nil {
+		return fmt.Errorf("snapshot: footer: %w", err)
+	}
+	return nil
 }
 
 // Read loads a snapshot. The particle slice grows in bounded chunks as records
@@ -60,6 +133,13 @@ func Write(w io.Writer, hdr Header, parts []sim.Particle) error {
 // proportional to hdr.N before any payload has been seen; use ReadSized when
 // the total input size is known (Load does) for an up-front check.
 func Read(r io.Reader) (Header, []sim.Particle, error) {
+	hdr, parts, _, err := readLimited(r, -1)
+	return hdr, parts, err
+}
+
+// ReadVerified is Read plus the integrity status: Verified when the CRC32C
+// footer was present and matched, Legacy for footerless version-1 files.
+func ReadVerified(r io.Reader) (Header, []sim.Particle, Verification, error) {
 	return readLimited(r, -1)
 }
 
@@ -67,31 +147,42 @@ func Read(r io.Reader) (Header, []sim.Particle, error) {
 // against the payload that can actually be present before anything is
 // allocated, so truncated files fail fast instead of mid-decode.
 func ReadSized(r io.Reader, size int64) (Header, []sim.Particle, error) {
+	hdr, parts, _, err := readLimited(r, size)
+	return hdr, parts, err
+}
+
+// ReadSizedVerified is ReadSized plus the integrity status (see ReadVerified).
+func ReadSizedVerified(r io.Reader, size int64) (Header, []sim.Particle, Verification, error) {
 	return readLimited(r, size)
 }
 
-func readLimited(r io.Reader, size int64) (Header, []sim.Particle, error) {
+func readLimited(r io.Reader, size int64) (Header, []sim.Particle, Verification, error) {
 	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
 	var hdr Header
-	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return hdr, nil, fmt.Errorf("snapshot: header: %w", err)
+	if err := binary.Read(cr, binary.LittleEndian, &hdr); err != nil {
+		return hdr, nil, Legacy, fmt.Errorf("snapshot: header: %w", err)
 	}
 	if hdr.Magic != Magic {
-		return hdr, nil, fmt.Errorf("snapshot: bad magic %#x", hdr.Magic)
+		return hdr, nil, Legacy, fmt.Errorf("snapshot: bad magic %#x", hdr.Magic)
 	}
-	if hdr.Version != Version {
-		return hdr, nil, fmt.Errorf("snapshot: unsupported version %d", hdr.Version)
+	if hdr.Version != 1 && hdr.Version != Version {
+		return hdr, nil, Legacy, fmt.Errorf("snapshot: unsupported version %d", hdr.Version)
 	}
 	if hdr.N > 1<<40 {
-		return hdr, nil, fmt.Errorf("snapshot: implausible particle count %d", hdr.N)
+		return hdr, nil, Legacy, fmt.Errorf("snapshot: implausible particle count %d", hdr.N)
 	}
 	if size >= 0 {
+		overhead := int64(headerBytes)
+		if hdr.Version >= 2 {
+			overhead += footerBytes
+		}
 		avail := uint64(0)
-		if size > headerBytes {
-			avail = uint64(size-headerBytes) / particleBytes
+		if size > overhead {
+			avail = uint64(size-overhead) / particleBytes
 		}
 		if hdr.N > avail {
-			return hdr, nil, fmt.Errorf("snapshot: header claims %d particles but input holds at most %d (%d bytes)", hdr.N, avail, size)
+			return hdr, nil, Legacy, fmt.Errorf("snapshot: header claims %d particles but input holds at most %d (%d bytes)", hdr.N, avail, size)
 		}
 	}
 	// Grow in chunks rather than trusting hdr.N wholesale: the largest
@@ -100,38 +191,80 @@ func readLimited(r io.Reader, size int64) (Header, []sim.Particle, error) {
 	parts := make([]sim.Particle, 0, min(hdr.N, chunk))
 	for i := uint64(0); i < hdr.N; i++ {
 		var p sim.Particle
-		if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
-			return hdr, nil, fmt.Errorf("snapshot: particle %d: %w", i, err)
+		if err := binary.Read(cr, binary.LittleEndian, &p); err != nil {
+			return hdr, nil, Legacy, fmt.Errorf("snapshot: particle %d: %w", i, err)
 		}
 		parts = append(parts, p)
 	}
-	return hdr, parts, nil
+	if hdr.Version == 1 {
+		return hdr, parts, Legacy, nil
+	}
+	// Version ≥ 2 declares the footer mandatory, so a file truncated at
+	// exactly the footer boundary is still detected.
+	want := cr.crc
+	var foot [footerBytes]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return hdr, nil, Legacy, fmt.Errorf("snapshot: missing CRC footer (truncated file): %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(foot[0:]); m != footerMagic {
+		return hdr, nil, Legacy, fmt.Errorf("snapshot: bad footer magic %#x", m)
+	}
+	if got := binary.LittleEndian.Uint32(foot[4:]); got != want {
+		return hdr, nil, Legacy, fmt.Errorf("snapshot: CRC32C mismatch: payload %#08x, footer %#08x (corrupt file)", want, got)
+	}
+	return hdr, parts, Verified, nil
 }
 
-// Save writes a snapshot to a file.
+// Save writes a snapshot to a file atomically: the bytes go to a temp file
+// in the same directory, are synced, and renamed into place, so path either
+// holds the complete previous content or the complete new content — never a
+// torn write.
 func Save(path string, hdr Header, parts []sim.Particle) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := Write(f, hdr, parts); err != nil {
-		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads a snapshot from a file, validating the header's particle count
-// against the file's actual size before allocating.
+// against the file's actual size before allocating and verifying the CRC
+// footer when present.
 func Load(path string) (Header, []sim.Particle, error) {
+	hdr, parts, _, err := LoadVerified(path)
+	return hdr, parts, err
+}
+
+// LoadVerified is Load plus the integrity status (see ReadVerified).
+func LoadVerified(path string) (Header, []sim.Particle, Verification, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, nil, Legacy, err
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, nil, Legacy, err
 	}
-	return ReadSized(f, st.Size())
+	return readLimited(f, st.Size())
 }

@@ -1,0 +1,144 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadVerifiedReportsVerified(t *testing.T) {
+	var buf bytes.Buffer
+	parts := randomParts(17)
+	if err := Write(&buf, Header{L: 1, Time: 0.25, G: 1}, parts); err != nil {
+		t.Fatal(err)
+	}
+	hdr, gp, ver, err := ReadVerified(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != Verified {
+		t.Errorf("verification = %v, want Verified", ver)
+	}
+	if hdr.N != 17 || len(gp) != 17 {
+		t.Errorf("round trip: %d particles", len(gp))
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{L: 1}, randomParts(9)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte mid-particle-section: the CRC32C footer must
+	// catch it even though the header still parses.
+	b := append([]byte(nil), buf.Bytes()...)
+	b[headerBytes+3*particleBytes+5] ^= 0x10
+	_, _, _, err := ReadSizedVerified(bytes.NewReader(b), int64(len(b)))
+	if err == nil {
+		t.Fatal("bit-flipped snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), "CRC32C mismatch") {
+		t.Errorf("want CRC mismatch error, got: %v", err)
+	}
+}
+
+func TestFooterStrippedDetected(t *testing.T) {
+	// Truncation that removes exactly the footer: version 2 declares the
+	// footer mandatory, so this cannot masquerade as a clean footerless file.
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{L: 1}, randomParts(4)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-footerBytes]
+	_, _, _, err := ReadVerified(bytes.NewReader(b))
+	if err == nil {
+		t.Fatal("footer-stripped snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), "missing CRC footer") {
+		t.Errorf("want missing-footer error, got: %v", err)
+	}
+}
+
+// legacyV1Bytes hand-crafts a version-1 (footerless) snapshot from a current
+// one: patch the version field and strip the footer. The payload bytes of
+// the two formats are otherwise identical.
+func legacyV1Bytes(t *testing.T, parts int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{L: 1, Time: 0.125}, randomParts(parts)); err != nil {
+		t.Fatal(err)
+	}
+	b := append([]byte(nil), buf.Bytes()[:buf.Len()-footerBytes]...)
+	binary.LittleEndian.PutUint32(b[4:], 1) // version field
+	return b
+}
+
+func TestLegacyV1LoadsUnverified(t *testing.T) {
+	b := legacyV1Bytes(t, 6)
+	hdr, gp, ver, err := ReadSizedVerified(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatalf("legacy file rejected: %v", err)
+	}
+	if ver != Legacy {
+		t.Errorf("verification = %v, want Legacy", ver)
+	}
+	if got := ver.String(); got != "legacy, unverified" {
+		t.Errorf("Legacy.String() = %q", got)
+	}
+	if hdr.Version != 1 || len(gp) != 6 {
+		t.Errorf("legacy load: version %d, %d particles", hdr.Version, len(gp))
+	}
+	// And through the file path, so Load keeps accepting old archives.
+	path := filepath.Join(t.TempDir(), "v1.bin")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ver, err = LoadVerified(path)
+	if err != nil {
+		t.Fatalf("LoadVerified(v1): %v", err)
+	}
+	if ver != Legacy {
+		t.Errorf("LoadVerified verification = %v, want Legacy", ver)
+	}
+}
+
+func TestLegacyV1TruncationStillDetected(t *testing.T) {
+	// No footer on v1, but the header count check still catches short files.
+	b := legacyV1Bytes(t, 6)
+	b = b[:len(b)-particleBytes]
+	if _, _, _, err := ReadSizedVerified(bytes.NewReader(b), int64(len(b))); err == nil {
+		t.Error("truncated v1 accepted")
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := Save(path, Header{L: 1}, randomParts(11)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with new content: the temp file must be gone, the final file
+	// verified-readable.
+	if err := Save(path, Header{L: 1, Time: 0.5}, randomParts(13)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	hdr, gp, ver, err := LoadVerified(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != Verified || hdr.N != 13 || len(gp) != 13 || hdr.Time != 0.5 {
+		t.Errorf("replaced snapshot: ver=%v n=%d time=%v", ver, hdr.N, hdr.Time)
+	}
+}

@@ -33,6 +33,11 @@ const (
 	PhaseDDPosUpdate = "dd/pos_update"
 	PhaseDDSampling  = "dd/sampling"
 	PhaseDDExchange  = "dd/exchange"
+
+	// Checkpoint plane: shard+manifest serialization and write on the hot
+	// side, validation (CRC / manifest / chain checks) on the restore side.
+	PhaseCkptWrite  = "ckpt/write"
+	PhaseCkptVerify = "ckpt/verify"
 )
 
 // phaseSecondsMetric is the registry metric name under which per-phase
