@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-fft bench-scaling smoke-restart
+.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-scaling smoke-restart
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -18,6 +18,13 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/
+
+# fuzz-smoke: a few seconds of native Go fuzzing per fuzzer — enough to shake
+# out decoder panics and ghost-selection invariant breaks without turning the
+# gate into a coverage campaign. Part of scripts/verify.sh.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzDecodeFlat -fuzztime 4s ./internal/domain/
+	$(GO) test -run NONE -fuzz FuzzGhostSelection -fuzztime 4s ./internal/sim/
 
 # smoke-restart: end-to-end crash-restart drill — hard-kill the driver after
 # a checkpoint, rerun the same command, require a byte-identical final

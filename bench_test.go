@@ -127,6 +127,74 @@ func BenchmarkTableIScaledStep(b *testing.B) {
 	}
 }
 
+// --- §II-B ghost exchange: raw particle-ghosts vs the locally-essential tree ---
+
+// benchGhostExchange steps a clustered 64³ system on 8 ranks once per
+// iteration and reports the ghost-alltoall traffic (from the labelled mpi
+// ledger) plus rank 0's exchange wall-clock, for one exchange mode. The
+// before/after pair is the evidence that the LET walk shrinks the PP
+// boundary traffic (EXPERIMENTS.md records a harvested run).
+func benchGhostExchange(b *testing.B, let bool) {
+	const np = 64
+	x, y, z, m := clusteredSet(21, np*np*np)
+	parts := make([]sim.Particle, len(x))
+	for i := range parts {
+		parts[i] = sim.Particle{X: x[i], Y: y[i], Z: z[i], M: m[i], ID: int64(i)}
+	}
+	cfg := sim.Config{
+		L: 1, G: 1, NMesh: 64, Theta: 0.5, Ni: 100, Eps2: 1e-8, FastKernel: true,
+		Grid: [3]int{2, 2, 2}, DT: 0.005, LETExchange: let, DeterministicCost: true,
+	}
+	var ghostOps mpi.OpTotals
+	var sent, commS, letS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tr *mpi.Traffic
+		err := mpi.Run(8, func(c *mpi.Comm) {
+			rcfg := cfg
+			rcfg.Recorder = telemetry.NewRecorder(c.Rank(), nil)
+			var mine []sim.Particle
+			for j := range parts {
+				if j%8 == c.Rank() {
+					mine = append(mine, parts[j])
+				}
+			}
+			s, err := sim.New(c, rcfg, mine)
+			if err != nil {
+				panic(err)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				c.Traffic().Reset()
+			}
+			c.Barrier()
+			if err := s.Step(); err != nil {
+				panic(err)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				tr = c.Traffic()
+				t := s.Timers()
+				commS, letS = t.PPComm, t.PPLET
+				sent = float64(s.GhostStats().Sent)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ghostOps = tr.TotalsByLabel()[sim.TrafficLabelGhosts]
+	}
+	b.ReportMetric(float64(ghostOps.Bytes), "ghost-alltoall-B")
+	b.ReportMetric(sent, "rank0-sources-sent")
+	b.ReportMetric(commS, "rank0-comm-s")
+	b.ReportMetric(letS, "rank0-letwalk-s")
+}
+
+func BenchmarkGhostExchange64(b *testing.B) {
+	b.Run("raw", func(b *testing.B) { benchGhostExchange(b, false) })
+	b.Run("let", func(b *testing.B) { benchGhostExchange(b, true) })
+}
+
 // --- Fig. 1 ---
 
 func BenchmarkFig1TreeInteractions(b *testing.B) {

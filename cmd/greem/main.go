@@ -61,6 +61,7 @@ func main() {
 	lpt2 := flag.Bool("2lpt", false, "second-order (2LPT) initial conditions")
 	nfft := flag.Int("nfft", 0, "FFT processes (0 = min(ranks, mesh))")
 	theta := flag.Float64("theta", 0.5, "tree opening angle")
+	let := flag.Bool("let", true, "locally-essential-tree ghost exchange (false = raw particle-ghost baseline)")
 	ni := flag.Int("ni", 100, "Barnes group size cap")
 	outDir := flag.String("out", "out", "output directory")
 	resume := flag.String("resume", "", "resume from a snapshot file or a checkpoint directory")
@@ -133,7 +134,7 @@ func main() {
 	cfg := greem.SimConfig{
 		L: l, G: g, NMesh: mesh, NFFT: *nfft, Relay: *relay, Groups: *groups,
 		Pencil: *pencil, PY: *py, PZ: *pz, Workers: *workers,
-		Theta: *theta, Ni: *ni, Eps2: 1e-8, FastKernel: true,
+		Theta: *theta, Ni: *ni, Eps2: 1e-8, FastKernel: true, LETExchange: *let,
 		Grid: grid, DT: (aEnd - aStart) / float64(*steps), Stepper: model, Time: aStart,
 		DeterministicCost: *deterministic,
 	}
@@ -348,8 +349,12 @@ func printTimers(s *sim.Sim, steps int, inter, ni, nj float64) {
 	fmt.Printf("  PM: density %.4fs, comm %.4fs, FFT %.4fs, mesh accel %.4fs, interp %.4fs\n",
 		t.PM.Density.Seconds()*per, t.PM.Comm.Seconds()*per, t.PM.FFT.Seconds()*per,
 		t.PM.MeshForce.Seconds()*per, t.PM.Interp.Seconds()*per)
-	fmt.Printf("  PP: local %.4fs, comm %.4fs, construction %.4fs, traversal %.4fs, force %.4fs\n",
-		t.PPLocalTree*per, t.PPComm*per, t.PPTreeConstr*per, t.PPTraverse*per, t.PPForce*per)
+	fmt.Printf("  PP: local %.4fs, LET walk %.4fs, comm %.4fs, construction %.4fs, traversal %.4fs, force %.4fs\n",
+		t.PPLocalTree*per, t.PPLET*per, t.PPComm*per, t.PPTreeConstr*per, t.PPTraverse*per, t.PPForce*per)
+	gs := s.GhostStats()
+	fmt.Printf("  ghosts (rank 0): sent %.0f/step (%.1f KiB), recv %.0f/step, monopoles %.0f, leaves %.0f\n",
+		float64(gs.Sent)*per, float64(gs.Bytes)*per/1024, float64(gs.Recv)*per,
+		float64(gs.Monopoles)*per, float64(gs.Leaves)*per)
 	fmt.Printf("  DD: position %.4fs, sampling %.4fs, exchange %.4fs\n",
 		t.DDPosUpdate*per, t.DDSampling*per, t.DDExchange*per)
 	fmt.Printf("  interactions/step %.3g, ⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f\n", inter, ni, nj)

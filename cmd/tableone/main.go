@@ -26,6 +26,7 @@ func main() {
 	ranks := flag.Int("ranks", 8, "ranks for the scaled run")
 	steps := flag.Int("steps", 2, "steps for the scaled run")
 	workers := flag.Int("workers", 0, "intra-rank workers for the scaled run (0 = serial, -1 = auto)")
+	let := flag.Bool("let", true, "locally-essential-tree ghost exchange for the scaled run (false = raw baseline)")
 	flag.Parse()
 
 	m := perfmodel.KComputer()
@@ -73,7 +74,7 @@ func main() {
 		fmt.Println("\n(use -run for a scaled-down measured breakdown on this machine)")
 		return
 	}
-	scaledRun(*np, *ranks, *steps, *workers)
+	scaledRun(*np, *ranks, *steps, *workers, *let)
 }
 
 // tableRows maps Table I's row labels onto the telemetry phase names; the
@@ -90,6 +91,7 @@ var tableRows = []struct {
 	{"PM force interpolation", telemetry.PhasePMInterp},
 	{"PP local tree", telemetry.PhasePPLocalTree},
 	{"PP communication", telemetry.PhasePPComm},
+	{"PP LET walk", telemetry.PhasePPLET},
 	{"PP tree construction", telemetry.PhasePPTreeConstr},
 	{"PP tree traversal", telemetry.PhasePPTraverse},
 	{"PP force calculation", telemetry.PhasePPForce},
@@ -105,8 +107,12 @@ var tableRows = []struct {
 // within-rank max/mean worker imbalance (busy+idle)/busy from the pool
 // telemetry — is appended to the phase rows that batch over it; the serial
 // default prints exactly the historical table.
-func scaledRun(np, ranks, steps, workers int) {
-	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps\n", np, ranks, steps)
+func scaledRun(np, ranks, steps, workers int, let bool) {
+	mode := "LET"
+	if !let {
+		mode = "raw-ghost"
+	}
+	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps, %s exchange\n", np, ranks, steps, mode)
 	rng := rand.New(rand.NewSource(1))
 	n := np * np * np
 	parts := make([]sim.Particle, n)
@@ -126,7 +132,7 @@ func scaledRun(np, ranks, steps, workers int) {
 	}
 	cfg := sim.Config{
 		L: 1, G: 1, NMesh: 32, Theta: 0.5, Ni: 100, Eps2: 1e-8, FastKernel: true,
-		Grid: grid, DT: 0.01, Workers: workers,
+		Grid: grid, DT: 0.01, Workers: workers, LETExchange: let,
 	}
 	var prof *telemetry.Profile
 	var inter float64
@@ -201,4 +207,10 @@ func scaledRun(np, ranks, steps, workers int) {
 	flops := prof.Counter(`greem_pp_kernel_flops_total`)
 	fmt.Printf("PP kernel flops/step (51-op ledger): %.3g total, %.3g max-rank\n",
 		flops.Sum*per, flops.Max*per)
+	sent := prof.Counter(telemetry.MetricGhostSent)
+	bytes := prof.Counter(telemetry.MetricGhostBytes)
+	mono := prof.Counter(telemetry.MetricLETMonopoles)
+	leaf := prof.Counter(telemetry.MetricLETLeaves)
+	fmt.Printf("ghost exchange/step: %.3g sources (%.1f KiB alltoall), %.3g monopoles, %.3g leaves\n",
+		sent.Sum*per, bytes.Sum*per/1024, mono.Sum*per, leaf.Sum*per)
 }

@@ -19,17 +19,25 @@ func (g *Geometry) EncodeFlat() []float64 {
 	return out
 }
 
+// maxDivisions bounds the per-axis division count DecodeFlat accepts. Real
+// geometries carry one division per process-grid axis; the bound keeps a
+// corrupt header (huge or non-finite counts) from overflowing the expected
+// payload length or provoking giant allocations.
+const maxDivisions = 1 << 16
+
 // DecodeFlat reverses EncodeFlat.
 func DecodeFlat(data []float64) (*Geometry, error) {
 	if len(data) < 4 {
 		return nil, fmt.Errorf("domain: truncated geometry")
 	}
 	g := &Geometry{Nx: int(data[0]), Ny: int(data[1]), Nz: int(data[2]), L: data[3]}
-	if g.Nx < 1 || g.Ny < 1 || g.Nz < 1 {
+	if g.Nx < 1 || g.Ny < 1 || g.Nz < 1 ||
+		g.Nx > maxDivisions || g.Ny > maxDivisions || g.Nz > maxDivisions {
 		return nil, fmt.Errorf("domain: bad divisions %d×%d×%d", g.Nx, g.Ny, g.Nz)
 	}
-	want := 4 + (g.Nx + 1) + g.Nx*(g.Ny+1) + g.Nx*g.Ny*(g.Nz+1)
-	if len(data) != want {
+	nx, ny, nz := int64(g.Nx), int64(g.Ny), int64(g.Nz)
+	want := 4 + (nx + 1) + nx*(ny+1) + nx*ny*(nz+1)
+	if int64(len(data)) != want {
 		return nil, fmt.Errorf("domain: geometry payload %d, want %d", len(data), want)
 	}
 	pos := 4

@@ -1,11 +1,12 @@
 package sim
 
 import (
-	"math"
+	"unsafe"
 
 	"greem/internal/domain"
 	"greem/internal/mpi"
 	"greem/internal/telemetry"
+	"greem/internal/tree"
 	"greem/internal/vec"
 )
 
@@ -32,50 +33,77 @@ func (s *Sim) exchangeParticles() error {
 	return nil
 }
 
-// ghost is a source-only particle shipped to a neighbour, with its position
-// already shifted to the receiver's periodic frame.
-type ghost struct {
-	X, Y, Z, M float64
-}
+// ghost is the boundary-source wire format: a source-only particle (or
+// pruned node monopole) shipped to a neighbour, with its position already
+// shifted to the receiver's periodic frame. Aliased to the tree package's
+// LET type so the walk emits directly into the staging buffers.
+type ghost = tree.LETParticle
+
+// ghostBytes is the wire size of one ghost.
+const ghostBytes = int(unsafe.Sizeof(ghost{}))
+
+// TrafficLabelGhosts tags the ghost-exchange alltoall in the mpi traffic
+// ledger (Traffic.TotalsByLabel), separating PP boundary bytes from the PM
+// mesh and DD migration traffic.
+const TrafficLabelGhosts = "pp/ghosts"
 
 // bestShift returns the periodic shift k·L (k ∈ {−1,0,1}) that brings
 // coordinate c closest to the interval [lo, hi], and the resulting distance.
+// Canonical implementation lives with the LET walk in package tree.
 func bestShift(c, lo, hi, l float64) (shift, dist float64) {
-	best := -1.0
-	bestShift := 0.0
-	for k := -1; k <= 1; k++ {
-		cc := c + float64(k)*l
-		var d float64
-		switch {
-		case cc < lo:
-			d = lo - cc
-		case cc > hi:
-			d = cc - hi
-		}
-		if best < 0 || d < best {
-			best = d
-			bestShift = float64(k) * l
-		}
-	}
-	return bestShift, best
+	return tree.BestShift(c, lo, hi, l)
 }
 
-// exchangeGhosts ships to every rank (including images to self) the local
-// particles lying within rcut of that rank's domain, shifted into its frame.
-// Returns the ghosts received.
-func (s *Sim) exchangeGhosts() []ghost {
+// boxDistPeriodic returns the minimum periodic distance between two boxes.
+func boxDistPeriodic(alo, ahi, blo, bhi vec.V3, l float64) float64 {
+	return tree.BoxDistPeriodic(alo, ahi, blo, bhi, l)
+}
+
+// exchangeGhosts ships to every near rank the boundary sources lying within
+// rcut of that rank's domain, shifted into its frame, and returns the sources
+// received. With Config.LETExchange set the local tree lt is walked once per
+// neighbour, shipping pruned monopoles where the opening criterion allows
+// (GreeM's locally-essential-tree exchange); otherwise every local particle
+// is scanned against every near rank and raw particles ship (lt is ignored).
+// Collective; the returned slice is owned by the Sim and valid until the
+// next exchange.
+func (s *Sim) exchangeGhosts(lt *tree.Tree) []ghost {
+	if s.cfg.LETExchange {
+		return s.exchangeGhostsLET(lt)
+	}
+	return s.exchangeGhostsRaw()
+}
+
+// stagedSend returns the per-destination staging buffers, truncated to
+// length zero but with their capacity retained across exchanges.
+func (s *Sim) stagedSend(p int) [][]ghost {
+	if len(s.ghostSend) != p {
+		s.ghostSend = make([][]ghost, p)
+	}
+	for r := range s.ghostSend {
+		s.ghostSend[r] = s.ghostSend[r][:0]
+	}
+	return s.ghostSend
+}
+
+// exchangeGhostsRaw is the particle-ghost baseline (and the LET path's
+// parity oracle): an O(n·p_near) scan shipping raw particles.
+func (s *Sim) exchangeGhostsRaw() []ghost {
+	sp := s.rec.Start(telemetry.PhasePPComm)
+	defer sp.End()
 	p := s.comm.Size()
 	rcut := s.cfg.Rcut
 	l := s.cfg.L
-	send := make([][]ghost, p)
+	send := s.stagedSend(p)
+	mlo, mhi := s.bounds()
 	for r := 0; r < p; r++ {
 		lo, hi := s.geo.Bounds(r)
 		// Quick reject: if even the closest point of my domain is beyond
 		// rcut of r's domain (periodically), skip the particle loop.
-		mlo, mhi := s.bounds()
 		if boxDistPeriodic(mlo, mhi, lo, hi, l) > rcut {
 			continue
 		}
+		buf := send[r]
 		for i := range s.x {
 			sx, dx := bestShift(s.x[i], lo.X, hi.X, l)
 			sy, dy := bestShift(s.y[i], lo.Y, hi.Y, l)
@@ -86,43 +114,77 @@ func (s *Sim) exchangeGhosts() []ghost {
 			if r == s.comm.Rank() && sx == 0 && sy == 0 && sz == 0 {
 				continue // local particles are already targets, not ghosts
 			}
-			send[r] = append(send[r], ghost{X: s.x[i] + sx, Y: s.y[i] + sy, Z: s.z[i] + sz, M: s.m[i]})
+			buf = append(buf, ghost{X: s.x[i] + sx, Y: s.y[i] + sy, Z: s.z[i] + sz, M: s.m[i]})
 		}
+		send[r] = buf
+	}
+	return s.alltoallGhosts(send)
+}
+
+// exchangeGhostsLET walks the local tree lt once per near neighbour against
+// that neighbour's (periodic-shifted) domain box, emitting pruned node
+// monopoles where size/dist < θ allows and leaf particles where the box is
+// close. The walk never visits its own rank: the raw path ships no
+// self-images either (an interior particle's best shift is always zero), so
+// the two paths stay equivalent. See tree.LETCollector for the error
+// contract.
+func (s *Sim) exchangeGhostsLET(lt *tree.Tree) []ghost {
+	sp := s.rec.Start(telemetry.PhasePPLET)
+	p := s.comm.Size()
+	rcut := s.cfg.Rcut
+	l := s.cfg.L
+	send := s.stagedSend(p)
+	mlo, mhi := s.bounds()
+	self := s.comm.Rank()
+	var st tree.LETStats
+	for r := 0; r < p; r++ {
+		if r == self {
+			continue
+		}
+		lo, hi := s.geo.Bounds(r)
+		if boxDistPeriodic(mlo, mhi, lo, hi, l) > rcut {
+			continue
+		}
+		var walk tree.LETStats
+		send[r], walk = s.let.Collect(lt, lo, hi, l, rcut, s.cfg.Theta, send[r])
+		st.Add(walk)
+	}
+	s.ctrLETMono.AddUint(st.Monopoles)
+	s.ctrLETLeaf.AddUint(st.Leaves)
+	s.ctrLETNodes.AddUint(st.NodesVisited)
+	sp.End()
+
+	sp = s.rec.Start(telemetry.PhasePPComm)
+	defer sp.End()
+	return s.alltoallGhosts(send)
+}
+
+// alltoallGhosts runs the ghost alltoall over the staged send buffers,
+// flattens the receives into the Sim-owned ghost buffer, and feeds the ghost
+// traffic counters. Rank 0 labels the ops in the world traffic ledger; the
+// label is safe to set here because recording happens inside rank 0's
+// Alltoall call, between the collective's two barriers.
+func (s *Sim) alltoallGhosts(send [][]ghost) []ghost {
+	if s.comm.Rank() == 0 {
+		s.comm.Traffic().SetLabel(TrafficLabelGhosts)
 	}
 	recv := mpi.Alltoall(s.comm, send)
-	var out []ghost
+	if s.comm.Rank() == 0 {
+		s.comm.Traffic().SetLabel("")
+	}
+	var sent int
+	for _, b := range send {
+		sent += len(b)
+	}
+	out := s.ghostRecv[:0]
 	for _, r := range recv {
 		out = append(out, r...)
 	}
+	s.ghostRecv = out
+	s.ctrGhostSent.AddUint(uint64(sent))
+	s.ctrGhostRecv.AddUint(uint64(len(out)))
+	s.ctrGhostBytes.AddUint(uint64(sent * ghostBytes))
 	return out
-}
-
-// boxDistPeriodic returns the minimum periodic distance between two boxes.
-func boxDistPeriodic(alo, ahi, blo, bhi vec.V3, l float64) float64 {
-	d2 := 0.0
-	for _, ax := range [3][4]float64{
-		{alo.X, ahi.X, blo.X, bhi.X},
-		{alo.Y, ahi.Y, blo.Y, bhi.Y},
-		{alo.Z, ahi.Z, blo.Z, bhi.Z},
-	} {
-		best := -1.0
-		for k := -1; k <= 1; k++ {
-			lo := ax[0] + float64(k)*l
-			hi := ax[1] + float64(k)*l
-			var d float64
-			switch {
-			case hi < ax[2]:
-				d = ax[2] - hi
-			case lo > ax[3]:
-				d = lo - ax[3]
-			}
-			if best < 0 || d < best {
-				best = d
-			}
-		}
-		d2 += best * best
-	}
-	return math.Sqrt(d2)
 }
 
 // domainDecomposition runs the sampling method: measure cost, sample

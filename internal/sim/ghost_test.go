@@ -5,9 +5,21 @@ import (
 	"testing"
 
 	"greem/internal/mpi"
+	"greem/internal/tree"
 )
 
 func TestGhostExchangeShiftsAndSelection(t *testing.T) {
+	// Both exchange paths must produce the identical selection here: at four
+	// particles every LET walk bottoms out in leaves, so the per-particle
+	// periodic rcut filter is the whole story in either mode.
+	for _, let := range []bool{false, true} {
+		t.Run(map[bool]string{false: "raw", true: "let"}[let], func(t *testing.T) {
+			testGhostExchangeShiftsAndSelection(t, let)
+		})
+	}
+}
+
+func testGhostExchangeShiftsAndSelection(t *testing.T, let bool) {
 	// Two ranks split the unit box at x = 0.5. A particle at x = 0.98 on
 	// rank 1 lies within rcut = 0.1 of rank 0's domain only through the
 	// periodic boundary, so rank 0 must receive it shifted to x = −0.02.
@@ -21,6 +33,7 @@ func TestGhostExchangeShiftsAndSelection(t *testing.T) {
 		cfg := baseConfig([3]int{2, 1, 1})
 		cfg.NMesh = 16
 		cfg.Rcut = 0.1
+		cfg.LETExchange = let
 		var mine []Particle
 		if c.Rank() == 0 {
 			mine = parts
@@ -29,7 +42,13 @@ func TestGhostExchangeShiftsAndSelection(t *testing.T) {
 		if err != nil {
 			panic(err)
 		}
-		ghosts := s.exchangeGhosts()
+		var lt *tree.Tree
+		if let {
+			if lt, err = tree.Build(s.x, s.y, s.z, s.m, tree.Options{LeafCap: cfg.LeafCap}); err != nil {
+				panic(err)
+			}
+		}
+		ghosts := s.exchangeGhosts(lt)
 		if c.Rank() == 0 {
 			// Rank 0 must see ID 0 at x ≈ −0.02 and ID 1 at x = 0.52;
 			// ID 2 at 0.75 is farther than rcut from [0, 0.5).

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greem/internal/ewald"
+	"greem/internal/mpi"
+)
+
+// plummerParticles builds a centrally concentrated (clustered) distribution:
+// the regime where the LET exchange pays, since whole far subtrees of the
+// cluster collapse to single monopoles.
+func plummerParticles(seed int64, n int, scale float64) []Particle {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Particle, n)
+	for i := range out {
+		r := scale / math.Sqrt(math.Pow(rng.Float64()*0.99+1e-6, -2.0/3.0)-1)
+		if r > 0.45 {
+			r = 0.45 // keep the tails inside the box
+		}
+		ct := 2*rng.Float64() - 1
+		st := math.Sqrt(1 - ct*ct)
+		ph := 2 * math.Pi * rng.Float64()
+		out[i] = Particle{
+			X: 0.5 + r*st*math.Cos(ph),
+			Y: 0.5 + r*st*math.Sin(ph),
+			Z: 0.5 + r*ct,
+			M: 1.0 / float64(n), ID: int64(i),
+		}
+	}
+	return out
+}
+
+// letRunForces computes the total force (PM+PP) for every particle on p
+// ranks and returns it indexed by particle ID.
+func letRunForces(t *testing.T, parts []Particle, cfg Config, p int) (ax, ay, az []float64) {
+	t.Helper()
+	n := len(parts)
+	ax = make([]float64, n)
+	ay = make([]float64, n)
+	az = make([]float64, n)
+	err := mpi.Run(p, func(c *mpi.Comm) {
+		s, err := New(c, cfg, sliceFor(parts, c.Rank(), p))
+		if err != nil {
+			panic(err)
+		}
+		s.ComputeForces()
+		c.Barrier()
+		for i := 0; i < s.NumLocal(); i++ {
+			fx, fy, fz := s.AccelFor(i)
+			id := s.ID(i)
+			ax[id], ay[id], az[id] = fx, fy, fz
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ax, ay, az
+}
+
+func rmsDiff(ax, ay, az, bx, by, bz []float64) float64 {
+	var e2, r2 float64
+	for i := range ax {
+		dx, dy, dz := ax[i]-bx[i], ay[i]-by[i], az[i]-bz[i]
+		e2 += dx*dx + dy*dy + dz*dz
+		r2 += bx[i]*bx[i] + by[i]*by[i] + bz[i]*bz[i]
+	}
+	return math.Sqrt(e2 / r2)
+}
+
+// TestLETForceParity: the LET exchange and the raw particle-ghost exchange
+// must agree within the θ-error bound — the same tolerance sim_test applies
+// to the parallel-vs-serial tree decomposition, since the LET monopoles are
+// accepted by the identical opening criterion evaluated against a distance
+// lower bound.
+func TestLETForceParity(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		parts []Particle
+	}{
+		{"uniform", makeParticles(5, 300, 0)},
+		{"clustered", plummerParticles(6, 300, 0.08)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig([3]int{2, 2, 2})
+			cfg.LETExchange = false
+			rx, ry, rz := letRunForces(t, tc.parts, cfg, 8)
+			cfg.LETExchange = true
+			lx, ly, lz := letRunForces(t, tc.parts, cfg, 8)
+			rms := rmsDiff(lx, ly, lz, rx, ry, rz)
+			t.Logf("LET vs raw ghost RMS: %.3e", rms)
+			if rms > 0.01 {
+				t.Errorf("LET forces diverge from particle-ghost oracle: RMS %v", rms)
+			}
+		})
+	}
+}
+
+// letGhostLedger steps a world once and returns the ghost-exchange alltoall
+// ledger group (bytes recorded under TrafficLabelGhosts at world rank 0).
+func letGhostLedger(t *testing.T, parts []Particle, letOn bool, workers int) mpi.OpTotals {
+	t.Helper()
+	var tr *mpi.Traffic
+	err := mpi.Run(8, func(c *mpi.Comm) {
+		cfg := baseConfig([3]int{2, 2, 2})
+		cfg.Theta = 0.5 // the production opening angle, where pruning pays
+		cfg.DeterministicCost = true
+		cfg.LETExchange = letOn
+		cfg.Workers = workers
+		s, err := New(c, cfg, sliceFor(parts, c.Rank(), 8))
+		if err != nil {
+			panic(err)
+		}
+		if err := s.Step(); err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			tr = c.Traffic()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the ledger only after the world has shut down (recording happens
+	// on rank 0's goroutine; reading mid-run races it).
+	return tr.TotalsByLabel()[TrafficLabelGhosts]
+}
+
+// TestGhostTrafficLETvsRaw is the byte-exact traffic regression: on a
+// clustered distribution the LET exchange must ship strictly fewer alltoall
+// bytes than the particle-ghost baseline, and under DeterministicCost both
+// paths' ledgers must reproduce byte-exactly run-to-run.
+func TestGhostTrafficLETvsRaw(t *testing.T) {
+	parts := plummerParticles(9, 3000, 0.06)
+	raw1 := letGhostLedger(t, parts, false, 0)
+	raw2 := letGhostLedger(t, parts, false, 0)
+	let1 := letGhostLedger(t, parts, true, 0)
+	let2 := letGhostLedger(t, parts, true, 0)
+
+	if raw1 != raw2 {
+		t.Errorf("raw ghost ledger not reproducible: %+v vs %+v", raw1, raw2)
+	}
+	if let1 != let2 {
+		t.Errorf("LET ghost ledger not reproducible: %+v vs %+v", let1, let2)
+	}
+	if raw1.Bytes == 0 || let1.Bytes == 0 {
+		t.Fatalf("ghost ledger empty: raw %+v, LET %+v", raw1, let1)
+	}
+	// Demand a real reduction, not a rounding artifact: at this size and θ
+	// the pruning saves >20%, and it only grows with N (the 64³ bench in
+	// EXPERIMENTS.md); 10% is a safe floor against seed jitter.
+	if let1.Bytes >= raw1.Bytes*9/10 {
+		t.Errorf("LET exchange must reduce ghost bytes on a clustered run: LET %d B vs raw %d B", let1.Bytes, raw1.Bytes)
+	}
+	t.Logf("ghost alltoall bytes: raw %d, LET %d (%.1f%%)", raw1.Bytes, let1.Bytes, 100*float64(let1.Bytes)/float64(raw1.Bytes))
+}
+
+// TestLETForcesAgainstEwald is the multi-rank force-accuracy oracle: total
+// forces from the LET-exchange TreePM on 8 ranks must stay within the
+// facade-level tolerance of the exact Ewald reference at Workers ∈ {1, 7},
+// with bit-identical results across worker counts, and survive a
+// checkpoint-style State/Resume round-trip bit-identically.
+func TestLETForcesAgainstEwald(t *testing.T) {
+	n := 200
+	parts := makeParticles(12, n, 0)
+	cfg := baseConfig([3]int{2, 2, 2})
+	cfg.LETExchange = true
+	cfg.DeterministicCost = true
+
+	type run struct {
+		ax, ay, az []float64 // post-step forces by ID
+		px, py, pz []float64 // post-step positions by ID
+		states     []State
+	}
+	stepAndCapture := func(workers int) run {
+		r := run{
+			ax: make([]float64, n), ay: make([]float64, n), az: make([]float64, n),
+			px: make([]float64, n), py: make([]float64, n), pz: make([]float64, n),
+			states: make([]State, 8),
+		}
+		c := cfg
+		c.Workers = workers
+		err := mpi.Run(8, func(cm *mpi.Comm) {
+			s, err := New(cm, c, sliceFor(parts, cm.Rank(), 8))
+			if err != nil {
+				panic(err)
+			}
+			if err := s.Step(); err != nil {
+				panic(err)
+			}
+			s.ComputeForces()
+			cm.Barrier()
+			r.states[cm.Rank()] = s.State()
+			for i := 0; i < s.NumLocal(); i++ {
+				id := s.ID(i)
+				r.ax[id], r.ay[id], r.az[id] = s.AccelFor(i)
+				p := s.Particles()[i]
+				r.px[id], r.py[id], r.pz[id] = p.X, p.Y, p.Z
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	w1 := stepAndCapture(1)
+	w7 := stepAndCapture(7)
+	for i := 0; i < n; i++ {
+		if w1.ax[i] != w7.ax[i] || w1.ay[i] != w7.ay[i] || w1.az[i] != w7.az[i] {
+			t.Fatalf("forces differ between Workers=1 and Workers=7 at particle %d", i)
+		}
+	}
+
+	// Exact periodic reference at the post-step positions.
+	ew := ewald.New(1, 1)
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = 1.0 / float64(n)
+	}
+	ex := make([]float64, n)
+	ey := make([]float64, n)
+	ez := make([]float64, n)
+	ew.Accel(w1.px, w1.py, w1.pz, m, ex, ey, ez)
+	rms := rmsDiff(w1.ax, w1.ay, w1.az, ex, ey, ez)
+	t.Logf("LET TreePM vs Ewald RMS: %.3e", rms)
+	if rms > 0.1 {
+		t.Errorf("LET forces diverge from Ewald reference: RMS %v", rms)
+	}
+
+	// Resume from the captured states in a fresh world: forces must come back
+	// bit-identical (the LET path is part of the restart contract).
+	rax := make([]float64, n)
+	ray := make([]float64, n)
+	raz := make([]float64, n)
+	err := mpi.Run(8, func(cm *mpi.Comm) {
+		c := cfg
+		c.Workers = 1
+		s, err := Resume(cm, c, w1.states[cm.Rank()])
+		if err != nil {
+			panic(err)
+		}
+		s.ComputeForces()
+		cm.Barrier()
+		for i := 0; i < s.NumLocal(); i++ {
+			id := s.ID(i)
+			rax[id], ray[id], raz[id] = s.AccelFor(i)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if rax[i] != w1.ax[i] || ray[i] != w1.ay[i] || raz[i] != w1.az[i] {
+			t.Fatalf("resumed forces differ at particle %d: (%v,%v,%v) vs (%v,%v,%v)",
+				i, rax[i], ray[i], raz[i], w1.ax[i], w1.ay[i], w1.az[i])
+		}
+	}
+}
+
+// TestAssembleSourcesAllocs asserts the deduplicated ghost + source-set
+// assembly runs without steady-state allocations once the Sim-owned buffers
+// are warm.
+func TestAssembleSourcesAllocs(t *testing.T) {
+	parts := makeParticles(21, 128, 0)
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		cfg := baseConfig([3]int{1, 1, 1})
+		s, err := New(c, cfg, parts)
+		if err != nil {
+			panic(err)
+		}
+		ghosts := make([]ghost, 64)
+		for i := range ghosts {
+			ghosts[i] = ghost{X: float64(i) / 64, Y: 0.5, Z: 0.5, M: 1}
+		}
+		s.assembleSources(ghosts) // warm the buffers
+		allocs := testing.AllocsPerRun(100, func() {
+			s.assembleSources(ghosts)
+		})
+		if allocs != 0 {
+			t.Errorf("warm assembleSources allocates %.1f/run", allocs)
+		}
+		// The staged send path must be warm-clean too: a second raw exchange
+		// with unchanged particles reuses every staging buffer.
+		s.exchangeGhostsRaw()
+		allocs = testing.AllocsPerRun(20, func() {
+			s.stagedSend(c.Size())
+		})
+		if allocs != 0 {
+			t.Errorf("warm stagedSend allocates %.1f/run", allocs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGhostStatsCounters checks the ghost telemetry plumbing: after a force
+// evaluation on a clustered multi-rank world the sent/received/bytes
+// counters are populated, and on the LET path the export decomposes into
+// monopoles + leaves exactly.
+func TestGhostStatsCounters(t *testing.T) {
+	parts := plummerParticles(14, 600, 0.08)
+	for _, letOn := range []bool{false, true} {
+		var stats [8]GhostStats
+		err := mpi.Run(8, func(c *mpi.Comm) {
+			cfg := baseConfig([3]int{2, 2, 2})
+			cfg.LETExchange = letOn
+			s, err := New(c, cfg, sliceFor(parts, c.Rank(), 8))
+			if err != nil {
+				panic(err)
+			}
+			s.ComputeForces()
+			c.Barrier()
+			stats[c.Rank()] = s.GhostStats()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tot GhostStats
+		for _, st := range stats {
+			tot.Sent += st.Sent
+			tot.Recv += st.Recv
+			tot.Bytes += st.Bytes
+			tot.Monopoles += st.Monopoles
+			tot.Leaves += st.Leaves
+		}
+		if tot.Sent == 0 || tot.Recv != tot.Sent {
+			t.Errorf("let=%v: global sent %d / recv %d mismatch", letOn, tot.Sent, tot.Recv)
+		}
+		if tot.Bytes != tot.Sent*uint64(ghostBytes) {
+			t.Errorf("let=%v: bytes %d != sent %d × %d", letOn, tot.Bytes, tot.Sent, ghostBytes)
+		}
+		if letOn && tot.Monopoles+tot.Leaves != tot.Sent {
+			t.Errorf("LET composition %d monopoles + %d leaves != %d sent", tot.Monopoles, tot.Leaves, tot.Sent)
+		}
+		if !letOn && tot.Monopoles+tot.Leaves != 0 {
+			t.Errorf("raw path recorded LET composition: %+v", tot)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"greem/internal/vec"
+)
+
+// TestBestShiftEdgeCases locks in the periodic image-selection contract the
+// ghost exchange (and now the LET walk) is built on: exactly one image ships
+// per source and axis — the closest, with ties broken toward the smallest k
+// (−1, 0, +1 scan order with strict improvement). These are behavioural
+// pins, not aspirations; the LET walk in package tree reuses the same
+// predicate and must keep matching them.
+func TestBestShiftEdgeCases(t *testing.T) {
+	const l = 1.0
+	cases := []struct {
+		name      string
+		c, lo, hi float64
+		wantShift float64
+		wantDist  float64
+	}{
+		// A domain touching the periodic wrap: the closest image of a point
+		// just past the origin is the +L one.
+		{"wrap-touching domain, point past origin", 0.05, 0.9, 1.0, +l, 0.05},
+		{"wrap-touching domain, adjacent point", 0.02, 0.9, 1.0, +l, 0.02},
+		// Point inside the domain: zero shift, zero distance — the invariant
+		// that keeps a rank from ever shipping itself ghosts.
+		{"interior point", 0.95, 0.9, 1.0, 0, 0},
+		// Degenerate thin slab (zero-width domain).
+		{"thin slab, point to the right", 0.6, 0.5, 0.5, 0, 0.1},
+		{"thin slab, point across the wrap", 0.98, 0.0, 0.0, -l, 0.02},
+		// A domain spanning more than L/2: both images of a far point are
+		// candidates; the tie at equal distance resolves to k = −1 because
+		// the scan takes the first strict minimum. Values are binary-exact so
+		// the tie is a true tie in float64.
+		{"wide domain, equidistant images tie to -L", 0.9375, 0.125, 0.75, -l, 0.1875},
+		// A domain spanning the full axis: every point is interior at k = 0,
+		// so the shift is zero even though the k = −1 image is also "close".
+		{"full-span domain", 0.3, 0.0, 1.0, 0, 0},
+		// Narrow domain with both images within reach (the rcut > domain
+		// width scenario): still exactly one image ships — the k = 0 one,
+		// since the tie at 0.48 resolves to the smaller k.
+		{"narrow domain, both images in reach", 0.0, 0.48, 0.52, 0, 0.48},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sh, d := bestShift(tc.c, tc.lo, tc.hi, l)
+			if sh != tc.wantShift || math.Abs(d-tc.wantDist) > 1e-12 {
+				t.Errorf("bestShift(%v, [%v,%v]) = (%v, %v), want (%v, %v)",
+					tc.c, tc.lo, tc.hi, sh, d, tc.wantShift, tc.wantDist)
+			}
+		})
+	}
+}
+
+// TestBestShiftWideDomainTie pins the fix-point for the wide-domain tie in
+// the table above: the distances really are equal, so the pin is purely
+// about scan order.
+func TestBestShiftWideDomainTie(t *testing.T) {
+	_, dm := bestShift(0.9375-1, 0.125, 0.75, 0) // the k=−1 image, no further wrap
+	_, d0 := bestShift(0.9375, 0.125, 0.75, 0)
+	if dm != d0 {
+		t.Fatalf("tie premise broken: d(-L)=%v d(0)=%v", dm, d0)
+	}
+}
+
+// TestBoxDistPeriodicEdgeCases locks in the box-to-box periodic distance
+// used for the per-rank quick reject and the LET subtree prune.
+func TestBoxDistPeriodicEdgeCases(t *testing.T) {
+	const l = 1.0
+	box := func(x0, y0, z0, x1, y1, z1 float64) (vec.V3, vec.V3) {
+		return vec.V3{X: x0, Y: y0, Z: z0}, vec.V3{X: x1, Y: y1, Z: z1}
+	}
+	type boxCase struct {
+		name               string
+		alo, ahi, blo, bhi vec.V3
+		want               float64
+	}
+	var cases []boxCase
+	add := func(name string, alo, ahi, blo, bhi vec.V3, want float64) {
+		cases = append(cases, boxCase{name, alo, ahi, blo, bhi, want})
+	}
+
+	// Domains touching only through the periodic wrap: distance zero.
+	alo, ahi := box(0, 0, 0, 0.1, 1, 1)
+	blo, bhi := box(0.9, 0, 0, 1.0, 1, 1)
+	add("wrap-adjacent slabs touch", alo, ahi, blo, bhi, 0)
+
+	// Disjoint along one axis, wrap not closer.
+	alo, ahi = box(0, 0, 0, 0.1, 1, 1)
+	blo, bhi = box(0.45, 0, 0, 0.55, 1, 1)
+	add("interior gap", alo, ahi, blo, bhi, 0.35)
+
+	// Degenerate thin slabs (zero volume on every axis).
+	alo, ahi = box(0.2, 0.2, 0.2, 0.2, 0.2, 0.2)
+	blo, bhi = box(0.7, 0.2, 0.2, 0.7, 0.2, 0.2)
+	add("thin slabs half a box apart", alo, ahi, blo, bhi, 0.5)
+
+	// A domain spanning more than L/2: the short way round wins.
+	alo, ahi = box(0.05, 0, 0, 0.95, 1, 1)
+	blo, bhi = box(0.96, 0, 0, 0.99, 1, 1)
+	add("wide domain, direct gap beats wrap", alo, ahi, blo, bhi, 0.01)
+
+	// Overlap on every axis.
+	alo, ahi = box(0.1, 0.1, 0.1, 0.6, 0.6, 0.6)
+	blo, bhi = box(0.5, 0.5, 0.5, 0.9, 0.9, 0.9)
+	add("overlapping boxes", alo, ahi, blo, bhi, 0)
+
+	// Distances compose per axis (the per-axis minima factorization).
+	alo, ahi = box(0, 0, 0, 0.1, 0.1, 0.1)
+	blo, bhi = box(0.4, 0.4, 0.1, 0.5, 0.5, 1)
+	add("two-axis diagonal", alo, ahi, blo, bhi, math.Sqrt(2*0.3*0.3))
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := boxDistPeriodic(tc.alo, tc.ahi, tc.blo, tc.bhi, l)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("boxDistPeriodic = %v, want %v", got, tc.want)
+			}
+			// The distance is symmetric under swapping the boxes.
+			if rev := boxDistPeriodic(tc.blo, tc.bhi, tc.alo, tc.ahi, l); math.Abs(rev-got) > 1e-12 {
+				t.Errorf("asymmetric: %v vs %v", got, rev)
+			}
+		})
+	}
+}

@@ -76,6 +76,16 @@ type Config struct {
 	// Results are bit-identical to serial for any worker count.
 	Workers int
 
+	// LETExchange selects the locally-essential-tree ghost exchange (GreeM's
+	// structure-aware boundary exchange): the local tree is walked once per
+	// near neighbour, shipping pruned node monopoles where the opening
+	// criterion size/dist < θ allows and raw leaf particles where the
+	// neighbour's box is close. False keeps the particle-ghost baseline — an
+	// O(n·p_near) scan shipping every nearby particle raw — which serves as
+	// the parity/error oracle for the LET path (both agree within the θ-error
+	// bound; see TestLETForceParity). The cmd drivers enable LET by default.
+	LETExchange bool
+
 	// Domain decomposition.
 	Grid        [3]int // divisions per axis; product must equal comm size
 	SampleTotal int    // total sampled particles for the decomposition; 0 ⇒ 64·p
@@ -185,6 +195,20 @@ type Sim struct {
 	ctrGroups, ctrSumNi, ctrListP, ctrListN, ctrInter, ctrNodes *telemetry.Counter
 	ctrFlops                                                    *telemetry.Counter
 
+	// Ghost-exchange machinery: the LET walk scratch, per-destination staging
+	// buffers, the flattened receive buffer, and the local+ghost source-set
+	// arrays are all Sim-owned and reused, so the steady-state exchange and
+	// source assembly allocate nothing (see TestAssembleSourcesAllocs).
+	let        tree.LETCollector
+	ghostSend  [][]ghost
+	ghostRecv  []ghost
+	srcX, srcY []float64
+	srcZ, srcM []float64
+
+	// Ghost traffic and LET composition counters.
+	ctrGhostSent, ctrGhostRecv, ctrGhostBytes *telemetry.Counter
+	ctrLETMono, ctrLETLeaf, ctrLETNodes       *telemetry.Counter
+
 	// pool is the rank's intra-node worker pool (nil ⇒ serial), shared by
 	// the PM solver (injected through pmpar.Config.Pool on every rebuild)
 	// and the integrator loops below. Owned — and closed — by the Sim.
@@ -218,6 +242,7 @@ type Timers struct {
 
 	PPLocalTree  float64 // assembling the local+ghost source set
 	PPComm       float64 // ghost exchange
+	PPLET        float64 // LET walk building each neighbour's source set
 	PPTreeConstr float64
 	PPTraverse   float64 // traversal+force are fused in tree.Accel; split by kernel clock
 	PPForce      float64
@@ -241,6 +266,7 @@ func (s *Sim) Timers() Timers {
 		},
 		PPLocalTree:  sec(telemetry.PhasePPLocalTree),
 		PPComm:       sec(telemetry.PhasePPComm),
+		PPLET:        sec(telemetry.PhasePPLET),
 		PPTreeConstr: sec(telemetry.PhasePPTreeConstr),
 		PPTraverse:   sec(telemetry.PhasePPTraverse),
 		PPForce:      sec(telemetry.PhasePPForce),
@@ -272,6 +298,27 @@ func (s *Sim) Counters() Counters {
 // Recorder returns the rank's telemetry recorder (for trace export and
 // cross-rank aggregation).
 func (s *Sim) Recorder() *telemetry.Recorder { return s.rec }
+
+// GhostStats is a rank's accumulated ghost-exchange statistics: sources
+// shipped and received, payload bytes sent, and — on the LET path — the
+// export's composition (pruned node monopoles vs raw leaf particles).
+type GhostStats struct {
+	Sent, Recv, Bytes uint64
+	Monopoles, Leaves uint64
+	LETNodesVisited   uint64
+}
+
+// GhostStats materializes the ghost-exchange statistics from the registry.
+func (s *Sim) GhostStats() GhostStats {
+	return GhostStats{
+		Sent:            uint64(s.ctrGhostSent.Value()),
+		Recv:            uint64(s.ctrGhostRecv.Value()),
+		Bytes:           uint64(s.ctrGhostBytes.Value()),
+		Monopoles:       uint64(s.ctrLETMono.Value()),
+		Leaves:          uint64(s.ctrLETLeaf.Value()),
+		LETNodesVisited: uint64(s.ctrLETNodes.Value()),
+	}
+}
 
 // New creates the simulation from an initial particle set. parts holds this
 // rank's particles under the *uniform* initial decomposition (they are
@@ -327,6 +374,12 @@ func newSim(c *mpi.Comm, cfg Config) *Sim {
 	s.ctrInter = reg.Counter("greem_tree_interactions_total")
 	s.ctrNodes = reg.Counter("greem_tree_nodes_visited_total")
 	s.ctrFlops = reg.FlopCounter("greem_pp_kernel_flops_total")
+	s.ctrGhostSent = reg.Counter(telemetry.MetricGhostSent)
+	s.ctrGhostRecv = reg.Counter(telemetry.MetricGhostRecv)
+	s.ctrGhostBytes = reg.Counter(telemetry.MetricGhostBytes)
+	s.ctrLETMono = reg.Counter(telemetry.MetricLETMonopoles)
+	s.ctrLETLeaf = reg.Counter(telemetry.MetricLETLeaves)
+	s.ctrLETNodes = reg.Counter(telemetry.MetricLETNodeVisits)
 	return s
 }
 

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"greem/internal/telemetry"
+	"greem/internal/tree"
+)
+
+// buildSourceTrees runs the short-range source pipeline shared by computePP
+// and PotentialEnergy: ghost exchange, source-set assembly (local particles
+// plus received ghosts) into the Sim-owned buffers, and tree construction.
+// It returns the source tree, the target tree over the local particles, and
+// the ghost count; when no ghosts arrived the single tree serves both roles
+// and the caller must traverse it periodically (nGhosts == 0 ⇒
+// forceOpts(periodic=true)), since no ghosts encode the wrap. Collective.
+func (s *Sim) buildSourceTrees() (src, tgt *tree.Tree, nGhosts int) {
+	opts := tree.Options{LeafCap: s.cfg.LeafCap}
+
+	// The LET exchange walks the local tree, so in that mode the target tree
+	// is built first and doubles as the walk input. The raw exchange needs no
+	// tree; its target tree is built after, and only when ghosts exist.
+	var lt *tree.Tree
+	var err error
+	if s.cfg.LETExchange {
+		sp := s.rec.Start(telemetry.PhasePPTreeConstr)
+		if lt, err = tree.Build(s.x, s.y, s.z, s.m, opts); err != nil {
+			panic(err)
+		}
+		sp.End()
+	}
+	ghosts := s.exchangeGhosts(lt)
+	nGhosts = len(ghosts)
+
+	sp := s.rec.Start(telemetry.PhasePPLocalTree)
+	s.assembleSources(ghosts)
+	sp.End()
+
+	sp = s.rec.Start(telemetry.PhasePPTreeConstr)
+	defer sp.End()
+	if src, err = tree.Build(s.srcX, s.srcY, s.srcZ, s.srcM, opts); err != nil {
+		panic(err)
+	}
+	if nGhosts == 0 {
+		return src, src, 0
+	}
+	if lt == nil {
+		if lt, err = tree.Build(s.x, s.y, s.z, s.m, opts); err != nil {
+			panic(err)
+		}
+	}
+	return src, lt, nGhosts
+}
+
+// assembleSources fills the Sim-owned source buffers with the local
+// particles followed by the received ghosts. The buffers are reused across
+// calls — zero steady-state allocations, asserted by
+// TestAssembleSourcesAllocs — and are only read between here and the source
+// tree.Build (which copies into tree order), so reuse is safe.
+func (s *Sim) assembleSources(ghosts []ghost) {
+	n := len(s.x)
+	tot := n + len(ghosts)
+	s.srcX = growFloats(s.srcX, tot)
+	s.srcY = growFloats(s.srcY, tot)
+	s.srcZ = growFloats(s.srcZ, tot)
+	s.srcM = growFloats(s.srcM, tot)
+	copy(s.srcX, s.x)
+	copy(s.srcY, s.y)
+	copy(s.srcZ, s.z)
+	copy(s.srcM, s.m)
+	for i, g := range ghosts {
+		s.srcX[n+i], s.srcY[n+i], s.srcZ[n+i], s.srcM[n+i] = g.X, g.Y, g.Z, g.M
+	}
+}
+
+// growFloats resizes b to length n, reallocating only when capacity is
+// insufficient.
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}

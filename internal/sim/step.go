@@ -33,53 +33,15 @@ func (s *Sim) computePM() {
 func (s *Sim) computePP() {
 	spAll := s.rec.Start(telemetry.SpanPP)
 
-	sp := s.rec.Start(telemetry.PhasePPComm)
-	ghosts := s.exchangeGhosts()
-	sp.End()
-
-	sp = s.rec.Start(telemetry.PhasePPLocalTree)
-	// Assemble the source set: local particles plus ghosts.
-	n := len(s.x)
-	sx := make([]float64, n+len(ghosts))
-	sy := make([]float64, n+len(ghosts))
-	sz := make([]float64, n+len(ghosts))
-	sm := make([]float64, n+len(ghosts))
-	copy(sx, s.x)
-	copy(sy, s.y)
-	copy(sz, s.z)
-	copy(sm, s.m)
-	for i, g := range ghosts {
-		sx[n+i], sy[n+i], sz[n+i], sm[n+i] = g.X, g.Y, g.Z, g.M
-	}
-	sp.End()
-
-	sp = s.rec.Start(telemetry.PhasePPTreeConstr)
-	opts := tree.Options{LeafCap: s.cfg.LeafCap}
-	srcTree, err := tree.Build(sx, sy, sz, sm, opts)
-	if err != nil {
-		panic(err)
-	}
-	tgtTree := srcTree
-	if len(ghosts) > 0 {
-		tgtTree, err = tree.Build(s.x, s.y, s.z, s.m, opts)
-		if err != nil {
-			panic(err)
-		}
-	}
-	sp.End()
+	srcTree, tgtTree, nGhosts := s.buildSourceTrees()
 
 	for i := range s.asx {
 		s.asx[i], s.asy[i], s.asz[i] = 0, 0, 0
 	}
-	sp = s.rec.Start(telemetry.PhasePPTreeWalk)
-	var st tree.Stats
-	if len(ghosts) > 0 {
-		st = tree.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(false), s.asx, s.asy, s.asz)
-	} else {
-		// Single-rank (or isolated) case: the tree must handle periodicity
-		// itself since no ghosts encode the wrap.
-		st = tree.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(true), s.asx, s.asy, s.asz)
-	}
+	sp := s.rec.Start(telemetry.PhasePPTreeWalk)
+	// When no ghosts arrived the single tree must handle periodicity itself,
+	// since no ghosts encode the wrap.
+	st := tree.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(nGhosts == 0), s.asx, s.asy, s.asz)
 	fused := sp.End().Seconds()
 	// The walk fuses traversal and force; split it for Table I using the
 	// kernel's own clock, and feed the interaction ledger.
@@ -289,30 +251,8 @@ func (s *Sim) PotentialEnergy() float64 {
 	s.pm.LocalMesh().InterpolatePot(s.x, s.y, s.z, pot)
 
 	// Short-range part: same ghost + tree machinery as the force.
-	ghosts := s.exchangeGhosts()
-	sx := make([]float64, n+len(ghosts))
-	sy := make([]float64, n+len(ghosts))
-	sz := make([]float64, n+len(ghosts))
-	sm := make([]float64, n+len(ghosts))
-	copy(sx, s.x)
-	copy(sy, s.y)
-	copy(sz, s.z)
-	copy(sm, s.m)
-	for i, g := range ghosts {
-		sx[n+i], sy[n+i], sz[n+i], sm[n+i] = g.X, g.Y, g.Z, g.M
-	}
-	opts := tree.Options{LeafCap: s.cfg.LeafCap}
-	srcTree, err := tree.Build(sx, sy, sz, sm, opts)
-	if err != nil {
-		panic(err)
-	}
-	tgtTree := srcTree
-	if len(ghosts) > 0 {
-		if tgtTree, err = tree.Build(s.x, s.y, s.z, s.m, opts); err != nil {
-			panic(err)
-		}
-	}
-	fo := s.forceOpts(len(ghosts) == 0)
+	srcTree, tgtTree, nGhosts := s.buildSourceTrees()
+	fo := s.forceOpts(nGhosts == 0)
 	tree.PotentialCutoff(srcTree, tgtTree, s.cfg.Ni, fo, potTable, pot)
 
 	var e float64

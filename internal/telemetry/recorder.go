@@ -20,8 +20,12 @@ const (
 	PhasePMMeshForce = "pm/mesh_force"
 	PhasePMInterp    = "pm/interp"
 
-	PhasePPLocalTree  = "pp/local_tree"
-	PhasePPComm       = "pp/comm"
+	PhasePPLocalTree = "pp/local_tree"
+	PhasePPComm      = "pp/comm"
+	// PhasePPLET is the locally-essential-tree walk: building each near
+	// neighbour's boundary source set (pruned monopoles + leaf particles)
+	// from the local tree, before the ghost alltoall (PhasePPComm).
+	PhasePPLET        = "pp/let"
 	PhasePPTreeConstr = "pp/tree_construction"
 	// PhasePPTreeWalk is the fused traversal+force span as it happens on the
 	// timeline; the accumulator splits it into PhasePPTraverse and
@@ -54,6 +58,19 @@ const phaseSecondsMetric = "greem_phase_seconds_total"
 const (
 	MetricPoolBusySeconds = "greem_pool_busy_seconds_total"
 	MetricPoolIdleSeconds = "greem_pool_idle_seconds_total"
+)
+
+// Ghost-exchange metrics: sources shipped/received by this rank's boundary
+// (ghost) exchange and the resulting payload bytes on the wire, plus the
+// composition of the locally-essential-tree export (pruned node monopoles vs
+// raw leaf particles). All sum cleanly across ranks.
+const (
+	MetricGhostSent     = "greem_ghost_sent_total"
+	MetricGhostRecv     = "greem_ghost_recv_total"
+	MetricGhostBytes    = "greem_ghost_bytes_total"
+	MetricLETMonopoles  = "greem_let_monopoles_total"
+	MetricLETLeaves     = "greem_let_leaves_total"
+	MetricLETNodeVisits = "greem_let_nodes_visited_total"
 )
 
 // spanSecondsMetric is the per-phase span-duration histogram.

@@ -1,0 +1,178 @@
+// Locally-essential-tree (LET) export: the structure-aware boundary exchange
+// of GreeM (Ishiyama, Fukushige & Makino 2009) and TPM-style codes (Bode &
+// Ostriker 2000). Instead of scanning every local particle against every near
+// process, the local tree is walked once per neighbour against that
+// neighbour's (periodic-shifted) domain box: subtrees farther than rcut are
+// pruned outright (their force is the PM's), subtrees satisfying the opening
+// criterion size/dist < θ are shipped as a single pruned monopole
+// (superparticle), and only the remainder ships raw leaf particles. Both the
+// O(n·p_near) selection scan and the wire bytes collapse, and the error
+// introduced by pruning is bounded by the same θ criterion the receiver's own
+// traversal enforces: the distance from a neighbour's whole domain box lower-
+// bounds the distance from any target group inside it, so an accepted node
+// satisfies size < θ·d(group) for every group the receiver will ever form.
+package tree
+
+import (
+	"math"
+
+	"greem/internal/vec"
+)
+
+// LETParticle is one boundary source shipped to a neighbour — either a raw
+// leaf particle or a pruned node monopole — with its position already shifted
+// into the receiver's periodic frame. It is the ghost wire format.
+type LETParticle struct {
+	X, Y, Z, M float64
+}
+
+// LETStats counts what one LET walk emitted.
+type LETStats struct {
+	NodesVisited uint64
+	Monopoles    uint64 // pruned superparticles emitted
+	Leaves       uint64 // raw leaf particles emitted
+}
+
+// Add accumulates other into s.
+func (s *LETStats) Add(o LETStats) {
+	s.NodesVisited += o.NodesVisited
+	s.Monopoles += o.Monopoles
+	s.Leaves += o.Leaves
+}
+
+// BestShift returns the periodic shift k·L (k ∈ {−1,0,1}) that brings
+// coordinate c closest to the interval [lo, hi], and the resulting distance.
+// Exactly one image ships per source and axis — the closest — which is the
+// selection contract the raw particle-ghost exchange has always used (see the
+// sim package's table-driven edge-case tests locking it in).
+func BestShift(c, lo, hi, l float64) (shift, dist float64) {
+	best := -1.0
+	bestShift := 0.0
+	for k := -1; k <= 1; k++ {
+		cc := c + float64(k)*l
+		var d float64
+		switch {
+		case cc < lo:
+			d = lo - cc
+		case cc > hi:
+			d = cc - hi
+		}
+		if best < 0 || d < best {
+			best = d
+			bestShift = float64(k) * l
+		}
+	}
+	return bestShift, best
+}
+
+// AxisDistPeriodic returns the 1-D distance between intervals [alo, ahi] and
+// [blo, bhi] minimized over the periodic images k·L of the first (0 if any
+// image overlaps).
+func AxisDistPeriodic(alo, ahi, blo, bhi, l float64) float64 {
+	best := -1.0
+	for k := -1; k <= 1; k++ {
+		lo := alo + float64(k)*l
+		hi := ahi + float64(k)*l
+		var d float64
+		switch {
+		case hi < blo:
+			d = blo - hi
+		case lo > bhi:
+			d = lo - bhi
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// BoxDistPeriodic returns the minimum periodic distance between two boxes.
+// Axes are independent under a rectangular period, so the minimum over the 27
+// shift vectors factors into per-axis minima.
+func BoxDistPeriodic(alo, ahi, blo, bhi vec.V3, l float64) float64 {
+	dx := AxisDistPeriodic(alo.X, ahi.X, blo.X, bhi.X, l)
+	dy := AxisDistPeriodic(alo.Y, ahi.Y, blo.Y, bhi.Y, l)
+	dz := AxisDistPeriodic(alo.Z, ahi.Z, blo.Z, bhi.Z, l)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// LETCollector owns the traversal scratch for LET walks so repeated walks
+// (one per near neighbour per substep) run without steady-state allocation.
+// The zero value is ready to use. Not safe for concurrent walks.
+type LETCollector struct {
+	stack []int32
+}
+
+// Collect walks t against the receiver domain box [lo, hi] under periodic
+// wrap of side l and appends the locally-essential source set to out:
+//   - subtrees whose cell is farther than rcut from every periodic image of
+//     the box are pruned (zero contribution under the cutoff kernel);
+//   - nodes satisfying the opening criterion s < θ·d — s the cell side, d the
+//     periodic distance from the box to the node's center of mass — ship as a
+//     single monopole at the COM;
+//   - remaining leaves ship their particles, individually filtered by the
+//     same within-rcut periodic predicate the raw exchange applies.
+//
+// Emitted positions are pre-shifted into the receiver's frame by the closest
+// periodic image per axis (BestShift). The receiver box must not be the box
+// containing t's own particles: a source set for one's own domain would
+// duplicate every local particle at shift zero.
+func (c *LETCollector) Collect(t *Tree, lo, hi vec.V3, l, rcut, theta float64, out []LETParticle) ([]LETParticle, LETStats) {
+	var st LETStats
+	if len(t.nodes) == 0 {
+		return out, st
+	}
+	r2 := rcut * rcut
+	th2 := theta * theta
+	stack := c.stack[:0]
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[i]
+		if nd.count == 0 {
+			continue
+		}
+		st.NodesVisited++
+
+		// Prune: periodic distance from the node cell to the receiver box.
+		dx := AxisDistPeriodic(nd.cx-nd.half, nd.cx+nd.half, lo.X, hi.X, l)
+		dy := AxisDistPeriodic(nd.cy-nd.half, nd.cy+nd.half, lo.Y, hi.Y, l)
+		dz := AxisDistPeriodic(nd.cz-nd.half, nd.cz+nd.half, lo.Z, hi.Z, l)
+		if dx*dx+dy*dy+dz*dz > r2 {
+			continue
+		}
+
+		// Opening criterion against the whole receiver box: d lower-bounds the
+		// distance from any target group the receiver forms inside it.
+		sx, cdx := BestShift(nd.comx, lo.X, hi.X, l)
+		sy, cdy := BestShift(nd.comy, lo.Y, hi.Y, l)
+		sz, cdz := BestShift(nd.comz, lo.Z, hi.Z, l)
+		d2 := cdx*cdx + cdy*cdy + cdz*cdz
+		s := 2 * nd.half
+		if d2 > 0 && s*s < th2*d2 {
+			out = append(out, LETParticle{X: nd.comx + sx, Y: nd.comy + sy, Z: nd.comz + sz, M: nd.mass})
+			st.Monopoles++
+			continue
+		}
+		if nd.firstChild < 0 {
+			for p := nd.start; p < nd.start+nd.count; p++ {
+				px, pdx := BestShift(t.X[p], lo.X, hi.X, l)
+				py, pdy := BestShift(t.Y[p], lo.Y, hi.Y, l)
+				pz, pdz := BestShift(t.Z[p], lo.Z, hi.Z, l)
+				if pdx*pdx+pdy*pdy+pdz*pdz > r2 {
+					continue
+				}
+				out = append(out, LETParticle{X: t.X[p] + px, Y: t.Y[p] + py, Z: t.Z[p] + pz, M: t.M[p]})
+				st.Leaves++
+			}
+			continue
+		}
+		for ch := nd.firstChild; ch < nd.firstChild+int32(nd.nChild); ch++ {
+			stack = append(stack, ch)
+		}
+	}
+	c.stack = stack[:0]
+	return out, st
+}

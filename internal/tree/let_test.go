@@ -1,0 +1,196 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greem/internal/vec"
+)
+
+// letBruteSelect is the raw-particle reference selection: every particle
+// within periodic distance rcut of the box, shifted by its closest image —
+// exactly the sim package's baseline ghost scan.
+func letBruteSelect(x, y, z, m []float64, lo, hi vec.V3, l, rcut float64) []LETParticle {
+	var out []LETParticle
+	for i := range x {
+		sx, dx := BestShift(x[i], lo.X, hi.X, l)
+		sy, dy := BestShift(y[i], lo.Y, hi.Y, l)
+		sz, dz := BestShift(z[i], lo.Z, hi.Z, l)
+		if dx*dx+dy*dy+dz*dz > rcut*rcut {
+			continue
+		}
+		out = append(out, LETParticle{X: x[i] + sx, Y: y[i] + sy, Z: z[i] + sz, M: m[i]})
+	}
+	return out
+}
+
+// minPeriodicBoxDist is an independent check of a point's distance to a box
+// under the 27-image torus, avoiding the per-axis BestShift factorization.
+func minPeriodicBoxDist(p vec.V3, lo, hi vec.V3, l float64) float64 {
+	best := math.Inf(1)
+	clamp := func(v, a, b float64) float64 { return math.Max(a, math.Min(b, v)) }
+	for kx := -1; kx <= 1; kx++ {
+		for ky := -1; ky <= 1; ky++ {
+			for kz := -1; kz <= 1; kz++ {
+				q := vec.V3{X: p.X + float64(kx)*l, Y: p.Y + float64(ky)*l, Z: p.Z + float64(kz)*l}
+				dx := q.X - clamp(q.X, lo.X, hi.X)
+				dy := q.Y - clamp(q.Y, lo.Y, hi.Y)
+				dz := q.Z - clamp(q.Z, lo.Z, hi.Z)
+				if d := math.Sqrt(dx*dx + dy*dy + dz*dz); d < best {
+					best = d
+				}
+			}
+		}
+	}
+	return best
+}
+
+// TestLETThetaZeroMatchesBruteSelection: with θ = 0 no node is ever accepted
+// as a monopole, so the LET walk must ship exactly the brute-force particle
+// selection (order aside): same multiset of positions and masses.
+func TestLETThetaZeroMatchesBruteSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y, z, m := plummer(rng, 600, 0.1)
+	tr, err := Build(x, y, z, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := 1.0
+	boxes := []struct{ lo, hi vec.V3 }{
+		{vec.V3{X: 0.9, Y: 0, Z: 0}, vec.V3{X: 1.0, Y: 1, Z: 1}}, // wrap-adjacent slab
+		{vec.V3{X: 0.6, Y: 0.6, Z: 0.6}, vec.V3{X: 0.8, Y: 0.8, Z: 0.8}},
+		{vec.V3{X: 0, Y: 0, Z: 0}, vec.V3{X: 0.05, Y: 1, Z: 1}}, // thin slab at the wrap
+	}
+	var col LETCollector
+	for bi, b := range boxes {
+		for _, rcut := range []float64{0.05, 0.2} {
+			got, st := col.Collect(tr, b.lo, b.hi, l, rcut, 0, nil)
+			want := letBruteSelect(x, y, z, m, b.lo, b.hi, l, rcut)
+			if st.Monopoles != 0 {
+				t.Fatalf("box %d: θ=0 walk emitted %d monopoles", bi, st.Monopoles)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("box %d rcut %v: LET shipped %d sources, brute %d", bi, rcut, len(got), len(want))
+			}
+			// Compare as multisets keyed on the exact float values.
+			seen := make(map[LETParticle]int, len(want))
+			for _, p := range want {
+				seen[p]++
+			}
+			for _, p := range got {
+				if seen[p] == 0 {
+					t.Fatalf("box %d rcut %v: LET shipped %+v not in brute selection", bi, rcut, p)
+				}
+				seen[p]--
+			}
+		}
+	}
+}
+
+// TestLETInvariants checks the walk's contract at a production θ: total
+// shipped mass never exceeds the mass within reach, every leaf source lies
+// within rcut of the box, every monopole lies within rcut/(1−√3·θ) — the
+// bound implied by d_com ≤ d_cell + √3·s with s < θ·d_com — and the walk
+// visits at most the whole tree.
+func TestLETInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y, z, m := plummer(rng, 800, 0.08)
+	tr, err := Build(x, y, z, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receiver box sits 0.2 from the dense Plummer core: inside rcut, so
+	// the core is not pruned, and far enough that its small cells satisfy
+	// s < θ·d and ship as monopoles.
+	l, rcut, theta := 1.0, 0.25, 0.3
+	lo := vec.V3{X: 0.7, Y: 0.1, Z: 0.1}
+	hi := vec.V3{X: 1.0, Y: 0.9, Z: 0.9}
+	var col LETCollector
+	out, st := col.Collect(tr, lo, hi, l, rcut, theta, nil)
+	if st.Leaves+st.Monopoles != uint64(len(out)) {
+		t.Fatalf("stats %+v inconsistent with %d emitted", st, len(out))
+	}
+	if st.Monopoles == 0 {
+		t.Fatalf("expected some pruned monopoles at θ=%v (clustered source)", theta)
+	}
+	monoBound := rcut / (1 - math.Sqrt(3)*theta)
+	for _, p := range out {
+		// Emitted positions are pre-shifted, so plain (non-periodic) distance
+		// to the box must already be minimal.
+		d := minPeriodicBoxDist(vec.V3{X: p.X, Y: p.Y, Z: p.Z}, lo, hi, l)
+		if d > monoBound+1e-12 {
+			t.Fatalf("source %+v at distance %v beyond monopole bound %v", p, d, monoBound)
+		}
+		if p.M <= 0 {
+			t.Fatalf("non-positive shipped mass: %+v", p)
+		}
+	}
+	var shipped float64
+	for _, p := range out {
+		shipped += p.M
+	}
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	if shipped > total+1e-12 {
+		t.Fatalf("shipped mass %v exceeds total %v", shipped, total)
+	}
+	if st.NodesVisited > uint64(len(tr.nodes)) {
+		t.Fatalf("visited %d nodes of %d", st.NodesVisited, len(tr.nodes))
+	}
+}
+
+// TestLETCollectorReuse: a second walk with the same collector and a
+// recycled output slice must produce identical output without allocating.
+func TestLETCollectorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y, z, m := plummer(rng, 500, 0.1)
+	tr, err := Build(x, y, z, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, rcut, theta := 1.0, 0.2, 0.4
+	lo := vec.V3{X: 0.7, Y: 0.2, Z: 0.2}
+	hi := vec.V3{X: 0.95, Y: 0.6, Z: 0.6}
+	var col LETCollector
+	first, _ := col.Collect(tr, lo, hi, l, rcut, theta, nil)
+	buf := make([]LETParticle, 0, len(first))
+	allocs := testing.AllocsPerRun(20, func() {
+		buf, _ = col.Collect(tr, lo, hi, l, rcut, theta, buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Collect allocates %.1f/run", allocs)
+	}
+	if len(buf) != len(first) {
+		t.Fatalf("reused walk emitted %d, first %d", len(buf), len(first))
+	}
+	for i := range buf {
+		if buf[i] != first[i] {
+			t.Fatalf("walk not deterministic at %d: %+v vs %+v", i, buf[i], first[i])
+		}
+	}
+}
+
+// TestLETEmptyTree: walking an empty or tiny tree must not panic and must
+// ship nothing beyond what exists.
+func TestLETEmptyTree(t *testing.T) {
+	empty, err := Build(nil, nil, nil, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col LETCollector
+	out, st := col.Collect(empty, vec.V3{}, vec.V3{X: 1, Y: 1, Z: 1}, 1, 0.5, 0.5, nil)
+	if len(out) != 0 || st.Leaves+st.Monopoles != 0 {
+		t.Fatalf("empty tree shipped %d sources (%+v)", len(out), st)
+	}
+	one, err := Build([]float64{0.5}, []float64{0.5}, []float64{0.5}, []float64{2}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = col.Collect(one, vec.V3{X: 0.4, Y: 0.4, Z: 0.4}, vec.V3{X: 0.6, Y: 0.6, Z: 0.6}, 1, 0.3, 0.5, nil)
+	if len(out) != 1 || out[0].M != 2 {
+		t.Fatalf("single-particle tree shipped %+v", out)
+	}
+}

@@ -10,3 +10,5 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/
+go test -run NONE -fuzz FuzzDecodeFlat -fuzztime 4s ./internal/domain/
+go test -run NONE -fuzz FuzzGhostSelection -fuzztime 4s ./internal/sim/
