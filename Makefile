@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-scaling smoke-restart
+.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-scaling bench-record bench-compare smoke-restart smoke-serve
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/
 
 # fuzz-smoke: a few seconds of native Go fuzzing per fuzzer — enough to shake
 # out decoder panics and ghost-selection invariant breaks without turning the
@@ -32,6 +32,12 @@ fuzz-smoke:
 smoke-restart:
 	./scripts/smoke_restart.sh
 
+# smoke-serve: end-to-end service-plane drill — boot the greemd daemon on a
+# filesystem store, submit a tiny checkpointed run over HTTP, poll it to
+# completion, fetch a product of every kind and verify run integrity.
+smoke-serve:
+	./scripts/smoke_serve.sh
+
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
 
@@ -41,6 +47,16 @@ bench-fft:
 	$(GO) test -run NONE -bench 'RealFFT' -benchmem ./internal/fft/
 	$(GO) test -run NONE -bench 'Solve(64|128)' -benchmem ./internal/mesh/
 	$(GO) test -run NONE -bench 'PencilVsSlabFFT|Fig5RelayVsNaive' -benchmem .
+
+# bench-record: run the canonical kernel/solve/exchange/checkpoint
+# benchmarks and persist them as bench_records/BENCH_<timestamp>.json;
+# bench-compare diffs the two newest records and fails on a >10% regression
+# in any cost metric (ns/op, B/op, allocs/op, byte ledgers).
+bench-record:
+	./scripts/bench_record.sh
+
+bench-compare:
+	$(GO) run ./cmd/benchrecord compare -dir bench_records
 
 # bench-scaling: intra-rank worker-pool strong scaling of the 128³ PM solve
 # (assignment + r2c FFT + convolution + differencing) at 1/2/4/8 workers.

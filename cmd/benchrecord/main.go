@@ -1,0 +1,250 @@
+// Command benchrecord turns `go test -bench` output into durable, diffable
+// performance records.
+//
+//	go test -run NONE -bench . -benchmem ./... | benchrecord record -dir bench_records
+//	benchrecord compare -dir bench_records
+//
+// record parses benchmark lines from stdin and writes them as
+// BENCH_<timestamp>.json. compare diffs the two newest records and exits
+// non-zero if any cost metric (ns/op, B/op, allocs/op, or a byte ledger
+// like ghost-alltoall-B) regressed by more than the threshold — the
+// perf-regression gate for the kernel, solve, exchange and checkpoint
+// paths.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one BENCH_<timestamp>.json file.
+type Record struct {
+	Format  int    `json:"format"`
+	Created string `json:"created"` // RFC 3339 UTC
+	Tag     string `json:"tag,omitempty"`
+	Go      string `json:"go"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// metrics; metric maps unit to value. JSON object keys marshal sorted,
+	// so records are byte-reproducible given the same measurements.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+const recordFormat = 1
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchrecord record|compare [flags]")
+	os.Exit(2)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	dir := fs.String("dir", "bench_records", "directory for BENCH_*.json files")
+	tag := fs.String("tag", "", "free-form label stored in the record")
+	fs.Parse(args)
+
+	benches, err := ParseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	rec := Record{
+		Format:     recordFormat,
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		Tag:        *tag,
+		Go:         runtime.Version(),
+		Benchmarks: benches,
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(*dir, "BENCH_"+time.Now().UTC().Format("20060102T150405")+".json")
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(name, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d benchmarks to %s\n", len(benches), name)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	dir := fs.String("dir", "bench_records", "directory holding BENCH_*.json files")
+	threshold := fs.Float64("threshold", 0.10, "relative regression that fails the gate")
+	fs.Parse(args)
+
+	files, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(files) < 2 {
+		return fmt.Errorf("need at least two records in %s, have %d", *dir, len(files))
+	}
+	sort.Strings(files) // timestamped names sort chronologically
+	oldFile, newFile := files[len(files)-2], files[len(files)-1]
+	old, err := loadRecord(oldFile)
+	if err != nil {
+		return err
+	}
+	cur, err := loadRecord(newFile)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("comparing %s -> %s (threshold %.0f%%)\n",
+		filepath.Base(oldFile), filepath.Base(newFile), *threshold*100)
+	regressions := Compare(old.Benchmarks, cur.Benchmarks, *threshold, os.Stdout)
+	if len(regressions) > 0 {
+		fmt.Printf("FAIL: %d metric(s) regressed more than %.0f%%\n", len(regressions), *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("PASS: no cost metric regressed beyond the threshold")
+	return nil
+}
+
+func loadRecord(path string) (Record, error) {
+	var r Record
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Format != recordFormat {
+		return r, fmt.Errorf("%s: unsupported record format %d", path, r.Format)
+	}
+	return r, nil
+}
+
+// ParseBench extracts benchmark results from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkKernelGflops-8   100  11111 ns/op  12.3 Gflops  8 B/op  1 allocs/op
+//
+// The -GOMAXPROCS suffix is stripped so records taken on different hosts
+// stay comparable; everything that is not a benchmark line is ignored.
+func ParseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not an iteration count — not a result line
+		}
+		metrics := make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			out[name] = metrics
+		}
+	}
+	return out, sc.Err()
+}
+
+// costMetric reports whether a unit measures cost (higher is worse) and so
+// participates in the regression gate. Throughput-style metrics (Gflops,
+// model rates) are recorded but informational: they swing with the host.
+func costMetric(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return strings.HasSuffix(unit, "-B") // byte ledgers: ghost-alltoall-B, alltoall-B, ...
+}
+
+// Regression is one cost metric that got worse beyond the threshold.
+type Regression struct {
+	Bench, Unit string
+	Old, New    float64
+}
+
+// Compare diffs cost metrics common to both records, writing a line per
+// comparison to w, and returns the regressions beyond threshold.
+func Compare(old, cur map[string]map[string]float64, threshold float64, w io.Writer) []Regression {
+	var names []string
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var regressions []Regression
+	for _, name := range names {
+		var units []string
+		for unit := range cur[name] {
+			if _, ok := old[name][unit]; ok && costMetric(unit) {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			o, n := old[name][unit], cur[name][unit]
+			var rel float64
+			if o != 0 {
+				rel = (n - o) / o
+			} else if n != 0 {
+				rel = 1 // appeared from zero: treat as fully regressed
+			}
+			status := "ok"
+			if rel > threshold {
+				status = "REGRESSED"
+				regressions = append(regressions, Regression{Bench: name, Unit: unit, Old: o, New: n})
+			} else if rel < -threshold {
+				status = "improved"
+			}
+			fmt.Fprintf(w, "  %-40s %-18s %14g -> %-14g %+7.1f%%  %s\n",
+				name, unit, o, n, rel*100, status)
+		}
+	}
+	return regressions
+}

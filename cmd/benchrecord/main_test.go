@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: greem
+BenchmarkKernelGflops-8     	     100	     11200 ns/op	        12.50 Gflops	     128 B/op	       2 allocs/op
+BenchmarkGhostExchange64-8  	       5	 210000000 ns/op	  51200000 ghost-alltoall-B	      33 rank0-sources-sent
+BenchmarkSolve128Real       	      10	  52000000 ns/op	 1048576 B/op	      64 allocs/op
+--- this line is noise ---
+BenchmarkBroken-8           	notanumber	1 ns/op
+PASS
+ok  	greem	3.2s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	k := got["KernelGflops"]
+	if k == nil {
+		t.Fatal("KernelGflops missing (suffix not stripped?)")
+	}
+	if k["ns/op"] != 11200 || k["Gflops"] != 12.5 || k["B/op"] != 128 || k["allocs/op"] != 2 {
+		t.Fatalf("KernelGflops metrics: %v", k)
+	}
+	if got["GhostExchange64"]["ghost-alltoall-B"] != 51200000 {
+		t.Fatalf("GhostExchange64 metrics: %v", got["GhostExchange64"])
+	}
+	// A name with no -N suffix parses too.
+	if got["Solve128Real"]["ns/op"] != 52000000 {
+		t.Fatalf("Solve128Real metrics: %v", got["Solve128Real"])
+	}
+	if _, ok := got["Broken"]; ok {
+		t.Fatal("malformed line was accepted")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := map[string]map[string]float64{
+		"Kernel":   {"ns/op": 1000, "B/op": 100, "Gflops": 10},
+		"Exchange": {"ns/op": 5000, "ghost-alltoall-B": 4096},
+		"OldOnly":  {"ns/op": 1},
+	}
+	cur := map[string]map[string]float64{
+		"Kernel":   {"ns/op": 1050, "B/op": 250, "Gflops": 2}, // B/op regressed 2.5x
+		"Exchange": {"ns/op": 4000, "ghost-alltoall-B": 4096},
+		"NewOnly":  {"ns/op": 1},
+	}
+	regs := Compare(old, cur, 0.10, io.Discard)
+	if len(regs) != 1 {
+		t.Fatalf("regressions: %+v, want exactly the B/op one", regs)
+	}
+	if regs[0].Bench != "Kernel" || regs[0].Unit != "B/op" {
+		t.Fatalf("wrong regression flagged: %+v", regs[0])
+	}
+	// Gflops collapsing 10 -> 2 must NOT trip the gate: throughput units
+	// are informational, only cost units gate.
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := map[string]map[string]float64{"K": {"ns/op": 1000, "B/op": 0}}
+	cur := map[string]map[string]float64{"K": {"ns/op": 1099, "B/op": 0}}
+	if regs := Compare(old, cur, 0.10, io.Discard); len(regs) != 0 {
+		t.Fatalf("false positive: %+v", regs)
+	}
+	// Appearing from zero is a regression.
+	cur["K"]["B/op"] = 64
+	regs := Compare(old, cur, 0.10, io.Discard)
+	if len(regs) != 1 || regs[0].Unit != "B/op" {
+		t.Fatalf("zero-to-nonzero not flagged: %+v", regs)
+	}
+}

@@ -1,0 +1,103 @@
+// Command greemd is the simulation service daemon: it runs TreePM
+// simulation jobs submitted over HTTP, persists their checkpoints, final
+// snapshots and derived products in a content-addressed store, and serves
+// progress, products, Prometheus metrics and run-integrity checks.
+//
+// Quickstart (see README.md for the full tour):
+//
+//	greemd -addr :8437 -data /var/lib/greemd &
+//	curl -X POST localhost:8437/runs -d '{"np":8,"ranks":4,"steps":10,"seed":1,"checkpoint_every":2}'
+//	curl localhost:8437/runs/run-000001
+//	curl localhost:8437/runs/run-000001/products/pk?nbins=16
+//	curl localhost:8437/runs/run-000001/integrity
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"greem/internal/serve"
+	"greem/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8437", "listen address (host:port; :0 picks a free port)")
+		dataDir  = flag.String("data", "", "store directory; empty keeps everything in memory")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		queue    = flag.Int("queue", 64, "max queued jobs")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataDir, *addrFile, *queue); err != nil {
+		log.Fatalf("greemd: %v", err)
+	}
+}
+
+func run(addr, dataDir, addrFile string, queue int) error {
+	var st store.Store
+	if dataDir == "" {
+		log.Printf("greemd: no -data directory, using an in-memory store (runs die with the process)")
+		st = store.NewMem()
+	} else {
+		fsStore, err := store.NewFS(dataDir)
+		if err != nil {
+			return fmt.Errorf("open store at %s: %w", dataDir, err)
+		}
+		st = fsStore
+		log.Printf("greemd: store at %s", dataDir)
+	}
+
+	idx := serve.NewMem()
+	mgr, err := serve.NewManager(serve.ManagerConfig{
+		Store: st, Index: idx, QueueDepth: queue, Logf: log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen on %s: %w", addr, err)
+	}
+	bound := ln.Addr().String()
+	log.Printf("greemd: listening on %s", bound)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+
+	srv := &http.Server{Handler: serve.NewServer(mgr, idx, st).Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("greemd: %v, shutting down", s)
+	case err := <-done:
+		mgr.Close()
+		return err
+	}
+
+	// Stop taking requests, then stop the job executor (cancelling any
+	// running job — its last checkpoint stays in the store).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("greemd: http shutdown: %v", err)
+	}
+	mgr.Close()
+	log.Printf("greemd: bye")
+	return nil
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Deterministic serialized forms for analysis products. The served-product
+// cache in the service plane is content-addressed, so these encodings must
+// be byte-reproducible: the same measured result always serializes to the
+// same bytes. That is guaranteed by (a) canonical ordering — halos are
+// sorted by the total order of SortHalos and carry their rank as ID, P(k)
+// bins are already in ascending-k order — (b) fixed field order (struct
+// fields, never maps), and (c) encoding/json's shortest-form float64
+// round-tripping, which is exact and unique per value.
+
+// catalogFormat and powerFormat version the serialized product schemas.
+const (
+	catalogFormat = 1
+	powerFormat   = 1
+)
+
+// CatalogFile is the serialized halo catalog product.
+type CatalogFile struct {
+	Format int     `json:"format"`
+	L      float64 `json:"l"`    // box side
+	Time   float64 `json:"time"` // scale factor / simulation time
+	Step   uint64  `json:"step"`
+	// LinkingLength and MinSize record the FoF parameters the catalog was
+	// measured with, so a cached product is self-describing.
+	LinkingLength float64 `json:"linking_length"`
+	MinSize       int     `json:"min_size"`
+	Halos         []Halo  `json:"halos"`
+}
+
+// EncodeCatalog serializes a halo catalog deterministically. The input
+// slice is not modified; the encoded halos are canonically sorted with
+// IDs assigned in that order.
+func EncodeCatalog(f CatalogFile) ([]byte, error) {
+	f.Format = catalogFormat
+	halos := append([]Halo(nil), f.Halos...)
+	SortHalos(halos)
+	f.Halos = halos
+	b, err := json.Marshal(&f)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: encode catalog: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeCatalog parses a serialized halo catalog and checks its canonical
+// invariants (format, ID = rank in the canonical order).
+func DecodeCatalog(b []byte) (CatalogFile, error) {
+	var f CatalogFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return f, fmt.Errorf("analysis: decode catalog: %w", err)
+	}
+	if f.Format != catalogFormat {
+		return f, fmt.Errorf("analysis: unsupported catalog format %d", f.Format)
+	}
+	for i, h := range f.Halos {
+		if h.ID != i {
+			return f, fmt.Errorf("analysis: catalog not in canonical order: halo %d has id %d", i, h.ID)
+		}
+		if i > 0 && haloLess(h, f.Halos[i-1]) {
+			return f, fmt.Errorf("analysis: catalog not in canonical order at halo %d", i)
+		}
+	}
+	return f, nil
+}
+
+// PowerFile is the serialized power-spectrum product: parallel arrays in
+// ascending-k bin order, exactly as PowerSpectrum emits them.
+type PowerFile struct {
+	Format int       `json:"format"`
+	L      float64   `json:"l"`
+	Time   float64   `json:"time"`
+	Step   uint64    `json:"step"`
+	NMesh  int       `json:"nmesh"` // measurement mesh
+	NBins  int       `json:"nbins"` // requested bin count (empty bins dropped)
+	K      []float64 `json:"k"`
+	P      []float64 `json:"p"`
+	Count  []int     `json:"count"` // modes per bin
+}
+
+// EncodePower serializes a measured power spectrum deterministically.
+func EncodePower(f PowerFile) ([]byte, error) {
+	f.Format = powerFormat
+	if len(f.K) != len(f.P) || len(f.K) != len(f.Count) {
+		return nil, fmt.Errorf("analysis: encode power: mismatched bin arrays (%d k, %d p, %d count)",
+			len(f.K), len(f.P), len(f.Count))
+	}
+	b, err := json.Marshal(&f)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: encode power: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodePower parses a serialized power spectrum and checks its invariants.
+func DecodePower(b []byte) (PowerFile, error) {
+	var f PowerFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return f, fmt.Errorf("analysis: decode power: %w", err)
+	}
+	if f.Format != powerFormat {
+		return f, fmt.Errorf("analysis: unsupported power format %d", f.Format)
+	}
+	if len(f.K) != len(f.P) || len(f.K) != len(f.Count) {
+		return f, fmt.Errorf("analysis: decode power: mismatched bin arrays")
+	}
+	for i := 1; i < len(f.K); i++ {
+		if f.K[i] <= f.K[i-1] {
+			return f, fmt.Errorf("analysis: power bins not in ascending-k order at bin %d", i)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"greem/internal/vec"
+)
+
+func testHalos() []Halo {
+	return []Halo{
+		{N: 40, Mass: 4.0, Center: vec.V3{X: 0.1, Y: 0.2, Z: 0.3}, R50: 0.01, R90: 0.02},
+		{N: 10, Mass: 1.0, Center: vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, R50: 0.005, R90: 0.01},
+		// Equal masses: the tiebreak chain must still order them uniquely.
+		{N: 20, Mass: 2.0, Center: vec.V3{X: 0.9, Y: 0.1, Z: 0.4}, R50: 0.02, R90: 0.04},
+		{N: 20, Mass: 2.0, Center: vec.V3{X: 0.2, Y: 0.8, Z: 0.6}, R50: 0.03, R90: 0.05},
+	}
+}
+
+// TestEncodeCatalogDeterministic: encoding must be byte-identical however
+// the input slice is ordered — the property that makes products cacheable
+// by content hash.
+func TestEncodeCatalogDeterministic(t *testing.T) {
+	meta := CatalogFile{L: 1, Time: 0.5, Step: 16, LinkingLength: 0.2, MinSize: 10}
+	base := meta
+	base.Halos = testHalos()
+	want, err := EncodeCatalog(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Halo(nil), testHalos()...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		f := meta
+		f.Halos = shuffled
+		got, err := EncodeCatalog(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: shuffled input changed the encoding:\n%s\nvs\n%s", trial, got, want)
+		}
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	f := CatalogFile{L: 1, Time: 0.25, Step: 8, LinkingLength: 0.2, MinSize: 10, Halos: testHalos()}
+	b, err := EncodeCatalog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCatalog(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.L != 1 || got.Step != 8 || len(got.Halos) != 4 {
+		t.Fatalf("decoded %+v", got)
+	}
+	// IDs are ranks in canonical (mass-descending) order.
+	for i, h := range got.Halos {
+		if h.ID != i {
+			t.Fatalf("halo %d has id %d", i, h.ID)
+		}
+		if i > 0 && got.Halos[i-1].Mass < h.Mass {
+			t.Fatalf("catalog not mass-descending at %d", i)
+		}
+	}
+	// Re-encoding a decoded catalog reproduces the bytes exactly.
+	b2, err := EncodeCatalog(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("decode→encode did not round-trip byte-identically")
+	}
+}
+
+func TestDecodeCatalogRejectsNonCanonical(t *testing.T) {
+	f := CatalogFile{L: 1, Halos: testHalos()}
+	b, err := EncodeCatalog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap two halos' IDs by hand: decode must refuse.
+	tampered := bytes.Replace(b, []byte(`"id":0`), []byte(`"id":9`), 1)
+	if _, err := DecodeCatalog(tampered); err == nil {
+		t.Fatal("DecodeCatalog accepted non-canonical IDs")
+	}
+}
+
+func TestPowerRoundTripAndDeterminism(t *testing.T) {
+	f := PowerFile{
+		L: 1, Time: 0.5, Step: 4, NMesh: 32, NBins: 8,
+		K: []float64{6.28, 12.57, 25.13}, P: []float64{1e-4, 3e-5, 8e-6}, Count: []int{6, 30, 150},
+	}
+	b1, err := EncodePower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodePower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("EncodePower not deterministic")
+	}
+	got, err := DecodePower(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.K, f.K) || !reflect.DeepEqual(got.P, f.P) || !reflect.DeepEqual(got.Count, f.Count) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestEncodePowerRejectsMismatchedBins(t *testing.T) {
+	if _, err := EncodePower(PowerFile{K: []float64{1, 2}, P: []float64{1}, Count: []int{1, 1}}); err == nil {
+		t.Fatal("EncodePower accepted mismatched arrays")
+	}
+	b, _ := EncodePower(PowerFile{K: []float64{2, 1}, P: []float64{1, 1}, Count: []int{1, 1}})
+	if _, err := DecodePower(b); err == nil {
+		t.Fatal("DecodePower accepted non-ascending k")
+	}
+}
+
+// TestCatalogFromFoFDeterministic: the full measurement chain (FoF →
+// Catalog → encode) is byte-stable for a fixed particle set.
+func TestCatalogFromFoFDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, l = 300, 1.0
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	m := make([]float64, n)
+	// Three tight clumps plus background noise.
+	for i := 0; i < n; i++ {
+		c := float64(i%3)*0.3 + 0.15
+		if i < 240 {
+			x[i] = c + 0.01*rng.NormFloat64()
+			y[i] = c + 0.01*rng.NormFloat64()
+			z[i] = c + 0.01*rng.NormFloat64()
+		} else {
+			x[i], y[i], z[i] = rng.Float64(), rng.Float64(), rng.Float64()
+		}
+		x[i] -= l * float64(int(x[i]/l))
+		m[i] = 1.0 / n
+	}
+	groups := FoF(x, y, z, l, 0.05, 8)
+	if len(groups) == 0 {
+		t.Fatal("FoF found no groups in clustered input")
+	}
+	halos := Catalog(x, y, z, m, l, groups)
+	b1, err := EncodeCatalog(CatalogFile{L: l, LinkingLength: 0.05, MinSize: 8, Halos: halos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeCatalog(CatalogFile{L: l, LinkingLength: 0.05, MinSize: 8, Halos: Catalog(x, y, z, m, l, groups)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("FoF→Catalog→encode is not reproducible")
+	}
+}

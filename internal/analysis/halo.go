@@ -9,13 +9,51 @@ import (
 
 // Halo summarizes one friends-of-friends group: the science object of the
 // paper (the smallest dark-matter structures, whose central densities set
-// the annihilation signal).
+// the annihilation signal). The field order here is the canonical field
+// order of the serialized catalog (see EncodeCatalog) — do not reorder.
 type Halo struct {
-	N      int     // member count
-	Mass   float64 // total mass
-	Center vec.V3  // periodic center of mass
-	R50    float64 // half-mass radius
-	R90    float64 // radius enclosing 90% of the mass
+	ID     int     `json:"id"` // rank in the canonical catalog order
+	N      int     `json:"n"`  // member count
+	Mass   float64 `json:"mass"`
+	Center vec.V3  `json:"center"` // periodic center of mass
+	R50    float64 `json:"r50"`    // half-mass radius
+	R90    float64 `json:"r90"`    // radius enclosing 90% of the mass
+}
+
+// haloLess is the canonical total order on halos: mass descending, with
+// every remaining field as a tiebreak so equal-mass halos still order
+// deterministically. A total order (rather than sort-by-mass alone) is
+// what makes the serialized catalog byte-reproducible regardless of the
+// group order the FoF pass happened to emit.
+func haloLess(a, b Halo) bool {
+	if a.Mass != b.Mass {
+		return a.Mass > b.Mass
+	}
+	if a.N != b.N {
+		return a.N > b.N
+	}
+	if a.Center.X != b.Center.X {
+		return a.Center.X < b.Center.X
+	}
+	if a.Center.Y != b.Center.Y {
+		return a.Center.Y < b.Center.Y
+	}
+	if a.Center.Z != b.Center.Z {
+		return a.Center.Z < b.Center.Z
+	}
+	if a.R50 != b.R50 {
+		return a.R50 < b.R50
+	}
+	return a.R90 < b.R90
+}
+
+// SortHalos orders halos canonically in place and assigns IDs 0..n-1 in
+// that order.
+func SortHalos(halos []Halo) {
+	sort.Slice(halos, func(i, j int) bool { return haloLess(halos[i], halos[j]) })
+	for i := range halos {
+		halos[i].ID = i
+	}
 }
 
 // Catalog converts FoF groups (from FoF) into halo summaries, largest first.
@@ -67,7 +105,7 @@ func Catalog(x, y, z, m []float64, l float64, groups [][]int) []Halo {
 		}
 		out = append(out, h)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Mass > out[b].Mass })
+	SortHalos(out)
 	return out
 }
 

@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Audit is the verifiable-run-integrity walk behind the service plane's
+// GET /runs/{id}/integrity: it re-validates every checkpoint present under
+// cfg.Dir in full — manifest frame CRC, config fingerprint, geometry, and
+// every shard's size, CRC32C and verified snapshot payload — and re-walks
+// the SHA-256 manifest hash chain across them. Unlike Latest, which skips
+// damaged checkpoints looking for a usable one, Audit is strict: any
+// ckpt_* directory whose manifest is missing, torn or inconsistent fails
+// the audit, because a tampered or rotted run must be rejected, not
+// silently routed around. Returns the audited steps, oldest first.
+func Audit(cfg Config, ranks int) (steps []uint64, err error) {
+	cfg = cfg.withDefaults()
+	entries, err := cfg.FS.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: audit %s: %w", cfg.Dir, err)
+	}
+	var scans []scanned
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "ckpt_") {
+			continue
+		}
+		step, perr := strconv.ParseUint(strings.TrimPrefix(e.Name(), "ckpt_"), 10, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("checkpoint: audit: %s: unparseable step in name", e.Name())
+		}
+		dir := filepath.Join(cfg.Dir, e.Name())
+		b, rerr := cfg.FS.ReadFile(filepath.Join(dir, manifestName))
+		if rerr != nil {
+			return nil, fmt.Errorf("checkpoint: audit: %s: manifest unreadable: %w", e.Name(), rerr)
+		}
+		m, payload, derr := decodeManifest(b)
+		if derr != nil {
+			return nil, fmt.Errorf("checkpoint: audit: %s: %w", e.Name(), derr)
+		}
+		if m.Step != step {
+			return nil, fmt.Errorf("checkpoint: audit: %s: manifest claims step %d", e.Name(), m.Step)
+		}
+		scans = append(scans, scanned{dir: dir, m: m, payload: payload})
+	}
+	sort.Slice(scans, func(i, j int) bool { return scans[i].m.Step < scans[j].m.Step })
+	for i, sc := range scans {
+		if err := validate(cfg, sc, ranks); err != nil {
+			return nil, fmt.Errorf("checkpoint: audit: %s: %w", filepath.Base(sc.dir), err)
+		}
+		if i > 0 {
+			if want := manifestHash(scans[i-1].payload); sc.m.PrevHash != want {
+				return nil, fmt.Errorf("checkpoint: audit: chain broken: %s records prev_hash %.12s…, but %s hashes to %.12s…",
+					filepath.Base(sc.dir), sc.m.PrevHash, filepath.Base(scans[i-1].dir), want)
+			}
+		}
+		steps = append(steps, sc.m.Step)
+	}
+	if len(steps) == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	return steps, nil
+}

@@ -1,0 +1,157 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"time"
+
+	"greem/internal/store"
+)
+
+// StoreFS adapts a content-addressed store.Store to the FS interface the
+// checkpoint writer and reader use, so checkpoints write through the
+// service plane's blob store instead of bare files: shard and manifest
+// bytes become immutable content-addressed blobs, and the checkpoint's
+// file names become mutable links onto them. The temp-write + rename
+// protocol the writer already speaks maps onto link operations (Create
+// buffers in memory; Close commits the blob under the temp name; Rename
+// relinks), so the manifest-rename commit point and every fault-injection
+// test above this layer keep their meaning.
+//
+// Two integrity layers stack: the manifest's CRC32C/size accounting and
+// SHA-256 hash chain (semantic: "these are the shards this run wrote"),
+// and the store's ref-equals-hash invariant (physical: "these bytes are
+// the ones some writer stored"). The run-integrity endpoint in
+// internal/serve re-walks both.
+func StoreFS(st store.Store) FS { return &storeFS{st: st} }
+
+type storeFS struct{ st store.Store }
+
+// norm maps the slash paths the checkpoint layer builds with filepath.Join
+// onto store names.
+func norm(p string) string { return path.Clean(strings.TrimPrefix(p, "./")) }
+
+func (s *storeFS) MkdirAll(string, fs.FileMode) error { return nil }
+
+func (s *storeFS) Create(p string) (File, error) {
+	return &storeFile{fs: s, name: norm(p)}, nil
+}
+
+func (s *storeFS) Rename(oldpath, newpath string) error {
+	ref, err := s.st.Resolve(norm(oldpath))
+	if err != nil {
+		return err
+	}
+	if err := s.st.Link(norm(newpath), ref); err != nil {
+		return err
+	}
+	return s.st.Unlink(norm(oldpath))
+}
+
+func (s *storeFS) Remove(p string) error { return s.st.Unlink(norm(p)) }
+
+func (s *storeFS) RemoveAll(p string) error {
+	names, err := s.st.List(norm(p) + "/")
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := s.st.Unlink(name); err != nil && !errors.Is(err, store.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDir lists the immediate children of p: deeper-nested names appear as
+// synthetic directories (a store has no directories of its own, but the
+// checkpoint scanner expects ckpt_<step> to look like one).
+func (s *storeFS) ReadDir(p string) ([]fs.DirEntry, error) {
+	prefix := norm(p) + "/"
+	names, err := s.st.List(prefix)
+	if err != nil {
+		return nil, err
+	}
+	children := make(map[string]bool) // name → is directory
+	for _, name := range names {
+		rest := strings.TrimPrefix(name, prefix)
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			children[rest[:i]] = true
+		} else if !children[rest] {
+			children[rest] = false
+		}
+	}
+	out := make([]fs.DirEntry, 0, len(children))
+	for name, isDir := range children {
+		out = append(out, storeDirEntry{name: name, dir: isDir})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (s *storeFS) ReadFile(p string) ([]byte, error) {
+	ref, err := s.st.Resolve(norm(p))
+	if err != nil {
+		return nil, err
+	}
+	return s.st.Get(ref)
+}
+
+func (s *storeFS) Stat(p string) (fs.FileInfo, error) {
+	b, err := s.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	return storeFileInfo{name: path.Base(norm(p)), size: int64(len(b))}, nil
+}
+
+// storeFile buffers writes and commits them as one content-addressed blob
+// on Close. Sync is a no-op: durability is the backing store's rename
+// discipline, and the commit point above this layer is the manifest link.
+type storeFile struct {
+	fs   *storeFS
+	name string
+	buf  bytes.Buffer
+}
+
+func (f *storeFile) Write(p []byte) (int, error) { return f.buf.Write(p) }
+func (f *storeFile) Sync() error                 { return nil }
+
+func (f *storeFile) Close() error {
+	_, err := f.fs.st.PutNamed(f.name, f.buf.Bytes())
+	return err
+}
+
+type storeDirEntry struct {
+	name string
+	dir  bool
+}
+
+func (e storeDirEntry) Name() string { return e.name }
+func (e storeDirEntry) IsDir() bool  { return e.dir }
+func (e storeDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e storeDirEntry) Info() (fs.FileInfo, error) {
+	return nil, fmt.Errorf("checkpoint: store entries carry no FileInfo")
+}
+
+type storeFileInfo struct {
+	name string
+	size int64
+}
+
+func (i storeFileInfo) Name() string       { return i.name }
+func (i storeFileInfo) Size() int64        { return i.size }
+func (i storeFileInfo) Mode() fs.FileMode  { return 0o644 }
+func (i storeFileInfo) ModTime() time.Time { return time.Time{} }
+func (i storeFileInfo) IsDir() bool        { return false }
+func (i storeFileInfo) Sys() any           { return nil }

@@ -1,0 +1,186 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"greem/internal/mpi"
+	"greem/internal/sim"
+	"greem/internal/store"
+)
+
+// runAndCheckpoint runs a small deterministic 2-rank simulation, writing a
+// checkpoint every step through the given FS, and returns the final
+// particle state (rank-major, ID-sorted).
+func runAndCheckpoint(t *testing.T, fsys FS, dir string, steps int) []sim.Particle {
+	t.Helper()
+	cfg := testSimConfig()
+	parts := makeParticles(7, 160, 0.05)
+	ckCfg := Config{Dir: dir, Sim: cfg, FS: fsys}
+	var final []sim.Particle
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		s, err := sim.New(c, cfg, sliceFor(parts, c.Rank(), 2))
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < steps; i++ {
+			if err := s.Step(); err != nil {
+				panic(err)
+			}
+			if _, err := Write(c, ckCfg, s); err != nil {
+				panic(err)
+			}
+		}
+		all := s.GatherAll(0)
+		if c.Rank() == 0 {
+			final = byID(all)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+// TestStoreFSWriteRestore drives the full checkpoint plane through a
+// content-addressed store instead of a real filesystem: write, validate,
+// chain-check, restore, and confirm the restored trajectory matches.
+func TestStoreFSWriteRestore(t *testing.T) {
+	st := store.NewMem()
+	fsys := StoreFS(st)
+	const dir = "runs/job1/ckpt"
+	final := runAndCheckpoint(t, fsys, dir, 3)
+
+	cfg := testSimConfig()
+	ckCfg := Config{Dir: dir, Sim: cfg, FS: fsys}
+	if err := ValidateChain(ckCfg); err != nil {
+		t.Fatalf("chain through store: %v", err)
+	}
+	steps, err := Audit(ckCfg, 2)
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if len(steps) != 3 || steps[0] != 1 || steps[2] != 3 {
+		t.Fatalf("audited steps %v, want [1 2 3]", steps)
+	}
+	// Every blob in the store must hash to its ref.
+	if n, err := store.VerifyNamed(st, dir+"/"); err != nil || n == 0 {
+		t.Fatalf("store verify: %d blobs, err %v", n, err)
+	}
+
+	// Restore from the store and run to the same endpoint as a fresh run
+	// that never stopped.
+	var resumed []sim.Particle
+	err = mpi.Run(2, func(c *mpi.Comm) {
+		s, err := Restore(c, ckCfg)
+		if err != nil {
+			panic(err)
+		}
+		all := s.GatherAll(0)
+		if c.Rank() == 0 {
+			resumed = byID(all)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != len(final) {
+		t.Fatalf("resumed %d particles, want %d", len(resumed), len(final))
+	}
+	for i := range resumed {
+		if resumed[i] != final[i] {
+			t.Fatalf("particle %d differs after store restore:\n got %+v\nwant %+v", i, resumed[i], final[i])
+		}
+	}
+}
+
+// TestStoreFSAuditRejectsFlippedBit is the acceptance property of the
+// integrity endpoint: one flipped bit in any stored checkpoint blob must
+// fail the audit (via the manifest CRC accounting) and the store-level
+// re-hash (ref no longer matches content).
+func TestStoreFSAuditRejectsFlippedBit(t *testing.T) {
+	st := store.NewMem()
+	fsys := StoreFS(st)
+	const dir = "runs/job1/ckpt"
+	runAndCheckpoint(t, fsys, dir, 2)
+
+	ckCfg := Config{Dir: dir, Sim: testSimConfig(), FS: fsys}
+	if _, err := Audit(ckCfg, 2); err != nil {
+		t.Fatalf("untampered audit: %v", err)
+	}
+
+	ref, err := st.Resolve(dir + "/ckpt_00000001/shard_0000.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Mutate(ref, func(b []byte) { b[100] ^= 0x01 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Audit(ckCfg, 2); err == nil {
+		t.Fatal("audit accepted a flipped bit in a shard blob")
+	}
+	if _, err := store.VerifyNamed(st, dir+"/"); err == nil {
+		t.Fatal("store verify accepted a flipped bit")
+	}
+}
+
+// TestStoreFSAuditStrictOnMissingManifest: unlike Latest (which skips),
+// Audit must fail when a checkpoint directory has shards but no manifest.
+func TestStoreFSAuditStrictOnMissingManifest(t *testing.T) {
+	st := store.NewMem()
+	fsys := StoreFS(st)
+	const dir = "runs/job1/ckpt"
+	runAndCheckpoint(t, fsys, dir, 2)
+
+	if err := fsys.Remove(dir + "/ckpt_00000002/MANIFEST"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Audit(Config{Dir: dir, Sim: testSimConfig(), FS: fsys}, 2); err == nil {
+		t.Fatal("audit accepted a checkpoint with a missing manifest")
+	}
+}
+
+// TestStoreFSPrune: Keep through the store adapter removes the oldest
+// links, and the surviving manifests still chain.
+func TestStoreFSPrune(t *testing.T) {
+	st := store.NewMem()
+	fsys := StoreFS(st)
+	const dir = "runs/job1/ckpt"
+	cfg := testSimConfig()
+	parts := makeParticles(9, 120, 0.05)
+	ckCfg := Config{Dir: dir, Sim: cfg, FS: fsys, Keep: 2}
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		s, err := sim.New(c, cfg, sliceFor(parts, c.Rank(), 2))
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := s.Step(); err != nil {
+				panic(err)
+			}
+			if _, err := Write(c, ckCfg, s); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := Audit(ckCfg, 2)
+	if err != nil {
+		t.Fatalf("audit after prune: %v", err)
+	}
+	if len(steps) != 2 || steps[0] != 3 || steps[1] != 4 {
+		t.Fatalf("surviving steps %v, want [3 4]", steps)
+	}
+	if names, _ := st.List(dir + "/ckpt_00000001/"); len(names) != 0 {
+		t.Fatalf("pruned checkpoint still linked: %v", names)
+	}
+}
+
+func TestAuditNoCheckpoints(t *testing.T) {
+	st := store.NewMem()
+	if _, err := Audit(Config{Dir: "runs/none/ckpt", Sim: testSimConfig(), FS: StoreFS(st)}, 2); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package serve
+
+import "sync"
+
+// Flight is the request-batching primitive of the serving layer: a
+// singleflight group. Concurrent Do calls with the same key share one
+// execution of fn — the first caller (the leader) runs it, everyone else
+// blocks until the leader finishes and receives the same result — so a
+// thundering herd of identical product fetches costs one store read plus
+// one compute. Calls with different keys proceed independently; nothing
+// serializes behind an unrelated key's leader.
+type Flight struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// NewFlight returns an empty group.
+func NewFlight() *Flight { return &Flight{m: make(map[string]*flightCall)} }
+
+// Do executes fn once per concurrent set of callers with the same key.
+// shared reports whether this caller received the leader's result rather
+// than running fn itself. The result slice is shared between callers and
+// must be treated as immutable.
+func (f *Flight) Do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	f.mu.Lock()
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	return c.val, false, c.err
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedup parks a herd behind one blocked leader and checks the
+// whole herd shares the leader's single execution.
+func TestFlightDedup(t *testing.T) {
+	f := NewFlight()
+	const herd = 100
+
+	release := make(chan struct{})
+	var calls atomic.Int64
+	fn := func() ([]byte, error) {
+		calls.Add(1)
+		<-release
+		return []byte("payload"), nil
+	}
+
+	// Leader first, so every herd member finds the call in flight.
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(leaderIn)
+		val, shared, err := f.Do("k", fn)
+		if err != nil || string(val) != "payload" {
+			t.Errorf("leader: val=%q err=%v", val, err)
+		}
+		if shared {
+			sharedCount.Add(1)
+		}
+	}()
+	<-leaderIn
+	// Wait until the leader is actually inside fn before starting the herd.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	for i := 0; i < herd-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, shared, err := f.Do("k", fn)
+			if err != nil || string(val) != "payload" {
+				t.Errorf("follower: val=%q err=%v", val, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Give the herd time to park, then let the leader finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != herd-1 {
+		t.Fatalf("%d callers shared, want %d", got, herd-1)
+	}
+}
+
+// TestFlightMixedKeysDoNotSerialize blocks one key's leader and checks a
+// different key's call completes while the first is still held.
+func TestFlightMixedKeysDoNotSerialize(t *testing.T) {
+	f := NewFlight()
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+
+	go f.Do("slow", func() ([]byte, error) {
+		close(entered)
+		<-hold
+		return nil, nil
+	})
+	<-entered
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		val, shared, err := f.Do("fast", func() ([]byte, error) { return []byte("hi"), nil })
+		if err != nil || shared || string(val) != "hi" {
+			t.Errorf("fast key: val=%q shared=%v err=%v", val, shared, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("call with a different key serialized behind the blocked leader")
+	}
+	close(hold)
+}
+
+// TestFlightSequential checks that non-overlapping calls each run fn —
+// the group batches concurrency, it is not a cache.
+func TestFlightSequential(t *testing.T) {
+	f := NewFlight()
+	calls := 0
+	for i := 0; i < 3; i++ {
+		val, shared, err := f.Do("k", func() ([]byte, error) {
+			calls++
+			return []byte(fmt.Sprint(calls)), nil
+		})
+		if err != nil || shared {
+			t.Fatalf("iteration %d: shared=%v err=%v", i, shared, err)
+		}
+		if string(val) != fmt.Sprint(i+1) {
+			t.Fatalf("iteration %d: val=%q", i, val)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}
+
+// TestFlightErrorShared checks an error propagates to every sharer.
+func TestFlightErrorShared(t *testing.T) {
+	f := NewFlight()
+	boom := fmt.Errorf("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 10)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		_, _, errs[0] = f.Do("k", func() ([]byte, error) { <-release; return nil, boom })
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	for i := 1; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = f.Do("k", func() ([]byte, error) { return nil, nil })
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != boom {
+			t.Fatalf("caller %d: err=%v, want boom", i, err)
+		}
+	}
+}

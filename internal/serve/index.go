@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"greem/internal/store"
+)
+
+// ErrUnknownJob reports a job ID the index has no record of.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// Index is the run/catalog index: the queryable record of jobs and of the
+// products cached for each. It is deliberately database-shaped — every
+// method is a single keyed read or write with no cross-call state — so a
+// SQL- or KV-backed implementation can replace Mem without touching the
+// manager or the HTTP layer. Implementations must be safe for concurrent
+// use.
+type Index interface {
+	// CreateJob records a new job; the ID must be fresh.
+	CreateJob(info JobInfo) error
+	// UpdateJob applies mutate to the stored record under the index's
+	// lock; mutate must not block.
+	UpdateJob(id string, mutate func(*JobInfo)) error
+	// GetJob returns a copy of the record, or ErrUnknownJob.
+	GetJob(id string) (JobInfo, error)
+	// ListJobs returns copies of every record, newest submission first.
+	ListJobs() ([]JobInfo, error)
+
+	// PutProduct records that the product with the given canonical key is
+	// cached at ref for the job.
+	PutProduct(jobID, key string, ref store.Ref) error
+	// GetProduct returns the cached ref, or ErrUnknownJob /
+	// store.ErrNotFound.
+	GetProduct(jobID, key string) (store.Ref, error)
+	// ListProducts returns the job's cached product keys, sorted.
+	ListProducts(jobID string) ([]string, error)
+}
+
+// Mem is the in-memory Index used by tests and the single-node daemon.
+type Mem struct {
+	mu       sync.RWMutex
+	seq      int64
+	jobs     map[string]*JobInfo
+	order    []string // submission order
+	products map[string]map[string]store.Ref
+}
+
+// NewMem returns an empty in-memory index.
+func NewMem() *Mem {
+	return &Mem{jobs: make(map[string]*JobInfo), products: make(map[string]map[string]store.Ref)}
+}
+
+// NextID issues a process-unique job ID.
+func (m *Mem) NextID() string {
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("run-%06d", m.seq)
+	m.mu.Unlock()
+	return id
+}
+
+func (m *Mem) CreateJob(info JobInfo) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[info.ID]; ok {
+		return fmt.Errorf("serve: job %s already exists", info.ID)
+	}
+	cp := info
+	m.jobs[info.ID] = &cp
+	m.order = append(m.order, info.ID)
+	return nil
+}
+
+func (m *Mem) UpdateJob(id string, mutate func(*JobInfo)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	mutate(j)
+	return nil
+}
+
+func (m *Mem) GetJob(id string) (JobInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return *j, nil
+}
+
+func (m *Mem) ListJobs() ([]JobInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]JobInfo, 0, len(m.order))
+	for i := len(m.order) - 1; i >= 0; i-- {
+		out = append(out, *m.jobs[m.order[i]])
+	}
+	return out, nil
+}
+
+func (m *Mem) PutProduct(jobID, key string, ref store.Ref) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[jobID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	p := m.products[jobID]
+	if p == nil {
+		p = make(map[string]store.Ref)
+		m.products[jobID] = p
+	}
+	p[key] = ref
+	return nil
+}
+
+func (m *Mem) GetProduct(jobID, key string) (store.Ref, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.jobs[jobID]; !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	ref, ok := m.products[jobID][key]
+	if !ok {
+		return "", fmt.Errorf("product %q: %w", key, store.ErrNotFound)
+	}
+	return ref, nil
+}
+
+func (m *Mem) ListProducts(jobID string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.jobs[jobID]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	keys := make([]string, 0, len(m.products[jobID]))
+	for k := range m.products[jobID] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

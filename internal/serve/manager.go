@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"greem/internal/store"
+)
+
+// ErrShuttingDown reports a submission against a closing manager.
+var ErrShuttingDown = errors.New("serve: manager is shutting down")
+
+// ManagerConfig wires a Manager.
+type ManagerConfig struct {
+	Store store.Store
+	Index Index
+	// Runner executes jobs; nil ⇒ SimRunner.
+	Runner Runner
+	// QueueDepth bounds the accepted-but-unstarted backlog (0 ⇒ 64);
+	// submissions beyond it are rejected rather than buffered unboundedly.
+	QueueDepth int
+	// NewID issues job IDs; nil ⇒ the Index's NextID when it is a *Mem,
+	// else a sequence counter.
+	NewID func() string
+	// Logf receives job lifecycle diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job lifecycle: Submit validates and queues, a single
+// executor goroutine drains the queue (simulation jobs are CPU-bound
+// whole-machine affairs — running them one at a time is the point, the
+// concurrency budget belongs to the ranks inside a job), and every state
+// transition lands in the Index where the HTTP layer reads it.
+type Manager struct {
+	store  store.Store
+	index  Index
+	runner Runner
+	logf   func(string, ...any)
+	newID  func() string
+
+	queue  chan string
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	seq    int64
+	closed bool
+}
+
+// NewManager starts a manager and its executor goroutine.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Store == nil || cfg.Index == nil {
+		return nil, fmt.Errorf("serve: manager needs a store and an index")
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = SimRunner
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		store: cfg.Store, index: cfg.Index, runner: cfg.Runner, logf: cfg.Logf,
+		newID: cfg.NewID,
+		queue: make(chan string, cfg.QueueDepth),
+		ctx:   ctx, cancel: cancel,
+	}
+	if m.newID == nil {
+		if mem, ok := cfg.Index.(*Mem); ok {
+			m.newID = mem.NextID
+		} else {
+			m.newID = func() string {
+				m.mu.Lock()
+				m.seq++
+				id := fmt.Sprintf("run-%06d", m.seq)
+				m.mu.Unlock()
+				return id
+			}
+		}
+	}
+	m.wg.Add(1)
+	go m.executor()
+	return m, nil
+}
+
+// Submit validates spec, records the job as queued and enqueues it.
+func (m *Manager) Submit(spec JobSpec) (JobInfo, error) {
+	if err := spec.Validate(); err != nil {
+		return JobInfo{}, err
+	}
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return JobInfo{}, ErrShuttingDown
+	}
+	info := JobInfo{
+		ID: m.newID(), Spec: spec, State: StateQueued,
+		TotalSteps: spec.Steps, SubmittedAt: time.Now().UTC(),
+	}
+	if err := m.index.CreateJob(info); err != nil {
+		return JobInfo{}, err
+	}
+	select {
+	case m.queue <- info.ID:
+	default:
+		m.index.UpdateJob(info.ID, func(j *JobInfo) {
+			j.State = StateFailed
+			j.Error = "queue full"
+			j.FinishedAt = time.Now().UTC()
+		})
+		return JobInfo{}, fmt.Errorf("serve: queue full (%d jobs waiting)", cap(m.queue))
+	}
+	m.logf("serve: job %s queued (np=%d ranks=%d steps=%d)", info.ID, spec.NP, spec.Ranks, spec.Steps)
+	return info, nil
+}
+
+// Close stops accepting jobs, cancels the running one and waits for the
+// executor to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.cancel()
+	m.wg.Wait()
+}
+
+func (m *Manager) executor() {
+	defer m.wg.Done()
+	for id := range m.queue {
+		if m.ctx.Err() != nil {
+			m.index.UpdateJob(id, func(j *JobInfo) {
+				j.State = StateFailed
+				j.Error = "daemon shut down before the job started"
+				j.FinishedAt = time.Now().UTC()
+			})
+			continue
+		}
+		m.runJob(id)
+	}
+}
+
+func (m *Manager) runJob(id string) {
+	info, err := m.index.GetJob(id)
+	if err != nil {
+		m.logf("serve: job %s vanished from the index: %v", id, err)
+		return
+	}
+	m.index.UpdateJob(id, func(j *JobInfo) {
+		j.State = StateRunning
+		j.StartedAt = time.Now().UTC()
+	})
+	m.logf("serve: job %s running", id)
+
+	update := func(u RunUpdate) {
+		m.index.UpdateJob(id, func(j *JobInfo) {
+			if u.Restart {
+				j.Restarts++
+				return
+			}
+			j.Step = u.Step
+			j.TotalSteps = u.TotalSteps
+			j.Time = u.Time
+			if u.Checkpointed {
+				j.LastCheckpointStep = u.Step
+				if !j.State.Terminal() {
+					j.State = StateCheckpointed
+				}
+			}
+			if u.SnapshotRef != "" {
+				j.SnapshotRef = u.SnapshotRef
+			}
+			if u.Telemetry != nil {
+				j.Telemetry = u.Telemetry
+			}
+		})
+	}
+
+	err = m.runner(m.ctx, id, info.Spec, m.store, update)
+	m.index.UpdateJob(id, func(j *JobInfo) {
+		j.FinishedAt = time.Now().UTC()
+		if err != nil {
+			j.State = StateFailed
+			j.Error = err.Error()
+		} else {
+			j.State = StateDone
+		}
+	})
+	if err != nil {
+		m.logf("serve: job %s failed: %v", id, err)
+	} else {
+		m.logf("serve: job %s done", id)
+	}
+}

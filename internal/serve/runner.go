@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"greem/internal/checkpoint"
+	"greem/internal/ic"
+	"greem/internal/mpi"
+	"greem/internal/sim"
+	"greem/internal/snapshot"
+	"greem/internal/store"
+	"greem/internal/telemetry"
+)
+
+// RunUpdate is one progress push from inside a running job, applied to the
+// job's Index record by the manager. Pushes originate on rank 0 at step
+// boundaries (and from the degradation loop between attempts), so they
+// carry safely copyable state only.
+type RunUpdate struct {
+	Step       int
+	TotalSteps int
+	Time       float64 // scale factor
+
+	Checkpointed bool // a checkpoint committed at Step
+	Restart      bool // the degradation loop resumed after an abort
+
+	SnapshotRef store.Ref // non-empty once the final snapshot is stored
+
+	Telemetry []telemetry.MetricSnapshot // rank-0 registry snapshot
+}
+
+// Runner executes one job against the store, pushing progress through
+// update. The production implementation is SimRunner; tests inject stubs.
+type Runner func(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error
+
+// errCancelled is the rank-0 panic value that aborts the world when the
+// daemon is shutting down; the degradation loop translates it back into
+// ctx.Err instead of retrying.
+var errCancelled = errors.New("serve: job cancelled")
+
+// SimRunner runs the distributed TreePM simulation in-process: generate
+// initial conditions (unless a checkpoint to resume from exists), run
+// spec.Ranks ranks as goroutines with checkpoints written through the
+// content-addressed store, and on completion store the final ID-ordered
+// snapshot as the root of the job's product tree. An aborted world (a lost
+// rank) restarts from the last valid checkpoint up to spec.MaxRestarts
+// times — the same degradation loop the greem driver uses, pointed at the
+// store instead of a filesystem.
+func SimRunner(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error {
+	spec = spec.withDefaults()
+	cfg, model, aStart, _, err := simConfigFromSpec(spec)
+	if err != nil {
+		return err
+	}
+	fsys := checkpoint.StoreFS(st)
+	dir := ckptDir(id)
+
+	// Skip IC generation when a checkpoint will be restored anyway.
+	var parts []sim.Particle
+	canResume := false
+	if spec.CheckpointEvery > 0 {
+		if _, ok := checkpoint.LatestStep(checkpoint.Config{Dir: dir, Sim: cfg, FS: fsys}, spec.Ranks); ok {
+			canResume = true
+		}
+	}
+	if !canResume {
+		ps := ic.NeutralinoCutoff{Amp: spec.Amp, KCut: 2 * math.Pi / cfg.L * float64(spec.NP) / 4}
+		parts, err = ic.Generate(ic.Config{
+			NP: spec.NP, NGrid: cfg.NMesh, L: cfg.L, PS: ps, Seed: spec.Seed,
+			Model: model, AInit: aStart, TotalMass: 1.0,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: job %s: generate ICs: %w", id, err)
+		}
+	}
+
+	// The chaos-drill hook: kill the last rank at the start of its n-th
+	// step, once across restarts.
+	var hook mpi.KillHook
+	if spec.FailRankAtStep > 0 {
+		var mu sync.Mutex
+		count, fired := 0, false
+		target := spec.Ranks - 1
+		hook = func(rank int, point string) bool {
+			if rank != target || point != "sim/step" {
+				return false
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if fired {
+				return false
+			}
+			count++
+			if count == spec.FailRankAtStep {
+				fired = true
+				return true
+			}
+			return false
+		}
+	}
+
+	runOnce := func() error {
+		return mpi.RunWithKillHook(spec.Ranks, hook, func(c *mpi.Comm) {
+			rec := telemetry.NewRecorder(c.Rank(), nil)
+			rcfg := cfg
+			rcfg.Recorder = rec
+			ckCfg := checkpoint.Config{Dir: dir, Sim: rcfg, FS: fsys, Keep: spec.CheckpointKeep, Recorder: rec}
+			var s *sim.Sim
+			if spec.CheckpointEvery > 0 {
+				var rerr error
+				s, rerr = checkpoint.Restore(c, ckCfg)
+				if rerr != nil && !errors.Is(rerr, checkpoint.ErrNoCheckpoint) {
+					panic(rerr)
+				}
+			}
+			if s == nil {
+				var mine []sim.Particle
+				for i := range parts {
+					if i%spec.Ranks == c.Rank() {
+						mine = append(mine, parts[i])
+					}
+				}
+				var nerr error
+				s, nerr = sim.New(c, rcfg, mine)
+				if nerr != nil {
+					panic(nerr)
+				}
+			}
+			for s.StepIndex() < spec.Steps {
+				if c.Rank() == 0 && ctx.Err() != nil {
+					panic(errCancelled)
+				}
+				if err := s.Step(); err != nil {
+					panic(err)
+				}
+				idx := s.StepIndex()
+				ckpt := false
+				if spec.CheckpointEvery > 0 && idx%spec.CheckpointEvery == 0 {
+					if _, err := checkpoint.Write(c, ckCfg, s); err != nil {
+						panic(err)
+					}
+					ckpt = true
+				}
+				if c.Rank() == 0 {
+					update(RunUpdate{
+						Step: idx, TotalSteps: spec.Steps, Time: s.Time(),
+						Checkpointed: ckpt, Telemetry: rec.Registry().Snapshot(),
+					})
+				}
+			}
+			all := s.GatherAll(0)
+			if c.Rank() == 0 {
+				sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+				hdr := snapshot.Header{L: cfg.L, Time: s.Time(), G: cfg.G, StepIdx: uint64(s.StepIndex())}
+				ref, serr := snapshot.SaveTo(st, snapshotName(id), hdr, all)
+				if serr != nil {
+					panic(serr)
+				}
+				update(RunUpdate{
+					Step: s.StepIndex(), TotalSteps: spec.Steps, Time: s.Time(),
+					SnapshotRef: ref, Telemetry: rec.Registry().Snapshot(),
+				})
+			}
+			c.Barrier()
+		})
+	}
+
+	for attempt := 0; ; attempt++ {
+		err := runOnce()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("serve: job %s: %w", id, ctx.Err())
+		}
+		if spec.CheckpointEvery > 0 && mpi.IsAborted(err) && attempt < spec.MaxRestarts {
+			update(RunUpdate{Restart: true})
+			continue
+		}
+		return fmt.Errorf("serve: job %s: %w", id, err)
+	}
+}

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"greem/internal/checkpoint"
+	"greem/internal/store"
+	"greem/internal/telemetry"
+)
+
+// Server is the HTTP face of the service plane. Routes:
+//
+//	GET  /healthz                    liveness probe
+//	POST /runs                       submit a JobSpec, returns the queued JobInfo
+//	GET  /runs                       list jobs, newest first
+//	GET  /runs/{id}                  one job's status, progress and telemetry
+//	GET  /runs/{id}/products         cached product keys for the job
+//	GET  /runs/{id}/products/{kind}  fetch/compute a product (snapshot, halos, pk, density)
+//	GET  /runs/{id}/integrity        re-verify the run's checkpoint hash chain and blobs
+//	GET  /metrics                    Prometheus text: server counters + per-job sim telemetry
+type Server struct {
+	mgr      *Manager
+	index    Index
+	store    store.Store
+	products *Products
+
+	// reg holds server-side counters. telemetry.Registry is not safe for
+	// concurrent use, so every touch — increment or render — happens under
+	// mu; sim telemetry arrives as frozen snapshots through the Index and
+	// needs no lock of its own.
+	mu  sync.Mutex
+	reg *telemetry.Registry
+}
+
+// NewServer wires the HTTP layer over a manager, its index and its store.
+func NewServer(mgr *Manager, idx Index, st store.Store) *Server {
+	return &Server{
+		mgr: mgr, index: idx, store: st,
+		products: NewProducts(st, idx),
+		reg:      telemetry.NewRegistry(),
+	}
+}
+
+// Handler returns the routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /runs/{id}/products", s.handleProductList)
+	mux.HandleFunc("GET /runs/{id}/products/{kind}", s.handleProduct)
+	mux.HandleFunc("GET /runs/{id}/integrity", s.handleIntegrity)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) count(name string, labels ...telemetry.Label) {
+	s.mu.Lock()
+	s.reg.Counter(name, labels...).Add(1)
+	s.mu.Unlock()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// jobStatus maps index errors to HTTP codes.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (JobInfo, bool) {
+	job, err := s.index.GetJob(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownJob) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return JobInfo{}, false
+	}
+	return job, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "healthz"))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "submit"))
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	info, err := s.mgr.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrShuttingDown) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "list"))
+	jobs, err := s.index.ListJobs()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "get"))
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleProductList(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "product_list"))
+	keys, err := s.index.ListProducts(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownJob) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Products []string `json:"products"`
+	}{Products: keys})
+}
+
+// productRequest parses the query parameters for one product kind.
+func productRequest(r *http.Request) (ProductRequest, error) {
+	q := r.URL.Query()
+	req := ProductRequest{Kind: r.PathValue("kind")}
+	var err error
+	getInt := func(name string, dst *int) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		v, perr := strconv.Atoi(q.Get(name))
+		if perr != nil {
+			err = fmt.Errorf("parameter %s: %w", name, perr)
+			return
+		}
+		*dst = v
+	}
+	getInt("lo", &req.Lo)
+	getInt("hi", &req.Hi)
+	getInt("min_size", &req.MinSize)
+	getInt("nmesh", &req.NMesh)
+	getInt("nbins", &req.NBins)
+	getInt("n", &req.NPix)
+	if q.Has("b") {
+		v, perr := strconv.ParseFloat(q.Get("b"), 64)
+		if perr != nil {
+			return req, fmt.Errorf("parameter b: %w", perr)
+		}
+		req.B = v
+	}
+	return req, err
+}
+
+func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "product"))
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	req, err := productRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if job.SnapshotRef == "" {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s has no final snapshot yet (state %s)", job.ID, job.State))
+		return
+	}
+	data, shared, err := s.products.Get(job, req)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if _, kerr := req.Key(); kerr != nil {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err)
+		return
+	}
+	s.count("greemd_product_requests_total", telemetry.L("kind", req.Kind))
+	if shared {
+		s.count("greemd_product_flight_shared_total", telemetry.L("kind", req.Kind))
+	}
+	w.Header().Set("Content-Type", req.ContentType())
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// IntegrityReport is the response of GET /runs/{id}/integrity: the result
+// of re-walking the run's checkpoint hash chain against store contents and
+// re-hashing every blob the run has named.
+type IntegrityReport struct {
+	RunID string `json:"run_id"`
+	OK    bool   `json:"ok"`
+	// BlobsVerified counts named blobs whose content re-hashed to their ref
+	// (the physical layer of the check).
+	BlobsVerified int `json:"blobs_verified"`
+	// CheckpointSteps lists the steps whose manifests validated and chained
+	// (the semantic layer). Empty when the job never checkpointed.
+	CheckpointSteps []uint64 `json:"checkpoint_steps,omitempty"`
+	Error           string   `json:"error,omitempty"`
+}
+
+func (s *Server) handleIntegrity(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "integrity"))
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	rep := IntegrityReport{RunID: job.ID, OK: true}
+
+	// Physical layer: every blob the run named must hash back to its ref.
+	checked, err := store.VerifyNamed(s.store, runPrefix(job.ID))
+	rep.BlobsVerified = checked
+	if err != nil {
+		rep.OK = false
+		rep.Error = err.Error()
+		writeJSON(w, http.StatusConflict, rep)
+		return
+	}
+
+	// Semantic layer: the checkpoint manifests must decode, validate and
+	// hash-chain. A job that never checkpointed legitimately has none.
+	cfg, _, _, _, err := simConfigFromSpec(job.Spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	steps, err := checkpoint.Audit(checkpoint.Config{
+		Dir: ckptDir(job.ID), Sim: cfg, FS: checkpoint.StoreFS(s.store),
+	}, job.Spec.Ranks)
+	switch {
+	case err == nil:
+		rep.CheckpointSteps = steps
+	case errors.Is(err, checkpoint.ErrNoCheckpoint) && job.Spec.CheckpointEvery == 0:
+		// Nothing to audit, and nothing was promised.
+	default:
+		rep.OK = false
+		rep.Error = err.Error()
+		writeJSON(w, http.StatusConflict, rep)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "metrics"))
+
+	// Server-side counters, snapshotted under the lock.
+	s.mu.Lock()
+	all := s.reg.Snapshot()
+	s.mu.Unlock()
+
+	// Per-job simulation telemetry: the frozen rank-0 snapshots pushed at
+	// step boundaries, labelled by job.
+	jobs, err := s.index.ListJobs()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for _, job := range jobs {
+		for _, m := range job.Telemetry {
+			m.Labels = append(append([]telemetry.Label(nil), m.Labels...), telemetry.L("job", job.ID))
+			all = append(all, m)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Name != all[j].Name {
+			return all[i].Name < all[j].Name
+		}
+		return all[i].Key() < all[j].Key()
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheusSnapshots(w, all)
+}

@@ -13,6 +13,7 @@ package snapshot
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -213,6 +214,49 @@ func readLimited(r io.Reader, size int64) (Header, []sim.Particle, Verification,
 		return hdr, nil, Legacy, fmt.Errorf("snapshot: CRC32C mismatch: payload %#08x, footer %#08x (corrupt file)", want, got)
 	}
 	return hdr, parts, Verified, nil
+}
+
+// Encode renders a snapshot (header, particles, CRC32C footer) to bytes —
+// the form the content-addressed store takes.
+func Encode(hdr Header, parts []sim.Particle) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(headerBytes + len(parts)*particleBytes + footerBytes)
+	if err := Write(&buf, hdr, parts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses an encoded snapshot, requiring the verified footer.
+func Decode(b []byte) (Header, []sim.Particle, error) {
+	hdr, parts, ver, err := ReadSizedVerified(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		return hdr, nil, err
+	}
+	if ver != Verified {
+		return hdr, nil, fmt.Errorf("snapshot: %s payload; stored snapshots require a verified footer", ver)
+	}
+	return hdr, parts, nil
+}
+
+// Sink persists one encoded blob under a name and returns its content
+// address. store.Store satisfies it; the indirection keeps this package
+// free of a store dependency while letting snapshots write through the
+// service plane's blob store instead of bare files.
+type Sink interface {
+	PutNamed(name string, data []byte) (ref string, err error)
+}
+
+// SaveTo encodes the snapshot and writes it through a blob sink,
+// returning the content address. The store's put is atomic the same way
+// Save's rename is: the name either resolves to the complete snapshot or
+// to its previous target, never to torn bytes.
+func SaveTo(sink Sink, name string, hdr Header, parts []sim.Particle) (string, error) {
+	b, err := Encode(hdr, parts)
+	if err != nil {
+		return "", err
+	}
+	return sink.PutNamed(name, b)
 }
 
 // Save writes a snapshot to a file atomically: the bytes go to a temp file

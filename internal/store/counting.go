@@ -1,0 +1,59 @@
+package store
+
+import "sync/atomic"
+
+// Counting wraps a Store and counts operations, so tests (and the serving
+// layer's metrics) can assert properties like "N concurrent identical
+// product fetches cost exactly one underlying store read" — the contract
+// the singleflight batching in internal/serve exists to provide.
+type Counting struct {
+	Base Store
+
+	gets, puts, resolves, lists atomic.Int64
+}
+
+// NewCounting wraps base with zeroed counters.
+func NewCounting(base Store) *Counting { return &Counting{Base: base} }
+
+// Gets returns the number of Get calls observed.
+func (c *Counting) Gets() int64 { return c.gets.Load() }
+
+// Puts returns the number of Put/PutNamed blob writes observed.
+func (c *Counting) Puts() int64 { return c.puts.Load() }
+
+// Resolves returns the number of Resolve calls observed.
+func (c *Counting) Resolves() int64 { return c.resolves.Load() }
+
+// Lists returns the number of List calls observed.
+func (c *Counting) Lists() int64 { return c.lists.Load() }
+
+func (c *Counting) Put(data []byte) (Ref, error) {
+	c.puts.Add(1)
+	return c.Base.Put(data)
+}
+
+func (c *Counting) Get(ref Ref) ([]byte, error) {
+	c.gets.Add(1)
+	return c.Base.Get(ref)
+}
+
+func (c *Counting) Has(ref Ref) (bool, error) { return c.Base.Has(ref) }
+
+func (c *Counting) Link(name string, ref Ref) error { return c.Base.Link(name, ref) }
+
+func (c *Counting) Resolve(name string) (Ref, error) {
+	c.resolves.Add(1)
+	return c.Base.Resolve(name)
+}
+
+func (c *Counting) Unlink(name string) error { return c.Base.Unlink(name) }
+
+func (c *Counting) List(prefix string) ([]string, error) {
+	c.lists.Add(1)
+	return c.Base.List(prefix)
+}
+
+func (c *Counting) PutNamed(name string, data []byte) (Ref, error) {
+	c.puts.Add(1)
+	return c.Base.PutNamed(name, data)
+}

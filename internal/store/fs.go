@@ -1,0 +1,220 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the filesystem-backed Store: blobs live under
+// <root>/objects/<hex[:2]>/<hex[2:]> and names are plain files under
+// <root>/names/<name> whose content is the linked ref. Every write is
+// temp-file + rename in the destination directory, the same atomicity
+// argument the checkpoint layer makes: a crash can never leave a
+// half-written blob or link visible under its final name.
+//
+// The layout is deliberately object-store shaped (flat immutable objects,
+// a separate name index, no partial writes), so an S3/MinIO-backed
+// implementation of Store can replace it without changing callers.
+type FS struct {
+	root string
+	// mu serializes link mutations; blob writes need no lock (a blob's
+	// final path is a pure function of its content, and rename is atomic).
+	mu sync.Mutex
+}
+
+// NewFS opens (creating if needed) a filesystem store rooted at root.
+func NewFS(root string) (*FS, error) {
+	for _, d := range []string{filepath.Join(root, "objects"), filepath.Join(root, "names")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &FS{root: root}, nil
+}
+
+func (s *FS) objectPath(ref Ref) string {
+	return filepath.Join(s.root, "objects", ref[:2], ref[2:])
+}
+
+func (s *FS) namePath(name string) string {
+	return filepath.Join(s.root, "names", filepath.FromSlash(name))
+}
+
+// writeAtomic writes data to path via temp + rename, creating parent
+// directories as needed.
+func writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Put stores data under its content address; already-present blobs are not
+// rewritten (content addressing makes the existing bytes equivalent).
+func (s *FS) Put(data []byte) (Ref, error) {
+	ref := HashRef(data)
+	path := s.objectPath(ref)
+	if _, err := os.Stat(path); err == nil {
+		return ref, nil
+	}
+	if err := writeAtomic(path, data); err != nil {
+		return "", fmt.Errorf("store: put %.12s…: %w", ref, err)
+	}
+	return ref, nil
+}
+
+// Get returns the blob at ref.
+func (s *FS) Get(ref Ref) ([]byte, error) {
+	if err := checkRef(ref); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(s.objectPath(ref))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("blob %.12s…: %w", ref, ErrNotFound)
+	}
+	return b, err
+}
+
+// Has reports blob presence.
+func (s *FS) Has(ref Ref) (bool, error) {
+	if err := checkRef(ref); err != nil {
+		return false, err
+	}
+	_, err := os.Stat(s.objectPath(ref))
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	return false, err
+}
+
+// Link points name at ref atomically.
+func (s *FS) Link(name string, ref Ref) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if err := checkRef(ref); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeAtomic(s.namePath(name), []byte(ref)); err != nil {
+		return fmt.Errorf("store: link %s: %w", name, err)
+	}
+	return nil
+}
+
+// Resolve returns the ref behind name.
+func (s *FS) Resolve(name string) (Ref, error) {
+	if err := checkName(name); err != nil {
+		return "", err
+	}
+	b, err := os.ReadFile(s.namePath(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return "", fmt.Errorf("name %q: %w", name, ErrNotFound)
+	}
+	if err != nil {
+		return "", err
+	}
+	ref := strings.TrimSpace(string(b))
+	if err := checkRef(ref); err != nil {
+		return "", fmt.Errorf("store: name %q holds a malformed ref: %w", name, err)
+	}
+	return ref, nil
+}
+
+// Unlink removes name; empty parent directories are pruned best-effort.
+func (s *FS) Unlink(name string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.namePath(name)
+	if err := os.Remove(path); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("name %q: %w", name, ErrNotFound)
+		}
+		return err
+	}
+	root := filepath.Join(s.root, "names")
+	for dir := filepath.Dir(path); dir != root; dir = filepath.Dir(dir) {
+		if os.Remove(dir) != nil { // non-empty or still in use: stop
+			break
+		}
+	}
+	return nil
+}
+
+// List returns the linked names with the given prefix, sorted.
+func (s *FS) List(prefix string) ([]string, error) {
+	root := filepath.Join(s.root, "names")
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A concurrently pruned directory is not an error.
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// PutNamed stores data and links name at it.
+func (s *FS) PutNamed(name string, data []byte) (Ref, error) {
+	ref, err := s.Put(data)
+	if err != nil {
+		return "", err
+	}
+	return ref, s.Link(name, ref)
+}

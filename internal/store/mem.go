@@ -1,0 +1,123 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mem is the in-memory Store used by tests and by daemon configurations
+// that do not need persistence. Safe for concurrent use.
+type Mem struct {
+	mu    sync.RWMutex
+	blobs map[Ref][]byte
+	names map[string]Ref
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{blobs: make(map[Ref][]byte), names: make(map[string]Ref)}
+}
+
+// Put stores data under its content address.
+func (m *Mem) Put(data []byte) (Ref, error) {
+	ref := HashRef(data)
+	m.mu.Lock()
+	if _, ok := m.blobs[ref]; !ok {
+		m.blobs[ref] = append([]byte(nil), data...)
+	}
+	m.mu.Unlock()
+	return ref, nil
+}
+
+// Get returns a copy of the blob at ref.
+func (m *Mem) Get(ref Ref) ([]byte, error) {
+	m.mu.RLock()
+	b, ok := m.blobs[ref]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("blob %.12s…: %w", ref, ErrNotFound)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Has reports blob presence.
+func (m *Mem) Has(ref Ref) (bool, error) {
+	m.mu.RLock()
+	_, ok := m.blobs[ref]
+	m.mu.RUnlock()
+	return ok, nil
+}
+
+// Link points name at ref.
+func (m *Mem) Link(name string, ref Ref) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.names[name] = ref
+	m.mu.Unlock()
+	return nil
+}
+
+// Resolve returns the ref behind name.
+func (m *Mem) Resolve(name string) (Ref, error) {
+	m.mu.RLock()
+	ref, ok := m.names[name]
+	m.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("name %q: %w", name, ErrNotFound)
+	}
+	return ref, nil
+}
+
+// Unlink removes name.
+func (m *Mem) Unlink(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.names[name]; !ok {
+		return fmt.Errorf("name %q: %w", name, ErrNotFound)
+	}
+	delete(m.names, name)
+	return nil
+}
+
+// List returns the linked names with the given prefix, sorted.
+func (m *Mem) List(prefix string) ([]string, error) {
+	m.mu.RLock()
+	var out []string
+	for name := range m.names {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// PutNamed stores data and links name at it.
+func (m *Mem) PutNamed(name string, data []byte) (Ref, error) {
+	ref, err := m.Put(data)
+	if err != nil {
+		return "", err
+	}
+	return ref, m.Link(name, ref)
+}
+
+// Mutate applies fn to the stored bytes of ref in place, deliberately
+// desynchronizing content from address. It exists for fault-injection
+// tests (the integrity endpoint must reject a store blob with one flipped
+// bit) in the same spirit as checkpoint.FaultFS; production code has no
+// business calling it. Returns ErrNotFound if the blob is absent.
+func (m *Mem) Mutate(ref Ref, fn func(data []byte)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[ref]
+	if !ok {
+		return fmt.Errorf("blob %.12s…: %w", ref, ErrNotFound)
+	}
+	fn(b)
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package store is the content-addressed product store behind the
+// simulation service plane: every blob (checkpoint shard, manifest,
+// snapshot, analysis product) is stored under the SHA-256 of its content,
+// and human-meaningful names ("runs/<id>/snapshot/final") are mutable links
+// onto those immutable refs. The split buys three properties the serving
+// layer leans on:
+//
+//   - integrity is checkable end-to-end: a ref IS the hash, so a flipped
+//     bit anywhere between disk and client is detectable by re-hashing
+//     (Verify, VerifyNamed), independent of the CRC layers above;
+//   - identical content deduplicates for free (a rerun that produces the
+//     same snapshot bytes stores nothing new), and products cached by
+//     content-derived names are safe to serve forever;
+//   - the interface is object-store shaped (put/get/link/list — no seeks,
+//     no partial writes), so a later S3/MinIO backend slots in without
+//     touching callers.
+//
+// Implementations must be safe for concurrent use; the serving layer hits
+// one Store from many HTTP handler goroutines at once.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Ref is a content address: the lowercase hex SHA-256 of the blob. It is a
+// plain string alias so adjacent packages can accept refs without importing
+// this package's type identity.
+type Ref = string
+
+// ErrNotFound reports a missing blob or name. Implementations wrap it, so
+// callers test with errors.Is.
+var ErrNotFound = errors.New("store: not found")
+
+// Store is a content-addressed blob store plus a mutable name→ref link
+// layer. Blobs are immutable and keyed by content; names are the only
+// mutable state.
+type Store interface {
+	// Put stores data and returns its content address. Storing the same
+	// bytes twice is idempotent.
+	Put(data []byte) (Ref, error)
+	// Get returns the blob at ref, or an error wrapping ErrNotFound.
+	Get(ref Ref) ([]byte, error)
+	// Has reports whether the blob at ref is present.
+	Has(ref Ref) (bool, error)
+
+	// Link points name at ref, replacing any previous target.
+	Link(name string, ref Ref) error
+	// Resolve returns the ref name points at, or ErrNotFound.
+	Resolve(name string) (Ref, error)
+	// Unlink removes name (not the blob), or returns ErrNotFound.
+	Unlink(name string) error
+	// List returns every linked name with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+
+	// PutNamed is Put followed by Link(name, ref) — the one-call path the
+	// snapshot and product writers use.
+	PutNamed(name string, data []byte) (Ref, error)
+}
+
+// HashRef returns the content address of data.
+func HashRef(data []byte) Ref {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// Verify re-hashes data against ref, returning a descriptive error on
+// mismatch — the last line of defense against bit rot between store and
+// client.
+func Verify(ref Ref, data []byte) error {
+	if got := HashRef(data); got != ref {
+		return fmt.Errorf("store: content of %.12s… hashes to %.12s… (corrupt blob)", ref, got)
+	}
+	return nil
+}
+
+// VerifyNamed re-walks every name under prefix, fetches its blob and
+// re-hashes it against the linked ref. It returns the number of blobs
+// checked and the first corruption or store error encountered — the
+// store-level half of the run-integrity endpoint.
+func VerifyNamed(s Store, prefix string) (checked int, err error) {
+	names, err := s.List(prefix)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		ref, err := s.Resolve(name)
+		if err != nil {
+			return checked, fmt.Errorf("store: %s: %w", name, err)
+		}
+		data, err := s.Get(ref)
+		if err != nil {
+			return checked, fmt.Errorf("store: %s: %w", name, err)
+		}
+		if err := Verify(ref, data); err != nil {
+			return checked, fmt.Errorf("store: %s: %w", name, err)
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// checkName rejects names that could escape a filesystem-backed name tree
+// or alias each other after cleaning. Names use "/" separators.
+func checkName(name string) error {
+	if name == "" {
+		return errors.New("store: empty name")
+	}
+	if strings.HasPrefix(name, "/") || strings.HasSuffix(name, "/") {
+		return fmt.Errorf("store: name %q must not begin or end with '/'", name)
+	}
+	for _, part := range strings.Split(name, "/") {
+		if part == "" || part == "." || part == ".." {
+			return fmt.Errorf("store: name %q has an empty or dot path element", name)
+		}
+	}
+	return nil
+}
+
+// checkRef rejects malformed content addresses before they touch a
+// filesystem path.
+func checkRef(ref Ref) error {
+	if len(ref) != sha256.Size*2 {
+		return fmt.Errorf("store: ref %q is not a SHA-256 hex digest", ref)
+	}
+	if _, err := hex.DecodeString(ref); err != nil {
+		return fmt.Errorf("store: ref %q is not hex: %w", ref, err)
+	}
+	return nil
+}

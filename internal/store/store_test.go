@@ -1,0 +1,207 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// implementations returns one fresh store per implementation, so every
+// conformance test runs against both.
+func implementations(t *testing.T) map[string]Store {
+	t.Helper()
+	fsStore, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMem(), "fs": fsStore}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("snapshot payload")
+			ref, err := s.Put(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sha256.Sum256(data)
+			if ref != hex.EncodeToString(want[:]) {
+				t.Fatalf("ref %s is not the sha256 of the content", ref)
+			}
+			got, err := s.Get(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, data) {
+				t.Fatalf("got %q, want %q", got, data)
+			}
+			// Idempotent re-put.
+			ref2, err := s.Put(data)
+			if err != nil || ref2 != ref {
+				t.Fatalf("re-put: ref %s err %v", ref2, err)
+			}
+			if ok, err := s.Has(ref); err != nil || !ok {
+				t.Fatalf("Has(%s) = %v, %v", ref, ok, err)
+			}
+			if ok, err := s.Has(HashRef([]byte("absent"))); err != nil || ok {
+				t.Fatalf("Has(absent) = %v, %v", ok, err)
+			}
+		})
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Get(HashRef([]byte("nope"))); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("want ErrNotFound, got %v", err)
+			}
+			if _, err := s.Resolve("no/such/name"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("want ErrNotFound, got %v", err)
+			}
+			if err := s.Unlink("no/such/name"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("want ErrNotFound, got %v", err)
+			}
+		})
+	}
+}
+
+func TestLinkResolveList(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			refA, _ := s.Put([]byte("a"))
+			refB, _ := s.Put([]byte("b"))
+			if _, err := s.PutNamed("runs/1/snapshot/final", []byte("snap")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Link("runs/1/ckpt/MANIFEST", refA); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Link("runs/2/ckpt/MANIFEST", refB); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.List("runs/1/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"runs/1/ckpt/MANIFEST", "runs/1/snapshot/final"}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("List = %v, want %v", got, want)
+			}
+			// Relink replaces the target.
+			if err := s.Link("runs/1/ckpt/MANIFEST", refB); err != nil {
+				t.Fatal(err)
+			}
+			if ref, _ := s.Resolve("runs/1/ckpt/MANIFEST"); ref != refB {
+				t.Fatalf("after relink: %s, want %s", ref, refB)
+			}
+			if err := s.Unlink("runs/1/ckpt/MANIFEST"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Resolve("runs/1/ckpt/MANIFEST"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("resolve after unlink: %v", err)
+			}
+			// The blob outlives the link.
+			if ok, _ := s.Has(refA); !ok {
+				t.Fatal("unlink must not remove the blob")
+			}
+		})
+	}
+}
+
+func TestBadNamesRejected(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			ref, _ := s.Put([]byte("x"))
+			for _, bad := range []string{"", "/abs", "trail/", "a//b", "a/../b", "."} {
+				if err := s.Link(bad, ref); err == nil {
+					t.Errorf("Link(%q) accepted", bad)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyNamedDetectsTamper(t *testing.T) {
+	m := NewMem()
+	ref, err := m.PutNamed("runs/1/shard", []byte("precious bits"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PutNamed("runs/1/manifest", []byte("meta")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := VerifyNamed(m, "runs/1/"); err != nil || n != 2 {
+		t.Fatalf("clean store: checked %d, err %v", n, err)
+	}
+	// One flipped bit must be rejected.
+	if err := m.Mutate(ref, func(b []byte) { b[3] ^= 0x10 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyNamed(m, "runs/1/"); err == nil {
+		t.Fatal("VerifyNamed accepted a flipped bit")
+	}
+}
+
+func TestFSSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s1.PutNamed("runs/1/snapshot/final", []byte("persist me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Resolve("runs/1/snapshot/final")
+	if err != nil || got != ref {
+		t.Fatalf("after reopen: %s, %v", got, err)
+	}
+	if b, err := s2.Get(ref); err != nil || string(b) != "persist me" {
+		t.Fatalf("after reopen: %q, %v", b, err)
+	}
+}
+
+func TestConcurrentPutLink(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for i := 0; i < 16; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					data := []byte(fmt.Sprintf("blob %d", i%4))
+					if _, err := s.PutNamed(fmt.Sprintf("n/%d", i), data); err != nil {
+						t.Error(err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			names, err := s.List("n/")
+			if err != nil || len(names) != 16 {
+				t.Fatalf("List: %d names, err %v", len(names), err)
+			}
+		})
+	}
+}
+
+func TestCountingCounts(t *testing.T) {
+	c := NewCounting(NewMem())
+	ref, _ := c.PutNamed("a", []byte("x"))
+	c.Get(ref)
+	c.Get(ref)
+	c.Resolve("a")
+	c.List("")
+	if c.Puts() != 1 || c.Gets() != 2 || c.Resolves() != 1 || c.Lists() != 1 {
+		t.Fatalf("counts: puts=%d gets=%d resolves=%d lists=%d", c.Puts(), c.Gets(), c.Resolves(), c.Lists())
+	}
+}

@@ -64,6 +64,20 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 	return bw.Flush()
 }
 
+// WritePrometheusSnapshots renders pre-captured metric snapshots in the
+// Prometheus text exposition format. The serving layer uses this for
+// metrics pushed across goroutine boundaries: recorders are rank-local and
+// unsynchronized, so a live registry must not be read concurrently with
+// the rank that owns it — the rank snapshots at a safe point (a step
+// boundary) and the HTTP handler renders the frozen copy. Snapshots must
+// arrive sorted by name (Registry.Snapshot order) for TYPE headers to
+// group correctly.
+func WritePrometheusSnapshots(w io.Writer, snaps []MetricSnapshot) error {
+	bw := bufio.NewWriter(w)
+	writePromSnapshots(bw, snaps)
+	return bw.Flush()
+}
+
 // WritePrometheusRanks renders every rank's registry with a rank="<r>" label
 // appended, so one scrape shows the whole world.
 func WritePrometheusRanks(w io.Writer, recs []*Recorder) error {

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Service-plane smoke test: boot the greemd daemon against a filesystem
+# store, submit a tiny checkpointed run over HTTP, poll the status endpoint
+# until it completes, fetch a product of every kind, and require the
+# integrity endpoint to pass. Exercises daemon startup/shutdown, the job
+# manager, the content-addressed store on disk, and the product plane.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/greemd" ./cmd/greemd
+
+echo "== start greemd =="
+"$WORK/greemd" -addr 127.0.0.1:0 -data "$WORK/store" -addr-file "$WORK/addr" \
+    > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+    [ -s "$WORK/addr" ] && break
+    sleep 0.1
+done
+[ -s "$WORK/addr" ] || { echo "FAIL: daemon never wrote its address" >&2; cat "$WORK/daemon.log" >&2; exit 1; }
+ADDR="$(cat "$WORK/addr")"
+echo "daemon at $ADDR"
+
+curl -sf "http://$ADDR/healthz" > /dev/null
+
+echo "== submit a tiny checkpointed run =="
+ID="$(curl -sf -X POST "http://$ADDR/runs" \
+    -d '{"np":4,"ranks":2,"steps":3,"seed":1,"checkpoint_every":1}' \
+    | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+[ -n "$ID" ] || { echo "FAIL: submit returned no job id" >&2; exit 1; }
+echo "job $ID"
+
+echo "== poll until done =="
+STATE=""
+for i in $(seq 1 300); do
+    STATE="$(curl -sf "http://$ADDR/runs/$ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')"
+    case "$STATE" in
+        done) break ;;
+        failed) echo "FAIL: job failed" >&2; curl -s "http://$ADDR/runs/$ID" >&2; exit 1 ;;
+    esac
+    sleep 0.2
+done
+[ "$STATE" = done ] || { echo "FAIL: job stuck in state '$STATE'" >&2; exit 1; }
+
+echo "== fetch products =="
+curl -sf "http://$ADDR/runs/$ID/products/snapshot?lo=0&hi=8" > "$WORK/slice.bin"
+[ -s "$WORK/slice.bin" ] || { echo "FAIL: empty snapshot slice" >&2; exit 1; }
+curl -sf "http://$ADDR/runs/$ID/products/halos?b=0.2&min_size=2" | grep -q '"format":1' \
+    || { echo "FAIL: halo catalog malformed" >&2; exit 1; }
+curl -sf "http://$ADDR/runs/$ID/products/pk?nbins=8" | grep -q '"format":1' \
+    || { echo "FAIL: power spectrum malformed" >&2; exit 1; }
+curl -sf "http://$ADDR/runs/$ID/products/density?n=16" | head -c 2 | grep -q P2 \
+    || { echo "FAIL: density image malformed" >&2; exit 1; }
+
+echo "== metrics and integrity =="
+curl -sf "http://$ADDR/metrics" | grep -q greemd_http_requests_total \
+    || { echo "FAIL: metrics missing server counters" >&2; exit 1; }
+curl -sf "http://$ADDR/runs/$ID/integrity" | grep -q '"ok": true' \
+    || { echo "FAIL: integrity check did not pass" >&2; exit 1; }
+
+echo "== graceful shutdown =="
+kill "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+grep -q "bye" "$WORK/daemon.log" || { echo "FAIL: daemon did not shut down cleanly" >&2; exit 1; }
+
+echo "PASS: serve smoke (job $ID, store $WORK/store)"
