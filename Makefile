@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-scaling bench-record bench-compare smoke-restart smoke-serve
+.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-kernel bench-scaling bench-record bench-compare smoke-restart smoke-serve
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/ ./internal/ppkern/ ./internal/tree/
 
 # fuzz-smoke: a few seconds of native Go fuzzing per fuzzer — enough to shake
 # out decoder panics and ghost-selection invariant breaks without turning the
@@ -47,6 +47,13 @@ bench-fft:
 	$(GO) test -run NONE -bench 'RealFFT' -benchmem ./internal/fft/
 	$(GO) test -run NONE -bench 'Solve(64|128)' -benchmem ./internal/mesh/
 	$(GO) test -run NONE -bench 'PencilVsSlabFFT|Fig5RelayVsNaive' -benchmem .
+
+# bench-kernel: the PP force-kernel throughput ladder — scalar and unrolled
+# float64, scalar and SIMD-batched float32 — in Gflops at the 51-op ledger.
+# BenchmarkKernelGflops also feeds bench-record/bench-compare, so a >10%
+# kernel regression fails the comparison gate.
+bench-kernel:
+	$(GO) test -run NONE -bench 'KernelGflops' -benchmem .
 
 # bench-record: run the canonical kernel/solve/exchange/checkpoint
 # benchmarks and persist them as bench_records/BENCH_<timestamp>.json;

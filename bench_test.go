@@ -423,6 +423,18 @@ func BenchmarkKernelGflops(b *testing.B) {
 	for i := range xi {
 		xi[i], yi[i], zi[i] = rng.Float64(), rng.Float64(), rng.Float64()
 	}
+	// Float32 mirror of the same particle set (the tree walk emits
+	// group-relative float32 coordinates; here the span is O(1) anyway).
+	src32 := &ppkern.SourceF32{}
+	for j := 0; j < nj; j++ {
+		src32.Append(float32(src.X[j]), float32(src.Y[j]), float32(src.Z[j]), float32(src.M[j]))
+	}
+	xi32 := make([]float32, ni)
+	yi32 := make([]float32, ni)
+	zi32 := make([]float32, ni)
+	for i := range xi {
+		xi32[i], yi32[i], zi32[i] = float32(xi[i]), float32(yi[i]), float32(zi[i])
+	}
 	variants := []struct {
 		name string
 		f    func() uint64
@@ -430,6 +442,8 @@ func BenchmarkKernelGflops(b *testing.B) {
 		{"scalar", func() uint64 { return ppkern.AccelCutoff(xi, yi, zi, src, 1, 0.4, 1e-10, ax, ay, az) }},
 		{"unrolled", func() uint64 { return ppkern.AccelCutoffFast(xi, yi, zi, src, 1, 0.4, 1e-10, ax, ay, az) }},
 		{"phantom-rsqrt", func() uint64 { return ppkern.AccelCutoffPhantom(xi, yi, zi, src, 1, 0.4, 1e-10, ax, ay, az) }},
+		{"f32-scalar", func() uint64 { return ppkern.AccelCutoffF32(xi32, yi32, zi32, src32, 1, 0.4, 1e-10, ax, ay, az) }},
+		{"f32", func() uint64 { return ppkern.AccelCutoffF32Fast(xi32, yi32, zi32, src32, 1, 0.4, 1e-10, ax, ay, az) }},
 	}
 	// The instrumented variant bounds the telemetry cost on the hot path:
 	// one span (two clock reads) plus one flop-counter add per kernel call,

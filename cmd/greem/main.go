@@ -62,6 +62,7 @@ func main() {
 	nfft := flag.Int("nfft", 0, "FFT processes (0 = min(ranks, mesh))")
 	theta := flag.Float64("theta", 0.5, "tree opening angle")
 	let := flag.Bool("let", true, "locally-essential-tree ghost exchange (false = raw particle-ghost baseline)")
+	f32 := flag.Bool("f32", true, "float32 PP kernel on group-relative batches (false = float64 oracle kernel)")
 	ni := flag.Int("ni", 100, "Barnes group size cap")
 	outDir := flag.String("out", "out", "output directory")
 	resume := flag.String("resume", "", "resume from a snapshot file or a checkpoint directory")
@@ -134,7 +135,7 @@ func main() {
 	cfg := greem.SimConfig{
 		L: l, G: g, NMesh: mesh, NFFT: *nfft, Relay: *relay, Groups: *groups,
 		Pencil: *pencil, PY: *py, PZ: *pz, Workers: *workers,
-		Theta: *theta, Ni: *ni, Eps2: 1e-8, FastKernel: true, LETExchange: *let,
+		Theta: *theta, Ni: *ni, Eps2: 1e-8, FastKernel: true, Float32Kernel: *f32, LETExchange: *let,
 		Grid: grid, DT: (aEnd - aStart) / float64(*steps), Stepper: model, Time: aStart,
 		DeterministicCost: *deterministic,
 	}

@@ -66,6 +66,25 @@ func main() {
 		return ppkern.AccelPlain(xi, yi, zi, src, 1, eps2, ax, ay, az)
 	})
 
+	// Float32 variants on the same geometry (coordinates are already O(1),
+	// the scale the group-relative batches guarantee in the tree walk).
+	src32 := &ppkern.SourceF32{}
+	for j := 0; j < src.Len(); j++ {
+		src32.Append(float32(src.X[j]), float32(src.Y[j]), float32(src.Z[j]), float32(src.M[j]))
+	}
+	xi32 := make([]float32, *ni)
+	yi32 := make([]float32, *ni)
+	zi32 := make([]float32, *ni)
+	for i := range xi {
+		xi32[i], yi32[i], zi32[i] = float32(xi[i]), float32(yi[i]), float32(zi[i])
+	}
+	bench("float32 scalar", func() uint64 {
+		return ppkern.AccelCutoffF32(xi32, yi32, zi32, src32, 1, rcut, eps2, ax, ay, az)
+	})
+	bench("float32 batched (SIMD)", func() uint64 {
+		return ppkern.AccelCutoffF32Fast(xi32, yi32, zi32, src32, 1, rcut, eps2, ax, ay, az)
+	})
+
 	m := perfmodel.KComputer()
 	fmt.Printf("\nK computer model (SPARC64 VIIIfx, HPC-ACE):\n")
 	fmt.Printf("  peak per core:            %5.1f Gflops (4 FMA × 2 × 2.0 GHz)\n", m.PeakCoreFlops()/1e9)

@@ -27,6 +27,7 @@ func main() {
 	steps := flag.Int("steps", 2, "steps for the scaled run")
 	workers := flag.Int("workers", 0, "intra-rank workers for the scaled run (0 = serial, -1 = auto)")
 	let := flag.Bool("let", true, "locally-essential-tree ghost exchange for the scaled run (false = raw baseline)")
+	f32 := flag.Bool("f32", true, "float32 PP kernel for the scaled run (false = float64 oracle kernel)")
 	flag.Parse()
 
 	m := perfmodel.KComputer()
@@ -74,7 +75,7 @@ func main() {
 		fmt.Println("\n(use -run for a scaled-down measured breakdown on this machine)")
 		return
 	}
-	scaledRun(*np, *ranks, *steps, *workers, *let)
+	scaledRun(*np, *ranks, *steps, *workers, *let, *f32)
 }
 
 // tableRows maps Table I's row labels onto the telemetry phase names; the
@@ -107,12 +108,17 @@ var tableRows = []struct {
 // within-rank max/mean worker imbalance (busy+idle)/busy from the pool
 // telemetry — is appended to the phase rows that batch over it; the serial
 // default prints exactly the historical table.
-func scaledRun(np, ranks, steps, workers int, let bool) {
+func scaledRun(np, ranks, steps, workers int, let, f32 bool) {
 	mode := "LET"
 	if !let {
 		mode = "raw-ghost"
 	}
-	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps, %s exchange\n", np, ranks, steps, mode)
+	kern := "float32"
+	if !f32 {
+		kern = "float64"
+	}
+	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps, %s exchange, %s kernel\n",
+		np, ranks, steps, mode, kern)
 	rng := rand.New(rand.NewSource(1))
 	n := np * np * np
 	parts := make([]sim.Particle, n)
@@ -131,7 +137,8 @@ func scaledRun(np, ranks, steps, workers int, let bool) {
 		log.Fatalf("supported rank counts: 2, 4, 8 (got %d)", ranks)
 	}
 	cfg := sim.Config{
-		L: 1, G: 1, NMesh: 32, Theta: 0.5, Ni: 100, Eps2: 1e-8, FastKernel: true,
+		L: 1, G: 1, NMesh: 32, Theta: 0.5, Ni: 100, Eps2: 1e-8,
+		FastKernel: true, Float32Kernel: f32,
 		Grid: grid, DT: 0.01, Workers: workers, LETExchange: let,
 	}
 	var prof *telemetry.Profile
@@ -203,7 +210,7 @@ func scaledRun(np, ranks, steps, workers int, let bool) {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\n⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f, interactions/step = %.3g\n", ni, nj, inter)
+	fmt.Printf("\n⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f, interactions/step = %.3g, PP kernel = %s\n", ni, nj, inter, kern)
 	flops := prof.Counter(`greem_pp_kernel_flops_total`)
 	fmt.Printf("PP kernel flops/step (51-op ledger): %.3g total, %.3g max-rank\n",
 		flops.Sum*per, flops.Max*per)

@@ -122,9 +122,9 @@ func manifestHash(payload []byte) string {
 // change the physics.
 func Fingerprint(cfg sim.Config) string {
 	s := fmt.Sprintf(
-		"v2 L=%v G=%v NMesh=%d NFFT=%d Relay=%v Groups=%d Pencil=%v PY=%d PZ=%d Rcut=%v Theta=%v Ni=%d Eps2=%v LeafCap=%d FastKernel=%v LET=%v Grid=%v SampleTotal=%d SmoothSteps=%d DT=%v Substeps=%d DetCost=%v Stepper=%+v",
+		"v3 L=%v G=%v NMesh=%d NFFT=%d Relay=%v Groups=%d Pencil=%v PY=%d PZ=%d Rcut=%v Theta=%v Ni=%d Eps2=%v LeafCap=%d FastKernel=%v F32=%v LET=%v Grid=%v SampleTotal=%d SmoothSteps=%d DT=%v Substeps=%d DetCost=%v Stepper=%+v",
 		cfg.L, cfg.G, cfg.NMesh, cfg.NFFT, cfg.Relay, cfg.Groups, cfg.Pencil, cfg.PY, cfg.PZ,
-		cfg.Rcut, cfg.Theta, cfg.Ni, cfg.Eps2, cfg.LeafCap, cfg.FastKernel, cfg.LETExchange, cfg.Grid,
+		cfg.Rcut, cfg.Theta, cfg.Ni, cfg.Eps2, cfg.LeafCap, cfg.FastKernel, cfg.Float32Kernel, cfg.LETExchange, cfg.Grid,
 		cfg.SampleTotal, cfg.SmoothSteps, cfg.DT, cfg.Substeps, cfg.DeterministicCost, cfg.Stepper,
 	)
 	h := sha256.Sum256([]byte(s))

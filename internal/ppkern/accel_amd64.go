@@ -1,0 +1,76 @@
+//go:build amd64
+
+package ppkern
+
+// Runtime dispatch for the AVX2+FMA float32 kernel (accel_amd64.s). The
+// pure-Go 4-wide panel remains the portable fallback and the parity
+// reference; useAVX2 is a variable so tests can exercise both paths on one
+// host.
+
+// cpuid and xgetbv are implemented in accel_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func accelTileAVX2(sx, sy, sz, sm *float32, n int64, tx, ty, tz, cinv, eps2 float32, out *[3]float32)
+
+var useAVX2 = detectAVX2()
+
+// detectAVX2 reports whether the CPU and OS support the AVX2+FMA kernel:
+// FMA and AVX2 present, and the OS saving XMM+YMM state (OSXSAVE/XGETBV).
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const fma = 1 << 12
+	if ecx1&osxsave == 0 || ecx1&fma == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+// accelCutoff4F32SIMD is the AVX2 micro-panel: each TileJ source tile is
+// loaded once and reused across the four targets (the j-stream stays in L1),
+// with the 8-lane assembly kernel covering the tile's multiple-of-8 prefix
+// and a scalar float32 loop the ragged tail — both feeding the same
+// per-tile float32 partial, flushed to float64 between tiles.
+func accelCutoff4F32SIMD(xi, yi, zi []float32, src *SourceF32, g, cinv, eps2 float32, ax, ay, az []float64) {
+	nj := src.Len()
+	gd := float64(g)
+	var out [3]float32
+	for base := 0; base < nj; base += TileJ {
+		end := base + TileJ
+		if end > nj {
+			end = nj
+		}
+		n8 := (end - base) &^ 7
+		for t := 0; t < 4; t++ {
+			var fx, fy, fz float32
+			if n8 > 0 {
+				accelTileAVX2(&src.X[base], &src.Y[base], &src.Z[base], &src.M[base],
+					int64(n8), xi[t], yi[t], zi[t], cinv, eps2, &out)
+				fx, fy, fz = out[0], out[1], out[2]
+			}
+			for j := base + n8; j < end; j++ {
+				dx := src.X[j] - xi[t]
+				dy := src.Y[j] - yi[t]
+				dz := src.Z[j] - zi[t]
+				r2 := eps2 + dx*dx + dy*dy + dz*dz
+				w := src.M[j] * cutoffW32(r2, cinv)
+				fx += w * dx
+				fy += w * dy
+				fz += w * dz
+			}
+			ax[t] += gd * float64(fx)
+			ay[t] += gd * float64(fy)
+			az[t] += gd * float64(fz)
+		}
+	}
+}

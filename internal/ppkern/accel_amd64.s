@@ -1,0 +1,216 @@
+// AVX2+FMA port of the Phantom-GRAPE float32 cutoff force loop (§II-A).
+// One i-particle against an 8-lane-parallel j-stream: the hardware
+// approximate reciprocal square root VRSQRTPS plays the role of HPC-ACE's
+// frsqrta (a ≥11-bit seed), refined by the same single third-order step
+// h = 1 − r²y², y ← y(1 + h(1/2 + 3h/8)), and the ξ ≥ 2 cutoff region is
+// masked with VCMPPS/VANDPS — the literal fcmp/fand idiom the paper
+// describes, so beyond-cutoff lanes contribute exactly ±0 while every lane
+// executes the identical arithmetic (the 51-op ledger stays exact).
+//
+// The gravitational constant is factored out: the caller multiplies the
+// returned per-tile partial sums by G, so the loop carries only m_j.
+
+#include "textflag.h"
+
+DATA c_one<>+0x00(SB)/8, $0x3f8000003f800000
+DATA c_one<>+0x08(SB)/8, $0x3f8000003f800000
+DATA c_one<>+0x10(SB)/8, $0x3f8000003f800000
+DATA c_one<>+0x18(SB)/8, $0x3f8000003f800000
+GLOBL c_one<>(SB), RODATA|NOPTR, $32
+
+DATA c_two<>+0x00(SB)/8, $0x4000000040000000
+DATA c_two<>+0x08(SB)/8, $0x4000000040000000
+DATA c_two<>+0x10(SB)/8, $0x4000000040000000
+DATA c_two<>+0x18(SB)/8, $0x4000000040000000
+GLOBL c_two<>(SB), RODATA|NOPTR, $32
+
+DATA c_half<>+0x00(SB)/8, $0x3f0000003f000000
+DATA c_half<>+0x08(SB)/8, $0x3f0000003f000000
+DATA c_half<>+0x10(SB)/8, $0x3f0000003f000000
+DATA c_half<>+0x18(SB)/8, $0x3f0000003f000000
+GLOBL c_half<>(SB), RODATA|NOPTR, $32
+
+// 3/8
+DATA c_0375<>+0x00(SB)/8, $0x3ec000003ec00000
+DATA c_0375<>+0x08(SB)/8, $0x3ec000003ec00000
+DATA c_0375<>+0x10(SB)/8, $0x3ec000003ec00000
+DATA c_0375<>+0x18(SB)/8, $0x3ec000003ec00000
+GLOBL c_0375<>(SB), RODATA|NOPTR, $32
+
+DATA c_zero<>+0x00(SB)/8, $0x0000000000000000
+DATA c_zero<>+0x08(SB)/8, $0x0000000000000000
+DATA c_zero<>+0x10(SB)/8, $0x0000000000000000
+DATA c_zero<>+0x18(SB)/8, $0x0000000000000000
+GLOBL c_zero<>(SB), RODATA|NOPTR, $32
+
+// −12/35
+DATA c_m1235<>+0x00(SB)/8, $0xbeaf8af9beaf8af9
+DATA c_m1235<>+0x08(SB)/8, $0xbeaf8af9beaf8af9
+DATA c_m1235<>+0x10(SB)/8, $0xbeaf8af9beaf8af9
+DATA c_m1235<>+0x18(SB)/8, $0xbeaf8af9beaf8af9
+GLOBL c_m1235<>(SB), RODATA|NOPTR, $32
+
+// 3/20
+DATA c_320<>+0x00(SB)/8, $0x3e19999a3e19999a
+DATA c_320<>+0x08(SB)/8, $0x3e19999a3e19999a
+DATA c_320<>+0x10(SB)/8, $0x3e19999a3e19999a
+DATA c_320<>+0x18(SB)/8, $0x3e19999a3e19999a
+GLOBL c_320<>(SB), RODATA|NOPTR, $32
+
+// −1/2
+DATA c_m05<>+0x00(SB)/8, $0xbf000000bf000000
+DATA c_m05<>+0x08(SB)/8, $0xbf000000bf000000
+DATA c_m05<>+0x10(SB)/8, $0xbf000000bf000000
+DATA c_m05<>+0x18(SB)/8, $0xbf000000bf000000
+GLOBL c_m05<>(SB), RODATA|NOPTR, $32
+
+// 8/5
+DATA c_85<>+0x00(SB)/8, $0x3fcccccd3fcccccd
+DATA c_85<>+0x08(SB)/8, $0x3fcccccd3fcccccd
+DATA c_85<>+0x10(SB)/8, $0x3fcccccd3fcccccd
+DATA c_85<>+0x18(SB)/8, $0x3fcccccd3fcccccd
+GLOBL c_85<>(SB), RODATA|NOPTR, $32
+
+// −8/5
+DATA c_m85<>+0x00(SB)/8, $0xbfcccccdbfcccccd
+DATA c_m85<>+0x08(SB)/8, $0xbfcccccdbfcccccd
+DATA c_m85<>+0x10(SB)/8, $0xbfcccccdbfcccccd
+DATA c_m85<>+0x18(SB)/8, $0xbfcccccdbfcccccd
+GLOBL c_m85<>(SB), RODATA|NOPTR, $32
+
+// 3/35
+DATA c_335<>+0x00(SB)/8, $0x3daf8af93daf8af9
+DATA c_335<>+0x08(SB)/8, $0x3daf8af93daf8af9
+DATA c_335<>+0x10(SB)/8, $0x3daf8af93daf8af9
+DATA c_335<>+0x18(SB)/8, $0x3daf8af93daf8af9
+GLOBL c_335<>(SB), RODATA|NOPTR, $32
+
+// 18/35
+DATA c_1835<>+0x00(SB)/8, $0x3f03a83b3f03a83b
+DATA c_1835<>+0x08(SB)/8, $0x3f03a83b3f03a83b
+DATA c_1835<>+0x10(SB)/8, $0x3f03a83b3f03a83b
+DATA c_1835<>+0x18(SB)/8, $0x3f03a83b3f03a83b
+GLOBL c_1835<>(SB), RODATA|NOPTR, $32
+
+// 1/5
+DATA c_15<>+0x00(SB)/8, $0x3e4ccccd3e4ccccd
+DATA c_15<>+0x08(SB)/8, $0x3e4ccccd3e4ccccd
+DATA c_15<>+0x10(SB)/8, $0x3e4ccccd3e4ccccd
+DATA c_15<>+0x18(SB)/8, $0x3e4ccccd3e4ccccd
+GLOBL c_15<>(SB), RODATA|NOPTR, $32
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func accelTileAVX2(sx, sy, sz, sm *float32, n int64,
+//     tx, ty, tz, cinv, eps2 float32, out *[3]float32)
+//
+// Accumulates the cutoff force on one target at (tx,ty,tz) from n sources
+// (n > 0, n % 8 == 0) into out — a float32 tile partial (G not applied).
+//
+// Register plan: Y7/Y8/Y9 lane accumulators, Y11 cinv, Y12/Y13/Y14 target,
+// Y0-Y6, Y10, Y15 per-iteration scratch.
+TEXT ·accelTileAVX2(SB), NOSPLIT, $0-72
+	MOVQ sx+0(FP), SI
+	MOVQ sy+8(FP), R8
+	MOVQ sz+16(FP), R9
+	MOVQ sm+24(FP), R10
+	MOVQ n+32(FP), CX
+	VBROADCASTSS tx+40(FP), Y12
+	VBROADCASTSS ty+44(FP), Y13
+	VBROADCASTSS tz+48(FP), Y14
+	VBROADCASTSS cinv+52(FP), Y11
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	XORQ BX, BX
+
+loop:
+	VMOVUPS (SI)(BX*4), Y0            // dx ← p_jx
+	VMOVUPS (R8)(BX*4), Y1
+	VMOVUPS (R9)(BX*4), Y2
+	VSUBPS Y12, Y0, Y0                // dx = p_jx − tx
+	VSUBPS Y13, Y1, Y1
+	VSUBPS Y14, Y2, Y2
+	VBROADCASTSS eps2+56(FP), Y3      // r² = ε²
+	VFMADD231PS Y0, Y0, Y3            // r² += dx²
+	VFMADD231PS Y1, Y1, Y3
+	VFMADD231PS Y2, Y2, Y3
+	VRSQRTPS Y3, Y4                   // y ≈ 1/√r² (hardware seed)
+	VMULPS Y4, Y4, Y5                 // y²
+	VMOVUPS c_one<>(SB), Y6
+	VFNMADD231PS Y5, Y3, Y6           // h = 1 − r²y²
+	VMOVUPS c_half<>(SB), Y5
+	VFMADD231PS c_0375<>(SB), Y6, Y5  // 1/2 + 3h/8
+	VFMADD213PS c_one<>(SB), Y6, Y5   // 1 + h(1/2 + 3h/8)
+	VMULPS Y5, Y4, Y4                 // rinv (third-order refined)
+	VMULPS Y4, Y3, Y5                 // r = r²·rinv
+	VMULPS Y11, Y5, Y5                // ξ = 2r/rcut
+	VCMPPS $1, c_two<>(SB), Y5, Y6    // mask: ξ < 2 (LT_OS; NaN → 0)
+	VMINPS c_two<>(SB), Y5, Y5        // clamp ξ ≤ 2
+	VSUBPS c_one<>(SB), Y5, Y10       // ξ − 1
+	VMAXPS c_zero<>(SB), Y10, Y10     // ζ = max(0, ξ−1)
+	VMULPS Y10, Y10, Y10              // ζ²
+	VMULPS Y10, Y10, Y15              // ζ⁴
+	VMULPS Y15, Y10, Y10              // ζ⁶
+	VMOVUPS c_1835<>(SB), Y15
+	VFMADD231PS c_15<>(SB), Y5, Y15   // 18/35 + ξ/5
+	VFMADD213PS c_335<>(SB), Y5, Y15  // 3/35 + ξ(…)
+	VMULPS Y15, Y10, Y10              // ζ⁶·tail
+	VMOVUPS c_m1235<>(SB), Y15
+	VFMADD231PS c_320<>(SB), Y5, Y15  // −12/35 + 3ξ/20
+	VFMADD213PS c_m05<>(SB), Y5, Y15  // −1/2 + ξ(…)
+	VFMADD213PS c_85<>(SB), Y5, Y15   // 8/5 + ξ(…)
+	VMULPS Y5, Y5, Y3                 // ξ²
+	VFMADD213PS c_m85<>(SB), Y3, Y15  // −8/5 + ξ²(…)
+	VMULPS Y5, Y3, Y3                 // ξ³
+	VFMADD213PS c_one<>(SB), Y3, Y15  // poly = 1 + ξ³(…)
+	VSUBPS Y10, Y15, Y15              // g(ξ) = poly − ζ⁶·tail
+	VMULPS Y4, Y4, Y3                 // rinv²
+	VMULPS Y4, Y3, Y3                 // rinv³
+	VMULPS Y3, Y15, Y15               // g(ξ)/r³
+	VANDPS Y6, Y15, Y15               // ξ ≥ 2 → exactly ±0
+	VMOVUPS (R10)(BX*4), Y3           // m_j
+	VMULPS Y3, Y15, Y15               // w = m_j·g(ξ)/r³
+	VFMADD231PS Y0, Y15, Y7           // fx += w·dx
+	VFMADD231PS Y1, Y15, Y8
+	VFMADD231PS Y2, Y15, Y9
+	ADDQ $8, BX
+	CMPQ BX, CX
+	JLT loop
+
+	// Horizontal-sum each accumulator and store the three partials.
+	MOVQ out+64(FP), DI
+	VEXTRACTF128 $1, Y7, X0
+	VADDPS X0, X7, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VMOVSS X0, (DI)
+	VEXTRACTF128 $1, Y8, X0
+	VADDPS X0, X8, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VMOVSS X0, 4(DI)
+	VEXTRACTF128 $1, Y9, X0
+	VADDPS X0, X9, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VMOVSS X0, 8(DI)
+	VZEROUPPER
+	RET

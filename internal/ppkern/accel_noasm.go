@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package ppkern
+
+// Non-amd64 hosts always use the pure-Go 4-wide float32 panel.
+const useAVX2 = false
+
+func accelCutoff4F32SIMD(xi, yi, zi []float32, src *SourceF32, g, cinv, eps2 float32, ax, ay, az []float64) {
+	panic("ppkern: SIMD kernel unavailable on this architecture")
+}

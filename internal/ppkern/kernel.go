@@ -70,7 +70,7 @@ func AccelCutoff(xi, yi, zi []float64, src *Source, g, rcut, eps2 float64, ax, a
 		ay[i] += fy
 		az[i] += fz
 	}
-	return uint64(len(xi)) * uint64(src.Len())
+	return interactions(len(xi), src.Len())
 }
 
 // AccelCutoffFast is the optimized force loop: the i-loop is unrolled four
@@ -99,6 +99,12 @@ func AccelCutoffPhantom(xi, yi, zi []float64, src *Source, g, rcut, eps2 float64
 	return accelCutoffUnrolled(xi, yi, zi, src, g, rcut, eps2, ax, ay, az, true)
 }
 
+// interactions is the pairwise-interaction ledger entry for n targets
+// against nj sources — the single place the count is defined, so unrolled
+// kernels compose it from their panel and remainder contributions instead
+// of recomputing it.
+func interactions(n, nj int) uint64 { return uint64(n) * uint64(nj) }
+
 func accelCutoffUnrolled(xi, yi, zi []float64, src *Source, g, rcut, eps2 float64, ax, ay, az []float64, phantom bool) uint64 {
 	cinv := 2 / rcut
 	n := len(xi)
@@ -106,10 +112,11 @@ func accelCutoffUnrolled(xi, yi, zi []float64, src *Source, g, rcut, eps2 float6
 	for ; i+4 <= n; i += 4 {
 		accelCutoff4(xi[i:i+4], yi[i:i+4], zi[i:i+4], src, g, cinv, eps2, ax[i:i+4], ay[i:i+4], az[i:i+4], phantom)
 	}
+	inter := interactions(i, src.Len())
 	if i < n {
-		AccelCutoff(xi[i:], yi[i:], zi[i:], src, g, rcut, eps2, ax[i:], ay[i:], az[i:])
+		inter += AccelCutoff(xi[i:], yi[i:], zi[i:], src, g, rcut, eps2, ax[i:], ay[i:], az[i:])
 	}
-	return uint64(n) * uint64(src.Len())
+	return inter
 }
 
 // accelCutoff4 computes cutoff forces on exactly four targets.
@@ -217,7 +224,7 @@ func AccelPlain(xi, yi, zi []float64, src *Source, g, eps2 float64, ax, ay, az [
 		ay[i] += fy
 		az[i] += fz
 	}
-	return uint64(len(xi)) * uint64(src.Len())
+	return interactions(len(xi), src.Len())
 }
 
 // PotPlain accumulates plain Newtonian potentials Φ_i = −Σ_j G m_j/|r_ij|
@@ -342,5 +349,5 @@ func PotCutoff(xi, yi, zi []float64, src *Source, tab *PotTable, g, rcut, eps2 f
 		}
 		pot[i] += p
 	}
-	return uint64(len(xi)) * uint64(src.Len())
+	return interactions(len(xi), src.Len())
 }

@@ -1,0 +1,189 @@
+//go:build amd64
+
+package ppkern
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSIMDMatchesPureGoPanel pins the AVX2 assembly panel against the pure-Go
+// 4-wide panel by toggling the dispatch flag on the same inputs. Both paths
+// use the identical bit-trick-seeded + third-order-refined rsqrt and the same
+// polynomial evaluation order, but the hardware VRSQRTPS seed differs from
+// the magic-constant seed, so agreement is to float32 noise, not bitwise.
+// Serial (mutates useAVX2): must not run in parallel with other tests that
+// call AccelCutoffF32Fast.
+func TestSIMDMatchesPureGoPanel(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("host has no AVX2+FMA; SIMD path unreachable")
+	}
+	defer func() { useAVX2 = true }()
+
+	rng := rand.New(rand.NewSource(99))
+	const rcut, eps2 = 0.3, 1e-9
+	for _, nj := range []int{5, 8, 64, 255, 256, 257, 1000} {
+		src := &SourceF32{}
+		for j := 0; j < nj; j++ {
+			src.Append(
+				float32(rng.Float64()-0.5),
+				float32(rng.Float64()-0.5),
+				float32(rng.Float64()-0.5),
+				float32(rng.Float64()+0.1),
+			)
+		}
+		const ni = 12
+		xi := make([]float32, ni)
+		yi := make([]float32, ni)
+		zi := make([]float32, ni)
+		for i := range xi {
+			xi[i] = float32(rng.Float64() - 0.5)
+			yi[i] = float32(rng.Float64() - 0.5)
+			zi[i] = float32(rng.Float64() - 0.5)
+		}
+
+		axS := make([]float64, ni)
+		ayS := make([]float64, ni)
+		azS := make([]float64, ni)
+		useAVX2 = true
+		nS := AccelCutoffF32Fast(xi, yi, zi, src, 1, rcut, eps2, axS, ayS, azS)
+
+		axG := make([]float64, ni)
+		ayG := make([]float64, ni)
+		azG := make([]float64, ni)
+		useAVX2 = false
+		nG := AccelCutoffF32Fast(xi, yi, zi, src, 1, rcut, eps2, axG, ayG, azG)
+		useAVX2 = true
+
+		if nS != nG {
+			t.Fatalf("nj=%d: interaction counts differ: simd %d, go %d", nj, nS, nG)
+		}
+		// Random geometry puts pairs near ξ = 2, where the eq. 3 polynomial
+		// cancels to ~0 from O(1) Horner terms: float32 noise (~5e-7, and the
+		// asm's FMA contraction rounds differently from Go's two-step ops) is
+		// amplified by 1/r³ ≈ 1/rcut³, giving per-pair force noise up to
+		// ~6e-6 at these masses — same analysis as TestCutoffMaskBoundary.
+		// Bound it per source pair; TestSIMDMatchesPureGoPanelInterior pins
+		// the tight relative agreement away from the boundary.
+		scale := maxAbs(axG, ayG, azG)
+		tol := 3e-6*math.Max(1e-6, scale) + 6e-6*float64(nj)
+		for i := 0; i < ni; i++ {
+			if math.Abs(axS[i]-axG[i]) > tol || math.Abs(ayS[i]-ayG[i]) > tol || math.Abs(azS[i]-azG[i]) > tol {
+				t.Errorf("nj=%d target %d: simd (%g,%g,%g) vs go (%g,%g,%g), tol %g",
+					nj, i, axS[i], ayS[i], azS[i], axG[i], ayG[i], azG[i], tol)
+			}
+		}
+	}
+}
+
+// TestSIMDMatchesPureGoPanelInterior is the tight twin of
+// TestSIMDMatchesPureGoPanel: every source sits well inside the cutoff
+// (r ≤ 0.6 rcut), away from the ξ = 2 cancellation zone, so the assembly
+// must match the pure-Go panel to plain float32 rounding — a wrong lane,
+// operand order, or constant in accel_amd64.s shows up as an O(1) error
+// here. Serial (mutates useAVX2).
+func TestSIMDMatchesPureGoPanelInterior(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("host has no AVX2+FMA; SIMD path unreachable")
+	}
+	defer func() { useAVX2 = true }()
+
+	rng := rand.New(rand.NewSource(7))
+	const rcut, eps2 = 0.3, 1e-9
+	for _, nj := range []int{8, 24, 256, 260} {
+		src := &SourceF32{}
+		for j := 0; j < nj; j++ {
+			// Uniform in a ball of radius 0.25 rcut around the origin.
+			for {
+				x := float32(rng.Float64()-0.5) * 0.5 * rcut
+				y := float32(rng.Float64()-0.5) * 0.5 * rcut
+				z := float32(rng.Float64()-0.5) * 0.5 * rcut
+				if x*x+y*y+z*z <= 0.25*0.25*rcut*rcut {
+					src.Append(x, y, z, float32(rng.Float64()+0.1))
+					break
+				}
+			}
+		}
+		const ni = 8
+		xi := make([]float32, ni)
+		yi := make([]float32, ni)
+		zi := make([]float32, ni)
+		for i := range xi {
+			// Targets within 0.35 rcut of the origin: every pair has
+			// r ≤ 0.6 rcut, i.e. ξ ≤ 1.2.
+			xi[i] = float32(rng.Float64()-0.5) * 0.7 * rcut
+			yi[i] = float32(rng.Float64()-0.5) * 0.7 * rcut
+			zi[i] = float32(rng.Float64()-0.5) * 0.7 * rcut
+		}
+
+		axS := make([]float64, ni)
+		ayS := make([]float64, ni)
+		azS := make([]float64, ni)
+		useAVX2 = true
+		AccelCutoffF32Fast(xi, yi, zi, src, 1, rcut, eps2, axS, ayS, azS)
+
+		axG := make([]float64, ni)
+		ayG := make([]float64, ni)
+		azG := make([]float64, ni)
+		useAVX2 = false
+		AccelCutoffF32Fast(xi, yi, zi, src, 1, rcut, eps2, axG, ayG, azG)
+		useAVX2 = true
+
+		scale := maxAbs(axG, ayG, azG)
+		tol := 2e-6 * math.Max(1e-6, scale)
+		for i := 0; i < ni; i++ {
+			if math.Abs(axS[i]-axG[i]) > tol || math.Abs(ayS[i]-ayG[i]) > tol || math.Abs(azS[i]-azG[i]) > tol {
+				t.Errorf("nj=%d target %d: simd (%g,%g,%g) vs go (%g,%g,%g), tol %g",
+					nj, i, axS[i], ayS[i], azS[i], axG[i], ayG[i], azG[i], tol)
+			}
+		}
+	}
+}
+
+// TestSIMDMaskBoundary verifies the assembly VCMPPS/VANDPS mask returns
+// exactly zero force beyond the cutoff and no NaN at r = 0 with softening —
+// the same guarantees TestCutoffMaskBoundary pins for the Go kernels.
+func TestSIMDMaskBoundary(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("host has no AVX2+FMA; SIMD path unreachable")
+	}
+	const rcut = 0.25
+
+	// 8 sources all beyond the cutoff (one full SIMD lane-set), 4 targets at
+	// the origin: every force component must be exactly zero.
+	src := &SourceF32{}
+	for j := 0; j < 8; j++ {
+		src.Append(rcut*1.5+float32(j)*0.01, 0, 0, 1)
+	}
+	xi := make([]float32, 4)
+	yi := make([]float32, 4)
+	zi := make([]float32, 4)
+	ax := make([]float64, 4)
+	ay := make([]float64, 4)
+	az := make([]float64, 4)
+	AccelCutoffF32Fast(xi, yi, zi, src, 1, rcut, 0, ax, ay, az)
+	for i := 0; i < 4; i++ {
+		if ax[i] != 0 || ay[i] != 0 || az[i] != 0 {
+			t.Errorf("beyond-cutoff target %d: force (%g,%g,%g), want exact 0", i, ax[i], ay[i], az[i])
+		}
+	}
+
+	// Self-interaction lanes (r = 0) with positive softening: finite, no NaN.
+	src2 := &SourceF32{}
+	for j := 0; j < 8; j++ {
+		src2.Append(0, 0, 0, 1)
+	}
+	for i := range ax {
+		ax[i], ay[i], az[i] = 0, 0, 0
+	}
+	AccelCutoffF32Fast(xi, yi, zi, src2, 1, rcut, 1e-8, ax, ay, az)
+	for i := 0; i < 4; i++ {
+		if math.IsNaN(ax[i]) || math.IsNaN(ay[i]) || math.IsNaN(az[i]) {
+			t.Errorf("r=0 target %d: NaN force (%g,%g,%g)", i, ax[i], ay[i], az[i])
+		}
+		if ax[i] != 0 || ay[i] != 0 || az[i] != 0 {
+			t.Errorf("r=0 target %d: force (%g,%g,%g), want exact 0 (dx=0)", i, ax[i], ay[i], az[i])
+		}
+	}
+}

@@ -86,5 +86,5 @@ func AccelQuad(xi, yi, zi []float64, src *QuadSource, g, eps2 float64, ax, ay, a
 		ay[i] += fy
 		az[i] += fz
 	}
-	return uint64(len(xi)) * uint64(src.Len())
+	return interactions(len(xi), src.Len())
 }

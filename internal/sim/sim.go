@@ -67,6 +67,11 @@ type Config struct {
 	Eps2       float64
 	LeafCap    int // 0 ⇒ 16
 	FastKernel bool
+	// Float32Kernel evaluates the PP cutoff kernel in single precision with
+	// group-center-relative interaction batches (tree.ForceOpts.Float32Kernel
+	// — the Phantom-GRAPE arrangement of §II-A). The float64 kernel remains
+	// the parity oracle; the cmd drivers enable float32 by default.
+	Float32Kernel bool
 	// Workers sizes the rank's intra-node worker pool (the OpenMP-style
 	// hybrid of the paper): the per-rank tree traversal, every PM hot loop
 	// (TSC assignment, FFT batches, convolution, differencing,
@@ -194,6 +199,15 @@ type Sim struct {
 	rec                                                         *telemetry.Recorder
 	ctrGroups, ctrSumNi, ctrListP, ctrListN, ctrInter, ctrNodes *telemetry.Counter
 	ctrFlops                                                    *telemetry.Counter
+	// Per-step Table I gauges: the most recent PP pass's mean group size
+	// ⟨Ni⟩ and mean interaction-list length ⟨Nj⟩ (the cumulative counters
+	// above carry the run totals).
+	gaugeNi, gaugeNj *telemetry.Gauge
+
+	// walker owns the grouped tree-walk scratch (interaction-list batches,
+	// per-group accumulators, traversal stack), reused across PP passes so
+	// the steady-state walk allocates nothing.
+	walker *tree.Walker
 
 	// Ghost-exchange machinery: the LET walk scratch, per-destination staging
 	// buffers, the flattened receive buffer, and the local+ghost source-set
@@ -350,9 +364,10 @@ func newSim(c *mpi.Comm, cfg Config) *Sim {
 	s := &Sim{
 		comm: c, cfg: cfg,
 		geo:  domain.Uniform(cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], cfg.L),
-		time: cfg.Time,
-		rng:  newSampleRNG(int64(42 + c.Rank())),
-		rec:  rec,
+		time:   cfg.Time,
+		rng:    newSampleRNG(int64(42 + c.Rank())),
+		rec:    rec,
+		walker: tree.NewWalker(),
 	}
 	// One pool per rank, shared by the PM solver (injected on every
 	// rebuild) and the integrator loops. par.New returns nil for ≤ 1
@@ -374,6 +389,8 @@ func newSim(c *mpi.Comm, cfg Config) *Sim {
 	s.ctrInter = reg.Counter("greem_tree_interactions_total")
 	s.ctrNodes = reg.Counter("greem_tree_nodes_visited_total")
 	s.ctrFlops = reg.FlopCounter("greem_pp_kernel_flops_total")
+	s.gaugeNi = reg.Gauge("greem_tree_mean_ni")
+	s.gaugeNj = reg.Gauge("greem_tree_mean_nj")
 	s.ctrGhostSent = reg.Counter(telemetry.MetricGhostSent)
 	s.ctrGhostRecv = reg.Counter(telemetry.MetricGhostRecv)
 	s.ctrGhostBytes = reg.Counter(telemetry.MetricGhostBytes)

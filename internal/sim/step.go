@@ -41,7 +41,7 @@ func (s *Sim) computePP() {
 	sp := s.rec.Start(telemetry.PhasePPTreeWalk)
 	// When no ghosts arrived the single tree must handle periodicity itself,
 	// since no ghosts encode the wrap.
-	st := tree.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(nGhosts == 0), s.asx, s.asy, s.asz)
+	st := s.walker.Accel(srcTree, tgtTree, s.cfg.Ni, s.forceOpts(nGhosts == 0), s.asx, s.asy, s.asz)
 	fused := sp.End().Seconds()
 	// The walk fuses traversal and force; split it for Table I using the
 	// kernel's own clock, and feed the interaction ledger.
@@ -58,6 +58,9 @@ func (s *Sim) computePP() {
 	s.ctrInter.AddUint(st.Interactions)
 	s.ctrNodes.AddUint(st.NodesVisited)
 	s.ctrFlops.AddUint(st.Flops())
+	// Per-step Table I gauges (this pass, not the run total).
+	s.gaugeNi.Set(st.MeanNi())
+	s.gaugeNj.Set(st.MeanNj())
 
 	s.lastCost = spAll.End().Seconds() + s.lastPMCost/float64(s.cfg.Substeps)
 	if s.cfg.DeterministicCost {
@@ -71,7 +74,8 @@ func (s *Sim) forceOpts(periodic bool) tree.ForceOpts {
 		G: s.cfg.G, Theta: s.cfg.Theta, Eps2: s.cfg.Eps2,
 		Cutoff: true, Rcut: s.cfg.Rcut,
 		Periodic: periodic, L: s.cfg.L,
-		FastKernel: s.cfg.FastKernel, Workers: s.cfg.Workers,
+		FastKernel: s.cfg.FastKernel, Float32Kernel: s.cfg.Float32Kernel,
+		Workers: s.cfg.Workers,
 	}
 }
 

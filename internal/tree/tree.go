@@ -19,7 +19,6 @@ package tree
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"time"
 
@@ -537,6 +536,17 @@ type ForceOpts struct {
 	// FastKernel selects the unrolled Phantom-GRAPE style kernel (requires
 	// Eps2 > 0 when groups appear in their own lists, which they do).
 	FastKernel bool
+	// Float32Kernel evaluates the cutoff kernel in single precision, the
+	// Phantom-GRAPE arrangement (§II-A): the walk emits interaction lists
+	// into float32 SoA batches with positions *relative to the group
+	// center*, so every coordinate the kernel sees is bounded by
+	// Rcut + the group radius and float32 resolution is spent where the
+	// force lives; per-target partials still accumulate in float64. Honored
+	// only in cutoff mode — the open (pure-tree) walk has no distance bound,
+	// so it stays float64, as does the quadrupole ablation. With FastKernel
+	// it selects the SIMD/unrolled float32 kernel; without, the scalar
+	// float32 reference.
+	Float32Kernel bool
 	// Quadrupole evaluates accepted nodes with monopole+quadrupole moments
 	// instead of monopole only. Requires a source tree built with
 	// Options.Quadrupole, and is only supported in the open (non-cutoff)
@@ -550,40 +560,70 @@ type ForceOpts struct {
 	Workers int
 }
 
+// Walker owns all the scratch a grouped traversal+kernel pass needs — the
+// interaction-list batch buffers (float64 and float32 SoA), per-group
+// accumulators, the traversal stack, and the periodic shift table — so that
+// repeated force passes allocate nothing in steady state. A Walker is not
+// safe for concurrent use; with ForceOpts.Workers > 1 it lazily grows one
+// private sub-Walker per worker goroutine and reuses them across passes.
+type Walker struct {
+	list   ppkern.Source
+	list32 ppkern.SourceF32
+	quads  ppkern.QuadSource
+	// Per-group accumulators (float64) and float32 group-relative targets.
+	gax, gay, gaz []float64
+	tix, tiy, tiz []float32
+	stack         []int32
+	shifts        [][3]float64
+	subs          []*Walker
+	stats         []Stats
+}
+
+// NewWalker returns an empty Walker; buffers grow on first use.
+func NewWalker() *Walker { return &Walker{} }
+
 // Accel computes tree accelerations on the particles of tgt using src as the
 // source tree (src and tgt may be the same tree): the TreePM short-range
 // force when opt.Cutoff is set, the plain Barnes-Hut force otherwise. The
 // result is accumulated into ax/ay/az, which are indexed by the *original*
 // particle order of tgt. Group size cap ni controls Barnes' modified
 // algorithm (ni=1 for the original per-particle traversal).
-func Accel(src, tgt *Tree, ni int, opt ForceOpts, ax, ay, az []float64) Stats {
+func (w *Walker) Accel(src, tgt *Tree, ni int, opt ForceOpts, ax, ay, az []float64) Stats {
 	groups := tgt.Groups(ni)
-	return AccelGroups(src, tgt, groups, opt, ax, ay, az)
+	return w.AccelGroups(src, tgt, groups, opt, ax, ay, az)
 }
 
 // AccelGroups is Accel with a caller-supplied group decomposition. With
-// opt.Workers > 1 the groups are processed concurrently; groups own disjoint
-// particle ranges (and hence disjoint output indices through Perm), so no
-// synchronization of the accumulators is needed. Stats.KernelSeconds then
-// aggregates CPU seconds across workers, not wall-clock.
-func AccelGroups(src, tgt *Tree, groups []Group, opt ForceOpts, ax, ay, az []float64) Stats {
+// opt.Workers > 1 the groups are processed concurrently on per-worker
+// sub-Walkers; groups own disjoint particle ranges (and hence disjoint
+// output indices through Perm), so no synchronization of the accumulators is
+// needed, and the result is bit-identical to a serial pass.
+// Stats.KernelSeconds then aggregates CPU seconds across workers, not
+// wall-clock.
+func (w *Walker) AccelGroups(src, tgt *Tree, groups []Group, opt ForceOpts, ax, ay, az []float64) Stats {
 	if opt.Workers > 1 && len(groups) > 1 {
 		nw := opt.Workers
 		if nw > len(groups) {
 			nw = len(groups)
 		}
-		stats := make([]Stats, nw)
+		for len(w.subs) < nw {
+			w.subs = append(w.subs, NewWalker())
+		}
+		if cap(w.stats) < nw {
+			w.stats = make([]Stats, nw)
+		}
+		stats := w.stats[:nw]
 		var wg sync.WaitGroup
-		for w := 0; w < nw; w++ {
-			lo := w * len(groups) / nw
-			hi := (w + 1) * len(groups) / nw
+		for k := 0; k < nw; k++ {
+			lo := k * len(groups) / nw
+			hi := (k + 1) * len(groups) / nw
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(k, lo, hi int) {
 				defer wg.Done()
 				sub := opt
 				sub.Workers = 1
-				stats[w] = AccelGroups(src, tgt, groups[lo:hi], sub, ax, ay, az)
-			}(w, lo, hi)
+				stats[k] = w.subs[k].AccelGroups(src, tgt, groups[lo:hi], sub, ax, ay, az)
+			}(k, lo, hi)
 		}
 		wg.Wait()
 		var st Stats
@@ -595,23 +635,24 @@ func AccelGroups(src, tgt *Tree, groups []Group, opt ForceOpts, ax, ay, az []flo
 	if opt.Quadrupole && opt.Cutoff {
 		panic("tree: quadrupole moments are only supported in open (non-cutoff) mode")
 	}
+	// The float32 batch path needs the cutoff's distance bound for its
+	// precision argument; everywhere else the float64 walk stands.
+	if opt.Float32Kernel && opt.Cutoff {
+		return w.accelGroupsF32(src, tgt, groups, opt, ax, ay, az)
+	}
 	var st Stats
-	var list ppkern.Source
-	var quadList ppkern.QuadSource
 	var quads *ppkern.QuadSource
 	if opt.Quadrupole {
-		quads = &quadList
+		quads = &w.quads
 	}
-	gax := make([]float64, 0, 256)
-	gay := make([]float64, 0, 256)
-	gaz := make([]float64, 0, 256)
-	shifts := src.shifts(opt)
+	w.shifts = src.appendShifts(w.shifts[:0], opt)
 	for _, g := range groups {
-		list.Reset()
-		quadList.Reset()
+		w.list.Reset()
+		w.quads.Reset()
 		var nodesVisited, nPart, nNode uint64
-		for _, sh := range shifts {
-			v, p, nn := src.collect(&list, quads, g, sh, opt)
+		for _, sh := range w.shifts {
+			var v, p, nn uint64
+			w.stack, v, p, nn = src.collect(w.stack, &w.list, quads, g, sh, opt)
 			nodesVisited += v
 			nPart += p
 			nNode += nn
@@ -621,37 +662,111 @@ func AccelGroups(src, tgt *Tree, groups []Group, opt ForceOpts, ax, ay, az []flo
 		st.SumNi += uint64(ni)
 		st.ListParticles += nPart
 		st.ListNodes += nNode
-		st.Interactions += uint64(ni) * uint64(list.Len()+quadList.Len())
 		st.NodesVisited += nodesVisited
 
-		gax = resize(gax, ni)
-		gay = resize(gay, ni)
-		gaz = resize(gaz, ni)
+		w.gax = resize(w.gax, ni)
+		w.gay = resize(w.gay, ni)
+		w.gaz = resize(w.gaz, ni)
 		xi := tgt.X[g.Start : g.Start+g.Count]
 		yi := tgt.Y[g.Start : g.Start+g.Count]
 		zi := tgt.Z[g.Start : g.Start+g.Count]
 		tKernel := time.Now()
+		// The kernels are the single source of the interaction count
+		// (n × Nj each); the Stats ledger sums their returns.
 		if opt.Cutoff {
 			if opt.FastKernel {
-				ppkern.AccelCutoffFast(xi, yi, zi, &list, opt.G, opt.Rcut, opt.Eps2, gax, gay, gaz)
+				st.Interactions += ppkern.AccelCutoffFast(xi, yi, zi, &w.list, opt.G, opt.Rcut, opt.Eps2, w.gax, w.gay, w.gaz)
 			} else {
-				ppkern.AccelCutoff(xi, yi, zi, &list, opt.G, opt.Rcut, opt.Eps2, gax, gay, gaz)
+				st.Interactions += ppkern.AccelCutoff(xi, yi, zi, &w.list, opt.G, opt.Rcut, opt.Eps2, w.gax, w.gay, w.gaz)
 			}
 		} else {
-			ppkern.AccelPlain(xi, yi, zi, &list, opt.G, opt.Eps2, gax, gay, gaz)
+			st.Interactions += ppkern.AccelPlain(xi, yi, zi, &w.list, opt.G, opt.Eps2, w.gax, w.gay, w.gaz)
 		}
-		if opt.Quadrupole && quadList.Len() > 0 {
-			ppkern.AccelQuad(xi, yi, zi, &quadList, opt.G, opt.Eps2, gax, gay, gaz)
+		if opt.Quadrupole && w.quads.Len() > 0 {
+			st.Interactions += ppkern.AccelQuad(xi, yi, zi, &w.quads, opt.G, opt.Eps2, w.gax, w.gay, w.gaz)
 		}
 		st.KernelSeconds += time.Since(tKernel).Seconds()
 		for k := 0; k < ni; k++ {
 			orig := tgt.Perm[int(g.Start)+k]
-			ax[orig] += gax[k]
-			ay[orig] += gay[k]
-			az[orig] += gaz[k]
+			ax[orig] += w.gax[k]
+			ay[orig] += w.gay[k]
+			az[orig] += w.gaz[k]
 		}
 	}
 	return st
+}
+
+// accelGroupsF32 is the float32 batch walk: collectF32 emits each group's
+// interaction list into the reusable float32 SoA buffer with positions
+// relative to the group's bounding-box center, the group's own targets are
+// rebased the same way, and the float32 cutoff kernel accumulates into the
+// float64 per-group buffers. Serial — the Workers split happens above.
+func (w *Walker) accelGroupsF32(src, tgt *Tree, groups []Group, opt ForceOpts, ax, ay, az []float64) Stats {
+	var st Stats
+	w.shifts = src.appendShifts(w.shifts[:0], opt)
+	g32 := float32(opt.G)
+	rcut32 := float32(opt.Rcut)
+	eps232 := float32(opt.Eps2)
+	for _, g := range groups {
+		// Group center: the bounding-box midpoint. Every emitted coordinate
+		// is then bounded by Rcut plus the half-diagonal of the group box.
+		cx := 0.5 * (g.MinX + g.MaxX)
+		cy := 0.5 * (g.MinY + g.MaxY)
+		cz := 0.5 * (g.MinZ + g.MaxZ)
+		w.list32.Reset()
+		var nodesVisited, nPart, nNode uint64
+		for _, sh := range w.shifts {
+			var v, p, nn uint64
+			w.stack, v, p, nn = src.collectF32(w.stack, &w.list32, g, sh, cx, cy, cz, opt)
+			nodesVisited += v
+			nPart += p
+			nNode += nn
+		}
+		ni := int(g.Count)
+		st.Groups++
+		st.SumNi += uint64(ni)
+		st.ListParticles += nPart
+		st.ListNodes += nNode
+		st.NodesVisited += nodesVisited
+
+		w.gax = resize(w.gax, ni)
+		w.gay = resize(w.gay, ni)
+		w.gaz = resize(w.gaz, ni)
+		w.tix = resize32(w.tix, ni)
+		w.tiy = resize32(w.tiy, ni)
+		w.tiz = resize32(w.tiz, ni)
+		for k := 0; k < ni; k++ {
+			p := int(g.Start) + k
+			w.tix[k] = float32(tgt.X[p] - cx)
+			w.tiy[k] = float32(tgt.Y[p] - cy)
+			w.tiz[k] = float32(tgt.Z[p] - cz)
+		}
+		tKernel := time.Now()
+		if opt.FastKernel {
+			st.Interactions += ppkern.AccelCutoffF32Fast(w.tix, w.tiy, w.tiz, &w.list32, g32, rcut32, eps232, w.gax, w.gay, w.gaz)
+		} else {
+			st.Interactions += ppkern.AccelCutoffF32(w.tix, w.tiy, w.tiz, &w.list32, g32, rcut32, eps232, w.gax, w.gay, w.gaz)
+		}
+		st.KernelSeconds += time.Since(tKernel).Seconds()
+		for k := 0; k < ni; k++ {
+			orig := tgt.Perm[int(g.Start)+k]
+			ax[orig] += w.gax[k]
+			ay[orig] += w.gay[k]
+			az[orig] += w.gaz[k]
+		}
+	}
+	return st
+}
+
+// Accel is the package-level convenience wrapper: a throwaway Walker. Hot
+// paths (sim steps, benchmarks) should hold a Walker and reuse it.
+func Accel(src, tgt *Tree, ni int, opt ForceOpts, ax, ay, az []float64) Stats {
+	return NewWalker().Accel(src, tgt, ni, opt, ax, ay, az)
+}
+
+// AccelGroups is the package-level wrapper over a throwaway Walker.
+func AccelGroups(src, tgt *Tree, groups []Group, opt ForceOpts, ax, ay, az []float64) Stats {
+	return NewWalker().AccelGroups(src, tgt, groups, opt, ax, ay, az)
 }
 
 func resize(s []float64, n int) []float64 {
@@ -665,36 +780,57 @@ func resize(s []float64, n int) []float64 {
 	return s
 }
 
-// shifts returns the periodic image offsets that could matter. In cutoff
-// mode only images within rcut of the primary box; in open mode just {0}.
-func (t *Tree) shifts(opt ForceOpts) [][3]float64 {
-	if !opt.Periodic {
-		return [][3]float64{{0, 0, 0}}
+// resize32 grows s to length n without zeroing — callers overwrite every
+// element.
+func resize32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		s = make([]float32, n)
 	}
-	var out [][3]float64
+	return s[:n]
+}
+
+// appendShifts appends the periodic image offsets that could matter to buf
+// (pass buf[:0] to reuse) and returns it nearest-image-first. In open mode
+// just {0}.
+func (t *Tree) appendShifts(buf [][3]float64, opt ForceOpts) [][3]float64 {
+	if !opt.Periodic {
+		return append(buf, [3]float64{0, 0, 0})
+	}
 	for ix := -1; ix <= 1; ix++ {
 		for iy := -1; iy <= 1; iy++ {
 			for iz := -1; iz <= 1; iz++ {
-				out = append(out, [3]float64{float64(ix) * opt.L, float64(iy) * opt.L, float64(iz) * opt.L})
+				buf = append(buf, [3]float64{float64(ix) * opt.L, float64(iy) * opt.L, float64(iz) * opt.L})
 			}
 		}
 	}
-	// Put the primary image first for cache-friendliness.
-	sort.Slice(out, func(i, j int) bool {
-		ni := out[i][0]*out[i][0] + out[i][1]*out[i][1] + out[i][2]*out[i][2]
-		nj := out[j][0]*out[j][0] + out[j][1]*out[j][1] + out[j][2]*out[j][2]
-		return ni < nj
-	})
-	return out
+	// Insertion sort by squared norm puts the primary image first for
+	// cache-friendliness (27 entries; sort.Slice would allocate its closure).
+	for i := 1; i < len(buf); i++ {
+		v := buf[i]
+		nv := v[0]*v[0] + v[1]*v[1] + v[2]*v[2]
+		j := i - 1
+		for j >= 0 {
+			u := buf[j]
+			if u[0]*u[0]+u[1]*u[1]+u[2]*u[2] <= nv {
+				break
+			}
+			buf[j+1] = u
+			j--
+		}
+		buf[j+1] = v
+	}
+	return buf
 }
 
 // collect walks the tree and appends interaction-list entries for group g
 // whose coordinates are shifted by sh (i.e. sources are taken at position −sh
-// relative to the group frame). Returns the number of nodes visited and the
-// number of particle and multipole entries appended.
-func (t *Tree) collect(list *ppkern.Source, quads *ppkern.QuadSource, g Group, sh [3]float64, opt ForceOpts) (visited, nPart, nNode uint64) {
+// relative to the group frame). The traversal stack is threaded through so
+// the caller's buffer is reused; collect returns it (possibly regrown) along
+// with the number of nodes visited and the number of particle and multipole
+// entries appended.
+func (t *Tree) collect(stack []int32, list *ppkern.Source, quads *ppkern.QuadSource, g Group, sh [3]float64, opt ForceOpts) (_ []int32, visited, nPart, nNode uint64) {
 	if len(t.nodes) == 0 {
-		return 0, 0, 0
+		return stack, 0, 0, 0
 	}
 	useQuad := quads != nil && t.quads != nil
 	// Shift the group box into the source frame.
@@ -702,8 +838,7 @@ func (t *Tree) collect(list *ppkern.Source, quads *ppkern.QuadSource, g Group, s
 	gminy, gmaxy := g.MinY+sh[1], g.MaxY+sh[1]
 	gminz, gmaxz := g.MinZ+sh[2], g.MaxZ+sh[2]
 
-	stack := make([]int32, 0, 64)
-	stack = append(stack, 0)
+	stack = append(stack[:0], 0)
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -748,7 +883,67 @@ func (t *Tree) collect(list *ppkern.Source, quads *ppkern.QuadSource, g Group, s
 			stack = append(stack, c)
 		}
 	}
-	return visited, nPart, nNode
+	return stack, visited, nPart, nNode
+}
+
+// collectF32 is collect's float32 batch twin for the cutoff walk: identical
+// float64 traversal (same pruning, same opening criterion, so the emitted
+// list has exactly the same entries as collect's), but every accepted entry
+// is appended in float32 with its position taken relative to the group
+// center (cx, cy, cz) — the Phantom-GRAPE arrangement. Each coordinate is
+// computed in float64 (raw − shift − center) and rounded once to float32,
+// so its magnitude is bounded by Rcut plus the group's half-diagonal and
+// carries full float32 resolution at that scale. Multipole-accepted nodes
+// are appended the same way (monopole only — the cutoff walk has no
+// quadrupole mode).
+func (t *Tree) collectF32(stack []int32, list *ppkern.SourceF32, g Group, sh [3]float64, cx, cy, cz float64, opt ForceOpts) (_ []int32, visited, nPart, nNode uint64) {
+	if len(t.nodes) == 0 {
+		return stack, 0, 0, 0
+	}
+	// Shift the group box into the source frame.
+	gminx, gmaxx := g.MinX+sh[0], g.MaxX+sh[0]
+	gminy, gmaxy := g.MinY+sh[1], g.MaxY+sh[1]
+	gminz, gmaxz := g.MinZ+sh[2], g.MaxZ+sh[2]
+	// Fold the shift into the rebase offset: emitted = raw − (sh + center).
+	ox, oy, oz := sh[0]+cx, sh[1]+cy, sh[2]+cz
+
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[i]
+		visited++
+
+		dx := axisDist(gminx, gmaxx, nd.cx-nd.half, nd.cx+nd.half)
+		dy := axisDist(gminy, gmaxy, nd.cy-nd.half, nd.cy+nd.half)
+		dz := axisDist(gminz, gmaxz, nd.cz-nd.half, nd.cz+nd.half)
+		dmin2 := dx*dx + dy*dy + dz*dz
+		if dmin2 > opt.Rcut*opt.Rcut {
+			continue
+		}
+
+		cdx := axisDistPoint(gminx, gmaxx, nd.comx)
+		cdy := axisDistPoint(gminy, gmaxy, nd.comy)
+		cdz := axisDistPoint(gminz, gmaxz, nd.comz)
+		d2 := cdx*cdx + cdy*cdy + cdz*cdz
+		s := 2 * nd.half
+		if d2 > 0 && s*s < opt.Theta*opt.Theta*d2 {
+			list.Append(float32(nd.comx-ox), float32(nd.comy-oy), float32(nd.comz-oz), float32(nd.mass))
+			nNode++
+			continue
+		}
+		if nd.firstChild < 0 {
+			for p := nd.start; p < nd.start+nd.count; p++ {
+				list.Append(float32(t.X[p]-ox), float32(t.Y[p]-oy), float32(t.Z[p]-oz), float32(t.M[p]))
+				nPart++
+			}
+			continue
+		}
+		for c := nd.firstChild; c < nd.firstChild+int32(nd.nChild); c++ {
+			stack = append(stack, c)
+		}
+	}
+	return stack, visited, nPart, nNode
 }
 
 // axisDist returns the 1-D distance between intervals [alo, ahi] and
@@ -782,13 +977,15 @@ func PotentialCutoff(src, tgt *Tree, ni int, opt ForceOpts, tab *ppkern.PotTable
 	groups := tgt.Groups(ni)
 	var st Stats
 	var list ppkern.Source
+	var stack []int32
 	buf := make([]float64, 0, 256)
-	shifts := src.shifts(opt)
+	shifts := src.appendShifts(nil, opt)
 	for _, g := range groups {
 		list.Reset()
 		var visited, nPart, nNode uint64
 		for _, sh := range shifts {
-			v, p, nn := src.collect(&list, nil, g, sh, opt)
+			var v, p, nn uint64
+			stack, v, p, nn = src.collect(stack, &list, nil, g, sh, opt)
 			visited += v
 			nPart += p
 			nNode += nn

@@ -32,6 +32,9 @@ type Config struct {
 	LeafCap int
 	// FastKernel selects the Phantom-GRAPE style unrolled kernel.
 	FastKernel bool
+	// Float32Kernel evaluates the short-range kernel in single precision on
+	// group-center-relative float32 batches (tree.ForceOpts.Float32Kernel).
+	Float32Kernel bool
 	// SpectralPM switches PM differentiation to k-space (ablation).
 	SpectralPM bool
 	// NoDeconvolution disables TSC window deconvolution (ablation).
@@ -69,8 +72,9 @@ func (c *Config) setDefaults() error {
 
 // Solver evaluates total gravitational accelerations with the TreePM method.
 type Solver struct {
-	cfg Config
-	pm  *mesh.PM
+	cfg    Config
+	pm     *mesh.PM
+	walker *tree.Walker
 }
 
 // Stats reports per-component work and wall-clock for one force evaluation.
@@ -100,7 +104,7 @@ func New(cfg Config) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{cfg: cfg, pm: pm}, nil
+	return &Solver{cfg: cfg, pm: pm, walker: tree.NewWalker()}, nil
 }
 
 // Close releases the PM solver's worker pool (no-op when serial).
@@ -121,10 +125,11 @@ func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) (Stats, error
 	st.TreeBuild = time.Since(t0)
 
 	t1 := time.Now()
-	st.Tree = tree.Accel(tr, tr, s.cfg.Ni, tree.ForceOpts{
+	st.Tree = s.walker.Accel(tr, tr, s.cfg.Ni, tree.ForceOpts{
 		G: s.cfg.G, Theta: s.cfg.Theta, Eps2: s.cfg.Eps2,
 		Cutoff: true, Rcut: s.cfg.Rcut, Periodic: true, L: s.cfg.L,
-		FastKernel: s.cfg.FastKernel, Workers: s.cfg.Workers,
+		FastKernel: s.cfg.FastKernel, Float32Kernel: s.cfg.Float32Kernel,
+		Workers: s.cfg.Workers,
 	}, ax, ay, az)
 	st.TreeTraverse = time.Since(t1)
 
