@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-kernel bench-scaling bench-record bench-compare smoke-restart smoke-serve
+.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-kernel bench-overlap bench-scaling bench-record bench-compare smoke-restart smoke-serve
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/ ./internal/ppkern/ ./internal/tree/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/ ./internal/ppkern/ ./internal/tree/ ./internal/pmpar/
 
 # fuzz-smoke: a few seconds of native Go fuzzing per fuzzer — enough to shake
 # out decoder panics and ghost-selection invariant breaks without turning the
@@ -59,6 +59,12 @@ bench-kernel:
 # benchmarks and persist them as bench_records/BENCH_<timestamp>.json;
 # bench-compare diffs the two newest records and fails on a >10% regression
 # in any cost metric (ns/op, B/op, allocs/op, byte ledgers).
+# bench-overlap: the overlapped step pipeline before/after — one warm 64³
+# step on 8 ranks with the PM solve sequential vs hidden behind the tree walk
+# (rank0-step-s is the wall-clock evidence, hidden-s the covered PM share).
+bench-overlap:
+	$(GO) test -run NONE -bench 'StepOverlap64' -benchmem .
+
 bench-record:
 	./scripts/bench_record.sh
 

@@ -28,6 +28,7 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-rank workers for the scaled run (0 = serial, -1 = auto)")
 	let := flag.Bool("let", true, "locally-essential-tree ghost exchange for the scaled run (false = raw baseline)")
 	f32 := flag.Bool("f32", true, "float32 PP kernel for the scaled run (false = float64 oracle kernel)")
+	overlap := flag.Bool("overlap", true, "overlapped PM‖PP step pipeline for the scaled run (false = sequential)")
 	flag.Parse()
 
 	m := perfmodel.KComputer()
@@ -75,7 +76,7 @@ func main() {
 		fmt.Println("\n(use -run for a scaled-down measured breakdown on this machine)")
 		return
 	}
-	scaledRun(*np, *ranks, *steps, *workers, *let, *f32)
+	scaledRun(*np, *ranks, *steps, *workers, *let, *f32, *overlap)
 }
 
 // tableRows maps Table I's row labels onto the telemetry phase names; the
@@ -108,7 +109,7 @@ var tableRows = []struct {
 // within-rank max/mean worker imbalance (busy+idle)/busy from the pool
 // telemetry — is appended to the phase rows that batch over it; the serial
 // default prints exactly the historical table.
-func scaledRun(np, ranks, steps, workers int, let, f32 bool) {
+func scaledRun(np, ranks, steps, workers int, let, f32, overlap bool) {
 	mode := "LET"
 	if !let {
 		mode = "raw-ghost"
@@ -117,8 +118,12 @@ func scaledRun(np, ranks, steps, workers int, let, f32 bool) {
 	if !f32 {
 		kern = "float64"
 	}
-	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps, %s exchange, %s kernel\n",
-		np, ranks, steps, mode, kern)
+	pipe := "overlapped"
+	if !overlap {
+		pipe = "sequential"
+	}
+	fmt.Printf("\nScaled measured run: %d³ particles on %d ranks, %d steps, %s exchange, %s kernel, %s PM‖PP\n",
+		np, ranks, steps, mode, kern, pipe)
 	rng := rand.New(rand.NewSource(1))
 	n := np * np * np
 	parts := make([]sim.Particle, n)
@@ -140,6 +145,7 @@ func scaledRun(np, ranks, steps, workers int, let, f32 bool) {
 		L: 1, G: 1, NMesh: 32, Theta: 0.5, Ni: 100, Eps2: 1e-8,
 		FastKernel: true, Float32Kernel: f32,
 		Grid: grid, DT: 0.01, Workers: workers, LETExchange: let,
+		OverlapPMPP: overlap,
 	}
 	var prof *telemetry.Profile
 	var inter float64
@@ -209,6 +215,27 @@ func scaledRun(np, ranks, steps, workers int, let, f32 bool) {
 			}
 		}
 		fmt.Println()
+	}
+	if overlap {
+		// The overlapped pipeline's own rows: join wait is the un-hidden PM
+		// remainder on the critical path; the window is the whole overlapped
+		// density→{solve ‖ PP}→join section; hidden is the solve time that
+		// cost no wall-clock because the tree walk covered it.
+		for _, row := range []struct{ label, phase string }{
+			{"overlap join wait", telemetry.PhaseOverlapJoin},
+			{"overlap window (crit path)", telemetry.PhaseOverlapWindow},
+		} {
+			fmt.Printf("%-28s %10.4f %10.4f %10.4f %10.2f",
+				row.label, prof.Phase(row.phase).Min*per, prof.Phase(row.phase).Mean*per,
+				prof.Phase(row.phase).Max*per, prof.Phase(row.phase).Imbalance)
+			if intraActive {
+				fmt.Printf(" %10s", "-")
+			}
+			fmt.Println()
+		}
+		hid := prof.Counter(telemetry.MetricOverlapHidden)
+		fmt.Printf("PM solve hidden by overlap: %.4f s/step mean-rank (%.4f max-rank)\n",
+			hid.Mean*per, hid.Max*per)
 	}
 	fmt.Printf("\n⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f, interactions/step = %.3g, PP kernel = %s\n", ni, nj, inter, kern)
 	flops := prof.Counter(`greem_pp_kernel_flops_total`)

@@ -152,6 +152,30 @@ func killRank1MidKick(afterSteps int) mpi.KillHook {
 	}
 }
 
+// killRank1AtOverlapJoin fires at rank 1's overlap-join point of the step
+// after afterSteps completed steps — the PM solve is in flight on the
+// duplicated communicator's background goroutine when the rank dies, so the
+// abort must also unblock and drain that goroutine's collectives.
+func killRank1AtOverlapJoin(afterSteps int) mpi.KillHook {
+	var mu sync.Mutex
+	steps, fired := 0, false
+	return func(rank int, point string) bool {
+		if rank != 1 {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if point == "sim/step" {
+			steps++
+		}
+		if !fired && point == "overlap/join" && steps == afterSteps+1 {
+			fired = true
+			return true
+		}
+		return false
+	}
+}
+
 // killRank1NthShardWrite fires between rank 1's n-th checkpoint shard hitting
 // the temp file and its rename — the shard is fully on disk but the
 // checkpoint is not committed.
@@ -205,6 +229,33 @@ func TestCrashRestartBitIdentical(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// TestCrashRestartOverlapJoin kills rank 1 at the overlapped pipeline's join
+// point — a PM solve in flight on the dup-comm background goroutine — and
+// requires the resumed run (which itself overlaps) to land bit-identically on
+// both the uninterrupted overlapped run and the uninterrupted sequential run:
+// the overlap knob must leave no footprint in the checkpoint contract.
+func TestCrashRestartOverlapJoin(t *testing.T) {
+	parts := makeParticles(23, 200, 0.05)
+	seq := restartConfig(1)
+	want := runToEnd(t, seq, parts)
+
+	ovl := seq
+	ovl.OverlapPMPP = true
+	wantOvl := runToEnd(t, ovl, parts)
+	requireIdentical(t, want, wantOvl, "uninterrupted overlap vs sequential")
+
+	ckCfg := Config{Dir: t.TempDir(), Sim: ovl}
+	// Rank 1 dies at step 5's join with the solve in flight; checkpoints at
+	// steps 2 and 4 are committed, so the run resumes at 4 (and re-enters the
+	// overlapped pipeline on its first resumed step).
+	runUntilKilled(t, ovl, ckCfg, parts, killRank1AtOverlapJoin(4))
+	got := resumeToEnd(t, ovl, ckCfg, 4)
+	requireIdentical(t, want, got, "kill at overlap join")
+	if err := ValidateChain(ckCfg); err != nil {
+		t.Errorf("chain after resume: %v", err)
 	}
 }
 

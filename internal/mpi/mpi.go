@@ -436,6 +436,43 @@ func (c *Comm) Split(color, key int) *Comm {
 	return child
 }
 
+// dupColor marks communicators produced by Dup in their commID, so a Dup can
+// never collide with a Split child (user colors are plain ints; Split children
+// of the same call share the parent's nsplit value, which Dup also consumes).
+const dupColor = int(^uint(0)>>1)&^0xffff | 0xd0b
+
+// Dup returns a duplicate communicator: the same members, ranks and world,
+// but a fresh communication context — collectives on the duplicate use their
+// own board space and never match collectives on the parent, exactly like
+// MPI_Comm_dup. This is what lets one rank drive two concurrent collective
+// streams (e.g. the async PM solve against the PP ghost exchange) from two
+// goroutines without interleaving.
+//
+// Dup is collective by contract: every rank of the parent must call it, in
+// the same order relative to other Dup/Split calls on the same parent (it
+// consumes the parent's split-sequence counter). No communication happens.
+func (c *Comm) Dup() *Comm {
+	d := &Comm{
+		world:   c.world,
+		id:      commID{parent: hashID(c.id), seq: c.nsplit, color: dupColor},
+		rank:    c.rank,
+		size:    c.size,
+		members: c.members,
+	}
+	c.nsplit++
+	return d
+}
+
+// SetTrafficLabel tags ops subsequently recorded on THIS communicator in the
+// world traffic ledger with a phase label (e.g. "pp/ghosts"); the empty
+// string clears it. Labels are per-communicator, so a label set around a
+// world-comm phase never leaks onto ops another goroutine records on a
+// duplicated or split communicator at the same time. Call from a single rank
+// around the communication phase.
+func (c *Comm) SetTrafficLabel(label string) {
+	c.world.Traffic.setLabel(c.id, label)
+}
+
 func hashID(id commID) uint64 {
 	h := id.parent*1000003 + uint64(id.seq)*8191 + uint64(int64(id.color))*131
 	return h*2654435761 + 1

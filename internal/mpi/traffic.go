@@ -18,17 +18,21 @@ type Op struct {
 	Comm     commID
 	CommSize int
 	Msgs     []Message
-	// Label tags the op with the caller's phase (set via Traffic.SetLabel).
+	// Label tags the op with the caller's phase (set via Comm.SetTrafficLabel
+	// on the communicator the op ran on).
 	Label string
 }
 
 // Traffic is the world-wide ledger of communication operations. The
 // perfmodel package replays it against a modeled interconnect to produce
 // the paper's communication-time comparisons (naive vs relay mesh).
+// Labels are keyed by communicator, so concurrent collective streams (e.g.
+// the async PM solve on a duplicated comm overlapping the PP ghost exchange
+// on the world comm) never mislabel each other's ops.
 type Traffic struct {
-	mu    sync.Mutex
-	ops   []Op
-	label string
+	mu     sync.Mutex
+	ops    []Op
+	labels map[commID]string
 }
 
 func (t *Traffic) record(op Op) {
@@ -36,7 +40,7 @@ func (t *Traffic) record(op Op) {
 		return
 	}
 	t.mu.Lock()
-	op.Label = t.label
+	op.Label = t.labels[op.Comm]
 	t.ops = append(t.ops, op)
 	t.mu.Unlock()
 }
@@ -64,19 +68,34 @@ func (t *Traffic) recordTree(c *Comm, root, bytes int, name string, toRoot bool)
 	t.record(Op{Name: name, Comm: c.id, CommSize: p, Msgs: msgs})
 }
 
-// SetLabel tags subsequently recorded ops with a phase label (e.g.
-// "mesh→slab"). Call from a single rank around a communication phase.
-func (t *Traffic) SetLabel(label string) {
+// setLabel installs (or, with the empty string, clears) the label applied to
+// ops subsequently recorded on the given communicator.
+func (t *Traffic) setLabel(id commID, label string) {
 	t.mu.Lock()
-	t.label = label
-	t.mu.Unlock()
+	defer t.mu.Unlock()
+	if label == "" {
+		delete(t.labels, id)
+		return
+	}
+	if t.labels == nil {
+		t.labels = make(map[commID]string)
+	}
+	t.labels[id] = label
 }
 
-// Reset clears the ledger.
+// SetLabel tags ops subsequently recorded on the *world* communicator with a
+// phase label (e.g. "mesh→slab"). Ops on split or duplicated communicators
+// are unaffected; label those via Comm.SetTrafficLabel. Call from a single
+// rank around a communication phase.
+func (t *Traffic) SetLabel(label string) {
+	t.setLabel(commID{}, label)
+}
+
+// Reset clears the ledger and all labels.
 func (t *Traffic) Reset() {
 	t.mu.Lock()
 	t.ops = nil
-	t.label = ""
+	t.labels = nil
 	t.mu.Unlock()
 }
 

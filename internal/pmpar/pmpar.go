@@ -144,6 +144,10 @@ type Solver struct {
 
 	taskConv, taskConvC func(w, lo, hi int)
 
+	// pending is the in-flight background solve between AccelStart and
+	// AccelWait; nil otherwise.
+	pending *pendingSolve
+
 	// Times accumulates phase timings across Accel calls.
 	Times Timings
 }
@@ -671,18 +675,27 @@ func (s *Solver) fftAndGreenPencil() {
 	copy(s.slab, back)
 }
 
-// Accel runs one full parallel PM cycle for this rank's particles (which
-// must lie inside its domain), accumulating long-range accelerations into
-// ax/ay/az (indexed like x/y/z). Collective over the world communicator.
-func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
+// assignDensity is stage 1 of the PM cycle: clear the local window and
+// TSC-assign the particles onto it. Runs on the caller's goroutine (it owns
+// the recorder and the pool accounting).
+func (s *Solver) assignDensity(x, y, z, m []float64) {
 	sp := s.rec.Start(telemetry.PhasePMDensity)
 	s.lm.Clear()
 	s.lm.AssignTSC(x, y, z, m)
 	s.Times.Density += sp.End()
 	s.notePool(poolPhaseDensity)
+}
 
+// solveStage is stage 2: mesh-to-slab conversion, the parallel FFT + Green's
+// convolution, and the potential return conversion. It is the part the async
+// API runs on a background goroutine, so it must not touch the recorder or
+// the pool counters (both are rank-local and not thread-safe) — it returns
+// the raw comm and FFT durations for the owner to attribute at the join
+// (attributeSolve). It does drive the worker pool (FFT lines, convolution):
+// during the overlap window the background solve is the pool's sole user.
+func (s *Solver) solveStage() (comm, fft time.Duration) {
 	// Conversion to slabs.
-	sp = s.rec.Start(telemetry.PhasePMComm)
+	t0 := time.Now()
 	s.densityToSlabs()
 	if s.cfg.Relay && s.isHolder {
 		// Sum partial slabs across groups onto the root group.
@@ -691,26 +704,42 @@ func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
 			copy(s.slab, sum)
 		}
 	}
-	s.Times.Comm += sp.End()
+	comm = time.Since(t0)
 
 	// FFT + Green's function on the FFT processes; others wait (paper step 3).
-	sp = s.rec.Start(telemetry.PhasePMFFT)
+	t0 = time.Now()
 	if s.isFFT {
 		s.fftAndGreen()
 	}
-	s.Times.FFT += sp.End()
-	s.notePool(poolPhaseFFT)
+	fft = time.Since(t0)
 
-	sp = s.rec.Start(telemetry.PhasePMComm)
+	t0 = time.Now()
 	if s.cfg.Relay && s.isHolder {
 		// Broadcast complete potential slabs back to every group (into the
 		// persistent slab, not a fresh allocation).
 		copy(s.slab, mpi.Bcast(s.commReduce, 0, s.slab))
 	}
 	s.potentialToLocal()
-	s.Times.Comm += sp.End()
+	comm += time.Since(t0)
+	return comm, fft
+}
 
-	sp = s.rec.Start(telemetry.PhasePMMeshForce)
+// attributeSolve books solveStage's durations into the recorder's phase
+// counters/histograms (no trace events — the spans didn't run on the
+// recorder's timeline), the Times ledger, and the FFT pool-phase counters.
+// Must run on the owner goroutine.
+func (s *Solver) attributeSolve(comm, fft time.Duration) {
+	s.rec.AddPhase(telemetry.PhasePMComm, comm)
+	s.rec.AddPhase(telemetry.PhasePMFFT, fft)
+	s.Times.Comm += comm
+	s.Times.FFT += fft
+	s.notePool(poolPhaseFFT)
+}
+
+// finishForces is stage 3: differentiate the potential window and interpolate
+// accelerations back onto the particles. Owner goroutine only.
+func (s *Solver) finishForces(x, y, z, ax, ay, az []float64) {
+	sp := s.rec.Start(telemetry.PhasePMMeshForce)
 	s.lm.DiffForce()
 	s.Times.MeshForce += sp.End()
 	s.notePool(poolPhaseMeshForce)
@@ -719,4 +748,80 @@ func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
 	s.lm.InterpolateTSC(x, y, z, ax, ay, az)
 	s.Times.Interp += sp.End()
 	s.notePool(poolPhaseInterp)
+}
+
+// Accel runs one full parallel PM cycle for this rank's particles (which
+// must lie inside its domain), accumulating long-range accelerations into
+// ax/ay/az (indexed like x/y/z). Collective over the world communicator.
+// Identical to AccelStart immediately followed by AccelWait — both modes run
+// the same stage functions in the same order, which is why the overlapped
+// step pipeline is bit-identical to the sequential one.
+func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) {
+	s.assignDensity(x, y, z, m)
+	comm, fft := s.solveStage()
+	s.attributeSolve(comm, fft)
+	s.finishForces(x, y, z, ax, ay, az)
+}
+
+// pendingSolve tracks one in-flight background solve.
+type pendingSolve struct {
+	done      chan struct{}
+	comm, fft time.Duration
+	solve     time.Duration // wall-clock of the whole background stage
+	panicked  any           // recovered panic, re-raised at the join
+}
+
+// AsyncStats reports how an overlapped PM solve went: Solve is the background
+// stage's wall-clock, Wait how long AccelWait blocked on it. Solve − Wait is
+// the PM time the caller's concurrent work actually hid.
+type AsyncStats struct {
+	Solve time.Duration
+	Wait  time.Duration
+}
+
+// AccelStart begins an overlapped PM cycle: density assignment runs
+// synchronously (it reads the particle arrays, which the caller is free to
+// keep using afterwards — the solve stage only touches mesh state), then the
+// comm+FFT solve stage launches on a dedicated goroutine. The caller must not
+// drive this solver's worker pool or issue collectives on this solver's
+// communicator until AccelWait; construct the solver over a duplicated
+// communicator (mpi.Comm.Dup) so concurrent traffic elsewhere (ghost/LET
+// exchange on the world comm) stays on its own sequence space. Collective:
+// every rank must pair AccelStart with AccelWait in the same order.
+func (s *Solver) AccelStart(x, y, z, m []float64) {
+	if s.pending != nil {
+		panic("pmpar: AccelStart while a solve is already pending")
+	}
+	s.assignDensity(x, y, z, m)
+	ps := &pendingSolve{done: make(chan struct{})}
+	s.pending = ps
+	go func() {
+		defer close(ps.done)
+		defer func() { ps.panicked = recover() }()
+		t0 := time.Now()
+		ps.comm, ps.fft = s.solveStage()
+		ps.solve = time.Since(t0)
+	}()
+}
+
+// AccelWait joins the background solve started by AccelStart, attributes its
+// phase timings, and runs the force finish (differencing + interpolation)
+// into ax/ay/az. A panic in the background stage — including an mpi abort
+// waking a blocked collective — is re-raised here on the owner goroutine so
+// the rank's abort handling sees it.
+func (s *Solver) AccelWait(x, y, z, ax, ay, az []float64) AsyncStats {
+	ps := s.pending
+	if ps == nil {
+		panic("pmpar: AccelWait without a pending AccelStart")
+	}
+	t0 := time.Now()
+	<-ps.done
+	wait := time.Since(t0)
+	s.pending = nil
+	if ps.panicked != nil {
+		panic(ps.panicked)
+	}
+	s.attributeSolve(ps.comm, ps.fft)
+	s.finishForces(x, y, z, ax, ay, az)
+	return AsyncStats{Solve: ps.solve, Wait: wait}
 }

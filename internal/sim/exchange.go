@@ -162,15 +162,17 @@ func (s *Sim) exchangeGhostsLET(lt *tree.Tree) []ghost {
 // alltoallGhosts runs the ghost alltoall over the staged send buffers,
 // flattens the receives into the Sim-owned ghost buffer, and feeds the ghost
 // traffic counters. Rank 0 labels the ops in the world traffic ledger; the
-// label is safe to set here because recording happens inside rank 0's
+// label is per-communicator (Comm.SetTrafficLabel), so PM collectives in
+// flight on the duplicated comm during the overlapped step never pick it up,
+// and it is safe to set here because recording happens inside rank 0's
 // Alltoall call, between the collective's two barriers.
 func (s *Sim) alltoallGhosts(send [][]ghost) []ghost {
 	if s.comm.Rank() == 0 {
-		s.comm.Traffic().SetLabel(TrafficLabelGhosts)
+		s.comm.SetTrafficLabel(TrafficLabelGhosts)
 	}
 	recv := mpi.Alltoall(s.comm, send)
 	if s.comm.Rank() == 0 {
-		s.comm.Traffic().SetLabel("")
+		s.comm.SetTrafficLabel("")
 	}
 	var sent int
 	for _, b := range send {

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+
+	"greem/internal/mpi"
+)
+
+// overlapRun captures everything the parity tests compare: positions,
+// velocities and total forces by particle ID after a multi-step run, the
+// per-rank State snapshot taken mid-run, and rank 0's overlap accounting.
+type overlapRun struct {
+	px, py, pz []float64
+	vx, vy, vz []float64
+	ax, ay, az []float64
+	states     []State
+	stats      OverlapStats
+}
+
+// runOverlap advances nsteps at 8 ranks with the overlapped pipeline on or
+// off, capturing each rank's State after capStep full steps (capStep < 0
+// skips the capture).
+func runOverlap(t *testing.T, parts []Particle, overlap bool, workers, nsteps, capStep int) overlapRun {
+	t.Helper()
+	n := len(parts)
+	r := overlapRun{
+		px: make([]float64, n), py: make([]float64, n), pz: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
+		ax: make([]float64, n), ay: make([]float64, n), az: make([]float64, n),
+		states: make([]State, 8),
+	}
+	err := mpi.Run(8, func(cm *mpi.Comm) {
+		cfg := baseConfig([3]int{2, 2, 2})
+		cfg.DeterministicCost = true
+		cfg.LETExchange = true
+		cfg.Workers = workers
+		cfg.OverlapPMPP = overlap
+		s, err := New(cm, cfg, sliceFor(parts, cm.Rank(), 8))
+		if err != nil {
+			panic(err)
+		}
+		for k := 0; k < nsteps; k++ {
+			if k == capStep {
+				cm.Barrier()
+				r.states[cm.Rank()] = s.State()
+			}
+			if err := s.Step(); err != nil {
+				panic(err)
+			}
+		}
+		s.ComputeForces()
+		cm.Barrier()
+		captureByID(s, &r)
+		if cm.Rank() == 0 {
+			r.stats = s.OverlapStats()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// captureByID scatters a rank's local particles and forces into the ID-indexed
+// arrays (each particle lives on exactly one rank, so there are no races).
+func captureByID(s *Sim, r *overlapRun) {
+	for i := 0; i < s.NumLocal(); i++ {
+		id := s.ID(i)
+		p := s.Particles()[i]
+		r.px[id], r.py[id], r.pz[id] = p.X, p.Y, p.Z
+		r.vx[id], r.vy[id], r.vz[id] = p.VX, p.VY, p.VZ
+		r.ax[id], r.ay[id], r.az[id] = s.AccelFor(i)
+	}
+}
+
+// requireSameRun asserts two runs produced bit-identical trajectories and
+// forces for every particle.
+func requireSameRun(t *testing.T, label string, a, b overlapRun) {
+	t.Helper()
+	for i := range a.px {
+		if a.px[i] != b.px[i] || a.py[i] != b.py[i] || a.pz[i] != b.pz[i] {
+			t.Fatalf("%s: position differs at particle %d: (%v,%v,%v) vs (%v,%v,%v)",
+				label, i, a.px[i], a.py[i], a.pz[i], b.px[i], b.py[i], b.pz[i])
+		}
+		if a.vx[i] != b.vx[i] || a.vy[i] != b.vy[i] || a.vz[i] != b.vz[i] {
+			t.Fatalf("%s: velocity differs at particle %d", label, i)
+		}
+		if a.ax[i] != b.ax[i] || a.ay[i] != b.ay[i] || a.az[i] != b.az[i] {
+			t.Fatalf("%s: force differs at particle %d: (%v,%v,%v) vs (%v,%v,%v)",
+				label, i, a.ax[i], a.ay[i], a.az[i], b.ax[i], b.ay[i], b.az[i])
+		}
+	}
+}
+
+// TestOverlapBitIdentical is the tentpole's correctness oracle: a multi-step
+// 8-rank run with the overlapped PM‖PP pipeline must produce trajectories and
+// forces exactly == the sequential pipeline, at Workers ∈ {1, 7} (the pool is
+// shared between the background solve and the tree walk, so the threaded case
+// exercises the single-owner handoff).
+func TestOverlapBitIdentical(t *testing.T) {
+	parts := makeParticles(31, 240, 0.05)
+	for _, workers := range []int{1, 7} {
+		seq := runOverlap(t, parts, false, workers, 3, -1)
+		ovl := runOverlap(t, parts, true, workers, 3, -1)
+		requireSameRun(t, "overlap on vs off", seq, ovl)
+		if ovl.stats.HiddenSeconds < 0 {
+			t.Fatalf("negative hidden seconds: %v", ovl.stats.HiddenSeconds)
+		}
+		if ovl.stats.LastWindowSeconds <= 0 {
+			t.Fatalf("overlapped run recorded no window critical path (workers=%d)", workers)
+		}
+		if seq.stats.LastWindowSeconds != 0 {
+			t.Fatalf("sequential run must not record overlap windows, got %v", seq.stats.LastWindowSeconds)
+		}
+	}
+}
+
+// TestOverlapResumeCrossMode asserts the overlap knob is a pure scheduling
+// choice with no footprint in the checkpoint contract: a State captured
+// mid-run under the overlapped pipeline resumes bit-identically whether the
+// resuming run overlaps or not, and both end states match the uninterrupted
+// runs of either mode.
+func TestOverlapResumeCrossMode(t *testing.T) {
+	parts := makeParticles(47, 240, 0.05)
+	const steps, capAt = 4, 2
+
+	full := runOverlap(t, parts, true, 1, steps, capAt)
+	fullSeq := runOverlap(t, parts, false, 1, steps, -1)
+	requireSameRun(t, "uninterrupted overlap vs sequential", full, fullSeq)
+
+	resume := func(overlap bool) overlapRun {
+		n := len(parts)
+		r := overlapRun{
+			px: make([]float64, n), py: make([]float64, n), pz: make([]float64, n),
+			vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
+			ax: make([]float64, n), ay: make([]float64, n), az: make([]float64, n),
+		}
+		err := mpi.Run(8, func(cm *mpi.Comm) {
+			cfg := baseConfig([3]int{2, 2, 2})
+			cfg.DeterministicCost = true
+			cfg.LETExchange = true
+			cfg.OverlapPMPP = overlap
+			s, err := Resume(cm, cfg, full.states[cm.Rank()])
+			if err != nil {
+				panic(err)
+			}
+			for k := capAt; k < steps; k++ {
+				if err := s.Step(); err != nil {
+					panic(err)
+				}
+			}
+			s.ComputeForces()
+			cm.Barrier()
+			captureByID(s, &r)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	requireSameRun(t, "resume with overlap on", full, resume(true))
+	requireSameRun(t, "resume with overlap off", full, resume(false))
+}

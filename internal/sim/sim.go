@@ -81,6 +81,16 @@ type Config struct {
 	// Results are bit-identical to serial for any worker count.
 	Workers int
 
+	// OverlapPMPP runs the step cycle's PM solves concurrently with the PP
+	// pipeline wherever both consume the same positions (GreeM's overlap:
+	// "the communication for the PM part is overlapped with the force
+	// calculation of the PP part", §II-B): the PM comm+FFT stage runs on a
+	// background goroutine over a duplicated communicator while the tree
+	// walk proceeds, joined before the closing long-range kick. Forces are
+	// bit-identical to the sequential path (which remains the parity
+	// oracle) at any worker count. The cmd drivers enable it by default.
+	OverlapPMPP bool
+
 	// LETExchange selects the locally-essential-tree ghost exchange (GreeM's
 	// structure-aware boundary exchange): the local tree is walked once per
 	// near neighbour, shipping pruned node monopoles where the opening
@@ -171,6 +181,12 @@ type Sim struct {
 	geo     *domain.Geometry
 	history []*domain.Geometry
 	pm      *pmpar.Solver
+	// pmComm is the duplicated communicator every PM solver runs on (both
+	// overlap modes, so the collective schedule and traffic-ledger comm ids
+	// are mode-independent): with OverlapPMPP the background solve's
+	// collectives are in flight while PP ghost/LET traffic uses the world
+	// comm, and per-comm sequence spaces keep the streams from interleaving.
+	pmComm *mpi.Comm
 
 	// Local particles (SoA).
 	x, y, z    []float64
@@ -209,6 +225,15 @@ type Sim struct {
 	// the steady-state walk allocates nothing.
 	walker *tree.Walker
 
+	// srcBuild and tgtBuild are the reusable tree arenas for the source
+	// (local+ghost) and target (local/LET) trees — two builders because both
+	// trees are alive at once during a force pass. With them the steady-state
+	// substep's tree construction allocates nothing.
+	srcBuild, tgtBuild *tree.Builder
+
+	// pot is the reused potential buffer for PotentialEnergy.
+	pot []float64
+
 	// Ghost-exchange machinery: the LET walk scratch, per-destination staging
 	// buffers, the flattened receive buffer, and the local+ghost source-set
 	// arrays are all Sim-owned and reused, so the steady-state exchange and
@@ -240,6 +265,11 @@ type Sim struct {
 	// recorded inside pmpar).
 	poolBusyKick, poolIdleKick   *telemetry.Counter
 	poolBusyDrift, poolIdleDrift *telemetry.Counter
+
+	// Overlap telemetry: PM solve seconds hidden behind the PP walk, and the
+	// most recent overlapped window's critical-path wall-clock.
+	ctrOverlapHidden *telemetry.Counter
+	gaugeOverlapCrit *telemetry.Gauge
 }
 
 // PhaseIntegKick labels the integrator kick loops' pool busy/idle counters
@@ -363,11 +393,17 @@ func newSim(c *mpi.Comm, cfg Config) *Sim {
 	}
 	s := &Sim{
 		comm: c, cfg: cfg,
-		geo:  domain.Uniform(cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], cfg.L),
-		time:   cfg.Time,
-		rng:    newSampleRNG(int64(42 + c.Rank())),
-		rec:    rec,
-		walker: tree.NewWalker(),
+		geo:      domain.Uniform(cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], cfg.L),
+		time:     cfg.Time,
+		rng:      newSampleRNG(int64(42 + c.Rank())),
+		rec:      rec,
+		walker:   tree.NewWalker(),
+		srcBuild: tree.NewBuilder(),
+		tgtBuild: tree.NewBuilder(),
+		// The PM comm plane. newSim runs on every rank in both New and
+		// Resume, and each world's nsplit counters start fresh, so the dup is
+		// deterministic and resume-stable.
+		pmComm: c.Dup(),
 	}
 	// One pool per rank, shared by the PM solver (injected on every
 	// rebuild) and the integrator loops. par.New returns nil for ≤ 1
@@ -397,6 +433,8 @@ func newSim(c *mpi.Comm, cfg Config) *Sim {
 	s.ctrLETMono = reg.Counter(telemetry.MetricLETMonopoles)
 	s.ctrLETLeaf = reg.Counter(telemetry.MetricLETLeaves)
 	s.ctrLETNodes = reg.Counter(telemetry.MetricLETNodeVisits)
+	s.ctrOverlapHidden = reg.SecondsCounter(telemetry.MetricOverlapHidden)
+	s.gaugeOverlapCrit = reg.Gauge("greem_overlap_critical_path_seconds")
 	return s
 }
 
@@ -430,7 +468,7 @@ func (s *Sim) resizeAccels() {
 
 func (s *Sim) rebuildPM() error {
 	lo, hi := s.geo.Bounds(s.comm.Rank())
-	pm, err := pmpar.New(s.comm, pmpar.Config{
+	pm, err := pmpar.New(s.pmComm, pmpar.Config{
 		N: s.cfg.NMesh, L: s.cfg.L, G: s.cfg.G, Rcut: s.cfg.Rcut,
 		NFFT: s.cfg.NFFT, Relay: s.cfg.Relay, Groups: s.cfg.Groups,
 		Pencil: s.cfg.Pencil, PY: s.cfg.PY, PZ: s.cfg.PZ,

@@ -7,11 +7,14 @@ import (
 
 // buildSourceTrees runs the short-range source pipeline shared by computePP
 // and PotentialEnergy: ghost exchange, source-set assembly (local particles
-// plus received ghosts) into the Sim-owned buffers, and tree construction.
-// It returns the source tree, the target tree over the local particles, and
-// the ghost count; when no ghosts arrived the single tree serves both roles
-// and the caller must traverse it periodically (nGhosts == 0 ⇒
-// forceOpts(periodic=true)), since no ghosts encode the wrap. Collective.
+// plus received ghosts) into the Sim-owned buffers, and tree construction on
+// the Sim-owned builder arenas (srcBuild/tgtBuild — zero steady-state
+// allocations). It returns the source tree, the target tree over the local
+// particles, and the ghost count; when no ghosts arrived the single tree
+// serves both roles and the caller must traverse it periodically
+// (nGhosts == 0 ⇒ forceOpts(periodic=true)), since no ghosts encode the
+// wrap. Both returned trees alias their builder arenas and are valid until
+// the next pass. Collective.
 func (s *Sim) buildSourceTrees() (src, tgt *tree.Tree, nGhosts int) {
 	opts := tree.Options{LeafCap: s.cfg.LeafCap}
 
@@ -22,7 +25,7 @@ func (s *Sim) buildSourceTrees() (src, tgt *tree.Tree, nGhosts int) {
 	var err error
 	if s.cfg.LETExchange {
 		sp := s.rec.Start(telemetry.PhasePPTreeConstr)
-		if lt, err = tree.Build(s.x, s.y, s.z, s.m, opts); err != nil {
+		if lt, err = s.tgtBuild.Rebuild(s.x, s.y, s.z, s.m, opts); err != nil {
 			panic(err)
 		}
 		sp.End()
@@ -36,14 +39,14 @@ func (s *Sim) buildSourceTrees() (src, tgt *tree.Tree, nGhosts int) {
 
 	sp = s.rec.Start(telemetry.PhasePPTreeConstr)
 	defer sp.End()
-	if src, err = tree.Build(s.srcX, s.srcY, s.srcZ, s.srcM, opts); err != nil {
+	if src, err = s.srcBuild.Rebuild(s.srcX, s.srcY, s.srcZ, s.srcM, opts); err != nil {
 		panic(err)
 	}
 	if nGhosts == 0 {
 		return src, src, 0
 	}
 	if lt == nil {
-		if lt, err = tree.Build(s.x, s.y, s.z, s.m, opts); err != nil {
+		if lt, err = s.tgtBuild.Rebuild(s.x, s.y, s.z, s.m, opts); err != nil {
 			panic(err)
 		}
 	}

@@ -27,6 +27,60 @@ func (s *Sim) computePM() {
 	s.pmFresh = true
 }
 
+// computePMPP runs one overlapped PM‖PP window: density assignment, then the
+// PM comm+FFT solve on a background goroutine over the duplicated comm while
+// computePP runs the full short-range pipeline on this goroutine, joined
+// before returning. Both stages read the same (frozen) positions and write
+// disjoint accumulators (apx/… vs asx/…), and the PM stages execute exactly
+// the code the sequential Accel runs, so the result is bit-identical to
+// computePM(); computePP() — asserted by the overlap parity tests.
+//
+// costEarly preserves the sequential DeterministicCost sequencing: the
+// leading (pre-kick) window replaces computePM-then-computePP, where the PM
+// cost proxy is set before computePP reads it; the trailing window replaces
+// computePP-then-computePM, where computePP reads the previous value.
+func (s *Sim) computePMPP(costEarly bool) {
+	t0 := time.Now()
+	sp := s.rec.Start(telemetry.SpanPM)
+	for i := range s.apx {
+		s.apx[i], s.apy[i], s.apz[i] = 0, 0, 0
+	}
+	s.pm.AccelStart(s.x, s.y, s.z, s.m)
+	d1 := sp.End()
+	if s.cfg.DeterministicCost && costEarly {
+		s.lastPMCost = float64(len(s.x) + 1)
+	}
+
+	s.computePP()
+
+	// The join. The fault point lets the restart battery kill a rank with a
+	// solve in flight; the second PM span keeps the trace's span nesting
+	// LIFO (the PP span opened and closed in between).
+	s.comm.FaultPoint("overlap/join")
+	sp = s.rec.Start(telemetry.SpanPM)
+	st := s.pm.AccelWait(s.x, s.y, s.z, s.apx, s.apy, s.apz)
+	d2 := sp.End()
+
+	hidden := st.Solve - st.Wait
+	if hidden < 0 {
+		hidden = 0
+	}
+	window := time.Since(t0)
+	s.rec.AddPhase(telemetry.PhaseOverlapJoin, st.Wait)
+	s.rec.AddPhase(telemetry.PhaseOverlapWindow, window)
+	s.ctrOverlapHidden.Add(hidden.Seconds())
+	s.gaugeOverlapCrit.Set(window.Seconds())
+
+	if s.cfg.DeterministicCost {
+		s.lastPMCost = float64(len(s.x) + 1)
+	} else {
+		// The PM cycle's own cost: both spans plus the background solve,
+		// minus the joined wait (already inside d2).
+		s.lastPMCost = (d1 + d2 + st.Solve - st.Wait).Seconds()
+	}
+	s.pmFresh = true
+}
+
 // computePP evaluates the short-range (tree) force for the local particles:
 // ghost exchange, source/target tree construction, grouped traversal and the
 // cutoff kernel. It also updates lastCost for the sampling method.
@@ -149,7 +203,12 @@ func (s *Sim) notePool(busy, idle *telemetry.Counter) {
 // short-range force), then the long-range force and the closing half kick —
 // the multiple-stepsize symplectic scheme of Duncan, Levison & Lee (1998)
 // that the paper adopts ("one step = a cycle of PM and two cycles of PP and
-// domain decomposition"). Collective over the world communicator.
+// domain decomposition"). With Config.OverlapPMPP the two points where a PM
+// cycle and a PP cycle consume the same positions — the leading stale-force
+// pair and the trailing PM with the final substep's PP — run as overlapped
+// windows (computePMPP), hiding the PM solve behind the tree walk; forces
+// and trajectories are bit-identical either way. Collective over the world
+// communicator.
 func (s *Sim) Step() error {
 	s.comm.FaultPoint("sim/step")
 	dt := s.cfg.DT
@@ -157,11 +216,15 @@ func (s *Sim) Step() error {
 	delta := dt / float64(sub)
 	t0 := s.time
 
-	if !s.pmFresh {
-		s.computePM()
-	}
-	if !s.ppFresh {
-		s.computePP()
+	if s.cfg.OverlapPMPP && !s.pmFresh && !s.ppFresh {
+		s.computePMPP(true)
+	} else {
+		if !s.pmFresh {
+			s.computePM()
+		}
+		if !s.ppFresh {
+			s.computePP()
+		}
 	}
 	s.kickPM(t0, dt/2)
 
@@ -172,12 +235,19 @@ func (s *Sim) Step() error {
 		if err := s.domainDecomposition(); err != nil {
 			return err
 		}
-		s.computePP()
+		if s.cfg.OverlapPMPP && k == sub-1 {
+			// Final substep: the trailing PM solve rides behind this PP.
+			s.computePMPP(false)
+		} else {
+			s.computePP()
+		}
 		s.kickPP(tk+delta/2, delta/2)
 		tk += delta
 	}
 
-	s.computePM()
+	if !s.pmFresh {
+		s.computePM()
+	}
 	s.kickPM(t0+dt/2, dt/2)
 	s.step++
 	return nil
@@ -206,13 +276,11 @@ func globalSum(s *Sim, v float64) float64 {
 	return mpi.Allreduce(s.comm, []float64{v}, mpi.Sum[float64])[0]
 }
 
-func sumAll(s *Sim, v float64) float64 { return globalSum(s, v) }
-
 // MeanNiNj returns the global ⟨Ni⟩ and ⟨Nj⟩ (collective).
 func (s *Sim) MeanNiNj() (ni, nj float64) {
-	groups := sumAll(s, s.ctrGroups.Value())
-	sumNi := sumAll(s, s.ctrSumNi.Value())
-	list := sumAll(s, s.ctrListP.Value()+s.ctrListN.Value())
+	groups := globalSum(s, s.ctrGroups.Value())
+	sumNi := globalSum(s, s.ctrSumNi.Value())
+	list := globalSum(s, s.ctrListP.Value()+s.ctrListN.Value())
 	if groups == 0 {
 		return 0, 0
 	}
@@ -250,7 +318,13 @@ var potTable = ppkern.NewPotTable(2048)
 // O(N²) Ewald energy is impossible).
 func (s *Sim) PotentialEnergy() float64 {
 	n := len(s.x)
-	pot := make([]float64, n)
+	// Reused Sim-owned buffer; growFloats doesn't zero and InterpolatePot
+	// accumulates, so clear it explicitly.
+	s.pot = growFloats(s.pot, n)
+	pot := s.pot
+	for i := range pot {
+		pot[i] = 0
+	}
 	// Long-range part from the PM potential mesh (current decomposition).
 	s.pm.LocalMesh().InterpolatePot(s.x, s.y, s.z, pot)
 
@@ -264,4 +338,20 @@ func (s *Sim) PotentialEnergy() float64 {
 		e += 0.5 * s.m[i] * pot[i]
 	}
 	return globalSum(s, e)
+}
+
+// OverlapStats is this rank's overlapped-pipeline accounting: the cumulative
+// PM solve seconds hidden behind the concurrent PP computation, and the most
+// recent overlapped window's critical-path wall-clock.
+type OverlapStats struct {
+	HiddenSeconds     float64
+	LastWindowSeconds float64
+}
+
+// OverlapStats materializes the overlap telemetry from the registry.
+func (s *Sim) OverlapStats() OverlapStats {
+	return OverlapStats{
+		HiddenSeconds:     s.ctrOverlapHidden.Value(),
+		LastWindowSeconds: s.gaugeOverlapCrit.Value(),
+	}
 }

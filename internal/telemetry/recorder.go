@@ -42,6 +42,13 @@ const (
 	// side, validation (CRC / manifest / chain checks) on the restore side.
 	PhaseCkptWrite  = "ckpt/write"
 	PhaseCkptVerify = "ckpt/verify"
+
+	// Overlapped step pipeline: PhaseOverlapJoin is the time the step spent
+	// blocked joining the background PM solve (the un-hidden PM remainder);
+	// PhaseOverlapWindow is the critical path of the overlapped
+	// density→{solve ‖ PP}→join window.
+	PhaseOverlapJoin   = "overlap/join"
+	PhaseOverlapWindow = "overlap/window"
 )
 
 // phaseSecondsMetric is the registry metric name under which per-phase
@@ -72,6 +79,11 @@ const (
 	MetricLETLeaves     = "greem_let_leaves_total"
 	MetricLETNodeVisits = "greem_let_nodes_visited_total"
 )
+
+// MetricOverlapHidden accumulates the PM solve wall-clock hidden behind the
+// concurrent PP computation by the overlapped step pipeline:
+// max(0, solve − join wait) per overlapped window. Sums cleanly across ranks.
+const MetricOverlapHidden = "greem_overlap_hidden_seconds_total"
 
 // spanSecondsMetric is the per-phase span-duration histogram.
 const spanSecondsMetric = "greem_span_seconds"

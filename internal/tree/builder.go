@@ -1,0 +1,31 @@
+package tree
+
+// Builder owns a reusable tree arena: the particle arrays, Perm, node and
+// quadrupole storage, and the octant-partition scratch all persist across
+// Rebuild calls, so steady-state tree construction (the simulation rebuilds
+// 2–3 trees per substep) allocates nothing once the buffers have grown to
+// the working-set size. The serial construction path is zero-alloc; the
+// parallel path (Options.Workers > 1 over > 4096 particles) still allocates
+// its goroutine arenas.
+//
+// A Builder is not safe for concurrent use, and the *Tree returned by
+// Rebuild aliases the arena: it is valid only until the next Rebuild.
+type Builder struct {
+	t  Tree
+	sc buildScratch
+}
+
+// NewBuilder returns an empty Builder; the arena grows on first use.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Rebuild constructs an oct-tree over the given particles into the retained
+// arena. Semantics are identical to Build — same structure, same particle
+// ordering, same moments, up to internal node numbering (which Build also
+// leaves unspecified with Workers > 1). The returned tree is owned by the
+// Builder and valid until the next Rebuild.
+func (b *Builder) Rebuild(x, y, z, m []float64, opt Options) (*Tree, error) {
+	if err := buildInto(&b.t, &b.sc, x, y, z, m, opt); err != nil {
+		return nil, err
+	}
+	return &b.t, nil
+}

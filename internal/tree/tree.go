@@ -72,12 +72,53 @@ type Tree struct {
 	minX, minY, minZ, size float64
 }
 
+// buildScratch holds the octant-partition temporaries splitLevel needs (one
+// scatter buffer per particle array plus the octant tags). A fresh Build
+// allocates one; a Builder retains one across Rebuilds so the steady-state
+// construction path is allocation-free.
+type buildScratch struct {
+	tx, ty, tz, tm []float64
+	tp             []int32
+	oct            []int8
+}
+
+// grow sizes every scratch buffer to at least count elements.
+func (sc *buildScratch) grow(count int) {
+	if cap(sc.tx) < count {
+		sc.tx = make([]float64, count)
+		sc.ty = make([]float64, count)
+		sc.tz = make([]float64, count)
+		sc.tm = make([]float64, count)
+		sc.tp = make([]int32, count)
+		sc.oct = make([]int8, count)
+	}
+	sc.tx = sc.tx[:count]
+	sc.ty = sc.ty[:count]
+	sc.tz = sc.tz[:count]
+	sc.tm = sc.tm[:count]
+	sc.tp = sc.tp[:count]
+	sc.oct = sc.oct[:count]
+}
+
 // Build constructs an oct-tree over the given particles. The bounding cube is
-// computed from the data. Build does not modify its inputs.
+// computed from the data. Build does not modify its inputs. Hot paths that
+// rebuild trees every step should hold a Builder and call Rebuild instead.
 func Build(x, y, z, m []float64, opt Options) (*Tree, error) {
+	t := &Tree{}
+	var sc buildScratch
+	if err := buildInto(t, &sc, x, y, z, m, opt); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// buildInto (re)constructs t over the given particles, reusing whatever
+// capacity t's arrays and the scratch already hold. Shared by Build (fresh
+// Tree and scratch) and Builder.Rebuild (both retained).
+func buildInto(t *Tree, sc *buildScratch, x, y, z, m []float64, opt Options) error {
 	n := len(x)
 	if len(y) != n || len(z) != n || len(m) != n {
-		return nil, fmt.Errorf("tree: mismatched slice lengths")
+		return fmt.Errorf("tree: mismatched slice lengths")
 	}
 	if opt.LeafCap < 1 {
 		opt.LeafCap = DefaultOptions().LeafCap
@@ -85,22 +126,20 @@ func Build(x, y, z, m []float64, opt Options) (*Tree, error) {
 	if opt.MaxDepth < 1 {
 		opt.MaxDepth = DefaultOptions().MaxDepth
 	}
-	t := &Tree{
-		X: append([]float64(nil), x...),
-		Y: append([]float64(nil), y...),
-		Z: append([]float64(nil), z...),
-		M: append([]float64(nil), m...),
-		Perm: func() []int32 {
-			p := make([]int32, n)
-			for i := range p {
-				p[i] = int32(i)
-			}
-			return p
-		}(),
-		opt: opt,
+	t.X = append(t.X[:0], x...)
+	t.Y = append(t.Y[:0], y...)
+	t.Z = append(t.Z[:0], z...)
+	t.M = append(t.M[:0], m...)
+	t.Perm = growInt32(t.Perm, n)
+	for i := range t.Perm {
+		t.Perm[i] = int32(i)
 	}
+	t.nodes = t.nodes[:0]
+	t.opt = opt
+	t.minX, t.minY, t.minZ, t.size = 0, 0, 0, 0
 	if n == 0 {
-		return t, nil
+		t.quads = nil
+		return nil
 	}
 	minX, maxX := minMax(x)
 	minY, maxY := minMax(y)
@@ -119,16 +158,23 @@ func Build(x, y, z, m []float64, opt Options) (*Tree, error) {
 	}
 	t.nodes = append(t.nodes, root)
 	if opt.Workers > 1 && n > 4096 {
-		t.splitParallel(opt.Workers)
+		t.splitParallel(opt.Workers, sc)
 	} else {
-		t.split(0, 0)
+		t.split(0, 0, sc)
 	}
 	t.computeMoments(0)
 	if opt.Quadrupole {
-		t.quads = make([][6]float64, len(t.nodes))
+		if cap(t.quads) < len(t.nodes) {
+			t.quads = make([][6]float64, len(t.nodes))
+		}
+		t.quads = t.quads[:len(t.nodes)]
 		t.computeQuadrupoles(0)
+	} else {
+		// Traversals key the quadrupole path off quads != nil, so a
+		// monopole-only (re)build must drop the arena entirely.
+		t.quads = nil
 	}
-	return t, nil
+	return nil
 }
 
 // computeQuadrupoles fills the traceless quadrupole moments bottom-up:
@@ -189,8 +235,10 @@ func minMax(a []float64) (lo, hi float64) {
 
 // splitParallel builds the tree with concurrent subtree construction: a
 // serial top phase subdivides until at least ~4·workers oversized nodes
-// exist, then each is completed in its own goroutine and arena.
-func (t *Tree) splitParallel(workers int) {
+// exist, then each is completed in its own goroutine and arena. The parallel
+// path allocates (goroutine arenas, bookkeeping) — the zero-alloc Rebuild
+// guarantee holds for the serial path only.
+func (t *Tree) splitParallel(workers int, sc *buildScratch) {
 	// Top phase: breadth-first serial splitting of oversized nodes.
 	pending := []int{0}
 	depth := map[int]int{0: 0}
@@ -210,7 +258,7 @@ func (t *Tree) splitParallel(workers int) {
 		d := depth[ni]
 		pending = append(pending[:best], pending[best+1:]...)
 		if d < t.opt.MaxDepth {
-			t.splitLevel(ni)
+			t.splitLevel(ni, sc)
 		}
 		nd := &t.nodes[ni]
 		if nd.firstChild < 0 {
@@ -237,7 +285,8 @@ func (t *Tree) splitParallel(workers int) {
 			defer func() { <-sem }()
 			sub := &Tree{X: t.X, Y: t.Y, Z: t.Z, M: t.M, Perm: t.Perm, opt: t.opt}
 			sub.nodes = append(sub.nodes, t.nodes[ni])
-			sub.split(0, depth[ni])
+			var ssc buildScratch
+			sub.split(0, depth[ni], &ssc)
 			arenas[k] = arena{root: ni, nodes: sub.nodes}
 		}(k, ni)
 	}
@@ -266,29 +315,31 @@ func (t *Tree) splitParallel(workers int) {
 // split recursively subdivides node i until leaves hold at most LeafCap
 // particles, reordering the particle arrays so each node owns a contiguous
 // range.
-func (t *Tree) split(i int, depth int) {
+func (t *Tree) split(i int, depth int, sc *buildScratch) {
 	nd := &t.nodes[i]
 	if int(nd.count) <= t.opt.LeafCap || depth >= t.opt.MaxDepth {
 		return
 	}
-	t.splitLevel(i)
+	t.splitLevel(i, sc)
 	n := &t.nodes[i]
 	for c := n.firstChild; c >= 0 && c < n.firstChild+int32(n.nChild); c++ {
-		t.split(int(c), depth+1)
+		t.split(int(c), depth+1, sc)
 	}
 }
 
 // splitLevel performs the one-level octant partition of node i: bucket the
 // particles, reorder them in place, and create the child nodes (no
-// recursion).
-func (t *Tree) splitLevel(i int) {
+// recursion). The scratch is free for reuse on return (the copy-back happens
+// before the caller recurses into the children).
+func (t *Tree) splitLevel(i int, sc *buildScratch) {
 	nd := &t.nodes[i]
 	start, count := int(nd.start), int(nd.count)
 	cx, cy, cz := nd.cx, nd.cy, nd.cz
 
 	// Bucket particles by octant with a counting pass + cycle of copies.
 	var cnt [8]int
-	oct := make([]int8, count)
+	sc.grow(count)
+	oct := sc.oct
 	for k := 0; k < count; k++ {
 		p := start + k
 		o := int8(0)
@@ -310,12 +361,8 @@ func (t *Tree) splitLevel(i int) {
 		off[o] = sum
 		sum += cnt[o]
 	}
-	// Stable scatter into temporaries, then copy back.
-	tx := make([]float64, count)
-	ty := make([]float64, count)
-	tz := make([]float64, count)
-	tm := make([]float64, count)
-	tp := make([]int32, count)
+	// Stable scatter into the scratch, then copy back.
+	tx, ty, tz, tm, tp := sc.tx, sc.ty, sc.tz, sc.tm, sc.tp
 	pos := off
 	for k := 0; k < count; k++ {
 		d := pos[oct[k]]
@@ -422,37 +469,45 @@ type Group struct {
 // become groups. cap = 1 reproduces the original per-particle Barnes-Hut
 // traversal (each particle its own group).
 func (t *Tree) Groups(cap int) []Group {
+	return t.AppendGroups(nil, cap)
+}
+
+// AppendGroups is Groups with a caller-supplied buffer: the decomposition is
+// appended to buf (pass buf[:0] to reuse its backing array across passes) and
+// the possibly-regrown slice returned. Hot paths use this to keep repeated
+// force passes allocation-free.
+func (t *Tree) AppendGroups(buf []Group, cap int) []Group {
 	if cap < 1 {
 		cap = 1
 	}
-	var out []Group
 	if len(t.nodes) == 0 {
-		return out
+		return buf
 	}
-	var walk func(i int)
-	walk = func(i int) {
-		nd := &t.nodes[i]
-		if int(nd.count) <= cap {
-			out = append(out, t.makeGroup(nd.start, nd.count))
-			return
-		}
-		if nd.firstChild < 0 {
-			// Leaf larger than cap (cap < LeafCap): split evenly.
-			for s := nd.start; s < nd.start+nd.count; s += int32(cap) {
-				c := int32(cap)
-				if s+c > nd.start+nd.count {
-					c = nd.start + nd.count - s
-				}
-				out = append(out, t.makeGroup(s, c))
+	return t.appendGroups(buf, 0, cap)
+}
+
+// appendGroups is AppendGroups' method-recursive walk (method recursion, not
+// a closure, so the traversal itself allocates nothing).
+func (t *Tree) appendGroups(buf []Group, i, cap int) []Group {
+	nd := &t.nodes[i]
+	if int(nd.count) <= cap {
+		return append(buf, t.makeGroup(nd.start, nd.count))
+	}
+	if nd.firstChild < 0 {
+		// Leaf larger than cap (cap < LeafCap): split evenly.
+		for s := nd.start; s < nd.start+nd.count; s += int32(cap) {
+			c := int32(cap)
+			if s+c > nd.start+nd.count {
+				c = nd.start + nd.count - s
 			}
-			return
+			buf = append(buf, t.makeGroup(s, c))
 		}
-		for c := nd.firstChild; c < nd.firstChild+int32(nd.nChild); c++ {
-			walk(int(c))
-		}
+		return buf
 	}
-	walk(0)
-	return out
+	for c := nd.firstChild; c < nd.firstChild+int32(nd.nChild); c++ {
+		buf = t.appendGroups(buf, int(c), cap)
+	}
+	return buf
 }
 
 func (t *Tree) makeGroup(start, count int32) Group {
@@ -575,6 +630,7 @@ type Walker struct {
 	tix, tiy, tiz []float32
 	stack         []int32
 	shifts        [][3]float64
+	groups        []Group
 	subs          []*Walker
 	stats         []Stats
 }
@@ -589,8 +645,8 @@ func NewWalker() *Walker { return &Walker{} }
 // particle order of tgt. Group size cap ni controls Barnes' modified
 // algorithm (ni=1 for the original per-particle traversal).
 func (w *Walker) Accel(src, tgt *Tree, ni int, opt ForceOpts, ax, ay, az []float64) Stats {
-	groups := tgt.Groups(ni)
-	return w.AccelGroups(src, tgt, groups, opt, ax, ay, az)
+	w.groups = tgt.AppendGroups(w.groups[:0], ni)
+	return w.AccelGroups(src, tgt, w.groups, opt, ax, ay, az)
 }
 
 // AccelGroups is Accel with a caller-supplied group decomposition. With
@@ -785,6 +841,15 @@ func resize(s []float64, n int) []float64 {
 func resize32(s []float32, n int) []float32 {
 	if cap(s) < n {
 		s = make([]float32, n)
+	}
+	return s[:n]
+}
+
+// growInt32 grows s to length n without zeroing — callers overwrite every
+// element.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
 	}
 	return s[:n]
 }

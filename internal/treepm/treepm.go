@@ -75,6 +75,7 @@ type Solver struct {
 	cfg    Config
 	pm     *mesh.PM
 	walker *tree.Walker
+	build  *tree.Builder
 }
 
 // Stats reports per-component work and wall-clock for one force evaluation.
@@ -104,7 +105,7 @@ func New(cfg Config) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{cfg: cfg, pm: pm, walker: tree.NewWalker()}, nil
+	return &Solver{cfg: cfg, pm: pm, walker: tree.NewWalker(), build: tree.NewBuilder()}, nil
 }
 
 // Close releases the PM solver's worker pool (no-op when serial).
@@ -118,7 +119,9 @@ func (s *Solver) Config() Config { return s.cfg }
 func (s *Solver) Accel(x, y, z, m []float64, ax, ay, az []float64) (Stats, error) {
 	var st Stats
 	t0 := time.Now()
-	tr, err := tree.Build(x, y, z, m, tree.Options{LeafCap: s.cfg.LeafCap})
+	// Builder arena: repeated force evaluations rebuild the tree without
+	// allocating (the tree is valid until the next Accel call).
+	tr, err := s.build.Rebuild(x, y, z, m, tree.Options{LeafCap: s.cfg.LeafCap})
 	if err != nil {
 		return st, err
 	}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Record the canonical performance surface into bench_records/BENCH_<ts>.json:
 # the short-range force kernel, the 128³ PM solve, the LET ghost exchange
-# (with its all-to-all byte ledger) and the checkpoint write path. Compare
+# (with its all-to-all byte ledger), the overlapped-vs-sequential step
+# pipeline and the checkpoint write path. Compare
 # the two newest records afterwards with:
 #
 #   go run ./cmd/benchrecord compare -dir bench_records
@@ -16,7 +17,7 @@ OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
 echo "== running canonical benchmarks (benchtime $BENCHTIME) =="
-go test -run NONE -bench 'KernelGflops$|GhostExchange64$' -benchmem -benchtime "$BENCHTIME" . | tee -a "$OUT"
+go test -run NONE -bench 'KernelGflops$|GhostExchange64$|StepOverlap64$' -benchmem -benchtime "$BENCHTIME" . | tee -a "$OUT"
 go test -run NONE -bench 'Solve128Real$' -benchmem -benchtime "$BENCHTIME" ./internal/mesh/ | tee -a "$OUT"
 go test -run NONE -bench 'CheckpointWrite$' -benchmem -benchtime "$BENCHTIME" ./internal/checkpoint/ | tee -a "$OUT"
 
