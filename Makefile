@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-kernel bench-overlap bench-scaling bench-record bench-compare smoke-restart smoke-serve
+.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-kernel bench-overlap bench-scaling bench-record bench-compare smoke-restart smoke-serve smoke-chaos
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -37,6 +37,13 @@ smoke-restart:
 # completion, fetch a product of every kind and verify run integrity.
 smoke-serve:
 	./scripts/smoke_serve.sh
+
+# smoke-chaos: durability drill for the service plane — run a job cleanly for
+# a control content address, then kill -9 greemd mid-job with store faults
+# injected, restart, and require the journal-replayed resume to produce the
+# bit-identical snapshot; repeat with a SIGTERM drain. Part of verify.
+smoke-chaos:
+	./scripts/smoke_chaos.sh
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .

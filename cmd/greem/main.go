@@ -138,7 +138,7 @@ func main() {
 		Pencil: *pencil, PY: *py, PZ: *pz, Workers: *workers,
 		Theta: *theta, Ni: *ni, Eps2: 1e-8, FastKernel: true, Float32Kernel: *f32, LETExchange: *let,
 		OverlapPMPP: *overlap,
-		Grid: grid, DT: (aEnd - aStart) / float64(*steps), Stepper: model, Time: aStart,
+		Grid:        grid, DT: (aEnd - aStart) / float64(*steps), Stepper: model, Time: aStart,
 		DeterministicCost: *deterministic,
 	}
 

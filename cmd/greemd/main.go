@@ -3,6 +3,13 @@
 // snapshots and derived products in a content-addressed store, and serves
 // progress, products, Prometheus metrics and run-integrity checks.
 //
+// Durability: with -data set, every job-state transition is journaled in
+// the store; a restarted daemon replays the journal, re-queues acknowledged
+// jobs and resumes interrupted ones from their newest checkpoint. SIGTERM
+// drains gracefully — the running job checkpoints and parks instead of
+// dying. Store I/O goes through a retry layer and a circuit breaker;
+// /readyz reports drain, queue, breaker and journal state.
+//
 // Quickstart (see README.md for the full tour):
 //
 //	greemd -addr :8437 -data /var/lib/greemd &
@@ -29,54 +36,121 @@ import (
 	"greem/internal/store"
 )
 
+type options struct {
+	addr     string
+	dataDir  string
+	addrFile string
+	queue    int
+
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+
+	retryAttempts    int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	faultEvery   int
+	faultSeed    uint64
+	faultLatency time.Duration
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", "127.0.0.1:8437", "listen address (host:port; :0 picks a free port)")
-		dataDir  = flag.String("data", "", "store directory; empty keeps everything in memory")
-		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
-		queue    = flag.Int("queue", 64, "max queued jobs")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8437", "listen address (host:port; :0 picks a free port)")
+	flag.StringVar(&o.dataDir, "data", "", "store directory; empty keeps everything in memory")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound address to this file once listening (for scripts)")
+	flag.IntVar(&o.queue, "queue", 64, "max queued jobs (admission queue; beyond it submits get 429)")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "SIGTERM drain budget: how long the running job may take to checkpoint and park")
+	flag.IntVar(&o.retryAttempts, "retry-attempts", 4, "store retry budget per operation")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive store failures that trip the circuit breaker")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 2*time.Second, "how long the breaker stays open before probing")
+	flag.IntVar(&o.faultEvery, "fault-every", 0, "chaos drill: inject a store fault every Nth operation (0 = off)")
+	flag.Uint64Var(&o.faultSeed, "fault-seed", 1, "chaos drill: deterministic fault schedule seed")
+	flag.DurationVar(&o.faultLatency, "fault-latency", 2*time.Millisecond, "chaos drill: injected latency for latency-kind faults")
 	flag.Parse()
-	if err := run(*addr, *dataDir, *addrFile, *queue); err != nil {
+	if err := run(o); err != nil {
 		log.Fatalf("greemd: %v", err)
 	}
 }
 
-func run(addr, dataDir, addrFile string, queue int) error {
-	var st store.Store
-	if dataDir == "" {
+func run(o options) error {
+	var base store.Store
+	if o.dataDir == "" {
 		log.Printf("greemd: no -data directory, using an in-memory store (runs die with the process)")
-		st = store.NewMem()
+		base = store.NewMem()
 	} else {
-		fsStore, err := store.NewFS(dataDir)
+		fsStore, err := store.NewFS(o.dataDir)
 		if err != nil {
-			return fmt.Errorf("open store at %s: %w", dataDir, err)
+			return fmt.Errorf("open store at %s: %w", o.dataDir, err)
 		}
-		st = fsStore
-		log.Printf("greemd: store at %s", dataDir)
+		base = fsStore
+		log.Printf("greemd: store at %s", o.dataDir)
 	}
 
-	idx := serve.NewMem()
+	// The store stack, inside out: fault injection (chaos drills only) →
+	// circuit breaker (fail fast when the backend is sick) → retry
+	// (mask transient faults; treats an open breaker as definitive).
+	var faults *store.FaultPlan
+	if o.faultEvery > 0 {
+		faults = &store.FaultPlan{Every: o.faultEvery, Seed: o.faultSeed, Latency: o.faultLatency}
+		base = store.NewFaulty(base, faults.Hook)
+		log.Printf("greemd: CHAOS MODE: injecting a store fault every %d ops (seed %d)", o.faultEvery, o.faultSeed)
+	}
+	breaker := store.NewBreaker(base, store.BreakerConfig{
+		Threshold: o.breakerThreshold, Cooldown: o.breakerCooldown,
+	})
+	retry := store.NewRetry(breaker, store.RetryConfig{Attempts: o.retryAttempts, Seed: o.faultSeed})
+	st := store.Store(retry)
+
+	// The index: durable (journal in the store) when the store is durable.
+	var idx serve.Index
+	if o.dataDir == "" {
+		idx = serve.NewMem()
+	} else {
+		sx, err := serve.OpenStoreIndex(st, log.Printf)
+		if err != nil {
+			return fmt.Errorf("open job journal: %w", err)
+		}
+		idx = sx
+	}
+
 	mgr, err := serve.NewManager(serve.ManagerConfig{
-		Store: st, Index: idx, QueueDepth: queue, Logf: log.Printf,
+		Store: st, Index: idx, QueueDepth: o.queue, Logf: log.Printf,
 	})
 	if err != nil {
 		return err
 	}
+	if n := mgr.Replayed(); n > 0 {
+		log.Printf("greemd: replayed %d unfinished job(s) from the journal", n)
+	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
-		return fmt.Errorf("listen on %s: %w", addr, err)
+		return fmt.Errorf("listen on %s: %w", o.addr, err)
 	}
 	bound := ln.Addr().String()
 	log.Printf("greemd: listening on %s", bound)
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			return fmt.Errorf("write -addr-file: %w", err)
 		}
 	}
 
-	srv := &http.Server{Handler: serve.NewServer(mgr, idx, st).Handler()}
+	handler := serve.NewServer(serve.ServerConfig{
+		Manager: mgr, Index: idx, Store: st,
+		Retry: retry, Breaker: breaker, Faults: faults,
+		RequestTimeout: o.requestTimeout,
+	}).Handler()
+	srv := &http.Server{
+		Handler: handler,
+		// A hostile or wedged client must not pin connections forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -84,14 +158,21 @@ func run(addr, dataDir, addrFile string, queue int) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("greemd: %v, shutting down", s)
+		log.Printf("greemd: %v, draining", s)
 	case err := <-done:
 		mgr.Close()
 		return err
 	}
 
-	// Stop taking requests, then stop the job executor (cancelling any
-	// running job — its last checkpoint stays in the store).
+	// Graceful drain, in dependency order: park the running job at a
+	// checkpoint (readiness drops immediately, so balancers stop routing),
+	// then stop taking HTTP requests, then stop the executor. Unfinished
+	// jobs stay non-terminal in the journal; the next daemon resumes them.
+	if mgr.Drain(o.drainTimeout) {
+		log.Printf("greemd: drained cleanly (unfinished jobs parked for the next start)")
+	} else {
+		log.Printf("greemd: drain timed out; running job cancelled (still resumable from its last checkpoint)")
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

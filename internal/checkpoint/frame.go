@@ -1,0 +1,55 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// This file is the framed-record codec shared by every append-only record
+// this repo persists: checkpoint manifests and the service plane's job
+// journal (internal/serve). A frame is
+//
+//	magic[8] | uint32 payload length | payload | uint32 CRC32C(payload)
+//
+// little-endian, Castagnoli polynomial. The frame makes torn and
+// bit-flipped records detectable without trusting the payload parser: a
+// reader rejects a bad magic, an over-long or truncated length, and any
+// CRC mismatch before a byte of payload is interpreted.
+
+// FrameRecord frames payload under magic for durable storage.
+func FrameRecord(magic [8]byte, payload []byte) []byte {
+	frame := make([]byte, 0, len(magic)+8+len(payload))
+	frame = append(frame, magic[:]...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	return frame
+}
+
+// UnframeRecord validates a frame written by FrameRecord and returns its
+// payload. maxPayload caps the framed length field so a corrupt header
+// cannot demand an OOM-sized allocation. The returned slice aliases b;
+// callers that outlive b must copy.
+func UnframeRecord(magic [8]byte, maxPayload int, b []byte) ([]byte, error) {
+	if len(b) < len(magic)+8 {
+		return nil, fmt.Errorf("checkpoint: record truncated (%d bytes)", len(b))
+	}
+	if string(b[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad record magic %q (want %q)", b[:len(magic)], magic[:])
+	}
+	n := binary.LittleEndian.Uint32(b[len(magic):])
+	if uint64(n) > uint64(maxPayload) {
+		return nil, fmt.Errorf("checkpoint: record claims %d payload bytes (cap %d)", n, maxPayload)
+	}
+	body := b[len(magic)+4:]
+	if uint64(len(body)) < uint64(n)+4 {
+		return nil, fmt.Errorf("checkpoint: record truncated: frame wants %d payload bytes, file holds %d", n, len(body)-4)
+	}
+	payload := body[:n]
+	want := binary.LittleEndian.Uint32(body[n : n+4])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("checkpoint: record CRC32C mismatch: payload %#08x, frame %#08x (corrupt)", got, want)
+	}
+	return payload, nil
+}

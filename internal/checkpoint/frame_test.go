@@ -1,0 +1,49 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+var testMagic = [8]byte{'T', 'E', 'S', 'T', 'M', 'A', 'G', '1'}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), make([]byte, 4096)} {
+		frame := FrameRecord(testMagic, payload)
+		got, err := UnframeRecord(testMagic, 1<<20, frame)
+		if err != nil {
+			t.Fatalf("payload %d bytes: %v", len(payload), err)
+		}
+		if len(got) != len(payload) || string(got) != string(payload) {
+			t.Fatalf("payload %d bytes: round trip returned %d bytes", len(payload), len(got))
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	frame := FrameRecord(testMagic, []byte("a small but honest payload"))
+
+	// Every truncation point fails.
+	for n := 0; n < len(frame); n++ {
+		if _, err := UnframeRecord(testMagic, 1<<20, frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Every single flipped bit fails (magic, length, payload, or CRC).
+	for i := 0; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x10
+		if _, err := UnframeRecord(testMagic, 1<<20, mut); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+	// A wrong magic fails even with a valid body.
+	other := [8]byte{'O', 'T', 'H', 'E', 'R', 'M', 'G', '1'}
+	if _, err := UnframeRecord(other, 1<<20, frame); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("wrong magic: %v", err)
+	}
+	// A forged huge length is rejected by the cap, not by allocation.
+	if _, err := UnframeRecord(testMagic, 8, frame); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("over-cap length: %v", err)
+	}
+}

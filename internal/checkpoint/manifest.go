@@ -2,11 +2,9 @@ package checkpoint
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 
 	"greem/internal/sim"
 )
@@ -66,35 +64,15 @@ func encodeManifest(m *Manifest) (frame, payload []byte, err error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("checkpoint: marshal manifest: %w", err)
 	}
-	frame = make([]byte, 0, len(manifestMagic)+8+len(payload))
-	frame = append(frame, manifestMagic[:]...)
-	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
-	frame = append(frame, payload...)
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
-	return frame, payload, nil
+	return FrameRecord(manifestMagic, payload), payload, nil
 }
 
 // decodeManifest parses and verifies a framed manifest file, returning the
 // manifest and its canonical payload bytes (for hash chaining).
 func decodeManifest(b []byte) (*Manifest, []byte, error) {
-	if len(b) < len(manifestMagic)+8 {
-		return nil, nil, fmt.Errorf("checkpoint: manifest truncated (%d bytes)", len(b))
-	}
-	if string(b[:len(manifestMagic)]) != string(manifestMagic[:]) {
-		return nil, nil, fmt.Errorf("checkpoint: bad manifest magic %q", b[:len(manifestMagic)])
-	}
-	n := binary.LittleEndian.Uint32(b[len(manifestMagic):])
-	if n > maxManifestBytes {
-		return nil, nil, fmt.Errorf("checkpoint: manifest claims %d payload bytes (cap %d)", n, maxManifestBytes)
-	}
-	body := b[len(manifestMagic)+4:]
-	if uint64(len(body)) < uint64(n)+4 {
-		return nil, nil, fmt.Errorf("checkpoint: manifest truncated: frame wants %d payload bytes, file holds %d", n, len(body)-4)
-	}
-	payload := body[:n]
-	want := binary.LittleEndian.Uint32(body[n : n+4])
-	if got := crc32.Checksum(payload, castagnoli); got != want {
-		return nil, nil, fmt.Errorf("checkpoint: manifest CRC32C mismatch: payload %#08x, frame %#08x (corrupt)", got, want)
+	payload, err := UnframeRecord(manifestMagic, maxManifestBytes, b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: manifest: %w", err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(payload, &m); err != nil {

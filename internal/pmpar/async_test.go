@@ -99,7 +99,9 @@ func TestAsyncPairingPanics(t *testing.T) {
 			f()
 		}
 		_ = owner
-		mustPanic(func() { s.AccelWait(x, y, z, make([]float64, len(x)), make([]float64, len(x)), make([]float64, len(x))) })
+		mustPanic(func() {
+			s.AccelWait(x, y, z, make([]float64, len(x)), make([]float64, len(x)), make([]float64, len(x)))
+		})
 		s.AccelStart(x, y, z, m)
 		mustPanic(func() { s.AccelStart(x, y, z, m) })
 		s.AccelWait(x, y, z, make([]float64, len(x)), make([]float64, len(x)), make([]float64, len(x)))

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"greem/internal/store"
+)
+
+// TestSimRunnerDrainResume is the drain half of the durability story, run
+// against the real simulation runner: a job drained mid-run parks at a
+// checkpoint, a fresh manager over the same store and index replays it, and
+// the resumed run's final snapshot is bit-identical to an uninterrupted
+// control run (DeterministicCost makes restarts exact).
+func TestSimRunnerDrainResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full simulation twice")
+	}
+	spec := JobSpec{NP: 8, Ranks: 2, Steps: 6, Seed: 5, CheckpointEvery: 2}
+
+	// Control: one uninterrupted run.
+	ctlStore := store.NewMem()
+	ctlIdx, err := OpenStoreIndex(ctlStore, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewManager(ManagerConfig{Store: ctlStore, Index: ctlIdx, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlJob, err := ctl.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlDone := waitJob(t, ctlIdx, ctlJob.ID)
+	ctl.Close()
+	if ctlDone.State != StateDone || ctlDone.SnapshotRef == "" {
+		t.Fatalf("control run: %+v", ctlDone)
+	}
+
+	// Interrupted: drain once the job has a checkpoint to park at.
+	st := store.NewMem()
+	idx, err := OpenStoreIndex(st, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(ManagerConfig{Store: st, Index: idx, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := idx.GetJob(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job finished (%s) before the drain could interrupt it", j.State)
+		}
+		if j.LastCheckpointStep >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never checkpointed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !m.Drain(30 * time.Second) {
+		t.Fatal("drain timed out against the sim runner")
+	}
+	parked, err := idx.GetJob(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parked.State.Terminal() || !parked.FinishedAt.IsZero() {
+		t.Fatalf("drained job %+v, want non-terminal", parked)
+	}
+
+	// Next daemon: a fresh index replayed from the same store.
+	idx2, err := OpenStoreIndex(st, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(ManagerConfig{Store: st, Index: idx2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Replayed() != 1 {
+		t.Fatalf("replayed %d jobs, want 1", m2.Replayed())
+	}
+	resumed := waitJob(t, idx2, job.ID)
+	if resumed.State != StateDone {
+		t.Fatalf("resumed job ended %s (error %q)", resumed.State, resumed.Error)
+	}
+	if resumed.SnapshotRef != ctlDone.SnapshotRef {
+		t.Fatalf("resumed snapshot %.12s != control %.12s — restart not bit-identical",
+			resumed.SnapshotRef, ctlDone.SnapshotRef)
+	}
+}

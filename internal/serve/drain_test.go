@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"greem/internal/store"
+)
+
+func TestManagerReplayRequeuesNonTerminal(t *testing.T) {
+	idx := NewMem()
+	now := time.Unix(100, 0).UTC()
+	idx.CreateJob(JobInfo{ID: "run-000001", Spec: validSpec(), State: StateDone,
+		SubmittedAt: now, FinishedAt: now})
+	idx.CreateJob(JobInfo{ID: "run-000002", Spec: validSpec(), State: StateQueued, SubmittedAt: now})
+	idx.CreateJob(JobInfo{ID: "run-000003", Spec: validSpec(), State: StateCheckpointed,
+		SubmittedAt: now, LastCheckpointStep: 2})
+
+	var ran []string
+	runner := func(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error {
+		ran = append(ran, id) // single executor; no lock needed
+		return nil
+	}
+	m, err := NewManager(ManagerConfig{Store: store.NewMem(), Index: idx, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if m.Replayed() != 2 {
+		t.Fatalf("replayed %d jobs, want 2", m.Replayed())
+	}
+	waitJob(t, idx, "run-000002")
+	waitJob(t, idx, "run-000003")
+	if len(ran) != 2 || ran[0] != "run-000002" || ran[1] != "run-000003" {
+		t.Fatalf("ran %v, want the two non-terminal jobs oldest first", ran)
+	}
+	if done, _ := idx.GetJob("run-000001"); done.State != StateDone {
+		t.Fatalf("terminal job re-ran: %+v", done)
+	}
+}
+
+// TestManagerReplayExceedingQueueDepth: replayed backlog rides on top of
+// the configured depth — a full queue from the previous life must not shed
+// its own replay.
+func TestManagerReplayExceedingQueueDepth(t *testing.T) {
+	idx := NewMem()
+	for i := 0; i < 5; i++ {
+		idx.CreateJob(JobInfo{ID: idx.NextID(), Spec: validSpec(), State: StateQueued,
+			SubmittedAt: time.Unix(int64(i), 0).UTC()})
+	}
+	var ran int
+	runner := func(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error {
+		ran++
+		return nil
+	}
+	m, err := NewManager(ManagerConfig{Store: store.NewMem(), Index: idx, Runner: runner, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	jobs, _ := idx.ListJobs()
+	for _, j := range jobs {
+		waitJob(t, idx, j.ID)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d of 5 replayed jobs", ran)
+	}
+}
+
+func TestManagerSubmitShedsWhenQueueFull(t *testing.T) {
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	defer close(hold)
+	runner := func(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error {
+		close(started)
+		select {
+		case <-hold:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	idx := NewMem()
+	m, err := NewManager(ManagerConfig{Store: store.NewMem(), Index: idx, Runner: runner, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if _, err := m.Submit(validSpec()); err != nil { // runs (blocked in runner)
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Submit(validSpec()); err != nil { // occupies the queue slot
+		t.Fatal(err)
+	}
+	before, _ := idx.ListJobs()
+	if _, err := m.Submit(validSpec()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	// The shed submission never created a job record — nothing was acked.
+	after, _ := idx.ListJobs()
+	if len(after) != len(before) {
+		t.Fatalf("shed submission left a job record (%d → %d jobs)", len(before), len(after))
+	}
+}
+
+// TestManagerDrain: the running job checkpoints and parks non-terminal, a
+// queued job stays queued, and a fresh manager over the same index resumes
+// both.
+func TestManagerDrain(t *testing.T) {
+	idx := NewMem()
+	stepping := make(chan struct{}, 64)
+	runner := func(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error {
+		for step := 1; ; step++ {
+			if DrainRequested(ctx) {
+				update(RunUpdate{Step: step, TotalSteps: spec.Steps, Checkpointed: true})
+				return ErrDrained
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			select {
+			case stepping <- struct{}{}:
+			default:
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	m, err := NewManager(ManagerConfig{Store: store.NewMem(), Index: idx, Runner: runner, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	running, err := m.Submit(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stepping // the first job is inside its step loop
+	queued, err := m.Submit(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !m.Drain(10 * time.Second) {
+		t.Fatal("drain timed out against a cooperative runner")
+	}
+	if _, err := m.Submit(validSpec()); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit during drain: %v", err)
+	}
+
+	rj, _ := idx.GetJob(running.ID)
+	if rj.State.Terminal() || rj.State != StateCheckpointed || !rj.FinishedAt.IsZero() {
+		t.Fatalf("drained job %+v, want non-terminal checkpointed", rj)
+	}
+	qj, _ := idx.GetJob(queued.ID)
+	if qj.State != StateQueued {
+		t.Fatalf("queued job state %s after drain, want queued", qj.State)
+	}
+
+	// Next daemon: replays both and finishes them.
+	done := func(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error {
+		return nil
+	}
+	m2, err := NewManager(ManagerConfig{Store: store.NewMem(), Index: idx, Runner: done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Replayed() != 2 {
+		t.Fatalf("second manager replayed %d, want 2", m2.Replayed())
+	}
+	if j := waitJob(t, idx, running.ID); j.State != StateDone {
+		t.Fatalf("resumed job ended %s", j.State)
+	}
+	if j := waitJob(t, idx, queued.ID); j.State != StateDone {
+		t.Fatalf("requeued job ended %s", j.State)
+	}
+}
+
+// TestManagerDrainTimeoutCancelsButKeepsJobResumable: an uncooperative
+// runner is hard-cancelled at the deadline, yet the job stays non-terminal.
+func TestManagerDrainTimeoutCancelsButKeepsJobResumable(t *testing.T) {
+	idx := NewMem()
+	started := make(chan struct{})
+	runner := func(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error {
+		close(started)
+		<-ctx.Done() // ignores the drain request
+		return ctx.Err()
+	}
+	m, err := NewManager(ManagerConfig{Store: store.NewMem(), Index: idx, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.Submit(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if m.Drain(50 * time.Millisecond) {
+		t.Fatal("drain reported clean against an uncooperative runner")
+	}
+	job, _ := idx.GetJob(info.ID)
+	if job.State.Terminal() {
+		t.Fatalf("hard-cancelled drain marked the job %s; it must stay resumable", job.State)
+	}
+}

@@ -70,7 +70,7 @@ func startDaemon(t *testing.T) *testDaemon {
 		t.Fatal(err)
 	}
 	t.Cleanup(mgr.Close)
-	srv := httptest.NewServer(NewServer(mgr, idx, counting).Handler())
+	srv := httptest.NewServer(NewServer(ServerConfig{Manager: mgr, Index: idx, Store: counting}).Handler())
 	t.Cleanup(srv.Close)
 	return &testDaemon{srv: srv, mem: mem, counting: counting, gate: gate, idx: idx, mgr: mgr}
 }

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Flight is the request-batching primitive of the serving layer: a
 // singleflight group. Concurrent Do calls with the same key share one
@@ -28,11 +31,25 @@ func NewFlight() *Flight { return &Flight{m: make(map[string]*flightCall)} }
 // than running fn itself. The result slice is shared between callers and
 // must be treated as immutable.
 func (f *Flight) Do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	return f.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx is Do with caller cancellation. A waiter whose context dies stops
+// waiting and returns ctx.Err() — without poisoning the shared call: the
+// leader keeps running (its result may serve other waiters and warm the
+// cache), and every other waiter still receives the leader's result. The
+// leader itself is never interrupted by its own context here; callers that
+// want bounded leader work put the bound inside fn.
+func (f *Flight) DoCtx(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
 	f.mu.Lock()
 	if c, ok := f.m[key]; ok {
 		f.mu.Unlock()
-		<-c.done
-		return c.val, true, c.err
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	f.m[key] = c

@@ -1,12 +1,95 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// TestFlightWaiterCancellation: a waiter whose context dies returns
+// promptly with ctx.Err() and must NOT poison the shared call — the leader
+// finishes, other waiters get its payload, and fn runs exactly once.
+func TestFlightWaiterCancellation(t *testing.T) {
+	f := NewFlight()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+
+	type result struct {
+		val    []byte
+		shared bool
+		err    error
+	}
+	leaderDone := make(chan result, 1)
+	go func() {
+		val, shared, err := f.Do("k", func() ([]byte, error) {
+			calls.Add(1)
+			close(leaderIn)
+			<-release
+			return []byte("payload"), nil
+		})
+		leaderDone <- result{val, shared, err}
+	}()
+	<-leaderIn
+
+	// A cancelled waiter abandons the flight without waiting for release.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan result, 1)
+	go func() {
+		val, shared, err := f.DoCtx(ctx, "k", func() ([]byte, error) {
+			t.Error("waiter ran fn")
+			return nil, nil
+		})
+		cancelled <- result{val, shared, err}
+	}()
+	// A patient waiter sticks around for the leader's result.
+	patient := make(chan result, 1)
+	go func() {
+		val, shared, err := f.DoCtx(context.Background(), "k", func() ([]byte, error) {
+			t.Error("waiter ran fn")
+			return nil, nil
+		})
+		patient <- result{val, shared, err}
+	}()
+
+	cancel()
+	select {
+	case r := <-cancelled:
+		if !errors.Is(r.err, context.Canceled) || !r.shared {
+			t.Fatalf("cancelled waiter got (%q, %v, %v)", r.val, r.shared, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter stayed blocked behind the leader")
+	}
+
+	close(release)
+	for _, ch := range []chan result{leaderDone, patient} {
+		r := <-ch
+		if r.err != nil || string(r.val) != "payload" {
+			t.Fatalf("surviving caller got (%q, %v)", r.val, r.err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+}
+
+// TestFlightLeaderUnaffectedByOwnDeadContext: DoCtx cancellation applies to
+// waiting, not leading — a leader with a dead context still runs fn so the
+// herd behind it is served.
+func TestFlightLeaderUnaffectedByOwnDeadContext(t *testing.T) {
+	f := NewFlight()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	val, shared, err := f.DoCtx(ctx, "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || shared || string(val) != "ok" {
+		t.Fatalf("leader with dead ctx got (%q, %v, %v)", val, shared, err)
+	}
+}
 
 // TestFlightDedup parks a herd behind one blocked leader and checks the
 // whole herd shares the leader's single execution.

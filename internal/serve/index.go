@@ -62,6 +62,41 @@ func (m *Mem) NextID() string {
 	return id
 }
 
+// restoreJob inserts or replaces a job record during journal replay,
+// preserving first-appearance order (journal order == submission order),
+// and advances the ID sequence past any run-%06d-shaped ID so NextID never
+// reissues a replayed job's ID.
+func (m *Mem) restoreJob(info JobInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[info.ID]; !ok {
+		m.order = append(m.order, info.ID)
+	}
+	cp := info
+	m.jobs[info.ID] = &cp
+	var n int64
+	if _, err := fmt.Sscanf(info.ID, "run-%d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+}
+
+// restoreProduct re-records a cached product during journal replay. A
+// product whose job record was lost is dropped — products are recomputable
+// caches, never the source of truth.
+func (m *Mem) restoreProduct(jobID, key string, ref store.Ref) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[jobID]; !ok {
+		return
+	}
+	p := m.products[jobID]
+	if p == nil {
+		p = make(map[string]store.Ref)
+		m.products[jobID] = p
+	}
+	p[key] = ref
+}
+
 func (m *Mem) CreateJob(info JobInfo) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()

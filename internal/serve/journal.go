@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"greem/internal/checkpoint"
+	"greem/internal/store"
+)
+
+// The job journal makes the service plane's promise — an acknowledged
+// submit is never lost — survive daemon crashes. Every durable job-state
+// transition (created, queued→running→checkpointed→done/failed, a product
+// cached) is appended as one CRC-framed record in the content-addressed
+// store, under index/journal/<seq>. On startup the journal is replayed in
+// sequence order to rebuild the in-memory index; the manager then re-enqueues
+// every non-terminal job.
+//
+// One record per blob (rather than one growing log file) matches the store's
+// write model: blobs are immutable and name links are atomic, so an append
+// is a single PutNamed and a torn append (blob committed, link lost) is
+// simply an invisible record — the sequence gap it leaves is tolerated by
+// replay, because every record carries the job's full durable state and a
+// later record supersedes the lost one.
+
+// journalMagic frames journal records, versioned like the checkpoint
+// manifest magic.
+var journalMagic = [8]byte{'G', 'R', 'M', 'J', 'R', 'N', 'L', '1'}
+
+const (
+	journalPrefix    = "index/journal/"
+	maxJournalRecord = 1 << 20
+)
+
+// journalRecord is one appended event. Kind "job" snapshots the job's full
+// durable state (not a delta — replay must tolerate lost records); kind
+// "product" maps a cached product key to its content address.
+type journalRecord struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"` // "job" | "product"
+
+	Job *JobInfo `json:"job,omitempty"` // kind "job"; Telemetry stripped
+
+	JobID string    `json:"job_id,omitempty"` // kind "product"
+	Key   string    `json:"key,omitempty"`
+	Ref   store.Ref `json:"ref,omitempty"`
+}
+
+// Journal is the append-only job journal over a Store.
+type Journal struct {
+	st store.Store
+
+	mu  sync.Mutex
+	seq uint64 // last successfully appended sequence number
+}
+
+// OpenJournal opens the journal in st and positions the append cursor after
+// the newest existing record.
+func OpenJournal(st store.Store) (*Journal, error) {
+	j := &Journal{st: st}
+	names, err := st.List(journalPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("serve: journal scan: %w", err)
+	}
+	for _, name := range names {
+		if seq, ok := journalSeq(name); ok && seq > j.seq {
+			j.seq = seq
+		}
+	}
+	return j, nil
+}
+
+// journalSeq parses the sequence number out of a journal record name.
+func journalSeq(name string) (uint64, bool) {
+	tail := strings.TrimPrefix(name, journalPrefix)
+	if tail == name || strings.Contains(tail, "/") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(tail, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Append durably records rec and returns nil only once the record is
+// committed (on the FS backend: written, renamed, and directory-fsynced).
+// The sequence cursor advances only on success, so a failed append is
+// retried under the same name and a torn one is superseded in place.
+func (j *Journal) Append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec.Seq = j.seq + 1
+	if rec.Job != nil {
+		cp := *rec.Job
+		cp.Telemetry = nil // live metrics are not durable state
+		rec.Job = &cp
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: journal encode: %w", err)
+	}
+	if len(payload) > maxJournalRecord {
+		return fmt.Errorf("serve: journal record %d bytes exceeds cap %d", len(payload), maxJournalRecord)
+	}
+	name := fmt.Sprintf("%s%012d", journalPrefix, rec.Seq)
+	if _, err := j.st.PutNamed(name, checkpoint.FrameRecord(journalMagic, payload)); err != nil {
+		return fmt.Errorf("serve: journal append %s: %w", name, err)
+	}
+	j.seq = rec.Seq
+	return nil
+}
+
+// Replay reads every journal record in sequence order and hands it to
+// apply. Sequence gaps are tolerated (a torn append leaves one); a record
+// that is present but corrupt is an error naming the record — the operator
+// decides whether to delete it, because silently skipping could resurrect a
+// superseded state.
+func (j *Journal) Replay(apply func(journalRecord)) error {
+	names, err := j.st.List(journalPrefix)
+	if err != nil {
+		return fmt.Errorf("serve: journal scan: %w", err)
+	}
+	// Zero-padded names list lexicographically == numerically; keep only
+	// well-formed ones.
+	for _, name := range names {
+		seq, ok := journalSeq(name)
+		if !ok {
+			continue
+		}
+		ref, err := j.st.Resolve(name)
+		if err != nil {
+			return fmt.Errorf("serve: journal record %s: %w", name, err)
+		}
+		b, err := j.st.Get(ref)
+		if err != nil {
+			return fmt.Errorf("serve: journal record %s: %w", name, err)
+		}
+		payload, err := checkpoint.UnframeRecord(journalMagic, maxJournalRecord, b)
+		if err != nil {
+			return fmt.Errorf("serve: journal record %s corrupt: %w", name, err)
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("serve: journal record %s corrupt: %w", name, err)
+		}
+		if rec.Seq != seq {
+			return fmt.Errorf("serve: journal record %s claims seq %d", name, rec.Seq)
+		}
+		apply(rec)
+	}
+	return nil
+}
+
+// Seq returns the last committed sequence number.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}

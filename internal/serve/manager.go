@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"greem/internal/store"
@@ -12,6 +13,28 @@ import (
 
 // ErrShuttingDown reports a submission against a closing manager.
 var ErrShuttingDown = errors.New("serve: manager is shutting down")
+
+// ErrQueueFull reports a submission shed because the admission queue is at
+// capacity. It is load shedding, not failure: the client should back off
+// and resubmit (the HTTP layer maps it to 429 + Retry-After).
+var ErrQueueFull = errors.New("serve: queue full")
+
+// ErrDrained is returned by a Runner that stopped cooperatively at a drain
+// request after committing a checkpoint. The manager leaves the job
+// non-terminal, so the next daemon replays and resumes it.
+var ErrDrained = errors.New("serve: job drained")
+
+// drainKey carries the manager's drain signal into the runner's context.
+type drainKey struct{}
+
+// DrainRequested reports whether the service wants the running job to
+// checkpoint and stop at the next step boundary. Runners poll it between
+// steps; it is carried by context value so the Runner signature stays a
+// plain (ctx, id, spec, store, update).
+func DrainRequested(ctx context.Context) bool {
+	f, _ := ctx.Value(drainKey{}).(func() bool)
+	return f != nil && f()
+}
 
 // ManagerConfig wires a Manager.
 type ManagerConfig struct {
@@ -43,15 +66,27 @@ type Manager struct {
 
 	queue  chan string
 	ctx    context.Context
+	runCtx context.Context // ctx + the drain signal, handed to runners
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	draining  atomic.Bool
+	replayed  int
+	queueOnce sync.Once
 
 	mu     sync.Mutex
 	seq    int64
 	closed bool
 }
 
-// NewManager starts a manager and its executor goroutine.
+// idIssuer is implemented by indexes that issue job IDs (Mem, StoreIndex).
+type idIssuer interface{ NextID() string }
+
+// NewManager starts a manager and its executor goroutine. When the index
+// already holds jobs — a durable StoreIndex replayed from the journal —
+// every non-terminal job is re-enqueued, oldest first, before the executor
+// starts: a job the previous daemon acknowledged (or was running when it
+// died) resumes from its newest checkpoint without operator action.
 func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Store == nil || cfg.Index == nil {
 		return nil, fmt.Errorf("serve: manager needs a store and an index")
@@ -65,16 +100,32 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+
+	jobs, err := cfg.Index.ListJobs() // newest first
+	if err != nil {
+		return nil, fmt.Errorf("serve: manager replay scan: %w", err)
+	}
+	var replay []string
+	for i := len(jobs) - 1; i >= 0; i-- { // oldest first: preserve FIFO fairness
+		if !jobs[i].State.Terminal() {
+			replay = append(replay, jobs[i].ID)
+		}
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		store: cfg.Store, index: cfg.Index, runner: cfg.Runner, logf: cfg.Logf,
 		newID: cfg.NewID,
-		queue: make(chan string, cfg.QueueDepth),
+		// Replayed jobs ride on top of the configured depth so a full
+		// backlog from the previous life cannot make replay itself shed.
+		queue: make(chan string, cfg.QueueDepth+len(replay)),
 		ctx:   ctx, cancel: cancel,
+		replayed: len(replay),
 	}
+	m.runCtx = context.WithValue(ctx, drainKey{}, func() bool { return m.draining.Load() })
 	if m.newID == nil {
-		if mem, ok := cfg.Index.(*Mem); ok {
-			m.newID = mem.NextID
+		if iss, ok := cfg.Index.(idIssuer); ok {
+			m.newID = iss.NextID
 		} else {
 			m.newID = func() string {
 				m.mu.Lock()
@@ -85,10 +136,32 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 			}
 		}
 	}
+	for _, id := range replay {
+		m.queue <- id
+		m.logf("serve: job %s replayed from the journal", id)
+	}
 	m.wg.Add(1)
 	go m.executor()
 	return m, nil
 }
+
+// Replayed returns how many non-terminal jobs were re-enqueued at startup
+// (the greem_jobs_replayed_total metric).
+func (m *Manager) Replayed() int { return m.replayed }
+
+// Draining reports whether a graceful drain is in progress.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// Accepting reports whether Submit would be admitted (modulo queue space).
+func (m *Manager) Accepting() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
+}
+
+// QueueLen and QueueCap expose admission-queue pressure for readiness.
+func (m *Manager) QueueLen() int { return len(m.queue) }
+func (m *Manager) QueueCap() int { return cap(m.queue) }
 
 // Submit validates spec, records the job as queued and enqueues it.
 func (m *Manager) Submit(spec JobSpec) (JobInfo, error) {
@@ -101,6 +174,12 @@ func (m *Manager) Submit(spec JobSpec) (JobInfo, error) {
 	if closed {
 		return JobInfo{}, ErrShuttingDown
 	}
+	// Shed BEFORE creating the record: with a durable index, CreateJob is
+	// the acknowledgement — journaling a job only to fail it on a full
+	// queue would persist an ack the service never honored.
+	if len(m.queue) >= cap(m.queue) {
+		return JobInfo{}, fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, len(m.queue))
+	}
 	info := JobInfo{
 		ID: m.newID(), Spec: spec, State: StateQueued,
 		TotalSteps: spec.Steps, SubmittedAt: time.Now().UTC(),
@@ -111,35 +190,64 @@ func (m *Manager) Submit(spec JobSpec) (JobInfo, error) {
 	select {
 	case m.queue <- info.ID:
 	default:
+		// Lost the race for the last slot; fail the record honestly.
 		m.index.UpdateJob(info.ID, func(j *JobInfo) {
 			j.State = StateFailed
 			j.Error = "queue full"
 			j.FinishedAt = time.Now().UTC()
 		})
-		return JobInfo{}, fmt.Errorf("serve: queue full (%d jobs waiting)", cap(m.queue))
+		return JobInfo{}, fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, cap(m.queue))
 	}
 	m.logf("serve: job %s queued (np=%d ranks=%d steps=%d)", info.ID, spec.NP, spec.Ranks, spec.Steps)
 	return info, nil
 }
 
+// stopAccepting makes Submit reject and lets the executor run out of queue.
+func (m *Manager) stopAccepting() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.queueOnce.Do(func() { close(m.queue) })
+}
+
 // Close stops accepting jobs, cancels the running one and waits for the
 // executor to drain.
 func (m *Manager) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return
-	}
-	m.closed = true
-	m.mu.Unlock()
-	close(m.queue)
+	m.stopAccepting()
 	m.cancel()
 	m.wg.Wait()
+}
+
+// Drain is the graceful counterpart of Close: stop accepting, ask the
+// running job to checkpoint and stop at its next step boundary, and leave
+// everything unfinished in a non-terminal state for the next daemon to
+// replay. Returns true if the executor drained within timeout; on timeout
+// the running job is hard-cancelled (still non-terminal — the drain intent
+// stands) and Drain returns false.
+func (m *Manager) Drain(timeout time.Duration) bool {
+	m.draining.Store(true)
+	m.stopAccepting()
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		m.logf("serve: drain timed out after %v; cancelling the running job", timeout)
+		m.cancel()
+		<-done
+		return false
+	}
 }
 
 func (m *Manager) executor() {
 	defer m.wg.Done()
 	for id := range m.queue {
+		if m.draining.Load() {
+			// Leave the job queued in the index; the next daemon replays it.
+			m.logf("serve: job %s left queued for the next daemon", id)
+			continue
+		}
 		if m.ctx.Err() != nil {
 			m.index.UpdateJob(id, func(j *JobInfo) {
 				j.State = StateFailed
@@ -188,7 +296,15 @@ func (m *Manager) runJob(id string) {
 		})
 	}
 
-	err = m.runner(m.ctx, id, info.Spec, m.store, update)
+	err = m.runner(m.runCtx, id, info.Spec, m.store, update)
+	if errors.Is(err, ErrDrained) || (m.draining.Load() && errors.Is(err, context.Canceled)) {
+		// The job stopped because the daemon is going away, not because it
+		// failed. Leave it non-terminal (running/checkpointed) with no
+		// FinishedAt: the journal replays it and the runner resumes from
+		// the newest checkpoint.
+		m.logf("serve: job %s drained (resumable at next start)", id)
+		return
+	}
 	m.index.UpdateJob(id, func(j *JobInfo) {
 		j.FinishedAt = time.Now().UTC()
 		if err != nil {

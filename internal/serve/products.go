@@ -2,8 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"greem/internal/analysis"
 	"greem/internal/sim"
@@ -94,33 +99,87 @@ type Products struct {
 	store  store.Store
 	index  Index
 	flight *Flight
+
+	// opTimeout bounds the leader's store work. The leader runs detached
+	// from any single caller's deadline (its result serves every waiter),
+	// so it needs its own bound.
+	opTimeout time.Duration
+
+	// The stale cache holds the last known-good bytes per product, served
+	// when the store is unavailable (breaker open): a degraded read beats a
+	// 5xx for immutable derived data. Bounded FIFO.
+	mu          sync.Mutex
+	cache       map[string][]byte
+	order       []string
+	staleServed atomic.Int64
 }
+
+// productCacheEntries bounds the stale cache.
+const productCacheEntries = 128
 
 // NewProducts wires the product plane over a store and an index.
 func NewProducts(st store.Store, idx Index) *Products {
-	return &Products{store: st, index: idx, flight: NewFlight()}
+	return &Products{store: st, index: idx, flight: NewFlight(),
+		opTimeout: 30 * time.Second, cache: make(map[string][]byte)}
+}
+
+// StaleServed returns how many requests were answered from the stale cache
+// while the store was unavailable.
+func (p *Products) StaleServed() int64 { return p.staleServed.Load() }
+
+func (p *Products) remember(key string, b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.cache[key]; !ok {
+		p.order = append(p.order, key)
+		for len(p.order) > productCacheEntries {
+			delete(p.cache, p.order[0])
+			p.order = p.order[1:]
+		}
+	}
+	p.cache[key] = b
+}
+
+func (p *Products) recall(key string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.cache[key]
+	return b, ok
 }
 
 // Get returns the product bytes for the request, computing and caching on
 // first use. shared reports whether this call rode an in-flight duplicate.
 // The returned slice is shared across callers — treat it as read-only.
 func (p *Products) Get(job JobInfo, req ProductRequest) (data []byte, shared bool, err error) {
+	data, shared, _, err = p.GetCtx(context.Background(), job, req)
+	return data, shared, err
+}
+
+// GetCtx is Get with caller cancellation and graceful degradation: a caller
+// whose ctx dies stops waiting immediately (the leader's work continues for
+// the others), and when the store is unavailable the last known-good bytes
+// are served with stale=true instead of an error.
+func (p *Products) GetCtx(ctx context.Context, job JobInfo, req ProductRequest) (data []byte, shared, stale bool, err error) {
 	key, err := req.Key()
 	if err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
 	if job.SnapshotRef == "" {
-		return nil, false, fmt.Errorf("serve: job %s has no snapshot yet (state %s)", job.ID, job.State)
+		return nil, false, false, fmt.Errorf("serve: job %s has no snapshot yet (state %s)", job.ID, job.State)
 	}
-	data, shared, err = p.flight.Do(job.ID+"|"+key, func() ([]byte, error) {
+	fkey := job.ID + "|" + key
+	data, shared, err = p.flight.DoCtx(ctx, fkey, func() ([]byte, error) {
+		opCtx, cancel := context.WithTimeout(context.Background(), p.opTimeout)
+		defer cancel()
+		st := store.ForContext(opCtx, p.store)
 		if ref, cerr := p.index.GetProduct(job.ID, key); cerr == nil {
-			return p.store.Get(ref)
+			return st.Get(ref)
 		}
-		b, cerr := p.compute(job, req)
+		b, cerr := p.computeWith(st, job, req)
 		if cerr != nil {
 			return nil, cerr
 		}
-		ref, cerr := p.store.PutNamed(productName(job.ID, key), b)
+		ref, cerr := st.PutNamed(productName(job.ID, key), b)
 		if cerr != nil {
 			return nil, cerr
 		}
@@ -129,11 +188,23 @@ func (p *Products) Get(job JobInfo, req ProductRequest) (data []byte, shared boo
 		}
 		return b, nil
 	})
-	return data, shared, err
+	if err == nil {
+		p.remember(fkey, data)
+		return data, shared, false, nil
+	}
+	// Degrade only on backend unavailability — a dead caller context or a
+	// definitive error propagates honestly.
+	if errors.Is(err, store.ErrUnavailable) {
+		if b, ok := p.recall(fkey); ok {
+			p.staleServed.Add(1)
+			return b, shared, true, nil
+		}
+	}
+	return nil, shared, false, err
 }
 
-func (p *Products) compute(job JobInfo, req ProductRequest) ([]byte, error) {
-	raw, err := p.store.Get(job.SnapshotRef)
+func (p *Products) computeWith(st store.Store, job JobInfo, req ProductRequest) ([]byte, error) {
+	raw, err := st.Get(job.SnapshotRef)
 	if err != nil {
 		return nil, fmt.Errorf("serve: job %s: load snapshot: %w", job.ID, err)
 	}

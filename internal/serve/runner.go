@@ -104,6 +104,9 @@ func SimRunner(ctx context.Context, id string, spec JobSpec, st store.Store, upd
 		}
 	}
 
+	// drained is set by rank 0 when the job stops at a drain request; read
+	// after RunWithKillHook's join, so no lock is needed.
+	drained := false
 	runOnce := func() error {
 		return mpi.RunWithKillHook(spec.Ranks, hook, func(c *mpi.Comm) {
 			rec := telemetry.NewRecorder(c.Rank(), nil)
@@ -117,6 +120,10 @@ func SimRunner(ctx context.Context, id string, spec JobSpec, st store.Store, upd
 				if rerr != nil && !errors.Is(rerr, checkpoint.ErrNoCheckpoint) {
 					panic(rerr)
 				}
+			}
+			lastCkpt := 0
+			if s != nil {
+				lastCkpt = s.StepIndex() // restored ⇒ a checkpoint exists here
 			}
 			if s == nil {
 				var mine []sim.Particle
@@ -135,6 +142,32 @@ func SimRunner(ctx context.Context, id string, spec JobSpec, st store.Store, upd
 				if c.Rank() == 0 && ctx.Err() != nil {
 					panic(errCancelled)
 				}
+				// The drain poll is collective: rank 0 reads the signal and
+				// broadcasts the verdict, so every rank leaves the step loop
+				// together — a lone deserter would abort the world instead
+				// of parking it.
+				stop := []int{0}
+				if c.Rank() == 0 && DrainRequested(ctx) {
+					stop[0] = 1
+				}
+				stop = mpi.Bcast(c, 0, stop)
+				if stop[0] == 1 {
+					if spec.CheckpointEvery > 0 && s.StepIndex() > lastCkpt {
+						if _, err := checkpoint.Write(c, ckCfg, s); err != nil {
+							panic(err)
+						}
+						if c.Rank() == 0 {
+							update(RunUpdate{
+								Step: s.StepIndex(), TotalSteps: spec.Steps, Time: s.Time(),
+								Checkpointed: true, Telemetry: rec.Registry().Snapshot(),
+							})
+						}
+					}
+					if c.Rank() == 0 {
+						drained = true
+					}
+					return // park the job; no final snapshot
+				}
 				if err := s.Step(); err != nil {
 					panic(err)
 				}
@@ -145,6 +178,7 @@ func SimRunner(ctx context.Context, id string, spec JobSpec, st store.Store, upd
 						panic(err)
 					}
 					ckpt = true
+					lastCkpt = idx
 				}
 				if c.Rank() == 0 {
 					update(RunUpdate{
@@ -173,6 +207,9 @@ func SimRunner(ctx context.Context, id string, spec JobSpec, st store.Store, upd
 	for attempt := 0; ; attempt++ {
 		err := runOnce()
 		if err == nil {
+			if drained {
+				return ErrDrained
+			}
 			return nil
 		}
 		if ctx.Err() != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,27 +9,64 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"greem/internal/checkpoint"
 	"greem/internal/store"
 	"greem/internal/telemetry"
 )
 
+// healthReporter is implemented by indexes whose durability can degrade
+// (StoreIndex). A non-nil Healthy() drops readiness: acks are no longer
+// crash-durable, so a load balancer should stop routing submits here.
+type healthReporter interface{ Healthy() error }
+
+// ServerConfig wires the HTTP layer. Manager, Index and Store are
+// mandatory; the Retry/Breaker/Faults handles are optional observability
+// taps into the store stack (nil when the daemon runs without them).
+type ServerConfig struct {
+	Manager *Manager
+	Index   Index
+	Store   store.Store
+
+	Retry   *store.Retry     // store retry layer, for metrics
+	Breaker *store.Breaker   // store circuit breaker, for metrics + shedding
+	Faults  *store.FaultPlan // fault injection plan, for metrics
+
+	// RequestTimeout bounds every request's context (0 ⇒ 30s). Product
+	// computation detaches from it deliberately (the leader's result is
+	// shared); everything else — store reads, integrity audits, flight
+	// waits — aborts when it expires.
+	RequestTimeout time.Duration
+}
+
 // Server is the HTTP face of the service plane. Routes:
 //
 //	GET  /healthz                    liveness probe
+//	GET  /readyz                     readiness: drain, queue, breaker and journal state
 //	POST /runs                       submit a JobSpec, returns the queued JobInfo
 //	GET  /runs                       list jobs, newest first
 //	GET  /runs/{id}                  one job's status, progress and telemetry
 //	GET  /runs/{id}/products         cached product keys for the job
 //	GET  /runs/{id}/products/{kind}  fetch/compute a product (snapshot, halos, pk, density)
 //	GET  /runs/{id}/integrity        re-verify the run's checkpoint hash chain and blobs
-//	GET  /metrics                    Prometheus text: server counters + per-job sim telemetry
+//	GET  /metrics                    Prometheus text: server counters + store/journal
+//	                                 resilience metrics + per-job sim telemetry
+//
+// Overload and degradation semantics: a full admission queue or an open
+// store breaker sheds submits with 429 + Retry-After (the work is safe to
+// retry elsewhere or later); a draining daemon answers 503 and drops
+// readiness first so balancers stop routing to it.
 type Server struct {
 	mgr      *Manager
 	index    Index
 	store    store.Store
 	products *Products
+
+	retry   *store.Retry
+	breaker *store.Breaker
+	faults  *store.FaultPlan
+	timeout time.Duration
 
 	// reg holds server-side counters. telemetry.Registry is not safe for
 	// concurrent use, so every touch — increment or render — happens under
@@ -39,18 +77,25 @@ type Server struct {
 }
 
 // NewServer wires the HTTP layer over a manager, its index and its store.
-func NewServer(mgr *Manager, idx Index, st store.Store) *Server {
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
 	return &Server{
-		mgr: mgr, index: idx, store: st,
-		products: NewProducts(st, idx),
-		reg:      telemetry.NewRegistry(),
+		mgr: cfg.Manager, index: cfg.Index, store: cfg.Store,
+		products: NewProducts(cfg.Store, cfg.Index),
+		retry:    cfg.Retry, breaker: cfg.Breaker, faults: cfg.Faults,
+		timeout: cfg.RequestTimeout,
+		reg:     telemetry.NewRegistry(),
 	}
 }
 
-// Handler returns the routing table.
+// Handler returns the routing table, wrapped so every request carries a
+// deadline — a wedged store cannot pin handler goroutines forever.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /runs", s.handleSubmit)
 	mux.HandleFunc("GET /runs", s.handleList)
 	mux.HandleFunc("GET /runs/{id}", s.handleGet)
@@ -58,7 +103,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}/products/{kind}", s.handleProduct)
 	mux.HandleFunc("GET /runs/{id}/integrity", s.handleIntegrity)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		mux.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 func (s *Server) count(name string, labels ...telemetry.Label) {
@@ -103,6 +152,63 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// ReadyReport is the body of GET /readyz. Ready=false (with HTTP 503)
+// means: stop routing new work here — the daemon is draining, overloaded,
+// cut off from its store, or can no longer journal acknowledgements.
+type ReadyReport struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+
+	Draining     bool   `json:"draining"`
+	QueueLen     int    `json:"queue_len"`
+	QueueCap     int    `json:"queue_cap"`
+	BreakerState string `json:"breaker_state,omitempty"`
+	JournalError string `json:"journal_error,omitempty"`
+	Replayed     int    `json:"jobs_replayed"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.count("greemd_http_requests_total", telemetry.L("route", "readyz"))
+	rep := ReadyReport{
+		Draining: s.mgr.Draining(),
+		QueueLen: s.mgr.QueueLen(), QueueCap: s.mgr.QueueCap(),
+		Replayed: s.mgr.Replayed(),
+	}
+	if !s.mgr.Accepting() {
+		rep.Reasons = append(rep.Reasons, "not accepting jobs (draining or closed)")
+	}
+	if rep.QueueLen >= rep.QueueCap {
+		rep.Reasons = append(rep.Reasons, "admission queue full")
+	}
+	if s.breaker != nil {
+		st := s.breaker.State()
+		rep.BreakerState = st.String()
+		if st == store.BreakerOpen {
+			rep.Reasons = append(rep.Reasons, "store circuit breaker open")
+		}
+	}
+	if hr, ok := s.index.(healthReporter); ok {
+		if err := hr.Healthy(); err != nil {
+			rep.JournalError = err.Error()
+			rep.Reasons = append(rep.Reasons, "job journal degraded (acks not crash-durable)")
+		}
+	}
+	rep.Ready = len(rep.Reasons) == 0
+	code := http.StatusOK
+	if !rep.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rep)
+}
+
+// shed refuses a submission with 429 + Retry-After: the request is valid,
+// the service is the problem, and retrying later (or elsewhere) will work.
+func (s *Server) shed(w http.ResponseWriter, reason string, retryAfter int, err error) {
+	s.count("greem_shed_total", telemetry.L("reason", reason))
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, http.StatusTooManyRequests, err)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.count("greemd_http_requests_total", telemetry.L("route", "submit"))
 	var spec JobSpec
@@ -112,13 +218,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
 		return
 	}
+	// An open breaker means the journal cannot commit the ack — shed before
+	// touching the manager rather than failing the create midway.
+	if s.breaker != nil && s.breaker.State() == store.BreakerOpen {
+		s.shed(w, "breaker_open", 2, errors.New("store unavailable (circuit breaker open)"))
+		return
+	}
 	info, err := s.mgr.Submit(spec)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrShuttingDown) {
-			code = http.StatusServiceUnavailable
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.shed(w, "queue_full", 1, err)
+		case errors.Is(err, ErrShuttingDown):
+			w.Header().Set("Retry-After", "10")
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
 		}
-		writeError(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, info)
@@ -207,11 +323,18 @@ func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("job %s has no final snapshot yet (state %s)", job.ID, job.State))
 		return
 	}
-	data, shared, err := s.products.Get(job, req)
+	data, shared, stale, err := s.products.GetCtx(r.Context(), job, req)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if _, kerr := req.Key(); kerr != nil {
 			code = http.StatusBadRequest
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = http.StatusGatewayTimeout
+		}
+		if errors.Is(err, store.ErrUnavailable) {
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "2")
 		}
 		writeError(w, code, err)
 		return
@@ -219,6 +342,9 @@ func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
 	s.count("greemd_product_requests_total", telemetry.L("kind", req.Kind))
 	if shared {
 		s.count("greemd_product_flight_shared_total", telemetry.L("kind", req.Kind))
+	}
+	if stale {
+		w.Header().Set("Warning", `110 - "response is stale (store unavailable)"`)
 	}
 	w.Header().Set("Content-Type", req.ContentType())
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
@@ -247,9 +373,12 @@ func (s *Server) handleIntegrity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep := IntegrityReport{RunID: job.ID, OK: true}
+	// Integrity walks can touch many blobs; bind them to the request's
+	// deadline so an abandoned audit stops consuming the store.
+	st := store.ForContext(r.Context(), s.store)
 
 	// Physical layer: every blob the run named must hash back to its ref.
-	checked, err := store.VerifyNamed(s.store, runPrefix(job.ID))
+	checked, err := store.VerifyNamed(st, runPrefix(job.ID))
 	rep.BlobsVerified = checked
 	if err != nil {
 		rep.OK = false
@@ -266,7 +395,7 @@ func (s *Server) handleIntegrity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	steps, err := checkpoint.Audit(checkpoint.Config{
-		Dir: ckptDir(job.ID), Sim: cfg, FS: checkpoint.StoreFS(s.store),
+		Dir: ckptDir(job.ID), Sim: cfg, FS: checkpoint.StoreFS(st),
 	}, job.Spec.Ranks)
 	switch {
 	case err == nil:
@@ -289,6 +418,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	all := s.reg.Snapshot()
 	s.mu.Unlock()
+
+	// Resilience metrics, synthesized from the store stack and the manager
+	// (their owners keep atomic counters; nothing routes through reg).
+	all = append(all, telemetry.MetricSnapshot{
+		Name: "greem_jobs_replayed_total", Kind: telemetry.KindCounter,
+		Value: float64(s.mgr.Replayed()),
+	}, telemetry.MetricSnapshot{
+		Name: "greem_product_stale_served_total", Kind: telemetry.KindCounter,
+		Value: float64(s.products.StaleServed()),
+	})
+	if s.retry != nil {
+		all = append(all, telemetry.MetricSnapshot{
+			Name: "greem_store_retries_total", Kind: telemetry.KindCounter,
+			Value: float64(s.retry.Retries()),
+		}, telemetry.MetricSnapshot{
+			Name: "greem_store_giveups_total", Kind: telemetry.KindCounter,
+			Value: float64(s.retry.GiveUps()),
+		})
+	}
+	if s.breaker != nil {
+		all = append(all, telemetry.MetricSnapshot{
+			Name: "greem_store_breaker_state", Kind: telemetry.KindGauge,
+			Value: float64(s.breaker.State()),
+		}, telemetry.MetricSnapshot{
+			Name: "greem_store_breaker_trips_total", Kind: telemetry.KindCounter,
+			Value: float64(s.breaker.Trips()),
+		}, telemetry.MetricSnapshot{
+			Name: "greem_store_breaker_fastfails_total", Kind: telemetry.KindCounter,
+			Value: float64(s.breaker.FastFails()),
+		})
+	}
+	if s.faults != nil {
+		all = append(all, telemetry.MetricSnapshot{
+			Name: "greem_store_faults_injected_total", Kind: telemetry.KindCounter,
+			Value: float64(s.faults.Injected()),
+		})
+	}
 
 	// Per-job simulation telemetry: the frozen rank-0 snapshots pushed at
 	// step boundaries, labelled by job.

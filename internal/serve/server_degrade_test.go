@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"greem/internal/sim"
+	"greem/internal/snapshot"
+	"greem/internal/store"
+)
+
+// makeSnapshotBlob encodes a tiny valid snapshot for product tests.
+func makeSnapshotBlob(t *testing.T) []byte {
+	t.Helper()
+	parts := []sim.Particle{
+		{ID: 0, X: 0.1, Y: 0.2, Z: 0.3, M: 1},
+		{ID: 1, X: 0.6, Y: 0.7, Z: 0.8, M: 1},
+	}
+	b, err := snapshot.Encode(snapshot.Header{L: 1, Time: 1, G: 1}, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postSpec(t *testing.T, url string, spec JobSpec) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(spec)
+	resp, err := http.Post(url+"/runs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestServerShedsOnFullQueue(t *testing.T) {
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	defer close(hold)
+	runner := func(ctx context.Context, id string, spec JobSpec, st store.Store, update func(RunUpdate)) error {
+		close(started)
+		select {
+		case <-hold:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	idx := NewMem()
+	mgr, err := NewManager(ManagerConfig{Store: store.NewMem(), Index: idx, Runner: runner, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv := httptest.NewServer(NewServer(ServerConfig{Manager: mgr, Index: idx, Store: store.NewMem()}).Handler())
+	defer srv.Close()
+
+	if resp := postSpec(t, srv.URL, validSpec()); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	<-started
+	if resp := postSpec(t, srv.URL, validSpec()); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", resp.StatusCode)
+	}
+	resp := postSpec(t, srv.URL, validSpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// /readyz reports the full queue.
+	rresp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	var rep ReadyReport
+	json.NewDecoder(rresp.Body).Decode(&rep)
+	if rresp.StatusCode != http.StatusServiceUnavailable || rep.Ready {
+		t.Fatalf("readyz with a full queue: %d %+v", rresp.StatusCode, rep)
+	}
+	// The shed shows up in metrics.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	if !strings.Contains(buf.String(), `greem_shed_total{reason="queue_full"} 1`) {
+		t.Fatalf("metrics missing shed counter:\n%s", buf.String())
+	}
+}
+
+func TestServerShedsWhenBreakerOpen(t *testing.T) {
+	sick := store.NewFaulty(store.NewMem(), func(store.Op, string) error {
+		return errors.New("disk on fire")
+	})
+	breaker := store.NewBreaker(sick, store.BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	breaker.Get(store.HashRef([]byte("trip"))) // trips it
+
+	idx := NewMem()
+	mgr, err := NewManager(ManagerConfig{Store: breaker, Index: idx,
+		Runner: func(context.Context, string, JobSpec, store.Store, func(RunUpdate)) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv := httptest.NewServer(NewServer(ServerConfig{
+		Manager: mgr, Index: idx, Store: breaker, Breaker: breaker,
+	}).Handler())
+	defer srv.Close()
+
+	resp := postSpec(t, srv.URL, validSpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit with open breaker: %d, want 429", resp.StatusCode)
+	}
+	rresp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	var rep ReadyReport
+	json.NewDecoder(rresp.Body).Decode(&rep)
+	if rep.Ready || rep.BreakerState != "open" {
+		t.Fatalf("readyz with open breaker: %+v", rep)
+	}
+}
+
+func TestServerReadyzDuringDrain(t *testing.T) {
+	idx := NewMem()
+	mgr, err := NewManager(ManagerConfig{Store: store.NewMem(), Index: idx,
+		Runner: func(context.Context, string, JobSpec, store.Store, func(RunUpdate)) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(ServerConfig{Manager: mgr, Index: idx, Store: store.NewMem()}).Handler())
+	defer srv.Close()
+
+	rresp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", rresp.StatusCode)
+	}
+	mgr.Drain(5 * time.Second)
+	rresp2, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp2.Body.Close()
+	var rep ReadyReport
+	json.NewDecoder(rresp2.Body).Decode(&rep)
+	if rresp2.StatusCode != http.StatusServiceUnavailable || !rep.Draining {
+		t.Fatalf("readyz during drain: %d %+v", rresp2.StatusCode, rep)
+	}
+	if resp := postSpec(t, srv.URL, validSpec()); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestProductsStaleServeWhenStoreUnavailable: once a product has been
+// served, an unavailable store degrades to the cached bytes with
+// stale=true instead of failing.
+func TestProductsStaleServeWhenStoreUnavailable(t *testing.T) {
+	mem := store.NewMem()
+	down := false
+	st := store.NewFaulty(mem, func(op store.Op, key string) error {
+		if down {
+			return fmt.Errorf("backend gone: %w", store.ErrUnavailable)
+		}
+		return nil
+	})
+	idx := NewMem()
+	snapRef, err := mem.Put(makeSnapshotBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := JobInfo{ID: "run-000001", State: StateDone, SnapshotRef: snapRef,
+		Spec: JobSpec{NP: 4, Ranks: 1, Steps: 1}}
+	idx.CreateJob(job)
+
+	p := NewProducts(st, idx)
+	req := ProductRequest{Kind: ProductSnapshot}
+	warm, _, stale, err := p.GetCtx(context.Background(), job, req)
+	if err != nil || stale {
+		t.Fatalf("warm get: stale=%v err=%v", stale, err)
+	}
+
+	down = true
+	data, _, stale, err := p.GetCtx(context.Background(), job, req)
+	if err != nil {
+		t.Fatalf("degraded get: %v", err)
+	}
+	if !stale || !bytes.Equal(data, warm) {
+		t.Fatalf("degraded get: stale=%v, bytes equal=%v", stale, bytes.Equal(data, warm))
+	}
+	if p.StaleServed() != 1 {
+		t.Fatalf("stale served %d, want 1", p.StaleServed())
+	}
+
+	// A product never served before has no stale copy — the error is honest.
+	if _, _, _, err := p.GetCtx(context.Background(), job, ProductRequest{Kind: ProductDensity}); !errors.Is(err, store.ErrUnavailable) {
+		t.Fatalf("cold degraded get: %v, want ErrUnavailable", err)
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"greem/internal/store"
+)
+
+// StoreIndex is the durable Index: an in-memory Mem for queries, with every
+// durable mutation journaled to the content-addressed store before (or
+// alongside) the in-memory apply. Opening it replays the journal, so a
+// restarted daemon sees every job it ever acknowledged.
+//
+// Durability tiers differ by what the record protects:
+//
+//   - CreateJob journals first and fails the submit if the append fails —
+//     an acknowledged job must never be lost, so the ack is gated on the
+//     journal.
+//   - UpdateJob journals only durable-field changes (state transitions,
+//     checkpoint progress, the final snapshot ref, errors, restart counts);
+//     per-step progress and telemetry stay in memory only. A failed append
+//     degrades: the in-memory index stays current, Healthy() turns sticky-
+//     unhealthy (readiness drops), and the checkpoint store — which the
+//     runner consults directly on resume — remains the recovery source.
+//   - PutProduct journals best-effort: products are recomputable caches.
+type StoreIndex struct {
+	mem     *Mem
+	journal *Journal
+	logf    func(string, ...any)
+
+	mu       sync.Mutex // serializes journaled mutations
+	lastErr  error      // sticky journal degradation, cleared on next success
+	replayed int
+}
+
+// OpenStoreIndex opens (replaying if non-empty) the durable index in st.
+func OpenStoreIndex(st store.Store, logf func(string, ...any)) (*StoreIndex, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	j, err := OpenJournal(st)
+	if err != nil {
+		return nil, err
+	}
+	x := &StoreIndex{mem: NewMem(), journal: j, logf: logf}
+	err = j.Replay(func(rec journalRecord) {
+		switch rec.Kind {
+		case "job":
+			if rec.Job != nil {
+				x.mem.restoreJob(*rec.Job)
+				x.replayed++
+			}
+		case "product":
+			x.mem.restoreProduct(rec.JobID, rec.Key, rec.Ref)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// NextID issues a process-unique job ID, continuing past replayed IDs.
+func (x *StoreIndex) NextID() string { return x.mem.NextID() }
+
+// Healthy returns nil when the journal is keeping up, or the sticky error
+// from the most recent failed append. The daemon's readiness probe reports
+// it: a degraded journal means acks are no longer crash-durable.
+func (x *StoreIndex) Healthy() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.lastErr
+}
+
+// Records returns how many journal records have been committed.
+func (x *StoreIndex) Records() uint64 { return x.journal.Seq() }
+
+func (x *StoreIndex) degrade(err error) {
+	if x.lastErr == nil {
+		x.logf("serve: journal degraded: %v", err)
+	}
+	x.lastErr = err
+}
+
+func (x *StoreIndex) recovered() {
+	if x.lastErr != nil {
+		x.logf("serve: journal recovered")
+		x.lastErr = nil
+	}
+}
+
+func (x *StoreIndex) CreateJob(info JobInfo) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, err := x.mem.GetJob(info.ID); err == nil {
+		return fmt.Errorf("serve: job %s already exists", info.ID)
+	}
+	// Journal before the in-memory apply: the caller acks the submit only
+	// after this returns, and an acked job must survive a crash.
+	if err := x.journal.Append(journalRecord{Kind: "job", Job: &info}); err != nil {
+		x.degrade(err)
+		return err
+	}
+	x.recovered()
+	return x.mem.CreateJob(info)
+}
+
+// durableChanged reports whether a and b differ in any journaled field.
+func durableChanged(a, b JobInfo) bool {
+	return a.State != b.State ||
+		a.LastCheckpointStep != b.LastCheckpointStep ||
+		a.SnapshotRef != b.SnapshotRef ||
+		a.Error != b.Error ||
+		a.Restarts != b.Restarts
+}
+
+func (x *StoreIndex) UpdateJob(id string, mutate func(*JobInfo)) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur, err := x.mem.GetJob(id)
+	if err != nil {
+		return err
+	}
+	next := cur
+	mutate(&next)
+	next.ID = cur.ID // updates must not re-key a job
+	if durableChanged(cur, next) {
+		if err := x.journal.Append(journalRecord{Kind: "job", Job: &next}); err != nil {
+			x.degrade(err) // degrade, don't lose the live update
+		} else {
+			x.recovered()
+		}
+	}
+	return x.mem.UpdateJob(id, func(j *JobInfo) { *j = next })
+}
+
+func (x *StoreIndex) GetJob(id string) (JobInfo, error) { return x.mem.GetJob(id) }
+func (x *StoreIndex) ListJobs() ([]JobInfo, error)      { return x.mem.ListJobs() }
+
+func (x *StoreIndex) PutProduct(jobID, key string, ref store.Ref) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if err := x.journal.Append(journalRecord{Kind: "product", JobID: jobID, Key: key, Ref: ref}); err != nil {
+		x.degrade(err) // products are recomputable; never fail the cache fill
+	} else {
+		x.recovered()
+	}
+	return x.mem.PutProduct(jobID, key, ref)
+}
+
+func (x *StoreIndex) GetProduct(jobID, key string) (store.Ref, error) {
+	return x.mem.GetProduct(jobID, key)
+}
+
+func (x *StoreIndex) ListProducts(jobID string) ([]string, error) {
+	return x.mem.ListProducts(jobID)
+}

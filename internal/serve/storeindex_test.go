@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"greem/internal/store"
+	"greem/internal/telemetry"
+)
+
+func TestStoreIndexPersistsAcrossReopen(t *testing.T) {
+	st := store.NewMem()
+	x, err := OpenStoreIndex(st, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := x.NextID()
+	if err := x.CreateJob(JobInfo{ID: id, State: StateQueued,
+		Spec:        JobSpec{NP: 8, Ranks: 2, Steps: 4, Seed: 1},
+		SubmittedAt: time.Unix(100, 0).UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	snap := store.HashRef([]byte("final"))
+	x.UpdateJob(id, func(j *JobInfo) { j.State = StateRunning; j.StartedAt = time.Unix(101, 0).UTC() })
+	x.UpdateJob(id, func(j *JobInfo) { j.State = StateCheckpointed; j.LastCheckpointStep = 2 })
+	x.UpdateJob(id, func(j *JobInfo) { j.State = StateDone; j.SnapshotRef = snap })
+	x.PutProduct(id, "snapshot", snap)
+
+	y, err := OpenStoreIndex(st, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := y.GetJob(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateDone || job.LastCheckpointStep != 2 || job.SnapshotRef != snap {
+		t.Fatalf("replayed job %+v", job)
+	}
+	if job.Spec.NP != 8 || !job.SubmittedAt.Equal(time.Unix(100, 0).UTC()) {
+		t.Fatalf("replayed job lost spec/timestamps: %+v", job)
+	}
+	if ref, err := y.GetProduct(id, "snapshot"); err != nil || ref != snap {
+		t.Fatalf("replayed product: %q, %v", ref, err)
+	}
+	// NextID continues past the replayed job rather than reissuing its ID.
+	if next := y.NextID(); next == id {
+		t.Fatalf("NextID reissued %s after replay", next)
+	}
+}
+
+// TestStoreIndexJournalsOnlyDurableChanges: per-step progress and telemetry
+// churn must not bloat the journal — only state transitions, checkpoint
+// steps, snapshot refs, errors, and restart counts append records.
+func TestStoreIndexJournalsOnlyDurableChanges(t *testing.T) {
+	x, err := OpenStoreIndex(store.NewMem(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := x.NextID()
+	x.CreateJob(JobInfo{ID: id, State: StateQueued})
+	base := x.Records()
+	for step := 1; step <= 50; step++ {
+		s := step
+		x.UpdateJob(id, func(j *JobInfo) {
+			j.Step = s
+			j.Time = float64(s)
+			j.Telemetry = []telemetry.MetricSnapshot{{Name: "steps", Value: float64(s)}}
+		})
+	}
+	if got := x.Records(); got != base {
+		t.Fatalf("%d step-only updates appended %d journal records", 50, got-base)
+	}
+	x.UpdateJob(id, func(j *JobInfo) { j.State = StateRunning })
+	if got := x.Records(); got != base+1 {
+		t.Fatalf("state transition appended %d records, want 1", got-base)
+	}
+	// The in-memory view still has the live progress.
+	job, _ := x.GetJob(id)
+	if job.Step != 50 || job.State != StateRunning {
+		t.Fatalf("live view %+v", job)
+	}
+}
+
+// TestStoreIndexCreateFailsWhenJournalDown: an unjournaled job must not be
+// acknowledged — CreateJob surfaces the append failure and Healthy() turns
+// sticky-unhealthy until an append succeeds.
+func TestStoreIndexCreateFailsWhenJournalDown(t *testing.T) {
+	down := false
+	st := store.NewFaulty(store.NewMem(), func(op store.Op, key string) error {
+		if down && strings.HasPrefix(key, journalPrefix) {
+			return errors.New("journal disk gone")
+		}
+		return nil
+	})
+	x, err := OpenStoreIndex(st, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	down = true
+	if err := x.CreateJob(JobInfo{ID: "run-000001", State: StateQueued}); err == nil {
+		t.Fatal("CreateJob acked without a journal record")
+	}
+	if _, err := x.GetJob("run-000001"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unacked job visible in index: %v", err)
+	}
+	if x.Healthy() == nil {
+		t.Fatal("Healthy() nil with the journal down")
+	}
+
+	down = false
+	if err := x.CreateJob(JobInfo{ID: "run-000001", State: StateQueued}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Healthy(); err != nil {
+		t.Fatalf("Healthy() after recovery: %v", err)
+	}
+}
+
+// TestStoreIndexUpdateDegradesWhenJournalDown: a failed append on update
+// keeps the live index current (the checkpoint store is the recovery
+// source) but flips readiness.
+func TestStoreIndexUpdateDegradesWhenJournalDown(t *testing.T) {
+	down := false
+	st := store.NewFaulty(store.NewMem(), func(op store.Op, key string) error {
+		if down && strings.HasPrefix(key, journalPrefix) {
+			return errors.New("journal disk gone")
+		}
+		return nil
+	})
+	x, _ := OpenStoreIndex(st, t.Logf)
+	x.CreateJob(JobInfo{ID: "run-000001", State: StateQueued})
+
+	down = true
+	if err := x.UpdateJob("run-000001", func(j *JobInfo) { j.State = StateRunning }); err != nil {
+		t.Fatalf("degraded update returned %v, want nil", err)
+	}
+	if job, _ := x.GetJob("run-000001"); job.State != StateRunning {
+		t.Fatalf("live state %s, want running", job.State)
+	}
+	if x.Healthy() == nil {
+		t.Fatal("Healthy() nil after a dropped journal append")
+	}
+}

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int32
+
+const (
+	BreakerClosed   BreakerState = iota // healthy: operations pass through
+	BreakerHalfOpen                     // cooling down: one probe in flight
+	BreakerOpen                         // sick: fail fast with ErrUnavailable
+)
+
+// String returns the conventional breaker-state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the Breaker. Zero values select defaults.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that trips the
+	// breaker open (0 ⇒ 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting one probe
+	// through (0 ⇒ 2s).
+	Cooldown time.Duration
+	// Now is the clock, injectable for tests (nil ⇒ time.Now).
+	Now func() time.Time
+}
+
+// Breaker is a circuit breaker around a Store backend. Closed, it passes
+// operations through and counts consecutive failures; at Threshold it trips
+// Open and every operation fails fast with ErrUnavailable — a sick disk
+// costs callers nanoseconds instead of hanging the whole request herd on
+// queued I/O. After Cooldown one probe operation is admitted (HalfOpen):
+// success closes the breaker, failure re-opens it for another cooldown.
+//
+// Failures counted are the Transient kind only: an ErrNotFound is a
+// definitive answer from a healthy disk, not a symptom.
+type Breaker struct {
+	base Store
+	cfg  BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive transient failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+
+	trips     atomic.Int64
+	fastFails atomic.Int64
+}
+
+// NewBreaker wraps base.
+func NewBreaker(base Store, cfg BreakerConfig) *Breaker {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 5
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 2 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{base: base, cfg: cfg}
+}
+
+// State returns the current breaker state (the greem_store_breaker_state
+// gauge: 0 closed, 1 half-open, 2 open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An expired cooldown reads as half-open: the next operation will probe.
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped open.
+func (b *Breaker) Trips() int64 { return b.trips.Load() }
+
+// FastFails returns how many operations were refused while open.
+func (b *Breaker) FastFails() int64 { return b.fastFails.Load() }
+
+// admit decides whether an operation may touch the backend; the returned
+// probe flag marks the single half-open probe.
+func (b *Breaker) admit() (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return false, nil
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.fastFails.Add(1)
+			return false, fmt.Errorf("%w: circuit breaker open (%d consecutive failures)", ErrUnavailable, b.cfg.Threshold)
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, nil
+	case BreakerHalfOpen:
+		if b.probing {
+			b.fastFails.Add(1)
+			return false, fmt.Errorf("%w: circuit breaker half-open, probe in flight", ErrUnavailable)
+		}
+		b.probing = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// settle records an operation outcome.
+func (b *Breaker) settle(probe bool, err error) {
+	failed := Transient(err) // nil and definitive answers are successes
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if failed {
+			b.state = BreakerOpen
+			b.openedAt = b.cfg.Now()
+			b.trips.Add(1)
+		} else {
+			b.state = BreakerClosed
+			b.fails = 0
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		return // a straggler from before the trip; the probe owns recovery
+	}
+	if failed {
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.cfg.Now()
+			b.trips.Add(1)
+		}
+	} else {
+		b.fails = 0
+	}
+}
+
+func (b *Breaker) do(op func() error) error {
+	probe, err := b.admit()
+	if err != nil {
+		return err
+	}
+	err = op()
+	b.settle(probe, err)
+	return err
+}
+
+func (b *Breaker) Put(data []byte) (Ref, error) {
+	var ref Ref
+	err := b.do(func() (e error) { ref, e = b.base.Put(data); return })
+	return ref, err
+}
+
+func (b *Breaker) Get(ref Ref) ([]byte, error) {
+	var out []byte
+	err := b.do(func() (e error) { out, e = b.base.Get(ref); return })
+	return out, err
+}
+
+func (b *Breaker) Has(ref Ref) (bool, error) {
+	var ok bool
+	err := b.do(func() (e error) { ok, e = b.base.Has(ref); return })
+	return ok, err
+}
+
+func (b *Breaker) Link(name string, ref Ref) error {
+	return b.do(func() error { return b.base.Link(name, ref) })
+}
+
+func (b *Breaker) Resolve(name string) (Ref, error) {
+	var ref Ref
+	err := b.do(func() (e error) { ref, e = b.base.Resolve(name); return })
+	return ref, err
+}
+
+func (b *Breaker) Unlink(name string) error {
+	return b.do(func() error { return b.base.Unlink(name) })
+}
+
+func (b *Breaker) List(prefix string) ([]string, error) {
+	var names []string
+	err := b.do(func() (e error) { names, e = b.base.List(prefix); return })
+	return names, err
+}
+
+func (b *Breaker) PutNamed(name string, data []byte) (Ref, error) {
+	var ref Ref
+	err := b.do(func() (e error) { ref, e = b.base.PutNamed(name, data); return })
+	return ref, err
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// sickStore fails every op with a transient error while sick is true.
+type sickStore struct {
+	Store
+	sick  bool
+	calls int
+}
+
+func (s *sickStore) Get(ref Ref) ([]byte, error) {
+	s.calls++
+	if s.sick {
+		return nil, errors.New("disk on fire")
+	}
+	return s.Store.Get(ref)
+}
+
+func TestBreakerTripsAndFailsFast(t *testing.T) {
+	now := time.Unix(0, 0)
+	sick := &sickStore{Store: NewMem(), sick: true}
+	b := NewBreaker(sick, BreakerConfig{Threshold: 3, Cooldown: time.Second,
+		Now: func() time.Time { return now }})
+
+	ref := HashRef([]byte("x"))
+	for i := 0; i < 3; i++ {
+		if _, err := b.Get(ref); err == nil {
+			t.Fatalf("sick op %d succeeded", i)
+		}
+	}
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state %v trips %d after threshold, want open/1", b.State(), b.Trips())
+	}
+
+	// Open: operations fail fast with ErrUnavailable, never touching the disk.
+	base := sick.calls
+	for i := 0; i < 10; i++ {
+		if _, err := b.Get(ref); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("open breaker returned %v", err)
+		}
+	}
+	if sick.calls != base {
+		t.Fatalf("open breaker let %d ops through", sick.calls-base)
+	}
+	if b.FastFails() != 10 {
+		t.Fatalf("fast fails %d, want 10", b.FastFails())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	sick := &sickStore{Store: NewMem(), sick: true}
+	b := NewBreaker(sick, BreakerConfig{Threshold: 2, Cooldown: time.Second,
+		Now: func() time.Time { return now }})
+	ref, _ := sick.Store.Put([]byte("payload"))
+
+	b.Get(ref)
+	b.Get(ref) // trips
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+
+	// Cooldown passes; the next op probes — disk still sick → reopen.
+	now = now.Add(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown %v, want half-open", b.State())
+	}
+	if _, err := b.Get(ref); err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("probe should hit the disk and fail honestly: %v", err)
+	}
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("failed probe: state %v trips %d, want open/2", b.State(), b.Trips())
+	}
+
+	// Second cooldown; the disk recovers; probe succeeds → closed.
+	now = now.Add(time.Second)
+	sick.sick = false
+	got, err := b.Get(ref)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("recovered probe: %q, %v", got, err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after good probe %v, want closed", b.State())
+	}
+}
+
+// TestBreakerNotFoundIsHealthy: a definitive miss never counts toward the
+// trip threshold — a healthy disk saying "no" is not a failure.
+func TestBreakerNotFoundIsHealthy(t *testing.T) {
+	b := NewBreaker(NewMem(), BreakerConfig{Threshold: 2})
+	for i := 0; i < 20; i++ {
+		if _, err := b.Get(HashRef([]byte{byte(i)})); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if b.State() != BreakerClosed || b.Trips() != 0 {
+		t.Fatalf("misses tripped the breaker: state %v trips %d", b.State(), b.Trips())
+	}
+}
+
+// TestRetryOverBreakerFailsFastWhenOpen: the production stack order —
+// Retry(Breaker(backend)) — does not burn its attempt budget against an
+// open breaker.
+func TestRetryOverBreakerFailsFastWhenOpen(t *testing.T) {
+	now := time.Unix(0, 0)
+	sick := &sickStore{Store: NewMem(), sick: true}
+	b := NewBreaker(sick, BreakerConfig{Threshold: 1, Cooldown: time.Hour,
+		Now: func() time.Time { return now }})
+	r := NewRetry(b, RetryConfig{Attempts: 5, Sleep: noSleep})
+
+	r.Get(HashRef([]byte("x"))) // trips the breaker (and burns retries)
+	base := sick.calls
+	retries := r.Retries()
+	if _, err := r.Get(HashRef([]byte("y"))); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable through the stack, got %v", err)
+	}
+	if sick.calls != base {
+		t.Fatal("open breaker let the retry layer reach the disk")
+	}
+	if r.Retries() != retries {
+		t.Fatalf("retry layer re-attempted an open breaker %d times", r.Retries()-retries)
+	}
+}

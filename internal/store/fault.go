@@ -1,0 +1,180 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op names one Store operation at a fault point, mirroring the named fault
+// points of mpi.Comm.FaultPoint: a hook sees "which operation, on which
+// key" and decides deterministically whether the disk is sick right now.
+type Op string
+
+const (
+	OpPut     Op = "store/put"
+	OpGet     Op = "store/get"
+	OpHas     Op = "store/has"
+	OpLink    Op = "store/link"
+	OpResolve Op = "store/resolve"
+	OpUnlink  Op = "store/unlink"
+	OpList    Op = "store/list"
+)
+
+// Faulty wraps a Store with injectable failures, the storage-plane analogue
+// of checkpoint.FaultFS and mpi.Comm.FaultPoint: every operation consults
+// Hook before touching the base store, and a non-nil error aborts the
+// operation as if the backend had failed. PutNamed decomposes into
+// Put + Link through the wrapper, so a hook that fails the Link after the
+// Put succeeded models a *partial* composite write — blob committed, name
+// lost — exactly the torn state crash-recovery code must tolerate.
+type Faulty struct {
+	Base Store
+	// Hook is called before each operation with the op and its key (ref,
+	// name, or prefix). Safe-for-concurrent-use is the hook's problem;
+	// FaultPlan.Hook qualifies.
+	Hook func(op Op, key string) error
+}
+
+// NewFaulty wraps base with the given hook (nil hook passes everything).
+func NewFaulty(base Store, hook func(op Op, key string) error) *Faulty {
+	return &Faulty{Base: base, Hook: hook}
+}
+
+func (f *Faulty) fault(op Op, key string) error {
+	if f.Hook == nil {
+		return nil
+	}
+	return f.Hook(op, key)
+}
+
+func (f *Faulty) Put(data []byte) (Ref, error) {
+	if err := f.fault(OpPut, HashRef(data)); err != nil {
+		return "", err
+	}
+	return f.Base.Put(data)
+}
+
+func (f *Faulty) Get(ref Ref) ([]byte, error) {
+	if err := f.fault(OpGet, ref); err != nil {
+		return nil, err
+	}
+	return f.Base.Get(ref)
+}
+
+func (f *Faulty) Has(ref Ref) (bool, error) {
+	if err := f.fault(OpHas, ref); err != nil {
+		return false, err
+	}
+	return f.Base.Has(ref)
+}
+
+func (f *Faulty) Link(name string, ref Ref) error {
+	if err := f.fault(OpLink, name); err != nil {
+		return err
+	}
+	return f.Base.Link(name, ref)
+}
+
+func (f *Faulty) Resolve(name string) (Ref, error) {
+	if err := f.fault(OpResolve, name); err != nil {
+		return "", err
+	}
+	return f.Base.Resolve(name)
+}
+
+func (f *Faulty) Unlink(name string) error {
+	if err := f.fault(OpUnlink, name); err != nil {
+		return err
+	}
+	return f.Base.Unlink(name)
+}
+
+func (f *Faulty) List(prefix string) ([]string, error) {
+	if err := f.fault(OpList, prefix); err != nil {
+		return nil, err
+	}
+	return f.Base.List(prefix)
+}
+
+// PutNamed goes through the wrapper's own Put and Link so each half is a
+// separate fault point: failing the Link after the Put models a torn
+// composite write (blob present, name absent).
+func (f *Faulty) PutNamed(name string, data []byte) (Ref, error) {
+	ref, err := f.Put(data)
+	if err != nil {
+		return "", err
+	}
+	return ref, f.Link(name, ref)
+}
+
+// FaultPlan is a deterministic seeded fault schedule: it fails every Nth
+// operation it sees, cycling the failure mode (EIO, ENOSPC, latency spike)
+// by a splitmix64 stream over the seed. Determinism is the point — a chaos
+// drill that fails is replayable bit for bit from (Seed, Every) — and the
+// every-Nth shape guarantees failures are never consecutive (for Every ≥ 2),
+// so a retry layer with ≥ 2 attempts always recovers: the drill proves
+// retries mask faults, not that faults were lucky enough to miss.
+type FaultPlan struct {
+	Every   int           // fail every Nth op; 0 or 1-with-no-seed ⇒ never
+	Seed    uint64        // selects the failure mode per injection
+	Latency time.Duration // sleep for latency-spike injections (0 ⇒ 2ms)
+	// Sleep is the latency injector, injectable for tests (nil ⇒ time.Sleep).
+	Sleep func(time.Duration)
+
+	mu       sync.Mutex
+	n        int64 // operations seen
+	injected int64 // faults injected (latency spikes included)
+}
+
+// Injected returns the number of faults injected so far.
+func (p *FaultPlan) Injected() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// splitmix64 is the same tiny PRNG the sim's RNG state machinery uses.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hook is the fault decision: plug into Faulty.Hook.
+func (p *FaultPlan) Hook(op Op, key string) error {
+	if p.Every <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	p.n++
+	fire := p.n%int64(p.Every) == 0
+	var kind uint64
+	if fire {
+		p.injected++
+		kind = splitmix64(p.Seed+uint64(p.n)) % 3
+	}
+	lat := p.Latency
+	if lat == 0 {
+		lat = 2 * time.Millisecond
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	p.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch kind {
+	case 0:
+		return fmt.Errorf("store: %s %.24q: injected %w", op, key, syscall.EIO)
+	case 1:
+		return fmt.Errorf("store: %s %.24q: injected %w", op, key, syscall.ENOSPC)
+	default:
+		sleep(lat) // latency spike: slow, but not an error
+		return nil
+	}
+}

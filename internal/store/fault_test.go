@@ -1,0 +1,121 @@
+package store
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFaultPlanDeterministic: the same (Seed, Every) produces the same
+// fault schedule — same ops fail, same kinds — across two fresh plans.
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() []string {
+		plan := &FaultPlan{Every: 3, Seed: 42, Sleep: func(time.Duration) {}}
+		st := NewFaulty(NewMem(), plan.Hook)
+		var outcomes []string
+		for i := 0; i < 30; i++ {
+			_, err := st.Put([]byte{byte(i)})
+			switch {
+			case err == nil:
+				outcomes = append(outcomes, "ok")
+			case errors.Is(err, syscall.EIO):
+				outcomes = append(outcomes, "eio")
+			case errors.Is(err, syscall.ENOSPC):
+				outcomes = append(outcomes, "enospc")
+			default:
+				outcomes = append(outcomes, "other")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: %s vs %s — schedule not deterministic", i, a[i], b[i])
+		}
+	}
+	errs := 0
+	for _, o := range a {
+		if o != "ok" {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("plan injected no errors in 30 ops at Every=3")
+	}
+}
+
+// TestFaultPlanNeverConsecutive: with Every ≥ 2 two consecutive ops never
+// both fail, so any retry layer with ≥ 2 attempts is guaranteed to recover.
+func TestFaultPlanNeverConsecutive(t *testing.T) {
+	plan := &FaultPlan{Every: 2, Seed: 7, Sleep: func(time.Duration) {}}
+	st := NewFaulty(NewMem(), plan.Hook)
+	prevFailed := false
+	for i := 0; i < 200; i++ {
+		_, err := st.Put([]byte{byte(i), byte(i >> 8)})
+		failed := err != nil
+		if failed && prevFailed {
+			t.Fatalf("ops %d and %d both failed", i-1, i)
+		}
+		prevFailed = failed
+	}
+}
+
+// TestFaultyTornPutNamed: failing the Link half of PutNamed leaves the blob
+// committed but the name absent — the torn composite write recovery code
+// must tolerate — and a plain retry of PutNamed repairs it.
+func TestFaultyTornPutNamed(t *testing.T) {
+	mem := NewMem()
+	failLink := true
+	st := NewFaulty(mem, func(op Op, key string) error {
+		if op == OpLink && failLink {
+			failLink = false
+			return errors.New("injected link failure")
+		}
+		return nil
+	})
+
+	data := []byte("torn composite")
+	if _, err := st.PutNamed("runs/x/blob", data); err == nil {
+		t.Fatal("torn PutNamed reported success")
+	}
+	// Blob landed, name did not.
+	if ok, _ := mem.Has(HashRef(data)); !ok {
+		t.Fatal("blob missing after torn PutNamed")
+	}
+	if _, err := mem.Resolve("runs/x/blob"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("name resolved after torn PutNamed: %v", err)
+	}
+	// The retry repairs the tear idempotently.
+	ref, err := st.PutNamed("runs/x/blob", data)
+	if err != nil {
+		t.Fatalf("repair PutNamed: %v", err)
+	}
+	if got, _ := mem.Resolve("runs/x/blob"); got != ref {
+		t.Fatalf("name points at %.12s, want %.12s", got, ref)
+	}
+}
+
+// TestFaultyLatencyInjection: latency-kind injections delay but succeed.
+func TestFaultyLatencyInjection(t *testing.T) {
+	var slept int
+	plan := &FaultPlan{Every: 1, Seed: 0, Latency: time.Millisecond,
+		Sleep: func(d time.Duration) { slept++ }}
+	st := NewFaulty(NewMem(), plan.Hook)
+	okCount := 0
+	for i := 0; i < 50; i++ {
+		if _, err := st.Put([]byte{byte(i), 0xff}); err == nil {
+			okCount++
+		}
+	}
+	if slept == 0 {
+		t.Fatal("no latency injections in 50 always-fault ops")
+	}
+	if okCount != slept {
+		t.Fatalf("ok ops %d != latency injections %d (latency must not error)", okCount, slept)
+	}
+	if plan.Injected() != 50 {
+		t.Fatalf("injected %d, want 50 at Every=1", plan.Injected())
+	}
+}

@@ -46,8 +46,34 @@ func (s *FS) namePath(name string) string {
 	return filepath.Join(s.root, "names", filepath.FromSlash(name))
 }
 
-// writeAtomic writes data to path via temp + rename, creating parent
-// directories as needed.
+// fsyncDir makes a directory entry mutation (a rename into dir) durable:
+// on ext4 and friends, temp+fsync+rename alone guarantees the *file
+// contents* survive a power cut, but the new directory entry itself lives
+// in the parent directory's metadata and needs its own fsync. A var so the
+// crash-point tests can count calls and inject failures.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeCrashPoint, when non-nil, is consulted at named points inside
+// writeAtomic; returning an error makes writeAtomic stop dead — no cleanup,
+// no further syscalls — simulating the process (or the power) dying right
+// there. Points: "fs/before-rename", "fs/after-rename". Test-only; nil in
+// production costs one predicate.
+var writeCrashPoint func(point string) error
+
+// writeAtomic writes data to path via temp + fsync + rename + parent-dir
+// fsync, creating parent directories as needed. The dir fsync is what makes
+// the commit durable, not just atomic: without it a power cut after rename
+// can roll the directory back to a state where the entry never existed.
 func writeAtomic(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
@@ -72,9 +98,25 @@ func writeAtomic(path string, data []byte) error {
 		os.Remove(name)
 		return err
 	}
+	if writeCrashPoint != nil {
+		if err := writeCrashPoint("fs/before-rename"); err != nil {
+			return err
+		}
+	}
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return err
+	}
+	if writeCrashPoint != nil {
+		if err := writeCrashPoint("fs/after-rename"); err != nil {
+			return err
+		}
+	}
+	// The rename landed; now pin the directory entry. On failure the caller
+	// must treat the write as not committed (blobs are content-addressed and
+	// links idempotent, so a retry re-commits the same state).
+	if err := fsyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("sync parent dir: %w", err)
 	}
 	return nil
 }

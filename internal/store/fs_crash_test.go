@@ -1,0 +1,145 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The crash-point seams are package globals; these tests must not run in
+// parallel with each other or with anything that writes through FS.
+
+func withCrashPoint(t *testing.T, hook func(point string) error) {
+	t.Helper()
+	writeCrashPoint = hook
+	t.Cleanup(func() { writeCrashPoint = nil })
+}
+
+func withFsyncDir(t *testing.T, hook func(dir string) error) {
+	t.Helper()
+	prev := fsyncDir
+	fsyncDir = hook
+	t.Cleanup(func() { fsyncDir = prev })
+}
+
+// TestFSCrashBeforeRename: dying before the rename leaves nothing visible —
+// the reopened store has neither the blob nor the name, and a plain retry
+// commits cleanly.
+func TestFSCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("power cut")
+	withCrashPoint(t, func(point string) error {
+		if point == "fs/before-rename" {
+			return boom
+		}
+		return nil
+	})
+
+	data := []byte("doomed write")
+	if _, err := st.PutNamed("runs/x/snapshot", data); !errors.Is(err, boom) {
+		t.Fatalf("PutNamed through a crash: %v", err)
+	}
+
+	// "Reboot": a fresh store over the same directory.
+	writeCrashPoint = nil
+	st2, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := st2.Has(HashRef(data)); ok {
+		t.Fatal("blob visible after pre-rename crash")
+	}
+	if _, err := st2.Resolve("runs/x/snapshot"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("name after pre-rename crash: %v", err)
+	}
+	ref, err := st2.PutNamed("runs/x/snapshot", data)
+	if err != nil {
+		t.Fatalf("retry after crash: %v", err)
+	}
+	if got, err := st2.Resolve("runs/x/snapshot"); err != nil || got != ref {
+		t.Fatalf("retry resolve: %q, %v", got, err)
+	}
+}
+
+// TestFSCrashAfterRename: dying between the rename and the parent-dir fsync
+// reports failure to the caller (the commit is not yet durable), but the
+// reopened store sees a fully valid blob+name — the retry is a no-op rather
+// than a corruption.
+func TestFSCrashAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("power cut")
+	withCrashPoint(t, func(point string) error {
+		if point == "fs/after-rename" {
+			return boom
+		}
+		return nil
+	})
+
+	data := []byte("almost durable")
+	if _, err := st.Put(data); !errors.Is(err, boom) {
+		t.Fatalf("Put through a post-rename crash: %v", err)
+	}
+
+	writeCrashPoint = nil
+	st2, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.Get(HashRef(data))
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("blob after post-rename crash: %q, %v", got, err)
+	}
+}
+
+// TestFSFsyncDirOnCommit: both halves of PutNamed — the blob write under
+// objects/ and the link write under names/ — fsync their parent directory,
+// and an fsync failure surfaces as an error (the caller must not treat the
+// write as committed).
+func TestFSFsyncDirOnCommit(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var synced []string
+	withFsyncDir(t, func(d string) error {
+		rel, _ := filepath.Rel(dir, d)
+		synced = append(synced, filepath.ToSlash(rel))
+		return nil
+	})
+
+	if _, err := st.PutNamed("runs/y/blob", []byte("pin me")); err != nil {
+		t.Fatal(err)
+	}
+	var objectDirs, nameDirs int
+	for _, d := range synced {
+		switch {
+		case strings.HasPrefix(d, "objects/"):
+			objectDirs++
+		case strings.HasPrefix(d, "names/"):
+			nameDirs++
+		default:
+			t.Fatalf("fsync of unexpected directory %q", d)
+		}
+	}
+	if objectDirs != 1 || nameDirs != 1 {
+		t.Fatalf("fsyncs: %v — want one under objects/ and one under names/", synced)
+	}
+
+	withFsyncDir(t, func(string) error { return errors.New("journal full") })
+	if _, err := st.Put([]byte("unpinned")); err == nil || !strings.Contains(err.Error(), "sync parent dir") {
+		t.Fatalf("Put with failing dir fsync: %v", err)
+	}
+	if err := st.Link("runs/y/blob2", HashRef([]byte("pin me"))); err == nil {
+		t.Fatal("Link with failing dir fsync reported success")
+	}
+}

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RetryConfig tunes the Retry wrapper. Zero values select defaults.
+type RetryConfig struct {
+	Attempts int           // max attempts per operation (0 ⇒ 4)
+	Base     time.Duration // backoff before the 2nd attempt (0 ⇒ 5ms)
+	Max      time.Duration // backoff cap (0 ⇒ 250ms)
+	Seed     uint64        // jitter PRNG seed (deterministic jitter stream)
+	// Sleep waits between attempts, aborting early when ctx is done.
+	// Injectable for tests; nil ⇒ a timer-based sleep.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Attempts == 0 {
+		c.Attempts = 4
+	}
+	if c.Base == 0 {
+		c.Base = 5 * time.Millisecond
+	}
+	if c.Max == 0 {
+		c.Max = 250 * time.Millisecond
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Retry wraps a Store with bounded exponential backoff: every operation is
+// attempted up to Attempts times, sleeping Base·2^i with ±50% deterministic
+// jitter (capped at Max) between attempts, but only while the error is
+// Transient — a definitive miss, a malformed request, an open breaker, or
+// an expired context fails immediately. It implements ContextStore: a
+// WithContext view checks the context before every attempt and aborts
+// backoff sleeps the moment the context dies, so a request deadline set at
+// the HTTP edge propagates all the way into the storage plane.
+//
+// Retry sits outermost in the production stack — Retry(Breaker(FS)) — so
+// the breaker observes raw per-attempt outcomes while callers see only the
+// final result.
+type Retry struct {
+	base Store
+	cfg  RetryConfig
+	ctx  context.Context // nil for the root; set on WithContext views
+
+	// Shared across context views.
+	stats *retryStats
+}
+
+type retryStats struct {
+	retries atomic.Int64 // re-attempts after a transient failure
+	giveups atomic.Int64 // operations that exhausted their attempts
+	jitter  atomic.Uint64
+}
+
+// NewRetry wraps base.
+func NewRetry(base Store, cfg RetryConfig) *Retry {
+	c := cfg.withDefaults()
+	r := &Retry{base: base, cfg: c, stats: &retryStats{}}
+	r.stats.jitter.Store(cfg.Seed)
+	return r
+}
+
+// WithContext returns a view bound to ctx, sharing the retry counters.
+func (r *Retry) WithContext(ctx context.Context) Store {
+	return &Retry{base: r.base, cfg: r.cfg, ctx: ctx, stats: r.stats}
+}
+
+// Retries returns the number of re-attempts performed after transient
+// failures (the greem_store_retries_total metric).
+func (r *Retry) Retries() int64 { return r.stats.retries.Load() }
+
+// GiveUps returns the number of operations that failed even after their
+// full attempt budget.
+func (r *Retry) GiveUps() int64 { return r.stats.giveups.Load() }
+
+// backoff returns the sleep before attempt i (i ≥ 1), Base·2^(i-1) with
+// ±50% jitter from a deterministic splitmix64 stream, capped at Max.
+func (r *Retry) backoff(i int) time.Duration {
+	d := r.cfg.Base << uint(i-1)
+	if d > r.cfg.Max || d <= 0 {
+		d = r.cfg.Max
+	}
+	word := splitmix64(r.stats.jitter.Add(1))
+	// jitter in [0.5, 1.5): d/2 + frac·d
+	frac := float64(word>>11) / (1 << 53)
+	return d/2 + time.Duration(frac*float64(d))
+}
+
+// do runs op with the retry policy. op must be idempotent — every Store
+// operation is: Put/Link are content-addressed or last-writer-wins, reads
+// have no side effects.
+func (r *Retry) do(op func() error) error {
+	var err error
+	for i := 1; ; i++ {
+		if r.ctx != nil {
+			if cerr := r.ctx.Err(); cerr != nil {
+				if err != nil {
+					return fmt.Errorf("store: %w (after %v)", cerr, err)
+				}
+				return fmt.Errorf("store: %w", cerr)
+			}
+		}
+		err = op()
+		if err == nil || !Transient(err) {
+			return err
+		}
+		if i >= r.cfg.Attempts {
+			r.stats.giveups.Add(1)
+			return fmt.Errorf("store: gave up after %d attempts: %w", i, err)
+		}
+		r.stats.retries.Add(1)
+		r.cfg.Sleep(r.ctx, r.backoff(i))
+	}
+}
+
+func (r *Retry) Put(data []byte) (Ref, error) {
+	var ref Ref
+	err := r.do(func() (e error) { ref, e = r.base.Put(data); return })
+	return ref, err
+}
+
+func (r *Retry) Get(ref Ref) ([]byte, error) {
+	var b []byte
+	err := r.do(func() (e error) { b, e = r.base.Get(ref); return })
+	return b, err
+}
+
+func (r *Retry) Has(ref Ref) (bool, error) {
+	var ok bool
+	err := r.do(func() (e error) { ok, e = r.base.Has(ref); return })
+	return ok, err
+}
+
+func (r *Retry) Link(name string, ref Ref) error {
+	return r.do(func() error { return r.base.Link(name, ref) })
+}
+
+func (r *Retry) Resolve(name string) (Ref, error) {
+	var ref Ref
+	err := r.do(func() (e error) { ref, e = r.base.Resolve(name); return })
+	return ref, err
+}
+
+func (r *Retry) Unlink(name string) error {
+	return r.do(func() error { return r.base.Unlink(name) })
+}
+
+func (r *Retry) List(prefix string) ([]string, error) {
+	var names []string
+	err := r.do(func() (e error) { names, e = r.base.List(prefix); return })
+	return names, err
+}
+
+// PutNamed retries the whole composite, not the halves: a torn
+// Put-succeeded/Link-failed attempt is repaired by the next attempt
+// re-putting identical bytes (free, content-addressed) and re-linking.
+func (r *Retry) PutNamed(name string, data []byte) (Ref, error) {
+	var ref Ref
+	err := r.do(func() (e error) { ref, e = r.base.PutNamed(name, data); return })
+	return ref, err
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flaky fails the first n calls of each op with a transient error.
+type flaky struct {
+	Store
+	mu    sync.Mutex
+	fails int
+	calls int
+}
+
+func (f *flaky) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.fails > 0 {
+		f.fails--
+		return errors.New("transient disk error")
+	}
+	return nil
+}
+
+func (f *flaky) Get(ref Ref) ([]byte, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.Store.Get(ref)
+}
+
+func (f *flaky) PutNamed(name string, data []byte) (Ref, error) {
+	if err := f.tick(); err != nil {
+		return "", err
+	}
+	return f.Store.PutNamed(name, data)
+}
+
+func noSleep(context.Context, time.Duration) {}
+
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	mem := NewMem()
+	ref, _ := mem.Put([]byte("payload"))
+	f := &flaky{Store: mem, fails: 3}
+	r := NewRetry(f, RetryConfig{Attempts: 4, Sleep: noSleep})
+
+	b, err := r.Get(ref)
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("Get after 3 transient failures: %q, %v", b, err)
+	}
+	if r.Retries() != 3 {
+		t.Fatalf("retries = %d, want 3", r.Retries())
+	}
+	if r.GiveUps() != 0 {
+		t.Fatalf("giveups = %d, want 0", r.GiveUps())
+	}
+}
+
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	f := &flaky{Store: NewMem(), fails: 100}
+	r := NewRetry(f, RetryConfig{Attempts: 3, Sleep: noSleep})
+	if _, err := r.PutNamed("a/b", []byte("x")); err == nil {
+		t.Fatal("persistent failure reported success")
+	}
+	if f.calls != 3 {
+		t.Fatalf("backend saw %d calls, want exactly 3 attempts", f.calls)
+	}
+	if r.GiveUps() != 1 || r.Retries() != 2 {
+		t.Fatalf("giveups=%d retries=%d, want 1/2", r.GiveUps(), r.Retries())
+	}
+}
+
+// TestRetryDoesNotRetryDefinitiveErrors: a miss, a malformed request, and
+// an open breaker each fail immediately — one backend call, no sleeps.
+func TestRetryDoesNotRetryDefinitiveErrors(t *testing.T) {
+	mem := NewMem()
+	counting := NewCounting(mem)
+	r := NewRetry(counting, RetryConfig{Attempts: 5, Sleep: func(context.Context, time.Duration) {
+		t.Fatal("slept for a non-transient error")
+	}})
+
+	if _, err := r.Get(HashRef([]byte("absent"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing blob: %v", err)
+	}
+	if counting.Gets() != 1 {
+		t.Fatalf("missing blob cost %d backend gets, want 1", counting.Gets())
+	}
+	if err := r.Link("/bad//name", HashRef([]byte("x"))); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("malformed name: %v", err)
+	}
+	if r.Retries() != 0 {
+		t.Fatalf("retries = %d, want 0", r.Retries())
+	}
+}
+
+// TestRetryContextDeadline: a WithContext view stops retrying the moment
+// the context dies, and reports the context error.
+func TestRetryContextDeadline(t *testing.T) {
+	f := &flaky{Store: NewMem(), fails: 1000}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRetry(f, RetryConfig{Attempts: 1000, Sleep: func(c context.Context, d time.Duration) {
+		cancel() // the deadline expires during the first backoff
+	}})
+	view := r.WithContext(ctx)
+
+	_, err := view.Get(HashRef([]byte("x")))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if f.calls > 2 {
+		t.Fatalf("backend saw %d calls after cancellation, want ≤ 2", f.calls)
+	}
+	// The root store is unaffected by the view's dead context.
+	if _, err := r.Put([]byte("alive")); err != nil {
+		t.Fatalf("root store after view cancellation: %v", err)
+	}
+}
+
+// TestRetryBackoffBoundedAndJittered: backoff grows geometrically, stays
+// under Max, and jitter keeps it within [d/2, 3d/2).
+func TestRetryBackoffBoundedAndJittered(t *testing.T) {
+	var slept []time.Duration
+	f := &flaky{Store: NewMem(), fails: 1000}
+	r := NewRetry(f, RetryConfig{
+		Attempts: 8, Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, Seed: 1,
+		Sleep: func(_ context.Context, d time.Duration) { slept = append(slept, d) },
+	})
+	r.Get(HashRef([]byte("x")))
+	if len(slept) != 7 {
+		t.Fatalf("slept %d times, want 7", len(slept))
+	}
+	for i, d := range slept {
+		nominal := 10 * time.Millisecond << uint(i)
+		if nominal > 40*time.Millisecond {
+			nominal = 40 * time.Millisecond
+		}
+		if d < nominal/2 || d >= nominal*3/2 {
+			t.Fatalf("backoff %d = %v outside [%v, %v)", i, d, nominal/2, nominal*3/2)
+		}
+	}
+}
+
+// TestRetryMasksEveryNthFault: the drill guarantee — an odd-period
+// every-Nth fault plan under a ≥2-attempt retry is invisible to callers,
+// even for the two-op PutNamed composite (after a fault at hook position
+// ≡0 mod 3, the next attempt's Put and Link land on safe positions).
+func TestRetryMasksEveryNthFault(t *testing.T) {
+	plan := &FaultPlan{Every: 3, Seed: 99, Sleep: func(time.Duration) {}}
+	r := NewRetry(NewFaulty(NewMem(), plan.Hook), RetryConfig{Attempts: 3, Sleep: noSleep})
+	for i := 0; i < 100; i++ {
+		name := "runs/r/blob-" + string(rune('a'+i%26))
+		if _, err := r.PutNamed(name, []byte{byte(i)}); err != nil {
+			t.Fatalf("op %d leaked a fault through retry: %v", i, err)
+		}
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("no faults injected — the test proved nothing")
+	}
+	if r.Retries() == 0 {
+		t.Fatal("no retries recorded despite injected faults")
+	}
+}

@@ -20,6 +20,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -35,6 +36,55 @@ type Ref = string
 // ErrNotFound reports a missing blob or name. Implementations wrap it, so
 // callers test with errors.Is.
 var ErrNotFound = errors.New("store: not found")
+
+// ErrMalformed reports a request the store can never satisfy — a bad name
+// or a non-hex ref. It is permanent by construction: retrying changes
+// nothing, so the Retry wrapper refuses to.
+var ErrMalformed = errors.New("store: malformed request")
+
+// ErrUnavailable reports a backend that is failing fast instead of trying:
+// the circuit breaker is open. Callers degrade (serve cached data, shed
+// load) rather than retry into a sick disk.
+var ErrUnavailable = errors.New("store: backend unavailable")
+
+// Transient reports whether err is worth retrying: anything except a
+// definitive miss (ErrNotFound), a request that can never succeed
+// (ErrMalformed), a breaker that is already failing fast (ErrUnavailable),
+// and an expired context. EIO, ENOSPC, latency-induced deadline slips on
+// individual syscalls — everything a sick-but-recovering disk produces —
+// count as transient.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrMalformed) || errors.Is(err, ErrUnavailable) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// ContextStore is implemented by stores that can bind request contexts —
+// deadline and cancellation propagation — to their operations. The base
+// Store interface stays context-free so object-store-shaped backends and
+// wrappers compose without threading ctx through every layer; callers that
+// hold a request context use ForContext at the edge.
+type ContextStore interface {
+	Store
+	// WithContext returns a view of the store whose operations observe ctx:
+	// they fail fast once ctx is done and abort retry backoff sleeps early.
+	WithContext(ctx context.Context) Store
+}
+
+// ForContext binds ctx to s when s supports it, else returns s unchanged.
+func ForContext(ctx context.Context, s Store) Store {
+	if cs, ok := s.(ContextStore); ok && ctx != nil {
+		return cs.WithContext(ctx)
+	}
+	return s
+}
 
 // Store is a content-addressed blob store plus a mutable name→ref link
 // layer. Blobs are immutable and keyed by content; names are the only
@@ -108,14 +158,14 @@ func VerifyNamed(s Store, prefix string) (checked int, err error) {
 // or alias each other after cleaning. Names use "/" separators.
 func checkName(name string) error {
 	if name == "" {
-		return errors.New("store: empty name")
+		return fmt.Errorf("%w: empty name", ErrMalformed)
 	}
 	if strings.HasPrefix(name, "/") || strings.HasSuffix(name, "/") {
-		return fmt.Errorf("store: name %q must not begin or end with '/'", name)
+		return fmt.Errorf("%w: name %q must not begin or end with '/'", ErrMalformed, name)
 	}
 	for _, part := range strings.Split(name, "/") {
 		if part == "" || part == "." || part == ".." {
-			return fmt.Errorf("store: name %q has an empty or dot path element", name)
+			return fmt.Errorf("%w: name %q has an empty or dot path element", ErrMalformed, name)
 		}
 	}
 	return nil
@@ -125,10 +175,10 @@ func checkName(name string) error {
 // filesystem path.
 func checkRef(ref Ref) error {
 	if len(ref) != sha256.Size*2 {
-		return fmt.Errorf("store: ref %q is not a SHA-256 hex digest", ref)
+		return fmt.Errorf("%w: ref %q is not a SHA-256 hex digest", ErrMalformed, ref)
 	}
 	if _, err := hex.DecodeString(ref); err != nil {
-		return fmt.Errorf("store: ref %q is not hex: %w", ref, err)
+		return fmt.Errorf("%w: ref %q is not hex: %v", ErrMalformed, ref, err)
 	}
 	return nil
 }

@@ -1,0 +1,127 @@
+#!/bin/sh
+# Chaos drill for the durable service plane: prove that an acknowledged job
+# survives the daemon's violent death and that the recovered result is
+# bit-identical to an uninterrupted run.
+#
+# Phase 0  control: run the job cleanly, record its snapshot content address.
+# Phase 1  crash:   run the same job on a fresh store with store-fault
+#                   injection on (-fault-every), kill -9 the daemon mid-job,
+#                   restart it on the same store, and require the journal to
+#                   replay the job and the resumed run to land on the SAME
+#                   content address as the control.
+# Phase 2  drain:   submit again, SIGTERM mid-job, require a clean
+#                   "drained" exit, restart, and require the same address
+#                   a third time.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SPEC='{"np":8,"ranks":2,"steps":200,"seed":5,"checkpoint_every":5}'
+FAULTS="-fault-every 13 -fault-seed 7"
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/greemd" ./cmd/greemd
+
+# start_daemon <store-dir> <log-file> [extra flags...]
+start_daemon() {
+    sd="$1"; lg="$2"; shift 2
+    rm -f "$WORK/addr"
+    "$WORK/greemd" -addr 127.0.0.1:0 -data "$sd" -addr-file "$WORK/addr" "$@" \
+        >> "$lg" 2>&1 &
+    DAEMON_PID=$!
+    for i in $(seq 1 50); do
+        [ -s "$WORK/addr" ] && break
+        sleep 0.1
+    done
+    [ -s "$WORK/addr" ] || { echo "FAIL: daemon never wrote its address" >&2; cat "$lg" >&2; exit 1; }
+    ADDR="$(cat "$WORK/addr")"
+}
+
+submit() {
+    curl -sf -X POST "http://$ADDR/runs" -d "$SPEC" \
+        | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'
+}
+
+job_field() { # job_field <id> <field> — string or numeric JSON field
+    curl -sf "http://$ADDR/runs/$1" | sed -n 's/.*"'"$2"'": "\{0,1\}\([^",}]*\)"\{0,1\}.*/\1/p' | head -1
+}
+
+wait_done() { # wait_done <id> — poll until done, print snapshot ref
+    for i in $(seq 1 600); do
+        st="$(job_field "$1" state)"
+        case "$st" in
+            done) job_field "$1" snapshot_ref; return 0 ;;
+            failed) echo "FAIL: job $1 failed: $(curl -s "http://$ADDR/runs/$1")" >&2; exit 1 ;;
+        esac
+        sleep 0.1
+    done
+    echo "FAIL: job $1 stuck in state '$st'" >&2
+    exit 1
+}
+
+wait_checkpoint() { # wait_checkpoint <id> <min-step> — job must still be live
+    for i in $(seq 1 600); do
+        st="$(job_field "$1" state)"
+        case "$st" in
+            done) echo "FAIL: job $1 finished before the drill could interrupt it" >&2; exit 1 ;;
+            failed) echo "FAIL: job $1 failed before checkpointing: $(curl -s "http://$ADDR/runs/$1")" >&2; exit 1 ;;
+        esac
+        ck="$(job_field "$1" last_checkpoint_step)"
+        [ -n "$ck" ] && [ "$ck" -ge "$2" ] && return 0
+        sleep 0.02
+    done
+    echo "FAIL: job $1 never reached checkpoint step $2" >&2
+    exit 1
+}
+
+echo "== phase 0: control run (uninterrupted) =="
+start_daemon "$WORK/storeA" "$WORK/control.log"
+CONTROL_ID="$(submit)"
+[ -n "$CONTROL_ID" ] || { echo "FAIL: control submit returned no id" >&2; exit 1; }
+REF_CONTROL="$(wait_done "$CONTROL_ID")"
+[ -n "$REF_CONTROL" ] || { echo "FAIL: control run has no snapshot ref" >&2; exit 1; }
+kill "$DAEMON_PID"; wait "$DAEMON_PID" 2>/dev/null || true; DAEMON_PID=""
+echo "control snapshot $REF_CONTROL"
+
+echo "== phase 1: kill -9 mid-job (store faults injected), restart, resume =="
+start_daemon "$WORK/storeB" "$WORK/chaos.log" $FAULTS
+CHAOS_ID="$(submit)"
+[ -n "$CHAOS_ID" ] || { echo "FAIL: chaos submit returned no id" >&2; exit 1; }
+wait_checkpoint "$CHAOS_ID" 10
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2>/dev/null || true; DAEMON_PID=""
+echo "killed daemon with job $CHAOS_ID in flight"
+
+start_daemon "$WORK/storeB" "$WORK/chaos.log" $FAULTS
+curl -sf "http://$ADDR/metrics" | grep -q '^greem_jobs_replayed_total [1-9]' \
+    || { echo "FAIL: restarted daemon replayed no jobs" >&2; cat "$WORK/chaos.log" >&2; exit 1; }
+REF_CHAOS="$(wait_done "$CHAOS_ID")"
+[ "$REF_CHAOS" = "$REF_CONTROL" ] \
+    || { echo "FAIL: resumed snapshot $REF_CHAOS != control $REF_CONTROL" >&2; exit 1; }
+curl -sf "http://$ADDR/runs/$CHAOS_ID/integrity" | grep -q '"ok": true' \
+    || { echo "FAIL: post-crash integrity check failed" >&2; exit 1; }
+echo "resumed to identical snapshot under injected store faults"
+
+echo "== phase 2: SIGTERM drain mid-job, restart, resume =="
+DRAIN_ID="$(submit)"
+[ -n "$DRAIN_ID" ] || { echo "FAIL: drain-phase submit returned no id" >&2; exit 1; }
+wait_checkpoint "$DRAIN_ID" 10
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true; DAEMON_PID=""
+grep -q "drained cleanly" "$WORK/chaos.log" \
+    || { echo "FAIL: daemon did not drain cleanly on SIGTERM" >&2; tail -20 "$WORK/chaos.log" >&2; exit 1; }
+
+start_daemon "$WORK/storeB" "$WORK/chaos.log" $FAULTS
+REF_DRAIN="$(wait_done "$DRAIN_ID")"
+[ "$REF_DRAIN" = "$REF_CONTROL" ] \
+    || { echo "FAIL: drained-then-resumed snapshot $REF_DRAIN != control $REF_CONTROL" >&2; exit 1; }
+kill "$DAEMON_PID"; wait "$DAEMON_PID" 2>/dev/null || true; DAEMON_PID=""
+
+echo "PASS: chaos drill (control=$REF_CONTROL crash=$REF_CHAOS drain=$REF_DRAIN)"

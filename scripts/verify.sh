@@ -12,3 +12,4 @@ go test ./...
 go test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/ ./internal/ppkern/ ./internal/tree/ ./internal/pmpar/
 go test -run NONE -fuzz FuzzDecodeFlat -fuzztime 4s ./internal/domain/
 go test -run NONE -fuzz FuzzGhostSelection -fuzztime 4s ./internal/sim/
+./scripts/smoke_chaos.sh
