@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-kernel bench-overlap bench-scaling bench-record bench-compare smoke-restart smoke-serve smoke-chaos
+.PHONY: verify build vet test race fuzz-smoke bench bench-fft bench-kernel bench-insitu bench-overlap bench-scaling bench-record bench-compare smoke-restart smoke-serve smoke-chaos
 
 # verify is the tier-1 gate: full build, vet, tests, plus a short race pass
 # over the packages where ranks-as-goroutines concurrency lives.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/ ./internal/ppkern/ ./internal/tree/ ./internal/pmpar/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/ ./internal/ppkern/ ./internal/tree/ ./internal/pmpar/ ./internal/analysis/ ./internal/analysis/dist/
 
 # fuzz-smoke: a few seconds of native Go fuzzing per fuzzer — enough to shake
 # out decoder panics and ghost-selection invariant breaks without turning the
@@ -25,6 +25,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzDecodeFlat -fuzztime 4s ./internal/domain/
 	$(GO) test -run NONE -fuzz FuzzGhostSelection -fuzztime 4s ./internal/sim/
+	$(GO) test -run NONE -fuzz FuzzUnionFindStitch -fuzztime 4s ./internal/analysis/dist/
 
 # smoke-restart: end-to-end crash-restart drill — hard-kill the driver after
 # a checkpoint, rerun the same command, require a byte-identical final
@@ -71,6 +72,13 @@ bench-kernel:
 # (rank0-step-s is the wall-clock evidence, hidden-s the covered PM share).
 bench-overlap:
 	$(GO) test -run NONE -bench 'StepOverlap64' -benchmem .
+
+# bench-insitu: the in-situ analysis plane — the distributed FoF end to end
+# on the 64³/8-rank clustered bench case, and the marginal per-mode cost of
+# the on-the-fly P(k) tap on a 128³ mesh. Both feed bench-record.
+bench-insitu:
+	$(GO) test -run NONE -bench 'DistFoF64$$' -benchmem ./internal/analysis/dist/
+	$(GO) test -run NONE -bench 'InSituPk128$$' -benchmem ./internal/analysis/
 
 bench-record:
 	./scripts/bench_record.sh

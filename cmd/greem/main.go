@@ -75,6 +75,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory (default <out>/checkpoints)")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoints to retain; oldest pruned first (0 = all)")
 	maxRestarts := flag.Int("max-restarts", 2, "automatic in-process restarts from the last checkpoint after a rank failure")
+	insituEvery := flag.Int("insitu-every", 0, "run the in-situ analysis pass (distributed FoF catalog, on-the-fly P(k), streaming projection) every k steps and at the final step (0 = off)")
 	killAtStep := flag.Int("kill-at-step", 0, "testing: hard-exit the process right after the checkpoint at this step")
 	failRankAtStep := flag.Int("fail-rank-at-step", 0, "testing: kill the last rank at the start of this step (once) to exercise graceful degradation")
 	flag.Parse()
@@ -140,6 +141,10 @@ func main() {
 		OverlapPMPP: *overlap,
 		Grid:        grid, DT: (aEnd - aStart) / float64(*steps), Stepper: model, Time: aStart,
 		DeterministicCost: *deterministic,
+	}
+	if *insituEvery > 0 {
+		cfg.InSituEvery = *insituEvery
+		cfg.InSituFinalStep = *steps
 	}
 
 	// Skip IC generation when a valid checkpoint will be restored anyway —
@@ -247,6 +252,9 @@ func main() {
 						os.Exit(3)
 					}
 				}
+				if res := s.InSituProducts(); res != nil && res.Step == idx && c.Rank() == 0 {
+					writeInSitu(*outDir, res)
+				}
 				if idx%*snapEvery == 0 || idx == *steps {
 					all := s.GatherAll(0)
 					if c.Rank() == 0 {
@@ -343,6 +351,23 @@ func writeOutputs(dir string, s *sim.Sim, all []greem.Particle, l float64) {
 	if err := analysis.WritePGM(f, img); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeInSitu writes one in-situ analysis emission (halo catalog, power
+// spectrum, streaming surface-density projection) to step-stamped files.
+func writeInSitu(dir string, res *sim.InSituResult) {
+	write := func(name string, b []byte) {
+		if b == nil {
+			return
+		}
+		path := filepath.Join(dir, fmt.Sprintf(name, res.Step))
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	write("halos_%04d.json", res.Catalog)
+	write("pk_%04d.json", res.Power)
+	write("insitu_density_%04d.pgm", res.Density)
 }
 
 func printTimers(s *sim.Sim, steps int, inter, ni, nj float64) {

@@ -29,6 +29,7 @@ func main() {
 	let := flag.Bool("let", true, "locally-essential-tree ghost exchange for the scaled run (false = raw baseline)")
 	f32 := flag.Bool("f32", true, "float32 PP kernel for the scaled run (false = float64 oracle kernel)")
 	overlap := flag.Bool("overlap", true, "overlapped PM‖PP step pipeline for the scaled run (false = sequential)")
+	insituEvery := flag.Int("insitu-every", 0, "in-situ analysis cadence for the scaled run: FoF + P(k) + projection every k steps (0 = off); the analysis/* phase rows appear when on")
 	flag.Parse()
 
 	m := perfmodel.KComputer()
@@ -76,7 +77,7 @@ func main() {
 		fmt.Println("\n(use -run for a scaled-down measured breakdown on this machine)")
 		return
 	}
-	scaledRun(*np, *ranks, *steps, *workers, *let, *f32, *overlap)
+	scaledRun(*np, *ranks, *steps, *workers, *let, *f32, *overlap, *insituEvery)
 }
 
 // tableRows maps Table I's row labels onto the telemetry phase names; the
@@ -109,7 +110,7 @@ var tableRows = []struct {
 // within-rank max/mean worker imbalance (busy+idle)/busy from the pool
 // telemetry — is appended to the phase rows that batch over it; the serial
 // default prints exactly the historical table.
-func scaledRun(np, ranks, steps, workers int, let, f32, overlap bool) {
+func scaledRun(np, ranks, steps, workers int, let, f32, overlap bool, insituEvery int) {
 	mode := "LET"
 	if !let {
 		mode = "raw-ghost"
@@ -146,6 +147,7 @@ func scaledRun(np, ranks, steps, workers int, let, f32, overlap bool) {
 		FastKernel: true, Float32Kernel: f32,
 		Grid: grid, DT: 0.01, Workers: workers, LETExchange: let,
 		OverlapPMPP: overlap,
+		InSituEvery: insituEvery, InSituFinalStep: steps,
 	}
 	var prof *telemetry.Profile
 	var inter float64
@@ -236,6 +238,21 @@ func scaledRun(np, ranks, steps, workers int, let, f32, overlap bool) {
 		hid := prof.Counter(telemetry.MetricOverlapHidden)
 		fmt.Printf("PM solve hidden by overlap: %.4f s/step mean-rank (%.4f max-rank)\n",
 			hid.Mean*per, hid.Max*per)
+	}
+	if insituEvery > 0 {
+		for _, row := range []struct{ label, phase string }{
+			{"in-situ FoF", telemetry.PhaseAnalysisFoF},
+			{"in-situ P(k)", telemetry.PhaseAnalysisPk},
+			{"in-situ projection", telemetry.PhaseAnalysisProj},
+		} {
+			fmt.Printf("%-28s %10.4f %10.4f %10.4f %10.2f",
+				row.label, prof.Phase(row.phase).Min*per, prof.Phase(row.phase).Mean*per,
+				prof.Phase(row.phase).Max*per, prof.Phase(row.phase).Imbalance)
+			if intraActive {
+				fmt.Printf(" %10s", "-")
+			}
+			fmt.Println()
+		}
 	}
 	fmt.Printf("\n⟨Ni⟩ = %.0f, ⟨Nj⟩ = %.0f, interactions/step = %.3g, PP kernel = %s\n", ni, nj, inter, kern)
 	flops := prof.Counter(`greem_pp_kernel_flops_total`)

@@ -1,0 +1,319 @@
+// Package dist holds the distributed, in-situ counterparts of the serial
+// analysis tools. The flagship is the parallel friends-of-friends finder:
+// at the paper's scale (10¹² particles) no rank can hold the global particle
+// set, so groups must be found in place on the domain-decomposed data — each
+// rank links locally, imports a shell of ghost particles within the linking
+// length from nearby ranks (the same periodic box geometry the LET ghost
+// exchange uses), and stitches cross-rank fragments by exchanging union-find
+// labels to a fixed point. The resulting catalog is identical — bit for bit,
+// in the canonical encoding — to running the serial finder on the gathered,
+// ID-sorted particle set.
+package dist
+
+import (
+	"math"
+	"sort"
+
+	"greem/internal/analysis"
+	"greem/internal/mpi"
+	"greem/internal/tree"
+	"greem/internal/vec"
+)
+
+// TrafficLabel tags the finder's collectives on the mpi traffic ledger.
+const TrafficLabel = "analysis/fof"
+
+// ghostSlack inflates the ghost import radius so a pair at exactly the
+// linking length is never lost to rounding in the point-to-box distance;
+// the link predicate itself stays exact, so extra ghosts are harmless.
+const ghostSlack = 1 + 1e-9
+
+// Config parameterizes a distributed FoF pass.
+type Config struct {
+	L       float64 // periodic box side; positions must lie in [0, L)
+	LinkLen float64 // absolute linking length
+	MinSize int     // smallest group reported (the serial ≥ rule)
+}
+
+// ghost is one imported boundary particle: enough to link against (mass is
+// not needed for linking; members ship it later from their home rank).
+type ghost struct {
+	X, Y, Z float64
+	ID      int64
+}
+
+// labelMsg carries one (particle, fragment label) pair of the stitch.
+type labelMsg struct {
+	ID    int64
+	Label int64
+}
+
+// member is one accepted-group particle routed to its group's owner rank.
+type member struct {
+	X, Y, Z, M float64
+	ID         int64
+	Label      int64
+}
+
+// FoF runs the distributed friends-of-friends finder over the rank-local
+// particle arrays (positions in [0, L), m the masses, id the globally unique
+// non-negative particle IDs). Collective over c. Rank 0 returns the complete
+// canonical catalog (SortHalos order and IDs); other ranks return nil.
+//
+// Parity contract: for the same global particle set, the returned catalog is
+// bitwise identical to
+//
+//	analysis.Catalog(x', y', z', m', l, analysis.FoF(x', y', z', l, ll, min))
+//
+// where the primed arrays are the gathered particles sorted by ID. The three
+// ingredients: the link predicate is analysis.LinkPairs on both paths (same
+// minimum-image arithmetic), the stitch converges every fragment to the
+// group's global minimum ID (a pure lattice descent, order-independent), and
+// each group's halo statistics are accumulated in ascending-ID member order
+// — the serial path's ascending-index order — by the one rank that owns the
+// group.
+func FoF(c *mpi.Comm, cfg Config, x, y, z, m []float64, id []int64) []analysis.Halo {
+	if c.Rank() == 0 {
+		c.SetTrafficLabel(TrafficLabel)
+		defer c.SetTrafficLabel("")
+	}
+	p := c.Size()
+	nloc := len(x)
+	l, ll := cfg.L, cfg.LinkLen
+
+	// --- 1. Every rank publishes the AABB of its actual particles. The
+	// domain geometry would do when particles sit exactly inside their
+	// domains, but the bounding box of the data is correct regardless of
+	// drift since the last decomposition. An empty rank publishes an
+	// inverted box that every distance test rejects.
+	box := [6]float64{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)}
+	for i := 0; i < nloc; i++ {
+		box[0] = math.Min(box[0], x[i])
+		box[1] = math.Max(box[1], x[i])
+		box[2] = math.Min(box[2], y[i])
+		box[3] = math.Max(box[3], y[i])
+		box[4] = math.Min(box[4], z[i])
+		box[5] = math.Max(box[5], z[i])
+	}
+	boxes := mpi.Allgather(c, box[:])
+
+	// --- 2. Ghost import: ship every local particle within the (slightly
+	// inflated) linking length of a remote rank's box to that rank, at its
+	// original wrapped coordinates — the linking below uses minimum-image
+	// differences throughout, so no shifting is ever needed.
+	rs := ll * ghostSlack
+	rs2 := rs * rs
+	sendg := make([][]ghost, p)
+	for r := 0; r < p; r++ {
+		if r == c.Rank() {
+			continue
+		}
+		b := boxes[r]
+		if b[0] > b[1] {
+			continue // empty rank
+		}
+		lo := vec.V3{X: b[0], Y: b[2], Z: b[4]}
+		hi := vec.V3{X: b[1], Y: b[3], Z: b[5]}
+		mylo := vec.V3{X: box[0], Y: box[2], Z: box[4]}
+		myhi := vec.V3{X: box[1], Y: box[3], Z: box[5]}
+		if nloc == 0 || tree.BoxDistPeriodic(mylo, myhi, lo, hi, l) > rs {
+			continue
+		}
+		for i := 0; i < nloc; i++ {
+			dx := pointAxisDist(x[i], b[0], b[1], l)
+			dy := pointAxisDist(y[i], b[2], b[3], l)
+			dz := pointAxisDist(z[i], b[4], b[5], l)
+			if dx*dx+dy*dy+dz*dz <= rs2 {
+				sendg[r] = append(sendg[r], ghost{X: x[i], Y: y[i], Z: z[i], ID: id[i]})
+			}
+		}
+	}
+	recvg := mpi.Alltoall(c, sendg)
+
+	// Combined index space: locals [0, nloc), then ghosts in rank order —
+	// the deterministic receive order that also keys the stitch messages.
+	ax := append([]float64{}, x...)
+	ay := append([]float64{}, y...)
+	az := append([]float64{}, z...)
+	aid := append([]int64{}, id...)
+	ghostFrom := make([][2]int, p) // ghost index range [lo, hi) per source rank
+	for r := 0; r < p; r++ {
+		start := len(ax)
+		for _, g := range recvg[r] {
+			ax = append(ax, g.X)
+			ay = append(ay, g.Y)
+			az = append(az, g.Z)
+			aid = append(aid, g.ID)
+		}
+		ghostFrom[r] = [2]int{start, len(ax)}
+	}
+	ntot := len(ax)
+
+	// --- 3. Local linking over locals+ghosts with the exact serial pair
+	// kernel, then per-fragment labels initialized to the fragment's
+	// minimum global ID.
+	parent := make([]int32, ntot)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for int(parent[i]) != i {
+			parent[i] = parent[parent[i]]
+			i = int(parent[i])
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = int32(rb)
+		}
+	}
+	analysis.LinkPairs(ax, ay, az, l, ll, union)
+
+	lab := make([]int64, ntot)
+	for i := range lab {
+		lab[i] = math.MaxInt64
+	}
+	for i := 0; i < ntot; i++ {
+		r := find(i)
+		if aid[i] < lab[r] {
+			lab[r] = aid[i]
+		}
+	}
+
+	// --- 4. Stitch: every ghost's fragment label travels to the ghost's
+	// home rank, the home rank merges it into its own fragment (labels only
+	// ever decrease, toward the group's global minimum ID), and the
+	// post-merge label travels back. Iterate to a global fixed point: each
+	// round, a fragment's label becomes the minimum over itself and its
+	// neighbours in the fragment graph, so after at most diameter rounds
+	// every fragment of a group carries the group minimum (see DESIGN.md).
+	idx := make(map[int64]int, nloc)
+	for i := 0; i < nloc; i++ {
+		idx[id[i]] = i
+	}
+	for {
+		changed := 0
+		queries := make([][]labelMsg, p)
+		for r := 0; r < p; r++ {
+			lo, hi := ghostFrom[r][0], ghostFrom[r][1]
+			for g := lo; g < hi; g++ {
+				queries[r] = append(queries[r], labelMsg{ID: aid[g], Label: lab[find(g)]})
+			}
+		}
+		recvq := mpi.Alltoall(c, queries)
+		replies := make([][]labelMsg, p)
+		for r := 0; r < p; r++ {
+			for _, q := range recvq[r] {
+				li, ok := idx[q.ID]
+				if !ok {
+					// Cannot happen — a ghost is always a local of its home
+					// rank — but keep the reply stream aligned regardless.
+					replies[r] = append(replies[r], q)
+					continue
+				}
+				root := find(li)
+				if q.Label < lab[root] {
+					lab[root] = q.Label
+					changed = 1
+				}
+				replies[r] = append(replies[r], labelMsg{ID: q.ID, Label: lab[root]})
+			}
+		}
+		recvr := mpi.Alltoall(c, replies)
+		for r := 0; r < p; r++ {
+			lo := ghostFrom[r][0]
+			for i, rep := range recvr[r] {
+				root := find(lo + i)
+				if rep.Label < lab[root] {
+					lab[root] = rep.Label
+					changed = 1
+				}
+			}
+		}
+		if mpi.Allreduce(c, []int{changed}, mpi.Max[int])[0] == 0 {
+			break
+		}
+	}
+
+	// --- 5. Membership: each rank ships every LOCAL particle (exactly once
+	// globally) to its group's owner rank — label mod p — which therefore
+	// sees the group's complete membership and can apply the ≥ MinSize cut
+	// and compute the halo exactly as the serial path does.
+	sendm := make([][]member, p)
+	for i := 0; i < nloc; i++ {
+		lb := lab[find(i)]
+		dst := int(lb % int64(p))
+		sendm[dst] = append(sendm[dst], member{
+			X: x[i], Y: y[i], Z: z[i], M: m[i], ID: id[i], Label: lb,
+		})
+	}
+	recvm := mpi.Alltoall(c, sendm)
+
+	groups := make(map[int64][]member)
+	for r := 0; r < p; r++ {
+		for _, mb := range recvm[r] {
+			groups[mb.Label] = append(groups[mb.Label], mb)
+		}
+	}
+	labels := make([]int64, 0, len(groups))
+	for lb := range groups {
+		labels = append(labels, lb)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+
+	var halos []analysis.Halo
+	for _, lb := range labels {
+		g := groups[lb]
+		if len(g) < cfg.MinSize {
+			continue
+		}
+		// Ascending global ID is the serial path's ascending-index member
+		// order — the accumulation order that makes the halo statistics
+		// bitwise identical.
+		sort.Slice(g, func(i, j int) bool { return g[i].ID < g[j].ID })
+		gx := make([]float64, len(g))
+		gy := make([]float64, len(g))
+		gz := make([]float64, len(g))
+		gm := make([]float64, len(g))
+		order := make([]int, len(g))
+		for i, mb := range g {
+			gx[i], gy[i], gz[i], gm[i] = mb.X, mb.Y, mb.Z, mb.M
+			order[i] = i
+		}
+		halos = append(halos, analysis.GroupHalo(gx, gy, gz, gm, l, order))
+	}
+
+	// --- 6. Canonical catalog on rank 0.
+	gathered := mpi.Gather(c, 0, halos)
+	if c.Rank() != 0 {
+		return nil
+	}
+	var all []analysis.Halo
+	for _, hs := range gathered {
+		all = append(all, hs...)
+	}
+	analysis.SortHalos(all)
+	return all
+}
+
+// pointAxisDist is the 1-D distance from point v to the interval [lo, hi]
+// under periodicity l: the minimum over the three relevant images.
+func pointAxisDist(v, lo, hi, l float64) float64 {
+	best := math.Inf(1)
+	for k := -1; k <= 1; k++ {
+		w := v + float64(k)*l
+		d := 0.0
+		if w < lo {
+			d = lo - w
+		} else if w > hi {
+			d = w - hi
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}

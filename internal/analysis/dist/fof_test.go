@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"greem/internal/analysis"
+	"greem/internal/mpi"
+)
+
+// particle set helpers — positions in [0, 1), IDs 0..n−1, unit total mass.
+
+type pset struct {
+	x, y, z, m []float64
+	id         []int64
+}
+
+func (p *pset) add(x, y, z float64) {
+	p.x = append(p.x, x)
+	p.y = append(p.y, y)
+	p.z = append(p.z, z)
+	p.m = append(p.m, 1)
+	p.id = append(p.id, int64(len(p.id)))
+}
+
+// serialBytes is the oracle: the canonical catalog of the serial finder on
+// the full (ID-ordered) particle set.
+func serialBytes(t *testing.T, ps *pset, l, ll float64, minSize int) []byte {
+	t.Helper()
+	groups := analysis.FoF(ps.x, ps.y, ps.z, l, ll, minSize)
+	halos := analysis.Catalog(ps.x, ps.y, ps.z, ps.m, l, groups)
+	b, err := analysis.EncodeCatalog(analysis.CatalogFile{
+		Format: 1, L: l, LinkingLength: ll, MinSize: minSize, Halos: halos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// distBytes runs the distributed finder on p ranks (round-robin particle
+// placement, so neighbouring IDs land on different ranks) and returns rank
+// 0's canonical catalog.
+func distBytes(t *testing.T, ps *pset, ranks int, l, ll float64, minSize int) []byte {
+	t.Helper()
+	var out []byte
+	err := mpi.Run(ranks, func(c *mpi.Comm) {
+		var x, y, z, m []float64
+		var id []int64
+		for i := range ps.x {
+			if i%ranks != c.Rank() {
+				continue
+			}
+			x = append(x, ps.x[i])
+			y = append(y, ps.y[i])
+			z = append(z, ps.z[i])
+			m = append(m, ps.m[i])
+			id = append(id, ps.id[i])
+		}
+		halos := FoF(c, Config{L: l, LinkLen: ll, MinSize: minSize}, x, y, z, m, id)
+		if c.Rank() == 0 {
+			b, err := analysis.EncodeCatalog(analysis.CatalogFile{
+				Format: 1, L: l, LinkingLength: ll, MinSize: minSize, Halos: halos,
+			})
+			if err != nil {
+				panic(err)
+			}
+			out = b
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func requireParity(t *testing.T, ps *pset, ranks int, l, ll float64, minSize int) {
+	t.Helper()
+	want := serialBytes(t, ps, l, ll, minSize)
+	got := distBytes(t, ps, ranks, l, ll, minSize)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("distributed catalog differs from serial:\nserial: %s\ndist:   %s", want, got)
+	}
+}
+
+func countHalos(t *testing.T, ps *pset, ranks int, l, ll float64, minSize int) int {
+	t.Helper()
+	var n int
+	err := mpi.Run(ranks, func(c *mpi.Comm) {
+		halos := FoF(c, Config{L: l, LinkLen: ll, MinSize: minSize}, ps.sliceX(c.Rank(), ranks), ps.sliceY(c.Rank(), ranks), ps.sliceZ(c.Rank(), ranks), ps.sliceM(c.Rank(), ranks), ps.sliceID(c.Rank(), ranks))
+		if c.Rank() == 0 {
+			n = len(halos)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func (p *pset) sliceX(r, s int) []float64 { return roundRobinF(p.x, r, s) }
+func (p *pset) sliceY(r, s int) []float64 { return roundRobinF(p.y, r, s) }
+func (p *pset) sliceZ(r, s int) []float64 { return roundRobinF(p.z, r, s) }
+func (p *pset) sliceM(r, s int) []float64 { return roundRobinF(p.m, r, s) }
+func (p *pset) sliceID(r, s int) []int64 {
+	var out []int64
+	for i, v := range p.id {
+		if i%s == r {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func roundRobinF(v []float64, r, s int) []float64 {
+	var out []float64
+	for i, x := range v {
+		if i%s == r {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestDistFoFPairAtLinkingLength probes the boundary of the link predicate
+// for a pair that straddles a rank boundary (round-robin placement puts IDs
+// 0 and 1 on ranks 0 and 1): separation exactly b links, one ulp beyond does
+// not, one ulp under does. The chosen coordinates make the minimum-image
+// distance exact in binary floating point, so "exactly b" is meaningful.
+func TestDistFoFPairAtLinkingLength(t *testing.T) {
+	const l, ll = 1.0, 0.25
+	at := func(x2 float64) *pset {
+		ps := &pset{}
+		ps.add(0.25, 0.5, 0.5)
+		ps.add(x2, 0.5, 0.5)
+		return ps
+	}
+	exact := at(0.5)                    // distance exactly ll
+	over := at(math.Nextafter(0.5, 1))  // one ulp beyond
+	under := at(math.Nextafter(0.5, 0)) // one ulp under
+	for _, tc := range []struct {
+		name string
+		ps   *pset
+		want int // halos with MinSize 2
+	}{
+		{"exactly-b", exact, 1},
+		{"b-plus-ulp", over, 0},
+		{"b-minus-ulp", under, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			requireParity(t, tc.ps, 8, l, ll, 2)
+			if n := countHalos(t, tc.ps, 8, l, ll, 2); n != tc.want {
+				t.Fatalf("got %d halos, want %d", n, tc.want)
+			}
+		})
+	}
+}
+
+// TestDistFoFPeriodicWrapPair links a pair across the periodic boundary: the
+// unwrapped separation is 0.98, the minimum image 0.02.
+func TestDistFoFPeriodicWrapPair(t *testing.T) {
+	ps := &pset{}
+	ps.add(0.01, 0.3, 0.3)
+	ps.add(0.99, 0.3, 0.3)
+	requireParity(t, ps, 8, 1.0, 0.05, 2)
+	if n := countHalos(t, ps, 8, 1.0, 0.05, 2); n != 1 {
+		t.Fatalf("wrap pair not linked: %d halos", n)
+	}
+}
+
+// TestDistFoFChainSpansEveryRank builds one chain of 16 equally spaced
+// particles crossing the whole box (closing on itself through the periodic
+// boundary). Round-robin placement puts two links on every one of the 8
+// ranks, so the group's fragments must stitch across every rank to converge.
+func TestDistFoFChainSpansEveryRank(t *testing.T) {
+	ps := &pset{}
+	for i := 0; i < 16; i++ {
+		ps.add(float64(i)/16, 0.5, 0.5)
+	}
+	const ll = 0.07 // spacing 0.0625 < ll: a single ring-shaped group
+	requireParity(t, ps, 8, 1.0, ll, 2)
+	if n := countHalos(t, ps, 8, 1.0, ll, 2); n != 1 {
+		t.Fatalf("chain fragmented: %d halos, want 1", n)
+	}
+}
+
+// TestDistFoFSingletonsBelowMinSize: isolated particles and a under-threshold
+// triplet produce an empty catalog, identically to the serial cut.
+func TestDistFoFSingletonsBelowMinSize(t *testing.T) {
+	ps := &pset{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ { // isolated singletons
+		ps.add(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	ps.add(0.5, 0.5, 0.5) // a linked triplet, still below MinSize 8
+	ps.add(0.5+1e-3, 0.5, 0.5)
+	ps.add(0.5, 0.5+1e-3, 0.5)
+	requireParity(t, ps, 8, 1.0, 5e-3, 8)
+	if n := countHalos(t, ps, 8, 1.0, 5e-3, 8); n != 0 {
+		t.Fatalf("sub-threshold groups leaked into the catalog: %d halos", n)
+	}
+}
+
+// clusteredSet is the Plummer-like clustered distribution of the parity
+// battery: dense Gaussian clusters (wrapped into the box, so clusters sit on
+// rank and box boundaries) over a uniform background.
+func clusteredSet(seed int64, nclust, perClust, background int) *pset {
+	rng := rand.New(rand.NewSource(seed))
+	ps := &pset{}
+	wrap := func(v float64) float64 {
+		v -= math.Floor(v)
+		if v >= 1 {
+			v = 0
+		}
+		return v
+	}
+	for c := 0; c < nclust; c++ {
+		cx, cy, cz := rng.Float64(), rng.Float64(), rng.Float64()
+		for i := 0; i < perClust; i++ {
+			ps.add(wrap(cx+0.02*rng.NormFloat64()),
+				wrap(cy+0.02*rng.NormFloat64()),
+				wrap(cz+0.02*rng.NormFloat64()))
+		}
+	}
+	for i := 0; i < background; i++ {
+		ps.add(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	return ps
+}
+
+// TestDistFoFParityClustered and TestDistFoFParityUniform are the main
+// byte-for-byte parity checks of the distributed finder against the serial
+// oracle. Halos straddle two or more rank boundaries by construction: the
+// round-robin placement scatters every cluster across all 8 ranks.
+func TestDistFoFParityClustered(t *testing.T) {
+	ps := clusteredSet(3, 6, 60, 200)
+	requireParity(t, ps, 8, 1.0, 0.02, 8)
+	if n := countHalos(t, ps, 8, 1.0, 0.02, 8); n == 0 {
+		t.Fatal("clustered parity case found no halos — test is vacuous")
+	}
+}
+
+func TestDistFoFParityUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ps := &pset{}
+	for i := 0; i < 600; i++ {
+		ps.add(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	// ll near the percolation regime, so groups of many shapes appear.
+	requireParity(t, ps, 8, 1.0, 0.06, 2)
+}
+
+// TestDistFoFRankCounts runs the clustered parity on 2 and 4 ranks too: the
+// catalog must not depend on the decomposition width.
+func TestDistFoFRankCounts(t *testing.T) {
+	ps := clusteredSet(5, 4, 40, 100)
+	want := serialBytes(t, ps, 1.0, 0.02, 8)
+	for _, ranks := range []int{1, 2, 4} {
+		if got := distBytes(t, ps, ranks, 1.0, 0.02, 8); !bytes.Equal(want, got) {
+			t.Fatalf("catalog differs on %d ranks", ranks)
+		}
+	}
+}
+
+// TestDistFoFEmptyRank: fewer particles than ranks leaves some ranks with no
+// particles at all; the empty-box path must not wedge the collectives.
+func TestDistFoFEmptyRank(t *testing.T) {
+	ps := &pset{}
+	ps.add(0.5, 0.5, 0.5)
+	ps.add(0.5+1e-3, 0.5, 0.5)
+	ps.add(0.5, 0.5+1e-3, 0.5)
+	requireParity(t, ps, 8, 1.0, 5e-3, 2)
+	if n := countHalos(t, ps, 8, 1.0, 5e-3, 2); n != 1 {
+		t.Fatalf("got %d halos, want 1", n)
+	}
+}

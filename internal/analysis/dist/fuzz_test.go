@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+
+	"greem/internal/analysis"
+	"greem/internal/mpi"
+)
+
+// FuzzUnionFindStitch drives the distributed finder — ghost import, local
+// union-find, iterative label-exchange stitch — with arbitrary particle
+// configurations against the single-rank serial oracle. The fuzz input is
+// decoded deterministically: byte 0 picks the rank count, byte 1 the linking
+// length, and every following 3-byte triple is one particle on a 1/64
+// lattice (coincident particles, boundary-sitting particles and near-empty
+// ranks all arise naturally).
+func FuzzUnionFindStitch(f *testing.F) {
+	f.Add([]byte{0, 4, 1, 2, 3, 1, 2, 4, 60, 60, 60})
+	f.Add([]byte{1, 8, 0, 0, 0, 63, 63, 63, 0, 0, 1, 31, 31, 31})
+	f.Add([]byte{2, 2, 10, 10, 10, 10, 10, 11, 10, 11, 10, 11, 10, 10, 40, 40, 40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		ranks := []int{2, 4, 8}[int(data[0])%3]
+		ll := float64(1+int(data[1])%8) / 32 // 1/32 .. 8/32
+		ps := &pset{}
+		for i := 2; i+2 < len(data) && len(ps.x) < 64; i += 3 {
+			ps.add(float64(data[i]%64)/64, float64(data[i+1]%64)/64, float64(data[i+2]%64)/64)
+		}
+		const l, minSize = 1.0, 2
+
+		groups := analysis.FoF(ps.x, ps.y, ps.z, l, ll, minSize)
+		halos := analysis.Catalog(ps.x, ps.y, ps.z, ps.m, l, groups)
+		want, err := analysis.EncodeCatalog(analysis.CatalogFile{
+			Format: 1, L: l, LinkingLength: ll, MinSize: minSize, Halos: halos,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var got []byte
+		err = mpi.Run(ranks, func(c *mpi.Comm) {
+			var x, y, z, m []float64
+			var id []int64
+			for i := range ps.x {
+				if i%ranks != c.Rank() {
+					continue
+				}
+				x = append(x, ps.x[i])
+				y = append(y, ps.y[i])
+				z = append(z, ps.z[i])
+				m = append(m, ps.m[i])
+				id = append(id, ps.id[i])
+			}
+			hs := FoF(c, Config{L: l, LinkLen: ll, MinSize: minSize}, x, y, z, m, id)
+			if c.Rank() == 0 {
+				b, eerr := analysis.EncodeCatalog(analysis.CatalogFile{
+					Format: 1, L: l, LinkingLength: ll, MinSize: minSize, Halos: hs,
+				})
+				if eerr != nil {
+					panic(eerr)
+				}
+				got = b
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("stitch diverged from serial oracle (%d particles, %d ranks, ll=%g):\nserial: %s\ndist:   %s",
+				len(ps.x), ranks, ll, want, got)
+		}
+	})
+}

@@ -15,6 +15,60 @@ func FoF(x, y, z []float64, l, ll float64, minSize int) [][]int {
 	if n == 0 {
 		return nil
 	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	LinkPairs(x, y, z, l, ll, union)
+
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		if len(g) >= minSize {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) > len(out[b])
+		}
+		return out[a][0] < out[b][0]
+	})
+	return out
+}
+
+// LinkPairs enumerates every particle pair closer than ll under the periodic
+// minimum image and calls visit(i, j) for each, using a cell-linked-list grid
+// with cells ≥ ll so only the 27-cell neighbourhood needs testing. This is
+// the linking kernel shared by the serial FoF above and the distributed
+// finder in analysis/dist: both must test exactly the same predicate
+// (dx²+dy²+dz² ≤ ll² on minimum-image component differences) so their group
+// partitions agree exactly. Each qualifying pair is visited at least once,
+// in an unspecified order; on degenerate tiny grids (nc ≤ 2) a pair can be
+// visited from both sides, so visit must be idempotent (union is).
+func LinkPairs(x, y, z []float64, l, ll float64, visit func(i, j int)) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
 	// Spatial hash with cells ≥ ll so only 27 neighbour cells matter.
 	nc := int(l / ll)
 	if nc < 1 {
@@ -45,24 +99,6 @@ func FoF(x, y, z []float64, l, ll float64, minSize int) [][]int {
 		cells[c] = append(cells[c], i)
 	}
 
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(i int) int {
-		for parent[i] != i {
-			parent[i] = parent[parent[i]]
-			i = parent[i]
-		}
-		return i
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
 	ll2 := ll * ll
 	minImg := func(d float64) float64 {
 		d -= l * math.Round(d/l)
@@ -73,7 +109,7 @@ func FoF(x, y, z []float64, l, ll float64, minSize int) [][]int {
 		dy := minImg(y[i] - y[j])
 		dz := minImg(z[i] - z[j])
 		if dx*dx+dy*dy+dz*dz <= ll2 {
-			union(i, j)
+			visit(i, j)
 		}
 	}
 	for c, members := range cells {
@@ -106,25 +142,6 @@ func FoF(x, y, z []float64, l, ll float64, minSize int) [][]int {
 			}
 		}
 	}
-
-	groups := make(map[int][]int)
-	for i := 0; i < n; i++ {
-		r := find(i)
-		groups[r] = append(groups[r], i)
-	}
-	var out [][]int
-	for _, g := range groups {
-		if len(g) >= minSize {
-			out = append(out, g)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if len(out[a]) != len(out[b]) {
-			return len(out[a]) > len(out[b])
-		}
-		return out[a][0] < out[b][0]
-	})
-	return out
 }
 
 // halfNeighbours is one representative of each neighbour pair (13 of 26).

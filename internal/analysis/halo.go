@@ -56,6 +56,56 @@ func SortHalos(halos []Halo) {
 	}
 }
 
+// GroupHalo summarizes one FoF group given its member indices into the
+// coordinate arrays. Member iteration order fixes the floating-point
+// accumulation order, so two callers that present the same members in the
+// same order (e.g. ascending global ID) get bitwise-identical halos — the
+// property the distributed finder in analysis/dist relies on for canonical
+// catalog parity with the serial path.
+func GroupHalo(x, y, z, m []float64, l float64, g []int) Halo {
+	h := Halo{N: len(g)}
+	// Periodic center of mass via the circular mean: map each coordinate
+	// to an angle, average the unit vectors, map back.
+	var sx, cx, sy, cy, sz, cz float64
+	for _, i := range g {
+		h.Mass += m[i]
+		tx := 2 * math.Pi * x[i] / l
+		ty := 2 * math.Pi * y[i] / l
+		tz := 2 * math.Pi * z[i] / l
+		sx += m[i] * math.Sin(tx)
+		cx += m[i] * math.Cos(tx)
+		sy += m[i] * math.Sin(ty)
+		cy += m[i] * math.Cos(ty)
+		sz += m[i] * math.Sin(tz)
+		cz += m[i] * math.Cos(tz)
+	}
+	h.Center = vec.Wrap(vec.V3{
+		X: math.Atan2(sx, cx) / (2 * math.Pi) * l,
+		Y: math.Atan2(sy, cy) / (2 * math.Pi) * l,
+		Z: math.Atan2(sz, cz) / (2 * math.Pi) * l,
+	}, l)
+	// Mass-weighted radial ordering for R50/R90.
+	type rm struct{ r, m float64 }
+	rs := make([]rm, 0, len(g))
+	for _, i := range g {
+		d := vec.MinImage(h.Center, vec.V3{X: x[i], Y: y[i], Z: z[i]}, l).Norm()
+		rs = append(rs, rm{d, m[i]})
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].r < rs[b].r })
+	var acc float64
+	for _, p := range rs {
+		acc += p.m
+		if h.R50 == 0 && acc >= 0.5*h.Mass {
+			h.R50 = p.r
+		}
+		if acc >= 0.9*h.Mass {
+			h.R90 = p.r
+			break
+		}
+	}
+	return h
+}
+
 // Catalog converts FoF groups (from FoF) into halo summaries, largest first.
 func Catalog(x, y, z, m []float64, l float64, groups [][]int) []Halo {
 	out := make([]Halo, 0, len(groups))
@@ -63,47 +113,7 @@ func Catalog(x, y, z, m []float64, l float64, groups [][]int) []Halo {
 		if len(g) == 0 {
 			continue
 		}
-		h := Halo{N: len(g)}
-		// Periodic center of mass via the circular mean: map each coordinate
-		// to an angle, average the unit vectors, map back.
-		var sx, cx, sy, cy, sz, cz float64
-		for _, i := range g {
-			h.Mass += m[i]
-			tx := 2 * math.Pi * x[i] / l
-			ty := 2 * math.Pi * y[i] / l
-			tz := 2 * math.Pi * z[i] / l
-			sx += m[i] * math.Sin(tx)
-			cx += m[i] * math.Cos(tx)
-			sy += m[i] * math.Sin(ty)
-			cy += m[i] * math.Cos(ty)
-			sz += m[i] * math.Sin(tz)
-			cz += m[i] * math.Cos(tz)
-		}
-		h.Center = vec.Wrap(vec.V3{
-			X: math.Atan2(sx, cx) / (2 * math.Pi) * l,
-			Y: math.Atan2(sy, cy) / (2 * math.Pi) * l,
-			Z: math.Atan2(sz, cz) / (2 * math.Pi) * l,
-		}, l)
-		// Mass-weighted radial ordering for R50/R90.
-		type rm struct{ r, m float64 }
-		rs := make([]rm, 0, len(g))
-		for _, i := range g {
-			d := vec.MinImage(h.Center, vec.V3{X: x[i], Y: y[i], Z: z[i]}, l).Norm()
-			rs = append(rs, rm{d, m[i]})
-		}
-		sort.Slice(rs, func(a, b int) bool { return rs[a].r < rs[b].r })
-		var acc float64
-		for _, p := range rs {
-			acc += p.m
-			if h.R50 == 0 && acc >= 0.5*h.Mass {
-				h.R50 = p.r
-			}
-			if acc >= 0.9*h.Mass {
-				h.R90 = p.r
-				break
-			}
-		}
-		out = append(out, h)
+		out = append(out, GroupHalo(x, y, z, m, l, g))
 	}
 	SortHalos(out)
 	return out

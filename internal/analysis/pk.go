@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"math"
+	"strconv"
+)
+
+// PkBinner accumulates the binned matter power spectrum directly from an
+// already-transformed density spectrum — the in-situ counterpart of
+// PowerSpectrum. The PM solver visits each stored mode of its distributed
+// (half-)spectrum exactly once via Add, with the Hermitian multiplicity w
+// (2 for a compressed-axis mode standing in for its conjugate, 1 otherwise);
+// the partial SumP arrays are then summed across ranks (mpi.Allreduce) and
+// Finalize turns them into the same (k, P, count) triple the serial path
+// produces.
+//
+// Two reproducibility properties matter here:
+//   - K and Count are pure mode geometry, so Finalize recomputes them
+//     analytically in exactly the serial full-cube loop order — they are
+//     bitwise identical to PowerSpectrum's, whatever the distributed layout.
+//   - SumP depends on the FFT factorization and the cross-rank reduction
+//     order, so P agrees with the serial path only to rounding (≲1e-13
+//     relative). Callers wanting byte-stable encodings quantize P through
+//     CanonicalP on both paths.
+//
+// The binner consumes the raw mass-density spectrum ρ̂ (unnormalized forward
+// FFT of the TSC mass density): for every k ≠ 0, δ̂ = ρ̂/ρ̄, which is exact
+// because subtracting the mean density only changes the DC mode.
+type PkBinner struct {
+	// SumP is the per-bin Σ w·|δ̂|²/W²/N⁶·V partial sum; index by bin.
+	SumP []float64
+
+	n, nbins int
+	l        float64
+	rhoBar   float64
+	v        float64 // box volume
+	n3       float64 // N³ as float
+	kMin     float64
+	kNyq     float64
+	twoPiL   float64
+}
+
+// NewPkBinner sizes a binner for an n³ mesh over a box of side l holding
+// total mass totM, with nbins spherical k shells between the fundamental and
+// the Nyquist frequency (PowerSpectrum's binning).
+func NewPkBinner(n, nbins int, l, totM float64) *PkBinner {
+	v := l * l * l
+	return &PkBinner{
+		SumP: make([]float64, nbins),
+		n:    n, nbins: nbins, l: l,
+		rhoBar: totM / v,
+		v:      v,
+		n3:     float64(n * n * n),
+		kMin:   2 * math.Pi / l,
+		kNyq:   math.Pi * float64(n) / l,
+		twoPiL: 2 * math.Pi / l,
+	}
+}
+
+// binOf maps |k| to its shell, −1 outside [kMin, kNyq) — the serial rule.
+func (b *PkBinner) binOf(k float64) int {
+	if k < b.kMin || k >= b.kNyq {
+		return -1
+	}
+	return int(float64(b.nbins) * (k - b.kMin) / (b.kNyq - b.kMin))
+}
+
+// Add accumulates one stored mode (jx, jy, jz) ∈ [0, n)³ of the raw density
+// spectrum with Hermitian multiplicity w. The DC mode is skipped; the TSC
+// assignment window is deconvolved here, matching PowerSpectrum.
+func (b *PkBinner) Add(jx, jy, jz, w int, re, im float64) {
+	nx := foldMode(jx, b.n)
+	ny := foldMode(jy, b.n)
+	nz := foldMode(jz, b.n)
+	if nx == 0 && ny == 0 && nz == 0 {
+		return
+	}
+	k := b.twoPiL * math.Sqrt(float64(nx*nx+ny*ny+nz*nz))
+	bin := b.binOf(k)
+	if bin < 0 || bin >= b.nbins {
+		return
+	}
+	wt := tscW(nx, b.n) * tscW(ny, b.n) * tscW(nz, b.n)
+	// δ̂ = ρ̂/ρ̄ for k ≠ 0.
+	dre := re / b.rhoBar
+	dim := im / b.rhoBar
+	p := (dre*dre + dim*dim) / (wt * wt)
+	b.SumP[bin] += float64(w) * (p / (b.n3 * b.n3) * b.v)
+}
+
+// Finalize reduces the (already cross-rank-summed) SumP into the serial
+// (ks, ps, counts) shape: mean k and mean P per shell, empty shells dropped.
+// The k sums and mode counts are recomputed analytically by walking the full
+// n³ mode cube in PowerSpectrum's exact jx→jy→jz order, so ks and counts are
+// bitwise identical to the serial function's.
+func (b *PkBinner) Finalize() (ks, ps []float64, counts []int) {
+	sumK := make([]float64, b.nbins)
+	cnt := make([]int, b.nbins)
+	for jx := 0; jx < b.n; jx++ {
+		nx := foldMode(jx, b.n)
+		for jy := 0; jy < b.n; jy++ {
+			ny := foldMode(jy, b.n)
+			for jz := 0; jz < b.n; jz++ {
+				nz := foldMode(jz, b.n)
+				if nx == 0 && ny == 0 && nz == 0 {
+					continue
+				}
+				k := b.twoPiL * math.Sqrt(float64(nx*nx+ny*ny+nz*nz))
+				bin := b.binOf(k)
+				if bin < 0 || bin >= b.nbins {
+					continue
+				}
+				sumK[bin] += k
+				cnt[bin]++
+			}
+		}
+	}
+	for bin := 0; bin < b.nbins; bin++ {
+		if cnt[bin] == 0 {
+			continue
+		}
+		ks = append(ks, sumK[bin]/float64(cnt[bin]))
+		ps = append(ps, b.SumP[bin]/float64(cnt[bin]))
+		counts = append(counts, cnt[bin])
+	}
+	return ks, ps, counts
+}
+
+// ShotNoise returns the Poisson shot-noise level V/Np for np particles in a
+// box of volume l³ — the quantity to subtract from P(k) when the sampling
+// noise matters. PowerSpectrum (and hence the canonical PowerFile encoding)
+// reports the raw spectrum, so the in-situ path exposes the level separately
+// instead of folding it in.
+func ShotNoise(l float64, np int64) float64 {
+	if np <= 0 {
+		return 0
+	}
+	return l * l * l / float64(np)
+}
+
+// CanonicalP quantizes power-spectrum values to 10 significant decimal
+// digits (round-trip through %.9e). The distributed and serial pipelines
+// agree to ≲1e-13 relative but not bitwise — their FFT factorizations and
+// summation orders differ — so the canonical product encoding carries the
+// quantized values, which both pipelines land on identically. Returns a new
+// slice; NaNs and infinities pass through unchanged.
+func CanonicalP(p []float64) []float64 {
+	out := make([]float64, len(p))
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out[i] = v
+			continue
+		}
+		q, err := strconv.ParseFloat(strconv.FormatFloat(v, 'e', 9, 64), 64)
+		if err != nil {
+			q = v
+		}
+		out[i] = q
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package analysis
+
+import "testing"
+
+// BenchmarkInSituPk128 is the marginal cost of the on-the-fly spectrum on a
+// 128³ mesh: one PkBinner visit per retained r2c mode (the work the spectrum
+// tap adds inside the PM solve) plus the analytic Finalize. No FFT — that
+// is the point: the tap reuses the solver's own transform.
+func BenchmarkInSituPk128(b *testing.B) {
+	const n = 128
+	for i := 0; i < b.N; i++ {
+		pb := NewPkBinner(n, 16, 1.0, 1.0)
+		for jx := 0; jx < n; jx++ {
+			for jy := 0; jy < n; jy++ {
+				for jz := 0; jz <= n/2; jz++ {
+					w := 2
+					if jz == 0 || jz == n/2 {
+						w = 1
+					}
+					pb.Add(jx, jy, jz, w, 1e-3, -1e-3)
+				}
+			}
+		}
+		ks, ps, _ := pb.Finalize()
+		if len(ks) == 0 || ps[0] <= 0 {
+			b.Fatal("empty spectrum")
+		}
+	}
+}

@@ -148,6 +148,13 @@ type Solver struct {
 	// AccelWait; nil otherwise.
 	pending *pendingSolve
 
+	// specTap is the armed one-shot spectrum visitor (ArmSpectrumTap);
+	// tapSeconds the wall-clock its last visitation took. Both are touched
+	// only by the solve flow (solveStage and its callers), so the overlap
+	// mode's background goroutine is synchronized by the pendingSolve join.
+	specTap    SpecVisitor
+	tapSeconds float64
+
 	// Times accumulates phase timings across Accel calls.
 	Times Timings
 }
@@ -548,6 +555,90 @@ func (s *Solver) unpackPotential(recv [][]float64) {
 	}
 }
 
+// SpecVisitor observes one stored mode of the transformed density spectrum
+// ρ̂ before the Green's convolution touches it. jx, jy, jz are full-range
+// mode indices in [0, N); w is the Hermitian multiplicity of the stored mode
+// (2 when a compressed-axis entry stands in for its conjugate as well, 1
+// otherwise), so Σ w over all visits across the FFT ranks is exactly N³ —
+// every mode of the full cube counted once.
+type SpecVisitor func(jx, jy, jz, w int, re, im float64)
+
+// ArmSpectrumTap arms a one-shot visitor over the density spectrum of the
+// next solve: each FFT rank visits every stored mode of its spectrum portion
+// between the forward transform and the convolution (zero extra transforms,
+// zero extra communication). The tap is consumed by the solve on every rank
+// — arm it collectively before each solve that should observe the spectrum.
+// In-situ P(k) rides on this (see internal/sim and analysis.PkBinner). Must
+// not be called while a background solve is pending.
+func (s *Solver) ArmSpectrumTap(v SpecVisitor) {
+	if s.pending != nil {
+		panic("pmpar: ArmSpectrumTap while a solve is pending")
+	}
+	s.specTap = v
+}
+
+// TakeTapSeconds returns the wall-clock the last armed spectrum visitation
+// took on this rank and resets it. Valid after the solve completed (after
+// Accel or AccelWait).
+func (s *Solver) TakeTapSeconds() float64 {
+	d := s.tapSeconds
+	s.tapSeconds = 0
+	return d
+}
+
+// visitSpec dispatches the armed tap over this rank's stored spectrum with
+// the layout-appropriate index mapping and Hermitian multiplicities.
+func (s *Solver) visitSpec(spec []complex128, pencil, halfZ bool) {
+	t0 := time.Now()
+	n := s.cfg.N
+	v := s.specTap
+	if pencil {
+		var xc, xo, yc2, yo2 int
+		if halfZ {
+			// Real pencil path: x is the compressed axis (kx ∈ [0, n/2]).
+			xc, xo, yc2, yo2 = s.pencil.SpecDims()
+		} else {
+			xc, xo, yc2, yo2 = s.pencil.OutDims()
+		}
+		for ix := 0; ix < xc; ix++ {
+			jx := xo + ix
+			w := 1
+			if halfZ && jx != 0 && jx != n/2 {
+				w = 2
+			}
+			for iy := 0; iy < yc2; iy++ {
+				jy := yo2 + iy
+				base := (ix*yc2 + iy) * n
+				for jz := 0; jz < n; jz++ {
+					d := spec[base+jz]
+					v(jx, jy, jz, w, real(d), imag(d))
+				}
+			}
+		}
+	} else {
+		nh := n
+		if halfZ {
+			nh = s.plan.NZSpec() // n/2 + 1: z is the compressed axis
+		}
+		off := s.plan.LocalOffset()
+		for lx := 0; lx < s.plan.LocalCount(); lx++ {
+			jx := off + lx
+			for jy := 0; jy < n; jy++ {
+				base := (lx*n + jy) * nh
+				for jz := 0; jz < nh; jz++ {
+					w := 1
+					if halfZ && jz != 0 && jz != n/2 {
+						w = 2
+					}
+					d := spec[base+jz]
+					v(jx, jy, jz, w, real(d), imag(d))
+				}
+			}
+		}
+	}
+	s.tapSeconds += time.Since(t0).Seconds()
+}
+
 // fftAndGreen runs the parallel FFT and the Green's-function convolution on
 // the FFT processes, turning the density region into the potential region.
 //
@@ -567,6 +658,9 @@ func (s *Solver) fftAndGreen() {
 		return
 	}
 	s.plan.ForwardReal(s.slab, s.spec)
+	if s.specTap != nil {
+		s.visitSpec(s.spec, false, true)
+	}
 	s.pool.Run(s.plan.LocalCount(), s.taskConv)
 	s.plan.InverseReal(s.spec, s.slab)
 }
@@ -622,6 +716,9 @@ func (s *Solver) fftAndGreenComplex() {
 		work[i] = complex(v, 0)
 	}
 	s.plan.Forward(work)
+	if s.specTap != nil {
+		s.visitSpec(work, false, false)
+	}
 	s.pool.Run(s.plan.LocalCount(), s.taskConvC)
 	s.plan.Inverse(work)
 	for i := range s.slab {
@@ -641,6 +738,9 @@ func (s *Solver) fftAndGreenPencil() {
 			in[i] = complex(v, 0)
 		}
 		out := s.pencil.Forward(in)
+		if s.specTap != nil {
+			s.visitSpec(out, true, false)
+		}
 		xc, xo, yc2, yo2 := s.pencil.OutDims()
 		s.pool.Run(xc, func(w, lo, hi int) {
 			for ix := lo; ix < hi; ix++ {
@@ -659,6 +759,9 @@ func (s *Solver) fftAndGreenPencil() {
 		return
 	}
 	spec := s.pencil.ForwardReal(s.slab)
+	if s.specTap != nil {
+		s.visitSpec(spec, true, true)
+	}
 	xc, xo, yc2, yo2 := s.pencil.SpecDims()
 	s.pool.Run(xc, func(w, lo, hi int) {
 		for ix := lo; ix < hi; ix++ {
@@ -721,6 +824,9 @@ func (s *Solver) solveStage() (comm, fft time.Duration) {
 	}
 	s.potentialToLocal()
 	comm += time.Since(t0)
+	// The tap is one-shot: consumed by this solve on every rank (FFT ranks
+	// visited it above; the others simply drop it).
+	s.specTap = nil
 	return comm, fft
 }
 

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestServeInSituProductsPreferred is the regression gate for the in-situ
+// product plane: a job run with insitu_every registers its final-step
+// catalog and spectrum as content-addressed products, the product plane
+// serves them WITHOUT materialising the gathered particle set (no snapshot
+// needed at all), and the served bytes are identical to what the gather-
+// and-recompute fallback derives from the final snapshot.
+func TestServeInSituProductsPreferred(t *testing.T) {
+	d := startDaemon(t)
+	spec := JobSpec{NP: 4, Ranks: 2, Steps: 2, Seed: 7, InSituEvery: 1}
+	info := d.submit(t, spec)
+	job := d.pollDone(t, info.ID)
+	if job.State != StateDone {
+		t.Fatalf("job state %s (error %q), want done", job.State, job.Error)
+	}
+
+	// The final-step emission registered the canonical product keys, both
+	// the zero-request and the explicit-default spellings, plus step-stamped
+	// streaming projections for every emission.
+	for _, key := range []string{
+		"halos-b0-min0", "halos-b0.2-min8",
+		"pk-n0-b0", "pk-n8-b16", // NP=4 defaults the PM mesh to 8
+		"density-step1", "density-step2",
+	} {
+		if _, err := d.idx.GetProduct(job.ID, key); err != nil {
+			t.Fatalf("in-situ product %q not registered: %v", key, err)
+		}
+	}
+
+	prods := NewProducts(d.counting, d.idx)
+	served := map[string][]byte{}
+	for kind, req := range map[string]ProductRequest{
+		"halos": {Kind: ProductHalos},
+		"pk":    {Kind: ProductPk},
+	} {
+		// Served without a snapshot: the in-situ ref short-circuits the
+		// gather path entirely, so a job record with no SnapshotRef (a run
+		// mid-flight, or a snapshot-less service tier) still serves.
+		noSnap := job
+		noSnap.SnapshotRef = ""
+		b, _, err := prods.Get(noSnap, req)
+		if err != nil {
+			t.Fatalf("%s: serving the in-situ product required the snapshot: %v", kind, err)
+		}
+		served[kind] = b
+	}
+
+	// The gather fallback — a fresh index with no registered products, same
+	// store — must recompute byte-identical data and land on the identical
+	// content-addressed ref.
+	freshIdx := NewMem()
+	if err := freshIdx.CreateJob(job); err != nil {
+		t.Fatal(err)
+	}
+	gatherProds := NewProducts(d.counting, freshIdx)
+	for kind, req := range map[string]ProductRequest{
+		"halos": {Kind: ProductHalos},
+		"pk":    {Kind: ProductPk},
+	} {
+		key, err := req.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := gatherProds.Get(job, req)
+		if err != nil {
+			t.Fatalf("%s: gather fallback: %v", kind, err)
+		}
+		if !bytes.Equal(served[kind], b) {
+			t.Fatalf("%s: in-situ and gather-path bytes differ:\nin-situ: %s\ngather:  %s", kind, served[kind], b)
+		}
+		insituRef, err := d.idx.GetProduct(job.ID, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gatherRef, err := freshIdx.GetProduct(job.ID, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if insituRef != gatherRef {
+			t.Fatalf("%s: refs differ between paths: in-situ %v, gather %v", kind, insituRef, gatherRef)
+		}
+	}
+
+	// The gather fallback still demands a snapshot when no product is
+	// registered — the precondition moved, it did not vanish.
+	noSnap := job
+	noSnap.SnapshotRef = ""
+	if _, _, err := NewProducts(d.counting, NewMem()).Get(noSnap, ProductRequest{Kind: ProductHalos}); err == nil {
+		t.Fatal("gather path served without a snapshot")
+	}
+}

@@ -273,6 +273,13 @@ func (m *Manager) runJob(id string) {
 	m.logf("serve: job %s running", id)
 
 	update := func(u RunUpdate) {
+		// Register in-situ products first, so a reader who sees the step
+		// advance can already resolve the product refs for that step.
+		for k, ref := range u.Products {
+			if err := m.index.PutProduct(id, k, ref); err != nil {
+				m.logf("serve: job %s: register in-situ product %s: %v", id, k, err)
+			}
+		}
 		m.index.UpdateJob(id, func(j *JobInfo) {
 			if u.Restart {
 				j.Restarts++

@@ -164,16 +164,20 @@ func (p *Products) GetCtx(ctx context.Context, job JobInfo, req ProductRequest) 
 	if err != nil {
 		return nil, false, false, err
 	}
-	if job.SnapshotRef == "" {
-		return nil, false, false, fmt.Errorf("serve: job %s has no snapshot yet (state %s)", job.ID, job.State)
-	}
 	fkey := job.ID + "|" + key
 	data, shared, err = p.flight.DoCtx(ctx, fkey, func() ([]byte, error) {
 		opCtx, cancel := context.WithTimeout(context.Background(), p.opTimeout)
 		defer cancel()
 		st := store.ForContext(opCtx, p.store)
+		// An index-registered product (an in-situ emission, or a previous
+		// leader's compute) serves straight from the store — no snapshot
+		// needed, no particle set materialised.
 		if ref, cerr := p.index.GetProduct(job.ID, key); cerr == nil {
 			return st.Get(ref)
+		}
+		// Gather fallback: derive the product from the final snapshot.
+		if job.SnapshotRef == "" {
+			return nil, fmt.Errorf("serve: job %s has no snapshot yet (state %s)", job.ID, job.State)
 		}
 		b, cerr := p.computeWith(st, job, req)
 		if cerr != nil {
@@ -262,9 +266,13 @@ func (p *Products) computeWith(st store.Store, job JobInfo, req ProductRequest) 
 		if err != nil {
 			return nil, fmt.Errorf("serve: job %s: power spectrum: %w", job.ID, err)
 		}
+		// CanonicalP quantizes the spectrum to 10 significant digits on
+		// every path (here and in the in-situ emission), so the served
+		// bytes are identical regardless of which FFT factorization
+		// computed them.
 		return analysis.EncodePower(analysis.PowerFile{
 			Format: 1, L: hdr.L, Time: hdr.Time, Step: hdr.StepIdx,
-			NMesh: nmesh, NBins: nbins, K: ks, P: ps, Count: counts,
+			NMesh: nmesh, NBins: nbins, K: ks, P: analysis.CanonicalP(ps), Count: counts,
 		})
 
 	case ProductDensity:

@@ -31,6 +31,12 @@ type RunUpdate struct {
 
 	SnapshotRef store.Ref // non-empty once the final snapshot is stored
 
+	// Products are content-addressed in-situ analysis blobs stored by the
+	// runner this step, keyed by canonical product key for the manager to
+	// register in the index (so product requests serve them without a
+	// gather-and-recompute pass).
+	Products map[string]store.Ref
+
 	Telemetry []telemetry.MetricSnapshot // rank-0 registry snapshot
 }
 
@@ -181,9 +187,14 @@ func SimRunner(ctx context.Context, id string, spec JobSpec, st store.Store, upd
 					lastCkpt = idx
 				}
 				if c.Rank() == 0 {
+					var prods map[string]store.Ref
+					if res := s.InSituProducts(); res != nil && res.Step == idx {
+						prods = storeInSitu(st, id, spec, res, idx == spec.Steps)
+					}
 					update(RunUpdate{
 						Step: idx, TotalSteps: spec.Steps, Time: s.Time(),
-						Checkpointed: ckpt, Telemetry: rec.Registry().Snapshot(),
+						Checkpointed: ckpt, Products: prods,
+						Telemetry: rec.Registry().Snapshot(),
 					})
 				}
 			}
@@ -221,4 +232,44 @@ func SimRunner(ctx context.Context, id string, spec JobSpec, st store.Store, upd
 		}
 		return fmt.Errorf("serve: job %s: %w", id, err)
 	}
+}
+
+// storeInSitu persists one in-situ emission through the content-addressed
+// store on rank 0 and returns the product keys to register. Every emission
+// stores the streaming projection under a step-stamped key; the final step
+// additionally registers the catalog and spectrum under the canonical
+// product keys (both the zero-request and explicit-default spellings), so
+// the default halos/pk products are served from the in-situ bytes without
+// ever materialising the gathered particle set. Storage is best-effort: a
+// failed put leaves the gather fallback in place rather than aborting the
+// run.
+func storeInSitu(st store.Store, id string, spec JobSpec, res *sim.InSituResult, final bool) map[string]store.Ref {
+	type blob struct {
+		key string
+		b   []byte
+	}
+	var blobs []blob
+	if res.Density != nil {
+		blobs = append(blobs, blob{fmt.Sprintf("density-step%d", res.Step), res.Density})
+	}
+	if final {
+		if res.Catalog != nil {
+			blobs = append(blobs,
+				blob{"halos-b0-min0", res.Catalog},
+				blob{"halos-b0.2-min8", res.Catalog})
+		}
+		if res.Power != nil {
+			nmesh := spec.withDefaults().NMesh
+			blobs = append(blobs,
+				blob{"pk-n0-b0", res.Power},
+				blob{fmt.Sprintf("pk-n%d-b16", nmesh), res.Power})
+		}
+	}
+	out := make(map[string]store.Ref, len(blobs))
+	for _, bl := range blobs {
+		if ref, err := st.PutNamed(productName(id, bl.key), bl.b); err == nil {
+			out[bl.key] = ref
+		}
+	}
+	return out
 }

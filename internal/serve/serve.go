@@ -49,6 +49,13 @@ type JobSpec struct {
 	CheckpointKeep  int `json:"checkpoint_keep,omitempty"`  // checkpoints retained; 0 ⇒ all
 	MaxRestarts     int `json:"max_restarts,omitempty"`     // restart-on-abort budget; 0 ⇒ 2
 
+	// InSituEvery runs the distributed in-situ analysis pass (parallel FoF
+	// catalog, on-the-fly P(k), streaming surface-density projection) every
+	// that many steps and at the final step; 0 ⇒ off. The final-step catalog
+	// and spectrum are registered as content-addressed products, so the
+	// default halos/pk products serve without gathering the particle set.
+	InSituEvery int `json:"insitu_every,omitempty"`
+
 	// FailRankAtStep is the chaos-drill knob (mirroring cmd/greem's
 	// -fail-rank-at-step): kill the last rank at the start of that step,
 	// once, to exercise the checkpoint degradation loop end to end.
@@ -77,7 +84,7 @@ func (s JobSpec) Validate() error {
 	if s.ZStart != 0 && s.ZEnd != 0 && s.ZEnd >= s.ZStart {
 		return fmt.Errorf("serve: zend %g must be below zstart %g", s.ZEnd, s.ZStart)
 	}
-	if s.CheckpointEvery < 0 || s.MaxRestarts < 0 || s.Workers < 0 && s.Workers != -1 {
+	if s.CheckpointEvery < 0 || s.MaxRestarts < 0 || s.InSituEvery < 0 || s.Workers < 0 && s.Workers != -1 {
 		return fmt.Errorf("serve: negative knob in spec")
 	}
 	if s.FailRankAtStep > 0 && s.CheckpointEvery == 0 {
@@ -185,6 +192,20 @@ func simConfigFromSpec(spec JobSpec) (cfg sim.Config, model *cosmo.Model, aStart
 		Theta: spec.Theta, Eps2: 1e-8, FastKernel: true, LETExchange: true,
 		Grid: grid, DT: (aEnd - aStart) / float64(spec.Steps),
 		Stepper: model, Time: aStart, DeterministicCost: true,
+	}
+	if spec.InSituEvery > 0 {
+		// The in-situ parameters mirror the gather-and-recompute defaults in
+		// products.go exactly — same linking-length expression, same min
+		// group, same bin count — so the in-situ catalog and spectrum are
+		// byte-identical to what a post-hoc request would compute. (These
+		// fields are not part of the checkpoint fingerprint; enabling in-situ
+		// analysis does not invalidate existing checkpoints.)
+		cfg.InSituEvery = spec.InSituEvery
+		cfg.InSituFinalStep = spec.Steps
+		cfg.InSituLL = 0.2 * l / float64(spec.NP)
+		cfg.InSituMinSize = 8
+		cfg.InSituBins = 16
+		cfg.InSituPix = 64
 	}
 	return cfg, model, aStart, aEnd, nil
 }

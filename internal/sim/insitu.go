@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"time"
+
+	"greem/internal/analysis"
+	"greem/internal/analysis/dist"
+	"greem/internal/mpi"
+	"greem/internal/telemetry"
+)
+
+// InSituResult is one in-situ analysis emission, materialized on rank 0
+// (InSituProducts returns nil on every other rank). Catalog, Power and
+// Density are the canonical product encodings — byte-identical to what the
+// serial post-hoc pipeline produces for the catalog and (after CanonicalP
+// quantization) the spectrum, so the service plane can register them as
+// content-addressed products directly.
+type InSituResult struct {
+	Step int
+	Time float64
+
+	Catalog []byte // canonical halo catalog JSON; nil when the FoF pass is disabled
+	Power   []byte // canonical power spectrum JSON; nil when the pk tap is disabled
+	Density []byte // surface-density PGM; nil when the projection is disabled
+
+	// Shot is the Poisson shot-noise level V/N of the spectrum — reported
+	// separately because the canonical PowerFile encoding carries the raw
+	// (unsubtracted) spectrum, exactly like the serial PowerSpectrum.
+	Shot float64
+
+	// Ks, Ps, Counts are the unquantized spectrum bins behind Power (Ps
+	// before the CanonicalP rounding the encoding applies), for consumers
+	// that want full precision.
+	Ks, Ps []float64
+	Counts []int
+
+	// LinkLen and MinSize record the effective FoF parameters of Catalog.
+	LinkLen float64
+	MinSize int
+}
+
+// InSituProducts returns rank 0's most recent in-situ emission (nil before
+// the first due step, on other ranks, and when InSituEvery is off).
+func (s *Sim) InSituProducts() *InSituResult { return s.insituLast }
+
+// insituDue reports whether the in-situ pass should emit after completing
+// the given (1-based) step.
+func (s *Sim) insituDue(step int) bool {
+	if s.cfg.InSituEvery <= 0 {
+		return false
+	}
+	return step%s.cfg.InSituEvery == 0 || step == s.cfg.InSituFinalStep
+}
+
+// insituLinkLen resolves the effective linking length for np particles.
+func (s *Sim) insituLinkLen(np int64) float64 {
+	if s.cfg.InSituLL != 0 {
+		return s.cfg.InSituLL
+	}
+	return 0.2 * s.cfg.L / math.Cbrt(float64(np))
+}
+
+// armInSitu prepares the in-situ pass when the step now finishing is due:
+// reduce the global mass and particle count (recomputed at every arm — the
+// per-rank partial sums depend only on the restored local particle order,
+// so a resumed run reproduces them bitwise), and arm the PM spectrum tap on
+// the solver that is about to run the step's trailing solve. Collective
+// when due; must be called exactly once per step, immediately before the
+// trailing PM solve.
+func (s *Sim) armInSitu() {
+	if !s.insituDue(s.step + 1) {
+		return
+	}
+	var localM float64
+	for _, v := range s.m {
+		localM += v
+	}
+	tot := mpi.Allreduce(s.comm, []float64{localM, float64(len(s.x))}, mpi.Sum[float64])
+	s.insituTotM = tot[0]
+	s.insituNp = int64(tot[1])
+	s.insituArmed = true
+	if s.cfg.InSituBins < 0 {
+		s.insituBin = nil
+		return
+	}
+	bins := s.cfg.InSituBins
+	if bins == 0 {
+		bins = 16
+	}
+	s.insituBin = analysis.NewPkBinner(s.cfg.NMesh, bins, s.cfg.L, s.insituTotM)
+	s.pm.ArmSpectrumTap(s.insituBin.Add)
+}
+
+// maybeInSitu runs the emission armed by armInSitu, after the step counter
+// advanced. Collective when armed. The analysis cost lands under the
+// analysis/* telemetry phases; the spectrum visitation inside the solve is
+// attributed here too (the solver clocked it on whichever goroutine ran the
+// solve).
+func (s *Sim) maybeInSitu() {
+	if !s.insituArmed {
+		return
+	}
+	s.insituArmed = false
+	res := &InSituResult{Step: s.step, Time: s.time}
+
+	// P(k): the tap already binned this rank's share of the spectrum during
+	// the trailing solve; reduce the partial sums and finalize on rank 0.
+	if s.insituBin != nil {
+		s.rec.AddPhase(telemetry.PhaseAnalysisPk, time.Duration(s.pm.TakeTapSeconds()*float64(time.Second)))
+		sp := s.rec.Start(telemetry.PhaseAnalysisPk)
+		sum := mpi.Allreduce(s.comm, s.insituBin.SumP, mpi.Sum[float64])
+		if s.comm.Rank() == 0 {
+			copy(s.insituBin.SumP, sum)
+			ks, ps, counts := s.insituBin.Finalize()
+			res.Ks, res.Ps, res.Counts = ks, ps, counts
+			res.Shot = analysis.ShotNoise(s.cfg.L, s.insituNp)
+			b, err := analysis.EncodePower(analysis.PowerFile{
+				Format: 1, L: s.cfg.L, Time: s.time, Step: uint64(s.step),
+				NMesh: s.cfg.NMesh, NBins: len(s.insituBin.SumP),
+				K: ks, P: analysis.CanonicalP(ps), Count: counts,
+			})
+			if err == nil {
+				res.Power = b
+			}
+		}
+		s.insituBin = nil
+		sp.End()
+	}
+
+	// Distributed FoF: local link + ghost import + label stitch, canonical
+	// catalog on rank 0.
+	if s.cfg.InSituLL >= 0 {
+		sp := s.rec.Start(telemetry.PhaseAnalysisFoF)
+		ll := s.insituLinkLen(s.insituNp)
+		minSize := s.cfg.InSituMinSize
+		if minSize == 0 {
+			minSize = 8
+		}
+		halos := dist.FoF(s.comm, dist.Config{L: s.cfg.L, LinkLen: ll, MinSize: minSize},
+			s.x, s.y, s.z, s.m, s.id)
+		if s.comm.Rank() == 0 {
+			b, err := analysis.EncodeCatalog(analysis.CatalogFile{
+				Format: 1, L: s.cfg.L, Time: s.time, Step: uint64(s.step),
+				LinkingLength: ll, MinSize: minSize, Halos: halos,
+			})
+			if err == nil {
+				res.Catalog = b
+				res.LinkLen = ll
+				res.MinSize = minSize
+			}
+		}
+		sp.End()
+	}
+
+	// Streaming projection: rank-local NGP surface density, summed to rank 0.
+	if s.cfg.InSituPix >= 0 {
+		sp := s.rec.Start(telemetry.PhaseAnalysisProj)
+		npix := s.cfg.InSituPix
+		if npix == 0 {
+			npix = 64
+		}
+		flat := make([]float64, npix*npix)
+		l := s.cfg.L
+		for p := range s.x {
+			i := int(s.x[p] / l * float64(npix))
+			j := int(s.y[p] / l * float64(npix))
+			if i < 0 {
+				i = 0
+			}
+			if i >= npix {
+				i = npix - 1
+			}
+			if j < 0 {
+				j = 0
+			}
+			if j >= npix {
+				j = npix - 1
+			}
+			flat[i*npix+j] += s.m[p]
+		}
+		sum := mpi.Reduce(s.comm, 0, flat, mpi.Sum[float64])
+		if s.comm.Rank() == 0 {
+			img := make([][]float64, npix)
+			for i := range img {
+				img[i] = sum[i*npix : (i+1)*npix]
+			}
+			var buf bytes.Buffer
+			if err := analysis.WritePGM(&buf, img); err == nil {
+				res.Density = buf.Bytes()
+			}
+		}
+		sp.End()
+	}
+
+	if s.comm.Rank() == 0 {
+		s.insituLast = res
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"greem/internal/analysis"
 	"greem/internal/domain"
 	"greem/internal/mpi"
 	"greem/internal/par"
@@ -128,6 +129,28 @@ type Config struct {
 	// through it. nil ⇒ a private recorder. Recorders are rank-local, so
 	// each rank must pass its own.
 	Recorder *telemetry.Recorder
+
+	// In-situ analysis (0 ⇒ disabled): every InSituEvery completed steps —
+	// and additionally at step InSituFinalStep, so a run's last step always
+	// emits regardless of the cadence — the step loop computes analysis
+	// products on the distributed data without gathering particles: a
+	// distributed FoF halo catalog (analysis/dist), a binned P(k) tapped
+	// from the PM solve's density spectrum (zero extra FFTs or all-to-alls),
+	// and a surface-density projection reduced across ranks. Rank 0 exposes
+	// the canonically encoded products through InSituProducts. None of these
+	// fields affect the trajectory, and none participate in the checkpoint
+	// fingerprint.
+	InSituEvery     int
+	InSituFinalStep int
+	// InSituLL is the absolute FoF linking length (0 ⇒ 0.2·L/∛N; < 0
+	// disables the FoF pass). InSituMinSize is the smallest group reported
+	// (0 ⇒ 8).
+	InSituLL      float64
+	InSituMinSize int
+	// InSituBins is the P(k) shell count (0 ⇒ 16; < 0 disables the pk tap).
+	InSituBins int
+	// InSituPix is the projection image side (0 ⇒ 64; < 0 disables it).
+	InSituPix int
 }
 
 func (c *Config) setDefaults(p int) error {
@@ -270,6 +293,17 @@ type Sim struct {
 	// most recent overlapped window's critical-path wall-clock.
 	ctrOverlapHidden *telemetry.Counter
 	gaugeOverlapCrit *telemetry.Gauge
+
+	// In-situ analysis state: insituArmed marks a step whose trailing PM
+	// solve carries the spectrum tap; insituBin is that tap's binner (only
+	// the solve flow touches it between arm and join); insituTotM/insituNp
+	// are the globally reduced mass and count of the current arm;
+	// insituLast is rank 0's most recent emission.
+	insituArmed bool
+	insituBin   *analysis.PkBinner
+	insituTotM  float64
+	insituNp    int64
+	insituLast  *InSituResult
 }
 
 // PhaseIntegKick labels the integrator kick loops' pool busy/idle counters

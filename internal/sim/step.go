@@ -236,7 +236,10 @@ func (s *Sim) Step() error {
 			return err
 		}
 		if s.cfg.OverlapPMPP && k == sub-1 {
-			// Final substep: the trailing PM solve rides behind this PP.
+			// Final substep: the trailing PM solve rides behind this PP. An
+			// in-situ-due step arms the spectrum tap here — the solve sees
+			// the step's final positions (only kicks follow).
+			s.armInSitu()
 			s.computePMPP(false)
 		} else {
 			s.computePP()
@@ -246,10 +249,15 @@ func (s *Sim) Step() error {
 	}
 
 	if !s.pmFresh {
+		// The sequential path's trailing solve (always reached: drift
+		// cleared pmFresh and the substep PP passes don't set it); the
+		// in-situ arm rides on whichever trailing solve the mode runs.
+		s.armInSitu()
 		s.computePM()
 	}
 	s.kickPM(t0+dt/2, dt/2)
 	s.step++
+	s.maybeInSitu()
 	return nil
 }
 

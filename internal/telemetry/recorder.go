@@ -49,6 +49,13 @@ const (
 	// density→{solve ‖ PP}→join window.
 	PhaseOverlapJoin   = "overlap/join"
 	PhaseOverlapWindow = "overlap/window"
+
+	// In-situ analysis plane (sim.Config.InSituEvery): the distributed FoF
+	// pass, the P(k) spectrum tap + bin reduction, and the streaming
+	// surface-density projection.
+	PhaseAnalysisFoF  = "analysis/fof"
+	PhaseAnalysisPk   = "analysis/pk"
+	PhaseAnalysisProj = "analysis/proj"
 )
 
 // phaseSecondsMetric is the registry metric name under which per-phase

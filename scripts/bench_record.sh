@@ -2,7 +2,8 @@
 # Record the canonical performance surface into bench_records/BENCH_<ts>.json:
 # the short-range force kernel, the 128³ PM solve, the LET ghost exchange
 # (with its all-to-all byte ledger), the overlapped-vs-sequential step
-# pipeline and the checkpoint write path. Compare
+# pipeline, the checkpoint write path and the in-situ analysis plane
+# (distributed FoF, P(k) spectrum tap). Compare
 # the two newest records afterwards with:
 #
 #   go run ./cmd/benchrecord compare -dir bench_records
@@ -20,5 +21,7 @@ echo "== running canonical benchmarks (benchtime $BENCHTIME) =="
 go test -run NONE -bench 'KernelGflops$|GhostExchange64$|StepOverlap64$' -benchmem -benchtime "$BENCHTIME" . | tee -a "$OUT"
 go test -run NONE -bench 'Solve128Real$' -benchmem -benchtime "$BENCHTIME" ./internal/mesh/ | tee -a "$OUT"
 go test -run NONE -bench 'CheckpointWrite$' -benchmem -benchtime "$BENCHTIME" ./internal/checkpoint/ | tee -a "$OUT"
+go test -run NONE -bench 'DistFoF64$' -benchmem -benchtime "$BENCHTIME" ./internal/analysis/dist/ | tee -a "$OUT"
+go test -run NONE -bench 'InSituPk128$' -benchmem -benchtime "$BENCHTIME" ./internal/analysis/ | tee -a "$OUT"
 
 go run ./cmd/benchrecord record -dir bench_records "$@" < "$OUT"

@@ -9,7 +9,8 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/ ./internal/ppkern/ ./internal/tree/ ./internal/pmpar/
+go test -race -count=1 ./internal/sim/ ./internal/telemetry/ ./internal/mpi/ ./internal/checkpoint/ ./internal/snapshot/ ./internal/fft/ ./internal/pfft/ ./internal/par/ ./internal/mesh/ ./internal/treepm/ ./internal/serve/ ./internal/store/ ./internal/ppkern/ ./internal/tree/ ./internal/pmpar/ ./internal/analysis/ ./internal/analysis/dist/
 go test -run NONE -fuzz FuzzDecodeFlat -fuzztime 4s ./internal/domain/
 go test -run NONE -fuzz FuzzGhostSelection -fuzztime 4s ./internal/sim/
+go test -run NONE -fuzz FuzzUnionFindStitch -fuzztime 4s ./internal/analysis/dist/
 ./scripts/smoke_chaos.sh
